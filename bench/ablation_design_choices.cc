@@ -1,0 +1,76 @@
+// Ablations of design choices called out in DESIGN.md:
+//   1. Exact arrival-filtered oracle vs the cheap total-usage oracle: how
+//      much apparent risk the unfiltered ablation adds (it charges
+//      predictors for tasks that had not arrived yet).
+//   2. Packing policy (best-fit / worst-fit / random-fit) under the same
+//      predictor: the paper argues the overcommit policy is orthogonal to
+//      packing — savings should be insensitive while load balance shifts.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crf/cluster/ab_experiment.h"
+#include "crf/sim/simulator.h"
+
+namespace {
+
+using namespace crf;        // NOLINT
+using namespace crf::bench; // NOLINT
+
+void OracleAblation(const Context& ctx) {
+  const CellTrace cell = MakeSimCell(ctx, 'a', kIntervalsPerWeek);
+  Table table({"predictor", "violation rate (exact oracle)", "violation rate (unfiltered)"});
+  for (const PredictorSpec& spec :
+       {BorgDefaultSpec(0.9), RcLikeSpec(99.0), NSigmaSpec(5.0), SimulationMaxSpec()}) {
+    SimOptions exact;
+    SimOptions unfiltered;
+    unfiltered.use_total_usage_oracle = true;
+    const SimResult a = SimulateCell(cell, spec, exact);
+    const SimResult b = SimulateCell(cell, spec, unfiltered);
+    table.AddRow(a.predictor_name, {a.MeanViolationRate(), b.MeanViolationRate()});
+  }
+  std::printf("\nAblation 1: exact arrival-filtered oracle vs total-usage oracle\n");
+  table.Print();
+  std::printf("(The unfiltered oracle counts future arrivals against today's prediction,\n"
+              "inflating apparent violation rates — the reason the exact oracle matters.)\n");
+}
+
+void PackingAblation(const Context& ctx) {
+  CellProfile profile = ProductionCellProfile(2);
+  profile.num_machines = ScaledCount(profile.num_machines);
+  ClusterSimOptions options;
+  options.num_intervals = kIntervalsPerWeek;
+  options.warmup = 2 * kIntervalsPerDay;
+  options.predictor = ProductionMaxSpec();
+
+  Table table({"packing", "median savings", "median workload/cap", "p90 machine p99-util",
+               "median machine p90 latency"});
+  for (const PackingPolicy policy :
+       {PackingPolicy::kBestFit, PackingPolicy::kWorstFit, PackingPolicy::kRandomFit}) {
+    options.packing = policy;
+    const ClusterSimResult result = RunClusterSim(profile, options, ctx.rng().Fork(7));
+    const std::vector<ClusterSimResult> results{result};
+    const GroupMetrics metrics = ComputeGroupMetrics(PackingPolicyName(policy), results);
+    table.AddRow(PackingPolicyName(policy),
+                 {metrics.relative_savings.Quantile(0.5),
+                  metrics.normalized_workload.Quantile(0.5),
+                  metrics.machine_p99_utilization.Quantile(0.9),
+                  metrics.machine_p90_latency.Quantile(0.5)});
+  }
+  std::printf("\nAblation 2: packing policy under the max predictor (production cell 2)\n");
+  table.Print();
+  std::printf("(Savings depend on the predictor, not the packer — the paper's\n"
+              "orthogonality claim; packing shifts the load-balance/latency columns.)\n");
+}
+
+int Main() {
+  const Context ctx = Init("ablation_design_choices",
+                           "oracle-variant and packing-policy ablations (DESIGN.md)");
+  OracleAblation(ctx);
+  PackingAblation(ctx);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,87 @@
+// Figure 8: N-sigma parameter sweep on cell a, week 1.
+//   (a) per-machine violation-rate CDFs for n in {2, 3, 5, 10};
+//   (b) cell-level savings (1 - predicted peak / total limit) vs n;
+//   (c) violation-rate CDFs for warm-up in {1h, 2h, 3h} (weak effect);
+//   (d) violation-rate CDFs for history in {2h, 5h, 10h} (strong effect).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crf/sim/simulator.h"
+
+namespace {
+
+using namespace crf;        // NOLINT
+using namespace crf::bench; // NOLINT
+
+int Main() {
+  const Context ctx = Init("fig08_nsigma_sweep", "Fig 8: N-sigma predictor parameter sweep");
+  const CellTrace cell = MakeSimCell(ctx, 'a', kIntervalsPerWeek);
+  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", cell.machines.size(),
+              cell.tasks.size());
+
+  // (a)+(b): sweep n with 2h warm-up, 10h history.
+  {
+    std::vector<Ecdf> cdfs;
+    std::vector<double> savings;
+    std::vector<std::string> labels;
+    for (const double n : {2.0, 3.0, 5.0, 10.0}) {
+      const SimResult result = SimulateCell(cell, NSigmaSpec(n));
+      cdfs.push_back(result.ViolationRateCdf());
+      savings.push_back(result.MeanCellSavings());
+      labels.push_back("n=" + std::to_string(static_cast<int>(n)));
+    }
+    std::vector<std::pair<std::string, const Ecdf*>> series;
+    for (size_t i = 0; i < cdfs.size(); ++i) {
+      series.emplace_back(labels[i], &cdfs[i]);
+    }
+    ReportCdfs(ctx, "Fig 8(a): per-machine violation rate vs n", series,
+               "fig08a_violation_vs_n.csv");
+
+    Table table({"n", "savings: 1 - predicted/limit"});
+    for (size_t i = 0; i < savings.size(); ++i) {
+      table.AddRow(labels[i], {savings[i]});
+    }
+    std::printf("\nFig 8(b): cell-level savings vs n\n");
+    table.Print();
+  }
+
+  // (c): warm-up sweep at n=5, 10h history.
+  {
+    std::vector<Ecdf> cdfs;
+    std::vector<std::pair<std::string, const Ecdf*>> series;
+    for (const int hours : {1, 2, 3}) {
+      const SimResult result =
+          SimulateCell(cell, NSigmaSpec(5.0, hours * kIntervalsPerHour));
+      cdfs.push_back(result.ViolationRateCdf());
+    }
+    const char* labels[] = {"warm-up=1h", "warm-up=2h", "warm-up=3h"};
+    for (size_t i = 0; i < cdfs.size(); ++i) {
+      series.emplace_back(labels[i], &cdfs[i]);
+    }
+    ReportCdfs(ctx, "Fig 8(c): violation rate vs warm-up (n=5, 10h history)", series,
+               "fig08c_violation_vs_warmup.csv");
+  }
+
+  // (d): history sweep at n=5, 2h warm-up.
+  {
+    std::vector<Ecdf> cdfs;
+    std::vector<std::pair<std::string, const Ecdf*>> series;
+    for (const int hours : {2, 5, 10}) {
+      const SimResult result = SimulateCell(
+          cell, NSigmaSpec(5.0, 2 * kIntervalsPerHour, hours * kIntervalsPerHour));
+      cdfs.push_back(result.ViolationRateCdf());
+    }
+    const char* labels[] = {"history=2h", "history=5h", "history=10h"};
+    for (size_t i = 0; i < cdfs.size(); ++i) {
+      series.emplace_back(labels[i], &cdfs[i]);
+    }
+    ReportCdfs(ctx, "Fig 8(d): violation rate vs history (n=5, 2h warm-up)", series,
+               "fig08d_violation_vs_history.csv");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

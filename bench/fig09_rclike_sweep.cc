@@ -1,0 +1,87 @@
+// Figure 9: RC-like parameter sweep on cell a, week 1.
+//   (a) per-machine violation-rate CDFs for percentile in {80, 90, 95, 99};
+//   (b) cell-level savings vs percentile;
+//   (c) violation-rate CDFs for warm-up in {1h, 2h, 3h};
+//   (d) violation-rate CDFs for history in {2h, 5h, 10h}.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crf/sim/simulator.h"
+
+namespace {
+
+using namespace crf;        // NOLINT
+using namespace crf::bench; // NOLINT
+
+int Main() {
+  const Context ctx = Init("fig09_rclike_sweep", "Fig 9: RC-like predictor parameter sweep");
+  const CellTrace cell = MakeSimCell(ctx, 'a', kIntervalsPerWeek);
+  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", cell.machines.size(),
+              cell.tasks.size());
+
+  // (a)+(b): percentile sweep with 2h warm-up, 10h history.
+  {
+    std::vector<Ecdf> cdfs;
+    std::vector<double> savings;
+    std::vector<std::string> labels;
+    for (const double p : {80.0, 90.0, 95.0, 99.0}) {
+      const SimResult result = SimulateCell(cell, RcLikeSpec(p));
+      cdfs.push_back(result.ViolationRateCdf());
+      savings.push_back(result.MeanCellSavings());
+      labels.push_back("percentile=" + std::to_string(static_cast<int>(p)));
+    }
+    std::vector<std::pair<std::string, const Ecdf*>> series;
+    for (size_t i = 0; i < cdfs.size(); ++i) {
+      series.emplace_back(labels[i], &cdfs[i]);
+    }
+    ReportCdfs(ctx, "Fig 9(a): per-machine violation rate vs percentile", series,
+               "fig09a_violation_vs_percentile.csv");
+
+    Table table({"percentile", "savings: 1 - predicted/limit"});
+    for (size_t i = 0; i < savings.size(); ++i) {
+      table.AddRow(labels[i], {savings[i]});
+    }
+    std::printf("\nFig 9(b): cell-level savings vs percentile\n");
+    table.Print();
+  }
+
+  // (c): warm-up sweep at p95, 10h history.
+  {
+    std::vector<Ecdf> cdfs;
+    std::vector<std::pair<std::string, const Ecdf*>> series;
+    for (const int hours : {1, 2, 3}) {
+      const SimResult result =
+          SimulateCell(cell, RcLikeSpec(95.0, hours * kIntervalsPerHour));
+      cdfs.push_back(result.ViolationRateCdf());
+    }
+    const char* labels[] = {"warm-up=1h", "warm-up=2h", "warm-up=3h"};
+    for (size_t i = 0; i < cdfs.size(); ++i) {
+      series.emplace_back(labels[i], &cdfs[i]);
+    }
+    ReportCdfs(ctx, "Fig 9(c): violation rate vs warm-up (p95, 10h history)", series,
+               "fig09c_violation_vs_warmup.csv");
+  }
+
+  // (d): history sweep at p95, 2h warm-up.
+  {
+    std::vector<Ecdf> cdfs;
+    std::vector<std::pair<std::string, const Ecdf*>> series;
+    for (const int hours : {2, 5, 10}) {
+      const SimResult result = SimulateCell(
+          cell, RcLikeSpec(95.0, 2 * kIntervalsPerHour, hours * kIntervalsPerHour));
+      cdfs.push_back(result.ViolationRateCdf());
+    }
+    const char* labels[] = {"history=2h", "history=5h", "history=10h"};
+    for (size_t i = 0; i < cdfs.size(); ++i) {
+      series.emplace_back(labels[i], &cdfs[i]);
+    }
+    ReportCdfs(ctx, "Fig 9(d): violation rate vs history (p95, 2h warm-up)", series,
+               "fig09d_violation_vs_history.csv");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

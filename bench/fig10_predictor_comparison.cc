@@ -1,0 +1,74 @@
+// Figure 10: head-to-head predictor comparison on cell a, week 1, with the
+// paper's tuned parameters (N-sigma n=5, RC-like p99, 2h warm-up, 10h
+// history, borg-default phi=0.9):
+//   (a) per-machine violation rate    (b) violation severity
+//   (c) per-machine savings           (d) per-cell savings
+//
+// Expected shape: borg-default and RC-like carry the most violation risk,
+// N-sigma much less, max(N-sigma, RC-like) least; RC-like saves the most,
+// borg-default exactly 10%, N-sigma/max the least (the pointwise max of
+// predictions can only lower savings versus its components).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crf/sim/simulator.h"
+
+namespace {
+
+using namespace crf;        // NOLINT
+using namespace crf::bench; // NOLINT
+
+int Main() {
+  const Context ctx =
+      Init("fig10_predictor_comparison", "Fig 10: all predictors on cell a, week 1");
+  const CellTrace cell = MakeSimCell(ctx, 'a', kIntervalsPerWeek);
+  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", cell.machines.size(),
+              cell.tasks.size());
+
+  struct Entry {
+    std::string label;
+    SimResult result;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"borg-default", SimulateCell(cell, BorgDefaultSpec(0.9))});
+  entries.push_back({"RC-like", SimulateCell(cell, RcLikeSpec(99.0))});
+  entries.push_back({"autopilot", SimulateCell(cell, AutopilotSpec(98.0, 1.10))});
+  entries.push_back({"N-sigma", SimulateCell(cell, NSigmaSpec(5.0))});
+  entries.push_back({"max(N-sigma,RC-like)", SimulateCell(cell, SimulationMaxSpec())});
+
+  auto report = [&](const std::string& title, const std::string& csv,
+                    Ecdf (SimResult::*extract)() const) {
+    std::vector<Ecdf> cdfs;
+    cdfs.reserve(entries.size());
+    for (const Entry& e : entries) {
+      cdfs.push_back((e.result.*extract)());
+    }
+    std::vector<std::pair<std::string, const Ecdf*>> series;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      series.emplace_back(entries[i].label, &cdfs[i]);
+    }
+    ReportCdfs(ctx, title, series, csv);
+  };
+
+  report("Fig 10(a): per-machine violation rate", "fig10a_violation_rate.csv",
+         &SimResult::ViolationRateCdf);
+  report("Fig 10(b): per-machine violation severity", "fig10b_violation_severity.csv",
+         &SimResult::ViolationSeverityCdf);
+  report("Fig 10(c): per-machine savings", "fig10c_machine_savings.csv",
+         &SimResult::MachineSavingsCdf);
+  report("Fig 10(d): per-cell savings", "fig10d_cell_savings.csv",
+         &SimResult::CellSavingsCdf);
+
+  Table summary({"predictor", "mean violation rate", "mean cell savings"});
+  for (const Entry& e : entries) {
+    summary.AddRow(e.label, {e.result.MeanViolationRate(), e.result.MeanCellSavings()});
+  }
+  std::printf("\nsummary\n");
+  summary.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

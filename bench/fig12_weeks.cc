@@ -1,0 +1,95 @@
+// Figure 12: stability over time — the max predictor on each of the four
+// weeks of cell a: (a) violation rate, (b) violation severity, (c) savings.
+// The paper's point: week-1 conclusions hold across the month.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crf/sim/simulator.h"
+
+namespace {
+
+using namespace crf;        // NOLINT
+using namespace crf::bench; // NOLINT
+
+int Main() {
+  const Context ctx = Init("fig12_weeks", "Fig 12: max predictor across weeks 1-4 of cell a");
+
+  // One month-long trace, analyzed per week. Using a quarter of cell a's
+  // machines keeps the month-long run comparable in cost to the week-long
+  // benches.
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = ScaledCount(profile.num_machines / 4);
+  GeneratorOptions options;
+  options.num_intervals = 4 * kIntervalsPerWeek;
+  CellTrace month = GenerateCellTrace(profile, options, ctx.rng().Fork('a'));
+  month.FilterToServingTasks();
+  std::printf("cell a month: %zu machines, %zu serving tasks\n", month.machines.size(),
+              month.tasks.size());
+
+  std::vector<Ecdf> violation_cdfs;
+  std::vector<Ecdf> severity_cdfs;
+  std::vector<double> savings;
+  for (int week = 0; week < 4; ++week) {
+    // Slice the month into week-long traces (tasks clipped to the window).
+    CellTrace slice;
+    slice.name = month.name + "_week" + std::to_string(week + 1);
+    slice.num_intervals = kIntervalsPerWeek;
+    slice.machines.resize(month.machines.size());
+    for (size_t m = 0; m < month.machines.size(); ++m) {
+      slice.machines[m].capacity = month.machines[m].capacity;
+    }
+    const Interval begin = week * kIntervalsPerWeek;
+    const Interval end = begin + kIntervalsPerWeek;
+    for (const TaskTrace& task : month.tasks) {
+      const Interval from = std::max(task.start, begin);
+      const Interval to = std::min(task.end(), end);
+      if (from >= to) {
+        continue;
+      }
+      TaskTrace clipped;
+      clipped.task_id = task.task_id;
+      clipped.job_id = task.job_id;
+      clipped.machine_index = task.machine_index;
+      clipped.start = from - begin;
+      clipped.limit = task.limit;
+      clipped.sched_class = task.sched_class;
+      clipped.usage.assign(task.usage.begin() + (from - task.start),
+                           task.usage.begin() + (to - task.start));
+      slice.machines[task.machine_index].task_indices.push_back(
+          static_cast<int32_t>(slice.tasks.size()));
+      slice.tasks.push_back(std::move(clipped));
+    }
+
+    const SimResult result = SimulateCell(slice, SimulationMaxSpec());
+    violation_cdfs.push_back(result.ViolationRateCdf());
+    severity_cdfs.push_back(result.ViolationSeverityCdf());
+    savings.push_back(result.MeanCellSavings());
+    std::printf("week %d: %zu tasks, mean violation rate %.4f, savings %.3f\n", week + 1,
+                slice.tasks.size(), result.MeanViolationRate(), result.MeanCellSavings());
+  }
+
+  std::vector<std::pair<std::string, const Ecdf*>> violation_series;
+  std::vector<std::pair<std::string, const Ecdf*>> severity_series;
+  for (int w = 0; w < 4; ++w) {
+    const std::string name = "week " + std::to_string(w + 1);
+    violation_series.emplace_back(name, &violation_cdfs[w]);
+    severity_series.emplace_back(name, &severity_cdfs[w]);
+  }
+  ReportCdfs(ctx, "Fig 12(a): per-machine violation rate", violation_series,
+             "fig12a_violation_rate.csv");
+  ReportCdfs(ctx, "Fig 12(b): violation severity", severity_series,
+             "fig12b_violation_severity.csv");
+
+  Table table({"week", "savings: 1 - predicted/limit"});
+  for (int w = 0; w < 4; ++w) {
+    table.AddRow("week " + std::to_string(w + 1), {savings[w]});
+  }
+  std::printf("\nFig 12(c): cell-level savings per week\n");
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the hot paths the paper's Section 4
+// constraints care about: a predictor must respond "within the polling
+// frequency of the central scheduler" with a small CPU and memory footprint.
+// Measures per-poll predictor cost, oracle computation throughput, and the
+// TaskHistory percentile window.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crf/core/oracle.h"
+#include "crf/core/predictor_factory.h"
+#include "crf/core/task_history.h"
+#include "crf/trace/generator.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+std::vector<TaskSample> MakeTasks(int count, Rng& rng) {
+  std::vector<TaskSample> tasks;
+  tasks.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const double limit = 0.02 + rng.UniformDouble() * 0.2;
+    tasks.push_back({static_cast<TaskId>(i + 1), limit * rng.UniformDouble(), limit});
+  }
+  return tasks;
+}
+
+void BenchPredictorPoll(benchmark::State& state, const PredictorSpec& spec) {
+  Rng rng(1);
+  auto predictor = CreatePredictor(spec);
+  auto tasks = MakeTasks(static_cast<int>(state.range(0)), rng);
+  Interval now = 0;
+  for (auto _ : state) {
+    // Perturb usage so the history windows churn realistically.
+    for (auto& task : tasks) {
+      task.usage = task.limit * rng.UniformDouble();
+    }
+    predictor->Observe(now++, tasks);
+    benchmark::DoNotOptimize(predictor->PredictPeak());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BorgDefaultPoll(benchmark::State& state) {
+  BenchPredictorPoll(state, BorgDefaultSpec(0.9));
+}
+void BM_RcLikePoll(benchmark::State& state) { BenchPredictorPoll(state, RcLikeSpec(99.0)); }
+void BM_NSigmaPoll(benchmark::State& state) { BenchPredictorPoll(state, NSigmaSpec(5.0)); }
+void BM_MaxPoll(benchmark::State& state) { BenchPredictorPoll(state, ProductionMaxSpec()); }
+
+BENCHMARK(BM_BorgDefaultPoll)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_RcLikePoll)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_NSigmaPoll)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_MaxPoll)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TaskHistoryPush(benchmark::State& state) {
+  TaskHistory history(static_cast<int>(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) {
+    history.Push(static_cast<float>(rng.UniformDouble()));
+    benchmark::DoNotOptimize(history.size());
+  }
+}
+BENCHMARK(BM_TaskHistoryPush)->Arg(120)->Arg(1200);
+
+void BM_TaskHistoryPercentile(benchmark::State& state) {
+  TaskHistory history(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  for (int i = 0; i < state.range(0); ++i) {
+    history.Push(static_cast<float>(rng.UniformDouble()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history.Percentile(99.0));
+  }
+}
+BENCHMARK(BM_TaskHistoryPercentile)->Arg(120)->Arg(1200);
+
+// One-machine oracle computation over a day trace; measures the
+// segment-sliding-max algorithm.
+void BM_PeakOracle(benchmark::State& state) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 1;
+  profile.tasks_per_machine = static_cast<double>(state.range(0));
+  profile.target_alloc_ratio = 1e9;  // Let the single machine hold them all.
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerWeek;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePeakOracle(cell, 0, kIntervalsPerDay));
+  }
+  state.SetItemsProcessed(state.iterations() * cell.num_intervals);
+}
+BENCHMARK(BM_PeakOracle)->Arg(16)->Arg(64);
+
+void BM_TotalUsageOracle(benchmark::State& state) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 1;
+  profile.tasks_per_machine = static_cast<double>(state.range(0));
+  profile.target_alloc_ratio = 1e9;
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerWeek;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeTotalUsageOracle(cell, 0, kIntervalsPerDay));
+  }
+  state.SetItemsProcessed(state.iterations() * cell.num_intervals);
+}
+BENCHMARK(BM_TotalUsageOracle)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace crf
+
+BENCHMARK_MAIN();

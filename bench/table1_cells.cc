@@ -1,0 +1,49 @@
+// Table 1: the performance-correlation experiment's cell inventory —
+// machines and tasks processed per production cell over a month. Regenerated
+// from the production cell profiles (counts are scaled by ~1/125 versus the
+// paper; the relative shape — cell 1 largest, cell 4 extreme task churn,
+// cell 5 small — is the reproduction target).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crf/trace/generator.h"
+
+namespace {
+
+using namespace crf;        // NOLINT
+using namespace crf::bench; // NOLINT
+
+int Main() {
+  const Context ctx = Init("table1_cells", "Table 1: production cell statistics (1 month)");
+
+  Table table({"cell", "machines", "tasks (month)", "tasks/machine", "paper machines (x10^3)",
+               "paper tasks (x10^6)"});
+  const double paper_machines[] = {40, 11, 10.5, 11, 3.5};
+  const double paper_tasks[] = {14.8, 12.8, 9.4, 81.3, 3.7};
+
+  for (int i = 1; i <= 5; ++i) {
+    CellProfile profile = ProductionCellProfile(i);
+    profile.num_machines = ScaledCount(profile.num_machines);
+    GeneratorOptions options;
+    // A month of arrivals; usage synthesis dominates cost, so a half-size
+    // trace horizon with doubled task accounting would distort Table 1 —
+    // generate the full month.
+    options.num_intervals = 4 * kIntervalsPerWeek;
+    const CellTrace cell = GenerateCellTrace(profile, options, ctx.rng().Fork(i));
+    table.AddRow(profile.name,
+                 {static_cast<double>(cell.machines.size()),
+                  static_cast<double>(cell.tasks.size()),
+                  static_cast<double>(cell.tasks.size()) / cell.machines.size(),
+                  paper_machines[i - 1], paper_tasks[i - 1]});
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\n(The paper's task/machine ratios: cell 4 ~7400/mo dwarfs the others; the\n"
+              "generated cells reproduce that ordering at 1/125 machine scale.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

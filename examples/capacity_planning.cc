@@ -1,0 +1,60 @@
+// Capacity planning: turning overcommit savings into machines not bought.
+//
+// The paper's ultimate motivation is CapEx: "the savings directly translate
+// into usable capacity, which reduces the purchase of capacity in the future
+// order". This example runs the deployed max predictor over a small fleet
+// (all eight cells), converts each cell's savings ratio into reclaimed
+// machine-equivalents, and prints a fleet-level purchase-deferral summary —
+// the workflow a capacity planner would run against their own traces.
+
+#include <cstdio>
+
+#include "crf/sim/simulator.h"
+#include "crf/trace/generator.h"
+#include "crf/trace/trace_stats.h"
+#include "crf/util/table.h"
+
+using namespace crf;  // NOLINT: example brevity.
+
+int main() {
+  const Interval horizon = 3 * kIntervalsPerDay;
+  Table table({"cell", "machines", "mean alloc/cap", "savings ratio",
+               "reclaimed machine-equivalents"});
+
+  double fleet_machines = 0.0;
+  double fleet_reclaimed = 0.0;
+  for (char letter = 'a'; letter <= 'h'; ++letter) {
+    CellProfile profile = SimCellProfile(letter);
+    profile.num_machines = std::max(12, profile.num_machines / 8);  // Example-sized fleet.
+    GeneratorOptions options;
+    options.num_intervals = horizon;
+    CellTrace cell = GenerateCellTrace(profile, options, Rng(2026));
+    cell.FilterToServingTasks();
+
+    const SimResult result = SimulateCell(cell, ProductionMaxSpec());
+
+    // Savings are relative to allocated limits; convert to machines via the
+    // cell's average allocation.
+    const std::vector<double> limits = CellLimitSeries(cell);
+    double mean_alloc = 0.0;
+    for (const double l : limits) {
+      mean_alloc += l;
+    }
+    mean_alloc /= limits.size();
+    const double alloc_per_capacity = mean_alloc / cell.TotalCapacity();
+    const double reclaimed =
+        result.MeanCellSavings() * mean_alloc / profile.machine_capacity;
+
+    table.AddRow(cell.name, {static_cast<double>(cell.machines.size()), alloc_per_capacity,
+                             result.MeanCellSavings(), reclaimed});
+    fleet_machines += static_cast<double>(cell.machines.size());
+    fleet_reclaimed += reclaimed;
+  }
+  table.Print();
+  std::printf(
+      "\nfleet: %.0f machines, %.1f machine-equivalents reclaimed (%.1f%% of the fleet)\n"
+      "The paper's production deployment reports 10-16%% extra usable CPU capacity;\n"
+      "at warehouse scale that is thousands of machines per future purchase order.\n",
+      fleet_machines, fleet_reclaimed, 100.0 * fleet_reclaimed / fleet_machines);
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Writing a new overcommit policy.
+//
+// The artifact's stated purpose is "to enable future work on designing
+// overcommit policies": implement PeakPredictor, and the whole evaluation
+// pipeline (oracle comparison, violation metrics, savings) works unchanged.
+//
+// This example adds an EWMA-with-error-headroom predictor: an exponentially
+// weighted moving average of machine usage plus a multiple of the EWMA of
+// absolute one-step errors (a cheap, O(1)-memory cousin of N-sigma), and
+// races it against the built-ins.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "crf/core/oracle.h"
+
+#include "crf/sim/simulator.h"
+#include "crf/trace/generator.h"
+#include "crf/util/table.h"
+
+using namespace crf;  // NOLINT: example brevity.
+
+namespace {
+
+class EwmaPredictor : public PeakPredictor {
+ public:
+  EwmaPredictor(double alpha, double headroom, Interval min_num_samples)
+      : alpha_(alpha), headroom_(headroom), min_num_samples_(min_num_samples) {}
+
+  void Observe(Interval now, std::span<const TaskSample> tasks) override {
+    double warmed_usage = 0.0;
+    double warming_limit = 0.0;
+    double usage_now = 0.0;
+    double limit_sum = 0.0;
+    for (const TaskSample& task : tasks) {
+      TaskState& state = tasks_[task.task_id];
+      ++state.samples;
+      state.last_seen = now;
+      usage_now += task.usage;
+      limit_sum += task.limit;
+      if (state.samples >= min_num_samples_) {
+        warmed_usage += task.usage;
+      } else {
+        warming_limit += task.limit;
+      }
+    }
+    std::erase_if(tasks_, [now](const auto& e) { return e.second.last_seen != now; });
+
+    if (!initialized_) {
+      ewma_ = warmed_usage;
+      error_ewma_ = 0.0;
+      initialized_ = true;
+    } else {
+      error_ewma_ = alpha_ * std::abs(warmed_usage - ewma_) + (1.0 - alpha_) * error_ewma_;
+      ewma_ = alpha_ * warmed_usage + (1.0 - alpha_) * ewma_;
+    }
+    const double raw = ewma_ + headroom_ * error_ewma_ + warming_limit;
+    prediction_ = ClampPrediction(raw, usage_now, limit_sum);
+  }
+
+  double PredictPeak() const override { return prediction_; }
+
+  std::string name() const override {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "ewma-a%.2f-h%.0f", alpha_, headroom_);
+    return buffer;
+  }
+
+ private:
+  struct TaskState {
+    Interval samples = 0;
+    Interval last_seen = -1;
+  };
+
+  double alpha_;
+  double headroom_;
+  Interval min_num_samples_;
+  std::unordered_map<TaskId, TaskState> tasks_;
+  bool initialized_ = false;
+  double ewma_ = 0.0;
+  double error_ewma_ = 0.0;
+  double prediction_ = 0.0;
+};
+
+// A tiny driver mirroring SimulateCell for caller-supplied factories (the
+// library's SimulateCell takes a PredictorSpec; custom predictors plug in by
+// replicating its per-machine loop against the public oracle API).
+SimResult SimulateWithFactory(const CellTrace& cell,
+                              const std::function<std::unique_ptr<PeakPredictor>()>& factory) {
+  // Wrap the factory in a spec-free path: reuse SimulateMachine by copying
+  // its observable behaviour — here we inline a compact version.
+  SimResult result;
+  result.cell_name = cell.name;
+  result.predictor_name = factory()->name();
+  std::vector<double> cell_limit(cell.num_intervals, 0.0);
+  std::vector<double> cell_prediction(cell.num_intervals, 0.0);
+
+  for (int m = 0; m < static_cast<int>(cell.machines.size()); ++m) {
+    auto predictor = factory();
+    const std::vector<double> oracle = ComputePeakOracle(cell, m, kIntervalsPerDay);
+    std::vector<int32_t> order = cell.machines[m].task_indices;
+    std::sort(order.begin(), order.end(), [&cell](int32_t a, int32_t b) {
+      return cell.tasks[a].start < cell.tasks[b].start;
+    });
+    MachineMetrics metrics;
+    metrics.machine_index = m;
+    metrics.intervals = cell.num_intervals;
+    std::vector<int32_t> active;
+    std::vector<TaskSample> samples;
+    size_t next = 0;
+    double severity_sum = 0.0;
+    double savings_sum = 0.0;
+    for (Interval tau = 0; tau < cell.num_intervals; ++tau) {
+      std::erase_if(active, [&cell, tau](int32_t i) { return cell.tasks[i].end() <= tau; });
+      while (next < order.size() && cell.tasks[order[next]].start <= tau) {
+        active.push_back(order[next++]);
+      }
+      samples.clear();
+      double limit_sum = 0.0;
+      for (const int32_t i : active) {
+        samples.push_back({cell.tasks[i].task_id, cell.tasks[i].UsageAt(tau),
+                           cell.tasks[i].limit});
+        limit_sum += cell.tasks[i].limit;
+      }
+      predictor->Observe(tau, samples);
+      const double prediction = predictor->PredictPeak();
+      if (prediction < oracle[tau] * (1.0 - 1e-9) - 1e-12) {
+        ++metrics.violations;
+        severity_sum += (oracle[tau] - prediction) / oracle[tau];
+      }
+      if (!active.empty()) {
+        ++metrics.occupied_intervals;
+        savings_sum += (limit_sum - prediction) / limit_sum;
+      }
+      cell_limit[tau] += limit_sum;
+      cell_prediction[tau] += prediction;
+    }
+    metrics.mean_violation_severity = severity_sum / cell.num_intervals;
+    if (metrics.occupied_intervals > 0) {
+      metrics.savings_ratio = savings_sum / metrics.occupied_intervals;
+    }
+    result.machines.push_back(metrics);
+  }
+  for (Interval t = 0; t < cell.num_intervals; ++t) {
+    if (cell_limit[t] > 0) {
+      result.cell_savings_series.push_back((cell_limit[t] - cell_prediction[t]) /
+                                           cell_limit[t]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 32;
+  GeneratorOptions options;
+  options.num_intervals = 3 * kIntervalsPerDay;
+  CellTrace cell = GenerateCellTrace(profile, options, Rng(7));
+  cell.FilterToServingTasks();
+  std::printf("cell: %zu machines, %zu tasks\n\n", cell.machines.size(), cell.tasks.size());
+
+  Table table({"predictor", "mean violation rate", "mean cell savings"});
+
+  for (const double headroom : {2.0, 4.0, 8.0}) {
+    const SimResult result = SimulateWithFactory(cell, [headroom] {
+      return std::make_unique<EwmaPredictor>(0.05, headroom, 2 * kIntervalsPerHour);
+    });
+    table.AddRow(result.predictor_name,
+                 {result.MeanViolationRate(), result.MeanCellSavings()});
+  }
+  for (const PredictorSpec& spec : {NSigmaSpec(5.0), SimulationMaxSpec()}) {
+    const SimResult result = SimulateCell(cell, spec);
+    table.AddRow(result.predictor_name,
+                 {result.MeanViolationRate(), result.MeanCellSavings()});
+  }
+  table.Print();
+  std::printf("\nTune the headroom multiplier and watch the risk/savings trade-off move,\n"
+              "exactly like Figs 8-9 do for N-sigma and RC-like.\n");
+  return 0;
+}

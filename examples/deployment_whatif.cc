@@ -1,0 +1,61 @@
+// Deployment what-if: trying a policy change in the closed-loop simulator
+// before touching production.
+//
+// Section 3.3's argument for this library: "a typical experiment using
+// overcommit in production may take weeks or months"; simulation answers the
+// same question in seconds. Here an operator asks: if my cell runs
+// borg-default today, what happens to packing density, tail latency, and
+// pending-queue pressure if I switch to the max predictor — and what if I
+// get greedy and deploy RC-like p80 alone?
+
+#include <cstdio>
+
+#include "crf/cluster/ab_experiment.h"
+#include "crf/util/table.h"
+
+using namespace crf;  // NOLINT: example brevity.
+
+namespace {
+
+void Report(Table& table, const std::string& label, const ClusterSimResult& result) {
+  const std::vector<ClusterSimResult> results{result};
+  const GroupMetrics m = ComputeGroupMetrics(label, results);
+  table.AddRow(label, {m.normalized_allocation.Quantile(0.5),
+                       m.normalized_workload.Quantile(0.5),
+                       m.relative_savings.Quantile(0.5), m.violation_rate.Quantile(0.9),
+                       m.machine_p90_latency.Quantile(0.9),
+                       static_cast<double>(result.tasks_timed_out)});
+}
+
+}  // namespace
+
+int main() {
+  CellProfile profile = ProductionCellProfile(3);
+  profile.num_machines = 48;
+  ClusterSimOptions options;
+  options.num_intervals = kIntervalsPerWeek;
+  options.warmup = 2 * kIntervalsPerDay;
+
+  Table table({"policy", "alloc/cap p50", "usage/cap p50", "savings p50",
+               "violation rate p90", "machine p90-latency p90", "tasks timed out"});
+
+  const Rng rng(99);  // Same seed for every policy: paired comparison.
+  for (const auto& [label, spec] :
+       std::vector<std::pair<std::string, PredictorSpec>>{
+           {"no-overcommit", LimitSumSpec()},
+           {"borg-default (today)", BorgDefaultSpec(0.9)},
+           {"max(3-sigma, rc-p80)", ProductionMaxSpec()},
+           {"rc-p80 alone (greedy)", RcLikeSpec(80.0)},
+       }) {
+    options.predictor = spec;
+    Report(table, label, RunClusterSim(profile, options, rng));
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: the max predictor packs more limit and workload into the\n"
+      "same machines with modest extra tail risk; the greedy single-percentile\n"
+      "policy packs even denser but its violation tail and hot-machine latency are\n"
+      "what a production owner would veto. That triage — in seconds, not weeks — is\n"
+      "the paper's simulation methodology.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "crf/cluster/ab_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crf/core/oracle.h"
+#include "crf/stats/percentile.h"
+#include "crf/util/check.h"
+
+namespace crf {
+namespace {
+
+// Relative tolerance for prediction-vs-oracle comparison (sums of the same
+// floats accumulated along different paths).
+bool IsViolation(double prediction, double oracle) {
+  return prediction < oracle * (1.0 - 1e-9) - 1e-12;
+}
+
+// Stride for per-task-interval latency sampling: full resolution would be
+// tens of millions of samples with no visible change to the CDF.
+constexpr Interval kTaskLatencyStride = 8;
+
+}  // namespace
+
+std::vector<MachineOutcome> AnalyzeMachines(const ClusterSimResult& result, Interval horizon) {
+  const Interval num_intervals = result.trace.num_intervals;
+  const Interval warmup = result.warmup;
+  CRF_CHECK_LT(warmup, num_intervals);
+
+  std::vector<MachineOutcome> outcomes;
+  outcomes.reserve(result.trace.machines.size());
+
+  std::vector<double> latency_buffer;
+  std::vector<double> util_buffer;
+  for (size_t m = 0; m < result.trace.machines.size(); ++m) {
+    const std::vector<double> oracle =
+        ComputePeakOracle(result.trace, static_cast<int>(m), horizon);
+    const double capacity = result.trace.machines[m].capacity;
+
+    MachineOutcome outcome;
+    outcome.machine_index = static_cast<int>(m);
+
+    int64_t violations = 0;
+    double severity_sum = 0.0;
+    latency_buffer.clear();
+    util_buffer.clear();
+    double util_sum = 0.0;
+    for (Interval t = warmup; t < num_intervals; ++t) {
+      const double prediction = result.predictions[m][t];
+      if (IsViolation(prediction, oracle[t])) {
+        ++violations;
+        severity_sum += (oracle[t] - prediction) / oracle[t];
+      }
+      latency_buffer.push_back(result.latencies[m][t]);
+      const double util = result.demand_mean[m][t] / capacity;
+      util_buffer.push_back(util);
+      util_sum += util;
+    }
+    const int64_t evaluated = num_intervals - warmup;
+    outcome.violation_rate = static_cast<double>(violations) / evaluated;
+    outcome.mean_violation_severity = severity_sum / evaluated;
+    outcome.p99_latency = Percentile(latency_buffer, 99.0);
+    outcome.p90_latency = Percentile(latency_buffer, 90.0);
+    outcome.mean_utilization = util_sum / evaluated;
+    outcome.p50_utilization = Percentile(util_buffer, 50.0);
+    outcome.p99_utilization = Percentile(util_buffer, 99.0);
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+GroupMetrics ComputeGroupMetrics(const std::string& label,
+                                 std::span<const ClusterSimResult> results, Interval horizon) {
+  GroupMetrics metrics;
+  metrics.label = label;
+
+  for (const ClusterSimResult& result : results) {
+    for (const MachineOutcome& outcome : AnalyzeMachines(result, horizon)) {
+      metrics.violation_rate.Add(outcome.violation_rate);
+      metrics.violation_severity.Add(outcome.mean_violation_severity);
+      metrics.machine_p90_latency.Add(outcome.p90_latency);
+      metrics.machine_p50_utilization.Add(outcome.p50_utilization);
+      metrics.machine_mean_utilization.Add(outcome.mean_utilization);
+      metrics.machine_p99_utilization.Add(outcome.p99_utilization);
+    }
+
+    const Interval num_intervals = result.trace.num_intervals;
+    const int num_machines = static_cast<int>(result.trace.machines.size());
+    double total_capacity = 0.0;
+    for (const auto& machine : result.trace.machines) {
+      total_capacity += machine.capacity;
+    }
+    CRF_CHECK_GT(total_capacity, 0.0);
+
+    // Resident-task counts per machine-interval for latency weighting.
+    std::vector<std::vector<int32_t>> resident(num_machines);
+    for (int m = 0; m < num_machines; ++m) {
+      resident[m] = result.trace.MachineResidentCount(m);
+    }
+
+    for (Interval t = result.warmup; t < num_intervals; ++t) {
+      double limit_sum = 0.0;
+      double prediction_sum = 0.0;
+      double usage_sum = 0.0;
+      for (int m = 0; m < num_machines; ++m) {
+        limit_sum += result.limit_sum[m][t];
+        prediction_sum += result.predictions[m][t];
+        usage_sum += result.demand_mean[m][t];
+      }
+      if (limit_sum > 0.0) {
+        metrics.relative_savings.Add((limit_sum - prediction_sum) / limit_sum);
+      }
+      metrics.normalized_allocation.Add(limit_sum / total_capacity);
+      metrics.normalized_workload.Add(usage_sum / total_capacity);
+
+      if ((t - result.warmup) % kTaskLatencyStride == 0) {
+        for (int m = 0; m < num_machines; ++m) {
+          // One latency sample per resident task: tasks on one machine share
+          // its CPU scheduler.
+          for (int32_t k = 0; k < resident[m][t]; ++k) {
+            metrics.task_latency.Add(result.latencies[m][t]);
+          }
+        }
+      }
+    }
+
+    metrics.tasks_placed += result.tasks_placed;
+    metrics.tasks_timed_out += result.tasks_timed_out;
+  }
+  return metrics;
+}
+
+AbExperimentResult RunAbExperiment(std::span<const CellProfile> profiles,
+                                   const PredictorSpec& control_spec,
+                                   const PredictorSpec& experiment_spec,
+                                   const ClusterSimOptions& base_options, const Rng& rng) {
+  std::vector<ClusterSimResult> control_results;
+  std::vector<ClusterSimResult> experiment_results;
+  control_results.reserve(profiles.size());
+  experiment_results.reserve(profiles.size());
+
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const Rng cell_rng = rng.Fork(0xab000000 + i);
+    ClusterSimOptions options = base_options;
+    options.predictor = control_spec;
+    control_results.push_back(RunClusterSim(profiles[i], options, cell_rng));
+    options.predictor = experiment_spec;
+    experiment_results.push_back(RunClusterSim(profiles[i], options, cell_rng));
+  }
+
+  AbExperimentResult result;
+  result.control = ComputeGroupMetrics("control", control_results);
+  result.experiment = ComputeGroupMetrics("exp", experiment_results);
+  return result;
+}
+
+}  // namespace crf

@@ -1,0 +1,150 @@
+#include "crf/cluster/cell_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "crf/cluster/machine.h"
+#include "crf/trace/job_sampler.h"
+#include "crf/util/check.h"
+
+namespace crf {
+namespace {
+
+// One task waiting for placement. Sibling tasks of a job share the
+// placements vector for anti-affinity spreading.
+struct PendingTask {
+  JobTemplate job;  // Per-task copy of the job template (limit, class, params).
+  Interval enqueued = 0;
+  std::shared_ptr<std::vector<int>> job_machines;
+};
+
+}  // namespace
+
+ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptions& options,
+                               const Rng& rng) {
+  CRF_CHECK_GT(options.num_intervals, 0);
+  CRF_CHECK_GE(options.warmup, 0);
+  CRF_CHECK_LT(options.warmup, options.num_intervals);
+
+  const int num_machines = profile.num_machines;
+  const Interval num_intervals = options.num_intervals;
+
+  ClusterSimResult result;
+  result.cell_name = profile.name;
+  result.predictor_name = options.predictor.Name();
+  result.warmup = options.warmup;
+  result.trace.name = profile.name;
+  result.trace.num_intervals = num_intervals;
+  result.trace.machines.resize(num_machines);
+
+  JobSampler sampler(profile, rng.Fork(0x6a6f62));
+  Rng arrival_rng = rng.Fork(0x617272);
+  Scheduler scheduler(options.packing, rng.Fork(0x736368));
+  const std::vector<double> shared_load =
+      BuildSharedLoadSeries(profile, num_intervals, rng.Fork(0x757367));
+
+  std::vector<ClusterMachine> machines;
+  machines.reserve(num_machines);
+  for (int m = 0; m < num_machines; ++m) {
+    result.trace.machines[m].capacity = profile.machine_capacity;
+    result.trace.machines[m].true_peak.assign(num_intervals, 0.0f);
+    machines.emplace_back(m, profile.machine_capacity, CreatePredictor(options.predictor),
+                          options.latency, rng.Fork(0x6d000000 + m));
+  }
+
+  result.predictions.assign(num_machines, std::vector<float>(num_intervals, 0.0f));
+  result.latencies.assign(num_machines, std::vector<float>(num_intervals, 0.0f));
+  result.demand_mean.assign(num_machines, std::vector<float>(num_intervals, 0.0f));
+  result.limit_sum.assign(num_machines, std::vector<float>(num_intervals, 0.0f));
+
+  std::deque<PendingTask> pending;
+  std::vector<double> free_capacity(num_machines, 0.0);
+  int64_t resident = 0;
+  TaskId next_task_id = 1;
+  // Budget of continuously-running services (they never depart, so an
+  // unbounded Bernoulli would overshoot the population target during the
+  // high-churn ramp-up).
+  int64_t service_budget = static_cast<int64_t>(
+      profile.service_fraction * profile.tasks_per_machine * num_machines);
+
+  for (Interval t = 0; t < num_intervals; ++t) {
+    // (1) Machines advance; Borglets publish predictions.
+    resident = 0;
+    for (int m = 0; m < num_machines; ++m) {
+      const ClusterMachine::StepStats stats = machines[m].Step(t, shared_load[t], result.trace);
+      result.predictions[m][t] = static_cast<float>(stats.prediction);
+      result.latencies[m][t] = static_cast<float>(stats.latency);
+      result.demand_mean[m][t] = static_cast<float>(stats.demand_mean);
+      result.limit_sum[m][t] = static_cast<float>(stats.limit_sum);
+      free_capacity[m] = machines[m].FreeCapacity();
+      resident += stats.resident_tasks;
+    }
+
+    if (t + 1 >= num_intervals) {
+      break;  // Tasks placed now would start after the simulation ends.
+    }
+
+    // (2) The central scheduler ingests the published view.
+    scheduler.UpdateFreeCapacity(free_capacity);
+
+    // (3) New arrivals join the pending queue...
+    int arrivals = arrival_rng.Poisson(ArrivalRate(profile, t, resident));
+    while (arrivals > 0) {
+      const JobTemplate job = sampler.NextJob();
+      const int num_tasks = std::min(arrivals, sampler.SampleTasksPerJob());
+      auto job_machines = std::make_shared<std::vector<int>>();
+      for (int i = 0; i < num_tasks; ++i) {
+        pending.push_back({job, t, job_machines});
+      }
+      arrivals -= num_tasks;
+    }
+
+    // ...and the queue is drained oldest-first against the advertised
+    // capacities. Tasks that cannot be placed stay queued; stale ones are
+    // abandoned.
+    size_t scan = pending.size();
+    while (scan-- > 0) {
+      PendingTask entry = std::move(pending.front());
+      pending.pop_front();
+      if (t - entry.enqueued >= options.pending_timeout) {
+        ++result.tasks_timed_out;
+        continue;
+      }
+      const int machine = scheduler.Place(entry.job.limit, *entry.job_machines);
+      if (machine < 0) {
+        pending.push_back(std::move(entry));  // Retry next interval.
+        continue;
+      }
+      entry.job_machines->push_back(machine);
+
+      const Interval start = t + 1;
+      // Continuously-running services enter while the cell ramps up (the
+      // online analogue of the trace generator's initial service
+      // population), bounded by the service share of the population target.
+      const bool service = service_budget > 0 && t < options.warmup &&
+                           arrival_rng.Bernoulli(profile.service_fraction);
+      if (service) {
+        --service_budget;
+      }
+      const Interval runtime = sampler.SampleRuntime(service, start, num_intervals);
+      TaskTrace task;
+      task.task_id = next_task_id++;
+      task.job_id = entry.job.job_id;
+      task.machine_index = machine;
+      task.start = start;
+      task.limit = entry.job.limit;
+      task.sched_class = entry.job.sched_class;
+      const int32_t trace_index = static_cast<int32_t>(result.trace.tasks.size());
+      result.trace.tasks.push_back(std::move(task));
+      machines[machine].StartTask(result.trace, trace_index,
+                                  sampler.JitterTaskParams(entry.job.params), start, runtime);
+      ++result.tasks_placed;
+    }
+    result.pending_task_intervals += static_cast<int64_t>(pending.size());
+  }
+
+  return result;
+}
+
+}  // namespace crf

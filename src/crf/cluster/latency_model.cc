@@ -1,0 +1,32 @@
+#include "crf/cluster/latency_model.h"
+
+#include <algorithm>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+LatencyModel::LatencyModel(const LatencyModelParams& params, const Rng& rng)
+    : params_(params), rng_(rng) {
+  CRF_CHECK_GT(params.rho_clip, 0.0);
+  CRF_CHECK_LT(params.rho_clip, 1.0);
+}
+
+double LatencyModel::Sample(double mean_demand, double peak_demand, double capacity) {
+  CRF_CHECK_GT(capacity, 0.0);
+  const double base = rng_.LogNormal(params_.base_log_mu, params_.base_log_sigma);
+
+  const double rho = std::min(mean_demand / capacity, params_.rho_clip);
+  const double congestion = params_.congestion_gain * rho / (1.0 - rho);
+  const double rho_peak = std::min(peak_demand / capacity, params_.rho_clip);
+  const double peak_congestion = params_.peak_congestion_gain * rho_peak / (1.0 - rho_peak);
+
+  // Overload: the fraction of demanded cycles that cannot be served when the
+  // within-interval peak exceeds the machine. This is where throttling and
+  // real scheduling delay happen.
+  const double overload = std::max(0.0, peak_demand - capacity) / capacity;
+
+  return base * (1.0 + congestion + peak_congestion + params_.overload_gain * overload);
+}
+
+}  // namespace crf

@@ -1,0 +1,53 @@
+// CPU scheduling latency model.
+//
+// The paper's production QoS metric is CPU scheduling latency: the time a
+// ready thread waits for a free CPU (Section 2.1). We model a machine's
+// per-interval latency sample with a queueing-style law: a lognormal base
+// (NUMA locality, interference and other confounders the paper mentions)
+// multiplied by a congestion term that grows hyperbolically as demand
+// approaches capacity and sharply once demand exceeds it (threads then
+// *must* wait). This reproduces the Fig 3(d) mechanism: machines whose
+// predictor underestimates peaks get packed too tightly, run hot, and their
+// tail latency rises with their violation rate.
+
+#ifndef CRF_CLUSTER_LATENCY_MODEL_H_
+#define CRF_CLUSTER_LATENCY_MODEL_H_
+
+#include "crf/util/rng.h"
+
+namespace crf {
+
+struct LatencyModelParams {
+  // Lognormal base latency (arbitrary units; figures normalize).
+  double base_log_mu = 0.0;
+  double base_log_sigma = 0.25;
+  // Congestion gain: latency multiplier ~ 1 + gain * rho / (1 - rho) on the
+  // mean utilization.
+  double congestion_gain = 0.10;
+  // Same hyperbola applied to the within-interval *peak* utilization: CPU
+  // scheduling latency spikes when instantaneous demand approaches the core
+  // count, well before sustained overload.
+  double peak_congestion_gain = 0.15;
+  // Utilization at which the hyperbola is clipped (scheduler never lets
+  // rho reach exactly 1 in the formula).
+  double rho_clip = 0.98;
+  // Extra multiplier per unit of overload (demand beyond capacity).
+  double overload_gain = 150.0;
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(const LatencyModelParams& params, const Rng& rng);
+
+  // One machine-interval latency sample given the interval's mean demand,
+  // its within-interval peak demand, and the machine capacity.
+  double Sample(double mean_demand, double peak_demand, double capacity);
+
+ private:
+  LatencyModelParams params_;
+  Rng rng_;
+};
+
+}  // namespace crf
+
+#endif  // CRF_CLUSTER_LATENCY_MODEL_H_

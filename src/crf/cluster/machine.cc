@@ -1,0 +1,92 @@
+#include "crf/cluster/machine.h"
+
+#include <algorithm>
+#include <array>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+ClusterMachine::ClusterMachine(int machine_index, double capacity,
+                               std::unique_ptr<PeakPredictor> predictor,
+                               const LatencyModelParams& latency, const Rng& rng)
+    : machine_index_(machine_index),
+      capacity_(capacity),
+      predictor_(std::move(predictor)),
+      latency_model_(latency, rng.Fork(0x6c6174)),  // "lat"
+      usage_rng_(rng.Fork(0x757367)) {              // "usg"
+  CRF_CHECK_GT(capacity, 0.0);
+  CRF_CHECK(predictor_ != nullptr);
+}
+
+void ClusterMachine::StartTask(CellTrace& trace, int32_t trace_index,
+                               const TaskUsageParams& params, Interval now, Interval runtime) {
+  CRF_CHECK_GE(trace_index, 0);
+  CRF_CHECK_LT(trace_index, static_cast<int32_t>(trace.tasks.size()));
+  CRF_CHECK_GT(runtime, 0);
+  TaskTrace& task = trace.tasks[trace_index];
+  CRF_CHECK_EQ(task.machine_index, machine_index_);
+  CRF_CHECK_EQ(task.start, now);
+  task.usage.reserve(runtime);
+  trace.machines[machine_index_].task_indices.push_back(trace_index);
+  tasks_.push_back({trace_index, now + runtime,
+                    TaskUsageModel(params, now,
+                                   usage_rng_.Fork(static_cast<uint64_t>(task.task_id)))});
+}
+
+ClusterMachine::StepStats ClusterMachine::Step(Interval now, double shared_load,
+                                               CellTrace& trace) {
+  // Retire tasks whose lifetime ended.
+  for (size_t i = 0; i < tasks_.size();) {
+    if (tasks_[i].end <= now) {
+      tasks_[i] = std::move(tasks_.back());
+      tasks_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  StepStats stats;
+  stats.resident_tasks = static_cast<int>(tasks_.size());
+
+  std::array<double, kSubSamplesPerInterval> sub_samples;
+  std::array<double, kSubSamplesPerInterval> sums{};
+  samples_scratch_.clear();
+
+  for (auto& running : tasks_) {
+    running.model.Step(sub_samples, shared_load);
+    const IntervalSummary summary = SummarizeInterval(sub_samples);
+    TaskTrace& task = trace.tasks[running.trace_index];
+    task.usage.push_back(summary.scalar_p90);
+    for (int k = 0; k < kSubSamplesPerInterval; ++k) {
+      sums[k] += sub_samples[k];
+    }
+    stats.usage_sum += summary.scalar_p90;
+    stats.limit_sum += task.limit;
+    samples_scratch_.push_back({task.task_id, summary.scalar_p90, task.limit});
+  }
+
+  double mean_demand = 0.0;
+  double peak_demand = 0.0;
+  for (const double s : sums) {
+    mean_demand += s;
+    peak_demand = std::max(peak_demand, s);
+  }
+  mean_demand /= kSubSamplesPerInterval;
+  stats.demand_mean = mean_demand;
+  stats.demand_peak = peak_demand;
+  if (static_cast<size_t>(now) < trace.machines[machine_index_].true_peak.size()) {
+    trace.machines[machine_index_].true_peak[now] = static_cast<float>(peak_demand);
+  }
+
+  stats.latency = latency_model_.Sample(mean_demand, peak_demand, capacity_);
+
+  predictor_->Observe(now, samples_scratch_);
+  prediction_ = predictor_->PredictPeak();
+  stats.prediction = prediction_;
+  return stats;
+}
+
+double ClusterMachine::FreeCapacity() const { return std::max(0.0, capacity_ - prediction_); }
+
+}  // namespace crf

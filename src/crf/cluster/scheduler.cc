@@ -1,0 +1,84 @@
+#include "crf/cluster/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+std::string PackingPolicyName(PackingPolicy policy) {
+  switch (policy) {
+    case PackingPolicy::kBestFit:
+      return "best-fit";
+    case PackingPolicy::kWorstFit:
+      return "worst-fit";
+    case PackingPolicy::kRandomFit:
+      return "random-fit";
+  }
+  return "unknown";
+}
+
+Scheduler::Scheduler(PackingPolicy policy, const Rng& rng) : policy_(policy), rng_(rng) {}
+
+void Scheduler::UpdateFreeCapacity(std::vector<double> free_capacity) {
+  free_capacity_ = std::move(free_capacity);
+}
+
+bool Scheduler::Fits(int machine, double limit) const {
+  return free_capacity_[machine] >= limit;
+}
+
+int Scheduler::Place(double limit, const std::vector<int>& exclude) {
+  const int num_machines = static_cast<int>(free_capacity_.size());
+  CRF_CHECK_GT(num_machines, 0) << "UpdateFreeCapacity not called";
+
+  auto excluded = [&exclude](int m) {
+    return std::find(exclude.begin(), exclude.end(), m) != exclude.end();
+  };
+
+  // Two passes: first honoring the anti-affinity exclusions, then ignoring
+  // them (a constrained-but-placeable task beats a pending one).
+  for (const bool honor_exclusions : {true, false}) {
+    if (!honor_exclusions && exclude.empty()) {
+      break;
+    }
+    int best = -1;
+    double best_key = std::numeric_limits<double>::infinity();
+    int candidates = 0;
+    const int offset = static_cast<int>(rng_.UniformInt(num_machines));
+    for (int k = 0; k < num_machines; ++k) {
+      const int m = (k + offset) % num_machines;
+      if (!Fits(m, limit) || (honor_exclusions && excluded(m))) {
+        continue;
+      }
+      double key = 0.0;
+      switch (policy_) {
+        case PackingPolicy::kBestFit:
+          key = free_capacity_[m];  // least free wins
+          break;
+        case PackingPolicy::kWorstFit:
+          key = -free_capacity_[m];  // most free wins
+          break;
+        case PackingPolicy::kRandomFit:
+          // Reservoir-sample uniformly over feasible machines.
+          ++candidates;
+          if (rng_.UniformInt(candidates) == 0) {
+            best = m;
+          }
+          continue;
+      }
+      if (key < best_key) {
+        best_key = key;
+        best = m;
+      }
+    }
+    if (best >= 0) {
+      free_capacity_[best] -= limit;
+      return best;
+    }
+  }
+  return -1;
+}
+
+}  // namespace crf

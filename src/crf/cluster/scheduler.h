@@ -1,0 +1,52 @@
+// Cluster-level task placement (paper Section 2.1).
+//
+// Scheduling a task is (1) a feasibility filter — machines whose advertised
+// free capacity (capacity minus the Borglet's published peak prediction)
+// fits the task's limit — followed by (2) a bin-packing choice among the
+// candidates. The paper's contribution lives entirely in step (1); packing
+// is orthogonal, so the policy is a knob (with an ablation bench comparing
+// them).
+
+#ifndef CRF_CLUSTER_SCHEDULER_H_
+#define CRF_CLUSTER_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "crf/util/rng.h"
+
+namespace crf {
+
+enum class PackingPolicy {
+  kBestFit,   // least advertised free capacity that still fits
+  kWorstFit,  // most advertised free capacity
+  kRandomFit, // uniform over feasible machines
+};
+
+std::string PackingPolicyName(PackingPolicy policy);
+
+class Scheduler {
+ public:
+  Scheduler(PackingPolicy policy, const Rng& rng);
+
+  // Publishes the latest machine states: advertised free capacity per
+  // machine (capacity - predicted peak). Called once per polling interval.
+  void UpdateFreeCapacity(std::vector<double> free_capacity);
+
+  // Picks a machine for a task with the given limit, preferring machines not
+  // in `exclude` (anti-affinity within a job). Returns -1 if no machine
+  // fits. On success the machine's advertised free capacity is debited by
+  // `limit` (scheduler-side accounting until the next poll).
+  int Place(double limit, const std::vector<int>& exclude);
+
+ private:
+  bool Fits(int machine, double limit) const;
+
+  PackingPolicy policy_;
+  Rng rng_;
+  std::vector<double> free_capacity_;
+};
+
+}  // namespace crf
+
+#endif  // CRF_CLUSTER_SCHEDULER_H_

@@ -1,0 +1,53 @@
+#include "crf/core/autopilot_predictor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+AutopilotPredictor::AutopilotPredictor(double percentile, double margin,
+                                       const PredictorConfig& config)
+    : percentile_(percentile), margin_(margin), config_(config) {
+  CRF_CHECK_GE(percentile, 0.0);
+  CRF_CHECK_LE(percentile, 100.0);
+  CRF_CHECK_GE(margin, 1.0);
+  CRF_CHECK_GT(config.min_num_samples, 0);
+  CRF_CHECK_GE(config.max_num_samples, config.min_num_samples);
+}
+
+void AutopilotPredictor::Observe(Interval now, std::span<const TaskSample> tasks) {
+  double prediction = 0.0;
+  double usage_now = 0.0;
+  double limit_sum = 0.0;
+  for (const TaskSample& sample : tasks) {
+    auto [it, inserted] =
+        tasks_.try_emplace(sample.task_id, TaskState{TaskHistory(config_.max_num_samples)});
+    TaskState& state = it->second;
+    state.history.Push(static_cast<float>(sample.usage));
+    state.last_seen = now;
+
+    usage_now += sample.usage;
+    limit_sum += sample.limit;
+    if (state.history.size() >= config_.min_num_samples) {
+      // The Autopilot-style right-sized limit: a tail percentile with a
+      // safety margin, never above the configured limit.
+      prediction += std::min(sample.limit, margin_ * state.history.Percentile(percentile_));
+    } else {
+      prediction += sample.limit;
+    }
+  }
+  std::erase_if(tasks_, [now](const auto& entry) { return entry.second.last_seen != now; });
+  prediction_ = ClampPrediction(prediction, usage_now, limit_sum);
+}
+
+double AutopilotPredictor::PredictPeak() const { return prediction_; }
+
+std::string AutopilotPredictor::name() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "autopilot-p%.0f-m%.2f", percentile_, margin_);
+  return buffer;
+}
+
+}  // namespace crf

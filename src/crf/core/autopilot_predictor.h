@@ -1,0 +1,54 @@
+// An Autopilot-like per-task limit baseline (paper Section 2.2).
+//
+// Autopilot [Rzadca et al., EuroSys'20] right-sizes each task's *limit* to a
+// high percentile of its observed usage plus a safety margin. As an
+// overcommit policy this corresponds to predicting the machine peak as the
+// sum of per-task Autopilot limits:
+//
+//   P(J, t) = sum_i min(L_i, margin * perc_k(U_i history))
+//
+// The paper's argument is that even a perfect per-task limit tuner leaves
+// the pooling gap on the table: tasks do not peak together, so the sum of
+// tight per-task ceilings still overestimates the machine peak. This
+// predictor makes that argument measurable — it sits between the RC-like
+// percentile sum (margin = 1) and the raw limit sum.
+
+#ifndef CRF_CORE_AUTOPILOT_PREDICTOR_H_
+#define CRF_CORE_AUTOPILOT_PREDICTOR_H_
+
+#include <unordered_map>
+
+#include "crf/core/predictor.h"
+#include "crf/core/task_history.h"
+
+namespace crf {
+
+class AutopilotPredictor : public PeakPredictor {
+ public:
+  // `percentile` and `margin` follow Autopilot's defaults: the 98th
+  // percentile of recent usage with a ~10-15% safety margin.
+  AutopilotPredictor(double percentile, double margin, const PredictorConfig& config);
+
+  void Observe(Interval now, std::span<const TaskSample> tasks) override;
+  double PredictPeak() const override;
+  std::string name() const override;
+
+  double percentile() const { return percentile_; }
+  double margin() const { return margin_; }
+
+ private:
+  struct TaskState {
+    TaskHistory history;
+    Interval last_seen = -1;
+  };
+
+  double percentile_;
+  double margin_;
+  PredictorConfig config_;
+  std::unordered_map<TaskId, TaskState> tasks_;
+  double prediction_ = 0.0;
+};
+
+}  // namespace crf
+
+#endif  // CRF_CORE_AUTOPILOT_PREDICTOR_H_

@@ -1,0 +1,33 @@
+#include "crf/core/borg_default_predictor.h"
+
+#include <cstdio>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+BorgDefaultPredictor::BorgDefaultPredictor(double phi) : phi_(phi) {
+  CRF_CHECK_GT(phi, 0.0);
+  CRF_CHECK_LE(phi, 1.0);
+}
+
+void BorgDefaultPredictor::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
+  limit_sum_ = 0.0;
+  usage_now_ = 0.0;
+  for (const TaskSample& task : tasks) {
+    limit_sum_ += task.limit;
+    usage_now_ += task.usage;
+  }
+}
+
+double BorgDefaultPredictor::PredictPeak() const {
+  return ClampPrediction(phi_ * limit_sum_, usage_now_, limit_sum_);
+}
+
+std::string BorgDefaultPredictor::name() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "borg-default-%.2f", phi_);
+  return buffer;
+}
+
+}  // namespace crf

@@ -1,0 +1,14 @@
+#include "crf/core/limit_sum_predictor.h"
+
+namespace crf {
+
+void LimitSumPredictor::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
+  limit_sum_ = 0.0;
+  for (const TaskSample& task : tasks) {
+    limit_sum_ += task.limit;
+  }
+}
+
+double LimitSumPredictor::PredictPeak() const { return limit_sum_; }
+
+}  // namespace crf

@@ -1,0 +1,43 @@
+#include "crf/core/max_predictor.h"
+
+#include <algorithm>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+MaxPredictor::MaxPredictor(std::vector<std::unique_ptr<PeakPredictor>> components)
+    : components_(std::move(components)) {
+  CRF_CHECK(!components_.empty());
+  for (const auto& component : components_) {
+    CRF_CHECK(component != nullptr);
+  }
+}
+
+void MaxPredictor::Observe(Interval now, std::span<const TaskSample> tasks) {
+  for (auto& component : components_) {
+    component->Observe(now, tasks);
+  }
+}
+
+double MaxPredictor::PredictPeak() const {
+  double peak = 0.0;
+  for (const auto& component : components_) {
+    peak = std::max(peak, component->PredictPeak());
+  }
+  return peak;
+}
+
+std::string MaxPredictor::name() const {
+  std::string out = "max(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += components_[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace crf

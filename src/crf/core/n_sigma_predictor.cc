@@ -1,0 +1,58 @@
+#include "crf/core/n_sigma_predictor.h"
+
+#include <cstdio>
+
+#include "crf/stats/running_stats.h"
+#include "crf/util/check.h"
+
+namespace crf {
+
+NSigmaPredictor::NSigmaPredictor(double n, const PredictorConfig& config)
+    : n_(n), config_(config) {
+  CRF_CHECK_GT(n, 0.0);
+  CRF_CHECK_GT(config.min_num_samples, 0);
+  CRF_CHECK_GE(config.max_num_samples, config.min_num_samples);
+}
+
+void NSigmaPredictor::Observe(Interval now, std::span<const TaskSample> tasks) {
+  double warmed_usage = 0.0;
+  double warming_limit = 0.0;
+  double usage_now = 0.0;
+  double limit_sum = 0.0;
+  for (const TaskSample& sample : tasks) {
+    TaskState& state = tasks_[sample.task_id];
+    ++state.samples_seen;
+    state.last_seen = now;
+
+    usage_now += sample.usage;
+    limit_sum += sample.limit;
+    if (state.samples_seen >= config_.min_num_samples) {
+      warmed_usage += sample.usage;
+    } else {
+      warming_limit += sample.limit;
+    }
+  }
+  std::erase_if(tasks_, [now](const auto& entry) { return entry.second.last_seen != now; });
+
+  aggregate_window_.push_back(warmed_usage);
+  while (static_cast<Interval>(aggregate_window_.size()) > config_.max_num_samples) {
+    aggregate_window_.pop_front();
+  }
+
+  RunningStats stats;
+  for (const double value : aggregate_window_) {
+    stats.Add(value);
+  }
+  const double raw = stats.mean() + n_ * stats.stddev() + warming_limit;
+  prediction_ = ClampPrediction(raw, usage_now, limit_sum);
+}
+
+double NSigmaPredictor::PredictPeak() const { return prediction_; }
+
+std::string NSigmaPredictor::name() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "n-sigma-%.0f", n_);
+  return buffer;
+}
+
+}  // namespace crf

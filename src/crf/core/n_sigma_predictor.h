@@ -1,0 +1,47 @@
+// The N-sigma predictor (paper Section 4).
+//
+// Approximates the machine's total load as Gaussian (valid for sums of many
+// task loads even when the per-task distributions are not, cf. [Janus &
+// Rzadca, SoCC'17]): P(J, t) = mean(U(J)) + N * std(U(J)) computed over a
+// moving window of the machine-level aggregate usage of warmed-up tasks;
+// tasks still warming up contribute their limit on top. N = 2 approximates
+// the 95th percentile of the load distribution, N = 3 the 99th.
+
+#ifndef CRF_CORE_N_SIGMA_PREDICTOR_H_
+#define CRF_CORE_N_SIGMA_PREDICTOR_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "crf/core/predictor.h"
+
+namespace crf {
+
+class NSigmaPredictor : public PeakPredictor {
+ public:
+  NSigmaPredictor(double n, const PredictorConfig& config);
+
+  void Observe(Interval now, std::span<const TaskSample> tasks) override;
+  double PredictPeak() const override;
+  std::string name() const override;
+
+  double n() const { return n_; }
+
+ private:
+  struct TaskState {
+    Interval samples_seen = 0;
+    Interval last_seen = -1;
+  };
+
+  double n_;
+  PredictorConfig config_;
+  std::unordered_map<TaskId, TaskState> tasks_;
+  // Machine-level aggregate usage of warmed tasks, one entry per poll,
+  // bounded by max_num_samples.
+  std::deque<double> aggregate_window_;
+  double prediction_ = 0.0;
+};
+
+}  // namespace crf
+
+#endif  // CRF_CORE_N_SIGMA_PREDICTOR_H_

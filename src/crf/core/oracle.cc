@@ -1,0 +1,70 @@
+#include "crf/core/oracle.h"
+
+#include <algorithm>
+
+#include "crf/stats/window_max.h"
+#include "crf/util/check.h"
+
+namespace crf {
+
+std::vector<double> ComputePeakOracle(const CellTrace& cell, int machine_index,
+                                      Interval horizon) {
+  CRF_CHECK_GE(machine_index, 0);
+  CRF_CHECK_LT(machine_index, static_cast<int>(cell.machines.size()));
+  CRF_CHECK_GE(horizon, 1);
+  const Interval num_intervals = cell.num_intervals;
+
+  // Tasks ordered by arrival; the aggregate series of "tasks with start <=
+  // tau" is constant between consecutive arrivals, so one sliding-window max
+  // per segment gives the exact oracle.
+  std::vector<int32_t> order = cell.machines[machine_index].task_indices;
+  std::sort(order.begin(), order.end(), [&cell](int32_t a, int32_t b) {
+    return cell.tasks[a].start < cell.tasks[b].start;
+  });
+
+  std::vector<double> aggregate(num_intervals, 0.0);
+  std::vector<double> oracle(num_intervals, 0.0);
+  size_t next = 0;
+  Interval tau = 0;
+  while (tau < num_intervals) {
+    // Admit every task arriving at or before tau into the aggregate.
+    while (next < order.size() && cell.tasks[order[next]].start <= tau) {
+      const TaskTrace& task = cell.tasks[order[next]];
+      const Interval end = std::min(task.end(), num_intervals);
+      for (Interval t = task.start; t < end; ++t) {
+        aggregate[t] += task.usage[t - task.start];
+      }
+      ++next;
+    }
+    const Interval segment_end =
+        next < order.size() ? std::min(cell.tasks[order[next]].start, num_intervals)
+                            : num_intervals;
+    CRF_CHECK_GT(segment_end, tau);
+
+    // Sliding max of `aggregate` over [u, u+horizon) for u in the segment.
+    MonotonicMaxDeque deque;
+    Interval filled_to = tau;
+    for (Interval u = tau; u < segment_end; ++u) {
+      const Interval window_end =
+          static_cast<Interval>(std::min<int64_t>(static_cast<int64_t>(u) + horizon,
+                                                  num_intervals));
+      while (filled_to < window_end) {
+        deque.Push(filled_to, aggregate[filled_to]);
+        ++filled_to;
+      }
+      deque.ExpireBelow(u);
+      oracle[u] = deque.Max();
+    }
+    tau = segment_end;
+  }
+  return oracle;
+}
+
+std::vector<double> ComputeTotalUsageOracle(const CellTrace& cell, int machine_index,
+                                            Interval horizon) {
+  CRF_CHECK_GE(horizon, 1);
+  const std::vector<double> usage = cell.MachineUsageSeries(machine_index);
+  return ForwardWindowMax(usage, horizon);
+}
+
+}  // namespace crf

@@ -1,0 +1,35 @@
+// The clairvoyant peak oracle (paper Section 3).
+//
+// PO(J(tau), tau) = max over t in [tau, tau + horizon) of the total usage of
+// the tasks resident on the machine at tau. Crucially, the maximized series
+// is *arrival-filtered*: tasks that arrive after tau are excluded (the
+// scheduler is deciding what fits *now*; the oracle answers for the current
+// task set, with departed tasks contributing zero). Section 5.2 picks a
+// 24-hour horizon as the accuracy/cost sweet spot.
+//
+// ComputeTotalUsageOracle is the cheap unfiltered variant — a sliding max
+// over the full machine series including future arrivals. It upper-bounds
+// the exact oracle and is provided as an ablation.
+
+#ifndef CRF_CORE_ORACLE_H_
+#define CRF_CORE_ORACLE_H_
+
+#include <vector>
+
+#include "crf/trace/trace.h"
+#include "crf/util/time_grid.h"
+
+namespace crf {
+
+// Exact arrival-filtered oracle series for one machine, O(T + N*(H + len))
+// via a monotonic-deque sliding maximum per constant-task-set segment.
+std::vector<double> ComputePeakOracle(const CellTrace& cell, int machine_index,
+                                      Interval horizon = kIntervalsPerDay);
+
+// Unfiltered ablation: forward sliding max of the machine's total usage.
+std::vector<double> ComputeTotalUsageOracle(const CellTrace& cell, int machine_index,
+                                            Interval horizon = kIntervalsPerDay);
+
+}  // namespace crf
+
+#endif  // CRF_CORE_ORACLE_H_

@@ -1,0 +1,68 @@
+// Declarative predictor construction.
+//
+// The simulator runs many predictor configurations over the same trace (the
+// paper's Figs 8-12 are parameter sweeps); a PredictorSpec is a value type
+// describing one configuration, and CreatePredictor instantiates a fresh,
+// stateless-from-birth predictor per simulated machine.
+
+#ifndef CRF_CORE_PREDICTOR_FACTORY_H_
+#define CRF_CORE_PREDICTOR_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crf/core/predictor.h"
+
+namespace crf {
+
+struct PredictorSpec {
+  enum class Type {
+    kLimitSum,
+    kBorgDefault,
+    kRcLike,
+    kNSigma,
+    kAutopilot,
+    kMax,
+  };
+
+  Type type = Type::kLimitSum;
+  double phi = 0.9;          // borg-default scale factor
+  double percentile = 99.0;  // rc-like percentile
+  double n_sigma = 5.0;      // n-sigma multiplier
+  double margin = 1.10;      // autopilot safety margin
+  PredictorConfig config;    // warm-up / history (usage-driven predictors)
+  std::vector<PredictorSpec> components;  // max components
+
+  // Human-readable name matching PeakPredictor::name().
+  std::string Name() const;
+};
+
+// Convenience constructors with the paper's defaults.
+PredictorSpec LimitSumSpec();
+PredictorSpec BorgDefaultSpec(double phi = 0.9);
+PredictorSpec RcLikeSpec(double percentile = 99.0,
+                         Interval warmup = 2 * kIntervalsPerHour,
+                         Interval history = 10 * kIntervalsPerHour);
+PredictorSpec NSigmaSpec(double n = 5.0, Interval warmup = 2 * kIntervalsPerHour,
+                         Interval history = 10 * kIntervalsPerHour);
+// Autopilot-like per-task limit baseline: sum of min(limit, margin * p-th
+// percentile of each task's recent usage). Defaults follow Autopilot's 98th
+// percentile with a 10% margin.
+PredictorSpec AutopilotSpec(double percentile = 98.0, double margin = 1.10,
+                            Interval warmup = 2 * kIntervalsPerHour,
+                            Interval history = 10 * kIntervalsPerHour);
+PredictorSpec MaxSpec(std::vector<PredictorSpec> components);
+
+// The simulation-tuned max predictor of Section 5.4:
+// max(n-sigma(5), rc-like(p99)) with 2h warm-up and 10h history.
+PredictorSpec SimulationMaxSpec();
+// The production deployment configuration of Section 6.1:
+// max(n-sigma(3), rc-like(p80)) with 2h warm-up and 10h history.
+PredictorSpec ProductionMaxSpec();
+
+std::unique_ptr<PeakPredictor> CreatePredictor(const PredictorSpec& spec);
+
+}  // namespace crf
+
+#endif  // CRF_CORE_PREDICTOR_FACTORY_H_

@@ -1,0 +1,50 @@
+#include "crf/core/rc_like_predictor.h"
+
+#include <cstdio>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+RcLikePredictor::RcLikePredictor(double percentile, const PredictorConfig& config)
+    : percentile_(percentile), config_(config) {
+  CRF_CHECK_GE(percentile, 0.0);
+  CRF_CHECK_LE(percentile, 100.0);
+  CRF_CHECK_GT(config.min_num_samples, 0);
+  CRF_CHECK_GE(config.max_num_samples, config.min_num_samples);
+}
+
+void RcLikePredictor::Observe(Interval now, std::span<const TaskSample> tasks) {
+  double prediction = 0.0;
+  double usage_now = 0.0;
+  double limit_sum = 0.0;
+  for (const TaskSample& sample : tasks) {
+    auto [it, inserted] =
+        tasks_.try_emplace(sample.task_id, TaskState{TaskHistory(config_.max_num_samples)});
+    TaskState& state = it->second;
+    state.history.Push(static_cast<float>(sample.usage));
+    state.limit = sample.limit;
+    state.last_seen = now;
+
+    usage_now += sample.usage;
+    limit_sum += sample.limit;
+    if (state.history.size() >= config_.min_num_samples) {
+      prediction += state.history.Percentile(percentile_);
+    } else {
+      prediction += sample.limit;  // Warm-up: represent by the limit.
+    }
+  }
+  // Release departed tasks.
+  std::erase_if(tasks_, [now](const auto& entry) { return entry.second.last_seen != now; });
+  prediction_ = ClampPrediction(prediction, usage_now, limit_sum);
+}
+
+double RcLikePredictor::PredictPeak() const { return prediction_; }
+
+std::string RcLikePredictor::name() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "rc-like-p%.0f", percentile_);
+  return buffer;
+}
+
+}  // namespace crf

@@ -1,0 +1,43 @@
+// The Resource-Central-like predictor (paper Section 4).
+//
+// Motivated by Microsoft's Resource Central: the machine peak is estimated
+// as the sum over resident tasks of a percentile of each task's own recent
+// usage, P(J, t) = sum_i perc_k(U_i). Tasks still warming up (fewer than
+// min_num_samples samples) contribute their limit instead.
+
+#ifndef CRF_CORE_RC_LIKE_PREDICTOR_H_
+#define CRF_CORE_RC_LIKE_PREDICTOR_H_
+
+#include <unordered_map>
+
+#include "crf/core/predictor.h"
+#include "crf/core/task_history.h"
+
+namespace crf {
+
+class RcLikePredictor : public PeakPredictor {
+ public:
+  RcLikePredictor(double percentile, const PredictorConfig& config);
+
+  void Observe(Interval now, std::span<const TaskSample> tasks) override;
+  double PredictPeak() const override;
+  std::string name() const override;
+
+  double percentile() const { return percentile_; }
+
+ private:
+  struct TaskState {
+    TaskHistory history;
+    double limit = 0.0;
+    Interval last_seen = -1;
+  };
+
+  double percentile_;
+  PredictorConfig config_;
+  std::unordered_map<TaskId, TaskState> tasks_;
+  double prediction_ = 0.0;
+};
+
+}  // namespace crf
+
+#endif  // CRF_CORE_RC_LIKE_PREDICTOR_H_

@@ -1,0 +1,127 @@
+#include "crf/core/spec_parser.h"
+
+#include <charconv>
+#include <vector>
+
+namespace crf {
+namespace {
+
+bool ParseNumber(std::string_view text, double& out) {
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+// Splits "a,b,max(c,d)" on top-level commas only.
+std::optional<std::vector<std::string_view>> SplitTopLevel(std::string_view text) {
+  std::vector<std::string_view> parts;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      if (--depth < 0) {
+        return std::nullopt;
+      }
+    } else if (text[i] == ',' && depth == 0) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (depth != 0) {
+    return std::nullopt;
+  }
+  parts.push_back(text.substr(start));
+  return parts;
+}
+
+std::optional<PredictorSpec> ParseSimple(std::string_view text) {
+  // name[:arg1[:arg2]]
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t colon = text.find(':', start);
+    if (colon == std::string_view::npos) {
+      fields.push_back(text.substr(start));
+      break;
+    }
+    fields.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+  const std::string_view name = fields[0];
+  const size_t args = fields.size() - 1;
+
+  if (name == "limit-sum") {
+    return args == 0 ? std::optional<PredictorSpec>(LimitSumSpec()) : std::nullopt;
+  }
+  if (name == "borg-default") {
+    double phi = 0.9;
+    if (args > 1 || (args == 1 && !ParseNumber(fields[1], phi))) {
+      return std::nullopt;
+    }
+    if (phi <= 0.0 || phi > 1.0) {
+      return std::nullopt;
+    }
+    return BorgDefaultSpec(phi);
+  }
+  if (name == "rc-like") {
+    double percentile = 99.0;
+    if (args > 1 || (args == 1 && !ParseNumber(fields[1], percentile))) {
+      return std::nullopt;
+    }
+    if (percentile < 0.0 || percentile > 100.0) {
+      return std::nullopt;
+    }
+    return RcLikeSpec(percentile);
+  }
+  if (name == "n-sigma") {
+    double n = 5.0;
+    if (args > 1 || (args == 1 && !ParseNumber(fields[1], n))) {
+      return std::nullopt;
+    }
+    if (n <= 0.0) {
+      return std::nullopt;
+    }
+    return NSigmaSpec(n);
+  }
+  if (name == "autopilot") {
+    double percentile = 98.0;
+    double margin = 1.10;
+    if (args > 2 || (args >= 1 && !ParseNumber(fields[1], percentile)) ||
+        (args == 2 && !ParseNumber(fields[2], margin))) {
+      return std::nullopt;
+    }
+    if (percentile < 0.0 || percentile > 100.0 || margin < 1.0) {
+      return std::nullopt;
+    }
+    return AutopilotSpec(percentile, margin);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<PredictorSpec> ParsePredictorSpec(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  if (text.starts_with("max(") && text.ends_with(")")) {
+    const std::string_view inner = text.substr(4, text.size() - 5);
+    const auto parts = SplitTopLevel(inner);
+    if (!parts.has_value() || parts->empty()) {
+      return std::nullopt;
+    }
+    std::vector<PredictorSpec> components;
+    for (const std::string_view part : *parts) {
+      auto component = ParsePredictorSpec(part);
+      if (!component.has_value()) {
+        return std::nullopt;
+      }
+      components.push_back(std::move(*component));
+    }
+    return MaxSpec(std::move(components));
+  }
+  return ParseSimple(text);
+}
+
+}  // namespace crf

@@ -1,0 +1,30 @@
+// Textual predictor specifications, for CLI/tooling use.
+//
+// Grammar (whitespace-free):
+//   spec      := simple | "max(" spec ("," spec)* ")"
+//   simple    := "limit-sum"
+//              | "borg-default" [":" phi]
+//              | "rc-like" [":" percentile]
+//              | "n-sigma" [":" n]
+//              | "autopilot" [":" percentile [":" margin]]
+// Examples: "borg-default:0.9", "max(n-sigma:3,rc-like:80)", "autopilot:98:1.15".
+//
+// Warm-up and history windows are not part of the string; callers set them
+// on the returned spec (defaults: 2h / 10h, the paper's values).
+
+#ifndef CRF_CORE_SPEC_PARSER_H_
+#define CRF_CORE_SPEC_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "crf/core/predictor_factory.h"
+
+namespace crf {
+
+// Parses a predictor spec; nullopt on malformed input.
+std::optional<PredictorSpec> ParsePredictorSpec(std::string_view text);
+
+}  // namespace crf
+
+#endif  // CRF_CORE_SPEC_PARSER_H_

@@ -1,0 +1,63 @@
+#include "crf/core/task_history.h"
+
+#include <algorithm>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+TaskHistory::TaskHistory(int capacity) : capacity_(capacity) {
+  CRF_CHECK_GT(capacity, 0);
+  ring_.reserve(capacity);
+  sorted_.reserve(capacity);
+}
+
+void TaskHistory::Push(float sample) {
+  if (static_cast<int>(ring_.size()) < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    const float evicted = ring_[head_];
+    ring_[head_] = sample;
+    head_ = (head_ + 1) % capacity_;
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), evicted);
+    CRF_CHECK(it != sorted_.end() && *it == evicted);
+    sorted_.erase(it);
+  }
+  sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), sample), sample);
+}
+
+double TaskHistory::Percentile(double p) const {
+  CRF_CHECK(!sorted_.empty());
+  CRF_CHECK_GE(p, 0.0);
+  CRF_CHECK_LE(p, 100.0);
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double TaskHistory::Mean() const {
+  if (ring_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const float v : ring_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(ring_.size());
+}
+
+float TaskHistory::Latest() const {
+  CRF_CHECK(!ring_.empty());
+  if (static_cast<int>(ring_.size()) < capacity_) {
+    return ring_.back();
+  }
+  // head_ points at the oldest; the newest sits just before it.
+  return ring_[(head_ + capacity_ - 1) % capacity_];
+}
+
+}  // namespace crf

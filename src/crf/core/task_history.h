@@ -1,0 +1,47 @@
+// Bounded per-task usage history with O(log n + n_window) percentile access.
+//
+// The node agent "only maintains a moving window storing the most recent
+// samples" per task (Section 4). TaskHistory is that window: a ring buffer
+// of the last `capacity` samples plus a sorted mirror kept incrementally, so
+// the RC-like predictor's per-poll percentile is a single interpolation
+// instead of a sort.
+
+#ifndef CRF_CORE_TASK_HISTORY_H_
+#define CRF_CORE_TASK_HISTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crf {
+
+class TaskHistory {
+ public:
+  explicit TaskHistory(int capacity);
+
+  // Appends a sample, evicting the oldest if the window is full.
+  void Push(float sample);
+
+  int size() const { return static_cast<int>(ring_.size()); }
+  int capacity() const { return capacity_; }
+  bool empty() const { return ring_.empty(); }
+
+  // Percentile p in [0, 100] over the window, linear interpolation.
+  // Requires a non-empty window.
+  double Percentile(double p) const;
+
+  // Mean over the window; 0 when empty.
+  double Mean() const;
+
+  // Newest sample; requires non-empty.
+  float Latest() const;
+
+ private:
+  int capacity_;
+  int head_ = 0;  // Index of the oldest sample once the ring is full.
+  std::vector<float> ring_;
+  std::vector<float> sorted_;
+};
+
+}  // namespace crf
+
+#endif  // CRF_CORE_TASK_HISTORY_H_

@@ -1,0 +1,53 @@
+#include "crf/sim/metrics.h"
+
+namespace crf {
+
+Ecdf SimResult::ViolationRateCdf() const {
+  Ecdf cdf;
+  for (const MachineMetrics& m : machines) {
+    cdf.Add(m.violation_rate());
+  }
+  return cdf;
+}
+
+Ecdf SimResult::ViolationSeverityCdf() const {
+  Ecdf cdf;
+  for (const MachineMetrics& m : machines) {
+    cdf.Add(m.mean_violation_severity);
+  }
+  return cdf;
+}
+
+Ecdf SimResult::MachineSavingsCdf() const {
+  Ecdf cdf;
+  for (const MachineMetrics& m : machines) {
+    cdf.Add(m.savings_ratio);
+  }
+  return cdf;
+}
+
+Ecdf SimResult::CellSavingsCdf() const { return Ecdf(cell_savings_series); }
+
+double SimResult::MeanCellSavings() const {
+  if (cell_savings_series.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double s : cell_savings_series) {
+    sum += s;
+  }
+  return sum / static_cast<double>(cell_savings_series.size());
+}
+
+double SimResult::MeanViolationRate() const {
+  if (machines.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const MachineMetrics& m : machines) {
+    sum += m.violation_rate();
+  }
+  return sum / static_cast<double>(machines.size());
+}
+
+}  // namespace crf

@@ -1,0 +1,64 @@
+// Evaluation metrics (paper Section 5.1.3).
+//
+//  * violation rate  - fraction of time instants where the prediction is
+//    below the peak oracle, per machine;
+//  * violation severity - relative shortfall max(0, (PO - P)/PO), averaged
+//    per machine over the simulated period;
+//  * savings ratio  - (L - P)/L, the relative extra capacity the predictor
+//    frees versus no overcommitment, per machine (averaged over intervals
+//    with resident tasks) and per cell (a series over intervals).
+
+#ifndef CRF_SIM_METRICS_H_
+#define CRF_SIM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "crf/stats/ecdf.h"
+
+namespace crf {
+
+struct MachineMetrics {
+  int machine_index = -1;
+  // Intervals evaluated (the whole simulated period).
+  int64_t intervals = 0;
+  // Intervals with at least one resident task.
+  int64_t occupied_intervals = 0;
+  int64_t violations = 0;
+  // Mean over all intervals of max(0, (PO - P)/PO)  (0 when no violation).
+  double mean_violation_severity = 0.0;
+  // Mean over occupied intervals of (L - P)/L.
+  double savings_ratio = 0.0;
+  // Mean prediction and mean limit sum (diagnostics).
+  double mean_prediction = 0.0;
+  double mean_limit = 0.0;
+
+  double violation_rate() const {
+    return intervals == 0 ? 0.0 : static_cast<double>(violations) / intervals;
+  }
+};
+
+struct SimResult {
+  std::string cell_name;
+  std::string predictor_name;
+  std::vector<MachineMetrics> machines;
+  // Per-interval cell-level (sum L - sum P) / sum L.
+  std::vector<double> cell_savings_series;
+
+  // CDFs over machines.
+  Ecdf ViolationRateCdf() const;
+  Ecdf ViolationSeverityCdf() const;
+  Ecdf MachineSavingsCdf() const;
+  // CDF over intervals of the cell-level savings series.
+  Ecdf CellSavingsCdf() const;
+
+  // Time-average cell-level savings: the "1 - predicted peak / total limit"
+  // bar of Figs 8(b)/9(b)/11(c).
+  double MeanCellSavings() const;
+  // Mean per-machine violation rate.
+  double MeanViolationRate() const;
+};
+
+}  // namespace crf
+
+#endif  // CRF_SIM_METRICS_H_

@@ -1,0 +1,149 @@
+#include "crf/sim/simulator.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "crf/core/oracle.h"
+#include "crf/util/check.h"
+#include "crf/util/thread_pool.h"
+
+namespace crf {
+namespace {
+
+// Relative tolerance when comparing a prediction against the oracle: both
+// are sums of the same float samples accumulated along different paths, so
+// bit-identical equality cannot be expected.
+constexpr double kRelTolerance = 1e-9;
+
+bool IsViolation(double prediction, double oracle) {
+  return prediction < oracle * (1.0 - kRelTolerance) - 1e-12;
+}
+
+}  // namespace
+
+MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
+                               const PredictorSpec& spec, const SimOptions& options,
+                               std::vector<double>* cell_limit,
+                               std::vector<double>* cell_prediction) {
+  const Interval num_intervals = cell.num_intervals;
+  const std::vector<double> oracle =
+      options.use_total_usage_oracle
+          ? ComputeTotalUsageOracle(cell, machine_index, options.horizon)
+          : ComputePeakOracle(cell, machine_index, options.horizon);
+
+  auto predictor = CreatePredictor(spec);
+
+  // Tasks in arrival order for the resident-set sweep.
+  std::vector<int32_t> order = cell.machines[machine_index].task_indices;
+  std::sort(order.begin(), order.end(), [&cell](int32_t a, int32_t b) {
+    return cell.tasks[a].start < cell.tasks[b].start;
+  });
+
+  MachineMetrics metrics;
+  metrics.machine_index = machine_index;
+  metrics.intervals = num_intervals;
+
+  std::vector<int32_t> active;  // Indices into cell.tasks.
+  std::vector<TaskSample> samples;
+  size_t next = 0;
+  double severity_sum = 0.0;
+  double savings_sum = 0.0;
+  double prediction_sum = 0.0;
+  double limit_sum_total = 0.0;
+
+  for (Interval tau = 0; tau < num_intervals; ++tau) {
+    // Retire departed tasks, admit arrivals.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&cell, tau](int32_t i) { return cell.tasks[i].end() <= tau; }),
+                 active.end());
+    while (next < order.size() && cell.tasks[order[next]].start <= tau) {
+      active.push_back(order[next++]);
+    }
+
+    samples.clear();
+    double limit_sum = 0.0;
+    for (const int32_t task_index : active) {
+      const TaskTrace& task = cell.tasks[task_index];
+      samples.push_back({task.task_id, task.UsageAt(tau), task.limit});
+      limit_sum += task.limit;
+    }
+
+    predictor->Observe(tau, samples);
+    const double prediction = predictor->PredictPeak();
+    const double oracle_value = oracle[tau];
+
+    if (IsViolation(prediction, oracle_value)) {
+      ++metrics.violations;
+      severity_sum += (oracle_value - prediction) / oracle_value;
+    }
+    if (!active.empty()) {
+      ++metrics.occupied_intervals;
+      savings_sum += (limit_sum - prediction) / limit_sum;
+    }
+    prediction_sum += prediction;
+    limit_sum_total += limit_sum;
+    if (cell_limit != nullptr) {
+      (*cell_limit)[tau] += limit_sum;
+    }
+    if (cell_prediction != nullptr) {
+      (*cell_prediction)[tau] += prediction;
+    }
+  }
+
+  if (num_intervals > 0) {
+    metrics.mean_violation_severity = severity_sum / num_intervals;
+    metrics.mean_prediction = prediction_sum / num_intervals;
+    metrics.mean_limit = limit_sum_total / num_intervals;
+  }
+  if (metrics.occupied_intervals > 0) {
+    metrics.savings_ratio = savings_sum / static_cast<double>(metrics.occupied_intervals);
+  }
+  return metrics;
+}
+
+SimResult SimulateCell(const CellTrace& cell, const PredictorSpec& spec,
+                       const SimOptions& options) {
+  CRF_CHECK_GT(cell.num_intervals, 0);
+  const int num_machines = static_cast<int>(cell.machines.size());
+
+  SimResult result;
+  result.cell_name = cell.name;
+  result.predictor_name = spec.Name();
+  result.machines.resize(num_machines);
+
+  std::vector<double> cell_limit(cell.num_intervals, 0.0);
+  std::vector<double> cell_prediction(cell.num_intervals, 0.0);
+  std::mutex cell_mutex;
+
+  auto run_machine = [&](int m) {
+    std::vector<double> local_limit(cell.num_intervals, 0.0);
+    std::vector<double> local_prediction(cell.num_intervals, 0.0);
+    result.machines[m] =
+        SimulateMachine(cell, m, spec, options, &local_limit, &local_prediction);
+    std::lock_guard<std::mutex> lock(cell_mutex);
+    for (Interval t = 0; t < cell.num_intervals; ++t) {
+      cell_limit[t] += local_limit[t];
+      cell_prediction[t] += local_prediction[t];
+    }
+  };
+
+  if (options.parallel) {
+    ThreadPool::Default().ParallelFor(num_machines, run_machine);
+  } else {
+    for (int m = 0; m < num_machines; ++m) {
+      run_machine(m);
+    }
+  }
+
+  result.cell_savings_series.reserve(cell.num_intervals);
+  for (Interval t = 0; t < cell.num_intervals; ++t) {
+    if (cell_limit[t] > 0.0) {
+      result.cell_savings_series.push_back((cell_limit[t] - cell_prediction[t]) /
+                                           cell_limit[t]);
+    }
+  }
+  return result;
+}
+
+}  // namespace crf

@@ -1,0 +1,45 @@
+// The trace-driven overcommit simulator (paper Section 5.1.1, Fig 5).
+//
+// Machines are simulated independently. For each machine and each 5-minute
+// instant tau, the simulated predictor sees only the historic usage of the
+// tasks resident at tau (U_i[t], t <= tau) and publishes a predicted peak;
+// the simulator computes the clairvoyant peak oracle from the future usage
+// (U_i[t], t >= tau) and compares. Scheduling decisions are NOT simulated:
+// placements come fixed from the trace, exactly as in the paper's simulator.
+
+#ifndef CRF_SIM_SIMULATOR_H_
+#define CRF_SIM_SIMULATOR_H_
+
+#include "crf/core/predictor_factory.h"
+#include "crf/sim/metrics.h"
+#include "crf/trace/trace.h"
+#include "crf/util/time_grid.h"
+
+namespace crf {
+
+struct SimOptions {
+  // Oracle forecast horizon; Section 5.2 settles on 24 hours.
+  Interval horizon = kIntervalsPerDay;
+  // Ablation: use the unfiltered total-usage oracle instead of the exact
+  // arrival-filtered oracle.
+  bool use_total_usage_oracle = false;
+  // Shard machines across the default thread pool.
+  bool parallel = true;
+};
+
+// Runs one predictor configuration over every machine of `cell`. A fresh
+// predictor instance is created per machine (per-machine state only).
+SimResult SimulateCell(const CellTrace& cell, const PredictorSpec& spec,
+                       const SimOptions& options = {});
+
+// Simulates a single machine; exposed for tests and custom drivers.
+// `cell_limit` / `cell_prediction`, when non-null, accumulate the machine's
+// per-interval limit sum and prediction (caller provides zeroed series).
+MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
+                               const PredictorSpec& spec, const SimOptions& options,
+                               std::vector<double>* cell_limit,
+                               std::vector<double>* cell_prediction);
+
+}  // namespace crf
+
+#endif  // CRF_SIM_SIMULATOR_H_

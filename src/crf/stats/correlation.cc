@@ -1,0 +1,107 @@
+#include "crf/stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y) {
+  CRF_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> FractionalRanks(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&values](size_t a, size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Positions i..j (0-based) share the same value; average their 1-based
+    // ranks.
+    const double average_rank = static_cast<double>(i + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = average_rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(std::span<const double> x, std::span<const double> y) {
+  CRF_CHECK_EQ(x.size(), y.size());
+  const std::vector<double> rx = FractionalRanks(x);
+  const std::vector<double> ry = FractionalRanks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+LinearFit FitLine(std::span<const double> x, std::span<const double> y) {
+  CRF_CHECK_EQ(x.size(), y.size());
+  LinearFit fit;
+  const size_t n = x.size();
+  if (n < 2) {
+    return fit;
+  }
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy <= 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace crf

@@ -1,0 +1,96 @@
+#include "crf/stats/ecdf.h"
+
+#include <algorithm>
+
+#include "crf/stats/percentile.h"
+#include "crf/util/check.h"
+#include "crf/util/csv.h"
+
+namespace crf {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {}
+
+void Ecdf::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Ecdf::Seal() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::Evaluate(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  Seal();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Ecdf::Quantile(double q) const {
+  CRF_CHECK(!samples_.empty());
+  CRF_CHECK_GE(q, 0.0);
+  CRF_CHECK_LE(q, 1.0);
+  Seal();
+  return PercentileSorted(samples_, q * 100.0);
+}
+
+double Ecdf::min() const {
+  CRF_CHECK(!samples_.empty());
+  Seal();
+  return samples_.front();
+}
+
+double Ecdf::max() const {
+  CRF_CHECK(!samples_.empty());
+  Seal();
+  return samples_.back();
+}
+
+double Ecdf::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<Ecdf::Point> Ecdf::CurvePoints(int num_points) const {
+  CRF_CHECK_GE(num_points, 2);
+  std::vector<Point> points;
+  if (samples_.empty()) {
+    return points;
+  }
+  Seal();
+  points.reserve(num_points);
+  for (int i = 0; i < num_points; ++i) {
+    const double q = static_cast<double>(i) / (num_points - 1);
+    points.push_back({Quantile(q), q});
+  }
+  return points;
+}
+
+const std::vector<double>& Ecdf::sorted_samples() const {
+  Seal();
+  return samples_;
+}
+
+void WriteCdfsCsv(const std::string& path,
+                  const std::vector<std::pair<std::string, const Ecdf*>>& series,
+                  int num_points) {
+  CsvWriter writer(path, {"series", "x", "probability"});
+  for (const auto& [name, ecdf] : series) {
+    for (const auto& point : ecdf->CurvePoints(num_points)) {
+      writer.WriteRow({name, FormatDouble(point.x), FormatDouble(point.probability)});
+    }
+  }
+}
+
+}  // namespace crf

@@ -1,0 +1,59 @@
+// Empirical cumulative distribution functions.
+//
+// Nearly every figure in the paper is a CDF; Ecdf is the common carrier
+// between the simulator's metric vectors and bench output. It supports
+// evaluation (P[X <= x]), inverse evaluation (quantiles), and sampling a
+// fixed set of probability points for tabular/CSV output.
+
+#ifndef CRF_STATS_ECDF_H_
+#define CRF_STATS_ECDF_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crf {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void Add(double sample);
+  // Sorts the sample buffer; called lazily by accessors and idempotent.
+  void Seal() const;
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // P[X <= x]; 0 for empty.
+  double Evaluate(double x) const;
+  // Inverse CDF at probability q in [0, 1]; interpolated. Requires samples.
+  double Quantile(double q) const;
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  // Returns (x, P[X <= x]) pairs at `num_points` evenly spaced probability
+  // levels in [0, 1] — the series a CDF plot draws.
+  struct Point {
+    double x = 0.0;
+    double probability = 0.0;
+  };
+  std::vector<Point> CurvePoints(int num_points = 101) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Writes several named CDFs to one CSV (columns: series, x, probability).
+void WriteCdfsCsv(const std::string& path,
+                  const std::vector<std::pair<std::string, const Ecdf*>>& series,
+                  int num_points = 101);
+
+}  // namespace crf
+
+#endif  // CRF_STATS_ECDF_H_

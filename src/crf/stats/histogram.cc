@@ -1,0 +1,49 @@
+#include "crf/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+BucketedStats::BucketedStats(double lo, double width, int num_buckets)
+    : lo_(lo), width_(width), buckets_(num_buckets) {
+  CRF_CHECK_GT(width, 0.0);
+  CRF_CHECK_GT(num_buckets, 0);
+}
+
+void BucketedStats::Add(double key, double value) {
+  int index = static_cast<int>(std::ceil((key - lo_) / width_)) - 1;
+  index = std::clamp(index, 0, num_buckets() - 1);
+  buckets_[index].Add(value);
+}
+
+double BucketedStats::bucket_center(int i) const {
+  CRF_CHECK_GE(i, 0);
+  CRF_CHECK_LT(i, num_buckets());
+  return lo_ + (i + 0.5) * width_;
+}
+
+double BucketedStats::bucket_lower(int i) const {
+  CRF_CHECK_GE(i, 0);
+  CRF_CHECK_LT(i, num_buckets());
+  return lo_ + i * width_;
+}
+
+const RunningStats& BucketedStats::bucket(int i) const {
+  CRF_CHECK_GE(i, 0);
+  CRF_CHECK_LT(i, num_buckets());
+  return buckets_[i];
+}
+
+int BucketedStats::FirstSparseBucket(int64_t min_count) const {
+  for (int i = 0; i < num_buckets(); ++i) {
+    if (buckets_[i].count() < min_count) {
+      return i;
+    }
+  }
+  return num_buckets();
+}
+
+}  // namespace crf

@@ -1,0 +1,43 @@
+// Fixed-width bucketed histogram with per-bucket statistics.
+//
+// Used for the Fig 3(d)-style error-bar plot: machines are grouped into
+// violation-rate buckets of width 0.005, and the mean/std of tail latency is
+// reported per bucket.
+
+#ifndef CRF_STATS_HISTOGRAM_H_
+#define CRF_STATS_HISTOGRAM_H_
+
+#include <vector>
+
+#include "crf/stats/running_stats.h"
+
+namespace crf {
+
+class BucketedStats {
+ public:
+  // Buckets are (lo + i*width, lo + (i+1)*width]; values at or below lo fall
+  // in bucket 0, values above lo + num_buckets*width are clamped to the last.
+  BucketedStats(double lo, double width, int num_buckets);
+
+  // Adds an observation of `value` keyed by `key` (key selects the bucket).
+  void Add(double key, double value);
+
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  double bucket_center(int i) const;
+  double bucket_lower(int i) const;
+  const RunningStats& bucket(int i) const;
+
+  // Index of the first bucket (scanning up) with fewer than `min_count`
+  // observations, or num_buckets() if all are populated. The paper limits the
+  // Fig 3(d) x-axis to "the first bucket containing less than 50 machines".
+  int FirstSparseBucket(int64_t min_count) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<RunningStats> buckets_;
+};
+
+}  // namespace crf
+
+#endif  // CRF_STATS_HISTOGRAM_H_

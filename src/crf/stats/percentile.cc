@@ -1,0 +1,51 @@
+#include "crf/stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+double PercentileSorted(std::span<const double> sorted, double p) {
+  CRF_CHECK(!sorted.empty());
+  CRF_CHECK_GE(p, 0.0);
+  CRF_CHECK_LE(p, 100.0);
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Percentile(std::span<const double> values, double p) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return PercentileSorted(copy, p);
+}
+
+std::vector<double> Percentiles(std::span<const double> values, std::span<const double> ps) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) {
+    out.push_back(PercentileSorted(copy, p));
+  }
+  return out;
+}
+
+double NearestRankPercentileInPlace(std::span<double> values, double p) {
+  CRF_CHECK(!values.empty());
+  CRF_CHECK_GE(p, 0.0);
+  CRF_CHECK_LE(p, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t index = static_cast<size_t>(std::llround(rank));
+  std::nth_element(values.begin(), values.begin() + index, values.end());
+  return values[index];
+}
+
+}  // namespace crf

@@ -1,0 +1,28 @@
+// Exact percentiles over sample vectors.
+
+#ifndef CRF_STATS_PERCENTILE_H_
+#define CRF_STATS_PERCENTILE_H_
+
+#include <span>
+#include <vector>
+
+namespace crf {
+
+// Returns the p-th percentile (p in [0, 100]) of `sorted`, which must be
+// sorted ascending. Linear interpolation between closest ranks (the same
+// definition NumPy uses by default). Requires a non-empty span.
+double PercentileSorted(std::span<const double> sorted, double p);
+
+// Copies, sorts, and evaluates. Requires non-empty input.
+double Percentile(std::span<const double> values, double p);
+
+// Evaluates several percentiles with a single sort.
+std::vector<double> Percentiles(std::span<const double> values, std::span<const double> ps);
+
+// In-place nth_element-based percentile (no interpolation, nearest-rank,
+// O(n)); used on hot paths where a full sort is wasteful. Reorders `values`.
+double NearestRankPercentileInPlace(std::span<double> values, double p);
+
+}  // namespace crf
+
+#endif  // CRF_STATS_PERCENTILE_H_

@@ -1,0 +1,43 @@
+// Streaming mean/variance/min/max via Welford's algorithm, with merge.
+//
+// Used by the N-sigma predictor (mean + N*std of the machine aggregate) and
+// by metric accumulators. Numerically stable for long streams.
+
+#ifndef CRF_STATS_RUNNING_STATS_H_
+#define CRF_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+
+namespace crf {
+
+class RunningStats {
+ public:
+  void Add(double value);
+
+  // Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  // Mean of the values added so far; 0 when empty.
+  double mean() const;
+  // Population variance / stddev (divide by n); 0 when fewer than 2 values.
+  double variance() const;
+  double stddev() const;
+  // Sample variance (divide by n-1); 0 when fewer than 2 values.
+  double sample_variance() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace crf
+
+#endif  // CRF_STATS_RUNNING_STATS_H_

@@ -1,0 +1,76 @@
+// Sliding-window maximum via a monotonic deque.
+//
+// The peak oracle is a windowed maximum of an aggregate usage series; this
+// gives the O(1) amortized primitive. Header-only for inlining on the oracle
+// hot path.
+
+#ifndef CRF_STATS_WINDOW_MAX_H_
+#define CRF_STATS_WINDOW_MAX_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+// Maintains max over a set of (index, value) pairs where indices are pushed
+// in nondecreasing order and expired from the front.
+class MonotonicMaxDeque {
+ public:
+  // Pushes (index, value); indices must be nondecreasing across pushes.
+  void Push(int64_t index, double value) {
+    while (!deque_.empty() && deque_.back().value <= value) {
+      deque_.pop_back();
+    }
+    deque_.push_back({index, value});
+  }
+
+  // Drops entries with index < min_index.
+  void ExpireBelow(int64_t min_index) {
+    while (!deque_.empty() && deque_.front().index < min_index) {
+      deque_.pop_front();
+    }
+  }
+
+  bool empty() const { return deque_.empty(); }
+
+  double Max() const {
+    CRF_CHECK(!deque_.empty());
+    return deque_.front().value;
+  }
+
+  void Clear() { deque_.clear(); }
+
+ private:
+  struct Entry {
+    int64_t index;
+    double value;
+  };
+  std::deque<Entry> deque_;
+};
+
+// Returns out[i] = max(values[i .. min(i+window-1, n-1)]) for each i — the
+// forward-looking windowed maximum used by the peak oracle. window >= 1.
+inline std::vector<double> ForwardWindowMax(std::span<const double> values, int64_t window) {
+  CRF_CHECK_GE(window, 1);
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<double> out(values.size());
+  MonotonicMaxDeque deque;
+  // Sweep i from the back; the window [i, i+window-1] gains values[i] and
+  // loses indices beyond i+window-1.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    // Indices are pushed in decreasing order here, so flip the sign to keep
+    // the deque's nondecreasing-index contract, expiring the largest ones.
+    deque.Push(-i, values[i]);
+    deque.ExpireBelow(-(i + window - 1));
+    out[i] = deque.Max();
+  }
+  return out;
+}
+
+}  // namespace crf
+
+#endif  // CRF_STATS_WINDOW_MAX_H_

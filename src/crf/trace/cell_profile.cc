@@ -1,0 +1,216 @@
+#include "crf/trace/cell_profile.h"
+
+#include "crf/util/check.h"
+
+namespace crf {
+namespace {
+
+CellProfile BaseSimProfile() {
+  CellProfile profile;  // Defaults in the header are cell a.
+  profile.name = "cell_a";
+  profile.num_machines = 320;
+  return profile;
+}
+
+}  // namespace
+
+CellProfile SimCellProfile(char letter) {
+  CellProfile p = BaseSimProfile();
+  switch (letter) {
+    case 'a':
+      // Baseline: the paper's main evaluation cell. Largest of the eight.
+      break;
+    case 'b':
+      // Lowest per-machine utilization variance (Section 5.5): calm noise,
+      // weak diurnal wave, few spikes. N-sigma predicts low peaks here and
+      // the RC-like component of the max predictor dominates.
+      p.name = "cell_b";
+      p.num_machines = 96;
+      p.diurnal_amp_min = 0.03;
+      p.diurnal_amp_max = 0.12;
+      p.ar_sigma_min = 0.015;
+      p.ar_sigma_max = 0.04;
+      p.spike_prob = 0.001;
+      p.tasks_per_machine = 16.0;
+      break;
+    case 'c':
+      // Very short tasks: ~98% of runtimes under 24 h (Fig 7a).
+      p.name = "cell_c";
+      p.num_machines = 88;
+      p.short_runtime_mean_hours = 2.5;
+      p.long_fraction = 0.02;
+      p.long_runtime_log_mean = 2.6;
+      p.long_runtime_log_sigma = 0.5;
+      p.service_fraction = 0.12;
+      p.tasks_per_machine = 12.0;
+      break;
+    case 'd':
+      // High churn, many small batch-ish tasks, busier arrivals.
+      p.name = "cell_d";
+      p.num_machines = 96;
+      p.tasks_per_machine = 20.0;
+      p.short_runtime_mean_hours = 1.5;
+      p.limit_log_mu = -3.5;
+      p.serving_fraction = 0.65;
+      p.arrival_diurnal_amplitude = 0.5;
+      break;
+    case 'e':
+      // Small cell, moderate variance, hotter machines.
+      p.name = "cell_e";
+      p.num_machines = 48;
+      p.mean_ratio_alpha = 8.0;
+      p.mean_ratio_beta = 5.5;
+      p.tasks_per_machine = 15.0;
+      break;
+    case 'f':
+      // Strongly diurnal serving cell with aligned phases (weak pooling).
+      p.name = "cell_f";
+      p.num_machines = 80;
+      p.diurnal_amp_min = 0.30;
+      p.diurnal_amp_max = 0.60;
+      p.job_phase_jitter_days = 0.05;
+      p.serving_fraction = 0.92;
+      break;
+    case 'g':
+      // Long-running tasks: only ~75% of runtimes under 24 h (Fig 7a).
+      p.name = "cell_g";
+      p.num_machines = 80;
+      p.short_runtime_mean_hours = 8.0;
+      p.long_fraction = 0.30;
+      p.long_runtime_log_mean = 3.8;
+      p.long_runtime_log_sigma = 0.8;
+      p.service_fraction = 0.40;
+      break;
+    case 'h':
+      // Bursty: frequent spikes and heavy noise.
+      p.name = "cell_h";
+      p.num_machines = 64;
+      p.spike_prob = 0.010;
+      p.spike_duration = 3;
+      p.ar_sigma_min = 0.06;
+      p.ar_sigma_max = 0.14;
+      p.diurnal_amp_max = 0.55;
+      break;
+    default:
+      CRF_CHECK(false) << "unknown sim cell '" << letter << "'";
+  }
+  return p;
+}
+
+std::vector<CellProfile> AllSimCellProfiles() {
+  std::vector<CellProfile> profiles;
+  for (char letter = 'a'; letter <= 'h'; ++letter) {
+    profiles.push_back(SimCellProfile(letter));
+  }
+  return profiles;
+}
+
+CellProfile ProductionCellProfile(int index) {
+  // Table 1 scaled by ~1/125: machines 40k/11k/10.5k/11k/3.5k.
+  CellProfile p = BaseSimProfile();
+  switch (index) {
+    case 1:
+      // Large, lowest utilization of the five (Fig 3c), middling variance.
+      p.name = "production_cell_1";
+      p.num_machines = 320;
+      // Wide per-job heat spread at a low mean: the cell is cold on average
+      // yet hosts hot jobs that concentrate on some machines.
+      p.mean_ratio_alpha = 1.6;
+      p.mean_ratio_beta = 2.6;
+      p.tasks_per_machine = 12.0;
+      p.short_runtime_mean_hours = 7.0;
+      p.service_fraction = 0.35;
+      p.load_burst_rate = 0.015;
+      p.load_burst_duration = 3;
+      // Deep flash-crowd incidents: a cold cell whose violations come from
+      // bursts, not steady pressure (its latency stays good - Fig 3's
+      // cell-1-vs-cell-4 anomaly).
+      p.load_burst_log_magnitude = 0.75;
+      p.machine_imbalance_sigma = 0.95;
+      break;
+    case 2:
+      // Hot but stable: highest utilization, lowest violation rate (Fig 3).
+      p.name = "production_cell_2";
+      p.num_machines = 88;
+      p.mean_ratio_alpha = 10.0;
+      p.mean_ratio_beta = 5.0;
+      p.ar_sigma_min = 0.02;
+      p.ar_sigma_max = 0.05;
+      p.diurnal_amp_max = 0.25;
+      p.spike_prob = 0.0015;
+      p.tasks_per_machine = 16.0;
+      p.short_runtime_mean_hours = 7.0;
+      p.service_fraction = 0.35;
+      p.load_burst_rate = 0.002;
+      p.load_burst_duration = 3;
+      p.load_burst_log_magnitude = 0.35;
+      break;
+    case 3:
+      // Like cell 2: hot, stable, well behaved.
+      p.name = "production_cell_3";
+      p.num_machines = 84;
+      p.mean_ratio_alpha = 9.0;
+      p.mean_ratio_beta = 5.0;
+      p.ar_sigma_min = 0.02;
+      p.ar_sigma_max = 0.06;
+      p.spike_prob = 0.002;
+      p.tasks_per_machine = 15.0;
+      p.short_runtime_mean_hours = 7.0;
+      p.service_fraction = 0.35;
+      p.load_burst_rate = 0.003;
+      p.load_burst_duration = 3;
+      p.load_burst_log_magnitude = 0.40;
+      break;
+    case 4:
+      // Extreme churn (81M tasks/month on 11k machines) and fairly high
+      // utilization; middling violations but latency hit by load (Fig 3b/c).
+      p.name = "production_cell_4";
+      p.num_machines = 88;
+      p.tasks_per_machine = 18.0;
+      p.short_runtime_mean_hours = 0.8;
+      p.long_fraction = 0.05;
+      p.service_fraction = 0.15;
+      p.mean_ratio_alpha = 8.0;
+      p.mean_ratio_beta = 5.5;
+      p.arrival_diurnal_amplitude = 0.5;
+      // High churn keeps per-task history short, but its load is steady:
+      // shallow incidents, so fewer violations than cell 1 despite running
+      // hotter (the Fig 3 cell-1-vs-cell-4 anomaly).
+      p.load_burst_rate = 0.006;
+      p.load_burst_duration = 3;
+      p.load_burst_log_magnitude = 0.30;
+      break;
+    case 5:
+      // Small and bursty: the most violating cell of the five (Fig 3a).
+      p.name = "production_cell_5";
+      p.num_machines = 44;
+      p.spike_prob = 0.012;
+      p.spike_duration = 3;
+      p.ar_sigma_min = 0.07;
+      p.ar_sigma_max = 0.15;
+      p.diurnal_amp_min = 0.25;
+      p.diurnal_amp_max = 0.60;
+      p.job_phase_jitter_days = 0.06;
+      p.mean_ratio_alpha = 7.0;
+      p.mean_ratio_beta = 6.0;
+      p.short_runtime_mean_hours = 6.0;
+      p.service_fraction = 0.30;
+      p.load_burst_rate = 0.020;
+      p.load_burst_duration = 3;
+      p.load_burst_log_magnitude = 0.60;
+      break;
+    default:
+      CRF_CHECK(false) << "unknown production cell " << index;
+  }
+  return p;
+}
+
+std::vector<CellProfile> AllProductionCellProfiles() {
+  std::vector<CellProfile> profiles;
+  for (int i = 1; i <= 5; ++i) {
+    profiles.push_back(ProductionCellProfile(i));
+  }
+  return profiles;
+}
+
+}  // namespace crf

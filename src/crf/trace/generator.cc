@@ -1,0 +1,260 @@
+#include "crf/trace/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "crf/trace/job_sampler.h"
+#include "crf/trace/workload_model.h"
+#include "crf/util/check.h"
+
+namespace crf {
+namespace {
+
+class Generator {
+ public:
+  Generator(const CellProfile& profile, const GeneratorOptions& options, const Rng& rng)
+      : profile_(profile),
+        options_(options),
+        sampler_(profile, rng.Fork(0x6a6f62)),  // "job"
+        arrival_rng_(rng.Fork(0x617272)),       // "arr"
+        placement_rng_(rng.Fork(0x706c63)),     // "plc"
+        usage_rng_(rng.Fork(0x757367)) {}       // "usg"
+
+  CellTrace Run() {
+    InitMachines();
+    InitialFill();
+    ArrivalSweep();
+    GenerateUsage();
+    cell_.name = profile_.name;
+    cell_.num_intervals = options_.num_intervals;
+    return std::move(cell_);
+  }
+
+ private:
+  void InitMachines() {
+    cell_.machines.resize(profile_.num_machines);
+    for (auto& machine : cell_.machines) {
+      machine.capacity = profile_.machine_capacity;
+    }
+    alloc_.assign(profile_.num_machines, 0.0);
+    machine_weight_.resize(profile_.num_machines);
+    for (auto& weight : machine_weight_) {
+      weight = placement_rng_.LogNormal(0.0, profile_.machine_imbalance_sigma);
+    }
+    departing_alloc_.assign(profile_.num_machines,
+                            std::vector<double>(options_.num_intervals + 1, 0.0));
+    departure_counts_.assign(options_.num_intervals + 1, 0);
+  }
+
+  // Worst-fit placement: the feasible machine with the lowest weighted
+  // allocation ratio, preferring machines not already hosting a task of this
+  // job (spreading, a stand-in for Borg's anti-affinity). The static
+  // per-machine weight skews packing so some machines run persistently
+  // fuller than others, like a production cell.
+  int PlaceTask(double limit, const std::vector<int>& machines_used_by_job) {
+    int best = -1;
+    int best_used = -1;  // Fallback if every feasible machine hosts the job.
+    double best_ratio = std::numeric_limits<double>::infinity();
+    double best_used_ratio = std::numeric_limits<double>::infinity();
+    // Scan from a random offset so ties do not always favor machine 0.
+    const int num_machines = profile_.num_machines;
+    const int offset = static_cast<int>(placement_rng_.UniformInt(num_machines));
+    for (int k = 0; k < num_machines; ++k) {
+      const int m = (k + offset) % num_machines;
+      const double capacity = cell_.machines[m].capacity;
+      if (limit > capacity || alloc_[m] + limit > profile_.target_alloc_ratio * capacity) {
+        continue;
+      }
+      const double ratio = alloc_[m] / (capacity * machine_weight_[m]);
+      const bool used =
+          std::find(machines_used_by_job.begin(), machines_used_by_job.end(), m) !=
+          machines_used_by_job.end();
+      if (used) {
+        if (ratio < best_used_ratio) {
+          best_used_ratio = ratio;
+          best_used = m;
+        }
+      } else if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = m;
+      }
+    }
+    return best >= 0 ? best : best_used;
+  }
+
+  // Creates, places, and registers one task. Returns true if placed.
+  bool SpawnTask(const JobTemplate& job, Interval start, Interval runtime,
+                 std::vector<int>& machines_used_by_job) {
+    const int machine = PlaceTask(job.limit, machines_used_by_job);
+    if (machine < 0) {
+      ++cell_.dropped_tasks;
+      return false;
+    }
+    machines_used_by_job.push_back(machine);
+
+    TaskTrace task;
+    task.task_id = next_task_id_++;
+    task.job_id = job.job_id;
+    task.machine_index = machine;
+    task.start = start;
+    task.limit = job.limit;
+    task.sched_class = job.sched_class;
+    task.usage.reserve(runtime);
+    task_params_.push_back(sampler_.JitterTaskParams(job.params));
+
+    alloc_[machine] += job.limit;
+    const Interval end = start + runtime;
+    CRF_CHECK_LE(end, options_.num_intervals);
+    departing_alloc_[machine][end] += job.limit;
+    ++departure_counts_[end];
+    ++resident_count_;
+
+    cell_.machines[machine].task_indices.push_back(static_cast<int32_t>(cell_.tasks.size()));
+    runtimes_.push_back(runtime);
+    cell_.tasks.push_back(std::move(task));
+    return true;
+  }
+
+  void InitialFill() {
+    const int64_t target =
+        static_cast<int64_t>(profile_.tasks_per_machine * profile_.num_machines);
+    int64_t consecutive_failures = 0;
+    while (resident_count_ < target && consecutive_failures < 64) {
+      const JobTemplate job = sampler_.NextJob();
+      const bool service = arrival_rng_.Bernoulli(profile_.service_fraction);
+      const int num_tasks = sampler_.SampleTasksPerJob();
+      std::vector<int> used;
+      bool any_placed = false;
+      for (int i = 0; i < num_tasks; ++i) {
+        const Interval runtime = sampler_.SampleRuntime(service, 0, options_.num_intervals);
+        any_placed |= SpawnTask(job, 0, runtime, used);
+      }
+      consecutive_failures = any_placed ? 0 : consecutive_failures + 1;
+    }
+  }
+
+  void ArrivalSweep() {
+    for (Interval t = 1; t < options_.num_intervals; ++t) {
+      resident_count_ -= departure_counts_[t];
+      for (int m = 0; m < profile_.num_machines; ++m) {
+        alloc_[m] -= departing_alloc_[m][t];
+      }
+
+      int arrivals = arrival_rng_.Poisson(ArrivalRate(profile_, t, resident_count_));
+      while (arrivals > 0) {
+        const JobTemplate job = sampler_.NextJob();
+        const int num_tasks = std::min(arrivals, sampler_.SampleTasksPerJob());
+        std::vector<int> used;
+        for (int i = 0; i < num_tasks; ++i) {
+          SpawnTask(job, t,
+                    sampler_.SampleRuntime(/*service=*/false, t, options_.num_intervals), used);
+        }
+        arrivals -= num_tasks;
+      }
+    }
+  }
+
+  void GenerateUsage() {
+    const std::vector<double> shared_load =
+        BuildSharedLoadSeries(profile_, options_.num_intervals, usage_rng_);
+    std::array<double, kSubSamplesPerInterval> sub_samples;
+    std::array<double, kSubSamplesPerInterval> machine_sums;
+
+    for (int m = 0; m < profile_.num_machines; ++m) {
+      MachineTrace& machine = cell_.machines[m];
+      machine.true_peak.assign(options_.num_intervals, 0.0f);
+
+      // Tasks sorted by start interval (placement already appends in start
+      // order, but sorting keeps the invariant explicit).
+      std::vector<int32_t> order = machine.task_indices;
+      std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+        return cell_.tasks[a].start < cell_.tasks[b].start;
+      });
+
+      struct ActiveTask {
+        int32_t task_index;
+        Interval end;
+        TaskUsageModel model;
+      };
+      std::vector<ActiveTask> active;
+      size_t next = 0;
+
+      for (Interval t = 0; t < options_.num_intervals; ++t) {
+        // Retire ended tasks (swap-erase keeps this O(1) per departure; task
+        // RNG streams are per-model, so processing order is irrelevant).
+        for (size_t i = 0; i < active.size();) {
+          if (active[i].end <= t) {
+            active[i] = std::move(active.back());
+            active.pop_back();
+          } else {
+            ++i;
+          }
+        }
+        // Admit tasks starting now. task.end() is derived from the usage
+        // vector, which is still empty here; the authoritative lifetime is
+        // the sampled runtime.
+        while (next < order.size() && cell_.tasks[order[next]].start == t) {
+          const int32_t task_index = order[next++];
+          const TaskTrace& task = cell_.tasks[task_index];
+          active.push_back(
+              {task_index, t + runtimes_[task_index],
+               TaskUsageModel(task_params_[task_index], t,
+                              usage_rng_.Fork(static_cast<uint64_t>(task.task_id)))});
+        }
+
+        machine_sums.fill(0.0);
+        for (auto& entry : active) {
+          entry.model.Step(sub_samples, shared_load[t]);
+          const IntervalSummary summary = SummarizeInterval(sub_samples);
+          TaskTrace& task = cell_.tasks[entry.task_index];
+          task.usage.push_back(summary.scalar_p90);
+          if (options_.rich_stats) {
+            task.rich.push_back(summary.rich);
+          }
+          for (int k = 0; k < kSubSamplesPerInterval; ++k) {
+            machine_sums[k] += sub_samples[k];
+          }
+        }
+        machine.true_peak[t] =
+            static_cast<float>(*std::max_element(machine_sums.begin(), machine_sums.end()));
+      }
+    }
+
+    // Every task must have exactly runtime() worth of samples.
+    for (size_t i = 0; i < cell_.tasks.size(); ++i) {
+      CRF_CHECK_EQ(static_cast<Interval>(cell_.tasks[i].usage.size()), runtimes_[i]);
+    }
+  }
+
+  const CellProfile& profile_;
+  const GeneratorOptions& options_;
+  JobSampler sampler_;
+  Rng arrival_rng_;
+  Rng placement_rng_;
+  Rng usage_rng_;
+
+  CellTrace cell_;
+  std::vector<double> alloc_;
+  std::vector<double> machine_weight_;
+  std::vector<std::vector<double>> departing_alloc_;
+  std::vector<int64_t> departure_counts_;
+  std::vector<Interval> runtimes_;
+  std::vector<TaskUsageParams> task_params_;
+  int64_t resident_count_ = 0;
+  TaskId next_task_id_ = 1;
+};
+
+}  // namespace
+
+CellTrace GenerateCellTrace(const CellProfile& profile, const GeneratorOptions& options,
+                            const Rng& rng) {
+  CRF_CHECK_GT(profile.num_machines, 0);
+  CRF_CHECK_GT(options.num_intervals, 0);
+  Generator generator(profile, options, rng);
+  return generator.Run();
+}
+
+}  // namespace crf

@@ -1,0 +1,32 @@
+// Synthetic cell trace generation.
+//
+// Produces a CellTrace from a CellProfile: machines, an initial resident
+// population (services plus already-running batch/serving tasks), a stream of
+// job arrivals with diurnally modulated rates held near the target population
+// by a backfill controller, fixed placements chosen by a worst-fit packer
+// (the paper keeps the Borg scheduler's placements, Section 5.1.2), and
+// per-task usage series from the workload model.
+
+#ifndef CRF_TRACE_GENERATOR_H_
+#define CRF_TRACE_GENERATOR_H_
+
+#include "crf/trace/cell_profile.h"
+#include "crf/trace/trace.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+
+struct GeneratorOptions {
+  Interval num_intervals = kIntervalsPerWeek;
+  // When true, every task keeps its full within-interval percentile ladder
+  // (RichUsage); needed by the Fig 1 / Fig 6 experiments, costs ~9x the
+  // per-task memory.
+  bool rich_stats = false;
+};
+
+CellTrace GenerateCellTrace(const CellProfile& profile, const GeneratorOptions& options,
+                            const Rng& rng);
+
+}  // namespace crf
+
+#endif  // CRF_TRACE_GENERATOR_H_

@@ -1,0 +1,122 @@
+#include "crf/trace/job_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+JobSampler::JobSampler(const CellProfile& profile, const Rng& rng)
+    : profile_(profile), rng_(rng) {}
+
+JobTemplate JobSampler::NextJob() {
+  JobTemplate job;
+  job.job_id = next_job_id_++;
+  job.limit = std::clamp(rng_.LogNormal(profile_.limit_log_mu, profile_.limit_log_sigma),
+                         profile_.limit_min, profile_.limit_max);
+  if (rng_.Bernoulli(profile_.serving_fraction)) {
+    job.sched_class = rng_.Bernoulli(0.5) ? SchedulingClass::kLatencySensitive
+                                          : SchedulingClass::kHighlySensitive;
+  } else {
+    job.sched_class =
+        rng_.Bernoulli(0.5) ? SchedulingClass::kBestEffort : SchedulingClass::kBatch;
+  }
+  TaskUsageParams& p = job.params;
+  p.limit = job.limit;
+  p.mean_ratio =
+      0.05 + 0.75 * rng_.Beta(profile_.mean_ratio_alpha, profile_.mean_ratio_beta);
+  p.diurnal_amplitude = rng_.Uniform(profile_.diurnal_amp_min, profile_.diurnal_amp_max);
+  double phase = profile_.cell_phase_days + rng_.Normal(0.0, profile_.job_phase_jitter_days);
+  phase -= std::floor(phase);
+  p.phase_days = phase;
+  p.ar_rho = rng_.Uniform(profile_.ar_rho_min, profile_.ar_rho_max);
+  p.ar_sigma = rng_.Uniform(profile_.ar_sigma_min, profile_.ar_sigma_max);
+  p.spike_prob = profile_.spike_prob;
+  p.spike_level = profile_.spike_level;
+  p.spike_duration = profile_.spike_duration;
+  p.within_sigma = profile_.within_sigma;
+  p.load_coupling = IsServing(job.sched_class)
+                        ? rng_.Beta(profile_.coupling_alpha, profile_.coupling_beta)
+                        : 0.0;
+  return job;
+}
+
+int JobSampler::SampleTasksPerJob() {
+  const double mean = std::max(1.0, profile_.tasks_per_job_mean);
+  return rng_.Geometric(1.0 / mean);
+}
+
+Interval JobSampler::SampleRuntime(bool service, Interval now, Interval num_intervals) {
+  CRF_CHECK_LT(now, num_intervals);
+  const Interval remaining = num_intervals - now;
+  if (service) {
+    return remaining;
+  }
+  double hours;
+  if (rng_.Bernoulli(profile_.long_fraction)) {
+    hours = rng_.LogNormal(profile_.long_runtime_log_mean, profile_.long_runtime_log_sigma);
+  } else {
+    hours = rng_.Exponential(profile_.short_runtime_mean_hours);
+  }
+  const Interval runtime = std::max<Interval>(1, HoursToIntervals(hours));
+  return std::min(runtime, remaining);
+}
+
+TaskUsageParams JobSampler::JitterTaskParams(const TaskUsageParams& job_params) {
+  TaskUsageParams params = job_params;
+  params.mean_ratio = std::clamp(params.mean_ratio * rng_.Uniform(0.9, 1.1), 0.02, 1.0);
+  return params;
+}
+
+double MeanNonServiceRuntimeIntervals(const CellProfile& profile) {
+  const double short_mean = profile.short_runtime_mean_hours;
+  const double long_mean =
+      std::exp(profile.long_runtime_log_mean +
+               0.5 * profile.long_runtime_log_sigma * profile.long_runtime_log_sigma);
+  const double mean_hours =
+      (1.0 - profile.long_fraction) * short_mean + profile.long_fraction * long_mean;
+  return std::max(1.0, mean_hours * kIntervalsPerHour);
+}
+
+std::vector<double> BuildSharedLoadSeries(const CellProfile& profile, Interval num_intervals,
+                                          const Rng& rng) {
+  std::vector<double> series(num_intervals);
+  Rng local = rng.Fork(0x6c6f6164);  // "load"
+  const double rho = profile.cell_load_rho;
+  const double innovation = profile.cell_load_sigma * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  double ar = local.Normal(0.0, profile.cell_load_sigma);
+  double burst = 1.0;
+  Interval burst_remaining = 0;
+  for (Interval t = 0; t < num_intervals; ++t) {
+    const double wave =
+        std::sin(2.0 * std::numbers::pi *
+                 (static_cast<double>(t) / kIntervalsPerDay - profile.cell_phase_days));
+    ar = rho * ar + local.Normal(0.0, innovation);
+    if (burst_remaining > 0) {
+      --burst_remaining;
+    } else {
+      burst = 1.0;
+      if (local.Bernoulli(profile.load_burst_rate)) {
+        burst = local.LogNormal(profile.load_burst_log_magnitude, 0.15);
+        burst_remaining = profile.load_burst_duration;
+      }
+    }
+    series[t] = std::max(0.1, (1.0 + profile.cell_load_amplitude * wave + ar) * burst);
+  }
+  return series;
+}
+
+double ArrivalRate(const CellProfile& profile, Interval t, int64_t resident_count) {
+  const double target = profile.tasks_per_machine * profile.num_machines;
+  const double mean_runtime = MeanNonServiceRuntimeIntervals(profile);
+  const double churn = target * (1.0 - profile.service_fraction) / mean_runtime;
+  const double wave =
+      std::sin(2.0 * std::numbers::pi *
+               (static_cast<double>(t) / kIntervalsPerDay - profile.cell_phase_days));
+  const double backfill = 0.05 * std::max(0.0, target - static_cast<double>(resident_count));
+  return std::max(0.0, churn * (1.0 + profile.arrival_diurnal_amplitude * wave)) + backfill;
+}
+
+}  // namespace crf

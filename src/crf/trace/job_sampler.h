@@ -1,0 +1,66 @@
+// Job and task sampling shared by the offline trace generator and the online
+// cluster simulator: both draw from the same workload distributions so that
+// a cluster-sim cell is statistically the same workload as a generated trace
+// of the same profile.
+
+#ifndef CRF_TRACE_JOB_SAMPLER_H_
+#define CRF_TRACE_JOB_SAMPLER_H_
+
+#include <vector>
+
+#include "crf/trace/cell_profile.h"
+#include "crf/trace/trace.h"
+#include "crf/trace/workload_model.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+
+// Per-job parameters shared (with small per-task jitter) by the job's tasks.
+// Tasks of one job sit behind one load balancer, so they share limit, phase
+// and workload character.
+struct JobTemplate {
+  JobId job_id = 0;
+  double limit = 0.1;
+  SchedulingClass sched_class = SchedulingClass::kLatencySensitive;
+  TaskUsageParams params;
+};
+
+class JobSampler {
+ public:
+  JobSampler(const CellProfile& profile, const Rng& rng);
+
+  // Draws a fresh job: limit, scheduling class, usage character, coupling.
+  JobTemplate NextJob();
+
+  // Tasks per job: geometric with the profile's mean.
+  int SampleTasksPerJob();
+
+  // Runtime in intervals; `service` tasks run to the end of the trace.
+  // Clamped to [1, num_intervals - now].
+  Interval SampleRuntime(bool service, Interval now, Interval num_intervals);
+
+  // Per-task jitter of the job's mean usage level.
+  TaskUsageParams JitterTaskParams(const TaskUsageParams& job_params);
+
+ private:
+  const CellProfile& profile_;
+  Rng rng_;
+  JobId next_job_id_ = 1;
+};
+
+// Expected runtime, in intervals, of the profile's non-service task mixture
+// (drives the steady-state churn arrival rate).
+double MeanNonServiceRuntimeIntervals(const CellProfile& profile);
+
+// The cell-wide shared load factor series (user traffic): mean 1.0, daily
+// sine of the profile's amplitude plus AR(1) noise, floored at 0.1.
+std::vector<double> BuildSharedLoadSeries(const CellProfile& profile, Interval num_intervals,
+                                          const Rng& rng);
+
+// The diurnally modulated churn arrival rate (tasks per interval) plus a
+// backfill term pulling the resident population toward the profile target.
+double ArrivalRate(const CellProfile& profile, Interval t, int64_t resident_count);
+
+}  // namespace crf
+
+#endif  // CRF_TRACE_JOB_SAMPLER_H_

@@ -1,0 +1,118 @@
+#include "crf/trace/trace.h"
+
+#include <algorithm>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+bool IsServing(SchedulingClass sched_class) {
+  return sched_class == SchedulingClass::kLatencySensitive ||
+         sched_class == SchedulingClass::kHighlySensitive;
+}
+
+float RichUsage::AtPercentile(int p) const {
+  if (p <= 50) {
+    return p50;
+  }
+  switch (p) {
+    case 60:
+      return p60;
+    case 70:
+      return p70;
+    case 80:
+      return p80;
+    case 90:
+      return p90;
+    case 95:
+      return p95;
+    case 99:
+      return p99;
+    default:
+      return max;
+  }
+}
+
+double TaskTrace::PeakUsage() const {
+  double peak = 0.0;
+  for (const float u : usage) {
+    peak = std::max(peak, static_cast<double>(u));
+  }
+  return peak;
+}
+
+std::vector<double> CellTrace::MachineUsageSeries(int machine_index) const {
+  CRF_CHECK_GE(machine_index, 0);
+  CRF_CHECK_LT(machine_index, static_cast<int>(machines.size()));
+  std::vector<double> series(num_intervals, 0.0);
+  for (const int32_t task_index : machines[machine_index].task_indices) {
+    const TaskTrace& task = tasks[task_index];
+    const Interval end = std::min(task.end(), num_intervals);
+    for (Interval t = task.start; t < end; ++t) {
+      series[t] += task.usage[t - task.start];
+    }
+  }
+  return series;
+}
+
+std::vector<double> CellTrace::MachineLimitSeries(int machine_index) const {
+  CRF_CHECK_GE(machine_index, 0);
+  CRF_CHECK_LT(machine_index, static_cast<int>(machines.size()));
+  std::vector<double> series(num_intervals, 0.0);
+  for (const int32_t task_index : machines[machine_index].task_indices) {
+    const TaskTrace& task = tasks[task_index];
+    const Interval end = std::min(task.end(), num_intervals);
+    for (Interval t = task.start; t < end; ++t) {
+      series[t] += task.limit;
+    }
+  }
+  return series;
+}
+
+std::vector<int32_t> CellTrace::MachineResidentCount(int machine_index) const {
+  CRF_CHECK_GE(machine_index, 0);
+  CRF_CHECK_LT(machine_index, static_cast<int>(machines.size()));
+  std::vector<int32_t> counts(num_intervals, 0);
+  for (const int32_t task_index : machines[machine_index].task_indices) {
+    const TaskTrace& task = tasks[task_index];
+    const Interval end = std::min(task.end(), num_intervals);
+    for (Interval t = task.start; t < end; ++t) {
+      ++counts[t];
+    }
+  }
+  return counts;
+}
+
+void CellTrace::FilterToServingTasks() {
+  std::vector<TaskTrace> kept;
+  kept.reserve(tasks.size());
+  for (auto& task : tasks) {
+    if (IsServing(task.sched_class)) {
+      kept.push_back(std::move(task));
+    }
+  }
+  tasks = std::move(kept);
+  for (auto& machine : machines) {
+    machine.task_indices.clear();
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const int32_t machine_index = tasks[i].machine_index;
+    if (machine_index >= 0) {
+      machines[machine_index].task_indices.push_back(static_cast<int32_t>(i));
+    }
+  }
+  // true_peak includes the filtered-out batch tasks' contribution; it remains
+  // valid as ground truth for "everything that ran on the machine", which is
+  // what a machine-level peak means. Experiments that need serving-only
+  // ground truth regenerate with a serving-only profile.
+}
+
+double CellTrace::TotalCapacity() const {
+  double total = 0.0;
+  for (const auto& machine : machines) {
+    total += machine.capacity;
+  }
+  return total;
+}
+
+}  // namespace crf

@@ -1,0 +1,116 @@
+// Trace data model.
+//
+// Mirrors the slice of the Google cluster trace v3 that the paper's simulator
+// consumes: per-task 5-minute CPU usage series with limits and fixed machine
+// placements. The public trace reports a usage *distribution* per 5-minute
+// interval rather than a single number; the paper feeds the simulator the
+// within-interval 90th percentile (Section 5.1.2) and keeps the true
+// machine-level within-interval peak as ground truth. TaskTrace::usage is
+// that p90 series (capped at the limit); MachineTrace::true_peak is the
+// ground-truth peak series; RichUsage optionally keeps the full percentile
+// ladder for experiments that need it (Fig 1, Fig 6).
+
+#ifndef CRF_TRACE_TRACE_H_
+#define CRF_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crf/util/time_grid.h"
+
+namespace crf {
+
+using TaskId = int64_t;
+using JobId = int64_t;
+
+// Google trace scheduling classes; the paper's simulations keep only the
+// latency-sensitive classes 2 and 3 (Section 5.1.2).
+enum class SchedulingClass : uint8_t {
+  kBestEffort = 0,
+  kBatch = 1,
+  kLatencySensitive = 2,
+  kHighlySensitive = 3,
+};
+
+bool IsServing(SchedulingClass sched_class);
+
+// Within-interval usage distribution of one task over one 5-minute interval.
+struct RichUsage {
+  float avg = 0.0f;
+  float p50 = 0.0f;
+  float p60 = 0.0f;
+  float p70 = 0.0f;
+  float p80 = 0.0f;
+  float p90 = 0.0f;
+  float p95 = 0.0f;
+  float p99 = 0.0f;
+  float max = 0.0f;
+
+  // Returns the percentile column nearest to p (p in {50,60,70,80,90,95,99,
+  // 100}); used by the Fig 6 estimator sweep.
+  float AtPercentile(int p) const;
+};
+
+struct TaskTrace {
+  TaskId task_id = 0;
+  JobId job_id = 0;
+  int32_t machine_index = -1;
+  Interval start = 0;
+  double limit = 0.0;
+  SchedulingClass sched_class = SchedulingClass::kLatencySensitive;
+  // Per-interval usage scalar (within-interval p90, capped at limit);
+  // usage[k] covers interval start + k.
+  std::vector<float> usage;
+  // Optional full within-interval distributions; empty or same size as usage.
+  std::vector<RichUsage> rich;
+
+  // One past the last interval with usage.
+  Interval end() const { return start + static_cast<Interval>(usage.size()); }
+  Interval runtime() const { return static_cast<Interval>(usage.size()); }
+  bool ResidentAt(Interval t) const { return t >= start && t < end(); }
+  // Usage at interval t; 0 outside the task's lifetime.
+  double UsageAt(Interval t) const {
+    return ResidentAt(t) ? static_cast<double>(usage[t - start]) : 0.0;
+  }
+  // Peak of the scalar usage series over the task's whole lifetime.
+  double PeakUsage() const;
+};
+
+struct MachineTrace {
+  double capacity = 1.0;
+  // Indices into CellTrace::tasks of every task ever placed on this machine.
+  std::vector<int32_t> task_indices;
+  // Ground-truth within-interval machine peak per interval (sum over resident
+  // tasks of time-aligned sub-interval samples, maximized over sub-instants).
+  std::vector<float> true_peak;
+};
+
+struct CellTrace {
+  std::string name;
+  Interval num_intervals = 0;
+  std::vector<MachineTrace> machines;
+  std::vector<TaskTrace> tasks;
+  // Tasks the generator's placement step could not fit anywhere (reporting
+  // only; they have no usage and no machine).
+  int64_t dropped_tasks = 0;
+
+  // Sum over the machine's tasks of UsageAt(t), for every t — the machine
+  // aggregate usage series U(J, t).
+  std::vector<double> MachineUsageSeries(int machine_index) const;
+  // Sum of limits of resident tasks per interval.
+  std::vector<double> MachineLimitSeries(int machine_index) const;
+  // Number of resident tasks per interval.
+  std::vector<int32_t> MachineResidentCount(int machine_index) const;
+
+  // Removes tasks whose scheduling class fails `IsServing` (mirrors the
+  // paper's filter to classes 2-3), rebuilding machine task lists.
+  void FilterToServingTasks();
+
+  int64_t TotalTaskCount() const { return static_cast<int64_t>(tasks.size()); }
+  double TotalCapacity() const;
+};
+
+}  // namespace crf
+
+#endif  // CRF_TRACE_TRACE_H_

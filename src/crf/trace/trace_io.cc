@@ -1,0 +1,183 @@
+#include "crf/trace/trace_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "crf/util/check.h"
+#include "crf/util/csv.h"
+
+namespace crf {
+namespace {
+
+constexpr std::string_view kMagic = "# crf-trace v1";
+
+void AppendSeries(std::string& out, const std::vector<float>& series) {
+  char buffer[32];
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) {
+      out += ';';
+    }
+    std::snprintf(buffer, sizeof(buffer), "%.6g", static_cast<double>(series[i]));
+    out += buffer;
+  }
+}
+
+bool ParseDouble(std::string_view field, double& out) {
+  const auto result = std::from_chars(field.data(), field.data() + field.size(), out);
+  return result.ec == std::errc();
+}
+
+bool ParseInt(std::string_view field, int64_t& out) {
+  const auto result = std::from_chars(field.data(), field.data() + field.size(), out);
+  return result.ec == std::errc();
+}
+
+bool ParseSeries(std::string_view field, std::vector<float>& out) {
+  out.clear();
+  if (field.empty()) {
+    return true;
+  }
+  size_t start = 0;
+  while (true) {
+    const size_t semi = field.find(';', start);
+    const std::string_view piece =
+        semi == std::string_view::npos ? field.substr(start) : field.substr(start, semi - start);
+    double value = 0.0;
+    if (!ParseDouble(piece, value)) {
+      return false;
+    }
+    out.push_back(static_cast<float>(value));
+    if (semi == std::string_view::npos) {
+      break;
+    }
+    start = semi + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SaveCellTrace(const CellTrace& cell, const std::string& path) {
+  std::ofstream out(path);
+  CRF_CHECK(out.is_open()) << "cannot open " << path;
+  out << kMagic << '\n';
+  out << "cell," << cell.name << ',' << cell.num_intervals << ',' << cell.machines.size() << ','
+      << cell.dropped_tasks << '\n';
+  std::string line;
+  for (size_t m = 0; m < cell.machines.size(); ++m) {
+    line = "machine,";
+    line += std::to_string(m);
+    line += ',';
+    line += FormatDouble(cell.machines[m].capacity);
+    line += ',';
+    AppendSeries(line, cell.machines[m].true_peak);
+    out << line << '\n';
+  }
+  for (const TaskTrace& task : cell.tasks) {
+    line = "task,";
+    line += std::to_string(task.task_id);
+    line += ',';
+    line += std::to_string(task.job_id);
+    line += ',';
+    line += std::to_string(task.machine_index);
+    line += ',';
+    line += std::to_string(task.start);
+    line += ',';
+    line += FormatDouble(task.limit);
+    line += ',';
+    line += std::to_string(static_cast<int>(task.sched_class));
+    line += ',';
+    AppendSeries(line, task.usage);
+    out << line << '\n';
+  }
+  CRF_CHECK(out.good()) << "write failure on " << path;
+}
+
+std::optional<CellTrace> LoadCellTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return std::nullopt;
+  }
+
+  CellTrace cell;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields[0] == "cell") {
+      if (fields.size() != 5) {
+        return std::nullopt;
+      }
+      int64_t intervals = 0;
+      int64_t machines = 0;
+      int64_t dropped = 0;
+      if (!ParseInt(fields[2], intervals) || !ParseInt(fields[3], machines) ||
+          !ParseInt(fields[4], dropped)) {
+        return std::nullopt;
+      }
+      cell.name = std::string(fields[1]);
+      cell.num_intervals = static_cast<Interval>(intervals);
+      cell.machines.resize(machines);
+      cell.dropped_tasks = dropped;
+      saw_header = true;
+    } else if (fields[0] == "machine") {
+      if (!saw_header || fields.size() != 4) {
+        return std::nullopt;
+      }
+      int64_t index = 0;
+      double capacity = 0.0;
+      if (!ParseInt(fields[1], index) || !ParseDouble(fields[2], capacity) || index < 0 ||
+          index >= static_cast<int64_t>(cell.machines.size())) {
+        return std::nullopt;
+      }
+      cell.machines[index].capacity = capacity;
+      if (!ParseSeries(fields[3], cell.machines[index].true_peak)) {
+        return std::nullopt;
+      }
+    } else if (fields[0] == "task") {
+      if (!saw_header || fields.size() != 8) {
+        return std::nullopt;
+      }
+      TaskTrace task;
+      int64_t task_id = 0;
+      int64_t job_id = 0;
+      int64_t machine = 0;
+      int64_t start = 0;
+      int64_t sched_class = 0;
+      if (!ParseInt(fields[1], task_id) || !ParseInt(fields[2], job_id) ||
+          !ParseInt(fields[3], machine) || !ParseInt(fields[4], start) ||
+          !ParseDouble(fields[5], task.limit) || !ParseInt(fields[6], sched_class) ||
+          machine < 0 || machine >= static_cast<int64_t>(cell.machines.size()) ||
+          sched_class < 0 || sched_class > 3) {
+        return std::nullopt;
+      }
+      task.task_id = task_id;
+      task.job_id = job_id;
+      task.machine_index = static_cast<int32_t>(machine);
+      task.start = static_cast<Interval>(start);
+      task.sched_class = static_cast<SchedulingClass>(sched_class);
+      if (!ParseSeries(fields[7], task.usage)) {
+        return std::nullopt;
+      }
+      cell.machines[machine].task_indices.push_back(static_cast<int32_t>(cell.tasks.size()));
+      cell.tasks.push_back(std::move(task));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) {
+    return std::nullopt;
+  }
+  return cell;
+}
+
+}  // namespace crf

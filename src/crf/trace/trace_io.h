@@ -1,0 +1,32 @@
+// Trace persistence.
+//
+// A simple line-oriented text format so generated traces can be cached,
+// inspected, or fed to external tooling. Rich within-interval stats are not
+// persisted (they are cheap to regenerate and 9x the size); LoadCellTrace
+// returns a trace with empty TaskTrace::rich.
+//
+// Format (one record per line, comma-separated; series fields use ';'):
+//   # crf-trace v1
+//   cell,<name>,<num_intervals>,<num_machines>,<dropped_tasks>
+//   machine,<index>,<capacity>,<true_peak[0];true_peak[1];...>
+//   task,<task_id>,<job_id>,<machine>,<start>,<limit>,<class>,<u0;u1;...>
+
+#ifndef CRF_TRACE_TRACE_IO_H_
+#define CRF_TRACE_TRACE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "crf/trace/trace.h"
+
+namespace crf {
+
+// Writes `cell` to `path`. Aborts on I/O error (paths are operator input).
+void SaveCellTrace(const CellTrace& cell, const std::string& path);
+
+// Loads a trace; returns nullopt if the file is missing or malformed.
+std::optional<CellTrace> LoadCellTrace(const std::string& path);
+
+}  // namespace crf
+
+#endif  // CRF_TRACE_TRACE_IO_H_

@@ -1,0 +1,112 @@
+#include "crf/trace/trace_stats.h"
+
+#include <algorithm>
+
+#include "crf/stats/window_max.h"
+#include "crf/util/check.h"
+
+namespace crf {
+
+std::vector<int64_t> SubmissionRateSeries(const CellTrace& cell) {
+  std::vector<int64_t> series(cell.num_intervals, 0);
+  for (const TaskTrace& task : cell.tasks) {
+    if (task.start > 0 && task.start < cell.num_intervals) {
+      ++series[task.start];
+    }
+  }
+  return series;
+}
+
+Ecdf TaskRuntimeHoursCdf(const CellTrace& cell) {
+  Ecdf cdf;
+  for (const TaskTrace& task : cell.tasks) {
+    cdf.Add(IntervalsToHours(task.runtime()));
+  }
+  return cdf;
+}
+
+Ecdf UsageToLimitCdf(const CellTrace& cell, int stride) {
+  CRF_CHECK_GE(stride, 1);
+  Ecdf cdf;
+  for (const TaskTrace& task : cell.tasks) {
+    if (task.limit <= 0.0) {
+      continue;
+    }
+    for (size_t k = 0; k < task.usage.size(); k += stride) {
+      cdf.Add(task.usage[k] / task.limit);
+    }
+  }
+  return cdf;
+}
+
+std::vector<double> CellLimitSeries(const CellTrace& cell) {
+  std::vector<double> series(cell.num_intervals, 0.0);
+  for (const TaskTrace& task : cell.tasks) {
+    const Interval end = std::min(task.end(), cell.num_intervals);
+    for (Interval t = task.start; t < end; ++t) {
+      series[t] += task.limit;
+    }
+  }
+  return series;
+}
+
+std::vector<double> CellUsageSeries(const CellTrace& cell) {
+  std::vector<double> series(cell.num_intervals, 0.0);
+  for (const TaskTrace& task : cell.tasks) {
+    const Interval end = std::min(task.end(), cell.num_intervals);
+    for (Interval t = task.start; t < end; ++t) {
+      series[t] += task.usage[t - task.start];
+    }
+  }
+  return series;
+}
+
+std::vector<double> TaskLevelFuturePeakSum(const CellTrace& cell, Interval horizon) {
+  CRF_CHECK_GE(horizon, 1);
+  std::vector<double> sum(cell.num_intervals, 0.0);
+  std::vector<double> usage;
+  for (const TaskTrace& task : cell.tasks) {
+    usage.assign(task.usage.begin(), task.usage.end());
+    if (usage.empty()) {
+      continue;
+    }
+    // peak[k] = max of the task's usage over [k, k+horizon) of its lifetime;
+    // a task's future usage beyond its completion is zero, so its own future
+    // peak at offset k is exactly this forward window max.
+    const std::vector<double> peak = ForwardWindowMax(usage, horizon);
+    const Interval end = std::min(task.end(), cell.num_intervals);
+    for (Interval t = task.start; t < end; ++t) {
+      sum[t] += peak[t - task.start];
+    }
+  }
+  return sum;
+}
+
+Ecdf PercentileSumPeakErrorCdf(const CellTrace& cell, int percentile, int stride) {
+  CRF_CHECK_GE(stride, 1);
+  Ecdf cdf;
+  for (size_t m = 0; m < cell.machines.size(); ++m) {
+    const MachineTrace& machine = cell.machines[m];
+    CRF_CHECK_EQ(machine.true_peak.size(), static_cast<size_t>(cell.num_intervals))
+        << "machine true_peak missing; generate the trace first";
+    std::vector<double> approx(cell.num_intervals, 0.0);
+    for (const int32_t task_index : machine.task_indices) {
+      const TaskTrace& task = cell.tasks[task_index];
+      CRF_CHECK_EQ(task.rich.size(), task.usage.size())
+          << "PercentileSumPeakErrorCdf requires rich_stats traces";
+      const Interval end = std::min(task.end(), cell.num_intervals);
+      for (Interval t = task.start; t < end; ++t) {
+        approx[t] += task.rich[t - task.start].AtPercentile(percentile);
+      }
+    }
+    for (Interval t = 0; t < cell.num_intervals; t += stride) {
+      const double actual = machine.true_peak[t];
+      if (actual > 1e-9) {
+        cdf.Add((approx[t] - actual) / actual);
+      }
+    }
+  }
+  return cdf;
+}
+
+}  // namespace crf

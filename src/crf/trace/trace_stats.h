@@ -1,0 +1,43 @@
+// Descriptive statistics over traces, shared by the motivation/background
+// experiments (Figs 1, 4, 6, 7) and the examples.
+
+#ifndef CRF_TRACE_TRACE_STATS_H_
+#define CRF_TRACE_TRACE_STATS_H_
+
+#include <vector>
+
+#include "crf/stats/ecdf.h"
+#include "crf/trace/trace.h"
+
+namespace crf {
+
+// Tasks submitted per interval (interval 0 is excluded: the initial resident
+// population is not a submission wave). Fig 4.
+std::vector<int64_t> SubmissionRateSeries(const CellTrace& cell);
+
+// Runtime in hours of every task. Fig 7(a).
+Ecdf TaskRuntimeHoursCdf(const CellTrace& cell);
+
+// Usage-to-limit ratio samples over all (task, interval) pairs, subsampled
+// by `stride` over intervals. Fig 7(c).
+Ecdf UsageToLimitCdf(const CellTrace& cell, int stride = 4);
+
+// Cell-level sum of limits / usage per interval.
+std::vector<double> CellLimitSeries(const CellTrace& cell);
+std::vector<double> CellUsageSeries(const CellTrace& cell);
+
+// For each interval tau, the sum over tasks resident at tau of the task's own
+// future peak usage within `horizon` intervals: the "sum(task-level peak)"
+// curve of Fig 1. (The machine-level counterpart is the peak oracle, in
+// crf/core/oracle.h.)
+std::vector<double> TaskLevelFuturePeakSum(const CellTrace& cell, Interval horizon);
+
+// Relative error samples (approx_peak - actual_peak) / actual_peak where
+// approx_peak = sum over resident tasks of their within-interval percentile
+// `p` (p in {50,60,70,80,90,95,99,100}) and actual_peak is the machine's
+// ground-truth within-interval peak. Requires rich stats. Fig 6.
+Ecdf PercentileSumPeakErrorCdf(const CellTrace& cell, int percentile, int stride = 4);
+
+}  // namespace crf
+
+#endif  // CRF_TRACE_TRACE_STATS_H_

@@ -1,0 +1,91 @@
+#include "crf/trace/workload_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+TaskUsageModel::TaskUsageModel(const TaskUsageParams& params, Interval interval0, Rng rng)
+    : params_(params), rng_(rng), next_interval_(interval0) {
+  CRF_CHECK_GT(params_.limit, 0.0);
+  CRF_CHECK_GE(params_.mean_ratio, 0.0);
+  CRF_CHECK_LE(params_.mean_ratio, 1.0);
+  CRF_CHECK_GE(params_.ar_rho, 0.0);
+  CRF_CHECK_LT(params_.ar_rho, 1.0);
+  // Start the AR process at its stationary distribution so tasks do not all
+  // begin at their mean.
+  ar_state_ = rng_.Normal(0.0, params_.ar_sigma);
+}
+
+void TaskUsageModel::Step(std::span<double> sub_samples, double shared_load) {
+  CRF_CHECK_EQ(sub_samples.size(), static_cast<size_t>(kSubSamplesPerInterval));
+  const Interval t = next_interval_++;
+
+  const double day_position = static_cast<double>(t) / kIntervalsPerDay - params_.phase_days;
+  const double wave = std::sin(2.0 * std::numbers::pi * day_position);
+  const double base = params_.mean_ratio * (1.0 + params_.diurnal_amplitude * wave);
+
+  // AR(1) innovation scaled so the stationary stddev equals ar_sigma.
+  const double innovation_sigma =
+      params_.ar_sigma * std::sqrt(1.0 - params_.ar_rho * params_.ar_rho);
+  ar_state_ = params_.ar_rho * ar_state_ + rng_.Normal(0.0, innovation_sigma);
+
+  if (spike_remaining_ > 0) {
+    --spike_remaining_;
+  } else if (rng_.Bernoulli(params_.spike_prob)) {
+    spike_remaining_ = params_.spike_duration;
+  }
+
+  const double load_mix =
+      1.0 - params_.load_coupling + params_.load_coupling * shared_load;
+  double ratio = (base + ar_state_) * std::max(0.0, load_mix);
+  if (spike_remaining_ > 0) {
+    ratio = std::max(ratio, params_.spike_level + rng_.Normal(0.0, 0.02));
+  }
+  ratio = std::clamp(ratio, 0.01, 1.0);
+  const double level = ratio * params_.limit;
+
+  // Mean-preserving lognormal jitter: E[exp(N(-s^2/2, s))] = 1.
+  const double s = params_.within_sigma;
+  const double mu = -0.5 * s * s;
+  for (auto& sample : sub_samples) {
+    sample = std::clamp(level * rng_.LogNormal(mu, s), 0.0, params_.limit);
+  }
+}
+
+IntervalSummary SummarizeInterval(std::span<const double> sub_samples) {
+  CRF_CHECK_EQ(sub_samples.size(), static_cast<size_t>(kSubSamplesPerInterval));
+  std::array<double, kSubSamplesPerInterval> sorted;
+  std::copy(sub_samples.begin(), sub_samples.end(), sorted.begin());
+  std::sort(sorted.begin(), sorted.end());
+
+  auto at = [&sorted](double p) {
+    const double rank = p / 100.0 * (kSubSamplesPerInterval - 1);
+    const int lo = static_cast<int>(rank);
+    const int hi = std::min(lo + 1, kSubSamplesPerInterval - 1);
+    const double frac = rank - lo;
+    return static_cast<float>(sorted[lo] + frac * (sorted[hi] - sorted[lo]));
+  };
+
+  IntervalSummary summary;
+  double sum = 0.0;
+  for (const double v : sorted) {
+    sum += v;
+  }
+  summary.rich.avg = static_cast<float>(sum / kSubSamplesPerInterval);
+  summary.rich.p50 = at(50);
+  summary.rich.p60 = at(60);
+  summary.rich.p70 = at(70);
+  summary.rich.p80 = at(80);
+  summary.rich.p90 = at(90);
+  summary.rich.p95 = at(95);
+  summary.rich.p99 = at(99);
+  summary.rich.max = static_cast<float>(sorted.back());
+  summary.scalar_p90 = summary.rich.p90;
+  return summary;
+}
+
+}  // namespace crf

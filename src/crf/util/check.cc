@@ -1,0 +1,21 @@
+#include "crf/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crf {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* condition, const char* file, int line) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace crf

@@ -1,0 +1,50 @@
+// Lightweight CHECK macros in the style of production systems code.
+//
+// A failed check prints the condition, the source location and an optional
+// streamed message, then aborts. These are for programming errors and broken
+// invariants, not for recoverable conditions; they stay enabled in all build
+// modes so that simulation results are never silently produced from a state
+// that violates an invariant.
+
+#ifndef CRF_UTIL_CHECK_H_
+#define CRF_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace crf {
+namespace internal {
+
+// Collects the streamed message and aborts in the destructor. Keeping the
+// abort out of line keeps the macro expansion small.
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crf
+
+#define CRF_CHECK(condition)                                        \
+  if (condition) {                                                  \
+  } else /* NOLINT */                                               \
+    ::crf::internal::CheckFailure(#condition, __FILE__, __LINE__)
+
+#define CRF_CHECK_EQ(a, b) CRF_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CRF_CHECK_NE(a, b) CRF_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CRF_CHECK_LT(a, b) CRF_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CRF_CHECK_LE(a, b) CRF_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CRF_CHECK_GT(a, b) CRF_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CRF_CHECK_GE(a, b) CRF_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // CRF_UTIL_CHECK_H_

@@ -1,0 +1,44 @@
+#include "crf/util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace crf {
+
+double GetEnvDouble(const std::string& name, double default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return default_value;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return end == raw ? default_value : value;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return default_value;
+  }
+  char* end = nullptr;
+  const int64_t value = std::strtoll(raw, &end, 10);
+  return end == raw ? default_value : value;
+}
+
+std::string GetEnvString(const std::string& name, const std::string& default_value) {
+  const char* raw = std::getenv(name.c_str());
+  return (raw == nullptr || *raw == '\0') ? default_value : std::string(raw);
+}
+
+double BenchScale() { return std::max(0.01, GetEnvDouble("REPRO_SCALE", 1.0)); }
+
+uint64_t BenchSeed() { return static_cast<uint64_t>(GetEnvInt("REPRO_SEED", 42)); }
+
+std::string BenchOutputDir() { return GetEnvString("REPRO_OUT", "bench_out"); }
+
+int ScaledCount(int base_count, int min_count) {
+  const double scaled = base_count * BenchScale();
+  return std::max(min_count, static_cast<int>(scaled + 0.5));
+}
+
+}  // namespace crf

@@ -1,0 +1,36 @@
+// Environment-variable configuration shared by the bench binaries.
+//
+// Bench binaries run with no arguments (so that `for b in build/bench/*; do
+// $b; done` works); their workload sizes are scaled through environment
+// variables instead:
+//
+//   REPRO_SCALE  - multiplies machine counts (default 1.0). 0.25 gives a
+//                  quick smoke run, 4 gives smoother CDFs.
+//   REPRO_SEED   - root seed for all generated workloads (default 42).
+//   REPRO_OUT    - directory for CSV output (default "bench_out").
+
+#ifndef CRF_UTIL_ENV_H_
+#define CRF_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crf {
+
+// Reads a double/int64/string environment variable, returning the default
+// when unset or unparsable.
+double GetEnvDouble(const std::string& name, double default_value);
+int64_t GetEnvInt(const std::string& name, int64_t default_value);
+std::string GetEnvString(const std::string& name, const std::string& default_value);
+
+// The standard bench knobs described above.
+double BenchScale();
+uint64_t BenchSeed();
+std::string BenchOutputDir();
+
+// Scales a machine count by BenchScale(), with a floor of `min_count`.
+int ScaledCount(int base_count, int min_count = 8);
+
+}  // namespace crf
+
+#endif  // CRF_UTIL_ENV_H_

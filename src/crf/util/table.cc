@@ -1,0 +1,79 @@
+#include "crf/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CRF_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> fields) {
+  CRF_CHECK_EQ(fields.size(), header_.size());
+  rows_.push_back(std::move(fields));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  char buffer[32];
+  for (const double value : values) {
+    std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+    fields.emplace_back(buffer);
+  }
+  AddRow(std::move(fields));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out += "  ";
+      }
+      out += row[i];
+      out.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') {
+      out.pop_back();
+    }
+    out += '\n';
+  };
+
+  append_row(header_);
+  size_t total = 0;
+  for (const size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    append_row(row);
+  }
+  return out;
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+void PrintBanner(const std::string& title) {
+  std::string line(title.size() + 4, '=');
+  std::printf("\n%s\n= %s =\n%s\n", line.c_str(), title.c_str(), line.c_str());
+}
+
+}  // namespace crf

@@ -1,0 +1,35 @@
+// Aligned console tables for bench output. Each bench prints the series a
+// paper figure plots as a human-readable table (and also writes CSV).
+
+#ifndef CRF_UTIL_TABLE_H_
+#define CRF_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace crf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> fields);
+  // Convenience: formats doubles with %.4g.
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  // Renders with padded columns, a separator under the header.
+  std::string Render() const;
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner (used to delimit figures in bench output).
+void PrintBanner(const std::string& title);
+
+}  // namespace crf
+
+#endif  // CRF_UTIL_TABLE_H_

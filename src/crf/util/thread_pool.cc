@@ -1,0 +1,101 @@
+#include "crf/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(0, num_threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) {
+          return;
+        }
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        work_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  CRF_CHECK_GE(count, 0);
+  if (count == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (int i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // Work stealing via a shared atomic index: each enqueued task drains
+  // iterations until the index runs out. One task per worker plus the calling
+  // thread participating keeps the queue small regardless of `count`.
+  auto next = std::make_shared<std::atomic<int>>(0);
+  auto drain = [next, count, fn] {
+    for (;;) {
+      const int i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      fn(i);
+    }
+  };
+
+  const int tasks = static_cast<int>(std::min<size_t>(workers_.size(), count));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CRF_CHECK_EQ(in_flight_, 0) << "ParallelFor is not reentrant";
+    in_flight_ = tasks;
+    for (int i = 0; i < tasks; ++i) {
+      queue_.emplace_back(drain);
+    }
+  }
+  work_available_.notify_all();
+  drain();  // The calling thread helps.
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace crf

@@ -1,0 +1,51 @@
+// A small fixed-size thread pool with a ParallelFor helper.
+//
+// Machines are simulated independently (paper Section 5.1.1), so the
+// simulator shards machines across the pool. On single-core hosts the pool
+// degenerates to inline execution with no thread overhead.
+
+#ifndef CRF_UTIL_THREAD_POOL_H_
+#define CRF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crf {
+
+class ThreadPool {
+ public:
+  // num_threads <= 1 means run everything inline on the calling thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs fn(i) for i in [0, count), blocking until all iterations finish.
+  // fn must be safe to call concurrently for distinct i.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // A pool sized to the hardware (hardware_concurrency, at least 1).
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace crf
+
+#endif  // CRF_UTIL_THREAD_POOL_H_

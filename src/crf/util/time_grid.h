@@ -1,0 +1,36 @@
+// The discrete time grid shared by the whole system.
+//
+// Both the Google cluster trace and the paper's simulator operate on a
+// 5-minute grid: task usage is reported once per 5-minute interval and the
+// predictors re-publish a peak prediction at the same cadence. All series in
+// this codebase are indexed by the interval number within the simulated
+// period (interval 0 = trace start).
+
+#ifndef CRF_UTIL_TIME_GRID_H_
+#define CRF_UTIL_TIME_GRID_H_
+
+#include <cstdint>
+
+namespace crf {
+
+// An index into the 5-minute grid.
+using Interval = int32_t;
+
+inline constexpr int kIntervalSeconds = 300;
+inline constexpr Interval kIntervalsPerHour = 12;
+inline constexpr Interval kIntervalsPerDay = 24 * kIntervalsPerHour;    // 288
+inline constexpr Interval kIntervalsPerWeek = 7 * kIntervalsPerDay;     // 2016
+
+// Converts a duration in hours to a number of 5-minute intervals.
+constexpr Interval HoursToIntervals(double hours) {
+  return static_cast<Interval>(hours * kIntervalsPerHour + 0.5);
+}
+
+// Converts a number of intervals to hours (for reporting).
+constexpr double IntervalsToHours(Interval intervals) {
+  return static_cast<double>(intervals) / kIntervalsPerHour;
+}
+
+}  // namespace crf
+
+#endif  // CRF_UTIL_TIME_GRID_H_

@@ -1,0 +1,109 @@
+#include "crf/trace/cell_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace crf {
+namespace {
+
+void ExpectSane(const CellProfile& p) {
+  EXPECT_FALSE(p.name.empty());
+  EXPECT_GT(p.num_machines, 0);
+  EXPECT_GT(p.machine_capacity, 0.0);
+  EXPECT_GT(p.tasks_per_machine, 0.0);
+  EXPECT_GE(p.service_fraction, 0.0);
+  EXPECT_LE(p.service_fraction, 1.0);
+  EXPECT_GT(p.limit_min, 0.0);
+  EXPECT_LE(p.limit_min, p.limit_max);
+  EXPECT_LE(p.limit_max, p.machine_capacity);
+  EXPECT_GT(p.mean_ratio_alpha, 0.0);
+  EXPECT_GT(p.mean_ratio_beta, 0.0);
+  EXPECT_LE(p.diurnal_amp_min, p.diurnal_amp_max);
+  EXPECT_LE(p.ar_rho_min, p.ar_rho_max);
+  EXPECT_LT(p.ar_rho_max, 1.0);
+  EXPECT_LE(p.ar_sigma_min, p.ar_sigma_max);
+  EXPECT_GE(p.spike_prob, 0.0);
+  EXPECT_LE(p.spike_prob, 1.0);
+  EXPECT_GT(p.spike_level, 0.0);
+  EXPECT_LE(p.spike_level, 1.0);
+  EXPECT_GE(p.serving_fraction, 0.0);
+  EXPECT_LE(p.serving_fraction, 1.0);
+  EXPECT_GE(p.target_alloc_ratio, 1.0);
+  EXPECT_GE(p.long_fraction, 0.0);
+  EXPECT_LE(p.long_fraction, 1.0);
+}
+
+TEST(CellProfileTest, AllSimCellsAreSane) {
+  const auto profiles = AllSimCellProfiles();
+  ASSERT_EQ(profiles.size(), 8u);
+  for (const auto& profile : profiles) {
+    ExpectSane(profile);
+  }
+}
+
+TEST(CellProfileTest, AllProductionCellsAreSane) {
+  const auto profiles = AllProductionCellProfiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  for (const auto& profile : profiles) {
+    ExpectSane(profile);
+  }
+}
+
+TEST(CellProfileTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& profile : AllSimCellProfiles()) {
+    EXPECT_TRUE(names.insert(profile.name).second) << profile.name;
+  }
+  for (const auto& profile : AllProductionCellProfiles()) {
+    EXPECT_TRUE(names.insert(profile.name).second) << profile.name;
+  }
+}
+
+TEST(CellProfileTest, CellAIsLargest) {
+  const CellProfile a = SimCellProfile('a');
+  for (char c = 'b'; c <= 'h'; ++c) {
+    EXPECT_GE(a.num_machines, SimCellProfile(c).num_machines) << c;
+  }
+}
+
+TEST(CellProfileTest, CellBHasLowestVariance) {
+  // Section 5.5: cell b has the lowest per-machine utilization stddev.
+  const CellProfile b = SimCellProfile('b');
+  for (char c = 'a'; c <= 'h'; ++c) {
+    if (c == 'b') {
+      continue;
+    }
+    EXPECT_LE(b.ar_sigma_max, SimCellProfile(c).ar_sigma_max) << c;
+    EXPECT_LE(b.spike_prob, SimCellProfile(c).spike_prob) << c;
+  }
+}
+
+TEST(CellProfileTest, CellCShorterTasksThanCellG) {
+  const CellProfile c = SimCellProfile('c');
+  const CellProfile g = SimCellProfile('g');
+  EXPECT_LT(c.short_runtime_mean_hours, g.short_runtime_mean_hours);
+  EXPECT_LT(c.long_fraction, g.long_fraction);
+  EXPECT_LT(c.service_fraction, g.service_fraction);
+}
+
+TEST(CellProfileTest, ProductionCell4HasHighestChurn) {
+  const CellProfile cell4 = ProductionCellProfile(4);
+  for (int i = 1; i <= 5; ++i) {
+    if (i == 4) {
+      continue;
+    }
+    EXPECT_LT(cell4.short_runtime_mean_hours,
+              ProductionCellProfile(i).short_runtime_mean_hours)
+        << i;
+  }
+}
+
+TEST(CellProfileDeathTest, UnknownCellsAbort) {
+  EXPECT_DEATH(SimCellProfile('z'), "unknown sim cell");
+  EXPECT_DEATH(ProductionCellProfile(0), "unknown production cell");
+  EXPECT_DEATH(ProductionCellProfile(6), "unknown production cell");
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,144 @@
+#include "crf/cluster/cell_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace crf {
+namespace {
+
+CellProfile SmallProfile() {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 12;
+  return profile;
+}
+
+ClusterSimOptions ShortOptions(PredictorSpec spec = BorgDefaultSpec(0.9)) {
+  ClusterSimOptions options;
+  options.num_intervals = 2 * kIntervalsPerDay;
+  options.warmup = kIntervalsPerDay / 2;
+  options.predictor = std::move(spec);
+  return options;
+}
+
+class CellSimFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new ClusterSimResult(RunClusterSim(SmallProfile(), ShortOptions(), Rng(44)));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static ClusterSimResult* result_;
+};
+
+ClusterSimResult* CellSimFixture::result_ = nullptr;
+
+TEST_F(CellSimFixture, ShapesAreConsistent) {
+  EXPECT_EQ(result_->cell_name, "cell_a");
+  EXPECT_EQ(result_->predictor_name, "borg-default-0.90");
+  EXPECT_EQ(result_->trace.machines.size(), 12u);
+  EXPECT_EQ(result_->predictions.size(), 12u);
+  EXPECT_EQ(result_->latencies.size(), 12u);
+  for (const auto& series : result_->predictions) {
+    EXPECT_EQ(series.size(), static_cast<size_t>(result_->trace.num_intervals));
+  }
+  EXPECT_GT(result_->tasks_placed, 100);
+}
+
+TEST_F(CellSimFixture, PlacedTasksHaveValidMachinesAndUsage) {
+  EXPECT_EQ(static_cast<int64_t>(result_->trace.tasks.size()), result_->tasks_placed);
+  for (const TaskTrace& task : result_->trace.tasks) {
+    ASSERT_GE(task.machine_index, 0);
+    ASSERT_LT(task.machine_index, 12);
+    EXPECT_GE(task.start, 1);  // Tasks start the interval after placement.
+    EXPECT_LE(task.end(), result_->trace.num_intervals);
+    EXPECT_FALSE(task.usage.empty());
+    for (const float u : task.usage) {
+      ASSERT_GE(u, 0.0f);
+      ASSERT_LE(u, static_cast<float>(task.limit) * 1.0001f);
+    }
+  }
+}
+
+TEST_F(CellSimFixture, TraceIndicesConsistent) {
+  std::set<int32_t> seen;
+  for (size_t m = 0; m < result_->trace.machines.size(); ++m) {
+    for (const int32_t index : result_->trace.machines[m].task_indices) {
+      EXPECT_EQ(result_->trace.tasks[index].machine_index, static_cast<int32_t>(m));
+      EXPECT_TRUE(seen.insert(index).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), result_->trace.tasks.size());
+}
+
+TEST_F(CellSimFixture, CellFillsUpDuringWarmup) {
+  // Mean demand across machines should be much higher at the end than in the
+  // first intervals (the cell starts empty).
+  double early = 0.0;
+  double late = 0.0;
+  const Interval last = result_->trace.num_intervals - 1;
+  for (size_t m = 0; m < result_->trace.machines.size(); ++m) {
+    early += result_->demand_mean[m][2];
+    late += result_->demand_mean[m][last];
+  }
+  EXPECT_GT(late, early * 2.0);
+}
+
+TEST(CellSimTest, LimitSumPredictorNeverOvercommits) {
+  // With the no-overcommit predictor the scheduler's feasibility check is
+  // prediction(=sum of limits) + new limit <= capacity, so the sum of
+  // resident limits can never exceed capacity.
+  ClusterSimResult result =
+      RunClusterSim(SmallProfile(), ShortOptions(LimitSumSpec()), Rng(45));
+  for (size_t m = 0; m < result.trace.machines.size(); ++m) {
+    for (Interval t = 0; t < result.trace.num_intervals; ++t) {
+      EXPECT_LE(result.limit_sum[m][t],
+                result.trace.machines[m].capacity + 1e-6);
+    }
+  }
+}
+
+TEST(CellSimTest, OvercommittingPredictorPacksDenser) {
+  ClusterSimResult conservative =
+      RunClusterSim(SmallProfile(), ShortOptions(LimitSumSpec()), Rng(46));
+  ClusterSimResult overcommit =
+      RunClusterSim(SmallProfile(), ShortOptions(BorgDefaultSpec(0.8)), Rng(46));
+  const Interval last = conservative.trace.num_intervals - 1;
+  double conservative_alloc = 0.0;
+  double overcommit_alloc = 0.0;
+  for (size_t m = 0; m < conservative.trace.machines.size(); ++m) {
+    conservative_alloc += conservative.limit_sum[m][last];
+    overcommit_alloc += overcommit.limit_sum[m][last];
+  }
+  EXPECT_GT(overcommit_alloc, conservative_alloc * 1.05);
+}
+
+TEST(CellSimTest, DeterministicGivenSeed) {
+  const ClusterSimResult a = RunClusterSim(SmallProfile(), ShortOptions(), Rng(47));
+  const ClusterSimResult b = RunClusterSim(SmallProfile(), ShortOptions(), Rng(47));
+  EXPECT_EQ(a.tasks_placed, b.tasks_placed);
+  ASSERT_EQ(a.trace.tasks.size(), b.trace.tasks.size());
+  for (size_t i = 0; i < a.trace.tasks.size(); ++i) {
+    ASSERT_EQ(a.trace.tasks[i].usage, b.trace.tasks[i].usage);
+    ASSERT_EQ(a.trace.tasks[i].machine_index, b.trace.tasks[i].machine_index);
+  }
+  EXPECT_EQ(a.predictions, b.predictions);
+}
+
+TEST(CellSimTest, PendingTimeoutBoundsQueue) {
+  // An absurdly overloaded cell must shed load through timeouts rather than
+  // grow the queue without bound.
+  CellProfile profile = SmallProfile();
+  profile.num_machines = 4;
+  profile.tasks_per_machine = 200.0;
+  ClusterSimOptions options = ShortOptions();
+  options.num_intervals = kIntervalsPerDay;
+  options.pending_timeout = 6;
+  const ClusterSimResult result = RunClusterSim(profile, options, Rng(48));
+  EXPECT_GT(result.tasks_timed_out, 0);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,55 @@
+#include "crf/util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace crf {
+namespace {
+
+TEST(CheckTest, PassingChecksDoNothing) {
+  CRF_CHECK(true);
+  CRF_CHECK_EQ(1, 1);
+  CRF_CHECK_NE(1, 2);
+  CRF_CHECK_LT(1, 2);
+  CRF_CHECK_LE(2, 2);
+  CRF_CHECK_GT(3, 2);
+  CRF_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(CRF_CHECK(false) << "boom", "CHECK failed.*false.*boom");
+}
+
+TEST(CheckDeathTest, ComparisonPrintsValues) {
+  const int x = 3;
+  const int y = 5;
+  EXPECT_DEATH(CRF_CHECK_EQ(x, y), "\\(3 vs 5\\)");
+}
+
+TEST(CheckDeathTest, StreamedMessageIncluded) {
+  EXPECT_DEATH(CRF_CHECK_GT(1, 2) << "context " << 42, "context 42");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto increments = [&calls] {
+    ++calls;
+    return true;
+  };
+  CRF_CHECK(increments());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, BindsTightEnoughForElse) {
+  // The macro must compose with surrounding if/else without dangling-else
+  // surprises.
+  bool reached = false;
+  if (true) {
+    CRF_CHECK(true);
+  } else {
+    reached = true;
+  }
+  EXPECT_FALSE(reached);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,104 @@
+#include "crf/stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputsReturnZero) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{2.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+  const std::vector<double> constant{3.0, 3.0, 3.0};
+  const std::vector<double> varying{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(constant, varying), 0.0);
+}
+
+TEST(FractionalRanksTest, SimpleOrdering) {
+  const std::vector<double> v{30.0, 10.0, 20.0};
+  const std::vector<double> ranks = FractionalRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(FractionalRanksTest, TiesGetAverageRank) {
+  const std::vector<double> v{1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> ranks = FractionalRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(SpearmanTest, InvariantUnderMonotoneTransform) {
+  Rng rng(20);
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> y_transformed;
+  for (int i = 0; i < 300; ++i) {
+    const double xi = rng.Normal(0.0, 1.0);
+    const double yi = xi + rng.Normal(0.0, 0.5);
+    x.push_back(xi);
+    y.push_back(yi);
+    y_transformed.push_back(std::exp(3.0 * yi));  // Strictly increasing map.
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), SpearmanCorrelation(x, y_transformed), 1e-12);
+}
+
+TEST(SpearmanTest, PerfectMonotoneIsOne) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(i * i);  // Monotone but nonlinear.
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(FitLineTest, ExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineRecoversSlope) {
+  Rng rng(21);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    const double xi = rng.UniformDouble();
+    x.push_back(xi);
+    y.push_back(14.1 * xi + 1.0 + rng.Normal(0.0, 0.2));
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 14.1, 0.15);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(FitLineTest, DegenerateReturnsZero) {
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y{2.0, 4.0};
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,93 @@
+#include "crf/stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+TEST(EcdfTest, EmptyEvaluatesZero) {
+  Ecdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(10.0), 0.0);
+}
+
+TEST(EcdfTest, EvaluateCountsInclusive) {
+  Ecdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(9.0), 1.0);
+}
+
+TEST(EcdfTest, QuantileEndpoints) {
+  Ecdf cdf({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(EcdfTest, AddThenQuery) {
+  Ecdf cdf;
+  for (int i = 1; i <= 100; ++i) {
+    cdf.Add(i);
+  }
+  EXPECT_EQ(cdf.size(), 100u);
+  EXPECT_NEAR(cdf.Quantile(0.5), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 50.5);
+}
+
+TEST(EcdfTest, CurvePointsMonotone) {
+  Rng rng(9);
+  Ecdf cdf;
+  for (int i = 0; i < 500; ++i) {
+    cdf.Add(rng.Normal(0.0, 2.0));
+  }
+  const auto points = cdf.CurvePoints(51);
+  ASSERT_EQ(points.size(), 51u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].x, points[i - 1].x);
+    EXPECT_GT(points[i].probability, points[i - 1].probability);
+  }
+  EXPECT_DOUBLE_EQ(points.front().probability, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().probability, 1.0);
+}
+
+TEST(EcdfTest, QuantileEvaluateRoundTrip) {
+  Rng rng(10);
+  Ecdf cdf;
+  for (int i = 0; i < 1000; ++i) {
+    cdf.Add(rng.UniformDouble());
+  }
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    const double x = cdf.Quantile(q);
+    EXPECT_NEAR(cdf.Evaluate(x), q, 0.01);
+  }
+}
+
+TEST(EcdfTest, WriteCdfsCsvProducesAllSeries) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "crf_ecdf_test.csv").string();
+  Ecdf a({1.0, 2.0});
+  Ecdf b({3.0});
+  WriteCdfsCsv(path, {{"alpha", &a}, {"beta", &b}}, 5);
+  std::ifstream in(path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  EXPECT_NE(text.find("series,x,probability"), std::string::npos);
+  EXPECT_NE(text.find("alpha,"), std::string::npos);
+  EXPECT_NE(text.find("beta,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,72 @@
+#include "crf/util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace crf {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) { setenv(name, value, /*overwrite=*/1); }
+  void TearDown() override {
+    unsetenv("CRF_TEST_VAR");
+    unsetenv("REPRO_SCALE");
+    unsetenv("REPRO_SEED");
+    unsetenv("REPRO_OUT");
+  }
+};
+
+TEST_F(EnvTest, DoubleParsesValue) {
+  SetEnv("CRF_TEST_VAR", "2.5");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CRF_TEST_VAR", 1.0), 2.5);
+}
+
+TEST_F(EnvTest, DoubleFallsBackWhenUnsetOrInvalid) {
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CRF_TEST_VAR", 1.5), 1.5);
+  SetEnv("CRF_TEST_VAR", "notanumber");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CRF_TEST_VAR", 1.5), 1.5);
+  SetEnv("CRF_TEST_VAR", "");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CRF_TEST_VAR", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, IntParsesValue) {
+  SetEnv("CRF_TEST_VAR", "42");
+  EXPECT_EQ(GetEnvInt("CRF_TEST_VAR", 7), 42);
+}
+
+TEST_F(EnvTest, IntFallsBack) {
+  EXPECT_EQ(GetEnvInt("CRF_TEST_VAR", 7), 7);
+  SetEnv("CRF_TEST_VAR", "x");
+  EXPECT_EQ(GetEnvInt("CRF_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, StringReadsValue) {
+  SetEnv("CRF_TEST_VAR", "hello");
+  EXPECT_EQ(GetEnvString("CRF_TEST_VAR", "d"), "hello");
+  EXPECT_EQ(GetEnvString("CRF_TEST_VAR_MISSING", "d"), "d");
+}
+
+TEST_F(EnvTest, BenchScaleFloorsAtSmallPositive) {
+  SetEnv("REPRO_SCALE", "-5");
+  EXPECT_GT(BenchScale(), 0.0);
+}
+
+TEST_F(EnvTest, ScaledCountAppliesScaleAndFloor) {
+  SetEnv("REPRO_SCALE", "0.5");
+  EXPECT_EQ(ScaledCount(100), 50);
+  EXPECT_EQ(ScaledCount(10, 8), 8);  // Floor wins.
+  SetEnv("REPRO_SCALE", "2");
+  EXPECT_EQ(ScaledCount(100), 200);
+}
+
+TEST_F(EnvTest, BenchSeedDefault) { EXPECT_EQ(BenchSeed(), 42u); }
+
+TEST_F(EnvTest, BenchOutputDirOverride) {
+  SetEnv("REPRO_OUT", "/tmp/somewhere");
+  EXPECT_EQ(BenchOutputDir(), "/tmp/somewhere");
+}
+
+}  // namespace
+}  // namespace crf

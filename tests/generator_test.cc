@@ -1,0 +1,201 @@
+#include "crf/trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "crf/stats/running_stats.h"
+#include "crf/trace/trace_stats.h"
+
+namespace crf {
+namespace {
+
+CellProfile SmallProfile() {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 24;
+  return profile;
+}
+
+GeneratorOptions ShortOptions() {
+  GeneratorOptions options;
+  options.num_intervals = 2 * kIntervalsPerDay;
+  return options;
+}
+
+class GeneratorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cell_ = new CellTrace(GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(99)));
+  }
+  static void TearDownTestSuite() {
+    delete cell_;
+    cell_ = nullptr;
+  }
+  static CellTrace* cell_;
+};
+
+CellTrace* GeneratorFixture::cell_ = nullptr;
+
+TEST_F(GeneratorFixture, BasicShape) {
+  EXPECT_EQ(cell_->name, "cell_a");
+  EXPECT_EQ(cell_->num_intervals, ShortOptions().num_intervals);
+  EXPECT_EQ(cell_->machines.size(), 24u);
+  EXPECT_GT(cell_->tasks.size(), 200u);
+}
+
+TEST_F(GeneratorFixture, TasksLieWithinTrace) {
+  for (const TaskTrace& task : cell_->tasks) {
+    EXPECT_GE(task.start, 0);
+    EXPECT_LE(task.end(), cell_->num_intervals);
+    EXPECT_GE(task.runtime(), 1);
+    EXPECT_GT(task.limit, 0.0);
+  }
+}
+
+TEST_F(GeneratorFixture, UsageRespectsLimits) {
+  for (const TaskTrace& task : cell_->tasks) {
+    for (const float u : task.usage) {
+      ASSERT_GE(u, 0.0f);
+      ASSERT_LE(u, static_cast<float>(task.limit) * 1.0001f);
+    }
+  }
+}
+
+TEST_F(GeneratorFixture, MachineIndicesConsistent) {
+  std::set<int32_t> seen;
+  for (size_t m = 0; m < cell_->machines.size(); ++m) {
+    for (const int32_t index : cell_->machines[m].task_indices) {
+      ASSERT_GE(index, 0);
+      ASSERT_LT(index, static_cast<int32_t>(cell_->tasks.size()));
+      EXPECT_EQ(cell_->tasks[index].machine_index, static_cast<int32_t>(m));
+      EXPECT_TRUE(seen.insert(index).second) << "task on two machines";
+    }
+  }
+  EXPECT_EQ(seen.size(), cell_->tasks.size());
+}
+
+TEST_F(GeneratorFixture, PlacementRespectsAllocCap) {
+  const CellProfile profile = SmallProfile();
+  for (size_t m = 0; m < cell_->machines.size(); ++m) {
+    const std::vector<double> limits = cell_->MachineLimitSeries(static_cast<int>(m));
+    for (const double l : limits) {
+      EXPECT_LE(l, profile.target_alloc_ratio * profile.machine_capacity + 1e-9);
+    }
+  }
+}
+
+TEST_F(GeneratorFixture, PopulationNearTarget) {
+  const CellProfile profile = SmallProfile();
+  const double target = profile.tasks_per_machine * profile.num_machines;
+  // Average resident population across the second day should be within 25%
+  // of the controller target.
+  double total = 0.0;
+  int count = 0;
+  for (Interval t = kIntervalsPerDay; t < cell_->num_intervals; t += 8) {
+    int64_t resident = 0;
+    for (const TaskTrace& task : cell_->tasks) {
+      resident += task.ResidentAt(t) ? 1 : 0;
+    }
+    total += static_cast<double>(resident);
+    ++count;
+  }
+  const double average = total / count;
+  EXPECT_GT(average, 0.75 * target);
+  EXPECT_LT(average, 1.25 * target);
+}
+
+TEST_F(GeneratorFixture, TruePeakCoversUsageApproximately) {
+  // The within-interval peak is a max over correlated sub-samples of what
+  // the p90 scalars aggregate, so it should be at least ~80% of the scalar
+  // sum and usually above it.
+  for (int m = 0; m < 4; ++m) {
+    const std::vector<double> usage = cell_->MachineUsageSeries(m);
+    const MachineTrace& machine = cell_->machines[m];
+    ASSERT_EQ(machine.true_peak.size(), usage.size());
+    for (size_t t = 0; t < usage.size(); t += 16) {
+      if (usage[t] > 0.05) {
+        EXPECT_GT(machine.true_peak[t], 0.8 * usage[t]);
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorFixture, MixOfSchedulingClasses) {
+  int serving = 0;
+  for (const TaskTrace& task : cell_->tasks) {
+    serving += IsServing(task.sched_class) ? 1 : 0;
+  }
+  const double fraction = static_cast<double>(serving) / cell_->tasks.size();
+  EXPECT_GT(fraction, 0.6);
+  EXPECT_LT(fraction, 0.95);
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  const CellTrace a = GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(5));
+  const CellTrace b = GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(5));
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].task_id, b.tasks[i].task_id);
+    EXPECT_EQ(a.tasks[i].machine_index, b.tasks[i].machine_index);
+    EXPECT_EQ(a.tasks[i].start, b.tasks[i].start);
+    ASSERT_EQ(a.tasks[i].usage, b.tasks[i].usage);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const CellTrace a = GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(5));
+  const CellTrace b = GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(6));
+  // Task counts will almost surely differ; if not, usage will.
+  bool different = a.tasks.size() != b.tasks.size();
+  if (!different) {
+    for (size_t i = 0; i < a.tasks.size() && !different; ++i) {
+      different = a.tasks[i].usage != b.tasks[i].usage;
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(GeneratorTest, RichStatsPopulatedOnDemand) {
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  options.rich_stats = true;
+  CellProfile profile = SmallProfile();
+  profile.num_machines = 8;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(7));
+  for (const TaskTrace& task : cell.tasks) {
+    ASSERT_EQ(task.rich.size(), task.usage.size());
+    for (size_t k = 0; k < task.rich.size(); ++k) {
+      EXPECT_FLOAT_EQ(task.rich[k].p90, task.usage[k]);
+      EXPECT_LE(task.rich[k].p50, task.rich[k].max);
+    }
+  }
+}
+
+TEST(GeneratorTest, NoRichStatsByDefault) {
+  CellProfile profile = SmallProfile();
+  profile.num_machines = 4;
+  GeneratorOptions options;
+  options.num_intervals = 48;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(8));
+  for (const TaskTrace& task : cell.tasks) {
+    EXPECT_TRUE(task.rich.empty());
+  }
+}
+
+TEST(GeneratorTest, UsageToLimitTailNearCalibration) {
+  // Fig 7(c): p95 of usage/limit should land in the ~0.85-1.0 band that
+  // justifies borg-default's phi = 0.9.
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 32;
+  GeneratorOptions options;
+  options.num_intervals = 3 * kIntervalsPerDay;
+  CellTrace cell = GenerateCellTrace(profile, options, Rng(11));
+  const Ecdf cdf = UsageToLimitCdf(cell, 4);
+  EXPECT_GT(cdf.Quantile(0.95), 0.80);
+  EXPECT_GT(cdf.Quantile(0.5), 0.25);
+  EXPECT_LT(cdf.Quantile(0.5), 0.70);
+}
+
+}  // namespace
+}  // namespace crf

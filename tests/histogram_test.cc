@@ -1,0 +1,63 @@
+#include "crf/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace crf {
+namespace {
+
+TEST(BucketedStatsTest, KeysFallInCorrectBuckets) {
+  // Buckets (0, 0.005], (0.005, 0.01], ... like the paper's Fig 3(d).
+  BucketedStats buckets(0.0, 0.005, 4);
+  buckets.Add(0.004, 1.0);   // bucket 0
+  buckets.Add(0.005, 2.0);   // bucket 0 (right-closed)
+  buckets.Add(0.0051, 3.0);  // bucket 1
+  buckets.Add(0.015, 4.0);   // bucket 2
+  EXPECT_EQ(buckets.bucket(0).count(), 2);
+  EXPECT_EQ(buckets.bucket(1).count(), 1);
+  EXPECT_EQ(buckets.bucket(2).count(), 1);
+  EXPECT_EQ(buckets.bucket(3).count(), 0);
+  EXPECT_DOUBLE_EQ(buckets.bucket(0).mean(), 1.5);
+}
+
+TEST(BucketedStatsTest, ValuesBelowLoClampToFirst) {
+  BucketedStats buckets(0.0, 1.0, 3);
+  buckets.Add(-5.0, 7.0);
+  buckets.Add(0.0, 9.0);
+  EXPECT_EQ(buckets.bucket(0).count(), 2);
+}
+
+TEST(BucketedStatsTest, ValuesAboveRangeClampToLast) {
+  BucketedStats buckets(0.0, 1.0, 3);
+  buckets.Add(100.0, 7.0);
+  EXPECT_EQ(buckets.bucket(2).count(), 1);
+}
+
+TEST(BucketedStatsTest, BucketGeometry) {
+  BucketedStats buckets(1.0, 0.5, 4);
+  EXPECT_DOUBLE_EQ(buckets.bucket_lower(0), 1.0);
+  EXPECT_DOUBLE_EQ(buckets.bucket_center(0), 1.25);
+  EXPECT_DOUBLE_EQ(buckets.bucket_lower(3), 2.5);
+}
+
+TEST(BucketedStatsTest, FirstSparseBucket) {
+  BucketedStats buckets(0.0, 1.0, 3);
+  for (int i = 0; i < 60; ++i) {
+    buckets.Add(0.5, 1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    buckets.Add(1.5, 1.0);
+  }
+  EXPECT_EQ(buckets.FirstSparseBucket(50), 1);
+  EXPECT_EQ(buckets.FirstSparseBucket(5), 2);
+  EXPECT_EQ(buckets.FirstSparseBucket(1), 2);
+}
+
+TEST(BucketedStatsTest, AllPopulatedReturnsNumBuckets) {
+  BucketedStats buckets(0.0, 1.0, 2);
+  buckets.Add(0.5, 1.0);
+  buckets.Add(1.5, 1.0);
+  EXPECT_EQ(buckets.FirstSparseBucket(1), 2);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,150 @@
+#include "crf/trace/job_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "crf/stats/running_stats.h"
+
+namespace crf {
+namespace {
+
+TEST(JobSamplerTest, JobFieldsWithinProfileBounds) {
+  const CellProfile profile = SimCellProfile('a');
+  JobSampler sampler(profile, Rng(1));
+  for (int i = 0; i < 500; ++i) {
+    const JobTemplate job = sampler.NextJob();
+    EXPECT_GE(job.limit, profile.limit_min);
+    EXPECT_LE(job.limit, profile.limit_max);
+    EXPECT_GE(job.params.mean_ratio, 0.05);
+    EXPECT_LE(job.params.mean_ratio, 0.85);
+    EXPECT_GE(job.params.diurnal_amplitude, profile.diurnal_amp_min);
+    EXPECT_LE(job.params.diurnal_amplitude, profile.diurnal_amp_max);
+    EXPECT_GE(job.params.phase_days, 0.0);
+    EXPECT_LT(job.params.phase_days, 1.0);
+    EXPECT_GE(job.params.ar_rho, profile.ar_rho_min);
+    EXPECT_LE(job.params.ar_rho, profile.ar_rho_max);
+    EXPECT_GE(job.params.load_coupling, 0.0);
+    EXPECT_LE(job.params.load_coupling, 1.0);
+  }
+}
+
+TEST(JobSamplerTest, JobIdsMonotone) {
+  JobSampler sampler(SimCellProfile('a'), Rng(2));
+  JobId previous = 0;
+  for (int i = 0; i < 20; ++i) {
+    const JobTemplate job = sampler.NextJob();
+    EXPECT_GT(job.job_id, previous);
+    previous = job.job_id;
+  }
+}
+
+TEST(JobSamplerTest, BatchJobsHaveNoCoupling) {
+  CellProfile profile = SimCellProfile('a');
+  profile.serving_fraction = 0.0;
+  JobSampler sampler(profile, Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    const JobTemplate job = sampler.NextJob();
+    EXPECT_FALSE(IsServing(job.sched_class));
+    EXPECT_DOUBLE_EQ(job.params.load_coupling, 0.0);
+  }
+}
+
+TEST(JobSamplerTest, ServingFractionRespected) {
+  CellProfile profile = SimCellProfile('a');
+  profile.serving_fraction = 0.8;
+  JobSampler sampler(profile, Rng(4));
+  int serving = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    serving += IsServing(sampler.NextJob().sched_class) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(serving) / n, 0.8, 0.03);
+}
+
+TEST(JobSamplerTest, TasksPerJobMeanMatchesProfile) {
+  CellProfile profile = SimCellProfile('a');
+  profile.tasks_per_job_mean = 4.0;
+  JobSampler sampler(profile, Rng(5));
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const int tasks = sampler.SampleTasksPerJob();
+    ASSERT_GE(tasks, 1);
+    stats.Add(tasks);
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(JobSamplerTest, ServiceRuntimeRunsToTraceEnd) {
+  JobSampler sampler(SimCellProfile('a'), Rng(6));
+  EXPECT_EQ(sampler.SampleRuntime(/*service=*/true, 10, 100), 90);
+  EXPECT_EQ(sampler.SampleRuntime(/*service=*/true, 0, 100), 100);
+}
+
+TEST(JobSamplerTest, RuntimeWithinBounds) {
+  JobSampler sampler(SimCellProfile('a'), Rng(7));
+  for (int i = 0; i < 1000; ++i) {
+    const Interval runtime = sampler.SampleRuntime(false, 50, 200);
+    EXPECT_GE(runtime, 1);
+    EXPECT_LE(runtime, 150);
+  }
+}
+
+TEST(JobSamplerTest, JitterStaysNearJobMean) {
+  JobSampler sampler(SimCellProfile('a'), Rng(8));
+  TaskUsageParams params;
+  params.mean_ratio = 0.5;
+  for (int i = 0; i < 200; ++i) {
+    const TaskUsageParams jittered = sampler.JitterTaskParams(params);
+    EXPECT_GE(jittered.mean_ratio, 0.45 - 1e-12);
+    EXPECT_LE(jittered.mean_ratio, 0.55 + 1e-12);
+  }
+}
+
+TEST(MeanNonServiceRuntimeTest, MixtureMean) {
+  CellProfile profile;
+  profile.short_runtime_mean_hours = 2.0;
+  profile.long_fraction = 0.0;
+  EXPECT_NEAR(MeanNonServiceRuntimeIntervals(profile), 2.0 * kIntervalsPerHour, 1e-9);
+
+  profile.long_fraction = 1.0;
+  profile.long_runtime_log_mean = 0.0;
+  profile.long_runtime_log_sigma = 0.0;
+  // Lognormal with mu=0, sigma=0 is exactly 1 hour.
+  EXPECT_NEAR(MeanNonServiceRuntimeIntervals(profile), kIntervalsPerHour, 1e-9);
+}
+
+TEST(SharedLoadSeriesTest, MeanNearOneAndPositive) {
+  const CellProfile profile = SimCellProfile('a');
+  const auto series = BuildSharedLoadSeries(profile, 4 * kIntervalsPerDay, Rng(9));
+  ASSERT_EQ(series.size(), static_cast<size_t>(4 * kIntervalsPerDay));
+  RunningStats stats;
+  for (const double v : series) {
+    ASSERT_GT(v, 0.0);
+    stats.Add(v);
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.1);
+  EXPECT_GT(stats.stddev(), 0.05);  // The wave + noise must actually move.
+}
+
+TEST(SharedLoadSeriesTest, Deterministic) {
+  const CellProfile profile = SimCellProfile('a');
+  EXPECT_EQ(BuildSharedLoadSeries(profile, 100, Rng(10)),
+            BuildSharedLoadSeries(profile, 100, Rng(10)));
+}
+
+TEST(ArrivalRateTest, BackfillPullsTowardTarget) {
+  const CellProfile profile = SimCellProfile('a');
+  const double depleted = ArrivalRate(profile, 0, 0);
+  const double at_target = ArrivalRate(
+      profile, 0, static_cast<int64_t>(profile.tasks_per_machine * profile.num_machines));
+  EXPECT_GT(depleted, at_target);
+}
+
+TEST(ArrivalRateTest, NonNegative) {
+  const CellProfile profile = SimCellProfile('a');
+  for (Interval t = 0; t < kIntervalsPerDay; t += 7) {
+    EXPECT_GE(ArrivalRate(profile, t, 1000000), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,80 @@
+#include "crf/cluster/latency_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "crf/stats/running_stats.h"
+
+namespace crf {
+namespace {
+
+double MeanLatency(LatencyModel& model, double mean_demand, double peak_demand,
+                   double capacity, int n = 2000) {
+  RunningStats stats;
+  for (int i = 0; i < n; ++i) {
+    stats.Add(model.Sample(mean_demand, peak_demand, capacity));
+  }
+  return stats.mean();
+}
+
+TEST(LatencyModelTest, AlwaysPositive) {
+  LatencyModel model(LatencyModelParams{}, Rng(1));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(model.Sample(0.5, 0.6, 1.0), 0.0);
+  }
+}
+
+TEST(LatencyModelTest, LatencyIncreasesWithUtilization) {
+  LatencyModelParams params;
+  params.base_log_sigma = 0.1;
+  LatencyModel model(params, Rng(2));
+  const double idle = MeanLatency(model, 0.1, 0.15, 1.0);
+  const double busy = MeanLatency(model, 0.9, 0.95, 1.0);
+  EXPECT_GT(busy, idle * 1.1);
+}
+
+TEST(LatencyModelTest, OverloadDominates) {
+  LatencyModelParams params;
+  params.base_log_sigma = 0.1;
+  LatencyModel model(params, Rng(3));
+  const double saturated = MeanLatency(model, 0.95, 0.99, 1.0);
+  const double overloaded = MeanLatency(model, 0.95, 1.3, 1.0);
+  EXPECT_GT(overloaded, saturated * 2.0);
+}
+
+TEST(LatencyModelTest, DemandAboveRhoClipIsFinite) {
+  LatencyModel model(LatencyModelParams{}, Rng(4));
+  const double latency = model.Sample(5.0, 6.0, 1.0);
+  EXPECT_TRUE(std::isfinite(latency));
+  EXPECT_GT(latency, 0.0);
+}
+
+TEST(LatencyModelTest, DeterministicGivenSeed) {
+  LatencyModel a(LatencyModelParams{}, Rng(5));
+  LatencyModel b(LatencyModelParams{}, Rng(5));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Sample(0.5, 0.7, 1.0), b.Sample(0.5, 0.7, 1.0));
+  }
+}
+
+TEST(LatencyModelTest, ScalesWithCapacityRatio) {
+  LatencyModelParams params;
+  params.base_log_sigma = 0.1;
+  LatencyModel model(params, Rng(6));
+  // Same absolute demand on a bigger machine is less loaded.
+  const double small = MeanLatency(model, 0.9, 1.0, 1.0);
+  const double big = MeanLatency(model, 0.9, 1.0, 4.0);
+  EXPECT_GT(small, big);
+}
+
+TEST(LatencyModelDeathTest, RejectsBadParams) {
+  LatencyModelParams params;
+  params.rho_clip = 1.0;
+  EXPECT_DEATH(LatencyModel(params, Rng(7)), "CHECK failed");
+  LatencyModel ok(LatencyModelParams{}, Rng(8));
+  EXPECT_DEATH(ok.Sample(0.5, 0.5, 0.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace crf

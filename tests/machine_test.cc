@@ -1,0 +1,107 @@
+#include "crf/cluster/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "crf/core/predictor_factory.h"
+
+namespace crf {
+namespace {
+
+CellTrace EmptyTrace(int num_machines, Interval num_intervals) {
+  CellTrace trace;
+  trace.num_intervals = num_intervals;
+  trace.machines.resize(num_machines);
+  for (auto& machine : trace.machines) {
+    machine.capacity = 1.0;
+    machine.true_peak.assign(num_intervals, 0.0f);
+  }
+  return trace;
+}
+
+int32_t AddTask(CellTrace& trace, TaskId id, int machine, Interval start, double limit) {
+  TaskTrace task;
+  task.task_id = id;
+  task.job_id = id;
+  task.machine_index = machine;
+  task.start = start;
+  task.limit = limit;
+  const int32_t index = static_cast<int32_t>(trace.tasks.size());
+  trace.tasks.push_back(std::move(task));
+  return index;
+}
+
+TaskUsageParams CalmParams(double limit) {
+  TaskUsageParams params;
+  params.limit = limit;
+  params.mean_ratio = 0.5;
+  params.diurnal_amplitude = 0.0;
+  params.ar_sigma = 0.02;
+  params.spike_prob = 0.0;
+  return params;
+}
+
+TEST(ClusterMachineTest, EmptyMachinePredictsZero) {
+  CellTrace trace = EmptyTrace(1, 10);
+  ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(1));
+  const auto stats = machine.Step(0, 1.0, trace);
+  EXPECT_EQ(stats.resident_tasks, 0);
+  EXPECT_DOUBLE_EQ(stats.prediction, 0.0);
+  EXPECT_DOUBLE_EQ(machine.FreeCapacity(), 1.0);
+  EXPECT_GT(stats.latency, 0.0);
+}
+
+TEST(ClusterMachineTest, TaskLifecycleRecordsUsage) {
+  CellTrace trace = EmptyTrace(1, 10);
+  ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(2));
+  const int32_t index = AddTask(trace, 1, 0, 2, 0.4);
+  machine.StartTask(trace, index, CalmParams(0.4), 2, 3);
+
+  for (Interval t = 2; t < 10; ++t) {
+    machine.Step(t, 1.0, trace);
+  }
+  EXPECT_EQ(trace.tasks[index].usage.size(), 3u);
+  EXPECT_EQ(trace.tasks[index].end(), 5);
+  for (const float u : trace.tasks[index].usage) {
+    EXPECT_GT(u, 0.0f);
+    EXPECT_LE(u, 0.4f);
+  }
+  // Machine task index registered.
+  ASSERT_EQ(trace.machines[0].task_indices.size(), 1u);
+  EXPECT_EQ(trace.machines[0].task_indices[0], index);
+}
+
+TEST(ClusterMachineTest, FreeCapacityIsCapacityMinusPrediction) {
+  CellTrace trace = EmptyTrace(1, 20);
+  ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(3));
+  const int32_t index = AddTask(trace, 1, 0, 0, 0.3);
+  machine.StartTask(trace, index, CalmParams(0.3), 0, 20);
+  const auto stats = machine.Step(0, 1.0, trace);
+  EXPECT_DOUBLE_EQ(stats.prediction, 0.3);  // limit-sum
+  EXPECT_DOUBLE_EQ(machine.FreeCapacity(), 0.7);
+}
+
+TEST(ClusterMachineTest, DemandAggregatesTasks) {
+  CellTrace trace = EmptyTrace(1, 10);
+  ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(4));
+  const int32_t a = AddTask(trace, 1, 0, 0, 0.4);
+  const int32_t b = AddTask(trace, 2, 0, 0, 0.4);
+  machine.StartTask(trace, a, CalmParams(0.4), 0, 10);
+  machine.StartTask(trace, b, CalmParams(0.4), 0, 10);
+  const auto stats = machine.Step(0, 1.0, trace);
+  EXPECT_EQ(stats.resident_tasks, 2);
+  EXPECT_GT(stats.demand_mean, 0.2);
+  EXPECT_GE(stats.demand_peak, stats.demand_mean);
+  EXPECT_DOUBLE_EQ(stats.limit_sum, 0.8);
+  EXPECT_GT(trace.machines[0].true_peak[0], 0.0f);
+}
+
+TEST(ClusterMachineDeathTest, StartTaskValidatesInvariants) {
+  CellTrace trace = EmptyTrace(2, 10);
+  ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(5));
+  // Wrong machine index on the task.
+  const int32_t index = AddTask(trace, 1, 1, 0, 0.3);
+  EXPECT_DEATH(machine.StartTask(trace, index, CalmParams(0.3), 0, 5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace crf

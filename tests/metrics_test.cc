@@ -1,0 +1,61 @@
+#include "crf/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace crf {
+namespace {
+
+MachineMetrics MakeMachine(int index, int64_t intervals, int64_t violations, double severity,
+                           double savings) {
+  MachineMetrics m;
+  m.machine_index = index;
+  m.intervals = intervals;
+  m.occupied_intervals = intervals;
+  m.violations = violations;
+  m.mean_violation_severity = severity;
+  m.savings_ratio = savings;
+  return m;
+}
+
+TEST(MachineMetricsTest, ViolationRate) {
+  EXPECT_DOUBLE_EQ(MakeMachine(0, 100, 25, 0, 0).violation_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(MakeMachine(0, 0, 0, 0, 0).violation_rate(), 0.0);
+}
+
+TEST(SimResultTest, CdfsOverMachines) {
+  SimResult result;
+  result.machines.push_back(MakeMachine(0, 100, 0, 0.0, 0.1));
+  result.machines.push_back(MakeMachine(1, 100, 50, 0.02, 0.3));
+  result.machines.push_back(MakeMachine(2, 100, 100, 0.04, 0.5));
+
+  const Ecdf rates = result.ViolationRateCdf();
+  EXPECT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates.Quantile(0.5), 0.5);
+
+  const Ecdf severity = result.ViolationSeverityCdf();
+  EXPECT_DOUBLE_EQ(severity.Quantile(1.0), 0.04);
+
+  const Ecdf savings = result.MachineSavingsCdf();
+  EXPECT_DOUBLE_EQ(savings.Quantile(0.0), 0.1);
+
+  EXPECT_DOUBLE_EQ(result.MeanViolationRate(), 0.5);
+}
+
+TEST(SimResultTest, CellSavings) {
+  SimResult result;
+  result.cell_savings_series = {0.1, 0.2, 0.3};
+  EXPECT_NEAR(result.MeanCellSavings(), 0.2, 1e-12);
+  const Ecdf cdf = result.CellSavingsCdf();
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.max(), 0.3);
+}
+
+TEST(SimResultTest, EmptyResultIsZero) {
+  SimResult result;
+  EXPECT_DOUBLE_EQ(result.MeanCellSavings(), 0.0);
+  EXPECT_DOUBLE_EQ(result.MeanViolationRate(), 0.0);
+  EXPECT_TRUE(result.ViolationRateCdf().empty());
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,188 @@
+#include "crf/core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "crf/trace/generator.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+TaskTrace MakeTask(TaskId id, Interval start, std::vector<float> usage, double limit = 1.0) {
+  TaskTrace task;
+  task.task_id = id;
+  task.job_id = id;
+  task.machine_index = 0;
+  task.start = start;
+  task.limit = limit;
+  task.usage = std::move(usage);
+  return task;
+}
+
+CellTrace OneMachineCell(std::vector<TaskTrace> tasks, Interval num_intervals) {
+  CellTrace cell;
+  cell.num_intervals = num_intervals;
+  cell.machines.resize(1);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    cell.machines[0].task_indices.push_back(static_cast<int32_t>(i));
+    cell.tasks.push_back(std::move(tasks[i]));
+  }
+  return cell;
+}
+
+// Direct O(T * H * N) reference implementation of the arrival-filtered
+// oracle definition from Section 3.1.
+std::vector<double> BruteForceOracle(const CellTrace& cell, int machine, Interval horizon) {
+  std::vector<double> oracle(cell.num_intervals, 0.0);
+  for (Interval tau = 0; tau < cell.num_intervals; ++tau) {
+    double best = 0.0;
+    const Interval end = std::min<Interval>(cell.num_intervals, tau + horizon);
+    for (Interval t = tau; t < end; ++t) {
+      double total = 0.0;
+      for (const int32_t index : cell.machines[machine].task_indices) {
+        const TaskTrace& task = cell.tasks[index];
+        if (task.start <= tau) {  // Arrival-filtered: present at tau.
+          total += task.UsageAt(t);
+        }
+      }
+      best = std::max(best, total);
+    }
+    oracle[tau] = best;
+  }
+  return oracle;
+}
+
+TEST(OracleTest, SingleTaskIsItsForwardMax) {
+  CellTrace cell = OneMachineCell({MakeTask(1, 0, {0.1f, 0.5f, 0.2f, 0.4f})}, 4);
+  const std::vector<double> oracle = ComputePeakOracle(cell, 0, 2);
+  EXPECT_FLOAT_EQ(oracle[0], 0.5f);
+  EXPECT_FLOAT_EQ(oracle[1], 0.5f);
+  EXPECT_FLOAT_EQ(oracle[2], 0.4f);
+  EXPECT_FLOAT_EQ(oracle[3], 0.4f);
+}
+
+TEST(OracleTest, LateArrivalExcludedUntilPresent) {
+  // Task 2 arrives at t=2 with huge usage; before t=2 the oracle must not
+  // see it even though it lies inside the horizon window.
+  CellTrace cell = OneMachineCell(
+      {MakeTask(1, 0, {0.1f, 0.1f, 0.1f, 0.1f}), MakeTask(2, 2, {0.9f, 0.9f})}, 4);
+  const std::vector<double> oracle = ComputePeakOracle(cell, 0, 4);
+  EXPECT_NEAR(oracle[0], 0.1, 1e-6);
+  EXPECT_NEAR(oracle[1], 0.1, 1e-6);
+  EXPECT_NEAR(oracle[2], 1.0, 1e-6);
+  EXPECT_NEAR(oracle[3], 1.0, 1e-6);
+}
+
+TEST(OracleTest, DepartedTasksContributeZero) {
+  CellTrace cell = OneMachineCell({MakeTask(1, 0, {0.8f}), MakeTask(2, 0, {0.2f, 0.2f})}, 3);
+  const std::vector<double> oracle = ComputePeakOracle(cell, 0, 3);
+  EXPECT_NEAR(oracle[0], 1.0, 1e-6);  // Both resident at t=0.
+  EXPECT_NEAR(oracle[1], 0.2, 1e-6);  // Task 1 completed.
+  EXPECT_NEAR(oracle[2], 0.0, 1e-6);  // Machine empty.
+}
+
+TEST(OracleTest, TotalUsageOracleSeesFutureArrivals) {
+  CellTrace cell = OneMachineCell(
+      {MakeTask(1, 0, {0.1f, 0.1f, 0.1f, 0.1f}), MakeTask(2, 2, {0.9f, 0.9f})}, 4);
+  const std::vector<double> unfiltered = ComputeTotalUsageOracle(cell, 0, 4);
+  EXPECT_NEAR(unfiltered[0], 1.0, 1e-6);  // Includes the future arrival.
+}
+
+TEST(OracleTest, EmptyMachineIsZero) {
+  CellTrace cell;
+  cell.num_intervals = 5;
+  cell.machines.resize(1);
+  const std::vector<double> oracle = ComputePeakOracle(cell, 0, 3);
+  for (const double v : oracle) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+struct OracleCase {
+  uint64_t seed;
+  Interval horizon;
+};
+
+class OraclePropertyTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(OraclePropertyTest, MatchesBruteForceOnRandomTraces) {
+  const OracleCase param = GetParam();
+  Rng rng(param.seed);
+  const Interval num_intervals = 60;
+  std::vector<TaskTrace> tasks;
+  const int num_tasks = 3 + static_cast<int>(rng.UniformInt(12));
+  for (int i = 0; i < num_tasks; ++i) {
+    const Interval start = static_cast<Interval>(rng.UniformInt(num_intervals - 1));
+    const Interval len =
+        1 + static_cast<Interval>(rng.UniformInt(num_intervals - start));
+    std::vector<float> usage(len);
+    for (auto& u : usage) {
+      u = static_cast<float>(rng.UniformDouble());
+    }
+    tasks.push_back(MakeTask(i + 1, start, std::move(usage)));
+  }
+  CellTrace cell = OneMachineCell(std::move(tasks), num_intervals);
+  const std::vector<double> fast = ComputePeakOracle(cell, 0, param.horizon);
+  const std::vector<double> brute = BruteForceOracle(cell, 0, param.horizon);
+  ASSERT_EQ(fast.size(), brute.size());
+  for (size_t t = 0; t < fast.size(); ++t) {
+    ASSERT_NEAR(fast[t], brute[t], 1e-9) << "t=" << t << " seed=" << param.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, OraclePropertyTest,
+                         ::testing::Values(OracleCase{1, 1}, OracleCase{2, 5},
+                                           OracleCase{3, 10}, OracleCase{4, 24},
+                                           OracleCase{5, 60}, OracleCase{6, 7},
+                                           OracleCase{7, 13}, OracleCase{8, 30}));
+
+TEST(OracleTest, TotalUsageOracleUpperBoundsFiltered) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 6;
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(70));
+  for (int m = 0; m < profile.num_machines; ++m) {
+    const std::vector<double> filtered = ComputePeakOracle(cell, m, 48);
+    const std::vector<double> unfiltered = ComputeTotalUsageOracle(cell, m, 48);
+    for (size_t t = 0; t < filtered.size(); ++t) {
+      EXPECT_GE(unfiltered[t], filtered[t] - 1e-9);
+    }
+  }
+}
+
+TEST(OracleTest, MonotoneInHorizon) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 4;
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(71));
+  for (int m = 0; m < profile.num_machines; ++m) {
+    const std::vector<double> short_h = ComputePeakOracle(cell, m, 12);
+    const std::vector<double> long_h = ComputePeakOracle(cell, m, 96);
+    for (size_t t = 0; t < short_h.size(); ++t) {
+      EXPECT_LE(short_h[t], long_h[t] + 1e-9);
+    }
+  }
+}
+
+TEST(OracleTest, OracleAtLeastCurrentUsage) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 4;
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(72));
+  for (int m = 0; m < profile.num_machines; ++m) {
+    const std::vector<double> oracle = ComputePeakOracle(cell, m, 24);
+    const std::vector<double> usage = cell.MachineUsageSeries(m);
+    for (size_t t = 0; t < usage.size(); ++t) {
+      EXPECT_GE(oracle[t], usage[t] - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,103 @@
+#include "crf/stats/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+TEST(PercentileTest, SingleElement) {
+  const std::vector<double> v{3.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 100.0), 3.0);
+}
+
+TEST(PercentileTest, EndpointsAreMinMax) {
+  const std::vector<double> v{1.0, 2.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 100.0), 9.0);
+}
+
+TEST(PercentileTest, LinearInterpolation) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 75.0), 7.5);
+}
+
+TEST(PercentileTest, MatchesNumpyDefault) {
+  // numpy.percentile([1,2,3,4], 40) == 2.2 with linear interpolation.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(PercentileSorted(v, 40.0), 2.2, 1e-12);
+}
+
+TEST(PercentileTest, UnsortedInputHandledByPercentile) {
+  const std::vector<double> v{9.0, 1.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 9.0);
+}
+
+TEST(PercentileTest, BatchMatchesIndividual) {
+  Rng rng(4);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) {
+    v.push_back(rng.UniformDouble());
+  }
+  const std::vector<double> ps{5.0, 50.0, 95.0, 99.0};
+  const std::vector<double> batch = Percentiles(v, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], Percentile(v, ps[i]));
+  }
+}
+
+TEST(PercentileTest, NearestRankWithinOneStepOfInterpolated) {
+  Rng rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 101; ++i) {
+    v.push_back(rng.Normal(0.0, 1.0));
+  }
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    std::vector<double> scratch = v;
+    const double nearest = NearestRankPercentileInPlace(scratch, p);
+    // Nearest rank must equal one of the order statistics adjacent to the
+    // interpolation point.
+    const double rank = p / 100.0 * 100.0;
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min<size_t>(lo + 1, 100);
+    EXPECT_TRUE(nearest == sorted[lo] || nearest == sorted[hi]) << p;
+  }
+}
+
+// Property sweep: percentiles are monotone in p and bounded by min/max.
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneAndBounded) {
+  Rng rng(100 + GetParam());
+  std::vector<double> v;
+  const int n = 1 + static_cast<int>(rng.UniformInt(200));
+  for (int i = 0; i < n; ++i) {
+    v.push_back(rng.LogNormal(0.0, 1.0));
+  }
+  std::sort(v.begin(), v.end());
+  double previous = v.front();
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double value = PercentileSorted(v, p);
+    EXPECT_GE(value, previous - 1e-12);
+    EXPECT_GE(value, v.front());
+    EXPECT_LE(value, v.back());
+    previous = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, PercentileMonotoneTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crf/core/borg_default_predictor.h"
+#include "crf/core/limit_sum_predictor.h"
+#include "crf/core/max_predictor.h"
+#include "crf/core/n_sigma_predictor.h"
+#include "crf/core/predictor_factory.h"
+#include "crf/core/rc_like_predictor.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+PredictorConfig FastConfig(Interval warmup = 3, Interval history = 10) {
+  PredictorConfig config;
+  config.min_num_samples = warmup;
+  config.max_num_samples = history;
+  return config;
+}
+
+std::vector<TaskSample> Tasks(std::vector<std::pair<double, double>> usage_limit) {
+  std::vector<TaskSample> samples;
+  TaskId id = 1;
+  for (const auto& [usage, limit] : usage_limit) {
+    samples.push_back({id++, usage, limit});
+  }
+  return samples;
+}
+
+TEST(ClampPredictionTest, ClampsBothSides) {
+  EXPECT_DOUBLE_EQ(ClampPrediction(5.0, 1.0, 3.0), 3.0);   // Above limit sum.
+  EXPECT_DOUBLE_EQ(ClampPrediction(0.5, 1.0, 3.0), 1.0);   // Below current usage.
+  EXPECT_DOUBLE_EQ(ClampPrediction(2.0, 1.0, 3.0), 2.0);   // In range.
+  EXPECT_DOUBLE_EQ(ClampPrediction(9.0, 5.0, 3.0), 3.0);   // usage > limits: limit wins.
+}
+
+TEST(LimitSumPredictorTest, SumsLimits) {
+  LimitSumPredictor predictor;
+  predictor.Observe(0, Tasks({{0.1, 0.5}, {0.2, 0.7}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 1.2);
+  EXPECT_EQ(predictor.name(), "limit-sum");
+}
+
+TEST(LimitSumPredictorTest, TracksDepartures) {
+  LimitSumPredictor predictor;
+  predictor.Observe(0, Tasks({{0.1, 0.5}, {0.2, 0.7}}));
+  predictor.Observe(1, Tasks({{0.1, 0.5}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.5);
+}
+
+TEST(LimitSumPredictorTest, EmptyMachinePredictsZero) {
+  LimitSumPredictor predictor;
+  predictor.Observe(0, {});
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.0);
+}
+
+TEST(BorgDefaultPredictorTest, ScalesLimitSum) {
+  BorgDefaultPredictor predictor(0.9);
+  predictor.Observe(0, Tasks({{0.1, 1.0}, {0.1, 1.0}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 1.8);
+  EXPECT_EQ(predictor.name(), "borg-default-0.90");
+}
+
+TEST(BorgDefaultPredictorTest, NeverBelowCurrentUsage) {
+  BorgDefaultPredictor predictor(0.5);
+  predictor.Observe(0, Tasks({{0.9, 1.0}}));
+  // 0.5 * 1.0 = 0.5 < current usage 0.9; clamped up.
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.9);
+}
+
+TEST(BorgDefaultPredictorTest, PhiOneIsNoOvercommit) {
+  BorgDefaultPredictor predictor(1.0);
+  predictor.Observe(0, Tasks({{0.2, 0.6}, {0.1, 0.4}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 1.0);
+}
+
+TEST(BorgDefaultPredictorDeathTest, RejectsInvalidPhi) {
+  EXPECT_DEATH(BorgDefaultPredictor(0.0), "CHECK failed");
+  EXPECT_DEATH(BorgDefaultPredictor(1.5), "CHECK failed");
+}
+
+TEST(RcLikePredictorTest, WarmupUsesLimit) {
+  RcLikePredictor predictor(95.0, FastConfig(/*warmup=*/3));
+  predictor.Observe(0, Tasks({{0.1, 0.8}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.8);
+  predictor.Observe(1, Tasks({{0.1, 0.8}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.8);
+  // Third sample completes the warm-up: prediction becomes the percentile of
+  // the constant stream.
+  predictor.Observe(2, Tasks({{0.1, 0.8}}));
+  EXPECT_NEAR(predictor.PredictPeak(), 0.1, 1e-6);
+}
+
+TEST(RcLikePredictorTest, PercentileOverWindow) {
+  RcLikePredictor predictor(50.0, FastConfig(/*warmup=*/1, /*history=*/100));
+  // Descending so the clamp to current usage (the final 0) does not mask the
+  // percentile.
+  for (Interval t = 0; t < 5; ++t) {
+    predictor.Observe(t, Tasks({{static_cast<double>(4 - t), 10.0}}));
+  }
+  // Median of {4,3,2,1,0} is 2.
+  EXPECT_NEAR(predictor.PredictPeak(), 2.0, 1e-9);
+}
+
+TEST(RcLikePredictorTest, DepartedTaskStateDropped) {
+  RcLikePredictor predictor(99.0, FastConfig(/*warmup=*/1));
+  predictor.Observe(0, Tasks({{0.5, 1.0}, {0.3, 1.0}}));
+  predictor.Observe(1, {});  // Both departed.
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.0);
+  // Re-arrival of the same id starts a fresh warm-up (limit-based).
+  RcLikePredictor fresh(99.0, FastConfig(/*warmup=*/2));
+  fresh.Observe(0, Tasks({{0.5, 1.0}}));
+  fresh.Observe(1, {});
+  fresh.Observe(2, Tasks({{0.5, 1.0}}));
+  EXPECT_DOUBLE_EQ(fresh.PredictPeak(), 1.0);  // Warming up again.
+}
+
+TEST(RcLikePredictorTest, HigherPercentilePredictsHigher) {
+  RcLikePredictor p50(50.0, FastConfig(/*warmup=*/1, /*history=*/50));
+  RcLikePredictor p99(99.0, FastConfig(/*warmup=*/1, /*history=*/50));
+  Rng rng(80);
+  for (Interval t = 0; t < 50; ++t) {
+    const auto tasks = Tasks({{rng.UniformDouble(), 2.0}});
+    p50.Observe(t, tasks);
+    p99.Observe(t, tasks);
+  }
+  EXPECT_LT(p50.PredictPeak(), p99.PredictPeak());
+}
+
+TEST(RcLikePredictorTest, NameIncludesPercentile) {
+  RcLikePredictor predictor(95.0, FastConfig());
+  EXPECT_EQ(predictor.name(), "rc-like-p95");
+}
+
+TEST(NSigmaPredictorTest, ConstantUsageConverges) {
+  NSigmaPredictor predictor(5.0, FastConfig(/*warmup=*/2, /*history=*/20));
+  for (Interval t = 0; t < 30; ++t) {
+    predictor.Observe(t, Tasks({{0.4, 1.0}}));
+  }
+  // Zero variance: prediction = mean = 0.4.
+  EXPECT_NEAR(predictor.PredictPeak(), 0.4, 1e-9);
+}
+
+TEST(NSigmaPredictorTest, WarmingTasksContributeLimit) {
+  NSigmaPredictor predictor(3.0, FastConfig(/*warmup=*/5, /*history=*/20));
+  predictor.Observe(0, Tasks({{0.1, 0.7}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.7);
+}
+
+TEST(NSigmaPredictorTest, HigherNPredictsHigher) {
+  Rng rng(81);
+  NSigmaPredictor n2(2.0, FastConfig(/*warmup=*/1, /*history=*/50));
+  NSigmaPredictor n10(10.0, FastConfig(/*warmup=*/1, /*history=*/50));
+  for (Interval t = 0; t < 60; ++t) {
+    const auto tasks = Tasks({{0.3 + 0.1 * rng.Normal(), 5.0}});
+    n2.Observe(t, tasks);
+    n10.Observe(t, tasks);
+  }
+  EXPECT_LT(n2.PredictPeak(), n10.PredictPeak());
+}
+
+TEST(NSigmaPredictorTest, ClampedToLimitSum) {
+  NSigmaPredictor predictor(10.0, FastConfig(/*warmup=*/1, /*history=*/10));
+  Rng rng(82);
+  for (Interval t = 0; t < 20; ++t) {
+    predictor.Observe(t, Tasks({{rng.UniformDouble() * 0.5, 0.5}}));
+  }
+  EXPECT_LE(predictor.PredictPeak(), 0.5 + 1e-12);
+}
+
+TEST(NSigmaPredictorTest, Name) {
+  NSigmaPredictor predictor(5.0, FastConfig());
+  EXPECT_EQ(predictor.name(), "n-sigma-5");
+}
+
+TEST(MaxPredictorTest, TakesPointwiseMax) {
+  std::vector<std::unique_ptr<PeakPredictor>> components;
+  components.push_back(std::make_unique<BorgDefaultPredictor>(0.5));
+  components.push_back(std::make_unique<LimitSumPredictor>());
+  MaxPredictor predictor(std::move(components));
+  predictor.Observe(0, Tasks({{0.1, 1.0}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 1.0);  // limit-sum dominates.
+  EXPECT_EQ(predictor.name(), "max(borg-default-0.50,limit-sum)");
+}
+
+TEST(MaxPredictorTest, AtLeastEachComponent) {
+  Rng rng(83);
+  auto make = [] {
+    std::vector<std::unique_ptr<PeakPredictor>> components;
+    components.push_back(
+        std::make_unique<NSigmaPredictor>(3.0, FastConfig(/*warmup=*/2, /*history=*/20)));
+    components.push_back(
+        std::make_unique<RcLikePredictor>(90.0, FastConfig(/*warmup=*/2, /*history=*/20)));
+    return std::make_unique<MaxPredictor>(std::move(components));
+  };
+  auto max_predictor = make();
+  NSigmaPredictor n_sigma(3.0, FastConfig(2, 20));
+  RcLikePredictor rc(90.0, FastConfig(2, 20));
+  for (Interval t = 0; t < 40; ++t) {
+    const auto tasks =
+        Tasks({{rng.UniformDouble() * 0.5, 0.8}, {rng.UniformDouble() * 0.3, 0.4}});
+    max_predictor->Observe(t, tasks);
+    n_sigma.Observe(t, tasks);
+    rc.Observe(t, tasks);
+    EXPECT_GE(max_predictor->PredictPeak(), n_sigma.PredictPeak() - 1e-12);
+    EXPECT_GE(max_predictor->PredictPeak(), rc.PredictPeak() - 1e-12);
+  }
+}
+
+TEST(MaxPredictorDeathTest, RequiresComponents) {
+  EXPECT_DEATH(MaxPredictor({}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,255 @@
+#include "crf/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace crf {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    differing += a.NextUint64() != b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_GE(differing, 60);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng root(77);
+  Rng a = root.Fork(5);
+  Rng b = root.Fork(5);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, ForkWithDifferentTagsDiffers) {
+  Rng root(77);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    differing += a.NextUint64() != b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_GE(differing, 60);
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.Fork(3);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, ConsecutiveForkTagsAreIndependent) {
+  // The child of tag k and the child of tag k+1 must not be correlated (the
+  // generator forks per task id).
+  Rng root(1234);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (uint64_t tag = 0; tag < 500; ++tag) {
+    x.push_back(root.Fork(tag).UniformDouble());
+    y.push_back(root.Fork(tag + 1).UniformDouble());
+  }
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= x.size();
+  mean_y /= y.size();
+  double cov = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - mean_x) * (y[i] - mean_y);
+    vx += (x[i] - mean_x) * (x[i] - mean_x);
+    vy += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  EXPECT_LT(std::abs(cov / std::sqrt(vx * vy)), 0.15);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(6);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(8);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) {
+    samples.push_back(rng.LogNormal(1.0, 0.5));
+  }
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(10);
+  for (const double mean : {0.5, 3.0, 20.0, 200.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const int x = rng.Poisson(mean);
+      ASSERT_GE(x, 0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / n, mean, 0.05 * mean + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(11);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, BoundedParetoWithinBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.BoundedPareto(1.0, 100.0, 1.2);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 100.0);
+  }
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(13);
+  for (const double shape : {0.5, 1.0, 2.5, 9.0}) {
+    double sum = 0.0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.Gamma(shape);
+      ASSERT_GT(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / n, shape, 0.05 * shape + 0.02) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, BetaMomentsAndRange) {
+  Rng rng(14);
+  const double a = 2.0;
+  const double b = 5.0;
+  double sum = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Beta(a, b);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, a / (a + b), 0.01);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(15);
+  const double p = 0.2;
+  double sum = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const int x = rng.Geometric(p);
+    ASSERT_GE(x, 1);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / p, 0.15);
+}
+
+TEST(RngTest, GeometricProbabilityOneAlwaysOne) {
+  Rng rng(16);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Geometric(1.0), 1);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(18);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 reference implementation with
+  // initial state 0.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(state), 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,93 @@
+#include "crf/stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(4.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // Classic population-variance example.
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_NEAR(stats.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(rng.Normal(10.0, 3.0));
+  }
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (size_t i = 0; i < values.size(); ++i) {
+    all.Add(values[i]);
+    (i < 300 ? a : b).Add(values[i]);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffset) {
+  RunningStats stats;
+  const double offset = 1e9;
+  for (const double v : {offset + 1.0, offset + 2.0, offset + 3.0}) {
+    stats.Add(v);
+  }
+  EXPECT_NEAR(stats.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(stats.variance(), 2.0 / 3.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,95 @@
+#include "crf/cluster/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace crf {
+namespace {
+
+TEST(SchedulerTest, BestFitPicksTightestMachine) {
+  Scheduler scheduler(PackingPolicy::kBestFit, Rng(1));
+  scheduler.UpdateFreeCapacity({0.5, 0.2, 0.9});
+  EXPECT_EQ(scheduler.Place(0.2, {}), 1);
+}
+
+TEST(SchedulerTest, WorstFitPicksLoosestMachine) {
+  Scheduler scheduler(PackingPolicy::kWorstFit, Rng(2));
+  scheduler.UpdateFreeCapacity({0.5, 0.2, 0.9});
+  EXPECT_EQ(scheduler.Place(0.2, {}), 2);
+}
+
+TEST(SchedulerTest, InfeasibleReturnsMinusOne) {
+  Scheduler scheduler(PackingPolicy::kBestFit, Rng(3));
+  scheduler.UpdateFreeCapacity({0.1, 0.2});
+  EXPECT_EQ(scheduler.Place(0.5, {}), -1);
+}
+
+TEST(SchedulerTest, DebitsPlacedLimits) {
+  Scheduler scheduler(PackingPolicy::kBestFit, Rng(4));
+  scheduler.UpdateFreeCapacity({0.5});
+  EXPECT_EQ(scheduler.Place(0.3, {}), 0);
+  // Only 0.2 left; a 0.3 task no longer fits without a fresh poll.
+  EXPECT_EQ(scheduler.Place(0.3, {}), -1);
+  EXPECT_EQ(scheduler.Place(0.2, {}), 0);
+}
+
+TEST(SchedulerTest, UpdateResetsAccounting) {
+  Scheduler scheduler(PackingPolicy::kBestFit, Rng(5));
+  scheduler.UpdateFreeCapacity({0.5});
+  EXPECT_EQ(scheduler.Place(0.5, {}), 0);
+  EXPECT_EQ(scheduler.Place(0.5, {}), -1);
+  scheduler.UpdateFreeCapacity({0.5});
+  EXPECT_EQ(scheduler.Place(0.5, {}), 0);
+}
+
+TEST(SchedulerTest, HonorsExclusionsWhenPossible) {
+  Scheduler scheduler(PackingPolicy::kBestFit, Rng(6));
+  scheduler.UpdateFreeCapacity({0.3, 0.5});
+  // Machine 0 is tighter but excluded (already hosts a sibling task).
+  EXPECT_EQ(scheduler.Place(0.2, {0}), 1);
+}
+
+TEST(SchedulerTest, FallsBackToExcludedWhenNothingElseFits) {
+  Scheduler scheduler(PackingPolicy::kBestFit, Rng(7));
+  scheduler.UpdateFreeCapacity({0.9, 0.1});
+  // Only machine 0 fits, despite the exclusion.
+  EXPECT_EQ(scheduler.Place(0.5, {0}), 0);
+}
+
+TEST(SchedulerTest, RandomFitIsUniformish) {
+  Scheduler scheduler(PackingPolicy::kRandomFit, Rng(8));
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    scheduler.UpdateFreeCapacity({1.0, 1.0, 1.0});
+    const int m = scheduler.Place(0.1, {});
+    ASSERT_GE(m, 0);
+    ++counts[m];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(SchedulerTest, RandomFitOnlyFeasible) {
+  Scheduler scheduler(PackingPolicy::kRandomFit, Rng(9));
+  for (int i = 0; i < 100; ++i) {
+    scheduler.UpdateFreeCapacity({0.05, 1.0, 0.05});
+    EXPECT_EQ(scheduler.Place(0.5, {}), 1);
+  }
+}
+
+TEST(SchedulerTest, PolicyNames) {
+  EXPECT_EQ(PackingPolicyName(PackingPolicy::kBestFit), "best-fit");
+  EXPECT_EQ(PackingPolicyName(PackingPolicy::kWorstFit), "worst-fit");
+  EXPECT_EQ(PackingPolicyName(PackingPolicy::kRandomFit), "random-fit");
+}
+
+TEST(SchedulerDeathTest, PlaceBeforeUpdateAborts) {
+  Scheduler scheduler(PackingPolicy::kBestFit, Rng(10));
+  EXPECT_DEATH(scheduler.Place(0.1, {}), "UpdateFreeCapacity");
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,58 @@
+#include "crf/core/spec_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace crf {
+namespace {
+
+std::string NameOf(std::string_view text) {
+  const auto spec = ParsePredictorSpec(text);
+  return spec.has_value() ? spec->Name() : "<error>";
+}
+
+TEST(SpecParserTest, SimpleSpecs) {
+  EXPECT_EQ(NameOf("limit-sum"), "limit-sum");
+  EXPECT_EQ(NameOf("borg-default"), "borg-default-0.90");
+  EXPECT_EQ(NameOf("borg-default:0.85"), "borg-default-0.85");
+  EXPECT_EQ(NameOf("rc-like"), "rc-like-p99");
+  EXPECT_EQ(NameOf("rc-like:95"), "rc-like-p95");
+  EXPECT_EQ(NameOf("n-sigma:3"), "n-sigma-3");
+  EXPECT_EQ(NameOf("autopilot"), "autopilot-p98-m1.10");
+  EXPECT_EQ(NameOf("autopilot:95:1.2"), "autopilot-p95-m1.20");
+}
+
+TEST(SpecParserTest, MaxComposition) {
+  EXPECT_EQ(NameOf("max(n-sigma:5,rc-like:99)"), "max(n-sigma-5,rc-like-p99)");
+  EXPECT_EQ(NameOf("max(borg-default:0.9,autopilot:98:1.1)"),
+            "max(borg-default-0.90,autopilot-p98-m1.10)");
+}
+
+TEST(SpecParserTest, NestedMax) {
+  EXPECT_EQ(NameOf("max(max(n-sigma:2,n-sigma:3),rc-like:80)"),
+            "max(max(n-sigma-2,n-sigma-3),rc-like-p80)");
+}
+
+TEST(SpecParserTest, PaperConfigsRoundTrip) {
+  EXPECT_EQ(NameOf("max(n-sigma:5,rc-like:99)"), SimulationMaxSpec().Name());
+  EXPECT_EQ(NameOf("max(n-sigma:3,rc-like:80)"), ProductionMaxSpec().Name());
+}
+
+TEST(SpecParserTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "unknown", "borg-default:abc", "borg-default:1.5", "borg-default:0",
+        "rc-like:150", "n-sigma:-2", "autopilot:98:0.5", "max()", "max(",
+        "max(n-sigma:5", "max(n-sigma:5,)", "max(bogus)", "limit-sum:1",
+        "rc-like:90:1", "n-sigma:5:5"}) {
+    EXPECT_FALSE(ParsePredictorSpec(bad).has_value()) << bad;
+  }
+}
+
+TEST(SpecParserTest, ParsedSpecsUsePaperWindows) {
+  const auto spec = ParsePredictorSpec("rc-like:95");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->config.min_num_samples, 2 * kIntervalsPerHour);
+  EXPECT_EQ(spec->config.max_num_samples, 10 * kIntervalsPerHour);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,46 @@
+#include "crf/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace crf {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"name", "v"});
+  table.AddRow({std::string("a"), std::string("1")});
+  table.AddRow({std::string("longer"), std::string("22")});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name    v"), std::string::npos);
+  EXPECT_NE(out.find("a       1"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorUnderHeader) {
+  Table table({"ab"});
+  table.AddRow({std::string("x")});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("ab\n--\n"), std::string::npos);
+}
+
+TEST(TableTest, LabeledDoubleRow) {
+  Table table({"k", "a", "b"});
+  table.AddRow("row", {1.0, 0.25});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("row"), std::string::npos);
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+}
+
+TEST(TableDeathTest, WrongWidthAborts) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({std::string("only-one")}), "CHECK failed");
+}
+
+TEST(TableTest, NoTrailingSpaces) {
+  Table table({"a", "b"});
+  table.AddRow({std::string("x"), std::string("y")});
+  const std::string out = table.Render();
+  EXPECT_EQ(out.find(" \n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crf

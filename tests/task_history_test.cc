@@ -1,0 +1,106 @@
+#include "crf/core/task_history.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "crf/stats/percentile.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+TEST(TaskHistoryTest, GrowsUntilCapacity) {
+  TaskHistory history(3);
+  EXPECT_TRUE(history.empty());
+  history.Push(1.0f);
+  history.Push(2.0f);
+  EXPECT_EQ(history.size(), 2);
+  history.Push(3.0f);
+  history.Push(4.0f);  // Evicts 1.0.
+  EXPECT_EQ(history.size(), 3);
+  EXPECT_EQ(history.capacity(), 3);
+}
+
+TEST(TaskHistoryTest, EvictsOldestFirst) {
+  TaskHistory history(2);
+  history.Push(10.0f);
+  history.Push(1.0f);
+  history.Push(2.0f);  // 10 evicted; window = {1, 2}.
+  EXPECT_DOUBLE_EQ(history.Percentile(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(history.Percentile(0.0), 1.0);
+}
+
+TEST(TaskHistoryTest, LatestTracksNewest) {
+  TaskHistory history(3);
+  history.Push(1.0f);
+  EXPECT_FLOAT_EQ(history.Latest(), 1.0f);
+  history.Push(2.0f);
+  history.Push(3.0f);
+  EXPECT_FLOAT_EQ(history.Latest(), 3.0f);
+  history.Push(4.0f);  // Wrapped.
+  EXPECT_FLOAT_EQ(history.Latest(), 4.0f);
+  history.Push(5.0f);
+  EXPECT_FLOAT_EQ(history.Latest(), 5.0f);
+}
+
+TEST(TaskHistoryTest, MeanOverWindow) {
+  TaskHistory history(2);
+  history.Push(1.0f);
+  history.Push(3.0f);
+  EXPECT_DOUBLE_EQ(history.Mean(), 2.0);
+  history.Push(5.0f);  // Window {3, 5}.
+  EXPECT_DOUBLE_EQ(history.Mean(), 4.0);
+}
+
+TEST(TaskHistoryTest, CapacityOne) {
+  TaskHistory history(1);
+  history.Push(1.0f);
+  history.Push(7.0f);
+  EXPECT_EQ(history.size(), 1);
+  EXPECT_FLOAT_EQ(history.Latest(), 7.0f);
+  EXPECT_DOUBLE_EQ(history.Percentile(50.0), 7.0);
+}
+
+TEST(TaskHistoryTest, DuplicateValuesEvictCorrectly) {
+  TaskHistory history(3);
+  history.Push(2.0f);
+  history.Push(2.0f);
+  history.Push(2.0f);
+  history.Push(5.0f);  // One 2.0 evicted; {2, 2, 5} remain.
+  EXPECT_DOUBLE_EQ(history.Percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(history.Percentile(100.0), 5.0);
+  EXPECT_NEAR(history.Mean(), 3.0, 1e-6);
+}
+
+// Property: percentiles over the window match a reference deque at every
+// step of a random stream.
+class TaskHistoryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskHistoryPropertyTest, MatchesReferenceWindow) {
+  Rng rng(60 + GetParam());
+  const int capacity = 1 + static_cast<int>(rng.UniformInt(40));
+  TaskHistory history(capacity);
+  std::deque<float> reference;
+  for (int step = 0; step < 500; ++step) {
+    const float sample = static_cast<float>(rng.UniformDouble());
+    history.Push(sample);
+    reference.push_back(sample);
+    if (static_cast<int>(reference.size()) > capacity) {
+      reference.pop_front();
+    }
+    std::vector<double> window(reference.begin(), reference.end());
+    for (const double p : {0.0, 37.0, 50.0, 95.0, 100.0}) {
+      ASSERT_NEAR(history.Percentile(p), Percentile(window, p), 1e-6)
+          << "capacity=" << capacity << " step=" << step << " p=" << p;
+    }
+    ASSERT_FLOAT_EQ(history.Latest(), sample);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, TaskHistoryPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace crf

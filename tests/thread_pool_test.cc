@@ -1,0 +1,71 @@
+#include "crf/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace crf {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsAllIterations) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&hits](int i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, MultiThreadedRunsEachIterationOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](int i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&called](int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, FewerIterationsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&count](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(50, [&total](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPoolTest, ResultsAggregateCorrectly) {
+  ThreadPool pool(4);
+  std::vector<int64_t> partial(256, 0);
+  pool.ParallelFor(256, [&partial](int i) { partial[i] = static_cast<int64_t>(i) * i; });
+  int64_t sum = std::accumulate(partial.begin(), partial.end(), int64_t{0});
+  int64_t expected = 0;
+  for (int64_t i = 0; i < 256; ++i) {
+    expected += i * i;
+  }
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPoolTest, DefaultPoolExists) {
+  EXPECT_GE(ThreadPool::Default().num_threads(), 1);
+  std::atomic<int> count{0};
+  ThreadPool::Default().ParallelFor(10, [&count](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,129 @@
+#include "crf/trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "crf/trace/generator.h"
+
+namespace crf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("crf_trace_io_" + name)).string();
+}
+
+CellTrace SmallCell(uint64_t seed) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 6;
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  return GenerateCellTrace(profile, options, Rng(seed));
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  const CellTrace original = SmallCell(3);
+  const std::string path = TempPath("roundtrip.trace");
+  SaveCellTrace(original, path);
+  const auto loaded = LoadCellTrace(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->num_intervals, original.num_intervals);
+  EXPECT_EQ(loaded->dropped_tasks, original.dropped_tasks);
+  ASSERT_EQ(loaded->machines.size(), original.machines.size());
+  for (size_t m = 0; m < original.machines.size(); ++m) {
+    EXPECT_DOUBLE_EQ(loaded->machines[m].capacity, original.machines[m].capacity);
+    ASSERT_EQ(loaded->machines[m].true_peak.size(), original.machines[m].true_peak.size());
+    for (size_t t = 0; t < original.machines[m].true_peak.size(); ++t) {
+      EXPECT_NEAR(loaded->machines[m].true_peak[t], original.machines[m].true_peak[t], 1e-4);
+    }
+    EXPECT_EQ(loaded->machines[m].task_indices, original.machines[m].task_indices);
+  }
+  ASSERT_EQ(loaded->tasks.size(), original.tasks.size());
+  for (size_t i = 0; i < original.tasks.size(); ++i) {
+    const TaskTrace& a = loaded->tasks[i];
+    const TaskTrace& b = original.tasks[i];
+    EXPECT_EQ(a.task_id, b.task_id);
+    EXPECT_EQ(a.job_id, b.job_id);
+    EXPECT_EQ(a.machine_index, b.machine_index);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.sched_class, b.sched_class);
+    EXPECT_NEAR(a.limit, b.limit, 1e-9 * (1.0 + b.limit));
+    ASSERT_EQ(a.usage.size(), b.usage.size());
+    for (size_t k = 0; k < a.usage.size(); ++k) {
+      EXPECT_NEAR(a.usage[k], b.usage[k], 1e-4);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadCellTrace("/nonexistent/path/file.trace").has_value());
+}
+
+TEST(TraceIoTest, WrongMagicReturnsNullopt) {
+  const std::string path = TempPath("bad_magic.trace");
+  {
+    std::ofstream out(path);
+    out << "not a trace\n";
+  }
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TruncatedRecordReturnsNullopt) {
+  const std::string path = TempPath("truncated.trace");
+  {
+    std::ofstream out(path);
+    out << "# crf-trace v1\n";
+    out << "cell,x,10,1,0\n";
+    out << "task,1,1\n";  // Too few fields.
+  }
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, OutOfRangeMachineReturnsNullopt) {
+  const std::string path = TempPath("bad_machine.trace");
+  {
+    std::ofstream out(path);
+    out << "# crf-trace v1\n";
+    out << "cell,x,10,1,0\n";
+    out << "task,1,1,5,0,0.5,2,0.1\n";  // machine 5 of 1.
+  }
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingHeaderReturnsNullopt) {
+  const std::string path = TempPath("no_header.trace");
+  {
+    std::ofstream out(path);
+    out << "# crf-trace v1\n";
+    out << "task,1,1,0,0,0.5,2,0.1\n";  // Task before the cell record.
+  }
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyUsageSeriesAllowed) {
+  const std::string path = TempPath("empty_usage.trace");
+  {
+    std::ofstream out(path);
+    out << "# crf-trace v1\n";
+    out << "cell,x,10,1,0\n";
+    out << "machine,0,1,\n";
+    out << "task,1,1,0,0,0.5,2,\n";
+  }
+  const auto loaded = LoadCellTrace(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->tasks.size(), 1u);
+  EXPECT_TRUE(loaded->tasks[0].usage.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,109 @@
+#include "crf/trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "crf/trace/generator.h"
+
+namespace crf {
+namespace {
+
+CellTrace TestCell(bool rich = false) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 12;
+  GeneratorOptions options;
+  options.num_intervals = 2 * kIntervalsPerDay;
+  options.rich_stats = rich;
+  return GenerateCellTrace(profile, options, Rng(21));
+}
+
+TEST(SubmissionRateTest, CountsArrivalsExcludingInitialPopulation) {
+  const CellTrace cell = TestCell();
+  const std::vector<int64_t> series = SubmissionRateSeries(cell);
+  ASSERT_EQ(series.size(), static_cast<size_t>(cell.num_intervals));
+  EXPECT_EQ(series[0], 0);
+
+  int64_t total = 0;
+  for (const int64_t v : series) {
+    total += v;
+  }
+  int64_t arrivals = 0;
+  for (const TaskTrace& task : cell.tasks) {
+    arrivals += task.start > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(total, arrivals);
+  EXPECT_GT(total, 0);
+}
+
+TEST(TaskRuntimeCdfTest, CoversAllTasks) {
+  const CellTrace cell = TestCell();
+  const Ecdf cdf = TaskRuntimeHoursCdf(cell);
+  EXPECT_EQ(cdf.size(), cell.tasks.size());
+  EXPECT_GT(cdf.min(), 0.0);
+  EXPECT_LE(cdf.max(), IntervalsToHours(cell.num_intervals) + 1e-9);
+}
+
+TEST(UsageToLimitCdfTest, RatiosInUnitInterval) {
+  const CellTrace cell = TestCell();
+  const Ecdf cdf = UsageToLimitCdf(cell, 4);
+  EXPECT_GE(cdf.min(), 0.0);
+  EXPECT_LE(cdf.max(), 1.0 + 1e-6);
+}
+
+TEST(CellSeriesTest, UsageBelowLimits) {
+  const CellTrace cell = TestCell();
+  const std::vector<double> usage = CellUsageSeries(cell);
+  const std::vector<double> limit = CellLimitSeries(cell);
+  ASSERT_EQ(usage.size(), limit.size());
+  for (size_t t = 0; t < usage.size(); ++t) {
+    EXPECT_LE(usage[t], limit[t] + 1e-9);
+  }
+}
+
+TEST(TaskLevelFuturePeakTest, DominatesCurrentUsage) {
+  const CellTrace cell = TestCell();
+  const std::vector<double> peak_sum = TaskLevelFuturePeakSum(cell, kIntervalsPerDay);
+  const std::vector<double> usage = CellUsageSeries(cell);
+  for (size_t t = 0; t < usage.size(); ++t) {
+    EXPECT_GE(peak_sum[t], usage[t] - 1e-6);
+  }
+}
+
+TEST(TaskLevelFuturePeakTest, BoundedByLimits) {
+  const CellTrace cell = TestCell();
+  const std::vector<double> peak_sum = TaskLevelFuturePeakSum(cell, kIntervalsPerDay);
+  const std::vector<double> limit = CellLimitSeries(cell);
+  for (size_t t = 0; t < limit.size(); ++t) {
+    EXPECT_LE(peak_sum[t], limit[t] + 1e-6);
+  }
+}
+
+TEST(TaskLevelFuturePeakTest, MonotoneInHorizon) {
+  const CellTrace cell = TestCell();
+  const std::vector<double> short_h = TaskLevelFuturePeakSum(cell, kIntervalsPerHour);
+  const std::vector<double> long_h = TaskLevelFuturePeakSum(cell, kIntervalsPerDay);
+  for (size_t t = 0; t < short_h.size(); ++t) {
+    EXPECT_LE(short_h[t], long_h[t] + 1e-9);
+  }
+}
+
+TEST(PercentileSumPeakErrorTest, HigherPercentileShiftsErrorUp) {
+  // Fig 6 mechanism: estimating the machine peak as the sum of task p100s
+  // must overestimate more than the sum of task p50s.
+  const CellTrace cell = TestCell(/*rich=*/true);
+  const Ecdf p50 = PercentileSumPeakErrorCdf(cell, 50, 4);
+  const Ecdf p100 = PercentileSumPeakErrorCdf(cell, 100, 4);
+  ASSERT_FALSE(p50.empty());
+  ASSERT_FALSE(p100.empty());
+  EXPECT_LT(p50.Quantile(0.5), p100.Quantile(0.5));
+  // The sum of within-interval maxima can only overestimate the true
+  // simultaneous peak (statistical multiplexing).
+  EXPECT_GE(p100.Quantile(0.01), -1e-6);
+}
+
+TEST(PercentileSumPeakErrorDeathTest, RequiresRichStats) {
+  const CellTrace cell = TestCell(/*rich=*/false);
+  EXPECT_DEATH(PercentileSumPeakErrorCdf(cell, 90, 4), "rich_stats");
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,133 @@
+#include "crf/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace crf {
+namespace {
+
+TaskTrace MakeTask(TaskId id, int machine, Interval start, double limit,
+                   std::vector<float> usage,
+                   SchedulingClass cls = SchedulingClass::kLatencySensitive) {
+  TaskTrace task;
+  task.task_id = id;
+  task.job_id = id;
+  task.machine_index = machine;
+  task.start = start;
+  task.limit = limit;
+  task.sched_class = cls;
+  task.usage = std::move(usage);
+  return task;
+}
+
+CellTrace MakeCell() {
+  CellTrace cell;
+  cell.name = "test";
+  cell.num_intervals = 6;
+  cell.machines.resize(2);
+  cell.machines[0].capacity = 1.0;
+  cell.machines[1].capacity = 2.0;
+  cell.tasks.push_back(MakeTask(1, 0, 0, 0.5, {0.1f, 0.2f, 0.3f}));
+  cell.tasks.push_back(MakeTask(2, 0, 2, 0.4, {0.4f, 0.4f}, SchedulingClass::kBatch));
+  cell.tasks.push_back(MakeTask(3, 1, 1, 0.3, {0.2f, 0.2f, 0.2f, 0.2f}));
+  cell.machines[0].task_indices = {0, 1};
+  cell.machines[1].task_indices = {2};
+  return cell;
+}
+
+TEST(SchedulingClassTest, IsServing) {
+  EXPECT_FALSE(IsServing(SchedulingClass::kBestEffort));
+  EXPECT_FALSE(IsServing(SchedulingClass::kBatch));
+  EXPECT_TRUE(IsServing(SchedulingClass::kLatencySensitive));
+  EXPECT_TRUE(IsServing(SchedulingClass::kHighlySensitive));
+}
+
+TEST(RichUsageTest, AtPercentileSelectsColumns) {
+  RichUsage rich;
+  rich.p50 = 1;
+  rich.p60 = 2;
+  rich.p70 = 3;
+  rich.p80 = 4;
+  rich.p90 = 5;
+  rich.p95 = 6;
+  rich.p99 = 7;
+  rich.max = 8;
+  EXPECT_EQ(rich.AtPercentile(50), 1);
+  EXPECT_EQ(rich.AtPercentile(40), 1);  // Below p50 clamps to p50.
+  EXPECT_EQ(rich.AtPercentile(80), 4);
+  EXPECT_EQ(rich.AtPercentile(99), 7);
+  EXPECT_EQ(rich.AtPercentile(100), 8);
+}
+
+TEST(TaskTraceTest, LifetimeAccessors) {
+  const TaskTrace task = MakeTask(1, 0, 2, 0.5, {0.1f, 0.2f});
+  EXPECT_EQ(task.end(), 4);
+  EXPECT_EQ(task.runtime(), 2);
+  EXPECT_FALSE(task.ResidentAt(1));
+  EXPECT_TRUE(task.ResidentAt(2));
+  EXPECT_TRUE(task.ResidentAt(3));
+  EXPECT_FALSE(task.ResidentAt(4));
+}
+
+TEST(TaskTraceTest, UsageAtZeroOutsideLifetime) {
+  const TaskTrace task = MakeTask(1, 0, 2, 0.5, {0.1f, 0.2f});
+  EXPECT_DOUBLE_EQ(task.UsageAt(1), 0.0);
+  EXPECT_FLOAT_EQ(task.UsageAt(2), 0.1f);
+  EXPECT_FLOAT_EQ(task.UsageAt(3), 0.2f);
+  EXPECT_DOUBLE_EQ(task.UsageAt(4), 0.0);
+}
+
+TEST(TaskTraceTest, PeakUsage) {
+  const TaskTrace task = MakeTask(1, 0, 0, 1.0, {0.1f, 0.7f, 0.3f});
+  EXPECT_FLOAT_EQ(task.PeakUsage(), 0.7f);
+}
+
+TEST(CellTraceTest, MachineUsageSeriesSumsResidentTasks) {
+  const CellTrace cell = MakeCell();
+  const std::vector<double> usage = cell.MachineUsageSeries(0);
+  ASSERT_EQ(usage.size(), 6u);
+  EXPECT_FLOAT_EQ(usage[0], 0.1f);
+  EXPECT_FLOAT_EQ(usage[1], 0.2f);
+  EXPECT_NEAR(usage[2], 0.3 + 0.4, 1e-6);
+  EXPECT_NEAR(usage[3], 0.4, 1e-6);
+  EXPECT_DOUBLE_EQ(usage[4], 0.0);
+}
+
+TEST(CellTraceTest, MachineLimitSeries) {
+  const CellTrace cell = MakeCell();
+  const std::vector<double> limits = cell.MachineLimitSeries(0);
+  EXPECT_DOUBLE_EQ(limits[0], 0.5);
+  EXPECT_DOUBLE_EQ(limits[2], 0.9);
+  EXPECT_DOUBLE_EQ(limits[3], 0.4);
+  EXPECT_DOUBLE_EQ(limits[5], 0.0);
+}
+
+TEST(CellTraceTest, MachineResidentCount) {
+  const CellTrace cell = MakeCell();
+  const std::vector<int32_t> counts = cell.MachineResidentCount(0);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[4], 0);
+}
+
+TEST(CellTraceTest, FilterToServingTasksRebuildsIndices) {
+  CellTrace cell = MakeCell();
+  cell.FilterToServingTasks();
+  ASSERT_EQ(cell.tasks.size(), 2u);
+  for (const TaskTrace& task : cell.tasks) {
+    EXPECT_TRUE(IsServing(task.sched_class));
+  }
+  // Machine 0 keeps only the serving task; indices must be rebuilt.
+  ASSERT_EQ(cell.machines[0].task_indices.size(), 1u);
+  EXPECT_EQ(cell.tasks[cell.machines[0].task_indices[0]].task_id, 1);
+  ASSERT_EQ(cell.machines[1].task_indices.size(), 1u);
+  EXPECT_EQ(cell.tasks[cell.machines[1].task_indices[0]].task_id, 3);
+}
+
+TEST(CellTraceTest, TotalCapacity) {
+  const CellTrace cell = MakeCell();
+  EXPECT_DOUBLE_EQ(cell.TotalCapacity(), 3.0);
+  EXPECT_EQ(cell.TotalTaskCount(), 3);
+}
+
+}  // namespace
+}  // namespace crf

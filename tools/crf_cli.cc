@@ -1,0 +1,323 @@
+// crf — command-line driver for the overcommit simulator.
+//
+// Subcommands:
+//   crf generate --cell=a --days=7 [--machines=N] [--rich] [--seed=S] --out=FILE
+//       Synthesize a cell trace and save it.
+//   crf info --trace=FILE
+//       Print a trace's workload statistics.
+//   crf simulate (--trace=FILE | --cell=a --days=7 [--machines=N] [--seed=S])
+//                [--predictor=SPEC] [--horizon-hours=24] [--all-classes]
+//       Run the trace-driven simulator; prints violation/savings metrics.
+//   crf cluster --cell=production_3 [--machines=N] [--days=14]
+//               [--predictor=SPEC] [--packing=best-fit] [--seed=S]
+//       Run the closed-loop Borg-like simulation; prints group metrics.
+//
+// Predictor SPEC grammar (crf/core/spec_parser.h):
+//   limit-sum | borg-default[:phi] | rc-like[:pct] | n-sigma[:n]
+//   | autopilot[:pct[:margin]] | max(SPEC,SPEC,...)
+//
+// Cells: a..h (trace cells) and production_1..production_5.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <optional>
+#include <string>
+
+#include "crf/cluster/ab_experiment.h"
+#include "crf/core/spec_parser.h"
+#include "crf/sim/simulator.h"
+#include "crf/trace/generator.h"
+#include "crf/trace/trace_io.h"
+#include "crf/trace/trace_stats.h"
+#include "crf/util/table.h"
+
+namespace crf {
+namespace {
+
+// --key=value / --flag argument map with typed accessors.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        ok_ = false;
+        error_ = "unexpected argument: " + arg;
+        return;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  std::optional<std::string> Get(const std::string& key) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt : std::optional<std::string>(it->second);
+  }
+  std::string GetOr(const std::string& key, const std::string& fallback) {
+    return Get(key).value_or(fallback);
+  }
+  double GetDouble(const std::string& key, double fallback) {
+    const auto value = Get(key);
+    return value.has_value() ? std::strtod(value->c_str(), nullptr) : fallback;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) {
+    const auto value = Get(key);
+    return value.has_value() ? std::strtoll(value->c_str(), nullptr, 10) : fallback;
+  }
+  bool GetBool(const std::string& key) { return Get(key).value_or("") == "true"; }
+
+  // Any flag that was passed but never consumed is a typo.
+  std::optional<std::string> UnknownFlag() const {
+    for (const auto& [key, value] : values_) {
+      if (consumed_.find(key) == consumed_.end()) {
+        return key;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+  bool ok_ = true;
+  std::string error_;
+};
+
+std::optional<CellProfile> ResolveProfile(const std::string& name) {
+  if (name.size() == 1 && name[0] >= 'a' && name[0] <= 'h') {
+    return SimCellProfile(name[0]);
+  }
+  if (name.rfind("cell_", 0) == 0 && name.size() == 6) {
+    return SimCellProfile(name[5]);
+  }
+  if (name.rfind("production_", 0) == 0) {
+    const int index = std::atoi(name.c_str() + strlen("production_"));
+    if (index >= 1 && index <= 5) {
+      return ProductionCellProfile(index);
+    }
+  }
+  return std::nullopt;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "crf: %s\n", message.c_str());
+  return 2;
+}
+
+std::optional<CellTrace> BuildOrLoadCell(Args& args, std::string& error) {
+  const auto trace_path = args.Get("trace");
+  if (trace_path.has_value()) {
+    auto cell = LoadCellTrace(*trace_path);
+    if (!cell.has_value()) {
+      error = "cannot load trace " + *trace_path;
+    }
+    return cell;
+  }
+  const std::string cell_name = args.GetOr("cell", "a");
+  auto profile = ResolveProfile(cell_name);
+  if (!profile.has_value()) {
+    error = "unknown cell '" + cell_name + "' (use a..h or production_1..5)";
+    return std::nullopt;
+  }
+  profile->num_machines =
+      static_cast<int>(args.GetInt("machines", profile->num_machines));
+  GeneratorOptions options;
+  options.num_intervals =
+      static_cast<Interval>(args.GetDouble("days", 7.0) * kIntervalsPerDay);
+  options.rich_stats = args.GetBool("rich");
+  const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  return GenerateCellTrace(*profile, options, rng);
+}
+
+int CmdGenerate(Args& args) {
+  const auto out = args.Get("out");
+  if (!out.has_value()) {
+    return Fail("generate requires --out=FILE");
+  }
+  std::string error;
+  auto cell = BuildOrLoadCell(args, error);
+  if (!cell.has_value()) {
+    return Fail(error);
+  }
+  if (const auto unknown = args.UnknownFlag()) {
+    return Fail("unknown flag --" + *unknown);
+  }
+  SaveCellTrace(*cell, *out);
+  std::printf("wrote %s: %zu machines, %zu tasks, %d intervals\n", out->c_str(),
+              cell->machines.size(), cell->tasks.size(), cell->num_intervals);
+  return 0;
+}
+
+int CmdInfo(Args& args) {
+  std::string error;
+  const auto cell = BuildOrLoadCell(args, error);
+  if (!cell.has_value()) {
+    return Fail(error);
+  }
+  if (const auto unknown = args.UnknownFlag()) {
+    return Fail("unknown flag --" + *unknown);
+  }
+  const Ecdf runtimes = TaskRuntimeHoursCdf(*cell);
+  const Ecdf ratios = UsageToLimitCdf(*cell, 4);
+  std::printf("cell %s: %zu machines (capacity %.1f), %zu tasks, %d intervals\n",
+              cell->name.c_str(), cell->machines.size(), cell->TotalCapacity(),
+              cell->tasks.size(), cell->num_intervals);
+  Table table({"metric", "p50", "p95", "max"});
+  table.AddRow("task runtime (hours)",
+               {runtimes.Quantile(0.5), runtimes.Quantile(0.95), runtimes.max()});
+  table.AddRow("usage/limit", {ratios.Quantile(0.5), ratios.Quantile(0.95), ratios.max()});
+  table.Print();
+  return 0;
+}
+
+int CmdSimulate(Args& args) {
+  const std::string spec_text = args.GetOr("predictor", "max(n-sigma:5,rc-like:99)");
+  const auto spec = ParsePredictorSpec(spec_text);
+  if (!spec.has_value()) {
+    return Fail("bad --predictor spec '" + spec_text + "'");
+  }
+  SimOptions options;
+  options.horizon =
+      static_cast<Interval>(args.GetDouble("horizon-hours", 24.0) * kIntervalsPerHour);
+  const bool all_classes = args.GetBool("all-classes");
+
+  std::string error;
+  auto cell = BuildOrLoadCell(args, error);
+  if (!cell.has_value()) {
+    return Fail(error);
+  }
+  if (const auto unknown = args.UnknownFlag()) {
+    return Fail("unknown flag --" + *unknown);
+  }
+  if (!all_classes) {
+    cell->FilterToServingTasks();
+  }
+
+  const SimResult result = SimulateCell(*cell, *spec, options);
+  std::printf("cell %s, predictor %s, horizon %gh\n", result.cell_name.c_str(),
+              result.predictor_name.c_str(), IntervalsToHours(options.horizon));
+  const Ecdf violations = result.ViolationRateCdf();
+  const Ecdf savings = result.MachineSavingsCdf();
+  Table table({"metric", "p50", "p90", "p99", "mean"});
+  table.AddRow("per-machine violation rate",
+               {violations.Quantile(0.5), violations.Quantile(0.9), violations.Quantile(0.99),
+                violations.mean()});
+  table.AddRow("per-machine savings", {savings.Quantile(0.5), savings.Quantile(0.9),
+                                       savings.Quantile(0.99), savings.mean()});
+  table.Print();
+  std::printf("cell-level savings (time-mean): %.4f\n", result.MeanCellSavings());
+  return 0;
+}
+
+int CmdCluster(Args& args) {
+  const std::string spec_text = args.GetOr("predictor", "borg-default:0.9");
+  const auto spec = ParsePredictorSpec(spec_text);
+  if (!spec.has_value()) {
+    return Fail("bad --predictor spec '" + spec_text + "'");
+  }
+  const std::string cell_name = args.GetOr("cell", "production_1");
+  auto profile = ResolveProfile(cell_name);
+  if (!profile.has_value()) {
+    return Fail("unknown cell '" + cell_name + "'");
+  }
+  profile->num_machines = static_cast<int>(args.GetInt("machines", profile->num_machines));
+
+  ClusterSimOptions options;
+  options.num_intervals =
+      static_cast<Interval>(args.GetDouble("days", 14.0) * kIntervalsPerDay);
+  options.warmup = std::min<Interval>(2 * kIntervalsPerDay, options.num_intervals / 4);
+  options.predictor = *spec;
+  const std::string packing = args.GetOr("packing", "best-fit");
+  if (packing == "best-fit") {
+    options.packing = PackingPolicy::kBestFit;
+  } else if (packing == "worst-fit") {
+    options.packing = PackingPolicy::kWorstFit;
+  } else if (packing == "random-fit") {
+    options.packing = PackingPolicy::kRandomFit;
+  } else {
+    return Fail("unknown --packing '" + packing + "'");
+  }
+  const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  if (const auto unknown = args.UnknownFlag()) {
+    return Fail("unknown flag --" + *unknown);
+  }
+
+  const ClusterSimResult result = RunClusterSim(*profile, options, rng);
+  const std::vector<ClusterSimResult> results{result};
+  const GroupMetrics metrics = ComputeGroupMetrics(result.predictor_name, results);
+  std::printf("cell %s, predictor %s, packing %s, %g days (%d machines)\n",
+              result.cell_name.c_str(), result.predictor_name.c_str(), packing.c_str(),
+              IntervalsToHours(options.num_intervals) / 24.0, profile->num_machines);
+  Table table({"metric", "p50", "p90"});
+  table.AddRow("alloc/capacity", {metrics.normalized_allocation.Quantile(0.5),
+                                  metrics.normalized_allocation.Quantile(0.9)});
+  table.AddRow("usage/capacity", {metrics.normalized_workload.Quantile(0.5),
+                                  metrics.normalized_workload.Quantile(0.9)});
+  table.AddRow("relative savings", {metrics.relative_savings.Quantile(0.5),
+                                    metrics.relative_savings.Quantile(0.9)});
+  table.AddRow("machine violation rate",
+               {metrics.violation_rate.Quantile(0.5), metrics.violation_rate.Quantile(0.9)});
+  table.AddRow("machine p90 latency", {metrics.machine_p90_latency.Quantile(0.5),
+                                       metrics.machine_p90_latency.Quantile(0.9)});
+  table.Print();
+  std::printf("tasks placed %lld, timed out %lld\n",
+              static_cast<long long>(result.tasks_placed),
+              static_cast<long long>(result.tasks_timed_out));
+  return 0;
+}
+
+int Usage() {
+  std::fputs(
+      "usage: crf <generate|info|simulate|cluster> [--flags]\n"
+      "  crf generate --cell=a --days=7 --out=FILE [--machines=N] [--rich] [--seed=S]\n"
+      "  crf info     (--trace=FILE | --cell=a [--days=7] [--machines=N])\n"
+      "  crf simulate (--trace=FILE | --cell=a [--days] [--machines] [--seed])\n"
+      "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
+      "  crf cluster  --cell=production_1 [--machines=N] [--days=14]\n"
+      "               [--predictor=SPEC] [--packing=best-fit|worst-fit|random-fit]\n"
+      "SPEC: limit-sum | borg-default[:phi] | rc-like[:pct] | n-sigma[:n]\n"
+      "      | autopilot[:pct[:margin]] | max(SPEC,...)\n",
+      stderr);
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (!args.ok()) {
+    return Fail(args.error());
+  }
+  if (command == "generate") {
+    return CmdGenerate(args);
+  }
+  if (command == "info") {
+    return CmdInfo(args);
+  }
+  if (command == "simulate") {
+    return CmdSimulate(args);
+  }
+  if (command == "cluster") {
+    return CmdCluster(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace crf
+
+int main(int argc, char** argv) { return crf::Run(argc, argv); }
