@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_pooling"
+  "../bench/fig01_pooling.pdb"
+  "CMakeFiles/fig01_pooling.dir/fig01_pooling.cc.o"
+  "CMakeFiles/fig01_pooling.dir/fig01_pooling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

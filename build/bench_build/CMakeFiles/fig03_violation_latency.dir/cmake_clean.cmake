@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_violation_latency"
+  "../bench/fig03_violation_latency.pdb"
+  "CMakeFiles/fig03_violation_latency.dir/fig03_violation_latency.cc.o"
+  "CMakeFiles/fig03_violation_latency.dir/fig03_violation_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_violation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_submission_rate"
+  "../bench/fig04_submission_rate.pdb"
+  "CMakeFiles/fig04_submission_rate.dir/fig04_submission_rate.cc.o"
+  "CMakeFiles/fig04_submission_rate.dir/fig04_submission_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_submission_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_percentile_peak.cc" "bench_build/CMakeFiles/fig06_percentile_peak.dir/fig06_percentile_peak.cc.o" "gcc" "bench_build/CMakeFiles/fig06_percentile_peak.dir/fig06_percentile_peak.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_percentile_peak"
+  "../bench/fig06_percentile_peak.pdb"
+  "CMakeFiles/fig06_percentile_peak.dir/fig06_percentile_peak.cc.o"
+  "CMakeFiles/fig06_percentile_peak.dir/fig06_percentile_peak.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_percentile_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

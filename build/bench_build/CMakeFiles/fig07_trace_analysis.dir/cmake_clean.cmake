@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_trace_analysis"
+  "../bench/fig07_trace_analysis.pdb"
+  "CMakeFiles/fig07_trace_analysis.dir/fig07_trace_analysis.cc.o"
+  "CMakeFiles/fig07_trace_analysis.dir/fig07_trace_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_rclike_sweep"
+  "../bench/fig09_rclike_sweep.pdb"
+  "CMakeFiles/fig09_rclike_sweep.dir/fig09_rclike_sweep.cc.o"
+  "CMakeFiles/fig09_rclike_sweep.dir/fig09_rclike_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rclike_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_predictor_comparison"
+  "../bench/fig10_predictor_comparison.pdb"
+  "CMakeFiles/fig10_predictor_comparison.dir/fig10_predictor_comparison.cc.o"
+  "CMakeFiles/fig10_predictor_comparison.dir/fig10_predictor_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_predictor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

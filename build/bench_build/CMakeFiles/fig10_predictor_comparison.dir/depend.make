@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_predictor_comparison.
+# This may be replaced when dependencies are built.

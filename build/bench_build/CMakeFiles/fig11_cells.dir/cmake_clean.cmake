@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_cells"
+  "../bench/fig11_cells.pdb"
+  "CMakeFiles/fig11_cells.dir/fig11_cells.cc.o"
+  "CMakeFiles/fig11_cells.dir/fig11_cells.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_weeks"
+  "../bench/fig12_weeks.pdb"
+  "CMakeFiles/fig12_weeks.dir/fig12_weeks.cc.o"
+  "CMakeFiles/fig12_weeks.dir/fig12_weeks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_weeks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_fig14_production_ab"
+  "../bench/fig13_fig14_production_ab.pdb"
+  "CMakeFiles/fig13_fig14_production_ab.dir/fig13_fig14_production_ab.cc.o"
+  "CMakeFiles/fig13_fig14_production_ab.dir/fig13_fig14_production_ab.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fig14_production_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

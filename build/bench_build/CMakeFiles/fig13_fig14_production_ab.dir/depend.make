@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_fig14_production_ab.
+# This may be replaced when dependencies are built.

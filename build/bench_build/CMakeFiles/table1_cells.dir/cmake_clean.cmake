@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cells"
+  "../bench/table1_cells.pdb"
+  "CMakeFiles/table1_cells.dir/table1_cells.cc.o"
+  "CMakeFiles/table1_cells.dir/table1_cells.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

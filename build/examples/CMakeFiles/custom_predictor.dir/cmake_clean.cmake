@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_predictor.dir/custom_predictor.cc.o"
+  "CMakeFiles/custom_predictor.dir/custom_predictor.cc.o.d"
+  "custom_predictor"
+  "custom_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

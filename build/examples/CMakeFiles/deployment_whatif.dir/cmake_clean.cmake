@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_whatif.dir/deployment_whatif.cc.o"
+  "CMakeFiles/deployment_whatif.dir/deployment_whatif.cc.o.d"
+  "deployment_whatif"
+  "deployment_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

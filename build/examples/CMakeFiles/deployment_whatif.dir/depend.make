@@ -1,0 +1,2 @@
+# Empty dependencies file for deployment_whatif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/cluster/ab_experiment.cc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/ab_experiment.cc.o" "gcc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/ab_experiment.cc.o.d"
+  "/root/repo/src/crf/cluster/cell_sim.cc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/cell_sim.cc.o" "gcc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/cell_sim.cc.o.d"
+  "/root/repo/src/crf/cluster/latency_model.cc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/latency_model.cc.o" "gcc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/latency_model.cc.o.d"
+  "/root/repo/src/crf/cluster/machine.cc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/machine.cc.o" "gcc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/machine.cc.o.d"
+  "/root/repo/src/crf/cluster/scheduler.cc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/scheduler.cc.o" "gcc" "src/CMakeFiles/crf_cluster.dir/crf/cluster/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

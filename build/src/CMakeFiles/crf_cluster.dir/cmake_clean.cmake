@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_cluster.dir/crf/cluster/ab_experiment.cc.o"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/ab_experiment.cc.o.d"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/cell_sim.cc.o"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/cell_sim.cc.o.d"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/latency_model.cc.o"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/latency_model.cc.o.d"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/machine.cc.o"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/machine.cc.o.d"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/scheduler.cc.o"
+  "CMakeFiles/crf_cluster.dir/crf/cluster/scheduler.cc.o.d"
+  "libcrf_cluster.a"
+  "libcrf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/core/autopilot_predictor.cc" "src/CMakeFiles/crf_core.dir/crf/core/autopilot_predictor.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/autopilot_predictor.cc.o.d"
+  "/root/repo/src/crf/core/borg_default_predictor.cc" "src/CMakeFiles/crf_core.dir/crf/core/borg_default_predictor.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/borg_default_predictor.cc.o.d"
+  "/root/repo/src/crf/core/limit_sum_predictor.cc" "src/CMakeFiles/crf_core.dir/crf/core/limit_sum_predictor.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/limit_sum_predictor.cc.o.d"
+  "/root/repo/src/crf/core/max_predictor.cc" "src/CMakeFiles/crf_core.dir/crf/core/max_predictor.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/max_predictor.cc.o.d"
+  "/root/repo/src/crf/core/n_sigma_predictor.cc" "src/CMakeFiles/crf_core.dir/crf/core/n_sigma_predictor.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/n_sigma_predictor.cc.o.d"
+  "/root/repo/src/crf/core/oracle.cc" "src/CMakeFiles/crf_core.dir/crf/core/oracle.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/oracle.cc.o.d"
+  "/root/repo/src/crf/core/predictor.cc" "src/CMakeFiles/crf_core.dir/crf/core/predictor.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/predictor.cc.o.d"
+  "/root/repo/src/crf/core/predictor_factory.cc" "src/CMakeFiles/crf_core.dir/crf/core/predictor_factory.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/predictor_factory.cc.o.d"
+  "/root/repo/src/crf/core/rc_like_predictor.cc" "src/CMakeFiles/crf_core.dir/crf/core/rc_like_predictor.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/rc_like_predictor.cc.o.d"
+  "/root/repo/src/crf/core/spec_parser.cc" "src/CMakeFiles/crf_core.dir/crf/core/spec_parser.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/spec_parser.cc.o.d"
+  "/root/repo/src/crf/core/task_history.cc" "src/CMakeFiles/crf_core.dir/crf/core/task_history.cc.o" "gcc" "src/CMakeFiles/crf_core.dir/crf/core/task_history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

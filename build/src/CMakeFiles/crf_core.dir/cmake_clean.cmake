@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_core.dir/crf/core/autopilot_predictor.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/autopilot_predictor.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/borg_default_predictor.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/borg_default_predictor.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/limit_sum_predictor.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/limit_sum_predictor.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/max_predictor.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/max_predictor.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/n_sigma_predictor.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/n_sigma_predictor.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/oracle.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/oracle.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/predictor.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/predictor.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/predictor_factory.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/predictor_factory.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/rc_like_predictor.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/rc_like_predictor.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/spec_parser.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/spec_parser.cc.o.d"
+  "CMakeFiles/crf_core.dir/crf/core/task_history.cc.o"
+  "CMakeFiles/crf_core.dir/crf/core/task_history.cc.o.d"
+  "libcrf_core.a"
+  "libcrf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_sim.dir/crf/sim/metrics.cc.o"
+  "CMakeFiles/crf_sim.dir/crf/sim/metrics.cc.o.d"
+  "CMakeFiles/crf_sim.dir/crf/sim/simulator.cc.o"
+  "CMakeFiles/crf_sim.dir/crf/sim/simulator.cc.o.d"
+  "libcrf_sim.a"
+  "libcrf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrf_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/stats/correlation.cc" "src/CMakeFiles/crf_stats.dir/crf/stats/correlation.cc.o" "gcc" "src/CMakeFiles/crf_stats.dir/crf/stats/correlation.cc.o.d"
+  "/root/repo/src/crf/stats/ecdf.cc" "src/CMakeFiles/crf_stats.dir/crf/stats/ecdf.cc.o" "gcc" "src/CMakeFiles/crf_stats.dir/crf/stats/ecdf.cc.o.d"
+  "/root/repo/src/crf/stats/histogram.cc" "src/CMakeFiles/crf_stats.dir/crf/stats/histogram.cc.o" "gcc" "src/CMakeFiles/crf_stats.dir/crf/stats/histogram.cc.o.d"
+  "/root/repo/src/crf/stats/p2_quantile.cc" "src/CMakeFiles/crf_stats.dir/crf/stats/p2_quantile.cc.o" "gcc" "src/CMakeFiles/crf_stats.dir/crf/stats/p2_quantile.cc.o.d"
+  "/root/repo/src/crf/stats/percentile.cc" "src/CMakeFiles/crf_stats.dir/crf/stats/percentile.cc.o" "gcc" "src/CMakeFiles/crf_stats.dir/crf/stats/percentile.cc.o.d"
+  "/root/repo/src/crf/stats/running_stats.cc" "src/CMakeFiles/crf_stats.dir/crf/stats/running_stats.cc.o" "gcc" "src/CMakeFiles/crf_stats.dir/crf/stats/running_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_stats.dir/crf/stats/correlation.cc.o"
+  "CMakeFiles/crf_stats.dir/crf/stats/correlation.cc.o.d"
+  "CMakeFiles/crf_stats.dir/crf/stats/ecdf.cc.o"
+  "CMakeFiles/crf_stats.dir/crf/stats/ecdf.cc.o.d"
+  "CMakeFiles/crf_stats.dir/crf/stats/histogram.cc.o"
+  "CMakeFiles/crf_stats.dir/crf/stats/histogram.cc.o.d"
+  "CMakeFiles/crf_stats.dir/crf/stats/p2_quantile.cc.o"
+  "CMakeFiles/crf_stats.dir/crf/stats/p2_quantile.cc.o.d"
+  "CMakeFiles/crf_stats.dir/crf/stats/percentile.cc.o"
+  "CMakeFiles/crf_stats.dir/crf/stats/percentile.cc.o.d"
+  "CMakeFiles/crf_stats.dir/crf/stats/running_stats.cc.o"
+  "CMakeFiles/crf_stats.dir/crf/stats/running_stats.cc.o.d"
+  "libcrf_stats.a"
+  "libcrf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

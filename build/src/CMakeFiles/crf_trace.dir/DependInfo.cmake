@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/trace/cell_profile.cc" "src/CMakeFiles/crf_trace.dir/crf/trace/cell_profile.cc.o" "gcc" "src/CMakeFiles/crf_trace.dir/crf/trace/cell_profile.cc.o.d"
+  "/root/repo/src/crf/trace/generator.cc" "src/CMakeFiles/crf_trace.dir/crf/trace/generator.cc.o" "gcc" "src/CMakeFiles/crf_trace.dir/crf/trace/generator.cc.o.d"
+  "/root/repo/src/crf/trace/job_sampler.cc" "src/CMakeFiles/crf_trace.dir/crf/trace/job_sampler.cc.o" "gcc" "src/CMakeFiles/crf_trace.dir/crf/trace/job_sampler.cc.o.d"
+  "/root/repo/src/crf/trace/trace.cc" "src/CMakeFiles/crf_trace.dir/crf/trace/trace.cc.o" "gcc" "src/CMakeFiles/crf_trace.dir/crf/trace/trace.cc.o.d"
+  "/root/repo/src/crf/trace/trace_io.cc" "src/CMakeFiles/crf_trace.dir/crf/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/crf_trace.dir/crf/trace/trace_io.cc.o.d"
+  "/root/repo/src/crf/trace/trace_stats.cc" "src/CMakeFiles/crf_trace.dir/crf/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/crf_trace.dir/crf/trace/trace_stats.cc.o.d"
+  "/root/repo/src/crf/trace/workload_model.cc" "src/CMakeFiles/crf_trace.dir/crf/trace/workload_model.cc.o" "gcc" "src/CMakeFiles/crf_trace.dir/crf/trace/workload_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

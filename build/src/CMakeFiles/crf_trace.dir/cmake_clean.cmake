@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_trace.dir/crf/trace/cell_profile.cc.o"
+  "CMakeFiles/crf_trace.dir/crf/trace/cell_profile.cc.o.d"
+  "CMakeFiles/crf_trace.dir/crf/trace/generator.cc.o"
+  "CMakeFiles/crf_trace.dir/crf/trace/generator.cc.o.d"
+  "CMakeFiles/crf_trace.dir/crf/trace/job_sampler.cc.o"
+  "CMakeFiles/crf_trace.dir/crf/trace/job_sampler.cc.o.d"
+  "CMakeFiles/crf_trace.dir/crf/trace/trace.cc.o"
+  "CMakeFiles/crf_trace.dir/crf/trace/trace.cc.o.d"
+  "CMakeFiles/crf_trace.dir/crf/trace/trace_io.cc.o"
+  "CMakeFiles/crf_trace.dir/crf/trace/trace_io.cc.o.d"
+  "CMakeFiles/crf_trace.dir/crf/trace/trace_stats.cc.o"
+  "CMakeFiles/crf_trace.dir/crf/trace/trace_stats.cc.o.d"
+  "CMakeFiles/crf_trace.dir/crf/trace/workload_model.cc.o"
+  "CMakeFiles/crf_trace.dir/crf/trace/workload_model.cc.o.d"
+  "libcrf_trace.a"
+  "libcrf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

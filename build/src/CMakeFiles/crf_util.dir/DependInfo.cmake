@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/util/check.cc" "src/CMakeFiles/crf_util.dir/crf/util/check.cc.o" "gcc" "src/CMakeFiles/crf_util.dir/crf/util/check.cc.o.d"
+  "/root/repo/src/crf/util/csv.cc" "src/CMakeFiles/crf_util.dir/crf/util/csv.cc.o" "gcc" "src/CMakeFiles/crf_util.dir/crf/util/csv.cc.o.d"
+  "/root/repo/src/crf/util/env.cc" "src/CMakeFiles/crf_util.dir/crf/util/env.cc.o" "gcc" "src/CMakeFiles/crf_util.dir/crf/util/env.cc.o.d"
+  "/root/repo/src/crf/util/rng.cc" "src/CMakeFiles/crf_util.dir/crf/util/rng.cc.o" "gcc" "src/CMakeFiles/crf_util.dir/crf/util/rng.cc.o.d"
+  "/root/repo/src/crf/util/table.cc" "src/CMakeFiles/crf_util.dir/crf/util/table.cc.o" "gcc" "src/CMakeFiles/crf_util.dir/crf/util/table.cc.o.d"
+  "/root/repo/src/crf/util/thread_pool.cc" "src/CMakeFiles/crf_util.dir/crf/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/crf_util.dir/crf/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

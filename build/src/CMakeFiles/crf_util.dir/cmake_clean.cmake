@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_util.dir/crf/util/check.cc.o"
+  "CMakeFiles/crf_util.dir/crf/util/check.cc.o.d"
+  "CMakeFiles/crf_util.dir/crf/util/csv.cc.o"
+  "CMakeFiles/crf_util.dir/crf/util/csv.cc.o.d"
+  "CMakeFiles/crf_util.dir/crf/util/env.cc.o"
+  "CMakeFiles/crf_util.dir/crf/util/env.cc.o.d"
+  "CMakeFiles/crf_util.dir/crf/util/rng.cc.o"
+  "CMakeFiles/crf_util.dir/crf/util/rng.cc.o.d"
+  "CMakeFiles/crf_util.dir/crf/util/table.cc.o"
+  "CMakeFiles/crf_util.dir/crf/util/table.cc.o.d"
+  "CMakeFiles/crf_util.dir/crf/util/thread_pool.cc.o"
+  "CMakeFiles/crf_util.dir/crf/util/thread_pool.cc.o.d"
+  "libcrf_util.a"
+  "libcrf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_experiment_test.dir/ab_experiment_test.cc.o"
+  "CMakeFiles/ab_experiment_test.dir/ab_experiment_test.cc.o.d"
+  "ab_experiment_test"
+  "ab_experiment_test.pdb"
+  "ab_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

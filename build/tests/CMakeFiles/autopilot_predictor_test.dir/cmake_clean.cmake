@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_predictor_test.dir/autopilot_predictor_test.cc.o"
+  "CMakeFiles/autopilot_predictor_test.dir/autopilot_predictor_test.cc.o.d"
+  "autopilot_predictor_test"
+  "autopilot_predictor_test.pdb"
+  "autopilot_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

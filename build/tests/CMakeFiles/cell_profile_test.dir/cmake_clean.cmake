@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_profile_test.dir/cell_profile_test.cc.o"
+  "CMakeFiles/cell_profile_test.dir/cell_profile_test.cc.o.d"
+  "cell_profile_test"
+  "cell_profile_test.pdb"
+  "cell_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_sim_test.dir/cell_sim_test.cc.o"
+  "CMakeFiles/cell_sim_test.dir/cell_sim_test.cc.o.d"
+  "cell_sim_test"
+  "cell_sim_test.pdb"
+  "cell_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

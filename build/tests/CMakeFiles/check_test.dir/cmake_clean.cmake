@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_test.dir/check_test.cc.o"
+  "CMakeFiles/check_test.dir/check_test.cc.o.d"
+  "check_test"
+  "check_test.pdb"
+  "check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdf_test.dir/ecdf_test.cc.o"
+  "CMakeFiles/ecdf_test.dir/ecdf_test.cc.o.d"
+  "ecdf_test"
+  "ecdf_test.pdb"
+  "ecdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_test.dir/env_test.cc.o"
+  "CMakeFiles/env_test.dir/env_test.cc.o.d"
+  "env_test"
+  "env_test.pdb"
+  "env_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_sampler_test.dir/job_sampler_test.cc.o"
+  "CMakeFiles/job_sampler_test.dir/job_sampler_test.cc.o.d"
+  "job_sampler_test"
+  "job_sampler_test.pdb"
+  "job_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_model_test.dir/latency_model_test.cc.o"
+  "CMakeFiles/latency_model_test.dir/latency_model_test.cc.o.d"
+  "latency_model_test"
+  "latency_model_test.pdb"
+  "latency_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2_quantile_test.dir/p2_quantile_test.cc.o"
+  "CMakeFiles/p2_quantile_test.dir/p2_quantile_test.cc.o.d"
+  "p2_quantile_test"
+  "p2_quantile_test.pdb"
+  "p2_quantile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percentile_test.dir/percentile_test.cc.o"
+  "CMakeFiles/percentile_test.dir/percentile_test.cc.o.d"
+  "percentile_test"
+  "percentile_test.pdb"
+  "percentile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percentile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_factory_test.dir/predictor_factory_test.cc.o"
+  "CMakeFiles/predictor_factory_test.dir/predictor_factory_test.cc.o.d"
+  "predictor_factory_test"
+  "predictor_factory_test.pdb"
+  "predictor_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictors_test.dir/predictors_test.cc.o"
+  "CMakeFiles/predictors_test.dir/predictors_test.cc.o.d"
+  "predictors_test"
+  "predictors_test.pdb"
+  "predictors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

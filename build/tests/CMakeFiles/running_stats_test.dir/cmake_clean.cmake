@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/running_stats_test.dir/running_stats_test.cc.o"
+  "CMakeFiles/running_stats_test.dir/running_stats_test.cc.o.d"
+  "running_stats_test"
+  "running_stats_test.pdb"
+  "running_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/running_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_test.dir/simulator_test.cc.o"
+  "CMakeFiles/simulator_test.dir/simulator_test.cc.o.d"
+  "simulator_test"
+  "simulator_test.pdb"
+  "simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

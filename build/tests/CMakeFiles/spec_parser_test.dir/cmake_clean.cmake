@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_parser_test.dir/spec_parser_test.cc.o"
+  "CMakeFiles/spec_parser_test.dir/spec_parser_test.cc.o.d"
+  "spec_parser_test"
+  "spec_parser_test.pdb"
+  "spec_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

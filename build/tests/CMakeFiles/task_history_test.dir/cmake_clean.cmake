@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_history_test.dir/task_history_test.cc.o"
+  "CMakeFiles/task_history_test.dir/task_history_test.cc.o.d"
+  "task_history_test"
+  "task_history_test.pdb"
+  "task_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_max_test.dir/window_max_test.cc.o"
+  "CMakeFiles/window_max_test.dir/window_max_test.cc.o.d"
+  "window_max_test"
+  "window_max_test.pdb"
+  "window_max_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_max_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

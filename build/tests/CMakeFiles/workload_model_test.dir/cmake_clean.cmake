@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_model_test.dir/workload_model_test.cc.o"
+  "CMakeFiles/workload_model_test.dir/workload_model_test.cc.o.d"
+  "workload_model_test"
+  "workload_model_test.pdb"
+  "workload_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

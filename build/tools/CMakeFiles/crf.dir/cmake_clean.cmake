@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf.dir/crf_cli.cc.o"
+  "CMakeFiles/crf.dir/crf_cli.cc.o.d"
+  "crf"
+  "crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
