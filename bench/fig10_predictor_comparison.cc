@@ -30,12 +30,19 @@ int Main() {
     std::string label;
     SimResult result;
   };
+  // One oracle memo shared by all five predictor runs over the same cell.
+  OracleCache oracle_cache;
+  SimOptions sim_options;
+  sim_options.oracle_cache = &oracle_cache;
+
   std::vector<Entry> entries;
-  entries.push_back({"borg-default", SimulateCell(cell, BorgDefaultSpec(0.9))});
-  entries.push_back({"RC-like", SimulateCell(cell, RcLikeSpec(99.0))});
-  entries.push_back({"autopilot", SimulateCell(cell, AutopilotSpec(98.0, 1.10))});
-  entries.push_back({"N-sigma", SimulateCell(cell, NSigmaSpec(5.0))});
-  entries.push_back({"max(N-sigma,RC-like)", SimulateCell(cell, SimulationMaxSpec())});
+  entries.push_back({"borg-default", SimulateCell(cell, BorgDefaultSpec(0.9), sim_options)});
+  entries.push_back({"RC-like", SimulateCell(cell, RcLikeSpec(99.0), sim_options)});
+  entries.push_back(
+      {"autopilot", SimulateCell(cell, AutopilotSpec(98.0, 1.10), sim_options)});
+  entries.push_back({"N-sigma", SimulateCell(cell, NSigmaSpec(5.0), sim_options)});
+  entries.push_back(
+      {"max(N-sigma,RC-like)", SimulateCell(cell, SimulationMaxSpec(), sim_options)});
 
   auto report = [&](const std::string& title, const std::string& csv,
                     Ecdf (SimResult::*extract)() const) {

@@ -1,17 +1,27 @@
 // Microbenchmarks (google-benchmark) for the hot paths the paper's Section 4
 // constraints care about: a predictor must respond "within the polling
 // frequency of the central scheduler" with a small CPU and memory footprint.
-// Measures per-poll predictor cost, oracle computation throughput, and the
-// TaskHistory percentile window.
+// Measures per-poll predictor cost, oracle computation throughput, the
+// TaskHistory percentile window, and the fused simulation engine
+// (machines/sec and intervals/sec, with and without the shared oracle cache
+// across a 16-point predictor sweep).
+//
+// Results are recorded as JSON under $REPRO_OUT (default bench_out/) in
+// perf_microbench.json so engine throughput is a regression-checkable
+// number; pass --benchmark_out=... to override.
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
 #include "crf/core/task_history.h"
+#include "crf/sim/simulator.h"
 #include "crf/trace/generator.h"
+#include "crf/util/env.h"
 #include "crf/util/rng.h"
 
 namespace crf {
@@ -109,7 +119,98 @@ void BM_TotalUsageOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_TotalUsageOracle)->Arg(16)->Arg(64);
 
+// The default synthetic simulation cell for engine-throughput benches:
+// profile 'a' at a bench-friendly machine count, one week.
+const CellTrace& SweepCell() {
+  static const CellTrace* cell = [] {
+    CellProfile profile = SimCellProfile('a');
+    profile.num_machines = 16;
+    GeneratorOptions options;
+    options.num_intervals = kIntervalsPerWeek;
+    auto* trace = new CellTrace(GenerateCellTrace(profile, options, Rng(6)));
+    trace->FilterToServingTasks();
+    return trace;
+  }();
+  return *cell;
+}
+
+// One machine through the fused engine (no oracle cache): steady-state
+// per-machine simulation throughput in intervals/sec.
+void BM_SimulateMachineFused(benchmark::State& state) {
+  const CellTrace& cell = SweepCell();
+  SimOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SimulateMachine(cell, 0, NSigmaSpec(5.0), options, nullptr, nullptr));
+  }
+  state.counters["intervals_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * cell.num_intervals),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateMachineFused);
+
+// A 16-point N-sigma parameter sweep over the default synthetic cell —
+// the fig08-shaped workload. Arg(0): every sweep point recomputes the
+// oracle; Arg(1): one OracleCache shared across all 16 points. The reported
+// machines_per_second / intervals_per_second ratio between the two rows is
+// the recorded oracle-cache speedup.
+void BM_NSigmaSweep16(benchmark::State& state) {
+  const CellTrace& cell = SweepCell();
+  const bool use_cache = state.range(0) != 0;
+  constexpr int kSweepPoints = 16;
+  for (auto _ : state) {
+    OracleCache cache;
+    SimOptions options;
+    if (use_cache) {
+      options.oracle_cache = &cache;
+    }
+    for (int point = 0; point < kSweepPoints; ++point) {
+      benchmark::DoNotOptimize(SimulateCell(cell, NSigmaSpec(2.0 + 0.5 * point), options));
+    }
+  }
+  const double machine_sims =
+      static_cast<double>(state.iterations()) * kSweepPoints * cell.machines.size();
+  state.counters["machines_per_second"] =
+      benchmark::Counter(machine_sims, benchmark::Counter::kIsRate);
+  state.counters["intervals_per_second"] = benchmark::Counter(
+      machine_sims * static_cast<double>(cell.num_intervals), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NSigmaSweep16)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
 }  // namespace
 }  // namespace crf
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus JSON recording under $REPRO_OUT unless the caller
+// already chose an output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).starts_with("--benchmark_out")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    const std::string out_dir = crf::BenchOutputDir();
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    out_flag = "--benchmark_out=" + out_dir + "/perf_microbench.json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

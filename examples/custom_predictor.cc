@@ -63,6 +63,14 @@ class EwmaPredictor : public PeakPredictor {
 
   double PredictPeak() const override { return prediction_; }
 
+  void Reset() override {
+    tasks_.clear();
+    initialized_ = false;
+    ewma_ = 0.0;
+    error_ewma_ = 0.0;
+    prediction_ = 0.0;
+  }
+
   std::string name() const override {
     char buffer[48];
     std::snprintf(buffer, sizeof(buffer), "ewma-a%.2f-h%.0f", alpha_, headroom_);

@@ -44,6 +44,11 @@ void AutopilotPredictor::Observe(Interval now, std::span<const TaskSample> tasks
 
 double AutopilotPredictor::PredictPeak() const { return prediction_; }
 
+void AutopilotPredictor::Reset() {
+  tasks_.clear();
+  prediction_ = 0.0;
+}
+
 std::string AutopilotPredictor::name() const {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "autopilot-p%.0f-m%.2f", percentile_, margin_);

@@ -31,6 +31,7 @@ class AutopilotPredictor : public PeakPredictor {
 
   void Observe(Interval now, std::span<const TaskSample> tasks) override;
   double PredictPeak() const override;
+  void Reset() override;
   std::string name() const override;
 
   double percentile() const { return percentile_; }

@@ -19,6 +19,7 @@ class BorgDefaultPredictor : public PeakPredictor {
 
   void Observe(Interval now, std::span<const TaskSample> tasks) override;
   double PredictPeak() const override;
+  void Reset() override { limit_sum_ = 0.0; usage_now_ = 0.0; }
   std::string name() const override;
 
   double phi() const { return phi_; }

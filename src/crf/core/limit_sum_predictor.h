@@ -15,6 +15,7 @@ class LimitSumPredictor : public PeakPredictor {
  public:
   void Observe(Interval now, std::span<const TaskSample> tasks) override;
   double PredictPeak() const override;
+  void Reset() override { limit_sum_ = 0.0; }
   std::string name() const override { return "limit-sum"; }
 
  private:

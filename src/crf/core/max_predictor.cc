@@ -28,6 +28,12 @@ double MaxPredictor::PredictPeak() const {
   return peak;
 }
 
+void MaxPredictor::Reset() {
+  for (auto& component : components_) {
+    component->Reset();
+  }
+}
+
 std::string MaxPredictor::name() const {
   std::string out = "max(";
   for (size_t i = 0; i < components_.size(); ++i) {

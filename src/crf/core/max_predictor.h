@@ -21,6 +21,7 @@ class MaxPredictor : public PeakPredictor {
 
   void Observe(Interval now, std::span<const TaskSample> tasks) override;
   double PredictPeak() const override;
+  void Reset() override;
   std::string name() const override;
 
   const std::vector<std::unique_ptr<PeakPredictor>>& components() const { return components_; }

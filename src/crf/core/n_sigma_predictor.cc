@@ -1,8 +1,10 @@
 #include "crf/core/n_sigma_predictor.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <unordered_map>
 
-#include "crf/stats/running_stats.h"
 #include "crf/util/check.h"
 
 namespace crf {
@@ -12,42 +14,116 @@ NSigmaPredictor::NSigmaPredictor(double n, const PredictorConfig& config)
   CRF_CHECK_GT(n, 0.0);
   CRF_CHECK_GT(config.min_num_samples, 0);
   CRF_CHECK_GE(config.max_num_samples, config.min_num_samples);
+  window_.resize(config.max_num_samples);
 }
 
-void NSigmaPredictor::Observe(Interval now, std::span<const TaskSample> tasks) {
+void NSigmaPredictor::RebuildRoster(std::span<const TaskSample> tasks) {
+  // Carry warm-up progress over for tasks that survive the event; absent
+  // tasks have departed and their state is dropped (re-arrival of the same
+  // id starts a fresh warm-up, per the Observe contract).
+  std::unordered_map<TaskId, Interval> carried;
+  carried.reserve(roster_ids_.size());
+  for (size_t i = 0; i < roster_ids_.size(); ++i) {
+    carried.emplace(roster_ids_[i], samples_seen_[i]);
+  }
+  roster_ids_.resize(tasks.size());
+  samples_seen_.resize(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    roster_ids_[i] = tasks[i].task_id;
+    const auto it = carried.find(tasks[i].task_id);
+    samples_seen_[i] = it != carried.end() ? it->second : 0;
+  }
+}
+
+void NSigmaPredictor::PushWindow(double value) {
+  if (window_count_ == static_cast<int>(window_.size())) {
+    const double evicted = window_[window_head_];
+    window_sum_ -= evicted;
+    window_sumsq_ -= evicted * evicted;
+    window_[window_head_] = value;
+    window_head_ = window_head_ + 1 == window_count_ ? 0 : window_head_ + 1;
+  } else {
+    window_[(window_head_ + window_count_) % window_.size()] = value;
+    ++window_count_;
+  }
+  window_sum_ += value;
+  window_sumsq_ += value * value;
+}
+
+double NSigmaPredictor::WindowVariance(double mean) {
+  const double n = static_cast<double>(window_count_);
+  double variance = window_sumsq_ / n - mean * mean;
+  // Incremental sum-of-squares loses ~eps * E[x^2] absolutely; when the
+  // computed variance is within that noise floor (flat signals, long runs),
+  // recompute exactly and refresh the moments to cancel accumulated drift.
+  const double noise_floor = 1e-12 * std::max(window_sumsq_ / n, 1e-300);
+  if (variance < noise_floor) {
+    double exact_mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (int i = 0; i < window_count_; ++i) {
+      const double x = window_[(window_head_ + i) % window_.size()];
+      const double delta = x - exact_mean;
+      exact_mean += delta / (i + 1);
+      m2 += delta * (x - exact_mean);
+      sum += x;
+      sumsq += x * x;
+    }
+    window_sum_ = sum;
+    window_sumsq_ = sumsq;
+    variance = m2 / n;
+  }
+  return std::max(variance, 0.0);
+}
+
+void NSigmaPredictor::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
+  bool roster_matches = roster_ids_.size() == tasks.size();
+  if (roster_matches) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (roster_ids_[i] != tasks[i].task_id) {
+        roster_matches = false;
+        break;
+      }
+    }
+  }
+  if (!roster_matches) {
+    RebuildRoster(tasks);
+  }
+
   double warmed_usage = 0.0;
   double warming_limit = 0.0;
   double usage_now = 0.0;
   double limit_sum = 0.0;
-  for (const TaskSample& sample : tasks) {
-    TaskState& state = tasks_[sample.task_id];
-    ++state.samples_seen;
-    state.last_seen = now;
-
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const TaskSample& sample = tasks[i];
     usage_now += sample.usage;
     limit_sum += sample.limit;
-    if (state.samples_seen >= config_.min_num_samples) {
+    if (++samples_seen_[i] >= config_.min_num_samples) {
       warmed_usage += sample.usage;
     } else {
       warming_limit += sample.limit;
     }
   }
-  std::erase_if(tasks_, [now](const auto& entry) { return entry.second.last_seen != now; });
 
-  aggregate_window_.push_back(warmed_usage);
-  while (static_cast<Interval>(aggregate_window_.size()) > config_.max_num_samples) {
-    aggregate_window_.pop_front();
-  }
-
-  RunningStats stats;
-  for (const double value : aggregate_window_) {
-    stats.Add(value);
-  }
-  const double raw = stats.mean() + n_ * stats.stddev() + warming_limit;
+  PushWindow(warmed_usage);
+  const double mean = window_sum_ / window_count_;
+  const double stddev = std::sqrt(WindowVariance(mean));
+  const double raw = mean + n_ * stddev + warming_limit;
   prediction_ = ClampPrediction(raw, usage_now, limit_sum);
 }
 
 double NSigmaPredictor::PredictPeak() const { return prediction_; }
+
+void NSigmaPredictor::Reset() {
+  roster_ids_.clear();
+  samples_seen_.clear();
+  window_head_ = 0;
+  window_count_ = 0;
+  window_sum_ = 0.0;
+  window_sumsq_ = 0.0;
+  prediction_ = 0.0;
+}
 
 std::string NSigmaPredictor::name() const {
   char buffer[48];

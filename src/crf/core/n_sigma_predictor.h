@@ -6,12 +6,19 @@
 // moving window of the machine-level aggregate usage of warmed-up tasks;
 // tasks still warming up contribute their limit on top. N = 2 approximates
 // the 95th percentile of the load distribution, N = 3 the 99th.
+//
+// Hot-path design: the resident task set only changes at arrival/departure
+// events, so per-task state lives in a roster (parallel vectors in the
+// caller's sample order) that is revalidated with one id comparison per task
+// and rebuilt only on events — no hashing on the steady-state path. The
+// window statistics are maintained incrementally (ring buffer + running
+// sum/sum-of-squares) with an exact Welford recomputation whenever the
+// incremental variance is too small to be trusted against cancellation.
 
 #ifndef CRF_CORE_N_SIGMA_PREDICTOR_H_
 #define CRF_CORE_N_SIGMA_PREDICTOR_H_
 
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "crf/core/predictor.h"
 
@@ -23,22 +30,33 @@ class NSigmaPredictor : public PeakPredictor {
 
   void Observe(Interval now, std::span<const TaskSample> tasks) override;
   double PredictPeak() const override;
+  void Reset() override;
   std::string name() const override;
 
   double n() const { return n_; }
 
  private:
-  struct TaskState {
-    Interval samples_seen = 0;
-    Interval last_seen = -1;
-  };
+  void RebuildRoster(std::span<const TaskSample> tasks);
+  void PushWindow(double value);
+  // Population variance of the window; falls back to an exact Welford pass
+  // over the ring when the incremental value is in cancellation territory.
+  double WindowVariance(double mean);
 
   double n_;
   PredictorConfig config_;
-  std::unordered_map<TaskId, TaskState> tasks_;
-  // Machine-level aggregate usage of warmed tasks, one entry per poll,
-  // bounded by max_num_samples.
-  std::deque<double> aggregate_window_;
+
+  // Resident task roster, parallel to the sample order of the last Observe.
+  std::vector<TaskId> roster_ids_;
+  std::vector<Interval> samples_seen_;
+
+  // Machine-level aggregate usage of warmed tasks: ring buffer of the last
+  // max_num_samples polls plus incrementally maintained moments.
+  std::vector<double> window_;
+  int window_head_ = 0;
+  int window_count_ = 0;
+  double window_sum_ = 0.0;
+  double window_sumsq_ = 0.0;
+
   double prediction_ = 0.0;
 };
 

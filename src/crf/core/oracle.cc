@@ -2,13 +2,12 @@
 
 #include <algorithm>
 
-#include "crf/stats/window_max.h"
 #include "crf/util/check.h"
 
 namespace crf {
 
-std::vector<double> ComputePeakOracle(const CellTrace& cell, int machine_index,
-                                      Interval horizon) {
+void ComputePeakOracleInto(const CellTrace& cell, int machine_index, Interval horizon,
+                           OracleScratch& scratch, std::vector<double>& out) {
   CRF_CHECK_GE(machine_index, 0);
   CRF_CHECK_LT(machine_index, static_cast<int>(cell.machines.size()));
   CRF_CHECK_GE(horizon, 1);
@@ -17,13 +16,16 @@ std::vector<double> ComputePeakOracle(const CellTrace& cell, int machine_index,
   // Tasks ordered by arrival; the aggregate series of "tasks with start <=
   // tau" is constant between consecutive arrivals, so one sliding-window max
   // per segment gives the exact oracle.
-  std::vector<int32_t> order = cell.machines[machine_index].task_indices;
+  std::vector<int32_t>& order = scratch.order;
+  const std::vector<int32_t>& task_indices = cell.machines[machine_index].task_indices;
+  order.assign(task_indices.begin(), task_indices.end());
   std::sort(order.begin(), order.end(), [&cell](int32_t a, int32_t b) {
     return cell.tasks[a].start < cell.tasks[b].start;
   });
 
-  std::vector<double> aggregate(num_intervals, 0.0);
-  std::vector<double> oracle(num_intervals, 0.0);
+  std::vector<double>& aggregate = scratch.aggregate;
+  aggregate.assign(num_intervals, 0.0);
+  out.assign(num_intervals, 0.0);
   size_t next = 0;
   Interval tau = 0;
   while (tau < num_intervals) {
@@ -42,7 +44,8 @@ std::vector<double> ComputePeakOracle(const CellTrace& cell, int machine_index,
     CRF_CHECK_GT(segment_end, tau);
 
     // Sliding max of `aggregate` over [u, u+horizon) for u in the segment.
-    MonotonicMaxDeque deque;
+    MonotonicMaxDeque& deque = scratch.deque;
+    deque.Clear();
     Interval filled_to = tau;
     for (Interval u = tau; u < segment_end; ++u) {
       const Interval window_end =
@@ -53,18 +56,99 @@ std::vector<double> ComputePeakOracle(const CellTrace& cell, int machine_index,
         ++filled_to;
       }
       deque.ExpireBelow(u);
-      oracle[u] = deque.Max();
+      out[u] = deque.Max();
     }
     tau = segment_end;
   }
+}
+
+std::vector<double> ComputePeakOracle(const CellTrace& cell, int machine_index,
+                                      Interval horizon) {
+  OracleScratch scratch;
+  std::vector<double> oracle;
+  ComputePeakOracleInto(cell, machine_index, horizon, scratch, oracle);
   return oracle;
+}
+
+void ComputeTotalUsageOracleInto(const CellTrace& cell, int machine_index,
+                                 Interval horizon, OracleScratch& scratch,
+                                 std::vector<double>& out) {
+  CRF_CHECK_GE(machine_index, 0);
+  CRF_CHECK_LT(machine_index, static_cast<int>(cell.machines.size()));
+  CRF_CHECK_GE(horizon, 1);
+  const Interval num_intervals = cell.num_intervals;
+
+  // The machine's aggregate usage series including future arrivals.
+  std::vector<double>& usage = scratch.aggregate;
+  usage.assign(num_intervals, 0.0);
+  for (const int32_t index : cell.machines[machine_index].task_indices) {
+    const TaskTrace& task = cell.tasks[index];
+    const Interval end = std::min(task.end(), num_intervals);
+    for (Interval t = task.start; t < end; ++t) {
+      usage[t] += task.usage[t - task.start];
+    }
+  }
+  ForwardWindowMaxInto(usage, horizon, scratch.deque, out);
 }
 
 std::vector<double> ComputeTotalUsageOracle(const CellTrace& cell, int machine_index,
                                             Interval horizon) {
-  CRF_CHECK_GE(horizon, 1);
-  const std::vector<double> usage = cell.MachineUsageSeries(machine_index);
-  return ForwardWindowMax(usage, horizon);
+  OracleScratch scratch;
+  std::vector<double> oracle;
+  ComputeTotalUsageOracleInto(cell, machine_index, horizon, scratch, oracle);
+  return oracle;
+}
+
+size_t OracleCache::KeyHash::operator()(const Key& key) const {
+  // FNV-style combine; the fields are small and well-distributed enough.
+  size_t h = std::hash<const void*>()(key.cell);
+  h = h * 1099511628211ull ^ std::hash<int64_t>()(key.machine);
+  h = h * 1099511628211ull ^ std::hash<int64_t>()(static_cast<int64_t>(key.horizon));
+  h = h * 1099511628211ull ^ static_cast<size_t>(key.kind);
+  return h;
+}
+
+OracleCache::Series OracleCache::GetOrCompute(const CellTrace& cell, int machine_index,
+                                              Interval horizon, OracleKind kind) {
+  const Key key{&cell, machine_index, horizon, kind};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Compute outside the lock so distinct machines fill the cache in
+  // parallel; a racing duplicate computation of the same key is wasted work
+  // but harmless (first insert wins below).
+  auto series = std::make_shared<const std::vector<double>>(
+      kind == OracleKind::kPeak ? ComputePeakOracle(cell, machine_index, horizon)
+                                : ComputeTotalUsageOracle(cell, machine_index, horizon));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(key, std::move(series));
+  return it->second;
+}
+
+void OracleCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+int64_t OracleCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t OracleCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+size_t OracleCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace crf

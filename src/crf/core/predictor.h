@@ -43,6 +43,8 @@ struct PredictorConfig {
   // History window: per-task (and per-machine aggregate) samples retained.
   // Paper default: 10 hours.
   Interval max_num_samples = 10 * kIntervalsPerHour;
+
+  bool operator==(const PredictorConfig&) const = default;
 };
 
 class PeakPredictor {
@@ -58,6 +60,11 @@ class PeakPredictor {
   // based only on data seen so far. Must be callable any number of times
   // between Observe calls.
   virtual double PredictPeak() const = 0;
+
+  // Discards all observed state, returning the predictor to its
+  // fresh-from-construction behaviour (configuration is kept). Lets the
+  // simulator reuse one instance across machines instead of re-allocating.
+  virtual void Reset() = 0;
 
   virtual std::string name() const = 0;
 };

@@ -36,6 +36,11 @@ struct PredictorSpec {
 
   // Human-readable name matching PeakPredictor::name().
   std::string Name() const;
+
+  // Structural equality over every knob (names alone are ambiguous: they omit
+  // warm-up/history). Used to decide whether a pooled predictor instance can
+  // be Reset() and reused for a spec.
+  bool operator==(const PredictorSpec&) const = default;
 };
 
 // Convenience constructors with the paper's defaults.

@@ -41,6 +41,11 @@ void RcLikePredictor::Observe(Interval now, std::span<const TaskSample> tasks) {
 
 double RcLikePredictor::PredictPeak() const { return prediction_; }
 
+void RcLikePredictor::Reset() {
+  tasks_.clear();
+  prediction_ = 0.0;
+}
+
 std::string RcLikePredictor::name() const {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "rc-like-p%.0f", percentile_);

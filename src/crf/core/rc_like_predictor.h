@@ -21,6 +21,7 @@ class RcLikePredictor : public PeakPredictor {
 
   void Observe(Interval now, std::span<const TaskSample> tasks) override;
   double PredictPeak() const override;
+  void Reset() override;
   std::string name() const override;
 
   double percentile() const { return percentile_; }

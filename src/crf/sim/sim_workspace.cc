@@ -1,0 +1,20 @@
+#include "crf/sim/sim_workspace.h"
+
+namespace crf {
+
+PeakPredictor* SimWorkspace::GetPredictor(const PredictorSpec& spec) {
+  if (predictor_ != nullptr && predictor_spec_ == spec) {
+    predictor_->Reset();
+  } else {
+    predictor_ = CreatePredictor(spec);
+    predictor_spec_ = spec;
+  }
+  return predictor_.get();
+}
+
+SimWorkspace& SimWorkspace::ThreadLocal() {
+  static thread_local SimWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace crf

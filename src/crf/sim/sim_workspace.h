@@ -1,0 +1,49 @@
+// Per-thread scratch for the fused simulation engine.
+//
+// SimulateMachine runs once per machine per sweep point — millions of times
+// in a full evaluation — so its working set (event lists, resident set,
+// sample buffer, oracle buffers, the predictor instance itself) lives in a
+// thread-local workspace. Buffers grow to the high-water size of the
+// machines a thread has simulated and are reused, so the steady-state path
+// performs zero heap allocations per machine.
+
+#ifndef CRF_SIM_SIM_WORKSPACE_H_
+#define CRF_SIM_SIM_WORKSPACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "crf/core/oracle.h"
+#include "crf/core/predictor_factory.h"
+
+namespace crf {
+
+struct SimWorkspace {
+  // Oracle computation scratch and the per-machine oracle series (used when
+  // no OracleCache is supplied).
+  OracleScratch oracle_scratch;
+  std::vector<double> oracle;
+
+  // Per-machine event lists: task indices sorted by arrival / by departure.
+  std::vector<int32_t> arrivals;
+  std::vector<int32_t> departures;
+  // Resident task indices and the sample buffer handed to the predictor.
+  std::vector<int32_t> active;
+  std::vector<TaskSample> samples;
+
+  // Returns a predictor for `spec`, reusing (via Reset) the previous
+  // instance when the spec is unchanged — the common case when sweeping one
+  // spec across all machines of a cell.
+  PeakPredictor* GetPredictor(const PredictorSpec& spec);
+
+  // The calling thread's workspace (one per thread, lazily created).
+  static SimWorkspace& ThreadLocal();
+
+ private:
+  std::unique_ptr<PeakPredictor> predictor_;
+  PredictorSpec predictor_spec_;
+};
+
+}  // namespace crf
+
+#endif  // CRF_SIM_SIM_WORKSPACE_H_

@@ -1,10 +1,10 @@
 #include "crf/sim/simulator.h"
 
 #include <algorithm>
-#include <mutex>
+#include <span>
 #include <vector>
 
-#include "crf/core/oracle.h"
+#include "crf/sim/sim_workspace.h"
 #include "crf/util/check.h"
 #include "crf/util/thread_pool.h"
 
@@ -20,6 +20,13 @@ bool IsViolation(double prediction, double oracle) {
   return prediction < oracle * (1.0 - kRelTolerance) - 1e-12;
 }
 
+// The interval at which a task leaves the resident set. Zero-length tasks
+// (no usage samples) are still admitted at `start` and stay resident for
+// exactly one interval, contributing their limit.
+Interval DepartureTime(const TaskTrace& task) {
+  return std::max(task.end(), task.start + 1);
+}
+
 }  // namespace
 
 MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
@@ -27,46 +34,92 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
                                std::vector<double>* cell_limit,
                                std::vector<double>* cell_prediction) {
   const Interval num_intervals = cell.num_intervals;
-  const std::vector<double> oracle =
-      options.use_total_usage_oracle
-          ? ComputeTotalUsageOracle(cell, machine_index, options.horizon)
-          : ComputePeakOracle(cell, machine_index, options.horizon);
+  SimWorkspace& ws = SimWorkspace::ThreadLocal();
 
-  auto predictor = CreatePredictor(spec);
+  // The oracle depends only on (cell, machine, horizon, kind): take the
+  // shared memoized series when a cache is supplied, otherwise compute into
+  // the workspace buffers.
+  const OracleKind kind =
+      options.use_total_usage_oracle ? OracleKind::kTotalUsage : OracleKind::kPeak;
+  OracleCache::Series cached;
+  std::span<const double> oracle;
+  if (options.oracle_cache != nullptr) {
+    cached = options.oracle_cache->GetOrCompute(cell, machine_index, options.horizon, kind);
+    oracle = *cached;
+  } else {
+    if (options.use_total_usage_oracle) {
+      ComputeTotalUsageOracleInto(cell, machine_index, options.horizon, ws.oracle_scratch,
+                                  ws.oracle);
+    } else {
+      ComputePeakOracleInto(cell, machine_index, options.horizon, ws.oracle_scratch,
+                            ws.oracle);
+    }
+    oracle = ws.oracle;
+  }
 
-  // Tasks in arrival order for the resident-set sweep.
-  std::vector<int32_t> order = cell.machines[machine_index].task_indices;
-  std::sort(order.begin(), order.end(), [&cell](int32_t a, int32_t b) {
+  PeakPredictor* predictor = ws.GetPredictor(spec);
+
+  // Event lists: arrivals by start, departures by departure time. The
+  // resident set and its limit sum then evolve incrementally — per-interval
+  // work is only the sample fill, with no rescans on event-free intervals.
+  const std::vector<int32_t>& task_indices = cell.machines[machine_index].task_indices;
+  ws.arrivals.assign(task_indices.begin(), task_indices.end());
+  std::sort(ws.arrivals.begin(), ws.arrivals.end(), [&cell](int32_t a, int32_t b) {
     return cell.tasks[a].start < cell.tasks[b].start;
+  });
+  ws.departures.assign(task_indices.begin(), task_indices.end());
+  std::sort(ws.departures.begin(), ws.departures.end(), [&cell](int32_t a, int32_t b) {
+    return DepartureTime(cell.tasks[a]) < DepartureTime(cell.tasks[b]);
   });
 
   MachineMetrics metrics;
   metrics.machine_index = machine_index;
   metrics.intervals = num_intervals;
 
-  std::vector<int32_t> active;  // Indices into cell.tasks.
-  std::vector<TaskSample> samples;
-  size_t next = 0;
+  std::vector<int32_t>& active = ws.active;
+  std::vector<TaskSample>& samples = ws.samples;
+  active.clear();
+  samples.clear();
+
+  size_t next_arrival = 0;
+  size_t next_departure = 0;
+  double limit_sum = 0.0;
   double severity_sum = 0.0;
   double savings_sum = 0.0;
   double prediction_sum = 0.0;
   double limit_sum_total = 0.0;
 
   for (Interval tau = 0; tau < num_intervals; ++tau) {
-    // Retire departed tasks, admit arrivals.
-    active.erase(std::remove_if(active.begin(), active.end(),
-                                [&cell, tau](int32_t i) { return cell.tasks[i].end() <= tau; }),
-                 active.end());
-    while (next < order.size() && cell.tasks[order[next]].start <= tau) {
-      active.push_back(order[next++]);
+    // Retire departed tasks (event-driven: the compaction scan runs only on
+    // intervals where a departure actually occurs).
+    if (next_departure < ws.departures.size() &&
+        DepartureTime(cell.tasks[ws.departures[next_departure]]) <= tau) {
+      while (next_departure < ws.departures.size() &&
+             DepartureTime(cell.tasks[ws.departures[next_departure]]) <= tau) {
+        limit_sum -= cell.tasks[ws.departures[next_departure]].limit;
+        ++next_departure;
+      }
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&cell, tau](int32_t i) {
+                                    return DepartureTime(cell.tasks[i]) <= tau;
+                                  }),
+                   active.end());
+    }
+    // Admit arrivals.
+    while (next_arrival < ws.arrivals.size() &&
+           cell.tasks[ws.arrivals[next_arrival]].start <= tau) {
+      const int32_t index = ws.arrivals[next_arrival++];
+      active.push_back(index);
+      limit_sum += cell.tasks[index].limit;
+    }
+    if (active.empty()) {
+      limit_sum = 0.0;  // Kill incremental drift; the true sum is exactly 0.
     }
 
     samples.clear();
-    double limit_sum = 0.0;
     for (const int32_t task_index : active) {
       const TaskTrace& task = cell.tasks[task_index];
       samples.push_back({task.task_id, task.UsageAt(tau), task.limit});
-      limit_sum += task.limit;
     }
 
     predictor->Observe(tau, samples);
@@ -106,38 +159,52 @@ SimResult SimulateCell(const CellTrace& cell, const PredictorSpec& spec,
                        const SimOptions& options) {
   CRF_CHECK_GT(cell.num_intervals, 0);
   const int num_machines = static_cast<int>(cell.machines.size());
+  const Interval num_intervals = cell.num_intervals;
 
   SimResult result;
   result.cell_name = cell.name;
   result.predictor_name = spec.Name();
   result.machines.resize(num_machines);
 
-  std::vector<double> cell_limit(cell.num_intervals, 0.0);
-  std::vector<double> cell_prediction(cell.num_intervals, 0.0);
-  std::mutex cell_mutex;
+  // Per-thread partial series, reduced once after the join — no mutex and
+  // no O(T) merge per machine.
+  ThreadPool& pool = ThreadPool::Default();
+  const int slots = options.parallel ? pool.num_threads() : 1;
+  std::vector<std::vector<double>> limit_slots(slots);
+  std::vector<std::vector<double>> prediction_slots(slots);
 
-  auto run_machine = [&](int m) {
-    std::vector<double> local_limit(cell.num_intervals, 0.0);
-    std::vector<double> local_prediction(cell.num_intervals, 0.0);
-    result.machines[m] =
-        SimulateMachine(cell, m, spec, options, &local_limit, &local_prediction);
-    std::lock_guard<std::mutex> lock(cell_mutex);
-    for (Interval t = 0; t < cell.num_intervals; ++t) {
-      cell_limit[t] += local_limit[t];
-      cell_prediction[t] += local_prediction[t];
+  auto run_machine = [&](int slot, int m) {
+    std::vector<double>& limit = limit_slots[slot];
+    std::vector<double>& prediction = prediction_slots[slot];
+    if (limit.empty()) {
+      limit.assign(num_intervals, 0.0);
+      prediction.assign(num_intervals, 0.0);
     }
+    result.machines[m] = SimulateMachine(cell, m, spec, options, &limit, &prediction);
   };
 
   if (options.parallel) {
-    ThreadPool::Default().ParallelFor(num_machines, run_machine);
+    pool.ParallelForIndexed(num_machines, run_machine);
   } else {
     for (int m = 0; m < num_machines; ++m) {
-      run_machine(m);
+      run_machine(0, m);
     }
   }
 
-  result.cell_savings_series.reserve(cell.num_intervals);
-  for (Interval t = 0; t < cell.num_intervals; ++t) {
+  std::vector<double> cell_limit(num_intervals, 0.0);
+  std::vector<double> cell_prediction(num_intervals, 0.0);
+  for (int slot = 0; slot < slots; ++slot) {
+    if (limit_slots[slot].empty()) {
+      continue;
+    }
+    for (Interval t = 0; t < num_intervals; ++t) {
+      cell_limit[t] += limit_slots[slot][t];
+      cell_prediction[t] += prediction_slots[slot][t];
+    }
+  }
+
+  result.cell_savings_series.reserve(num_intervals);
+  for (Interval t = 0; t < num_intervals; ++t) {
     if (cell_limit[t] > 0.0) {
       result.cell_savings_series.push_back((cell_limit[t] - cell_prediction[t]) /
                                            cell_limit[t]);

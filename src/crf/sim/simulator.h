@@ -6,10 +6,20 @@
 // the simulator computes the clairvoyant peak oracle from the future usage
 // (U_i[t], t >= tau) and compares. Scheduling decisions are NOT simulated:
 // placements come fixed from the trace, exactly as in the paper's simulator.
+//
+// The engine is a fused, allocation-free pass per machine: arrival and
+// departure event lists are derived once, the resident set and its limit sum
+// are maintained incrementally (work happens only at events, not every
+// interval), and all scratch lives in a thread-local SimWorkspace. Cell
+// aggregation uses per-thread partial series reduced once after the parallel
+// join. The peak oracle — which depends only on (cell, machine, horizon),
+// never on the predictor — can be memoized across sweep points through
+// SimOptions::oracle_cache.
 
 #ifndef CRF_SIM_SIMULATOR_H_
 #define CRF_SIM_SIMULATOR_H_
 
+#include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
 #include "crf/sim/metrics.h"
 #include "crf/trace/trace.h"
@@ -25,10 +35,17 @@ struct SimOptions {
   bool use_total_usage_oracle = false;
   // Shard machines across the default thread pool.
   bool parallel = true;
+  // Optional shared oracle memo. Sweeps running many predictor specs over
+  // the same cell should pass one cache for all SimulateCell calls: the
+  // oracle is predictor-independent, so every sweep point after the first
+  // hits the cache. The cache (and the cells it has seen) must outlive the
+  // simulation; see OracleCache for the invalidation contract.
+  OracleCache* oracle_cache = nullptr;
 };
 
 // Runs one predictor configuration over every machine of `cell`. A fresh
-// predictor instance is created per machine (per-machine state only).
+// predictor instance is created (or pool-reused and Reset) per machine —
+// per-machine state only.
 SimResult SimulateCell(const CellTrace& cell, const PredictorSpec& spec,
                        const SimOptions& options = {});
 

@@ -52,13 +52,16 @@ class MonotonicMaxDeque {
   std::deque<Entry> deque_;
 };
 
-// Returns out[i] = max(values[i .. min(i+window-1, n-1)]) for each i — the
-// forward-looking windowed maximum used by the peak oracle. window >= 1.
-inline std::vector<double> ForwardWindowMax(std::span<const double> values, int64_t window) {
+// Computes out[i] = max(values[i .. min(i+window-1, n-1)]) for each i — the
+// forward-looking windowed maximum used by the peak oracle — reusing the
+// caller's deque and output buffer (no allocations once both have grown to
+// the high-water size). window >= 1.
+inline void ForwardWindowMaxInto(std::span<const double> values, int64_t window,
+                                 MonotonicMaxDeque& deque, std::vector<double>& out) {
   CRF_CHECK_GE(window, 1);
   const int64_t n = static_cast<int64_t>(values.size());
-  std::vector<double> out(values.size());
-  MonotonicMaxDeque deque;
+  out.resize(values.size());
+  deque.Clear();
   // Sweep i from the back; the window [i, i+window-1] gains values[i] and
   // loses indices beyond i+window-1.
   for (int64_t i = n - 1; i >= 0; --i) {
@@ -68,6 +71,13 @@ inline std::vector<double> ForwardWindowMax(std::span<const double> values, int6
     deque.ExpireBelow(-(i + window - 1));
     out[i] = deque.Max();
   }
+}
+
+// Allocating convenience wrapper around ForwardWindowMaxInto.
+inline std::vector<double> ForwardWindowMax(std::span<const double> values, int64_t window) {
+  std::vector<double> out;
+  MonotonicMaxDeque deque;
+  ForwardWindowMaxInto(values, window, deque, out);
   return out;
 }
 

@@ -6,12 +6,27 @@
 #include "crf/util/check.h"
 
 namespace crf {
+namespace {
+
+// Identifies the pool worker running on this thread; slot 0 is reserved for
+// the thread that called ParallelForIndexed (non-reentrant, so within one
+// call the caller is unique and cannot collide with a worker slot).
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  int slot = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int workers = std::max(0, num_threads - 1);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      tls_worker = {this, i + 1};
+      WorkerLoop();
+    });
   }
 }
 
@@ -53,28 +68,35 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  ParallelForIndexed(count, [&fn](int /*slot*/, int i) { fn(i); });
+}
+
+void ThreadPool::ParallelForIndexed(int count, const std::function<void(int, int)>& fn) {
   CRF_CHECK_GE(count, 0);
   if (count == 0) {
     return;
   }
   if (workers_.empty()) {
     for (int i = 0; i < count; ++i) {
-      fn(i);
+      fn(0, i);
     }
     return;
   }
 
   // Work stealing via a shared atomic index: each enqueued task drains
   // iterations until the index runs out. One task per worker plus the calling
-  // thread participating keeps the queue small regardless of `count`.
+  // thread participating keeps the queue small regardless of `count`. The
+  // executing thread's slot comes from thread-local identity, so a worker
+  // that picks up several drain tasks keeps one stable slot.
   auto next = std::make_shared<std::atomic<int>>(0);
-  auto drain = [next, count, fn] {
+  auto drain = [this, next, count, fn] {
+    const int slot = tls_worker.pool == this ? tls_worker.slot : 0;
     for (;;) {
       const int i = next->fetch_add(1, std::memory_order_relaxed);
       if (i >= count) {
         return;
       }
-      fn(i);
+      fn(slot, i);
     }
   };
 

@@ -29,6 +29,13 @@ class ThreadPool {
   // fn must be safe to call concurrently for distinct i.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
+  // Runs fn(slot, i) for i in [0, count). `slot` identifies the executing
+  // thread and is stable for the duration of the call: distinct concurrent
+  // iterations always see distinct slots in [0, num_threads()). Lets callers
+  // keep per-thread partial accumulators and reduce once after the join,
+  // instead of merging every iteration's contribution under a lock.
+  void ParallelForIndexed(int count, const std::function<void(int, int)>& fn);
+
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   // A pool sized to the hardware (hardware_concurrency, at least 1).

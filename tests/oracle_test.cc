@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "crf/stats/window_max.h"
 #include "crf/trace/generator.h"
 #include "crf/util/rng.h"
 
@@ -167,6 +168,108 @@ TEST(OracleTest, MonotoneInHorizon) {
       EXPECT_LE(short_h[t], long_h[t] + 1e-9);
     }
   }
+}
+
+// With a fixed task set (everything resident from t=0, nothing arrives
+// later) and a horizon covering the whole remaining trace, the oracle is the
+// running max of the future aggregate — monotonically non-increasing in tau.
+TEST(OracleTest, NonIncreasingInTauForFixedTaskSet) {
+  Rng rng(73);
+  const Interval num_intervals = 48;
+  std::vector<TaskTrace> tasks;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<float> usage(num_intervals);
+    for (auto& u : usage) {
+      u = static_cast<float>(rng.UniformDouble());
+    }
+    tasks.push_back(MakeTask(i + 1, 0, std::move(usage)));
+  }
+  const CellTrace cell = OneMachineCell(std::move(tasks), num_intervals);
+  const std::vector<double> oracle = ComputePeakOracle(cell, 0, num_intervals);
+  for (size_t t = 1; t < oracle.size(); ++t) {
+    EXPECT_LE(oracle[t], oracle[t - 1] + 1e-12) << "t=" << t;
+  }
+}
+
+// When every task starts at 0 the arrival filter admits all of them at every
+// tau, so the oracle degenerates to ForwardWindowMax of the aggregate series.
+TEST(OracleTest, EqualsForwardWindowMaxWhenAllTasksStartAtZero) {
+  Rng rng(74);
+  const Interval num_intervals = 40;
+  std::vector<TaskTrace> tasks;
+  for (int i = 0; i < 6; ++i) {
+    // Staggered *lengths* (departures) are fine; only arrivals must align.
+    const Interval len = 10 + static_cast<Interval>(rng.UniformInt(num_intervals - 9));
+    std::vector<float> usage(len);
+    for (auto& u : usage) {
+      u = static_cast<float>(rng.UniformDouble());
+    }
+    tasks.push_back(MakeTask(i + 1, 0, std::move(usage)));
+  }
+  const CellTrace cell = OneMachineCell(std::move(tasks), num_intervals);
+  for (const Interval horizon : {Interval{1}, Interval{7}, Interval{24}, num_intervals}) {
+    const std::vector<double> oracle = ComputePeakOracle(cell, 0, horizon);
+    const std::vector<double> window_max =
+        ForwardWindowMax(cell.MachineUsageSeries(0), horizon);
+    ASSERT_EQ(oracle.size(), window_max.size());
+    for (size_t t = 0; t < oracle.size(); ++t) {
+      // NEAR, not EQ: the two paths may sum task usages in different orders.
+      EXPECT_NEAR(oracle[t], window_max[t], 1e-12) << "h=" << horizon << " t=" << t;
+    }
+  }
+}
+
+TEST(OracleCacheTest, HitIsBitIdenticalToMiss) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 3;
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(75));
+
+  OracleCache cache;
+  for (int m = 0; m < profile.num_machines; ++m) {
+    const OracleCache::Series miss = cache.GetOrCompute(cell, m, 24, OracleKind::kPeak);
+    const OracleCache::Series hit = cache.GetOrCompute(cell, m, 24, OracleKind::kPeak);
+    // A hit returns the very same series object, so it is bit-identical by
+    // construction — and both match a from-scratch computation exactly.
+    EXPECT_EQ(miss.get(), hit.get());
+    const std::vector<double> direct = ComputePeakOracle(cell, m, 24);
+    ASSERT_EQ(miss->size(), direct.size());
+    for (size_t t = 0; t < direct.size(); ++t) {
+      EXPECT_EQ((*miss)[t], direct[t]) << "m=" << m << " t=" << t;
+    }
+  }
+  EXPECT_EQ(cache.misses(), profile.num_machines);
+  EXPECT_EQ(cache.hits(), profile.num_machines);
+  EXPECT_EQ(cache.size(), static_cast<size_t>(profile.num_machines));
+}
+
+TEST(OracleCacheTest, DistinctKeysDoNotCollide) {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 2;
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  const CellTrace cell = GenerateCellTrace(profile, options, Rng(76));
+
+  OracleCache cache;
+  const auto peak_h24 = cache.GetOrCompute(cell, 0, 24, OracleKind::kPeak);
+  const auto peak_h48 = cache.GetOrCompute(cell, 0, 48, OracleKind::kPeak);
+  const auto total_h24 = cache.GetOrCompute(cell, 0, 24, OracleKind::kTotalUsage);
+  const auto other_machine = cache.GetOrCompute(cell, 1, 24, OracleKind::kPeak);
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.size(), 4u);
+
+  // Each key maps to the right computation.
+  EXPECT_EQ(*peak_h24, ComputePeakOracle(cell, 0, 24));
+  EXPECT_EQ(*peak_h48, ComputePeakOracle(cell, 0, 48));
+  EXPECT_EQ(*total_h24, ComputeTotalUsageOracle(cell, 0, 24));
+  EXPECT_EQ(*other_machine, ComputePeakOracle(cell, 1, 24));
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.GetOrCompute(cell, 0, 24, OracleKind::kPeak);
+  EXPECT_EQ(cache.misses(), 5) << "Clear() must force recomputation";
 }
 
 TEST(OracleTest, OracleAtLeastCurrentUsage) {

@@ -36,6 +36,22 @@ TEST(ClampPredictionTest, ClampsBothSides) {
   EXPECT_DOUBLE_EQ(ClampPrediction(9.0, 5.0, 3.0), 3.0);   // usage > limits: limit wins.
 }
 
+TEST(ClampPredictionTest, EdgeCases) {
+  // Empty machine: everything is zero, prediction pinned to zero.
+  EXPECT_DOUBLE_EQ(ClampPrediction(0.0, 0.0, 0.0), 0.0);
+  // A negative raw prediction (possible from mean - correction style
+  // estimators) clamps up to current usage.
+  EXPECT_DOUBLE_EQ(ClampPrediction(-2.0, 0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ClampPrediction(-2.0, 0.4, 3.0), 0.4);
+  // Boundary equalities pass through untouched.
+  EXPECT_DOUBLE_EQ(ClampPrediction(1.0, 1.0, 3.0), 1.0);  // raw == usage_now
+  EXPECT_DOUBLE_EQ(ClampPrediction(3.0, 1.0, 3.0), 3.0);  // raw == limit_sum
+  EXPECT_DOUBLE_EQ(ClampPrediction(2.0, 2.0, 2.0), 2.0);  // fully degenerate
+  // Zero limits with nonzero usage (overcommitted beyond enforcement):
+  // the limit cap still wins.
+  EXPECT_DOUBLE_EQ(ClampPrediction(5.0, 1.0, 0.0), 0.0);
+}
+
 TEST(LimitSumPredictorTest, SumsLimits) {
   LimitSumPredictor predictor;
   predictor.Observe(0, Tasks({{0.1, 0.5}, {0.2, 0.7}}));
@@ -173,6 +189,77 @@ TEST(NSigmaPredictorTest, ClampedToLimitSum) {
 TEST(NSigmaPredictorTest, Name) {
   NSigmaPredictor predictor(5.0, FastConfig());
   EXPECT_EQ(predictor.name(), "n-sigma-5");
+}
+
+// The warm-up boundary is exact: with min_num_samples = 3, a task still
+// contributes its limit after 2 samples and switches to usage-driven on the
+// observation where its 3rd sample lands.
+TEST(NSigmaPredictorTest, WarmupBoundaryIsExact) {
+  NSigmaPredictor predictor(5.0, FastConfig(/*warmup=*/3, /*history=*/10));
+  // Constant zero usage makes the warmed prediction exactly 0, so the
+  // limit-vs-usage switch is unmistakable.
+  predictor.Observe(0, Tasks({{0.0, 0.8}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.8);  // 1 sample: warming.
+  predictor.Observe(1, Tasks({{0.0, 0.8}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.8);  // min_num_samples - 1: warming.
+  predictor.Observe(2, Tasks({{0.0, 0.8}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.0);  // min_num_samples: warmed.
+}
+
+TEST(RcLikePredictorTest, WarmupBoundaryIsExact) {
+  RcLikePredictor predictor(99.0, FastConfig(/*warmup=*/3, /*history=*/10));
+  predictor.Observe(0, Tasks({{0.0, 0.8}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.8);
+  predictor.Observe(1, Tasks({{0.0, 0.8}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.8);
+  predictor.Observe(2, Tasks({{0.0, 0.8}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.0);
+}
+
+// Per the Observe contract, a machine whose tasks all depart must release
+// its per-task state: the same task id re-arriving starts a fresh warm-up
+// instead of inheriting the old sample count.
+TEST(NSigmaPredictorTest, AllTasksDepartReleasesState) {
+  NSigmaPredictor predictor(5.0, FastConfig(/*warmup=*/2, /*history=*/10));
+  predictor.Observe(0, Tasks({{0.0, 0.6}}));
+  predictor.Observe(1, Tasks({{0.0, 0.6}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.0);  // Warmed.
+  predictor.Observe(2, {});  // Machine empties.
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.0);
+  // Same id returns: warm-up restarts from zero samples.
+  predictor.Observe(3, Tasks({{0.0, 0.6}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.6);
+  predictor.Observe(4, Tasks({{0.0, 0.6}}));
+  EXPECT_DOUBLE_EQ(predictor.PredictPeak(), 0.0);  // Warmed again.
+}
+
+// Reset() must behave exactly like a freshly constructed instance with the
+// same configuration — the contract the simulator's predictor pool relies on.
+TEST(PredictorResetTest, ResetEqualsFreshInstance) {
+  Rng rng(83);
+  const std::vector<PredictorSpec> specs = {
+      LimitSumSpec(), BorgDefaultSpec(0.8), NSigmaSpec(4.0, 2, 8), RcLikeSpec(95.0, 2, 8),
+      AutopilotSpec(98.0, 1.1, 2, 8), MaxSpec({NSigmaSpec(3.0, 2, 8), RcLikeSpec(90.0, 2, 8)})};
+  for (const PredictorSpec& spec : specs) {
+    SCOPED_TRACE(spec.Name());
+    auto pooled = CreatePredictor(spec);
+    // Pollute with one machine's history, then Reset.
+    for (Interval t = 0; t < 12; ++t) {
+      pooled->Observe(t, Tasks({{rng.UniformDouble(), 1.0}, {rng.UniformDouble(), 0.5}}));
+    }
+    pooled->Reset();
+
+    auto fresh = CreatePredictor(spec);
+    Rng replay(84);
+    for (Interval t = 0; t < 12; ++t) {
+      const double u1 = replay.UniformDouble();
+      const double u2 = replay.UniformDouble();
+      const auto tasks = Tasks({{u1, 0.9}, {u2, 0.7}});
+      pooled->Observe(t, tasks);
+      fresh->Observe(t, tasks);
+      EXPECT_DOUBLE_EQ(pooled->PredictPeak(), fresh->PredictPeak()) << "t=" << t;
+    }
+  }
 }
 
 TEST(MaxPredictorTest, TakesPointwiseMax) {
