@@ -32,6 +32,7 @@ int Main() {
   options.num_intervals = 2 * kIntervalsPerWeek;
   options.warmup = 2 * kIntervalsPerDay;
   options.predictor = BorgDefaultSpec(0.9);
+  ApplyClusterEngineEnv(options);
 
   std::vector<Ecdf> violation_cdfs;
   std::vector<Ecdf> latency_cdfs;
@@ -57,7 +58,7 @@ int Main() {
       const auto resident = result.trace.MachineResidentCount(static_cast<int>(m));
       for (Interval t = result.warmup; t < result.trace.num_intervals; t += 8) {
         for (int32_t k = 0; k < resident[t]; k += 4) {
-          latency.Add(result.latencies[m][t]);
+          latency.Add(result.latencies.at(static_cast<int>(m), t));
         }
       }
     }
@@ -66,8 +67,8 @@ int Main() {
     const double capacity = result.trace.TotalCapacity();
     for (Interval t = result.warmup; t < result.trace.num_intervals; ++t) {
       double usage = 0.0;
-      for (size_t m = 0; m < result.trace.machines.size(); ++m) {
-        usage += result.demand_mean[m][t];
+      for (const float u : result.demand_mean.IntervalRow(t)) {
+        usage += u;
       }
       utilization.Add(usage / capacity);
     }

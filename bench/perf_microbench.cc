@@ -8,14 +8,22 @@
 //
 // Results are recorded as JSON under $REPRO_OUT (default bench_out/) in
 // perf_microbench.json so engine throughput is a regression-checkable
-// number; pass --benchmark_out=... to override.
+// number; pass --benchmark_out=... to override. The closed-loop cluster
+// engine (serial/linear-scan reference vs sharded/indexed) is additionally
+// timed into the tracked BENCH_cluster.json (see RecordClusterBench below).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "crf/cluster/cell_sim.h"
 #include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
 #include "crf/core/task_history.h"
@@ -23,6 +31,7 @@
 #include "crf/trace/generator.h"
 #include "crf/util/env.h"
 #include "crf/util/rng.h"
+#include "crf/util/thread_pool.h"
 
 namespace crf {
 namespace {
@@ -182,6 +191,193 @@ BENCHMARK(BM_NSigmaSweep16)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// The closed-loop cluster engine, both configurations: Arg(0) = the serial
+// reference (serial step loop + linear-scan placement), Arg(1) = the
+// production path (sharded step loop + indexed placement). Both are
+// byte-identical in output; the counter ratio is the engine speedup.
+void BM_ClusterSim(benchmark::State& state) {
+  const bool sharded = state.range(0) != 0;
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 32;
+  ClusterSimOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  options.warmup = kIntervalsPerDay / 4;
+  options.parallel = sharded;
+  options.placement = sharded ? PlacementEngine::kIndexed : PlacementEngine::kLinearScan;
+  int64_t attempts = 0;
+  for (auto _ : state) {
+    const ClusterSimResult result = RunClusterSim(profile, options, Rng(7));
+    attempts += result.placement_attempts;
+    benchmark::DoNotOptimize(result.tasks_placed);
+  }
+  const double machine_steps = static_cast<double>(state.iterations()) *
+                               profile.num_machines * options.num_intervals;
+  state.counters["machine_steps_per_second"] =
+      benchmark::Counter(machine_steps, benchmark::Counter::kIsRate);
+  state.counters["placements_per_second"] =
+      benchmark::Counter(static_cast<double>(attempts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClusterSim)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Steady-state placement cost in isolation: one Publish + one Place per
+// iteration against a warm scheduler. Arg(0) = machine count, Arg(1) = 0 for
+// the linear scan, 1 for the tournament tree (O(M) vs O(log M)).
+void BM_SchedulerPlace(benchmark::State& state) {
+  const int num_machines = static_cast<int>(state.range(0));
+  const PlacementEngine engine =
+      state.range(1) != 0 ? PlacementEngine::kIndexed : PlacementEngine::kLinearScan;
+  Scheduler scheduler(PackingPolicy::kBestFit, Rng(8), engine);
+  Rng rng(9);
+  std::vector<double> free(num_machines);
+  for (double& f : free) {
+    f = 0.3 + 0.7 * rng.UniformDouble();
+  }
+  scheduler.UpdateFreeCapacity(free);
+  int machine = 0;
+  for (auto _ : state) {
+    scheduler.Publish(machine, 0.3 + 0.7 * rng.UniformDouble());
+    machine = (machine + 1) % num_machines;
+    benchmark::DoNotOptimize(scheduler.Place(0.05 + 0.1 * rng.UniformDouble(), {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerPlace)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
+
+// ---------------------------------------------------------------------------
+// BENCH_cluster.json: tracked cluster-engine throughput record.
+//
+// Controlled by $CRF_CLUSTER_BENCH: "off" skips, "short" (default) times one
+// day over a small cell, "full" times a week over a production-sized cell.
+// The record lands in $CRF_BENCH_CLUSTER_FILE (default ./BENCH_cluster.json)
+// as {"schema":"crf-cluster-bench-v1","entries":[...]}; reruns append, so
+// the tracked file accumulates a regression history.
+
+struct ClusterBenchTiming {
+  double machine_steps_per_sec = 0.0;
+  double placements_per_sec = 0.0;
+  int64_t placement_attempts = 0;
+  int64_t tasks_placed = 0;
+};
+
+ClusterBenchTiming TimeClusterSim(const CellProfile& profile,
+                                  const ClusterSimOptions& options) {
+  // One warm-up run (page in the code and the allocator), then one timed run.
+  RunClusterSim(profile, options, Rng(10));
+  const auto start = std::chrono::steady_clock::now();
+  const ClusterSimResult result = RunClusterSim(profile, options, Rng(10));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  ClusterBenchTiming timing;
+  timing.machine_steps_per_sec =
+      static_cast<double>(profile.num_machines) * options.num_intervals / seconds;
+  timing.placements_per_sec = static_cast<double>(result.placement_attempts) / seconds;
+  timing.placement_attempts = result.placement_attempts;
+  timing.tasks_placed = result.tasks_placed;
+  return timing;
+}
+
+std::string TodayUtc() {
+  const std::time_t now = std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buffer[16];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%d", &tm_utc);
+  return buffer;
+}
+
+void RecordClusterBench() {
+  const std::string mode = GetEnvString("CRF_CLUSTER_BENCH", "short");
+  if (mode == "off") {
+    return;
+  }
+  const bool full = mode == "full";
+
+  // Placement work grows O(M^2) per interval under the linear scan (O(M)
+  // tasks, O(M) scan each) while machine stepping grows O(M), so the engine
+  // speedup needs a cell large enough for placement to matter.
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = full ? 512 : 192;
+  ClusterSimOptions options;
+  options.num_intervals = full ? 2 * kIntervalsPerDay : kIntervalsPerDay;
+  options.warmup = kIntervalsPerDay / 4;
+
+  options.parallel = false;
+  options.placement = PlacementEngine::kLinearScan;
+  const ClusterBenchTiming serial = TimeClusterSim(profile, options);
+  options.parallel = true;
+  options.placement = PlacementEngine::kIndexed;
+  const ClusterBenchTiming sharded = TimeClusterSim(profile, options);
+
+  // Integrity gate: the engines claim byte-identical results, so a tracked
+  // speedup with diverging outputs would be meaningless.
+  if (serial.tasks_placed != sharded.tasks_placed ||
+      serial.placement_attempts != sharded.placement_attempts) {
+    std::fprintf(stderr,
+                 "cluster bench: engines diverged (placed %lld vs %lld), not recording\n",
+                 static_cast<long long>(serial.tasks_placed),
+                 static_cast<long long>(sharded.tasks_placed));
+    return;
+  }
+
+  const double speedup = sharded.machine_steps_per_sec / serial.machine_steps_per_sec;
+  std::ostringstream entry;
+  entry.precision(6);
+  entry << "    {\n"
+        << "      \"date\": \"" << TodayUtc() << "\",\n"
+        << "      \"mode\": \"" << (full ? "full" : "short") << "\",\n"
+        << "      \"threads\": " << ThreadPool::Default().num_threads() << ",\n"
+        << "      \"num_machines\": " << profile.num_machines << ",\n"
+        << "      \"num_intervals\": " << options.num_intervals << ",\n"
+        << "      \"serial_machine_steps_per_sec\": " << serial.machine_steps_per_sec << ",\n"
+        << "      \"serial_placements_per_sec\": " << serial.placements_per_sec << ",\n"
+        << "      \"sharded_machine_steps_per_sec\": " << sharded.machine_steps_per_sec
+        << ",\n"
+        << "      \"sharded_placements_per_sec\": " << sharded.placements_per_sec << ",\n"
+        << "      \"speedup\": " << speedup << ",\n"
+        << "      \"placement_attempts\": " << serial.placement_attempts << ",\n"
+        << "      \"tasks_placed\": " << serial.tasks_placed << "\n"
+        << "    }";
+
+  const std::string path = GetEnvString("CRF_BENCH_CLUSTER_FILE", "BENCH_cluster.json");
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  std::string output;
+  const size_t close = existing.rfind(']');
+  if (close != std::string::npos && existing.find("\"crf-cluster-bench-v1\"") != std::string::npos) {
+    // Append to the existing entries array, keeping prior history.
+    const bool has_entries = existing.find('{', existing.find("\"entries\"")) < close;
+    output = existing.substr(0, close);
+    while (!output.empty() && (output.back() == ' ' || output.back() == '\n')) {
+      output.pop_back();
+    }
+    output += has_entries ? ",\n" : "\n";
+    output += entry.str();
+    output += "\n  ";
+    output += existing.substr(close);
+  } else {
+    output = "{\n  \"schema\": \"crf-cluster-bench-v1\",\n  \"entries\": [\n" + entry.str() +
+             "\n  ]\n}\n";
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << output;
+  std::printf("cluster bench (%s): serial %.0f sharded %.0f machine-steps/s (%.2fx) -> %s\n",
+              full ? "full" : "short", serial.machine_steps_per_sec,
+              sharded.machine_steps_per_sec, speedup, path.c_str());
+}
+
 }  // namespace
 }  // namespace crf
 
@@ -212,5 +408,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  crf::RecordClusterBench();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "crf/core/oracle.h"
 #include "crf/stats/percentile.h"
 #include "crf/util/check.h"
+#include "crf/util/thread_pool.h"
 
 namespace crf {
 namespace {
@@ -22,50 +23,59 @@ constexpr Interval kTaskLatencyStride = 8;
 
 }  // namespace
 
-std::vector<MachineOutcome> AnalyzeMachines(const ClusterSimResult& result, Interval horizon) {
+namespace {
+
+// One machine's post-warmup outcome. Pure in (result, m): safe to shard.
+MachineOutcome AnalyzeOneMachine(const ClusterSimResult& result, int m, Interval horizon) {
   const Interval num_intervals = result.trace.num_intervals;
   const Interval warmup = result.warmup;
-  CRF_CHECK_LT(warmup, num_intervals);
+  const std::vector<double> oracle = ComputePeakOracle(result.trace, m, horizon);
+  const double capacity = result.trace.machines[m].capacity;
 
-  std::vector<MachineOutcome> outcomes;
-  outcomes.reserve(result.trace.machines.size());
+  MachineOutcome outcome;
+  outcome.machine_index = m;
 
+  int64_t violations = 0;
+  double severity_sum = 0.0;
   std::vector<double> latency_buffer;
   std::vector<double> util_buffer;
-  for (size_t m = 0; m < result.trace.machines.size(); ++m) {
-    const std::vector<double> oracle =
-        ComputePeakOracle(result.trace, static_cast<int>(m), horizon);
-    const double capacity = result.trace.machines[m].capacity;
-
-    MachineOutcome outcome;
-    outcome.machine_index = static_cast<int>(m);
-
-    int64_t violations = 0;
-    double severity_sum = 0.0;
-    latency_buffer.clear();
-    util_buffer.clear();
-    double util_sum = 0.0;
-    for (Interval t = warmup; t < num_intervals; ++t) {
-      const double prediction = result.predictions[m][t];
-      if (IsViolation(prediction, oracle[t])) {
-        ++violations;
-        severity_sum += (oracle[t] - prediction) / oracle[t];
-      }
-      latency_buffer.push_back(result.latencies[m][t]);
-      const double util = result.demand_mean[m][t] / capacity;
-      util_buffer.push_back(util);
-      util_sum += util;
+  latency_buffer.reserve(num_intervals - warmup);
+  util_buffer.reserve(num_intervals - warmup);
+  double util_sum = 0.0;
+  for (Interval t = warmup; t < num_intervals; ++t) {
+    const double prediction = result.predictions.at(m, t);
+    if (IsViolation(prediction, oracle[t])) {
+      ++violations;
+      severity_sum += (oracle[t] - prediction) / oracle[t];
     }
-    const int64_t evaluated = num_intervals - warmup;
-    outcome.violation_rate = static_cast<double>(violations) / evaluated;
-    outcome.mean_violation_severity = severity_sum / evaluated;
-    outcome.p99_latency = Percentile(latency_buffer, 99.0);
-    outcome.p90_latency = Percentile(latency_buffer, 90.0);
-    outcome.mean_utilization = util_sum / evaluated;
-    outcome.p50_utilization = Percentile(util_buffer, 50.0);
-    outcome.p99_utilization = Percentile(util_buffer, 99.0);
-    outcomes.push_back(outcome);
+    latency_buffer.push_back(result.latencies.at(m, t));
+    const double util = result.demand_mean.at(m, t) / capacity;
+    util_buffer.push_back(util);
+    util_sum += util;
   }
+  const int64_t evaluated = num_intervals - warmup;
+  outcome.violation_rate = static_cast<double>(violations) / evaluated;
+  outcome.mean_violation_severity = severity_sum / evaluated;
+  outcome.p99_latency = Percentile(latency_buffer, 99.0);
+  outcome.p90_latency = Percentile(latency_buffer, 90.0);
+  outcome.mean_utilization = util_sum / evaluated;
+  outcome.p50_utilization = Percentile(util_buffer, 50.0);
+  outcome.p99_utilization = Percentile(util_buffer, 99.0);
+  return outcome;
+}
+
+}  // namespace
+
+std::vector<MachineOutcome> AnalyzeMachines(const ClusterSimResult& result, Interval horizon) {
+  CRF_CHECK_LT(result.warmup, result.trace.num_intervals);
+
+  // The per-machine peak oracle dominates analysis time; machines are
+  // independent, so shard them (each writes only its own outcome slot).
+  const int num_machines = static_cast<int>(result.trace.machines.size());
+  std::vector<MachineOutcome> outcomes(num_machines);
+  ThreadPool::Default().ParallelFor(num_machines, [&](int m) {
+    outcomes[m] = AnalyzeOneMachine(result, m, horizon);
+  });
   return outcomes;
 }
 
@@ -102,10 +112,14 @@ GroupMetrics ComputeGroupMetrics(const std::string& label,
       double limit_sum = 0.0;
       double prediction_sum = 0.0;
       double usage_sum = 0.0;
+      // Interval rows are contiguous in the flat series: these sums stream.
+      const auto limit_row = result.limit_sum.IntervalRow(t);
+      const auto prediction_row = result.predictions.IntervalRow(t);
+      const auto usage_row = result.demand_mean.IntervalRow(t);
       for (int m = 0; m < num_machines; ++m) {
-        limit_sum += result.limit_sum[m][t];
-        prediction_sum += result.predictions[m][t];
-        usage_sum += result.demand_mean[m][t];
+        limit_sum += limit_row[m];
+        prediction_sum += prediction_row[m];
+        usage_sum += usage_row[m];
       }
       if (limit_sum > 0.0) {
         metrics.relative_savings.Add((limit_sum - prediction_sum) / limit_sum);
@@ -118,7 +132,7 @@ GroupMetrics ComputeGroupMetrics(const std::string& label,
           // One latency sample per resident task: tasks on one machine share
           // its CPU scheduler.
           for (int32_t k = 0; k < resident[m][t]; ++k) {
-            metrics.task_latency.Add(result.latencies[m][t]);
+            metrics.task_latency.Add(result.latencies.at(m, t));
           }
         }
       }

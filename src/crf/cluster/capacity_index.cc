@@ -1,0 +1,133 @@
+#include "crf/cluster/capacity_index.h"
+
+#include "crf/util/check.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+// Fixed per-machine heap priority. Hash-random so the treap stays balanced in
+// expectation, but a pure function of the machine index so the tree shape
+// never depends on update history.
+uint64_t MachinePriority(int machine) {
+  uint64_t state = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(machine);
+  return SplitMix64(state);
+}
+
+}  // namespace
+
+void CapacityTournamentTree::Assign(std::span<const double> free) {
+  nodes_.clear();
+  nodes_.reserve(free.size());
+  for (size_t m = 0; m < free.size(); ++m) {
+    Node node;
+    node.free = free[m];
+    node.priority = MachinePriority(static_cast<int>(m));
+    nodes_.push_back(node);
+  }
+  root_ = -1;
+  for (int m = 0; m < static_cast<int>(nodes_.size()); ++m) {
+    Insert(m);
+  }
+}
+
+void CapacityTournamentTree::Update(int machine, double free) {
+  CRF_CHECK_GE(machine, 0);
+  CRF_CHECK_LT(machine, num_machines());
+  if (nodes_[machine].free == free) {
+    return;
+  }
+  Erase(machine);
+  nodes_[machine].free = free;
+  Insert(machine);
+}
+
+void CapacityTournamentTree::Split(int t, double free, int machine, int& a, int& b) {
+  if (t < 0) {
+    a = -1;
+    b = -1;
+    return;
+  }
+  if (KeyLess(nodes_[t].free, t, free, machine)) {
+    Split(nodes_[t].right, free, machine, nodes_[t].right, b);
+    a = t;
+  } else {
+    Split(nodes_[t].left, free, machine, a, nodes_[t].left);
+    b = t;
+  }
+  Pull(t);
+}
+
+int CapacityTournamentTree::Merge(int a, int b) {
+  if (a < 0) {
+    return b;
+  }
+  if (b < 0) {
+    return a;
+  }
+  if (nodes_[a].priority > nodes_[b].priority) {
+    nodes_[a].right = Merge(nodes_[a].right, b);
+    Pull(a);
+    return a;
+  }
+  nodes_[b].left = Merge(a, nodes_[b].left);
+  Pull(b);
+  return b;
+}
+
+void CapacityTournamentTree::Insert(int machine) {
+  nodes_[machine].left = -1;
+  nodes_[machine].right = -1;
+  nodes_[machine].count = 1;
+  int a = -1;
+  int b = -1;
+  Split(root_, nodes_[machine].free, machine, a, b);
+  root_ = Merge(Merge(a, machine), b);
+}
+
+void CapacityTournamentTree::Erase(int machine) {
+  // Keys are unique, so splitting at (free, machine) and (free, machine + 1)
+  // isolates exactly machine's node.
+  int a = -1;
+  int mid = -1;
+  int b = -1;
+  Split(root_, nodes_[machine].free, machine, a, mid);
+  Split(mid, nodes_[machine].free, machine + 1, mid, b);
+  CRF_CHECK_EQ(mid, machine);
+  root_ = Merge(a, b);
+}
+
+int CapacityTournamentTree::RankOfKey(double free, int machine) const {
+  int rank = 0;
+  int n = root_;
+  while (n >= 0) {
+    if (KeyLess(nodes_[n].free, n, free, machine)) {
+      rank += CountOf(nodes_[n].left) + 1;
+      n = nodes_[n].right;
+    } else {
+      n = nodes_[n].left;
+    }
+  }
+  return rank;
+}
+
+int CapacityTournamentTree::MachineAtRank(int rank) const {
+  if (rank < 0 || rank >= num_machines()) {
+    return -1;
+  }
+  int n = root_;
+  while (n >= 0) {
+    const int left = CountOf(nodes_[n].left);
+    if (rank < left) {
+      n = nodes_[n].left;
+    } else if (rank == left) {
+      return n;
+    } else {
+      rank -= left + 1;
+      n = nodes_[n].right;
+    }
+  }
+  return -1;  // Unreachable for in-range ranks.
+}
+
+}  // namespace crf

@@ -1,0 +1,83 @@
+// Capacity-indexed tournament tree over the machines of a cell.
+//
+// The scheduler's placement loop needs, thousands of times per simulated
+// interval, "the machine with the least (best-fit) or most (worst-fit)
+// advertised free capacity that still fits this task". A linear scan is O(M)
+// per placement; at cell scale the scan dominates the whole simulation. This
+// index keeps every machine in a balanced tournament: nodes are ordered by
+// the key (free_capacity, machine_index) and heap-ordered by a fixed
+// pseudo-random per-machine priority (a treap), so the structure — and
+// therefore every query answer — is a pure function of the current
+// capacities, independent of update order. All queries and incremental
+// updates are O(log M) expected.
+//
+// The tree exposes rank-space primitives (lower-bound rank of a key, machine
+// at a rank) rather than policy decisions: the scheduler composes them into
+// best-fit / worst-fit / random-fit with anti-affinity exclusion probing,
+// keeping this structure policy-free and directly testable against a sorted
+// array.
+
+#ifndef CRF_CLUSTER_CAPACITY_INDEX_H_
+#define CRF_CLUSTER_CAPACITY_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crf {
+
+class CapacityTournamentTree {
+ public:
+  CapacityTournamentTree() = default;
+
+  // Rebuilds the index over machines 0..free.size()-1 with the given free
+  // capacities. O(M log M).
+  void Assign(std::span<const double> free);
+
+  // Sets machine `machine`'s free capacity (erase + reinsert). O(log M).
+  void Update(int machine, double free);
+
+  // The free capacity the index currently holds for `machine`.
+  double free(int machine) const { return nodes_[machine].free; }
+
+  int num_machines() const { return static_cast<int>(nodes_.size()); }
+
+  // Number of machines whose key (free, index) orders strictly before
+  // (free, machine) — i.e. the lower-bound rank. `machine` may be a sentinel
+  // outside [0, M): -1 ranks before every machine with that free capacity,
+  // num_machines() after every one.
+  int RankOfKey(double free, int machine) const;
+
+  // The machine holding rank `rank` in (free, index) order, or -1 if `rank`
+  // is outside [0, num_machines()).
+  int MachineAtRank(int rank) const;
+
+ private:
+  struct Node {
+    double free = 0.0;
+    uint64_t priority = 0;
+    int left = -1;
+    int right = -1;
+    int count = 1;  // subtree size
+  };
+
+  bool KeyLess(double free_a, int a, double free_b, int b) const {
+    return free_a < free_b || (free_a == free_b && a < b);
+  }
+  int CountOf(int n) const { return n < 0 ? 0 : nodes_[n].count; }
+  void Pull(int n) {
+    nodes_[n].count = 1 + CountOf(nodes_[n].left) + CountOf(nodes_[n].right);
+  }
+  // Splits `t` into `a` (keys < (free, machine)) and `b` (the rest).
+  void Split(int t, double free, int machine, int& a, int& b);
+  int Merge(int a, int b);
+  void Insert(int machine);
+  void Erase(int machine);
+
+  std::vector<Node> nodes_;  // nodes_[m] is machine m's node, forever.
+  int root_ = -1;
+};
+
+}  // namespace crf
+
+#endif  // CRF_CLUSTER_CAPACITY_INDEX_H_

@@ -11,12 +11,24 @@
 namespace crf {
 namespace {
 
-// One task waiting for placement. Sibling tasks of a job share the
-// placements vector for anti-affinity spreading.
+// One arriving job: the template plus the placements of its already-placed
+// sibling tasks (anti-affinity spreading). Shared by every sibling's queue
+// entry so wide jobs keep a single copy of the parameter block.
+struct PendingJob {
+  JobTemplate job;
+  std::vector<int> machines;
+};
+
+// One task waiting for placement.
 struct PendingTask {
-  JobTemplate job;  // Per-task copy of the job template (limit, class, params).
+  std::shared_ptr<PendingJob> job;
   Interval enqueued = 0;
-  std::shared_ptr<std::vector<int>> job_machines;
+};
+
+// Per-shard partial reduction of the machine step loop, padded to a cache
+// line so concurrent shards don't false-share.
+struct alignas(64) ShardAccum {
+  int64_t resident_tasks = 0;
 };
 
 }  // namespace
@@ -40,7 +52,8 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
 
   JobSampler sampler(profile, rng.Fork(0x6a6f62));
   Rng arrival_rng = rng.Fork(0x617272);
-  Scheduler scheduler(options.packing, rng.Fork(0x736368));
+  Scheduler scheduler(options.packing, rng.Fork(0x736368), options.placement);
+  scheduler.Reset(num_machines);
   const std::vector<double> shared_load =
       BuildSharedLoadSeries(profile, num_intervals, rng.Fork(0x757367));
 
@@ -53,10 +66,18 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
                           options.latency, rng.Fork(0x6d000000 + m));
   }
 
-  result.predictions.assign(num_machines, std::vector<float>(num_intervals, 0.0f));
-  result.latencies.assign(num_machines, std::vector<float>(num_intervals, 0.0f));
-  result.demand_mean.assign(num_machines, std::vector<float>(num_intervals, 0.0f));
-  result.limit_sum.assign(num_machines, std::vector<float>(num_intervals, 0.0f));
+  result.predictions.Assign(num_machines, num_intervals);
+  result.latencies.Assign(num_machines, num_intervals);
+  result.demand_mean.Assign(num_machines, num_intervals);
+  result.limit_sum.Assign(num_machines, num_intervals);
+
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : ThreadPool::Default();
+  const bool parallel = options.parallel && pool.num_threads() > 1 && num_machines > 1;
+  const int slots = parallel ? pool.num_threads() : 1;
+  // A few blocks per thread balances steal granularity against shared-counter
+  // traffic on this fine-grained, every-interval loop.
+  const int block = std::max(1, num_machines / (4 * slots));
+  std::vector<ShardAccum> shard_accum(slots);
 
   std::deque<PendingTask> pending;
   std::vector<double> free_capacity(num_machines, 0.0);
@@ -69,33 +90,55 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
       profile.service_fraction * profile.tasks_per_machine * num_machines);
 
   for (Interval t = 0; t < num_intervals; ++t) {
-    // (1) Machines advance; Borglets publish predictions.
-    resident = 0;
-    for (int m = 0; m < num_machines; ++m) {
+    // (1) Machines advance; Borglets publish predictions. Machines are
+    // independent within a step: each draws only from its own RNG fork and
+    // writes only its own slots (trace rows, series columns, free-capacity
+    // entry), so the shard order cannot affect the outcome.
+    for (ShardAccum& accum : shard_accum) {
+      accum.resident_tasks = 0;
+    }
+    const auto step_machine = [&](int slot, int m) {
       const ClusterMachine::StepStats stats = machines[m].Step(t, shared_load[t], result.trace);
-      result.predictions[m][t] = static_cast<float>(stats.prediction);
-      result.latencies[m][t] = static_cast<float>(stats.latency);
-      result.demand_mean[m][t] = static_cast<float>(stats.demand_mean);
-      result.limit_sum[m][t] = static_cast<float>(stats.limit_sum);
-      free_capacity[m] = machines[m].FreeCapacity();
-      resident += stats.resident_tasks;
+      result.predictions.at(m, t) = static_cast<float>(stats.prediction);
+      result.latencies.at(m, t) = static_cast<float>(stats.latency);
+      result.demand_mean.at(m, t) = static_cast<float>(stats.demand_mean);
+      result.limit_sum.at(m, t) = static_cast<float>(stats.limit_sum);
+      free_capacity[m] = stats.free_capacity;
+      shard_accum[slot].resident_tasks += stats.resident_tasks;
+    };
+    if (parallel) {
+      pool.ParallelForIndexedBlocked(num_machines, block, step_machine);
+    } else {
+      for (int m = 0; m < num_machines; ++m) {
+        step_machine(0, m);
+      }
+    }
+    // Slot-ordered reduction of the per-shard partials (integer sums are
+    // exact, but merging in a fixed order keeps the recipe uniform with the
+    // trace simulator's float reductions).
+    resident = 0;
+    for (const ShardAccum& accum : shard_accum) {
+      resident += accum.resident_tasks;
     }
 
     if (t + 1 >= num_intervals) {
       break;  // Tasks placed now would start after the simulation ends.
     }
 
-    // (2) The central scheduler ingests the published view.
-    scheduler.UpdateFreeCapacity(free_capacity);
+    // (2) The central scheduler ingests the published view as per-machine
+    // deltas into its capacity index (no vector copy, no full rebuild).
+    for (int m = 0; m < num_machines; ++m) {
+      scheduler.Publish(m, free_capacity[m]);
+    }
 
     // (3) New arrivals join the pending queue...
     int arrivals = arrival_rng.Poisson(ArrivalRate(profile, t, resident));
     while (arrivals > 0) {
-      const JobTemplate job = sampler.NextJob();
+      auto job = std::make_shared<PendingJob>();
+      job->job = sampler.NextJob();
       const int num_tasks = std::min(arrivals, sampler.SampleTasksPerJob());
-      auto job_machines = std::make_shared<std::vector<int>>();
       for (int i = 0; i < num_tasks; ++i) {
-        pending.push_back({job, t, job_machines});
+        pending.push_back({job, t});
       }
       arrivals -= num_tasks;
     }
@@ -111,12 +154,13 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
         ++result.tasks_timed_out;
         continue;
       }
-      const int machine = scheduler.Place(entry.job.limit, *entry.job_machines);
+      ++result.placement_attempts;
+      const int machine = scheduler.Place(entry.job->job.limit, entry.job->machines);
       if (machine < 0) {
         pending.push_back(std::move(entry));  // Retry next interval.
         continue;
       }
-      entry.job_machines->push_back(machine);
+      entry.job->machines.push_back(machine);
 
       const Interval start = t + 1;
       // Continuously-running services enter while the cell ramps up (the
@@ -130,15 +174,16 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
       const Interval runtime = sampler.SampleRuntime(service, start, num_intervals);
       TaskTrace task;
       task.task_id = next_task_id++;
-      task.job_id = entry.job.job_id;
+      task.job_id = entry.job->job.job_id;
       task.machine_index = machine;
       task.start = start;
-      task.limit = entry.job.limit;
-      task.sched_class = entry.job.sched_class;
+      task.limit = entry.job->job.limit;
+      task.sched_class = entry.job->job.sched_class;
       const int32_t trace_index = static_cast<int32_t>(result.trace.tasks.size());
       result.trace.tasks.push_back(std::move(task));
       machines[machine].StartTask(result.trace, trace_index,
-                                  sampler.JitterTaskParams(entry.job.params), start, runtime);
+                                  sampler.JitterTaskParams(entry.job->job.params), start,
+                                  runtime);
       ++result.tasks_placed;
     }
     result.pending_task_intervals += static_cast<int64_t>(pending.size());

@@ -8,9 +8,20 @@
 // Section 6 A/B experiment — which cannot be expressed as trace replay.
 //
 // Per interval: (1) machines step usage / sample latency / publish
-// predictions; (2) the scheduler ingests the published free capacities;
-// (3) new jobs arrive and the pending queue is placed (feasibility =
-// advertised free capacity fits the task limit; packing policy is a knob).
+// predictions — sharded across the thread pool, since machines are
+// independent within a step; (2) the scheduler ingests the published free
+// capacities as per-machine deltas into its capacity index; (3) new jobs
+// arrive and the pending queue is placed (feasibility = advertised free
+// capacity fits the task limit; packing policy is a knob).
+//
+// Determinism contract: results are bit-identical for a given seed at any
+// thread count and for either placement engine. Machine steps draw only from
+// per-machine RNG streams forked at construction; all shared-state writes
+// during the sharded phase are per-machine slots; cross-machine reductions
+// (resident-task counts) merge per-shard partials in slot order after the
+// join; and the arrival/sampling/scheduling phase is serial. The retained
+// linear-scan scheduler and this serial phase form the reference the
+// differential tests compare against.
 
 #ifndef CRF_CLUSTER_CELL_SIM_H_
 #define CRF_CLUSTER_CELL_SIM_H_
@@ -19,10 +30,12 @@
 #include <vector>
 
 #include "crf/cluster/latency_model.h"
+#include "crf/cluster/machine_series.h"
 #include "crf/cluster/scheduler.h"
 #include "crf/core/predictor_factory.h"
 #include "crf/trace/cell_profile.h"
 #include "crf/util/rng.h"
+#include "crf/util/thread_pool.h"
 #include "crf/util/time_grid.h"
 
 namespace crf {
@@ -37,6 +50,15 @@ struct ClusterSimOptions {
   LatencyModelParams latency;
   // Pending tasks older than this are abandoned (counted, not placed).
   Interval pending_timeout = kIntervalsPerDay;
+
+  // Shard the per-interval machine step loop across the thread pool.
+  bool parallel = true;
+  // Placement engine: indexed (tournament tree) or the linear-scan
+  // reference. Both yield byte-identical placements for a given seed.
+  PlacementEngine placement = PlacementEngine::kIndexed;
+  // Pool override for tests (e.g. oversubscribed pools on small hosts);
+  // nullptr uses ThreadPool::Default().
+  ThreadPool* pool = nullptr;
 };
 
 struct ClusterSimResult {
@@ -48,16 +70,19 @@ struct ClusterSimResult {
   // generated. Enables post-hoc oracle analysis with crf/core/oracle.
   CellTrace trace;
 
-  // Per machine, per interval.
-  std::vector<std::vector<float>> predictions;
-  std::vector<std::vector<float>> latencies;
-  std::vector<std::vector<float>> demand_mean;  // mean within-interval demand
-  std::vector<std::vector<float>> limit_sum;    // sum of resident limits
+  // Per machine, per interval (flat interval-major matrices).
+  MachineIntervalSeries predictions;
+  MachineIntervalSeries latencies;
+  MachineIntervalSeries demand_mean;  // mean within-interval demand
+  MachineIntervalSeries limit_sum;    // sum of resident limits
 
   int64_t tasks_placed = 0;
   int64_t tasks_timed_out = 0;
   // Sum over intervals of pending-queue length (scheduling delay pressure).
   int64_t pending_task_intervals = 0;
+  // Scheduler::Place calls, including retries that found no machine (the
+  // denominator for placements/sec throughput accounting).
+  int64_t placement_attempts = 0;
 };
 
 ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptions& options,

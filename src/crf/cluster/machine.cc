@@ -84,6 +84,7 @@ ClusterMachine::StepStats ClusterMachine::Step(Interval now, double shared_load,
   predictor_->Observe(now, samples_scratch_);
   prediction_ = predictor_->PredictPeak();
   stats.prediction = prediction_;
+  stats.free_capacity = FreeCapacity();
   return stats;
 }
 

@@ -39,6 +39,7 @@ class ClusterMachine {
     double usage_sum = 0.0;      // sum of per-task p90 scalars (trace view)
     double limit_sum = 0.0;
     double prediction = 0.0;     // published at the end of this interval
+    double free_capacity = 0.0;  // capacity - prediction, floored at 0
     double latency = 0.0;        // CPU scheduling latency sample
     int resident_tasks = 0;
   };

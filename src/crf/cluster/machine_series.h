@@ -1,0 +1,62 @@
+// A flat num_machines x num_intervals float matrix for per-machine,
+// per-interval cluster-sim outputs.
+//
+// Replaces vector-of-vectors (one allocation per machine, rows scattered on
+// the heap) with a single buffer laid out interval-major: all machines of
+// one interval are contiguous. The simulator writes one interval across all
+// machines per step, so the hot write pattern is sequential; analysis code
+// reading one machine across time strides by num_machines, which is still a
+// predictable (prefetchable) access pattern.
+
+#ifndef CRF_CLUSTER_MACHINE_SERIES_H_
+#define CRF_CLUSTER_MACHINE_SERIES_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "crf/util/time_grid.h"
+
+namespace crf {
+
+class MachineIntervalSeries {
+ public:
+  MachineIntervalSeries() = default;
+
+  void Assign(int num_machines, Interval num_intervals, float value = 0.0f) {
+    num_machines_ = num_machines;
+    num_intervals_ = num_intervals;
+    data_.assign(static_cast<size_t>(num_machines) * static_cast<size_t>(num_intervals),
+                 value);
+  }
+
+  float& at(int machine, Interval t) { return data_[Index(machine, t)]; }
+  float at(int machine, Interval t) const { return data_[Index(machine, t)]; }
+
+  // All machines' values for one interval, contiguous.
+  std::span<float> IntervalRow(Interval t) {
+    return {data_.data() + Index(0, t), static_cast<size_t>(num_machines_)};
+  }
+  std::span<const float> IntervalRow(Interval t) const {
+    return {data_.data() + Index(0, t), static_cast<size_t>(num_machines_)};
+  }
+
+  int num_machines() const { return num_machines_; }
+  Interval num_intervals() const { return num_intervals_; }
+
+  bool operator==(const MachineIntervalSeries&) const = default;
+
+ private:
+  size_t Index(int machine, Interval t) const {
+    return static_cast<size_t>(t) * static_cast<size_t>(num_machines_) +
+           static_cast<size_t>(machine);
+  }
+
+  int num_machines_ = 0;
+  Interval num_intervals_ = 0;
+  std::vector<float> data_;  // interval-major
+};
+
+}  // namespace crf
+
+#endif  // CRF_CLUSTER_MACHINE_SERIES_H_

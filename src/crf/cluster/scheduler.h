@@ -6,13 +6,29 @@
 // candidates. The paper's contribution lives entirely in step (1); packing
 // is orthogonal, so the policy is a knob (with an ablation bench comparing
 // them).
+//
+// Two interchangeable placement engines implement the same decision
+// procedure:
+//   kIndexed    - a capacity tournament tree (crf/cluster/capacity_index):
+//                 O(log M) best/worst-fit with anti-affinity exclusion
+//                 probing, updated incrementally from per-machine deltas.
+//   kLinearScan - the O(M)-per-placement reference scan, retained for the
+//                 differential tests.
+// Both engines draw from the scheduler RNG in exactly the same order, so for
+// a fixed seed they produce byte-identical placement sequences:
+//   best/worst-fit: one uniform draw per attempted pass (the rotation offset
+//                   that randomizes tie-breaking among equal capacities);
+//   random-fit:     one uniform draw per pass with >= 1 feasible machine
+//                   (the index of the chosen machine in (free, index) order).
 
 #ifndef CRF_CLUSTER_SCHEDULER_H_
 #define CRF_CLUSTER_SCHEDULER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "crf/cluster/capacity_index.h"
 #include "crf/util/rng.h"
 
 namespace crf {
@@ -25,13 +41,28 @@ enum class PackingPolicy {
 
 std::string PackingPolicyName(PackingPolicy policy);
 
+enum class PlacementEngine {
+  kIndexed,     // capacity tournament tree, O(log M) per placement
+  kLinearScan,  // full-scan reference, O(M) per placement
+};
+
 class Scheduler {
  public:
-  Scheduler(PackingPolicy policy, const Rng& rng);
+  Scheduler(PackingPolicy policy, const Rng& rng,
+            PlacementEngine engine = PlacementEngine::kIndexed);
+
+  // Sizes the scheduler for `num_machines` machines with zero advertised
+  // free capacity; Publish() then streams in the real values.
+  void Reset(int num_machines);
 
   // Publishes the latest machine states: advertised free capacity per
-  // machine (capacity - predicted peak). Called once per polling interval.
+  // machine (capacity - predicted peak). Bulk form of Publish().
   void UpdateFreeCapacity(std::vector<double> free_capacity);
+
+  // Publishes one machine's advertised free capacity. The hot path: the
+  // simulator streams per-machine deltas each polling interval instead of
+  // copying the whole capacity vector.
+  void Publish(int machine, double free);
 
   // Picks a machine for a task with the given limit, preferring machines not
   // in `exclude` (anti-affinity within a job). Returns -1 if no machine
@@ -39,12 +70,26 @@ class Scheduler {
   // `limit` (scheduler-side accounting until the next poll).
   int Place(double limit, const std::vector<int>& exclude);
 
+  double free_capacity(int machine) const { return free_capacity_[machine]; }
+  int num_machines() const { return static_cast<int>(free_capacity_.size()); }
+  PlacementEngine engine() const { return engine_; }
+
  private:
-  bool Fits(int machine, double limit) const;
+  // One placement pass; `exclude == nullptr` means no exclusions (the
+  // fallback pass). Returns -1 when nothing feasible remains.
+  int PlaceOnceLinear(double limit, const std::vector<int>* exclude);
+  int PlaceOnceIndexed(double limit, const std::vector<int>* exclude);
 
   PackingPolicy policy_;
+  PlacementEngine engine_;
   Rng rng_;
   std::vector<double> free_capacity_;
+  CapacityTournamentTree tree_;  // Maintained only for kIndexed.
+
+  // Scratch for random-fit (kept across calls to avoid reallocation).
+  std::vector<std::pair<double, int>> candidates_scratch_;
+  std::vector<int> exclude_scratch_;
+  std::vector<int> rank_scratch_;
 };
 
 }  // namespace crf

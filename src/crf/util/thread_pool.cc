@@ -72,7 +72,13 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
 }
 
 void ThreadPool::ParallelForIndexed(int count, const std::function<void(int, int)>& fn) {
+  ParallelForIndexedBlocked(count, 1, fn);
+}
+
+void ThreadPool::ParallelForIndexedBlocked(int count, int block,
+                                           const std::function<void(int, int)>& fn) {
   CRF_CHECK_GE(count, 0);
+  CRF_CHECK_GT(block, 0);
   if (count == 0) {
     return;
   }
@@ -84,23 +90,27 @@ void ThreadPool::ParallelForIndexed(int count, const std::function<void(int, int
   }
 
   // Work stealing via a shared atomic index: each enqueued task drains
-  // iterations until the index runs out. One task per worker plus the calling
-  // thread participating keeps the queue small regardless of `count`. The
-  // executing thread's slot comes from thread-local identity, so a worker
-  // that picks up several drain tasks keeps one stable slot.
+  // blocks of iterations until the index runs out. One task per worker plus
+  // the calling thread participating keeps the queue small regardless of
+  // `count`. The executing thread's slot comes from thread-local identity,
+  // so a worker that picks up several drain tasks keeps one stable slot.
   auto next = std::make_shared<std::atomic<int>>(0);
-  auto drain = [this, next, count, fn] {
+  auto drain = [this, next, count, block, fn] {
     const int slot = tls_worker.pool == this ? tls_worker.slot : 0;
     for (;;) {
-      const int i = next->fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) {
+      const int begin = next->fetch_add(block, std::memory_order_relaxed);
+      if (begin >= count) {
         return;
       }
-      fn(slot, i);
+      const int end = std::min(begin + block, count);
+      for (int i = begin; i < end; ++i) {
+        fn(slot, i);
+      }
     }
   };
 
-  const int tasks = static_cast<int>(std::min<size_t>(workers_.size(), count));
+  const int num_blocks = (count + block - 1) / block;
+  const int tasks = static_cast<int>(std::min<size_t>(workers_.size(), num_blocks));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CRF_CHECK_EQ(in_flight_, 0) << "ParallelFor is not reentrant";

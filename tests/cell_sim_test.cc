@@ -39,12 +39,12 @@ TEST_F(CellSimFixture, ShapesAreConsistent) {
   EXPECT_EQ(result_->cell_name, "cell_a");
   EXPECT_EQ(result_->predictor_name, "borg-default-0.90");
   EXPECT_EQ(result_->trace.machines.size(), 12u);
-  EXPECT_EQ(result_->predictions.size(), 12u);
-  EXPECT_EQ(result_->latencies.size(), 12u);
-  for (const auto& series : result_->predictions) {
-    EXPECT_EQ(series.size(), static_cast<size_t>(result_->trace.num_intervals));
-  }
+  EXPECT_EQ(result_->predictions.num_machines(), 12);
+  EXPECT_EQ(result_->latencies.num_machines(), 12);
+  EXPECT_EQ(result_->predictions.num_intervals(), result_->trace.num_intervals);
+  EXPECT_EQ(result_->limit_sum.num_intervals(), result_->trace.num_intervals);
   EXPECT_GT(result_->tasks_placed, 100);
+  EXPECT_GE(result_->placement_attempts, result_->tasks_placed);
 }
 
 TEST_F(CellSimFixture, PlacedTasksHaveValidMachinesAndUsage) {
@@ -79,9 +79,9 @@ TEST_F(CellSimFixture, CellFillsUpDuringWarmup) {
   double early = 0.0;
   double late = 0.0;
   const Interval last = result_->trace.num_intervals - 1;
-  for (size_t m = 0; m < result_->trace.machines.size(); ++m) {
-    early += result_->demand_mean[m][2];
-    late += result_->demand_mean[m][last];
+  for (int m = 0; m < result_->demand_mean.num_machines(); ++m) {
+    early += result_->demand_mean.at(m, 2);
+    late += result_->demand_mean.at(m, last);
   }
   EXPECT_GT(late, early * 2.0);
 }
@@ -94,7 +94,7 @@ TEST(CellSimTest, LimitSumPredictorNeverOvercommits) {
       RunClusterSim(SmallProfile(), ShortOptions(LimitSumSpec()), Rng(45));
   for (size_t m = 0; m < result.trace.machines.size(); ++m) {
     for (Interval t = 0; t < result.trace.num_intervals; ++t) {
-      EXPECT_LE(result.limit_sum[m][t],
+      EXPECT_LE(result.limit_sum.at(static_cast<int>(m), t),
                 result.trace.machines[m].capacity + 1e-6);
     }
   }
@@ -108,9 +108,9 @@ TEST(CellSimTest, OvercommittingPredictorPacksDenser) {
   const Interval last = conservative.trace.num_intervals - 1;
   double conservative_alloc = 0.0;
   double overcommit_alloc = 0.0;
-  for (size_t m = 0; m < conservative.trace.machines.size(); ++m) {
-    conservative_alloc += conservative.limit_sum[m][last];
-    overcommit_alloc += overcommit.limit_sum[m][last];
+  for (int m = 0; m < conservative.limit_sum.num_machines(); ++m) {
+    conservative_alloc += conservative.limit_sum.at(m, last);
+    overcommit_alloc += overcommit.limit_sum.at(m, last);
   }
   EXPECT_GT(overcommit_alloc, conservative_alloc * 1.05);
 }

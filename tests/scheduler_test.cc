@@ -7,26 +7,35 @@
 namespace crf {
 namespace {
 
-TEST(SchedulerTest, BestFitPicksTightestMachine) {
-  Scheduler scheduler(PackingPolicy::kBestFit, Rng(1));
+// Every behavioral case runs on both placement engines: the indexed
+// tournament tree is contractually byte-identical to the linear reference.
+class SchedulerTest : public ::testing::TestWithParam<PlacementEngine> {
+ protected:
+  Scheduler Make(PackingPolicy policy, uint64_t seed) {
+    return Scheduler(policy, Rng(seed), GetParam());
+  }
+};
+
+TEST_P(SchedulerTest, BestFitPicksTightestMachine) {
+  Scheduler scheduler = Make(PackingPolicy::kBestFit, 1);
   scheduler.UpdateFreeCapacity({0.5, 0.2, 0.9});
   EXPECT_EQ(scheduler.Place(0.2, {}), 1);
 }
 
-TEST(SchedulerTest, WorstFitPicksLoosestMachine) {
-  Scheduler scheduler(PackingPolicy::kWorstFit, Rng(2));
+TEST_P(SchedulerTest, WorstFitPicksLoosestMachine) {
+  Scheduler scheduler = Make(PackingPolicy::kWorstFit, 2);
   scheduler.UpdateFreeCapacity({0.5, 0.2, 0.9});
   EXPECT_EQ(scheduler.Place(0.2, {}), 2);
 }
 
-TEST(SchedulerTest, InfeasibleReturnsMinusOne) {
-  Scheduler scheduler(PackingPolicy::kBestFit, Rng(3));
+TEST_P(SchedulerTest, InfeasibleReturnsMinusOne) {
+  Scheduler scheduler = Make(PackingPolicy::kBestFit, 3);
   scheduler.UpdateFreeCapacity({0.1, 0.2});
   EXPECT_EQ(scheduler.Place(0.5, {}), -1);
 }
 
-TEST(SchedulerTest, DebitsPlacedLimits) {
-  Scheduler scheduler(PackingPolicy::kBestFit, Rng(4));
+TEST_P(SchedulerTest, DebitsPlacedLimits) {
+  Scheduler scheduler = Make(PackingPolicy::kBestFit, 4);
   scheduler.UpdateFreeCapacity({0.5});
   EXPECT_EQ(scheduler.Place(0.3, {}), 0);
   // Only 0.2 left; a 0.3 task no longer fits without a fresh poll.
@@ -34,8 +43,8 @@ TEST(SchedulerTest, DebitsPlacedLimits) {
   EXPECT_EQ(scheduler.Place(0.2, {}), 0);
 }
 
-TEST(SchedulerTest, UpdateResetsAccounting) {
-  Scheduler scheduler(PackingPolicy::kBestFit, Rng(5));
+TEST_P(SchedulerTest, UpdateResetsAccounting) {
+  Scheduler scheduler = Make(PackingPolicy::kBestFit, 5);
   scheduler.UpdateFreeCapacity({0.5});
   EXPECT_EQ(scheduler.Place(0.5, {}), 0);
   EXPECT_EQ(scheduler.Place(0.5, {}), -1);
@@ -43,22 +52,43 @@ TEST(SchedulerTest, UpdateResetsAccounting) {
   EXPECT_EQ(scheduler.Place(0.5, {}), 0);
 }
 
-TEST(SchedulerTest, HonorsExclusionsWhenPossible) {
-  Scheduler scheduler(PackingPolicy::kBestFit, Rng(6));
+TEST_P(SchedulerTest, IncrementalPublishMatchesBulkUpdate) {
+  Scheduler scheduler = Make(PackingPolicy::kBestFit, 5);
+  scheduler.Reset(3);
+  scheduler.Publish(0, 0.5);
+  scheduler.Publish(1, 0.2);
+  scheduler.Publish(2, 0.9);
+  EXPECT_EQ(scheduler.Place(0.2, {}), 1);
+  // Republish machine 1 tighter than the task: next-best is machine 0.
+  scheduler.Publish(1, 0.1);
+  EXPECT_EQ(scheduler.Place(0.2, {}), 0);
+  EXPECT_DOUBLE_EQ(scheduler.free_capacity(0), 0.3);
+}
+
+TEST_P(SchedulerTest, HonorsExclusionsWhenPossible) {
+  Scheduler scheduler = Make(PackingPolicy::kBestFit, 6);
   scheduler.UpdateFreeCapacity({0.3, 0.5});
   // Machine 0 is tighter but excluded (already hosts a sibling task).
   EXPECT_EQ(scheduler.Place(0.2, {0}), 1);
 }
 
-TEST(SchedulerTest, FallsBackToExcludedWhenNothingElseFits) {
-  Scheduler scheduler(PackingPolicy::kBestFit, Rng(7));
+TEST_P(SchedulerTest, FallsBackToExcludedWhenNothingElseFits) {
+  Scheduler scheduler = Make(PackingPolicy::kBestFit, 7);
   scheduler.UpdateFreeCapacity({0.9, 0.1});
   // Only machine 0 fits, despite the exclusion.
   EXPECT_EQ(scheduler.Place(0.5, {0}), 0);
 }
 
-TEST(SchedulerTest, RandomFitIsUniformish) {
-  Scheduler scheduler(PackingPolicy::kRandomFit, Rng(8));
+TEST_P(SchedulerTest, WorstFitHonorsExclusions) {
+  Scheduler scheduler = Make(PackingPolicy::kWorstFit, 11);
+  scheduler.UpdateFreeCapacity({0.4, 0.9, 0.6});
+  EXPECT_EQ(scheduler.Place(0.2, {1}), 2);
+  // All feasible machines excluded: the fallback pass ignores exclusions.
+  EXPECT_EQ(scheduler.Place(0.65, {1}), 1);
+}
+
+TEST_P(SchedulerTest, RandomFitIsUniformish) {
+  Scheduler scheduler = Make(PackingPolicy::kRandomFit, 8);
   std::vector<int> counts(3, 0);
   for (int i = 0; i < 3000; ++i) {
     scheduler.UpdateFreeCapacity({1.0, 1.0, 1.0});
@@ -72,15 +102,69 @@ TEST(SchedulerTest, RandomFitIsUniformish) {
   }
 }
 
-TEST(SchedulerTest, RandomFitOnlyFeasible) {
-  Scheduler scheduler(PackingPolicy::kRandomFit, Rng(9));
+TEST_P(SchedulerTest, RandomFitOnlyFeasible) {
+  Scheduler scheduler = Make(PackingPolicy::kRandomFit, 9);
   for (int i = 0; i < 100; ++i) {
     scheduler.UpdateFreeCapacity({0.05, 1.0, 0.05});
     EXPECT_EQ(scheduler.Place(0.5, {}), 1);
   }
 }
 
-TEST(SchedulerTest, PolicyNames) {
+TEST_P(SchedulerTest, RandomFitHonorsExclusions) {
+  Scheduler scheduler = Make(PackingPolicy::kRandomFit, 12);
+  for (int i = 0; i < 100; ++i) {
+    scheduler.UpdateFreeCapacity({1.0, 1.0, 1.0});
+    // Duplicate exclusion entries (pass-2 fallback artifacts) must not skew
+    // the count of remaining candidates.
+    EXPECT_EQ(scheduler.Place(0.5, {0, 2, 0, 2}), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SchedulerTest,
+                         ::testing::Values(PlacementEngine::kIndexed,
+                                           PlacementEngine::kLinearScan),
+                         [](const ::testing::TestParamInfo<PlacementEngine>& info) {
+                           return info.param == PlacementEngine::kIndexed ? "Indexed"
+                                                                          : "LinearScan";
+                         });
+
+// Cross-engine lockstep: identical seeds must yield identical placement
+// sequences and identical RNG consumption through mixed workloads.
+TEST(SchedulerLockstepTest, EnginesAgreeOnPlacementSequences) {
+  for (const PackingPolicy policy :
+       {PackingPolicy::kBestFit, PackingPolicy::kWorstFit, PackingPolicy::kRandomFit}) {
+    Scheduler indexed(policy, Rng(99), PlacementEngine::kIndexed);
+    Scheduler linear(policy, Rng(99), PlacementEngine::kLinearScan);
+    Rng workload(1234);
+    const int num_machines = 17;
+    indexed.Reset(num_machines);
+    linear.Reset(num_machines);
+    std::vector<int> placed;
+    for (int round = 0; round < 50; ++round) {
+      for (int m = 0; m < num_machines; ++m) {
+        // Coarse quantization forces frequent capacity ties.
+        const double free = 0.25 * static_cast<double>(workload.UniformInt(5));
+        indexed.Publish(m, free);
+        linear.Publish(m, free);
+      }
+      placed.clear();
+      for (int task = 0; task < 12; ++task) {
+        const double limit = 0.1 + 0.2 * workload.UniformDouble();
+        const int a = indexed.Place(limit, placed);
+        const int b = linear.Place(limit, placed);
+        ASSERT_EQ(a, b) << PackingPolicyName(policy) << " round " << round;
+        if (a >= 0) {
+          placed.push_back(a);
+        }
+      }
+      for (int m = 0; m < num_machines; ++m) {
+        ASSERT_DOUBLE_EQ(indexed.free_capacity(m), linear.free_capacity(m));
+      }
+    }
+  }
+}
+
+TEST(SchedulerTestBasics, PolicyNames) {
   EXPECT_EQ(PackingPolicyName(PackingPolicy::kBestFit), "best-fit");
   EXPECT_EQ(PackingPolicyName(PackingPolicy::kWorstFit), "worst-fit");
   EXPECT_EQ(PackingPolicyName(PackingPolicy::kRandomFit), "random-fit");

@@ -60,6 +60,57 @@ TEST(ThreadPoolTest, ResultsAggregateCorrectly) {
   EXPECT_EQ(sum, expected);
 }
 
+TEST(ThreadPoolTest, IndexedSlotsAreDistinctPerConcurrentIteration) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  std::vector<std::atomic<int>> slot_hits(pool.num_threads());
+  pool.ParallelForIndexed(500, [&](int slot, int i) {
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, pool.num_threads());
+    hits[i].fetch_add(1);
+    slot_hits[slot].fetch_add(1);
+  });
+  int total = 0;
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  for (const auto& s : slot_hits) {
+    total += s.load();
+  }
+  EXPECT_EQ(total, 500);
+}
+
+TEST(ThreadPoolTest, BlockedVariantRunsEachIterationOnce) {
+  for (const int block : {1, 3, 7, 64, 1000}) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(617);  // prime: uneven final block
+    pool.ParallelForIndexedBlocked(617, block, [&hits](int slot, int i) {
+      ASSERT_GE(slot, 0);
+      hits[i].fetch_add(1);
+    });
+    for (int i = 0; i < 617; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "block " << block << " i " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, BlockedVariantInlineMode) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelForIndexedBlocked(100, 8, [&hits](int slot, int i) {
+    EXPECT_EQ(slot, 0);
+    hits[i]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, BlockedVariantZeroIterationsIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelForIndexedBlocked(0, 16, [&called](int, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
 TEST(ThreadPoolTest, DefaultPoolExists) {
   EXPECT_GE(ThreadPool::Default().num_threads(), 1);
   std::atomic<int> count{0};
