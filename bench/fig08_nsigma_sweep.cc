@@ -3,6 +3,11 @@
 //   (b) cell-level savings (1 - predicted peak / total limit) vs n;
 //   (c) violation-rate CDFs for warm-up in {1h, 2h, 3h} (weak effect);
 //   (d) violation-rate CDFs for history in {2h, 5h, 10h} (strong effect).
+//
+// The whole 10-point grid runs through SimulateCellMulti in a single trace
+// pass: the sweep bank shares the aggregate-usage moments across every n
+// (panels a+b differ only in the multiplier) and the oracle cache shares the
+// peak oracle across the warm-up/history variants.
 
 #include <cstdio>
 
@@ -20,33 +25,43 @@ int Main() {
   std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", cell.machines.size(),
               cell.tasks.size());
 
-  // The peak oracle depends only on (cell, machine, horizon) — share one
-  // memo across every sweep point so it is computed exactly once.
+  // The full grid, one SimulateCellMulti call:
+  //   [0..3]  n in {2, 3, 5, 10} with 2h warm-up, 10h history  (a)+(b)
+  //   [4..6]  warm-up in {1h, 2h, 3h} at n=5, 10h history      (c)
+  //   [7..9]  history in {2h, 5h, 10h} at n=5, 2h warm-up      (d)
+  std::vector<PredictorSpec> specs;
+  for (const double n : {2.0, 3.0, 5.0, 10.0}) {
+    specs.push_back(NSigmaSpec(n));
+  }
+  for (const int hours : {1, 2, 3}) {
+    specs.push_back(NSigmaSpec(5.0, hours * kIntervalsPerHour));
+  }
+  for (const int hours : {2, 5, 10}) {
+    specs.push_back(NSigmaSpec(5.0, 2 * kIntervalsPerHour, hours * kIntervalsPerHour));
+  }
+
   OracleCache oracle_cache;
   SimOptions sim_options;
   sim_options.oracle_cache = &oracle_cache;
+  const std::vector<SimResult> results = SimulateCellMulti(cell, specs, sim_options);
 
-  // (a)+(b): sweep n with 2h warm-up, 10h history.
+  // (a)+(b): violation-rate CDFs and cell-level savings vs n.
   {
+    const char* labels[] = {"n=2", "n=3", "n=5", "n=10"};
     std::vector<Ecdf> cdfs;
-    std::vector<double> savings;
-    std::vector<std::string> labels;
-    for (const double n : {2.0, 3.0, 5.0, 10.0}) {
-      const SimResult result = SimulateCell(cell, NSigmaSpec(n), sim_options);
-      cdfs.push_back(result.ViolationRateCdf());
-      savings.push_back(result.MeanCellSavings());
-      labels.push_back("n=" + std::to_string(static_cast<int>(n)));
-    }
     std::vector<std::pair<std::string, const Ecdf*>> series;
-    for (size_t i = 0; i < cdfs.size(); ++i) {
+    for (int i = 0; i < 4; ++i) {
+      cdfs.push_back(results[i].ViolationRateCdf());
+    }
+    for (int i = 0; i < 4; ++i) {
       series.emplace_back(labels[i], &cdfs[i]);
     }
     ReportCdfs(ctx, "Fig 8(a): per-machine violation rate vs n", series,
                "fig08a_violation_vs_n.csv");
 
     Table table({"n", "savings: 1 - predicted/limit"});
-    for (size_t i = 0; i < savings.size(); ++i) {
-      table.AddRow(labels[i], {savings[i]});
+    for (int i = 0; i < 4; ++i) {
+      table.AddRow(labels[i], {results[i].MeanCellSavings()});
     }
     std::printf("\nFig 8(b): cell-level savings vs n\n");
     table.Print();
@@ -54,15 +69,13 @@ int Main() {
 
   // (c): warm-up sweep at n=5, 10h history.
   {
+    const char* labels[] = {"warm-up=1h", "warm-up=2h", "warm-up=3h"};
     std::vector<Ecdf> cdfs;
     std::vector<std::pair<std::string, const Ecdf*>> series;
-    for (const int hours : {1, 2, 3}) {
-      const SimResult result =
-          SimulateCell(cell, NSigmaSpec(5.0, hours * kIntervalsPerHour), sim_options);
-      cdfs.push_back(result.ViolationRateCdf());
+    for (int i = 0; i < 3; ++i) {
+      cdfs.push_back(results[4 + i].ViolationRateCdf());
     }
-    const char* labels[] = {"warm-up=1h", "warm-up=2h", "warm-up=3h"};
-    for (size_t i = 0; i < cdfs.size(); ++i) {
+    for (int i = 0; i < 3; ++i) {
       series.emplace_back(labels[i], &cdfs[i]);
     }
     ReportCdfs(ctx, "Fig 8(c): violation rate vs warm-up (n=5, 10h history)", series,
@@ -71,16 +84,13 @@ int Main() {
 
   // (d): history sweep at n=5, 2h warm-up.
   {
+    const char* labels[] = {"history=2h", "history=5h", "history=10h"};
     std::vector<Ecdf> cdfs;
     std::vector<std::pair<std::string, const Ecdf*>> series;
-    for (const int hours : {2, 5, 10}) {
-      const SimResult result = SimulateCell(
-          cell, NSigmaSpec(5.0, 2 * kIntervalsPerHour, hours * kIntervalsPerHour),
-          sim_options);
-      cdfs.push_back(result.ViolationRateCdf());
+    for (int i = 0; i < 3; ++i) {
+      cdfs.push_back(results[7 + i].ViolationRateCdf());
     }
-    const char* labels[] = {"history=2h", "history=5h", "history=10h"};
-    for (size_t i = 0; i < cdfs.size(); ++i) {
+    for (int i = 0; i < 3; ++i) {
       series.emplace_back(labels[i], &cdfs[i]);
     }
     ReportCdfs(ctx, "Fig 8(d): violation rate vs history (n=5, 2h warm-up)", series,

@@ -10,11 +10,15 @@
 // perf_microbench.json so engine throughput is a regression-checkable
 // number; pass --benchmark_out=... to override. The closed-loop cluster
 // engine (serial/linear-scan reference vs sharded/indexed) is additionally
-// timed into the tracked BENCH_cluster.json (see RecordClusterBench below).
+// timed into the tracked BENCH_cluster.json (see RecordClusterBench below),
+// and the multi-spec sweep engine (per-spec SimulateCell loop vs one
+// SimulateCellMulti pass over the Fig 8+9 grid) into the tracked
+// BENCH_sweep.json (see RecordSweepBench below).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
@@ -191,6 +195,67 @@ BENCHMARK(BM_NSigmaSweep16)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// The Fig 8+9-shaped predictor grid: the N-sigma multiplier/warm-up/history
+// sweep plus the RC-like percentile/warm-up/history sweep, 20 points total.
+// This is the workload the multi-spec sweep engine exists for.
+std::vector<PredictorSpec> SweepGridSpecs() {
+  std::vector<PredictorSpec> specs;
+  for (const double n : {2.0, 3.0, 5.0, 10.0}) {
+    specs.push_back(NSigmaSpec(n));
+  }
+  for (const int hours : {1, 2, 3}) {
+    specs.push_back(NSigmaSpec(5.0, hours * kIntervalsPerHour));
+  }
+  for (const int hours : {2, 5, 10}) {
+    specs.push_back(NSigmaSpec(5.0, 2 * kIntervalsPerHour, hours * kIntervalsPerHour));
+  }
+  for (const double p : {80.0, 90.0, 95.0, 99.0}) {
+    specs.push_back(RcLikeSpec(p));
+  }
+  for (const int hours : {1, 2, 3}) {
+    specs.push_back(RcLikeSpec(95.0, hours * kIntervalsPerHour));
+  }
+  for (const int hours : {2, 5, 10}) {
+    specs.push_back(RcLikeSpec(95.0, 2 * kIntervalsPerHour, hours * kIntervalsPerHour));
+  }
+  return specs;
+}
+
+// The whole grid over the default cell. Arg(0): one SimulateCell per spec
+// (the per-spec reference, with a shared OracleCache so only predictor work
+// differs). Arg(1): one SimulateCellMulti walking each machine once. The
+// machines_per_second ratio between the rows is the sweep-engine speedup
+// tracked in BENCH_sweep.json.
+void BM_SweepGrid(benchmark::State& state) {
+  const CellTrace& cell = SweepCell();
+  const std::vector<PredictorSpec> specs = SweepGridSpecs();
+  const bool multi = state.range(0) != 0;
+  for (auto _ : state) {
+    OracleCache cache;
+    SimOptions options;
+    options.oracle_cache = &cache;
+    if (multi) {
+      benchmark::DoNotOptimize(SimulateCellMulti(cell, specs, options));
+    } else {
+      for (const PredictorSpec& spec : specs) {
+        benchmark::DoNotOptimize(SimulateCell(cell, spec, options));
+      }
+    }
+  }
+  const double machine_sims =
+      static_cast<double>(state.iterations()) * specs.size() * cell.machines.size();
+  state.counters["machines_per_second"] =
+      benchmark::Counter(machine_sims, benchmark::Counter::kIsRate);
+  state.counters["intervals_per_second"] = benchmark::Counter(
+      machine_sims * static_cast<double>(cell.num_intervals), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepGrid)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
 // The closed-loop cluster engine, both configurations: Arg(0) = the serial
 // reference (serial step loop + linear-scan placement), Arg(1) = the
 // production path (sharded step loop + indexed placement). Both are
@@ -291,6 +356,41 @@ std::string TodayUtc() {
   return buffer;
 }
 
+// Appends one entry to a tracked {"schema":..., "entries":[...]} JSON file,
+// keeping prior history; a missing or foreign-schema file is rewritten from
+// scratch.
+void AppendTrackedBenchEntry(const std::string& path, const std::string& schema,
+                             const std::string& entry) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  std::string output;
+  const size_t close = existing.rfind(']');
+  if (close != std::string::npos &&
+      existing.find("\"" + schema + "\"") != std::string::npos) {
+    // Append to the existing entries array, keeping prior history.
+    const bool has_entries = existing.find('{', existing.find("\"entries\"")) < close;
+    output = existing.substr(0, close);
+    while (!output.empty() && (output.back() == ' ' || output.back() == '\n')) {
+      output.pop_back();
+    }
+    output += has_entries ? ",\n" : "\n";
+    output += entry;
+    output += "\n  ";
+    output += existing.substr(close);
+  } else {
+    output = "{\n  \"schema\": \"" + schema + "\",\n  \"entries\": [\n" + entry + "\n  ]\n}\n";
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << output;
+}
+
 void RecordClusterBench() {
   const std::string mode = GetEnvString("CRF_CLUSTER_BENCH", "short");
   if (mode == "off") {
@@ -345,37 +445,104 @@ void RecordClusterBench() {
         << "    }";
 
   const std::string path = GetEnvString("CRF_BENCH_CLUSTER_FILE", "BENCH_cluster.json");
-  std::string existing;
-  {
-    std::ifstream in(path);
-    if (in) {
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      existing = buffer.str();
-    }
-  }
-  std::string output;
-  const size_t close = existing.rfind(']');
-  if (close != std::string::npos && existing.find("\"crf-cluster-bench-v1\"") != std::string::npos) {
-    // Append to the existing entries array, keeping prior history.
-    const bool has_entries = existing.find('{', existing.find("\"entries\"")) < close;
-    output = existing.substr(0, close);
-    while (!output.empty() && (output.back() == ' ' || output.back() == '\n')) {
-      output.pop_back();
-    }
-    output += has_entries ? ",\n" : "\n";
-    output += entry.str();
-    output += "\n  ";
-    output += existing.substr(close);
-  } else {
-    output = "{\n  \"schema\": \"crf-cluster-bench-v1\",\n  \"entries\": [\n" + entry.str() +
-             "\n  ]\n}\n";
-  }
-  std::ofstream out(path, std::ios::trunc);
-  out << output;
+  AppendTrackedBenchEntry(path, "crf-cluster-bench-v1", entry.str());
   std::printf("cluster bench (%s): serial %.0f sharded %.0f machine-steps/s (%.2fx) -> %s\n",
               full ? "full" : "short", serial.machine_steps_per_sec,
               sharded.machine_steps_per_sec, speedup, path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_sweep.json: tracked sweep-engine throughput record.
+//
+// Controlled by $CRF_SWEEP_BENCH: "off" skips, "short" (default) runs the
+// 20-point Fig 8+9 grid over a small cell-half-week, "full" over a larger
+// cell-week. Times the per-spec SimulateCell loop against one
+// SimulateCellMulti call — both behind one shared OracleCache, so the ratio
+// isolates the engine, not oracle recomputation. The record lands in
+// $CRF_BENCH_SWEEP_FILE (default ./BENCH_sweep.json) as
+// {"schema":"crf-sweep-bench-v1","entries":[...]}; reruns append.
+
+void RecordSweepBench() {
+  const std::string mode = GetEnvString("CRF_SWEEP_BENCH", "short");
+  if (mode == "off") {
+    return;
+  }
+  const bool full = mode == "full";
+
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = full ? 48 : 16;
+  GeneratorOptions gen_options;
+  gen_options.num_intervals = full ? kIntervalsPerWeek : kIntervalsPerWeek / 2;
+  CellTrace cell = GenerateCellTrace(profile, gen_options, Rng(11));
+  cell.FilterToServingTasks();
+  const std::vector<PredictorSpec> specs = SweepGridSpecs();
+
+  OracleCache cache;
+  SimOptions options;
+  options.oracle_cache = &cache;
+
+  // Warm-up pass: pages in the code and fills the oracle cache, so both
+  // timed passes run against a warm memo and differ only in engine work.
+  SimulateCellMulti(cell, specs, options);
+
+  const auto per_spec_start = std::chrono::steady_clock::now();
+  std::vector<SimResult> per_spec;
+  per_spec.reserve(specs.size());
+  for (const PredictorSpec& spec : specs) {
+    per_spec.push_back(SimulateCell(cell, spec, options));
+  }
+  const double per_spec_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - per_spec_start)
+          .count();
+
+  const auto multi_start = std::chrono::steady_clock::now();
+  const std::vector<SimResult> multi = SimulateCellMulti(cell, specs, options);
+  const double multi_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - multi_start).count();
+
+  // Integrity gate: the engines claim matching metrics, so a tracked speedup
+  // with diverging results would be meaningless.
+  int64_t total_violations = 0;
+  for (size_t s = 0; s < specs.size(); ++s) {
+    for (size_t m = 0; m < per_spec[s].machines.size(); ++m) {
+      if (per_spec[s].machines[m].violations != multi[s].machines[m].violations) {
+        std::fprintf(stderr,
+                     "sweep bench: engines diverged (spec %zu machine %zu), not recording\n",
+                     s, m);
+        return;
+      }
+      total_violations += per_spec[s].machines[m].violations;
+    }
+    const double savings_delta =
+        std::abs(per_spec[s].MeanCellSavings() - multi[s].MeanCellSavings());
+    if (savings_delta > 1e-9) {
+      std::fprintf(stderr, "sweep bench: savings diverged (spec %zu), not recording\n", s);
+      return;
+    }
+  }
+
+  const double machine_sims = static_cast<double>(specs.size()) * cell.machines.size();
+  const double speedup = per_spec_seconds / multi_seconds;
+  std::ostringstream entry;
+  entry.precision(6);
+  entry << "    {\n"
+        << "      \"date\": \"" << TodayUtc() << "\",\n"
+        << "      \"mode\": \"" << (full ? "full" : "short") << "\",\n"
+        << "      \"threads\": " << ThreadPool::Default().num_threads() << ",\n"
+        << "      \"num_machines\": " << profile.num_machines << ",\n"
+        << "      \"num_intervals\": " << gen_options.num_intervals << ",\n"
+        << "      \"num_specs\": " << specs.size() << ",\n"
+        << "      \"per_spec_machines_per_sec\": " << machine_sims / per_spec_seconds << ",\n"
+        << "      \"multi_machines_per_sec\": " << machine_sims / multi_seconds << ",\n"
+        << "      \"speedup\": " << speedup << ",\n"
+        << "      \"total_violations\": " << total_violations << "\n"
+        << "    }";
+
+  const std::string path = GetEnvString("CRF_BENCH_SWEEP_FILE", "BENCH_sweep.json");
+  AppendTrackedBenchEntry(path, "crf-sweep-bench-v1", entry.str());
+  std::printf("sweep bench (%s): per-spec %.3fs multi %.3fs over %zu specs (%.2fx) -> %s\n",
+              full ? "full" : "short", per_spec_seconds, multi_seconds, specs.size(), speedup,
+              path.c_str());
 }
 
 }  // namespace
@@ -409,5 +576,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   crf::RecordClusterBench();
+  crf::RecordSweepBench();
   return 0;
 }

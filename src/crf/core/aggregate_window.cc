@@ -1,0 +1,65 @@
+#include "crf/core/aggregate_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+AggregateWindow::AggregateWindow(int capacity) {
+  CRF_CHECK_GT(capacity, 0);
+  window_.resize(capacity);
+}
+
+void AggregateWindow::Push(double value) {
+  if (count_ == static_cast<int>(window_.size())) {
+    const double evicted = window_[head_];
+    sum_ -= evicted;
+    sumsq_ -= evicted * evicted;
+    window_[head_] = value;
+    head_ = head_ + 1 == count_ ? 0 : head_ + 1;
+  } else {
+    window_[(head_ + count_) % window_.size()] = value;
+    ++count_;
+  }
+  sum_ += value;
+  sumsq_ += value * value;
+}
+
+void AggregateWindow::Reset() {
+  head_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  sumsq_ = 0.0;
+}
+
+double AggregateWindow::Stddev() {
+  const double mean = Mean();
+  const double n = static_cast<double>(count_);
+  double variance = sumsq_ / n - mean * mean;
+  // Incremental sum-of-squares loses ~eps * E[x^2] absolutely; when the
+  // computed variance is within that noise floor (flat signals, long runs),
+  // recompute exactly and refresh the moments to cancel accumulated drift.
+  const double noise_floor = 1e-12 * std::max(sumsq_ / n, 1e-300);
+  if (variance < noise_floor) {
+    double exact_mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (int i = 0; i < count_; ++i) {
+      const double x = window_[(head_ + i) % window_.size()];
+      const double delta = x - exact_mean;
+      exact_mean += delta / (i + 1);
+      m2 += delta * (x - exact_mean);
+      sum += x;
+      sumsq += x * x;
+    }
+    sum_ = sum;
+    sumsq_ = sumsq;
+    variance = m2 / n;
+  }
+  return std::sqrt(std::max(variance, 0.0));
+}
+
+}  // namespace crf

@@ -1,0 +1,166 @@
+#include "crf/core/indexable_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+IndexableWindow::IndexableWindow(int capacity) : capacity_(capacity) {
+  CRF_CHECK_GT(capacity, 0);
+  ring_.reserve(capacity);
+}
+
+void IndexableWindow::Push(float sample) {
+  CRF_CHECK(std::isfinite(sample)) << "non-finite usage sample " << sample;
+  if (static_cast<int>(ring_.size()) < capacity_) {
+    ring_.push_back(sample);
+  } else {
+    const float evicted = ring_[head_];
+    ring_[head_] = sample;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    Erase(evicted);
+    sum_ -= evicted;
+  }
+  Insert(sample);
+  sum_ += sample;
+  if (--pushes_until_sum_refresh_ == 0) {
+    pushes_until_sum_refresh_ = kSumRefreshPeriod;
+    double exact = 0.0;
+    for (const float v : ring_) {
+      exact += v;
+    }
+    sum_ = exact;
+  }
+}
+
+void IndexableWindow::Clear() {
+  ring_.clear();
+  head_ = 0;
+  chunks_.clear();
+  fenwick_.clear();
+  sum_ = 0.0;
+  pushes_until_sum_refresh_ = kSumRefreshPeriod;
+}
+
+int IndexableWindow::FindChunk(float value) const {
+  int lo = 0;
+  int hi = static_cast<int>(chunks_.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (chunks_[mid].back() < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void IndexableWindow::Insert(float value) {
+  if (chunks_.empty()) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(kSplitSize);
+    chunks_.back().push_back(value);
+    RebuildFenwick();
+    return;
+  }
+  const int c = FindChunk(value);
+  std::vector<float>& chunk = chunks_[c];
+  chunk.insert(std::upper_bound(chunk.begin(), chunk.end(), value), value);
+  if (static_cast<int>(chunk.size()) < kSplitSize) {
+    FenwickAdd(c, 1);
+    return;
+  }
+  // Split into two half chunks; indices shift, so rebuild the tree.
+  std::vector<float> upper;
+  upper.reserve(kSplitSize);
+  upper.assign(chunk.begin() + kSplitSize / 2, chunk.end());
+  chunk.resize(kSplitSize / 2);
+  chunks_.insert(chunks_.begin() + c + 1, std::move(upper));
+  RebuildFenwick();
+}
+
+void IndexableWindow::Erase(float value) {
+  CRF_CHECK(!chunks_.empty());
+  const int c = FindChunk(value);
+  std::vector<float>& chunk = chunks_[c];
+  const auto it = std::lower_bound(chunk.begin(), chunk.end(), value);
+  CRF_CHECK(it != chunk.end() && *it == value);
+  chunk.erase(it);
+  if (chunk.empty()) {
+    chunks_.erase(chunks_.begin() + c);
+    RebuildFenwick();
+  } else {
+    FenwickAdd(c, -1);
+  }
+}
+
+float IndexableWindow::AtRank(int k) const {
+  const int n = static_cast<int>(chunks_.size());
+  // Descend the Fenwick tree for the largest prefix of chunks holding <= k
+  // values; the target then sits inside the next chunk.
+  int pos = 0;
+  int remaining = k + 1;
+  int step = 1;
+  while (step * 2 <= n) {
+    step *= 2;
+  }
+  for (; step > 0; step /= 2) {
+    if (pos + step <= n && fenwick_[pos + step] < remaining) {
+      pos += step;
+      remaining -= fenwick_[pos];
+    }
+  }
+  return chunks_[pos][remaining - 1];
+}
+
+void IndexableWindow::RebuildFenwick() {
+  const int n = static_cast<int>(chunks_.size());
+  fenwick_.assign(n + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    FenwickAdd(i, static_cast<int>(chunks_[i].size()));
+  }
+}
+
+void IndexableWindow::FenwickAdd(int chunk_index, int delta) {
+  for (int i = chunk_index + 1; i < static_cast<int>(fenwick_.size()); i += i & -i) {
+    fenwick_[i] += delta;
+  }
+}
+
+double IndexableWindow::Percentile(double p) const {
+  CRF_CHECK(!ring_.empty());
+  CRF_CHECK_GE(p, 0.0);
+  CRF_CHECK_LE(p, 100.0);
+  const int count = static_cast<int>(ring_.size());
+  if (count == 1) {
+    return AtRank(0);
+  }
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  const int lo = static_cast<int>(rank);
+  const int hi = std::min(lo + 1, count - 1);
+  const double frac = rank - static_cast<double>(lo);
+  const float lo_value = AtRank(lo);
+  const float hi_value = hi == lo ? lo_value : AtRank(hi);
+  return lo_value + frac * (hi_value - lo_value);
+}
+
+double IndexableWindow::Mean() const {
+  if (ring_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(ring_.size());
+}
+
+float IndexableWindow::Latest() const {
+  CRF_CHECK(!ring_.empty());
+  if (static_cast<int>(ring_.size()) < capacity_) {
+    return ring_.back();
+  }
+  // head_ points at the oldest; the newest sits just before it.
+  return ring_[(head_ + capacity_ - 1) % capacity_];
+}
+
+}  // namespace crf

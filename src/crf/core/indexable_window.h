@@ -1,0 +1,89 @@
+// A bounded moving window of float samples with logarithmic-time order
+// statistics: the storage layer under TaskHistory and the sweep engine's
+// shared per-task percentile windows.
+//
+// The window keeps two views of the same samples:
+//  * a ring buffer in arrival order (eviction, Latest);
+//  * a value-ordered sequence of small sorted chunks indexed by a Fenwick
+//    tree over chunk sizes, so rank selection descends the tree instead of
+//    scanning, and insert/erase touch one chunk instead of memmoving an
+//    O(window) sorted mirror.
+//
+// Insert/erase: binary search over chunk maxima to find the target chunk,
+// O(chunk) movement within it, a Fenwick point update, and an occasional
+// chunk split (amortized O(chunks) rebuild). Rank selection: one Fenwick
+// descent plus a direct chunk index. A running sum makes Mean() O(1); pushes
+// periodically recompute it exactly so incremental drift stays below any
+// tolerance the simulator works at.
+
+#ifndef CRF_CORE_INDEXABLE_WINDOW_H_
+#define CRF_CORE_INDEXABLE_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crf {
+
+class IndexableWindow {
+ public:
+  explicit IndexableWindow(int capacity);
+
+  // Appends a sample, evicting the oldest if the window is full. Rejects
+  // non-finite samples: a NaN would poison the value-ordered index (NaN
+  // compares false against everything) and surface only much later as a
+  // failed eviction lookup.
+  void Push(float sample);
+
+  // Discards all samples but keeps the capacity and allocated storage, so a
+  // pooled window can be reused without reallocating.
+  void Clear();
+
+  int size() const { return static_cast<int>(ring_.size()); }
+  int capacity() const { return capacity_; }
+  bool empty() const { return ring_.empty(); }
+
+  // Percentile p in [0, 100] over the window, linear interpolation between
+  // the straddling order statistics. Requires a non-empty window.
+  double Percentile(double p) const;
+
+  // Mean over the window (running sum); 0 when empty.
+  double Mean() const;
+
+  // Newest sample; requires non-empty.
+  float Latest() const;
+
+ private:
+  // Chunks are split in half when they reach this size, so steady-state
+  // chunks hold kSplitSize/2 .. kSplitSize-1 values.
+  static constexpr int kSplitSize = 64;
+  // Pushes between exact recomputations of the running sum.
+  static constexpr int kSumRefreshPeriod = 1 << 15;
+
+  // Index of the chunk a value lives in (for erase) or belongs in (for
+  // insert): the first chunk whose max is >= value, clamped to the last.
+  int FindChunk(float value) const;
+  void Insert(float value);
+  void Erase(float value);
+  // Value at 0-based rank k of the ordered window.
+  float AtRank(int k) const;
+
+  void RebuildFenwick();
+  void FenwickAdd(int chunk_index, int delta);
+
+  int capacity_;
+  int head_ = 0;  // Index of the oldest sample once the ring is full.
+  std::vector<float> ring_;
+
+  // Value-ordered sorted chunks and the Fenwick tree (1-based, over chunk
+  // sizes). The tree is point-updated on insert/erase and rebuilt on the
+  // rare structural changes (chunk split, empty-chunk removal).
+  std::vector<std::vector<float>> chunks_;
+  std::vector<int32_t> fenwick_;
+
+  double sum_ = 0.0;
+  int pushes_until_sum_refresh_ = kSumRefreshPeriod;
+};
+
+}  // namespace crf
+
+#endif  // CRF_CORE_INDEXABLE_WINDOW_H_

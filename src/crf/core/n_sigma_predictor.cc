@@ -1,7 +1,5 @@
 #include "crf/core/n_sigma_predictor.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <unordered_map>
 
@@ -10,11 +8,10 @@
 namespace crf {
 
 NSigmaPredictor::NSigmaPredictor(double n, const PredictorConfig& config)
-    : n_(n), config_(config) {
+    : n_(n), config_(config), window_(config.max_num_samples) {
   CRF_CHECK_GT(n, 0.0);
   CRF_CHECK_GT(config.min_num_samples, 0);
   CRF_CHECK_GE(config.max_num_samples, config.min_num_samples);
-  window_.resize(config.max_num_samples);
 }
 
 void NSigmaPredictor::RebuildRoster(std::span<const TaskSample> tasks) {
@@ -33,48 +30,6 @@ void NSigmaPredictor::RebuildRoster(std::span<const TaskSample> tasks) {
     const auto it = carried.find(tasks[i].task_id);
     samples_seen_[i] = it != carried.end() ? it->second : 0;
   }
-}
-
-void NSigmaPredictor::PushWindow(double value) {
-  if (window_count_ == static_cast<int>(window_.size())) {
-    const double evicted = window_[window_head_];
-    window_sum_ -= evicted;
-    window_sumsq_ -= evicted * evicted;
-    window_[window_head_] = value;
-    window_head_ = window_head_ + 1 == window_count_ ? 0 : window_head_ + 1;
-  } else {
-    window_[(window_head_ + window_count_) % window_.size()] = value;
-    ++window_count_;
-  }
-  window_sum_ += value;
-  window_sumsq_ += value * value;
-}
-
-double NSigmaPredictor::WindowVariance(double mean) {
-  const double n = static_cast<double>(window_count_);
-  double variance = window_sumsq_ / n - mean * mean;
-  // Incremental sum-of-squares loses ~eps * E[x^2] absolutely; when the
-  // computed variance is within that noise floor (flat signals, long runs),
-  // recompute exactly and refresh the moments to cancel accumulated drift.
-  const double noise_floor = 1e-12 * std::max(window_sumsq_ / n, 1e-300);
-  if (variance < noise_floor) {
-    double exact_mean = 0.0;
-    double m2 = 0.0;
-    double sum = 0.0;
-    double sumsq = 0.0;
-    for (int i = 0; i < window_count_; ++i) {
-      const double x = window_[(window_head_ + i) % window_.size()];
-      const double delta = x - exact_mean;
-      exact_mean += delta / (i + 1);
-      m2 += delta * (x - exact_mean);
-      sum += x;
-      sumsq += x * x;
-    }
-    window_sum_ = sum;
-    window_sumsq_ = sumsq;
-    variance = m2 / n;
-  }
-  return std::max(variance, 0.0);
 }
 
 void NSigmaPredictor::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
@@ -106,11 +61,12 @@ void NSigmaPredictor::Observe(Interval /*now*/, std::span<const TaskSample> task
     }
   }
 
-  PushWindow(warmed_usage);
-  const double mean = window_sum_ / window_count_;
-  const double stddev = std::sqrt(WindowVariance(mean));
-  const double raw = mean + n_ * stddev + warming_limit;
-  prediction_ = ClampPrediction(raw, usage_now, limit_sum);
+  window_.Push(warmed_usage);
+  // Mean before Stddev: Stddev may refresh the running moments, and the
+  // published mean must be the one the variance was computed against.
+  const double mean = window_.Mean();
+  const double stddev = window_.Stddev();
+  prediction_ = ClampPrediction(mean + n_ * stddev + warming_limit, usage_now, limit_sum);
 }
 
 double NSigmaPredictor::PredictPeak() const { return prediction_; }
@@ -118,10 +74,7 @@ double NSigmaPredictor::PredictPeak() const { return prediction_; }
 void NSigmaPredictor::Reset() {
   roster_ids_.clear();
   samples_seen_.clear();
-  window_head_ = 0;
-  window_count_ = 0;
-  window_sum_ = 0.0;
-  window_sumsq_ = 0.0;
+  window_.Reset();
   prediction_ = 0.0;
 }
 

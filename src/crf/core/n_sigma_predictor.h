@@ -11,15 +11,16 @@
 // events, so per-task state lives in a roster (parallel vectors in the
 // caller's sample order) that is revalidated with one id comparison per task
 // and rebuilt only on events — no hashing on the steady-state path. The
-// window statistics are maintained incrementally (ring buffer + running
-// sum/sum-of-squares) with an exact Welford recomputation whenever the
-// incremental variance is too small to be trusted against cancellation.
+// window statistics live in an AggregateWindow (ring buffer + running
+// sum/sum-of-squares with an exact Welford fallback), shared with the sweep
+// engine so both compute identical statistics.
 
 #ifndef CRF_CORE_N_SIGMA_PREDICTOR_H_
 #define CRF_CORE_N_SIGMA_PREDICTOR_H_
 
 #include <vector>
 
+#include "crf/core/aggregate_window.h"
 #include "crf/core/predictor.h"
 
 namespace crf {
@@ -37,10 +38,6 @@ class NSigmaPredictor : public PeakPredictor {
 
  private:
   void RebuildRoster(std::span<const TaskSample> tasks);
-  void PushWindow(double value);
-  // Population variance of the window; falls back to an exact Welford pass
-  // over the ring when the incremental value is in cancellation territory.
-  double WindowVariance(double mean);
 
   double n_;
   PredictorConfig config_;
@@ -49,13 +46,9 @@ class NSigmaPredictor : public PeakPredictor {
   std::vector<TaskId> roster_ids_;
   std::vector<Interval> samples_seen_;
 
-  // Machine-level aggregate usage of warmed tasks: ring buffer of the last
-  // max_num_samples polls plus incrementally maintained moments.
-  std::vector<double> window_;
-  int window_head_ = 0;
-  int window_count_ = 0;
-  double window_sum_ = 0.0;
-  double window_sumsq_ = 0.0;
+  // Machine-level aggregate usage of warmed tasks over the last
+  // max_num_samples polls.
+  AggregateWindow window_;
 
   double prediction_ = 0.0;
 };

@@ -1,6 +1,8 @@
 #include "crf/core/rc_like_predictor.h"
 
 #include <cstdio>
+#include <unordered_map>
+#include <utility>
 
 #include "crf/util/check.h"
 
@@ -14,35 +16,70 @@ RcLikePredictor::RcLikePredictor(double percentile, const PredictorConfig& confi
   CRF_CHECK_GE(config.max_num_samples, config.min_num_samples);
 }
 
-void RcLikePredictor::Observe(Interval now, std::span<const TaskSample> tasks) {
+void RcLikePredictor::RebuildRoster(std::span<const TaskSample> tasks) {
+  // Carry surviving tasks' windows over by id; absent tasks have departed
+  // and their history is dropped (re-arrival of the same id starts a fresh
+  // warm-up, per the Observe contract).
+  std::unordered_map<TaskId, size_t> carried;
+  carried.reserve(roster_ids_.size());
+  for (size_t i = 0; i < roster_ids_.size(); ++i) {
+    carried.emplace(roster_ids_[i], i);
+  }
+  std::vector<TaskId> new_ids(tasks.size());
+  std::vector<TaskHistory> new_histories;
+  new_histories.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    new_ids[i] = tasks[i].task_id;
+    const auto it = carried.find(tasks[i].task_id);
+    if (it != carried.end()) {
+      new_histories.push_back(std::move(histories_[it->second]));
+      carried.erase(it);  // A duplicated id gets one carry, then fresh state.
+    } else {
+      new_histories.emplace_back(config_.max_num_samples);
+    }
+  }
+  roster_ids_ = std::move(new_ids);
+  histories_ = std::move(new_histories);
+}
+
+void RcLikePredictor::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
+  bool roster_matches = roster_ids_.size() == tasks.size();
+  if (roster_matches) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (roster_ids_[i] != tasks[i].task_id) {
+        roster_matches = false;
+        break;
+      }
+    }
+  }
+  if (!roster_matches) {
+    RebuildRoster(tasks);
+  }
+
   double prediction = 0.0;
   double usage_now = 0.0;
   double limit_sum = 0.0;
-  for (const TaskSample& sample : tasks) {
-    auto [it, inserted] =
-        tasks_.try_emplace(sample.task_id, TaskState{TaskHistory(config_.max_num_samples)});
-    TaskState& state = it->second;
-    state.history.Push(static_cast<float>(sample.usage));
-    state.limit = sample.limit;
-    state.last_seen = now;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const TaskSample& sample = tasks[i];
+    TaskHistory& history = histories_[i];
+    history.Push(static_cast<float>(sample.usage));
 
     usage_now += sample.usage;
     limit_sum += sample.limit;
-    if (state.history.size() >= config_.min_num_samples) {
-      prediction += state.history.Percentile(percentile_);
+    if (history.size() >= config_.min_num_samples) {
+      prediction += history.Percentile(percentile_);
     } else {
       prediction += sample.limit;  // Warm-up: represent by the limit.
     }
   }
-  // Release departed tasks.
-  std::erase_if(tasks_, [now](const auto& entry) { return entry.second.last_seen != now; });
   prediction_ = ClampPrediction(prediction, usage_now, limit_sum);
 }
 
 double RcLikePredictor::PredictPeak() const { return prediction_; }
 
 void RcLikePredictor::Reset() {
-  tasks_.clear();
+  roster_ids_.clear();
+  histories_.clear();
   prediction_ = 0.0;
 }
 

@@ -4,11 +4,18 @@
 // as the sum over resident tasks of a percentile of each task's own recent
 // usage, P(J, t) = sum_i perc_k(U_i). Tasks still warming up (fewer than
 // min_num_samples samples) contribute their limit instead.
+//
+// Hot-path design: like NSigmaPredictor, per-task state lives in a roster of
+// parallel vectors in the caller's sample order, revalidated with one id
+// comparison per task and rebuilt only on arrival/departure events —
+// steady-state polls never hash. Each roster slot owns the task's
+// TaskHistory percentile window; a rebuild carries surviving histories over
+// by id and drops departed ones (re-arrival restarts warm-up).
 
 #ifndef CRF_CORE_RC_LIKE_PREDICTOR_H_
 #define CRF_CORE_RC_LIKE_PREDICTOR_H_
 
-#include <unordered_map>
+#include <vector>
 
 #include "crf/core/predictor.h"
 #include "crf/core/task_history.h"
@@ -27,15 +34,15 @@ class RcLikePredictor : public PeakPredictor {
   double percentile() const { return percentile_; }
 
  private:
-  struct TaskState {
-    TaskHistory history;
-    double limit = 0.0;
-    Interval last_seen = -1;
-  };
+  void RebuildRoster(std::span<const TaskSample> tasks);
 
   double percentile_;
   PredictorConfig config_;
-  std::unordered_map<TaskId, TaskState> tasks_;
+
+  // Resident task roster, parallel to the sample order of the last Observe.
+  std::vector<TaskId> roster_ids_;
+  std::vector<TaskHistory> histories_;
+
   double prediction_ = 0.0;
 };
 

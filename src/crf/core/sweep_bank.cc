@@ -1,0 +1,320 @@
+#include "crf/core/sweep_bank.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <utility>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+namespace {
+
+uint64_t NextPlanId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+SweepPlan::SweepPlan(std::span<const PredictorSpec> specs) : id_(NextPlanId()) {
+  spec_nodes_.reserve(specs.size());
+  for (const PredictorSpec& spec : specs) {
+    // Runs the factory's full validation (knob ranges, non-empty max
+    // components) so a plan accepts exactly the specs CreatePredictor does.
+    CreatePredictor(spec);
+    spec_nodes_.push_back(AddNode(spec));
+  }
+}
+
+int SweepPlan::AddNode(const PredictorSpec& spec) {
+  for (size_t i = 0; i < node_specs_.size(); ++i) {
+    if (node_specs_[i] == spec) {
+      return static_cast<int>(i);
+    }
+  }
+  Node node;
+  node.type = spec.type;
+  switch (spec.type) {
+    case PredictorSpec::Type::kLimitSum:
+      break;
+    case PredictorSpec::Type::kBorgDefault:
+      node.phi = spec.phi;
+      break;
+    case PredictorSpec::Type::kRcLike:
+      node.percentile = spec.percentile;
+      node.min_num_samples = spec.config.min_num_samples;
+      node.window_group = AddWindowGroup(spec.config.max_num_samples);
+      break;
+    case PredictorSpec::Type::kAutopilot:
+      node.percentile = spec.percentile;
+      node.margin = spec.margin;
+      node.min_num_samples = spec.config.min_num_samples;
+      node.window_group = AddWindowGroup(spec.config.max_num_samples);
+      break;
+    case PredictorSpec::Type::kNSigma:
+      node.n_sigma = spec.n_sigma;
+      node.min_num_samples = spec.config.min_num_samples;
+      node.agg_group = AddAggGroup(spec.config.min_num_samples, spec.config.max_num_samples);
+      break;
+    case PredictorSpec::Type::kMax:
+      node.components.reserve(spec.components.size());
+      for (const PredictorSpec& component : spec.components) {
+        node.components.push_back(AddNode(component));
+      }
+      break;
+  }
+  nodes_.push_back(std::move(node));
+  node_specs_.push_back(spec);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int SweepPlan::AddWindowGroup(int capacity) {
+  for (size_t i = 0; i < window_groups_.size(); ++i) {
+    if (window_groups_[i].capacity == capacity) {
+      return static_cast<int>(i);
+    }
+  }
+  window_groups_.push_back(WindowGroup{capacity});
+  return static_cast<int>(window_groups_.size()) - 1;
+}
+
+int SweepPlan::AddAggGroup(Interval min_num_samples, int capacity) {
+  for (size_t i = 0; i < agg_groups_.size(); ++i) {
+    if (agg_groups_[i].min_num_samples == min_num_samples &&
+        agg_groups_[i].capacity == capacity) {
+      return static_cast<int>(i);
+    }
+  }
+  agg_groups_.push_back(AggGroup{min_num_samples, capacity});
+  return static_cast<int>(agg_groups_.size()) - 1;
+}
+
+void SweepBank::Attach(const SweepPlan* plan) {
+  CRF_CHECK(plan != nullptr);
+  plan_ = plan;
+
+  window_groups_.clear();
+  window_groups_.resize(plan->window_groups().size());
+
+  agg_windows_.clear();
+  agg_windows_.reserve(plan->agg_groups().size());
+  for (const SweepPlan::AggGroup& group : plan->agg_groups()) {
+    agg_windows_.emplace_back(group.capacity);
+  }
+  const size_t num_agg = plan->agg_groups().size();
+  agg_warmed_.assign(num_agg, 0.0);
+  agg_warming_limit_.assign(num_agg, 0.0);
+  agg_mean_.assign(num_agg, 0.0);
+  agg_stddev_.assign(num_agg, 0.0);
+
+  per_task_nodes_.clear();
+  for (int n = 0; n < plan->num_nodes(); ++n) {
+    const SweepPlan::Node& node = plan->nodes()[n];
+    if (node.type == PredictorSpec::Type::kRcLike ||
+        node.type == PredictorSpec::Type::kAutopilot) {
+      per_task_nodes_.push_back(n);
+    }
+  }
+
+  node_values_.assign(plan->num_nodes(), 0.0);
+  spec_predictions_.assign(plan->num_specs(), 0.0);
+
+  roster_ids_.clear();
+  samples_seen_.clear();
+}
+
+void SweepBank::BeginMachine() {
+  CRF_CHECK(plan_ != nullptr);
+  roster_ids_.clear();
+  samples_seen_.clear();
+  for (WindowGroupState& group : window_groups_) {
+    // Return every live window to the pool; Clear keeps their storage.
+    for (int32_t w : group.slot_window) {
+      group.windows[w].Clear();
+      group.free_list.push_back(w);
+    }
+    group.slot_window.clear();
+  }
+  for (AggregateWindow& window : agg_windows_) {
+    window.Reset();
+  }
+  std::fill(node_values_.begin(), node_values_.end(), 0.0);
+  std::fill(spec_predictions_.begin(), spec_predictions_.end(), 0.0);
+}
+
+int32_t SweepBank::AllocWindow(WindowGroupState& group, int capacity) {
+  if (!group.free_list.empty()) {
+    const int32_t w = group.free_list.back();
+    group.free_list.pop_back();
+    return w;  // Pooled windows are Clear()ed on release and share capacity.
+  }
+  group.windows.emplace_back(capacity);
+  return static_cast<int32_t>(group.windows.size()) - 1;
+}
+
+void SweepBank::RebuildRoster(std::span<const TaskSample> tasks) {
+  // Carry surviving tasks' state over by id; departed tasks' windows return
+  // to the pool and their warm-up progress is dropped (re-arrival of the
+  // same id restarts warm-up, matching the standalone predictors).
+  std::unordered_map<TaskId, size_t> carried;
+  carried.reserve(roster_ids_.size());
+  for (size_t i = 0; i < roster_ids_.size(); ++i) {
+    carried.emplace(roster_ids_[i], i);
+  }
+
+  rebuild_ids_.resize(tasks.size());
+  rebuild_seen_.resize(tasks.size());
+  rebuild_slots_.resize(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    rebuild_ids_[i] = tasks[i].task_id;
+    const auto it = carried.find(tasks[i].task_id);
+    if (it != carried.end()) {
+      rebuild_seen_[i] = samples_seen_[it->second];
+      rebuild_slots_[i] = static_cast<int32_t>(it->second);
+      carried.erase(it);  // A duplicated id gets one carry, then fresh state.
+    } else {
+      rebuild_seen_[i] = 0;
+      rebuild_slots_[i] = -1;
+    }
+  }
+
+  rebuild_slot_carried_.assign(roster_ids_.size(), 0);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (rebuild_slots_[i] >= 0) {
+      rebuild_slot_carried_[rebuild_slots_[i]] = 1;
+    }
+  }
+
+  for (size_t g = 0; g < window_groups_.size(); ++g) {
+    WindowGroupState& group = window_groups_[g];
+    const int capacity = plan_->window_groups()[g].capacity;
+    // Departed slots release their windows first so a same-interval
+    // departure+arrival reuses the freed storage.
+    for (size_t s = 0; s < group.slot_window.size(); ++s) {
+      if (!rebuild_slot_carried_[s]) {
+        group.windows[group.slot_window[s]].Clear();
+        group.free_list.push_back(group.slot_window[s]);
+      }
+    }
+    std::vector<int32_t> new_slot_window(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      new_slot_window[i] = rebuild_slots_[i] >= 0 ? group.slot_window[rebuild_slots_[i]]
+                                                  : AllocWindow(group, capacity);
+    }
+    group.slot_window = std::move(new_slot_window);
+  }
+
+  roster_ids_ = rebuild_ids_;
+  samples_seen_ = rebuild_seen_;
+}
+
+void SweepBank::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
+  CRF_CHECK(plan_ != nullptr);
+
+  bool roster_matches = roster_ids_.size() == tasks.size();
+  if (roster_matches) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (roster_ids_[i] != tasks[i].task_id) {
+        roster_matches = false;
+        break;
+      }
+    }
+  }
+  if (!roster_matches) {
+    RebuildRoster(tasks);
+  }
+
+  const std::vector<SweepPlan::Node>& nodes = plan_->nodes();
+
+  double usage_now = 0.0;
+  double limit_sum = 0.0;
+  for (const int n : per_task_nodes_) {
+    node_values_[n] = 0.0;
+  }
+  std::fill(agg_warmed_.begin(), agg_warmed_.end(), 0.0);
+  std::fill(agg_warming_limit_.begin(), agg_warming_limit_.end(), 0.0);
+
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const TaskSample& sample = tasks[i];
+    usage_now += sample.usage;
+    limit_sum += sample.limit;
+    const Interval seen = ++samples_seen_[i];
+
+    // One window push per distinct history length serves every percentile
+    // query against that window.
+    for (WindowGroupState& group : window_groups_) {
+      group.windows[group.slot_window[i]].Push(static_cast<float>(sample.usage));
+    }
+
+    for (const int n : per_task_nodes_) {
+      const SweepPlan::Node& node = nodes[n];
+      // size() >= min ⟺ seen >= min: the window holds min(seen, capacity)
+      // samples and min_num_samples <= capacity by construction.
+      if (seen >= node.min_num_samples) {
+        const WindowGroupState& group = window_groups_[node.window_group];
+        const double percentile = group.windows[group.slot_window[i]].Percentile(node.percentile);
+        node_values_[n] += node.type == PredictorSpec::Type::kAutopilot
+                               ? std::min(sample.limit, node.margin * percentile)
+                               : percentile;
+      } else {
+        node_values_[n] += sample.limit;  // Warm-up: represent by the limit.
+      }
+    }
+
+    for (size_t g = 0; g < agg_windows_.size(); ++g) {
+      if (seen >= plan_->agg_groups()[g].min_num_samples) {
+        agg_warmed_[g] += sample.usage;
+      } else {
+        agg_warming_limit_[g] += sample.limit;
+      }
+    }
+  }
+
+  for (size_t g = 0; g < agg_windows_.size(); ++g) {
+    agg_windows_[g].Push(agg_warmed_[g]);
+    // Mean before Stddev: Stddev may refresh the running moments, and the
+    // published mean must be the one the variance was computed against
+    // (mirrors NSigmaPredictor::Observe).
+    agg_mean_[g] = agg_windows_[g].Mean();
+    agg_stddev_[g] = agg_windows_[g].Stddev();
+  }
+
+  for (int n = 0; n < plan_->num_nodes(); ++n) {
+    const SweepPlan::Node& node = nodes[n];
+    switch (node.type) {
+      case PredictorSpec::Type::kLimitSum:
+        node_values_[n] = limit_sum;  // Unclamped, like LimitSumPredictor.
+        break;
+      case PredictorSpec::Type::kBorgDefault:
+        node_values_[n] = ClampPrediction(node.phi * limit_sum, usage_now, limit_sum);
+        break;
+      case PredictorSpec::Type::kRcLike:
+      case PredictorSpec::Type::kAutopilot:
+        node_values_[n] = ClampPrediction(node_values_[n], usage_now, limit_sum);
+        break;
+      case PredictorSpec::Type::kNSigma:
+        node_values_[n] =
+            ClampPrediction(agg_mean_[node.agg_group] +
+                                node.n_sigma * agg_stddev_[node.agg_group] +
+                                agg_warming_limit_[node.agg_group],
+                            usage_now, limit_sum);
+        break;
+      case PredictorSpec::Type::kMax: {
+        double peak = 0.0;  // MaxPredictor folds from 0.0.
+        for (const int c : node.components) {
+          peak = std::max(peak, node_values_[c]);
+        }
+        node_values_[n] = peak;
+        break;
+      }
+    }
+  }
+
+  for (int s = 0; s < plan_->num_specs(); ++s) {
+    spec_predictions_[s] = node_values_[plan_->spec_node(s)];
+  }
+}
+
+}  // namespace crf

@@ -1,45 +1,45 @@
-// Bounded per-task usage history with O(log n + n_window) percentile access.
+// Bounded per-task usage history with O(log n) percentile access.
 //
 // The node agent "only maintains a moving window storing the most recent
-// samples" per task (Section 4). TaskHistory is that window: a ring buffer
-// of the last `capacity` samples plus a sorted mirror kept incrementally, so
-// the RC-like predictor's per-poll percentile is a single interpolation
-// instead of a sort.
+// samples" per task (Section 4). TaskHistory is that window, backed by the
+// Fenwick-indexed chunked IndexableWindow: pushes cost a chunk insert plus a
+// Fenwick point update instead of an O(window) sorted-vector memmove, the
+// RC-like predictor's per-poll percentile is two rank selections and one
+// interpolation, and the mean is a running sum. Non-finite samples are
+// rejected at Push (a NaN would silently corrupt the ordered index and only
+// trip the eviction check a full window later).
 
 #ifndef CRF_CORE_TASK_HISTORY_H_
 #define CRF_CORE_TASK_HISTORY_H_
 
-#include <cstdint>
-#include <vector>
+#include "crf/core/indexable_window.h"
 
 namespace crf {
 
 class TaskHistory {
  public:
-  explicit TaskHistory(int capacity);
+  explicit TaskHistory(int capacity) : window_(capacity) {}
 
-  // Appends a sample, evicting the oldest if the window is full.
-  void Push(float sample);
+  // Appends a sample, evicting the oldest if the window is full. The sample
+  // must be finite.
+  void Push(float sample) { window_.Push(sample); }
 
-  int size() const { return static_cast<int>(ring_.size()); }
-  int capacity() const { return capacity_; }
-  bool empty() const { return ring_.empty(); }
+  int size() const { return window_.size(); }
+  int capacity() const { return window_.capacity(); }
+  bool empty() const { return window_.empty(); }
 
   // Percentile p in [0, 100] over the window, linear interpolation.
   // Requires a non-empty window.
-  double Percentile(double p) const;
+  double Percentile(double p) const { return window_.Percentile(p); }
 
   // Mean over the window; 0 when empty.
-  double Mean() const;
+  double Mean() const { return window_.Mean(); }
 
   // Newest sample; requires non-empty.
-  float Latest() const;
+  float Latest() const { return window_.Latest(); }
 
  private:
-  int capacity_;
-  int head_ = 0;  // Index of the oldest sample once the ring is full.
-  std::vector<float> ring_;
-  std::vector<float> sorted_;
+  IndexableWindow window_;
 };
 
 }  // namespace crf

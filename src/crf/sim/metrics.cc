@@ -39,6 +39,18 @@ double SimResult::MeanCellSavings() const {
   return sum / static_cast<double>(cell_savings_series.size());
 }
 
+std::vector<double> CellSavingsSeries(std::span<const double> cell_limit,
+                                      std::span<const double> cell_prediction) {
+  std::vector<double> series;
+  series.reserve(cell_limit.size());
+  for (size_t t = 0; t < cell_limit.size(); ++t) {
+    if (cell_limit[t] > 0.0) {
+      series.push_back((cell_limit[t] - cell_prediction[t]) / cell_limit[t]);
+    }
+  }
+  return series;
+}
+
 double SimResult::MeanViolationRate() const {
   if (machines.empty()) {
     return 0.0;

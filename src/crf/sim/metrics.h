@@ -11,6 +11,7 @@
 #ifndef CRF_SIM_METRICS_H_
 #define CRF_SIM_METRICS_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,13 @@ struct SimResult {
   // Mean per-machine violation rate.
   double MeanViolationRate() const;
 };
+
+// Builds the per-interval cell-level savings series (sum L - sum P) / sum L
+// from aggregated per-interval limit and prediction series, skipping
+// intervals where the cell holds no tasks (zero limit). Shared by
+// SimulateCell and SimulateCellMulti so both aggregate identically.
+std::vector<double> CellSavingsSeries(std::span<const double> cell_limit,
+                                      std::span<const double> cell_prediction);
 
 }  // namespace crf
 

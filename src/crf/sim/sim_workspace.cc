@@ -12,6 +12,14 @@ PeakPredictor* SimWorkspace::GetPredictor(const PredictorSpec& spec) {
   return predictor_.get();
 }
 
+SweepBank& SimWorkspace::GetSweepBank(const SweepPlan& plan) {
+  if (sweep_plan_id_ != plan.id()) {
+    sweep_bank_.Attach(&plan);
+    sweep_plan_id_ = plan.id();
+  }
+  return sweep_bank_;
+}
+
 SimWorkspace& SimWorkspace::ThreadLocal() {
   static thread_local SimWorkspace workspace;
   return workspace;

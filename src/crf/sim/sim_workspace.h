@@ -10,11 +10,13 @@
 #ifndef CRF_SIM_SIM_WORKSPACE_H_
 #define CRF_SIM_SIM_WORKSPACE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
+#include "crf/core/sweep_bank.h"
 
 namespace crf {
 
@@ -31,10 +33,23 @@ struct SimWorkspace {
   std::vector<int32_t> active;
   std::vector<TaskSample> samples;
 
+  // Per-spec accumulators for the multi-spec engine, sized to the plan's
+  // spec count by SimulateMachineMulti.
+  std::vector<int64_t> multi_violations;
+  std::vector<double> multi_severity;
+  std::vector<double> multi_savings;
+  std::vector<double> multi_prediction_sum;
+
   // Returns a predictor for `spec`, reusing (via Reset) the previous
   // instance when the spec is unchanged — the common case when sweeping one
   // spec across all machines of a cell.
   PeakPredictor* GetPredictor(const PredictorSpec& spec);
+
+  // Returns the thread's sweep bank attached to `plan`, re-attaching only
+  // when the plan changed (detected by plan id, robust to address reuse).
+  // The common case — every machine of a SimulateCellMulti call — is a
+  // no-op returning the already-attached bank.
+  SweepBank& GetSweepBank(const SweepPlan& plan);
 
   // The calling thread's workspace (one per thread, lazily created).
   static SimWorkspace& ThreadLocal();
@@ -42,6 +57,8 @@ struct SimWorkspace {
  private:
   std::unique_ptr<PeakPredictor> predictor_;
   PredictorSpec predictor_spec_;
+  SweepBank sweep_bank_;
+  uint64_t sweep_plan_id_ = 0;  // 0 = never attached; real ids start at 1.
 };
 
 }  // namespace crf

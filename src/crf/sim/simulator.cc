@@ -27,41 +27,31 @@ Interval DepartureTime(const TaskTrace& task) {
   return std::max(task.end(), task.start + 1);
 }
 
-}  // namespace
-
-MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
-                               const PredictorSpec& spec, const SimOptions& options,
-                               std::vector<double>* cell_limit,
-                               std::vector<double>* cell_prediction) {
-  const Interval num_intervals = cell.num_intervals;
-  SimWorkspace& ws = SimWorkspace::ThreadLocal();
-
-  // The oracle depends only on (cell, machine, horizon, kind): take the
-  // shared memoized series when a cache is supplied, otherwise compute into
-  // the workspace buffers.
+// The oracle depends only on (cell, machine, horizon, kind): take the shared
+// memoized series when a cache is supplied, otherwise compute into the
+// workspace buffers. `cached` keeps the memo alive for the caller's pass.
+std::span<const double> FetchOracle(const CellTrace& cell, int machine_index,
+                                    const SimOptions& options, SimWorkspace& ws,
+                                    OracleCache::Series& cached) {
   const OracleKind kind =
       options.use_total_usage_oracle ? OracleKind::kTotalUsage : OracleKind::kPeak;
-  OracleCache::Series cached;
-  std::span<const double> oracle;
   if (options.oracle_cache != nullptr) {
     cached = options.oracle_cache->GetOrCompute(cell, machine_index, options.horizon, kind);
-    oracle = *cached;
-  } else {
-    if (options.use_total_usage_oracle) {
-      ComputeTotalUsageOracleInto(cell, machine_index, options.horizon, ws.oracle_scratch,
-                                  ws.oracle);
-    } else {
-      ComputePeakOracleInto(cell, machine_index, options.horizon, ws.oracle_scratch,
-                            ws.oracle);
-    }
-    oracle = ws.oracle;
+    return *cached;
   }
+  if (options.use_total_usage_oracle) {
+    ComputeTotalUsageOracleInto(cell, machine_index, options.horizon, ws.oracle_scratch,
+                                ws.oracle);
+  } else {
+    ComputePeakOracleInto(cell, machine_index, options.horizon, ws.oracle_scratch, ws.oracle);
+  }
+  return ws.oracle;
+}
 
-  PeakPredictor* predictor = ws.GetPredictor(spec);
-
-  // Event lists: arrivals by start, departures by departure time. The
-  // resident set and its limit sum then evolve incrementally — per-interval
-  // work is only the sample fill, with no rescans on event-free intervals.
+// Event lists: arrivals by start, departures by departure time. The resident
+// set and its limit sum then evolve incrementally — per-interval work is
+// only the sample fill, with no rescans on event-free intervals.
+void BuildEventLists(const CellTrace& cell, int machine_index, SimWorkspace& ws) {
   const std::vector<int32_t>& task_indices = cell.machines[machine_index].task_indices;
   ws.arrivals.assign(task_indices.begin(), task_indices.end());
   std::sort(ws.arrivals.begin(), ws.arrivals.end(), [&cell](int32_t a, int32_t b) {
@@ -71,6 +61,23 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
   std::sort(ws.departures.begin(), ws.departures.end(), [&cell](int32_t a, int32_t b) {
     return DepartureTime(cell.tasks[a]) < DepartureTime(cell.tasks[b]);
   });
+}
+
+}  // namespace
+
+MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
+                               const PredictorSpec& spec, const SimOptions& options,
+                               std::vector<double>* cell_limit,
+                               std::vector<double>* cell_prediction) {
+  const Interval num_intervals = cell.num_intervals;
+  SimWorkspace& ws = SimWorkspace::ThreadLocal();
+
+  OracleCache::Series cached;
+  const std::span<const double> oracle = FetchOracle(cell, machine_index, options, ws, cached);
+
+  PeakPredictor* predictor = ws.GetPredictor(spec);
+
+  BuildEventLists(cell, machine_index, ws);
 
   MachineMetrics metrics;
   metrics.machine_index = machine_index;
@@ -203,14 +210,200 @@ SimResult SimulateCell(const CellTrace& cell, const PredictorSpec& spec,
     }
   }
 
-  result.cell_savings_series.reserve(num_intervals);
-  for (Interval t = 0; t < num_intervals; ++t) {
-    if (cell_limit[t] > 0.0) {
-      result.cell_savings_series.push_back((cell_limit[t] - cell_prediction[t]) /
-                                           cell_limit[t]);
+  result.cell_savings_series = CellSavingsSeries(cell_limit, cell_prediction);
+  return result;
+}
+
+namespace {
+
+// One machine, whole grid: the multi-spec twin of SimulateMachine. Walks the
+// trace once; the SweepBank answers every spec per interval. Writes
+// results[s].machines[machine_index] for each spec and accumulates the
+// machine's per-interval limit sum (shared — it is spec-independent) and
+// per-spec predictions into the caller's series.
+void SimulateMachineMulti(const CellTrace& cell, int machine_index, const SweepPlan& plan,
+                          const SimOptions& options, std::span<SimResult> results,
+                          std::vector<double>* cell_limit,
+                          std::vector<std::vector<double>>* cell_predictions) {
+  const Interval num_intervals = cell.num_intervals;
+  const int num_specs = plan.num_specs();
+  SimWorkspace& ws = SimWorkspace::ThreadLocal();
+
+  OracleCache::Series cached;
+  const std::span<const double> oracle = FetchOracle(cell, machine_index, options, ws, cached);
+
+  SweepBank& bank = ws.GetSweepBank(plan);
+  bank.BeginMachine();
+
+  BuildEventLists(cell, machine_index, ws);
+
+  std::vector<int32_t>& active = ws.active;
+  std::vector<TaskSample>& samples = ws.samples;
+  active.clear();
+  samples.clear();
+
+  ws.multi_violations.assign(num_specs, 0);
+  ws.multi_severity.assign(num_specs, 0.0);
+  ws.multi_savings.assign(num_specs, 0.0);
+  ws.multi_prediction_sum.assign(num_specs, 0.0);
+  int64_t occupied_intervals = 0;
+  double limit_sum_total = 0.0;
+
+  size_t next_arrival = 0;
+  size_t next_departure = 0;
+  double limit_sum = 0.0;
+
+  for (Interval tau = 0; tau < num_intervals; ++tau) {
+    // Retire departed tasks (event-driven: the compaction scan runs only on
+    // intervals where a departure actually occurs).
+    if (next_departure < ws.departures.size() &&
+        DepartureTime(cell.tasks[ws.departures[next_departure]]) <= tau) {
+      while (next_departure < ws.departures.size() &&
+             DepartureTime(cell.tasks[ws.departures[next_departure]]) <= tau) {
+        limit_sum -= cell.tasks[ws.departures[next_departure]].limit;
+        ++next_departure;
+      }
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&cell, tau](int32_t i) {
+                                    return DepartureTime(cell.tasks[i]) <= tau;
+                                  }),
+                   active.end());
+    }
+    // Admit arrivals.
+    while (next_arrival < ws.arrivals.size() &&
+           cell.tasks[ws.arrivals[next_arrival]].start <= tau) {
+      const int32_t index = ws.arrivals[next_arrival++];
+      active.push_back(index);
+      limit_sum += cell.tasks[index].limit;
+    }
+    if (active.empty()) {
+      limit_sum = 0.0;  // Kill incremental drift; the true sum is exactly 0.
+    }
+
+    samples.clear();
+    for (const int32_t task_index : active) {
+      const TaskTrace& task = cell.tasks[task_index];
+      samples.push_back({task.task_id, task.UsageAt(tau), task.limit});
+    }
+
+    bank.Observe(tau, samples);
+    const std::span<const double> predictions = bank.Predictions();
+    const double oracle_value = oracle[tau];
+    const bool occupied = !active.empty();
+    if (occupied) {
+      ++occupied_intervals;
+    }
+    limit_sum_total += limit_sum;
+    if (cell_limit != nullptr) {
+      (*cell_limit)[tau] += limit_sum;
+    }
+
+    for (int s = 0; s < num_specs; ++s) {
+      const double prediction = predictions[s];
+      if (IsViolation(prediction, oracle_value)) {
+        ++ws.multi_violations[s];
+        ws.multi_severity[s] += (oracle_value - prediction) / oracle_value;
+      }
+      if (occupied) {
+        ws.multi_savings[s] += (limit_sum - prediction) / limit_sum;
+      }
+      ws.multi_prediction_sum[s] += prediction;
+      if (cell_predictions != nullptr) {
+        (*cell_predictions)[s][tau] += prediction;
+      }
     }
   }
-  return result;
+
+  for (int s = 0; s < num_specs; ++s) {
+    MachineMetrics& metrics = results[s].machines[machine_index];
+    metrics.machine_index = machine_index;
+    metrics.intervals = num_intervals;
+    metrics.occupied_intervals = occupied_intervals;
+    metrics.violations = ws.multi_violations[s];
+    if (num_intervals > 0) {
+      metrics.mean_violation_severity = ws.multi_severity[s] / num_intervals;
+      metrics.mean_prediction = ws.multi_prediction_sum[s] / num_intervals;
+      metrics.mean_limit = limit_sum_total / num_intervals;
+    }
+    if (occupied_intervals > 0) {
+      metrics.savings_ratio = ws.multi_savings[s] / static_cast<double>(occupied_intervals);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SimResult> SimulateCellMulti(const CellTrace& cell,
+                                         std::span<const PredictorSpec> specs,
+                                         const SimOptions& options) {
+  CRF_CHECK_GT(cell.num_intervals, 0);
+  if (specs.empty()) {
+    return {};
+  }
+  const SweepPlan plan(specs);
+  const int num_specs = plan.num_specs();
+  const int num_machines = static_cast<int>(cell.machines.size());
+  const Interval num_intervals = cell.num_intervals;
+
+  std::vector<SimResult> results(num_specs);
+  for (int s = 0; s < num_specs; ++s) {
+    results[s].cell_name = cell.name;
+    results[s].predictor_name = specs[s].Name();
+    results[s].machines.resize(num_machines);
+  }
+
+  // Per-thread partial series, reduced once after the join. The limit series
+  // is spec-independent, so one per slot; predictions get one per (slot,
+  // spec).
+  ThreadPool& pool = ThreadPool::Default();
+  const int slots = options.parallel ? pool.num_threads() : 1;
+  std::vector<std::vector<double>> limit_slots(slots);
+  std::vector<std::vector<std::vector<double>>> prediction_slots(slots);
+
+  const std::span<SimResult> results_span(results);
+  auto run_machine = [&](int slot, int m) {
+    std::vector<double>& limit = limit_slots[slot];
+    std::vector<std::vector<double>>& predictions = prediction_slots[slot];
+    if (limit.empty()) {
+      limit.assign(num_intervals, 0.0);
+      predictions.assign(num_specs, std::vector<double>(num_intervals, 0.0));
+    }
+    SimulateMachineMulti(cell, m, plan, options, results_span, &limit, &predictions);
+  };
+
+  if (options.parallel) {
+    pool.ParallelForIndexed(num_machines, run_machine);
+  } else {
+    for (int m = 0; m < num_machines; ++m) {
+      run_machine(0, m);
+    }
+  }
+
+  std::vector<double> cell_limit(num_intervals, 0.0);
+  std::vector<double> cell_prediction(num_intervals, 0.0);
+  for (int s = 0; s < num_specs; ++s) {
+    std::fill(cell_prediction.begin(), cell_prediction.end(), 0.0);
+    if (s == 0) {
+      for (int slot = 0; slot < slots; ++slot) {
+        if (limit_slots[slot].empty()) {
+          continue;
+        }
+        for (Interval t = 0; t < num_intervals; ++t) {
+          cell_limit[t] += limit_slots[slot][t];
+        }
+      }
+    }
+    for (int slot = 0; slot < slots; ++slot) {
+      if (prediction_slots[slot].empty()) {
+        continue;
+      }
+      for (Interval t = 0; t < num_intervals; ++t) {
+        cell_prediction[t] += prediction_slots[slot][s][t];
+      }
+    }
+    results[s].cell_savings_series = CellSavingsSeries(cell_limit, cell_prediction);
+  }
+  return results;
 }
 
 }  // namespace crf

@@ -19,6 +19,9 @@
 #ifndef CRF_SIM_SIMULATOR_H_
 #define CRF_SIM_SIMULATOR_H_
 
+#include <span>
+#include <vector>
+
 #include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
 #include "crf/sim/metrics.h"
@@ -48,6 +51,18 @@ struct SimOptions {
 // per-machine state only.
 SimResult SimulateCell(const CellTrace& cell, const PredictorSpec& spec,
                        const SimOptions& options = {});
+
+// Runs a whole predictor grid over `cell` in ONE trace pass per machine,
+// returning one SimResult per spec (input order), each matching what the
+// corresponding SimulateCell call would produce. A SweepBank (see
+// crf/core/sweep_bank.h) shares per-task percentile windows, aggregate
+// moments, and the per-interval limit sum across all sweep points, so the
+// per-machine cost is one trace walk plus one cheap query per spec instead
+// of |specs| independent walks with |specs| copies of the window state.
+// This is the engine behind the paper's parameter sweeps (Figs 8-10).
+std::vector<SimResult> SimulateCellMulti(const CellTrace& cell,
+                                         std::span<const PredictorSpec> specs,
+                                         const SimOptions& options = {});
 
 // Simulates a single machine; exposed for tests and custom drivers.
 // `cell_limit` / `cell_prediction`, when non-null, accumulate the machine's

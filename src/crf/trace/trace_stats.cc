@@ -83,30 +83,45 @@ std::vector<double> TaskLevelFuturePeakSum(const CellTrace& cell, Interval horiz
 }
 
 Ecdf PercentileSumPeakErrorCdf(const CellTrace& cell, int percentile, int stride) {
+  return PercentileSumPeakErrorCdfs(cell, std::span(&percentile, 1), stride)[0];
+}
+
+std::vector<Ecdf> PercentileSumPeakErrorCdfs(const CellTrace& cell,
+                                             std::span<const int> percentiles, int stride) {
   CRF_CHECK_GE(stride, 1);
-  Ecdf cdf;
+  const size_t num_percentiles = percentiles.size();
+  std::vector<Ecdf> cdfs(num_percentiles);
+  std::vector<std::vector<double>> approx(num_percentiles);
   for (size_t m = 0; m < cell.machines.size(); ++m) {
     const MachineTrace& machine = cell.machines[m];
     CRF_CHECK_EQ(machine.true_peak.size(), static_cast<size_t>(cell.num_intervals))
         << "machine true_peak missing; generate the trace first";
-    std::vector<double> approx(cell.num_intervals, 0.0);
+    for (std::vector<double>& series : approx) {
+      series.assign(cell.num_intervals, 0.0);
+    }
     for (const int32_t task_index : machine.task_indices) {
       const TaskTrace& task = cell.tasks[task_index];
       CRF_CHECK_EQ(task.rich.size(), task.usage.size())
-          << "PercentileSumPeakErrorCdf requires rich_stats traces";
+          << "PercentileSumPeakErrorCdfs requires rich_stats traces";
       const Interval end = std::min(task.end(), cell.num_intervals);
       for (Interval t = task.start; t < end; ++t) {
-        approx[t] += task.rich[t - task.start].AtPercentile(percentile);
+        // One rich-stats row load answers the whole percentile grid.
+        const auto& row = task.rich[t - task.start];
+        for (size_t p = 0; p < num_percentiles; ++p) {
+          approx[p][t] += row.AtPercentile(percentiles[p]);
+        }
       }
     }
     for (Interval t = 0; t < cell.num_intervals; t += stride) {
       const double actual = machine.true_peak[t];
       if (actual > 1e-9) {
-        cdf.Add((approx[t] - actual) / actual);
+        for (size_t p = 0; p < num_percentiles; ++p) {
+          cdfs[p].Add((approx[p][t] - actual) / actual);
+        }
       }
     }
   }
-  return cdf;
+  return cdfs;
 }
 
 }  // namespace crf

@@ -4,6 +4,7 @@
 #ifndef CRF_TRACE_TRACE_STATS_H_
 #define CRF_TRACE_TRACE_STATS_H_
 
+#include <span>
 #include <vector>
 
 #include "crf/stats/ecdf.h"
@@ -37,6 +38,16 @@ std::vector<double> TaskLevelFuturePeakSum(const CellTrace& cell, Interval horiz
 // `p` (p in {50,60,70,80,90,95,99,100}) and actual_peak is the machine's
 // ground-truth within-interval peak. Requires rich stats. Fig 6.
 Ecdf PercentileSumPeakErrorCdf(const CellTrace& cell, int percentile, int stride = 4);
+
+// One-pass grid variant: the error CDFs for every percentile in
+// `percentiles` (result order matches input order) from a single walk of the
+// trace — each task-interval's rich stats row is loaded once and queried for
+// all percentiles, instead of re-walking the whole cell per percentile as
+// repeated PercentileSumPeakErrorCdf calls would. Fig 6 runs its whole
+// percentile grid through this.
+std::vector<Ecdf> PercentileSumPeakErrorCdfs(const CellTrace& cell,
+                                             std::span<const int> percentiles,
+                                             int stride = 4);
 
 }  // namespace crf
 

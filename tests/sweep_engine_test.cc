@@ -1,0 +1,302 @@
+// The multi-spec sweep engine against its per-spec reference.
+//
+//  * IndexableWindow (the Fenwick-indexed chunked window under TaskHistory
+//    and the sweep bank) is pinned property-style to a naive sorted-vector
+//    window under random pushes, across capacities from 1 to well past the
+//    chunk-split size.
+//  * SweepPlan's node/group deduplication is checked structurally.
+//  * SimulateCellMulti over a mixed grid — borg phis, RC-like percentiles,
+//    N-sigma Ns, autopilot, nested max specs, varied warm-up/history
+//    including min == max, and a duplicated spec — must match per-spec
+//    SimulateCell machine by machine: exactly for the integer counters,
+//    within 1e-9 relative for the floating-point aggregates. Both a dense
+//    low-churn cell and a churn-heavy cell, on the serial and the
+//    parallel-with-oracle-cache paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "crf/core/indexable_window.h"
+#include "crf/core/predictor_factory.h"
+#include "crf/core/sweep_bank.h"
+#include "crf/sim/simulator.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+// ----- IndexableWindow vs a naive sorted-vector reference. -----
+
+// The old TaskHistory implementation, kept as the behavioural reference:
+// bounded deque in arrival order, full sort per percentile query.
+class ReferenceWindow {
+ public:
+  explicit ReferenceWindow(int capacity) : capacity_(capacity) {}
+
+  void Push(float sample) {
+    if (static_cast<int>(samples_.size()) == capacity_) {
+      samples_.pop_front();
+    }
+    samples_.push_back(sample);
+  }
+
+  int size() const { return static_cast<int>(samples_.size()); }
+
+  double Percentile(double p) const {
+    std::vector<float> sorted(samples_.begin(), samples_.end());
+    std::sort(sorted.begin(), sorted.end());
+    const int count = static_cast<int>(sorted.size());
+    if (count == 1) {
+      return sorted[0];
+    }
+    const double rank = p / 100.0 * static_cast<double>(count - 1);
+    const int lo = static_cast<int>(rank);
+    const int hi = std::min(lo + 1, count - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+  double Mean() const {
+    double sum = 0.0;
+    for (const float v : samples_) {
+      sum += v;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  float Latest() const { return samples_.back(); }
+
+ private:
+  int capacity_;
+  std::deque<float> samples_;
+};
+
+TEST(IndexableWindowTest, MatchesSortedVectorReference) {
+  const int capacities[] = {1, 2, 3, 7, 63, 64, 65, 200, 600};
+  const double percentiles[] = {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0};
+  for (const int capacity : capacities) {
+    SCOPED_TRACE(::testing::Message() << "capacity=" << capacity);
+    Rng rng(7000 + static_cast<uint64_t>(capacity));
+    IndexableWindow window(capacity);
+    ReferenceWindow reference(capacity);
+    const int pushes = std::max(300, 4 * capacity);  // Well past one wrap.
+    for (int i = 0; i < pushes; ++i) {
+      // Quantize some samples so duplicates (possibly spanning chunk
+      // boundaries) are common.
+      const float sample = rng.UniformDouble() < 0.5
+                               ? static_cast<float>(rng.UniformInt(16)) * 0.25f
+                               : static_cast<float>(rng.UniformDouble());
+      window.Push(sample);
+      reference.Push(sample);
+
+      ASSERT_EQ(window.size(), reference.size());
+      EXPECT_EQ(window.Latest(), reference.Latest());
+      // Same multiset, same interpolation arithmetic: exactly equal.
+      for (const double p : percentiles) {
+        ASSERT_DOUBLE_EQ(window.Percentile(p), reference.Percentile(p))
+            << "push=" << i << " p=" << p;
+      }
+      const double random_p = rng.UniformDouble() * 100.0;
+      ASSERT_DOUBLE_EQ(window.Percentile(random_p), reference.Percentile(random_p))
+          << "push=" << i << " p=" << random_p;
+      // The running sum accumulates in a different order than the reference.
+      const double mean = reference.Mean();
+      EXPECT_NEAR(window.Mean(), mean, 1e-9 * std::max(1.0, std::abs(mean)));
+    }
+  }
+}
+
+TEST(IndexableWindowTest, ClearKeepsCapacityAndResets) {
+  IndexableWindow window(4);
+  for (int i = 0; i < 6; ++i) {
+    window.Push(static_cast<float>(i));
+  }
+  window.Clear();
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.capacity(), 4);
+  EXPECT_EQ(window.Mean(), 0.0);
+  window.Push(2.5f);
+  EXPECT_EQ(window.size(), 1);
+  EXPECT_DOUBLE_EQ(window.Percentile(50.0), 2.5);
+}
+
+TEST(IndexableWindowDeathTest, RejectsNonFiniteSamples) {
+  IndexableWindow window(4);
+  EXPECT_DEATH(window.Push(std::nanf("")), "non-finite");
+  EXPECT_DEATH(window.Push(std::numeric_limits<float>::infinity()), "non-finite");
+}
+
+// ----- The sweep grid shared by the plan and differential tests. -----
+
+std::vector<PredictorSpec> MixedGrid() {
+  return {
+      LimitSumSpec(),
+      BorgDefaultSpec(0.6),
+      BorgDefaultSpec(0.9),
+      RcLikeSpec(50.0, 3, 8),
+      RcLikeSpec(90.0, 3, 8),
+      RcLikeSpec(99.0, 3, 8),
+      RcLikeSpec(95.0, 5, 5),  // min == max warm-up edge
+      RcLikeSpec(99.0, 1, 12),
+      NSigmaSpec(1.0, 3, 8),
+      NSigmaSpec(3.0, 3, 8),
+      NSigmaSpec(5.0, 3, 8),
+      NSigmaSpec(2.0, 5, 5),  // min == max warm-up edge
+      AutopilotSpec(98.0, 1.10, 3, 8),
+      // Components structurally identical to standalone grid points above.
+      MaxSpec({NSigmaSpec(5.0, 3, 8), RcLikeSpec(99.0, 3, 8)}),
+      // Nested max.
+      MaxSpec({BorgDefaultSpec(0.9), MaxSpec({NSigmaSpec(3.0, 3, 8)})}),
+      RcLikeSpec(90.0, 3, 8),  // duplicate of an earlier spec
+  };
+}
+
+TEST(SweepPlanTest, DeduplicatesNodesAndGroups) {
+  const std::vector<PredictorSpec> specs = MixedGrid();
+  const SweepPlan plan(specs);
+
+  ASSERT_EQ(plan.num_specs(), static_cast<int>(specs.size()));
+  // 16 specs -> 16 distinct nodes: the duplicate spec folds away, the outer
+  // max specs add themselves plus one inner max node, and their leaf
+  // components all alias standalone grid points.
+  EXPECT_EQ(plan.num_nodes(), 16);
+  // History lengths {8, 5, 12} -> one per-task window group each.
+  EXPECT_EQ(static_cast<int>(plan.window_groups().size()), 3);
+  // (warm-up, history) pairs {(3,8), (5,5)} -> one aggregate group each.
+  EXPECT_EQ(static_cast<int>(plan.agg_groups().size()), 2);
+
+  // The duplicated spec evaluates through the same node.
+  EXPECT_EQ(plan.spec_node(4), plan.spec_node(15));
+  // Max components alias the standalone nodes.
+  const SweepPlan::Node& sim_max = plan.nodes()[plan.spec_node(13)];
+  ASSERT_EQ(sim_max.components.size(), 2u);
+  EXPECT_EQ(sim_max.components[0], plan.spec_node(10));  // n-sigma(5, 3, 8)
+  EXPECT_EQ(sim_max.components[1], plan.spec_node(5));   // rc-like(99, 3, 8)
+}
+
+// ----- SimulateCellMulti vs per-spec SimulateCell. -----
+
+// Seeded random cell. Dense mode: long-lived tasks, little churn (deep
+// windows, warmed steady state). Churn mode: short tasks arriving throughout
+// (constant roster rebuilds, tasks that never warm up).
+CellTrace MakeCell(uint64_t seed, bool churn) {
+  Rng rng(seed);
+  CellTrace cell;
+  cell.name = churn ? "sweep_churn" : "sweep_dense";
+  cell.num_intervals = churn ? 60 : 80;
+  const int num_machines = 4;
+  cell.machines.resize(num_machines);
+
+  TaskId next_id = 1;
+  for (int m = 0; m < num_machines; ++m) {
+    if (m == num_machines - 1 && !churn) {
+      continue;  // One entirely empty machine in the dense cell.
+    }
+    const int num_tasks = churn ? 24 : 10;
+    for (int i = 0; i < num_tasks; ++i) {
+      TaskTrace task;
+      task.task_id = next_id++;
+      task.job_id = task.task_id;
+      task.machine_index = m;
+      task.limit = 0.05 + rng.UniformDouble() * 0.95;
+      Interval len;
+      if (churn) {
+        task.start = static_cast<Interval>(rng.UniformInt(cell.num_intervals));
+        len = 1 + static_cast<Interval>(rng.UniformInt(6));  // 1..6, incl. single-interval
+      } else {
+        task.start = static_cast<Interval>(rng.UniformInt(8));
+        // Most of the period; some run past the end of the trace.
+        len = cell.num_intervals - task.start - static_cast<Interval>(rng.UniformInt(10)) + 5;
+      }
+      task.usage.resize(len);
+      for (auto& u : task.usage) {
+        u = static_cast<float>(task.limit * rng.UniformDouble());
+      }
+      cell.machines[m].task_indices.push_back(static_cast<int32_t>(cell.tasks.size()));
+      cell.tasks.push_back(std::move(task));
+    }
+  }
+  return cell;
+}
+
+void ExpectNearRel(double actual, double expected, const char* what) {
+  const double tol = 1e-9 * std::max({1.0, std::abs(actual), std::abs(expected)});
+  EXPECT_NEAR(actual, expected, tol) << what;
+}
+
+void ExpectResultMatchesReference(const SimResult& multi, const SimResult& reference) {
+  EXPECT_EQ(multi.cell_name, reference.cell_name);
+  EXPECT_EQ(multi.predictor_name, reference.predictor_name);
+  ASSERT_EQ(multi.machines.size(), reference.machines.size());
+  for (size_t m = 0; m < multi.machines.size(); ++m) {
+    SCOPED_TRACE(::testing::Message() << "machine=" << m);
+    const MachineMetrics& a = multi.machines[m];
+    const MachineMetrics& b = reference.machines[m];
+    EXPECT_EQ(a.machine_index, b.machine_index);
+    EXPECT_EQ(a.intervals, b.intervals);
+    EXPECT_EQ(a.occupied_intervals, b.occupied_intervals);
+    EXPECT_EQ(a.violations, b.violations);
+    ExpectNearRel(a.mean_violation_severity, b.mean_violation_severity, "severity");
+    ExpectNearRel(a.savings_ratio, b.savings_ratio, "savings");
+    ExpectNearRel(a.mean_prediction, b.mean_prediction, "mean_prediction");
+    ExpectNearRel(a.mean_limit, b.mean_limit, "mean_limit");
+  }
+  ASSERT_EQ(multi.cell_savings_series.size(), reference.cell_savings_series.size());
+  for (size_t t = 0; t < multi.cell_savings_series.size(); ++t) {
+    const double tol =
+        1e-9 * std::max(1.0, std::abs(reference.cell_savings_series[t]));
+    EXPECT_NEAR(multi.cell_savings_series[t], reference.cell_savings_series[t], tol)
+        << "t=" << t;
+  }
+}
+
+void RunDifferential(const CellTrace& cell) {
+  const std::vector<PredictorSpec> specs = MixedGrid();
+
+  // Serial paths: deterministic machine order on both sides.
+  SimOptions serial;
+  serial.parallel = false;
+  const std::vector<SimResult> multi_serial = SimulateCellMulti(cell, specs, serial);
+  ASSERT_EQ(multi_serial.size(), specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    SCOPED_TRACE(::testing::Message() << "spec=" << s << " (" << specs[s].Name() << ")");
+    ExpectResultMatchesReference(multi_serial[s], SimulateCell(cell, specs[s], serial));
+  }
+
+  // Parallel with a shared oracle cache, run twice so the second multi pass
+  // exercises the cache-hit and bank-reuse paths end to end.
+  OracleCache cache;
+  SimOptions parallel;
+  parallel.parallel = true;
+  parallel.oracle_cache = &cache;
+  const std::vector<SimResult> multi_parallel = SimulateCellMulti(cell, specs, parallel);
+  const std::vector<SimResult> multi_again = SimulateCellMulti(cell, specs, parallel);
+  EXPECT_GT(cache.hits(), 0);
+  ASSERT_EQ(multi_parallel.size(), specs.size());
+  ASSERT_EQ(multi_again.size(), specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    SCOPED_TRACE(::testing::Message() << "spec=" << s << " (" << specs[s].Name() << ")");
+    ExpectResultMatchesReference(multi_parallel[s], multi_serial[s]);
+    ExpectResultMatchesReference(multi_again[s], multi_serial[s]);
+  }
+}
+
+TEST(SweepEngineDifferentialTest, DenseCellMatchesPerSpecSimulation) {
+  RunDifferential(MakeCell(42, /*churn=*/false));
+}
+
+TEST(SweepEngineDifferentialTest, ChurnHeavyCellMatchesPerSpecSimulation) {
+  RunDifferential(MakeCell(43, /*churn=*/true));
+}
+
+TEST(SweepEngineTest, EmptySpecListYieldsNoResults) {
+  const CellTrace cell = MakeCell(44, /*churn=*/true);
+  EXPECT_TRUE(SimulateCellMulti(cell, {}, SimOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace crf
