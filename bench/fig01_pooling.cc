@@ -21,15 +21,15 @@ using namespace crf::bench; // NOLINT
 int Main() {
   const Context ctx = Init("fig01_pooling", "Fig 1: task-level vs machine-level future peaks");
   const CellTrace cell = MakeSimCell(ctx, 'a', kIntervalsPerWeek);
-  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", cell.machines.size(),
-              cell.tasks.size());
+  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", static_cast<size_t>(cell.num_machines()),
+              static_cast<size_t>(cell.num_tasks()));
 
   const Interval horizon = kIntervalsPerDay;
   const std::vector<double> limit = CellLimitSeries(cell);
   const std::vector<double> task_level = TaskLevelFuturePeakSum(cell, horizon);
 
   std::vector<double> machine_level(cell.num_intervals, 0.0);
-  for (size_t m = 0; m < cell.machines.size(); ++m) {
+  for (size_t m = 0; m < static_cast<size_t>(cell.num_machines()); ++m) {
     const std::vector<double> oracle =
         ComputePeakOracle(cell, static_cast<int>(m), horizon);
     for (Interval t = 0; t < cell.num_intervals; ++t) {

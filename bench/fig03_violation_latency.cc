@@ -54,11 +54,18 @@ int Main() {
       all_p99.push_back(o.p99_latency);
     }
     // Per-task latency samples: machine latency weighted by resident tasks.
-    for (size_t m = 0; m < result.trace.machines.size(); ++m) {
-      const auto resident = result.trace.MachineResidentCount(static_cast<int>(m));
-      for (Interval t = result.warmup; t < result.trace.num_intervals; t += 8) {
-        for (int32_t k = 0; k < resident[t]; k += 4) {
-          latency.Add(result.latencies.at(static_cast<int>(m), t));
+    // The streaming cursor walks each machine once with no per-machine
+    // series allocation.
+    MachineSeriesCursor resident(result.trace);
+    for (int m = 0; m < result.trace.num_machines(); ++m) {
+      resident.Reset(m);
+      while (resident.Next()) {
+        const Interval t = resident.interval();
+        if (t < result.warmup || (t - result.warmup) % 8 != 0) {
+          continue;
+        }
+        for (int32_t k = 0; k < resident.resident(); k += 4) {
+          latency.Add(result.latencies.at(m, t));
         }
       }
     }
@@ -73,7 +80,7 @@ int Main() {
       utilization.Add(usage / capacity);
     }
     std::printf("cell %d: %zu machines, placed %lld tasks, mean violation rate %.4f\n", i,
-                result.trace.machines.size(), static_cast<long long>(result.tasks_placed),
+                static_cast<size_t>(result.trace.num_machines()), static_cast<long long>(result.tasks_placed),
                 violation.mean());
     violation_cdfs.push_back(std::move(violation));
     latency_cdfs.push_back(std::move(latency));

@@ -27,7 +27,7 @@ int Main() {
       cdf.Add(static_cast<double>(arrivals));
     }
     std::printf("cell %c: %zu machines, %zu tasks, mean %.1f tasks/5min\n", letter,
-                cell.machines.size(), cell.tasks.size(), cdf.mean());
+                static_cast<size_t>(cell.num_machines()), static_cast<size_t>(cell.num_tasks()), cdf.mean());
     cdfs.push_back(std::move(cdf));
   }
   for (size_t i = 0; i < cdfs.size(); ++i) {

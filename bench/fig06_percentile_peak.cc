@@ -32,7 +32,7 @@ int Main() {
   gen_options.rich_stats = true;
   const CellTrace cell = GenerateCellTrace(profile, gen_options, ctx.rng().Fork('a'));
   std::printf("cell a: %zu machines, %zu tasks (all classes), rich within-interval stats\n",
-              cell.machines.size(), cell.tasks.size());
+              static_cast<size_t>(cell.num_machines()), static_cast<size_t>(cell.num_tasks()));
 
   // The whole percentile grid in one trace pass: each rich-stats row is
   // loaded once and queried for every percentile.

@@ -53,7 +53,7 @@ void OracleHorizons(const Context& ctx) {
   const std::vector<int> horizons_hours = {3, 6, 12, 24, 48};
 
   std::vector<Ecdf> cdfs(horizons_hours.size());
-  for (size_t m = 0; m < cell.machines.size(); ++m) {
+  for (size_t m = 0; m < static_cast<size_t>(cell.num_machines()); ++m) {
     const std::vector<double> ref = ComputePeakOracle(cell, static_cast<int>(m), reference);
     for (size_t h = 0; h < horizons_hours.size(); ++h) {
       const std::vector<double> oracle = ComputePeakOracle(

@@ -22,8 +22,8 @@ using namespace crf::bench; // NOLINT
 int Main() {
   const Context ctx = Init("fig08_nsigma_sweep", "Fig 8: N-sigma predictor parameter sweep");
   const CellTrace cell = MakeSimCell(ctx, 'a', kIntervalsPerWeek);
-  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", cell.machines.size(),
-              cell.tasks.size());
+  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", static_cast<size_t>(cell.num_machines()),
+              static_cast<size_t>(cell.num_tasks()));
 
   // The full grid, one SimulateCellMulti call:
   //   [0..3]  n in {2, 3, 5, 10} with 2h warm-up, 10h history  (a)+(b)

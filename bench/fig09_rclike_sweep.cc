@@ -23,8 +23,8 @@ using namespace crf::bench; // NOLINT
 int Main() {
   const Context ctx = Init("fig09_rclike_sweep", "Fig 9: RC-like predictor parameter sweep");
   const CellTrace cell = MakeSimCell(ctx, 'a', kIntervalsPerWeek);
-  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", cell.machines.size(),
-              cell.tasks.size());
+  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", static_cast<size_t>(cell.num_machines()),
+              static_cast<size_t>(cell.num_tasks()));
 
   // The full grid, one SimulateCellMulti call:
   //   [0..3]  percentile in {80, 90, 95, 99}, 2h warm-up, 10h history  (a)+(b)

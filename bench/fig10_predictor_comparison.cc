@@ -24,8 +24,8 @@ int Main() {
   const Context ctx =
       Init("fig10_predictor_comparison", "Fig 10: all predictors on cell a, week 1");
   const CellTrace cell = MakeSimCell(ctx, 'a', kIntervalsPerWeek);
-  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", cell.machines.size(),
-              cell.tasks.size());
+  std::printf("cell a: %zu machines, %zu serving tasks, 1 week\n", static_cast<size_t>(cell.num_machines()),
+              static_cast<size_t>(cell.num_tasks()));
 
   // All five predictors in one SimulateCellMulti trace pass: the max spec's
   // components alias the standalone N-sigma and RC-like sweep points inside

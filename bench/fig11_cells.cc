@@ -32,7 +32,7 @@ int Main() {
     severity_cdfs.push_back(result.ViolationSeverityCdf());
     savings.push_back(result.MeanCellSavings());
     std::printf("cell %c: %zu machines, %zu tasks, mean violation rate %.4f, savings %.3f\n",
-                letter, cell.machines.size(), cell.tasks.size(), result.MeanViolationRate(),
+                letter, static_cast<size_t>(cell.num_machines()), static_cast<size_t>(cell.num_tasks()), result.MeanViolationRate(),
                 result.MeanCellSavings());
   }
 

@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "crf/sim/simulator.h"
+#include "crf/trace/trace_builder.h"
 
 namespace {
 
@@ -24,49 +25,62 @@ int Main() {
   options.num_intervals = 4 * kIntervalsPerWeek;
   CellTrace month = GenerateCellTrace(profile, options, ctx.rng().Fork('a'));
   month.FilterToServingTasks();
-  std::printf("cell a month: %zu machines, %zu serving tasks\n", month.machines.size(),
-              month.tasks.size());
+  std::printf("cell a month: %zu machines, %zu serving tasks\n",
+              static_cast<size_t>(month.num_machines()),
+              static_cast<size_t>(month.num_tasks()));
 
   std::vector<Ecdf> violation_cdfs;
   std::vector<Ecdf> severity_cdfs;
   std::vector<double> savings;
   for (int week = 0; week < 4; ++week) {
     // Slice the month into week-long traces (tasks clipped to the window).
-    CellTrace slice;
-    slice.name = month.name + "_week" + std::to_string(week + 1);
-    slice.num_intervals = kIntervalsPerWeek;
-    slice.machines.resize(month.machines.size());
-    for (size_t m = 0; m < month.machines.size(); ++m) {
-      slice.machines[m].capacity = month.machines[m].capacity;
+    CellTraceBuilder builder(month.name + "_week" + std::to_string(week + 1), kIntervalsPerWeek,
+                             month.num_machines());
+    for (int m = 0; m < month.num_machines(); ++m) {
+      builder.set_machine_capacity(m, month.machine_capacity(m));
     }
     const Interval begin = week * kIntervalsPerWeek;
     const Interval end = begin + kIntervalsPerWeek;
-    for (const TaskTrace& task : month.tasks) {
-      const Interval from = std::max(task.start, begin);
+    for (int32_t i = 0; i < month.num_tasks(); ++i) {
+      const TaskView task = month.task(i);
+      const Interval from = std::max(task.start(), begin);
       const Interval to = std::min(task.end(), end);
       if (from >= to) {
         continue;
       }
-      TaskTrace clipped;
-      clipped.task_id = task.task_id;
-      clipped.job_id = task.job_id;
-      clipped.machine_index = task.machine_index;
-      clipped.start = from - begin;
-      clipped.limit = task.limit;
-      clipped.sched_class = task.sched_class;
-      clipped.usage.assign(task.usage.begin() + (from - task.start),
-                           task.usage.begin() + (to - task.start));
-      slice.machines[task.machine_index].task_indices.push_back(
-          static_cast<int32_t>(slice.tasks.size()));
-      slice.tasks.push_back(std::move(clipped));
+      const int32_t clipped = builder.AddTask(task.task_id(), task.job_id(),
+                                              task.machine_index(), from - begin, task.limit(),
+                                              task.sched_class());
+      const std::span<const float> usage =
+          task.usage().subspan(from - task.start(), to - from);
+      builder.ReserveUsage(clipped, usage.size());
+      for (const float u : usage) {
+        builder.AppendUsage(clipped, u);
+      }
+    }
+    const CellTrace slice = builder.Seal();
+
+    // Week-level mean utilization of allocation, streamed per machine by the
+    // series cursor (no per-machine series allocations).
+    double usage_sum = 0.0;
+    double limit_sum = 0.0;
+    MachineSeriesCursor cursor(slice);
+    for (int m = 0; m < slice.num_machines(); ++m) {
+      cursor.Reset(m);
+      while (cursor.Next()) {
+        usage_sum += cursor.usage();
+        limit_sum += cursor.limit_sum();
+      }
     }
 
     const SimResult result = SimulateCell(slice, SimulationMaxSpec());
     violation_cdfs.push_back(result.ViolationRateCdf());
     severity_cdfs.push_back(result.ViolationSeverityCdf());
     savings.push_back(result.MeanCellSavings());
-    std::printf("week %d: %zu tasks, mean violation rate %.4f, savings %.3f\n", week + 1,
-                slice.tasks.size(), result.MeanViolationRate(), result.MeanCellSavings());
+    std::printf(
+        "week %d: %zu tasks, mean violation rate %.4f, savings %.3f, usage/limit %.3f\n",
+        week + 1, static_cast<size_t>(slice.num_tasks()), result.MeanViolationRate(),
+        result.MeanCellSavings(), limit_sum > 0.0 ? usage_sum / limit_sum : 0.0);
   }
 
   std::vector<std::pair<std::string, const Ecdf*>> violation_series;

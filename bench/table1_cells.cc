@@ -32,9 +32,9 @@ int Main() {
     options.num_intervals = 4 * kIntervalsPerWeek;
     const CellTrace cell = GenerateCellTrace(profile, options, ctx.rng().Fork(i));
     table.AddRow(profile.name,
-                 {static_cast<double>(cell.machines.size()),
-                  static_cast<double>(cell.tasks.size()),
-                  static_cast<double>(cell.tasks.size()) / cell.machines.size(),
+                 {static_cast<double>(static_cast<size_t>(cell.num_machines())),
+                  static_cast<double>(static_cast<size_t>(cell.num_tasks())),
+                  static_cast<double>(static_cast<size_t>(cell.num_tasks())) / static_cast<size_t>(cell.num_machines()),
                   paper_machines[i - 1], paper_tasks[i - 1]});
   }
   std::printf("\n");

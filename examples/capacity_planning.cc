@@ -45,9 +45,9 @@ int main() {
     const double reclaimed =
         result.MeanCellSavings() * mean_alloc / profile.machine_capacity;
 
-    table.AddRow(cell.name, {static_cast<double>(cell.machines.size()), alloc_per_capacity,
+    table.AddRow(cell.name, {static_cast<double>(cell.num_machines()), alloc_per_capacity,
                              result.MeanCellSavings(), reclaimed});
-    fleet_machines += static_cast<double>(cell.machines.size());
+    fleet_machines += static_cast<double>(cell.num_machines());
     fleet_reclaimed += reclaimed;
   }
   table.Print();

@@ -106,13 +106,14 @@ SimResult SimulateWithFactory(const CellTrace& cell,
   std::vector<double> cell_limit(cell.num_intervals, 0.0);
   std::vector<double> cell_prediction(cell.num_intervals, 0.0);
 
-  for (int m = 0; m < static_cast<int>(cell.machines.size()); ++m) {
+  for (int m = 0; m < cell.num_machines(); ++m) {
     auto predictor = factory();
     const std::vector<double> oracle = ComputePeakOracle(cell, m, kIntervalsPerDay);
-    std::vector<int32_t> order = cell.machines[m].task_indices;
-    std::sort(order.begin(), order.end(), [&cell](int32_t a, int32_t b) {
-      return cell.tasks[a].start < cell.tasks[b].start;
-    });
+    const std::span<const int32_t> machine_tasks = cell.machine_tasks(m);
+    std::vector<int32_t> order(machine_tasks.begin(), machine_tasks.end());
+    const std::span<const Interval> starts = cell.task_starts();
+    std::sort(order.begin(), order.end(),
+              [starts](int32_t a, int32_t b) { return starts[a] < starts[b]; });
     MachineMetrics metrics;
     metrics.machine_index = m;
     metrics.intervals = cell.num_intervals;
@@ -122,16 +123,16 @@ SimResult SimulateWithFactory(const CellTrace& cell,
     double severity_sum = 0.0;
     double savings_sum = 0.0;
     for (Interval tau = 0; tau < cell.num_intervals; ++tau) {
-      std::erase_if(active, [&cell, tau](int32_t i) { return cell.tasks[i].end() <= tau; });
-      while (next < order.size() && cell.tasks[order[next]].start <= tau) {
+      std::erase_if(active, [&cell, tau](int32_t i) { return cell.task(i).end() <= tau; });
+      while (next < order.size() && starts[order[next]] <= tau) {
         active.push_back(order[next++]);
       }
       samples.clear();
       double limit_sum = 0.0;
       for (const int32_t i : active) {
-        samples.push_back({cell.tasks[i].task_id, cell.tasks[i].UsageAt(tau),
-                           cell.tasks[i].limit});
-        limit_sum += cell.tasks[i].limit;
+        const TaskView task = cell.task(i);
+        samples.push_back({task.task_id(), task.UsageAt(tau), task.limit()});
+        limit_sum += task.limit();
       }
       predictor->Observe(tau, samples);
       const double prediction = predictor->PredictPeak();
@@ -170,7 +171,7 @@ int main() {
   options.num_intervals = 3 * kIntervalsPerDay;
   CellTrace cell = GenerateCellTrace(profile, options, Rng(7));
   cell.FilterToServingTasks();
-  std::printf("cell: %zu machines, %zu tasks\n\n", cell.machines.size(), cell.tasks.size());
+  std::printf("cell: %d machines, %d tasks\n\n", cell.num_machines(), cell.num_tasks());
 
   Table table({"predictor", "mean violation rate", "mean cell savings"});
 

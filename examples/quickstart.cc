@@ -42,8 +42,8 @@ int main() {
   options.num_intervals = 2 * kIntervalsPerDay;
   CellTrace cell = GenerateCellTrace(profile, options, Rng(42));
   cell.FilterToServingTasks();  // Classes 2-3, like the paper.
-  std::printf("generated %s: %zu machines, %zu serving tasks, %d intervals\n\n",
-              cell.name.c_str(), cell.machines.size(), cell.tasks.size(),
+  std::printf("generated %s: %d machines, %d serving tasks, %d intervals\n\n",
+              cell.name.c_str(), cell.num_machines(), cell.num_tasks(),
               cell.num_intervals);
 
   Table table({"predictor", "mean violation rate", "mean cell savings"});

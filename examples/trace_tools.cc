@@ -20,23 +20,29 @@ int main() {
   GeneratorOptions options;
   options.num_intervals = 2 * kIntervalsPerDay;
   const CellTrace cell = GenerateCellTrace(profile, options, Rng(11));
-  std::printf("generated %s: %zu machines, %zu tasks, %lld dropped by placement\n",
-              cell.name.c_str(), cell.machines.size(), cell.tasks.size(),
+  std::printf("generated %s: %d machines, %d tasks, %lld dropped by placement\n",
+              cell.name.c_str(), cell.num_machines(), cell.num_tasks(),
               static_cast<long long>(cell.dropped_tasks));
 
-  // 2. Persist and reload.
-  const std::string path =
+  // 2. Persist and reload — text for diffing, binary for speed. The binary
+  // file is the trace's arena verbatim, so loading is one read into an
+  // aligned slab.
+  const std::string text_path =
       (std::filesystem::temp_directory_path() / "crf_example_cell_c.trace").string();
-  SaveCellTrace(cell, path);
-  std::printf("saved -> %s (%.1f KiB)\n", path.c_str(),
-              std::filesystem::file_size(path) / 1024.0);
-  const auto loaded = LoadCellTrace(path);
+  const std::string binary_path =
+      (std::filesystem::temp_directory_path() / "crf_example_cell_c.crftrace").string();
+  SaveCellTrace(cell, text_path);
+  SaveCellTraceBinary(cell, binary_path);
+  std::printf("saved text -> %s (%.1f KiB), binary -> %s (%.1f KiB)\n", text_path.c_str(),
+              std::filesystem::file_size(text_path) / 1024.0, binary_path.c_str(),
+              std::filesystem::file_size(binary_path) / 1024.0);
+  const auto loaded = LoadCellTrace(binary_path);  // Auto-detects the format.
   if (!loaded.has_value()) {
     std::fprintf(stderr, "reload failed\n");
     return 1;
   }
-  std::printf("reloaded: %zu tasks (identical placements and usage)\n\n",
-              loaded->tasks.size());
+  std::printf("reloaded: %d tasks (identical placements and usage)\n\n",
+              loaded->num_tasks());
 
   // 3. Profile the workload, Fig 4 / Fig 7 style.
   const Ecdf runtimes = TaskRuntimeHoursCdf(*loaded);
@@ -56,6 +62,7 @@ int main() {
 
   std::printf("\nfraction of tasks under 24h: %.3f (cell c is the short-task cell)\n",
               runtimes.Evaluate(24.0));
-  std::remove(path.c_str());
+  std::remove(text_path.c_str());
+  std::remove(binary_path.c_str());
   return 0;
 }

@@ -30,7 +30,7 @@ MachineOutcome AnalyzeOneMachine(const ClusterSimResult& result, int m, Interval
   const Interval num_intervals = result.trace.num_intervals;
   const Interval warmup = result.warmup;
   const std::vector<double> oracle = ComputePeakOracle(result.trace, m, horizon);
-  const double capacity = result.trace.machines[m].capacity;
+  const double capacity = result.trace.machine_capacity(m);
 
   MachineOutcome outcome;
   outcome.machine_index = m;
@@ -71,7 +71,7 @@ std::vector<MachineOutcome> AnalyzeMachines(const ClusterSimResult& result, Inte
 
   // The per-machine peak oracle dominates analysis time; machines are
   // independent, so shard them (each writes only its own outcome slot).
-  const int num_machines = static_cast<int>(result.trace.machines.size());
+  const int num_machines = result.trace.num_machines();
   std::vector<MachineOutcome> outcomes(num_machines);
   ThreadPool::Default().ParallelFor(num_machines, [&](int m) {
     outcomes[m] = AnalyzeOneMachine(result, m, horizon);
@@ -95,11 +95,8 @@ GroupMetrics ComputeGroupMetrics(const std::string& label,
     }
 
     const Interval num_intervals = result.trace.num_intervals;
-    const int num_machines = static_cast<int>(result.trace.machines.size());
-    double total_capacity = 0.0;
-    for (const auto& machine : result.trace.machines) {
-      total_capacity += machine.capacity;
-    }
+    const int num_machines = result.trace.num_machines();
+    const double total_capacity = result.trace.TotalCapacity();
     CRF_CHECK_GT(total_capacity, 0.0);
 
     // Resident-task counts per machine-interval for latency weighting.

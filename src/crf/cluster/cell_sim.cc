@@ -46,9 +46,10 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
   result.cell_name = profile.name;
   result.predictor_name = options.predictor.Name();
   result.warmup = options.warmup;
-  result.trace.name = profile.name;
-  result.trace.num_intervals = num_intervals;
-  result.trace.machines.resize(num_machines);
+  // The as-executed trace accumulates in a builder (machines append usage
+  // concurrently to distinct tasks during the sharded step) and is sealed
+  // into the immutable columnar form once the run completes.
+  CellTraceBuilder trace(profile.name, num_intervals, num_machines);
 
   JobSampler sampler(profile, rng.Fork(0x6a6f62));
   Rng arrival_rng = rng.Fork(0x617272);
@@ -60,8 +61,8 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
   std::vector<ClusterMachine> machines;
   machines.reserve(num_machines);
   for (int m = 0; m < num_machines; ++m) {
-    result.trace.machines[m].capacity = profile.machine_capacity;
-    result.trace.machines[m].true_peak.assign(num_intervals, 0.0f);
+    trace.set_machine_capacity(m, profile.machine_capacity);
+    trace.mutable_true_peak(m).assign(num_intervals, 0.0f);
     machines.emplace_back(m, profile.machine_capacity, CreatePredictor(options.predictor),
                           options.latency, rng.Fork(0x6d000000 + m));
   }
@@ -98,7 +99,7 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
       accum.resident_tasks = 0;
     }
     const auto step_machine = [&](int slot, int m) {
-      const ClusterMachine::StepStats stats = machines[m].Step(t, shared_load[t], result.trace);
+      const ClusterMachine::StepStats stats = machines[m].Step(t, shared_load[t], trace);
       result.predictions.at(m, t) = static_cast<float>(stats.prediction);
       result.latencies.at(m, t) = static_cast<float>(stats.latency);
       result.demand_mean.at(m, t) = static_cast<float>(stats.demand_mean);
@@ -172,16 +173,10 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
         --service_budget;
       }
       const Interval runtime = sampler.SampleRuntime(service, start, num_intervals);
-      TaskTrace task;
-      task.task_id = next_task_id++;
-      task.job_id = entry.job->job.job_id;
-      task.machine_index = machine;
-      task.start = start;
-      task.limit = entry.job->job.limit;
-      task.sched_class = entry.job->job.sched_class;
-      const int32_t trace_index = static_cast<int32_t>(result.trace.tasks.size());
-      result.trace.tasks.push_back(std::move(task));
-      machines[machine].StartTask(result.trace, trace_index,
+      const int32_t trace_index =
+          trace.AddTask(next_task_id++, entry.job->job.job_id, machine, start,
+                        entry.job->job.limit, entry.job->job.sched_class);
+      machines[machine].StartTask(trace, trace_index,
                                   sampler.JitterTaskParams(entry.job->job.params), start,
                                   runtime);
       ++result.tasks_placed;
@@ -189,6 +184,7 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
     result.pending_task_intervals += static_cast<int64_t>(pending.size());
   }
 
+  result.trace = trace.Seal();
   return result;
 }
 

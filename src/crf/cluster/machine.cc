@@ -19,23 +19,22 @@ ClusterMachine::ClusterMachine(int machine_index, double capacity,
   CRF_CHECK(predictor_ != nullptr);
 }
 
-void ClusterMachine::StartTask(CellTrace& trace, int32_t trace_index,
+void ClusterMachine::StartTask(CellTraceBuilder& trace, int32_t trace_index,
                                const TaskUsageParams& params, Interval now, Interval runtime) {
   CRF_CHECK_GE(trace_index, 0);
-  CRF_CHECK_LT(trace_index, static_cast<int32_t>(trace.tasks.size()));
+  CRF_CHECK_LT(trace_index, trace.num_tasks());
   CRF_CHECK_GT(runtime, 0);
-  TaskTrace& task = trace.tasks[trace_index];
-  CRF_CHECK_EQ(task.machine_index, machine_index_);
-  CRF_CHECK_EQ(task.start, now);
-  task.usage.reserve(runtime);
-  trace.machines[machine_index_].task_indices.push_back(trace_index);
+  CRF_CHECK_EQ(trace.task_machine(trace_index), machine_index_);
+  CRF_CHECK_EQ(trace.task_start(trace_index), now);
+  trace.ReserveUsage(trace_index, runtime);
   tasks_.push_back({trace_index, now + runtime,
                     TaskUsageModel(params, now,
-                                   usage_rng_.Fork(static_cast<uint64_t>(task.task_id)))});
+                                   usage_rng_.Fork(
+                                       static_cast<uint64_t>(trace.task_id(trace_index))))});
 }
 
 ClusterMachine::StepStats ClusterMachine::Step(Interval now, double shared_load,
-                                               CellTrace& trace) {
+                                               CellTraceBuilder& trace) {
   // Retire tasks whose lifetime ended.
   for (size_t i = 0; i < tasks_.size();) {
     if (tasks_[i].end <= now) {
@@ -56,14 +55,14 @@ ClusterMachine::StepStats ClusterMachine::Step(Interval now, double shared_load,
   for (auto& running : tasks_) {
     running.model.Step(sub_samples, shared_load);
     const IntervalSummary summary = SummarizeInterval(sub_samples);
-    TaskTrace& task = trace.tasks[running.trace_index];
-    task.usage.push_back(summary.scalar_p90);
+    trace.AppendUsage(running.trace_index, summary.scalar_p90);
     for (int k = 0; k < kSubSamplesPerInterval; ++k) {
       sums[k] += sub_samples[k];
     }
+    const double limit = trace.task_limit(running.trace_index);
     stats.usage_sum += summary.scalar_p90;
-    stats.limit_sum += task.limit;
-    samples_scratch_.push_back({task.task_id, summary.scalar_p90, task.limit});
+    stats.limit_sum += limit;
+    samples_scratch_.push_back({trace.task_id(running.trace_index), summary.scalar_p90, limit});
   }
 
   double mean_demand = 0.0;
@@ -75,8 +74,9 @@ ClusterMachine::StepStats ClusterMachine::Step(Interval now, double shared_load,
   mean_demand /= kSubSamplesPerInterval;
   stats.demand_mean = mean_demand;
   stats.demand_peak = peak_demand;
-  if (static_cast<size_t>(now) < trace.machines[machine_index_].true_peak.size()) {
-    trace.machines[machine_index_].true_peak[now] = static_cast<float>(peak_demand);
+  std::vector<float>& true_peak = trace.mutable_true_peak(machine_index_);
+  if (static_cast<size_t>(now) < true_peak.size()) {
+    true_peak[now] = static_cast<float>(peak_demand);
   }
 
   stats.latency = latency_model_.Sample(mean_demand, peak_demand, capacity_);

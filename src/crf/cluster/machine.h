@@ -5,8 +5,8 @@
 // Each interval the machine generates its tasks' usage, measures demand
 // against physical capacity, samples a CPU scheduling latency, feeds the
 // predictor, and publishes a prediction. Usage samples are appended to a
-// CellTrace under construction so post-hoc oracle analysis can reuse the
-// trace-simulator machinery.
+// CellTraceBuilder so the sealed trace can feed post-hoc oracle analysis
+// through the trace-simulator machinery.
 
 #ifndef CRF_CLUSTER_MACHINE_H_
 #define CRF_CLUSTER_MACHINE_H_
@@ -16,7 +16,7 @@
 
 #include "crf/cluster/latency_model.h"
 #include "crf/core/predictor.h"
-#include "crf/trace/trace.h"
+#include "crf/trace/trace_builder.h"
 #include "crf/trace/workload_model.h"
 #include "crf/util/rng.h"
 
@@ -28,9 +28,9 @@ class ClusterMachine {
                  std::unique_ptr<PeakPredictor> predictor, const LatencyModelParams& latency,
                  const Rng& rng);
 
-  // Starts running the task recorded at trace.tasks[trace_index] for
+  // Starts running the task registered in the builder at `trace_index` for
   // `runtime` intervals beginning at `now`.
-  void StartTask(CellTrace& trace, int32_t trace_index, const TaskUsageParams& params,
+  void StartTask(CellTraceBuilder& trace, int32_t trace_index, const TaskUsageParams& params,
                  Interval now, Interval runtime);
 
   struct StepStats {
@@ -46,7 +46,7 @@ class ClusterMachine {
 
   // Advances one interval: retires tasks ending at `now`, generates usage,
   // records it into `trace`, samples latency, and refreshes the prediction.
-  StepStats Step(Interval now, double shared_load, CellTrace& trace);
+  StepStats Step(Interval now, double shared_load, CellTraceBuilder& trace);
 
   double capacity() const { return capacity_; }
   // Advertised free capacity for the scheduler: capacity - predicted peak.

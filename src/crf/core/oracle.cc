@@ -9,18 +9,19 @@ namespace crf {
 void ComputePeakOracleInto(const CellTrace& cell, int machine_index, Interval horizon,
                            OracleScratch& scratch, std::vector<double>& out) {
   CRF_CHECK_GE(machine_index, 0);
-  CRF_CHECK_LT(machine_index, static_cast<int>(cell.machines.size()));
+  CRF_CHECK_LT(machine_index, cell.num_machines());
   CRF_CHECK_GE(horizon, 1);
   const Interval num_intervals = cell.num_intervals;
+  const std::span<const Interval> starts = cell.task_starts();
 
   // Tasks ordered by arrival; the aggregate series of "tasks with start <=
   // tau" is constant between consecutive arrivals, so one sliding-window max
   // per segment gives the exact oracle.
   std::vector<int32_t>& order = scratch.order;
-  const std::vector<int32_t>& task_indices = cell.machines[machine_index].task_indices;
+  const std::span<const int32_t> task_indices = cell.machine_tasks(machine_index);
   order.assign(task_indices.begin(), task_indices.end());
-  std::sort(order.begin(), order.end(), [&cell](int32_t a, int32_t b) {
-    return cell.tasks[a].start < cell.tasks[b].start;
+  std::sort(order.begin(), order.end(), [starts](int32_t a, int32_t b) {
+    return starts[a] < starts[b];
   });
 
   std::vector<double>& aggregate = scratch.aggregate;
@@ -30,17 +31,17 @@ void ComputePeakOracleInto(const CellTrace& cell, int machine_index, Interval ho
   Interval tau = 0;
   while (tau < num_intervals) {
     // Admit every task arriving at or before tau into the aggregate.
-    while (next < order.size() && cell.tasks[order[next]].start <= tau) {
-      const TaskTrace& task = cell.tasks[order[next]];
+    while (next < order.size() && starts[order[next]] <= tau) {
+      const TaskView task = cell.task(order[next]);
+      const std::span<const float> usage = task.usage();
       const Interval end = std::min(task.end(), num_intervals);
-      for (Interval t = task.start; t < end; ++t) {
-        aggregate[t] += task.usage[t - task.start];
+      for (Interval t = task.start(); t < end; ++t) {
+        aggregate[t] += usage[t - task.start()];
       }
       ++next;
     }
     const Interval segment_end =
-        next < order.size() ? std::min(cell.tasks[order[next]].start, num_intervals)
-                            : num_intervals;
+        next < order.size() ? std::min(starts[order[next]], num_intervals) : num_intervals;
     CRF_CHECK_GT(segment_end, tau);
 
     // Sliding max of `aggregate` over [u, u+horizon) for u in the segment.
@@ -74,18 +75,19 @@ void ComputeTotalUsageOracleInto(const CellTrace& cell, int machine_index,
                                  Interval horizon, OracleScratch& scratch,
                                  std::vector<double>& out) {
   CRF_CHECK_GE(machine_index, 0);
-  CRF_CHECK_LT(machine_index, static_cast<int>(cell.machines.size()));
+  CRF_CHECK_LT(machine_index, cell.num_machines());
   CRF_CHECK_GE(horizon, 1);
   const Interval num_intervals = cell.num_intervals;
 
   // The machine's aggregate usage series including future arrivals.
   std::vector<double>& usage = scratch.aggregate;
   usage.assign(num_intervals, 0.0);
-  for (const int32_t index : cell.machines[machine_index].task_indices) {
-    const TaskTrace& task = cell.tasks[index];
+  for (const int32_t index : cell.machine_tasks(machine_index)) {
+    const TaskView task = cell.task(index);
+    const std::span<const float> task_usage = task.usage();
     const Interval end = std::min(task.end(), num_intervals);
-    for (Interval t = task.start; t < end; ++t) {
-      usage[t] += task.usage[t - task.start];
+    for (Interval t = task.start(); t < end; ++t) {
+      usage[t] += task_usage[t - task.start()];
     }
   }
   ForwardWindowMaxInto(usage, horizon, scratch.deque, out);

@@ -20,12 +20,37 @@ bool IsViolation(double prediction, double oracle) {
   return prediction < oracle * (1.0 - kRelTolerance) - 1e-12;
 }
 
-// The interval at which a task leaves the resident set. Zero-length tasks
-// (no usage samples) are still admitted at `start` and stay resident for
-// exactly one interval, contributing their limit.
-Interval DepartureTime(const TaskTrace& task) {
-  return std::max(task.end(), task.start + 1);
-}
+// Raw columns of the sealed trace, hoisted once per machine pass so the
+// per-interval loops touch flat arrays only. Departure follows the unified
+// residency rule (TaskView::departure): zero-length tasks are still admitted
+// at `start` and stay resident for exactly one interval, contributing their
+// limit.
+struct TaskColumns {
+  explicit TaskColumns(const CellTrace& cell)
+      : start(cell.task_starts()),
+        limit(cell.task_limits()),
+        id(cell.task_ids()),
+        offsets(cell.usage_offsets()),
+        usage(cell.usage_arena()) {}
+
+  std::span<const Interval> start;
+  std::span<const double> limit;
+  std::span<const TaskId> id;
+  std::span<const uint64_t> offsets;
+  std::span<const float> usage;
+
+  Interval DepartureTime(int32_t i) const {
+    const Interval runtime = static_cast<Interval>(offsets[i + 1] - offsets[i]);
+    return std::max(start[i] + runtime, start[i] + 1);
+  }
+  double UsageAt(int32_t i, Interval tau) const {
+    const int64_t k = static_cast<int64_t>(tau) - start[i];
+    const uint64_t n = offsets[i + 1] - offsets[i];
+    return k >= 0 && static_cast<uint64_t>(k) < n
+               ? static_cast<double>(usage[offsets[i] + static_cast<uint64_t>(k)])
+               : 0.0;
+  }
+};
 
 // The oracle depends only on (cell, machine, horizon, kind): take the shared
 // memoized series when a cache is supplied, otherwise compute into the
@@ -51,15 +76,15 @@ std::span<const double> FetchOracle(const CellTrace& cell, int machine_index,
 // Event lists: arrivals by start, departures by departure time. The resident
 // set and its limit sum then evolve incrementally — per-interval work is
 // only the sample fill, with no rescans on event-free intervals.
-void BuildEventLists(const CellTrace& cell, int machine_index, SimWorkspace& ws) {
-  const std::vector<int32_t>& task_indices = cell.machines[machine_index].task_indices;
+void BuildEventLists(const TaskColumns& cols, std::span<const int32_t> task_indices,
+                     SimWorkspace& ws) {
   ws.arrivals.assign(task_indices.begin(), task_indices.end());
-  std::sort(ws.arrivals.begin(), ws.arrivals.end(), [&cell](int32_t a, int32_t b) {
-    return cell.tasks[a].start < cell.tasks[b].start;
+  std::sort(ws.arrivals.begin(), ws.arrivals.end(), [&cols](int32_t a, int32_t b) {
+    return cols.start[a] < cols.start[b];
   });
   ws.departures.assign(task_indices.begin(), task_indices.end());
-  std::sort(ws.departures.begin(), ws.departures.end(), [&cell](int32_t a, int32_t b) {
-    return DepartureTime(cell.tasks[a]) < DepartureTime(cell.tasks[b]);
+  std::sort(ws.departures.begin(), ws.departures.end(), [&cols](int32_t a, int32_t b) {
+    return cols.DepartureTime(a) < cols.DepartureTime(b);
   });
 }
 
@@ -77,7 +102,8 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
 
   PeakPredictor* predictor = ws.GetPredictor(spec);
 
-  BuildEventLists(cell, machine_index, ws);
+  const TaskColumns cols(cell);
+  BuildEventLists(cols, cell.machine_tasks(machine_index), ws);
 
   MachineMetrics metrics;
   metrics.machine_index = machine_index;
@@ -100,24 +126,24 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
     // Retire departed tasks (event-driven: the compaction scan runs only on
     // intervals where a departure actually occurs).
     if (next_departure < ws.departures.size() &&
-        DepartureTime(cell.tasks[ws.departures[next_departure]]) <= tau) {
+        cols.DepartureTime(ws.departures[next_departure]) <= tau) {
       while (next_departure < ws.departures.size() &&
-             DepartureTime(cell.tasks[ws.departures[next_departure]]) <= tau) {
-        limit_sum -= cell.tasks[ws.departures[next_departure]].limit;
+             cols.DepartureTime(ws.departures[next_departure]) <= tau) {
+        limit_sum -= cols.limit[ws.departures[next_departure]];
         ++next_departure;
       }
       active.erase(std::remove_if(active.begin(), active.end(),
-                                  [&cell, tau](int32_t i) {
-                                    return DepartureTime(cell.tasks[i]) <= tau;
+                                  [&cols, tau](int32_t i) {
+                                    return cols.DepartureTime(i) <= tau;
                                   }),
                    active.end());
     }
     // Admit arrivals.
     while (next_arrival < ws.arrivals.size() &&
-           cell.tasks[ws.arrivals[next_arrival]].start <= tau) {
+           cols.start[ws.arrivals[next_arrival]] <= tau) {
       const int32_t index = ws.arrivals[next_arrival++];
       active.push_back(index);
-      limit_sum += cell.tasks[index].limit;
+      limit_sum += cols.limit[index];
     }
     if (active.empty()) {
       limit_sum = 0.0;  // Kill incremental drift; the true sum is exactly 0.
@@ -125,8 +151,8 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
 
     samples.clear();
     for (const int32_t task_index : active) {
-      const TaskTrace& task = cell.tasks[task_index];
-      samples.push_back({task.task_id, task.UsageAt(tau), task.limit});
+      samples.push_back(
+          {cols.id[task_index], cols.UsageAt(task_index, tau), cols.limit[task_index]});
     }
 
     predictor->Observe(tau, samples);
@@ -165,7 +191,7 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
 SimResult SimulateCell(const CellTrace& cell, const PredictorSpec& spec,
                        const SimOptions& options) {
   CRF_CHECK_GT(cell.num_intervals, 0);
-  const int num_machines = static_cast<int>(cell.machines.size());
+  const int num_machines = cell.num_machines();
   const Interval num_intervals = cell.num_intervals;
 
   SimResult result;
@@ -235,7 +261,8 @@ void SimulateMachineMulti(const CellTrace& cell, int machine_index, const SweepP
   SweepBank& bank = ws.GetSweepBank(plan);
   bank.BeginMachine();
 
-  BuildEventLists(cell, machine_index, ws);
+  const TaskColumns cols(cell);
+  BuildEventLists(cols, cell.machine_tasks(machine_index), ws);
 
   std::vector<int32_t>& active = ws.active;
   std::vector<TaskSample>& samples = ws.samples;
@@ -257,24 +284,24 @@ void SimulateMachineMulti(const CellTrace& cell, int machine_index, const SweepP
     // Retire departed tasks (event-driven: the compaction scan runs only on
     // intervals where a departure actually occurs).
     if (next_departure < ws.departures.size() &&
-        DepartureTime(cell.tasks[ws.departures[next_departure]]) <= tau) {
+        cols.DepartureTime(ws.departures[next_departure]) <= tau) {
       while (next_departure < ws.departures.size() &&
-             DepartureTime(cell.tasks[ws.departures[next_departure]]) <= tau) {
-        limit_sum -= cell.tasks[ws.departures[next_departure]].limit;
+             cols.DepartureTime(ws.departures[next_departure]) <= tau) {
+        limit_sum -= cols.limit[ws.departures[next_departure]];
         ++next_departure;
       }
       active.erase(std::remove_if(active.begin(), active.end(),
-                                  [&cell, tau](int32_t i) {
-                                    return DepartureTime(cell.tasks[i]) <= tau;
+                                  [&cols, tau](int32_t i) {
+                                    return cols.DepartureTime(i) <= tau;
                                   }),
                    active.end());
     }
     // Admit arrivals.
     while (next_arrival < ws.arrivals.size() &&
-           cell.tasks[ws.arrivals[next_arrival]].start <= tau) {
+           cols.start[ws.arrivals[next_arrival]] <= tau) {
       const int32_t index = ws.arrivals[next_arrival++];
       active.push_back(index);
-      limit_sum += cell.tasks[index].limit;
+      limit_sum += cols.limit[index];
     }
     if (active.empty()) {
       limit_sum = 0.0;  // Kill incremental drift; the true sum is exactly 0.
@@ -282,8 +309,8 @@ void SimulateMachineMulti(const CellTrace& cell, int machine_index, const SweepP
 
     samples.clear();
     for (const int32_t task_index : active) {
-      const TaskTrace& task = cell.tasks[task_index];
-      samples.push_back({task.task_id, task.UsageAt(tau), task.limit});
+      samples.push_back(
+          {cols.id[task_index], cols.UsageAt(task_index, tau), cols.limit[task_index]});
     }
 
     bank.Observe(tau, samples);
@@ -342,7 +369,7 @@ std::vector<SimResult> SimulateCellMulti(const CellTrace& cell,
   }
   const SweepPlan plan(specs);
   const int num_specs = plan.num_specs();
-  const int num_machines = static_cast<int>(cell.machines.size());
+  const int num_machines = cell.num_machines();
   const Interval num_intervals = cell.num_intervals;
 
   std::vector<SimResult> results(num_specs);

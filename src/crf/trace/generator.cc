@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "crf/trace/job_sampler.h"
+#include "crf/trace/trace_builder.h"
 #include "crf/trace/workload_model.h"
 #include "crf/util/check.h"
 
@@ -28,16 +29,14 @@ class Generator {
     InitialFill();
     ArrivalSweep();
     GenerateUsage();
-    cell_.name = profile_.name;
-    cell_.num_intervals = options_.num_intervals;
-    return std::move(cell_);
+    return builder_.Seal();
   }
 
  private:
   void InitMachines() {
-    cell_.machines.resize(profile_.num_machines);
-    for (auto& machine : cell_.machines) {
-      machine.capacity = profile_.machine_capacity;
+    builder_.Reset(profile_.name, options_.num_intervals, profile_.num_machines);
+    for (int m = 0; m < profile_.num_machines; ++m) {
+      builder_.set_machine_capacity(m, profile_.machine_capacity);
     }
     alloc_.assign(profile_.num_machines, 0.0);
     machine_weight_.resize(profile_.num_machines);
@@ -64,7 +63,7 @@ class Generator {
     const int offset = static_cast<int>(placement_rng_.UniformInt(num_machines));
     for (int k = 0; k < num_machines; ++k) {
       const int m = (k + offset) % num_machines;
-      const double capacity = cell_.machines[m].capacity;
+      const double capacity = builder_.machine_capacity(m);
       if (limit > capacity || alloc_[m] + limit > profile_.target_alloc_ratio * capacity) {
         continue;
       }
@@ -90,19 +89,15 @@ class Generator {
                  std::vector<int>& machines_used_by_job) {
     const int machine = PlaceTask(job.limit, machines_used_by_job);
     if (machine < 0) {
-      ++cell_.dropped_tasks;
+      builder_.AddDroppedTask();
       return false;
     }
     machines_used_by_job.push_back(machine);
 
-    TaskTrace task;
-    task.task_id = next_task_id_++;
-    task.job_id = job.job_id;
-    task.machine_index = machine;
-    task.start = start;
-    task.limit = job.limit;
-    task.sched_class = job.sched_class;
-    task.usage.reserve(runtime);
+    const int32_t task_index = builder_.AddTask(next_task_id_++, job.job_id,
+                                                static_cast<int32_t>(machine), start, job.limit,
+                                                job.sched_class);
+    builder_.ReserveUsage(task_index, runtime);
     task_params_.push_back(sampler_.JitterTaskParams(job.params));
 
     alloc_[machine] += job.limit;
@@ -112,9 +107,7 @@ class Generator {
     ++departure_counts_[end];
     ++resident_count_;
 
-    cell_.machines[machine].task_indices.push_back(static_cast<int32_t>(cell_.tasks.size()));
     runtimes_.push_back(runtime);
-    cell_.tasks.push_back(std::move(task));
     return true;
   }
 
@@ -164,14 +157,15 @@ class Generator {
     std::array<double, kSubSamplesPerInterval> machine_sums;
 
     for (int m = 0; m < profile_.num_machines; ++m) {
-      MachineTrace& machine = cell_.machines[m];
-      machine.true_peak.assign(options_.num_intervals, 0.0f);
+      std::vector<float>& true_peak = builder_.mutable_true_peak(m);
+      true_peak.assign(options_.num_intervals, 0.0f);
 
       // Tasks sorted by start interval (placement already appends in start
       // order, but sorting keeps the invariant explicit).
-      std::vector<int32_t> order = machine.task_indices;
+      const std::span<const int32_t> placed = builder_.machine_tasks(m);
+      std::vector<int32_t> order(placed.begin(), placed.end());
       std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
-        return cell_.tasks[a].start < cell_.tasks[b].start;
+        return builder_.task_start(a) < builder_.task_start(b);
       });
 
       struct ActiveTask {
@@ -193,39 +187,36 @@ class Generator {
             ++i;
           }
         }
-        // Admit tasks starting now. task.end() is derived from the usage
-        // vector, which is still empty here; the authoritative lifetime is
-        // the sampled runtime.
-        while (next < order.size() && cell_.tasks[order[next]].start == t) {
+        // Admit tasks starting now. The builder's usage series is still empty
+        // here; the authoritative lifetime is the sampled runtime.
+        while (next < order.size() && builder_.task_start(order[next]) == t) {
           const int32_t task_index = order[next++];
-          const TaskTrace& task = cell_.tasks[task_index];
           active.push_back(
               {task_index, t + runtimes_[task_index],
                TaskUsageModel(task_params_[task_index], t,
-                              usage_rng_.Fork(static_cast<uint64_t>(task.task_id)))});
+                              usage_rng_.Fork(static_cast<uint64_t>(builder_.task_id(task_index))))});
         }
 
         machine_sums.fill(0.0);
         for (auto& entry : active) {
           entry.model.Step(sub_samples, shared_load[t]);
           const IntervalSummary summary = SummarizeInterval(sub_samples);
-          TaskTrace& task = cell_.tasks[entry.task_index];
-          task.usage.push_back(summary.scalar_p90);
+          builder_.AppendUsage(entry.task_index, summary.scalar_p90);
           if (options_.rich_stats) {
-            task.rich.push_back(summary.rich);
+            builder_.AppendRich(entry.task_index, summary.rich);
           }
           for (int k = 0; k < kSubSamplesPerInterval; ++k) {
             machine_sums[k] += sub_samples[k];
           }
         }
-        machine.true_peak[t] =
+        true_peak[t] =
             static_cast<float>(*std::max_element(machine_sums.begin(), machine_sums.end()));
       }
     }
 
     // Every task must have exactly runtime() worth of samples.
-    for (size_t i = 0; i < cell_.tasks.size(); ++i) {
-      CRF_CHECK_EQ(static_cast<Interval>(cell_.tasks[i].usage.size()), runtimes_[i]);
+    for (int32_t i = 0; i < builder_.num_tasks(); ++i) {
+      CRF_CHECK_EQ(builder_.task_runtime(i), runtimes_[i]);
     }
   }
 
@@ -236,7 +227,7 @@ class Generator {
   Rng placement_rng_;
   Rng usage_rng_;
 
-  CellTrace cell_;
+  CellTraceBuilder builder_;
   std::vector<double> alloc_;
   std::vector<double> machine_weight_;
   std::vector<std::vector<double>> departing_alloc_;

@@ -1,10 +1,89 @@
 #include "crf/trace/trace.h"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 
 #include "crf/util/check.h"
 
 namespace crf {
+namespace trace_internal {
+namespace {
+
+constexpr uint64_t kSlabAlignment = 64;
+
+constexpr uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSlabAlignment - 1) & ~(kSlabAlignment - 1);
+}
+
+}  // namespace
+
+TraceArena::TraceArena(uint64_t num_bytes) : size(num_bytes) {
+  if (num_bytes > 0) {
+    bytes = static_cast<std::byte*>(
+        ::operator new(num_bytes, std::align_val_t{kSlabAlignment}));
+    std::memset(bytes, 0, num_bytes);
+  }
+}
+
+TraceArena::~TraceArena() {
+  if (bytes != nullptr) {
+    ::operator delete(bytes, std::align_val_t{kSlabAlignment});
+  }
+}
+
+ArenaLayout ComputeArenaLayout(int64_t num_tasks, int64_t num_machines, int64_t usage_samples,
+                               int64_t peak_samples, int64_t csr_entries, bool has_rich) {
+  CRF_CHECK_GE(num_tasks, 0);
+  CRF_CHECK_GE(num_machines, 0);
+  CRF_CHECK_GE(usage_samples, 0);
+  CRF_CHECK_GE(peak_samples, 0);
+  CRF_CHECK_GE(csr_entries, 0);
+  const uint64_t n = static_cast<uint64_t>(num_tasks);
+  const uint64_t m = static_cast<uint64_t>(num_machines);
+  const uint64_t s = static_cast<uint64_t>(usage_samples);
+  const uint64_t p = static_cast<uint64_t>(peak_samples);
+  const uint64_t k = static_cast<uint64_t>(csr_entries);
+
+  ArenaLayout layout;
+  uint64_t offset = 0;
+  const auto slab = [&offset](uint64_t elements, uint64_t element_size) {
+    const uint64_t begin = AlignUp(offset);
+    offset = begin + elements * element_size;
+    return begin;
+  };
+  layout.task_id = slab(n, sizeof(TaskId));
+  layout.job_id = slab(n, sizeof(JobId));
+  layout.machine_of = slab(n, sizeof(int32_t));
+  layout.start = slab(n, sizeof(Interval));
+  layout.sched_class = slab(n, sizeof(uint8_t));
+  layout.limit = slab(n, sizeof(double));
+  layout.usage_off = slab(n + 1, sizeof(uint64_t));
+  layout.usage = slab(s, sizeof(float));
+  layout.rich = slab(has_rich ? kNumRichColumns * s : 0, sizeof(float));
+  layout.capacity = slab(m, sizeof(double));
+  layout.peak_off = slab(m + 1, sizeof(uint64_t));
+  layout.true_peak = slab(p, sizeof(float));
+  layout.csr_off = slab(m + 1, sizeof(uint64_t));
+  layout.csr_tasks = slab(k, sizeof(int32_t));
+  layout.total_bytes = AlignUp(offset);
+  return layout;
+}
+
+CellTrace AttachTrace(std::string name, Interval num_intervals, int64_t dropped_tasks,
+                      std::shared_ptr<const TraceArena> arena, int64_t num_tasks,
+                      int64_t num_machines, int64_t usage_samples, int64_t peak_samples,
+                      int64_t csr_entries, bool has_rich) {
+  CellTrace cell;
+  cell.name = std::move(name);
+  cell.num_intervals = num_intervals;
+  cell.dropped_tasks = dropped_tasks;
+  cell.Attach(std::move(arena), num_tasks, num_machines, usage_samples, peak_samples, csr_entries,
+              has_rich);
+  return cell;
+}
+
+}  // namespace trace_internal
 
 bool IsServing(SchedulingClass sched_class) {
   return sched_class == SchedulingClass::kLatencySensitive ||
@@ -33,86 +112,217 @@ float RichUsage::AtPercentile(int p) const {
   }
 }
 
-double TaskTrace::PeakUsage() const {
+RichColumn RichColumnForPercentile(int p) {
+  if (p <= 50) {
+    return RichColumn::kP50;
+  }
+  switch (p) {
+    case 60:
+      return RichColumn::kP60;
+    case 70:
+      return RichColumn::kP70;
+    case 80:
+      return RichColumn::kP80;
+    case 90:
+      return RichColumn::kP90;
+    case 95:
+      return RichColumn::kP95;
+    case 99:
+      return RichColumn::kP99;
+    default:
+      return RichColumn::kMax;
+  }
+}
+
+double TaskView::PeakUsage() const {
   double peak = 0.0;
-  for (const float u : usage) {
+  for (const float u : usage()) {
     peak = std::max(peak, static_cast<double>(u));
   }
   return peak;
 }
 
-std::vector<double> CellTrace::MachineUsageSeries(int machine_index) const {
+std::span<const float> TaskView::rich_column(RichColumn column) const {
+  CRF_CHECK(cell_->has_rich()) << "trace has no rich within-interval stats";
+  const uint64_t samples = cell_->usage_off_.back();
+  const uint64_t begin = cell_->usage_off_[index_];
+  const uint64_t end = cell_->usage_off_[index_ + 1];
+  return cell_->rich_.subspan(static_cast<uint64_t>(column) * samples + begin, end - begin);
+}
+
+RichUsage TaskView::RichAt(Interval k) const {
+  CRF_CHECK(cell_->has_rich()) << "trace has no rich within-interval stats";
+  const uint64_t samples = cell_->usage_off_.back();
+  const uint64_t at = cell_->usage_off_[index_] + static_cast<uint64_t>(k);
+  CRF_CHECK_LT(at, cell_->usage_off_[index_ + 1]);
+  const std::span<const float> rich = cell_->rich_;
+  RichUsage row;
+  row.avg = rich[0 * samples + at];
+  row.p50 = rich[1 * samples + at];
+  row.p60 = rich[2 * samples + at];
+  row.p70 = rich[3 * samples + at];
+  row.p80 = rich[4 * samples + at];
+  row.p90 = rich[5 * samples + at];
+  row.p95 = rich[6 * samples + at];
+  row.p99 = rich[7 * samples + at];
+  row.max = rich[8 * samples + at];
+  return row;
+}
+
+void CellTrace::Attach(std::shared_ptr<const trace_internal::TraceArena> arena, int64_t num_tasks,
+                       int64_t num_machines, int64_t usage_samples, int64_t peak_samples,
+                       int64_t csr_entries, bool has_rich) {
+  const trace_internal::ArenaLayout layout = trace_internal::ComputeArenaLayout(
+      num_tasks, num_machines, usage_samples, peak_samples, csr_entries, has_rich);
+  CRF_CHECK(arena != nullptr);
+  CRF_CHECK_EQ(arena->size, layout.total_bytes);
+  const std::byte* base = arena->bytes;
+  arena_ = std::move(arena);
+
+  const auto column = [base](uint64_t offset, auto* type_tag, uint64_t elements) {
+    using T = std::remove_pointer_t<decltype(type_tag)>;
+    return std::span<const T>(reinterpret_cast<const T*>(base + offset), elements);
+  };
+  const uint64_t n = static_cast<uint64_t>(num_tasks);
+  const uint64_t m = static_cast<uint64_t>(num_machines);
+  task_id_ = column(layout.task_id, static_cast<TaskId*>(nullptr), n);
+  job_id_ = column(layout.job_id, static_cast<JobId*>(nullptr), n);
+  machine_of_ = column(layout.machine_of, static_cast<int32_t*>(nullptr), n);
+  start_ = column(layout.start, static_cast<Interval*>(nullptr), n);
+  sched_class_ = column(layout.sched_class, static_cast<uint8_t*>(nullptr), n);
+  limit_ = column(layout.limit, static_cast<double*>(nullptr), n);
+  usage_off_ = column(layout.usage_off, static_cast<uint64_t*>(nullptr), n + 1);
+  usage_ = column(layout.usage, static_cast<float*>(nullptr), static_cast<uint64_t>(usage_samples));
+  rich_ = column(layout.rich, static_cast<float*>(nullptr),
+                 has_rich ? kNumRichColumns * static_cast<uint64_t>(usage_samples) : 0);
+  capacity_ = column(layout.capacity, static_cast<double*>(nullptr), m);
+  peak_off_ = column(layout.peak_off, static_cast<uint64_t*>(nullptr), m + 1);
+  peak_ = column(layout.true_peak, static_cast<float*>(nullptr),
+                 static_cast<uint64_t>(peak_samples));
+  csr_off_ = column(layout.csr_off, static_cast<uint64_t*>(nullptr), m + 1);
+  csr_tasks_ =
+      column(layout.csr_tasks, static_cast<int32_t*>(nullptr), static_cast<uint64_t>(csr_entries));
+}
+
+std::span<const int32_t> CellTrace::machine_tasks(int machine_index) const {
   CRF_CHECK_GE(machine_index, 0);
-  CRF_CHECK_LT(machine_index, static_cast<int>(machines.size()));
+  CRF_CHECK_LT(machine_index, num_machines());
+  const uint64_t begin = csr_off_[machine_index];
+  const uint64_t end = csr_off_[machine_index + 1];
+  return csr_tasks_.subspan(begin, end - begin);
+}
+
+double CellTrace::machine_capacity(int machine_index) const {
+  CRF_CHECK_GE(machine_index, 0);
+  CRF_CHECK_LT(machine_index, num_machines());
+  return capacity_[machine_index];
+}
+
+std::span<const float> CellTrace::true_peak(int machine_index) const {
+  CRF_CHECK_GE(machine_index, 0);
+  CRF_CHECK_LT(machine_index, num_machines());
+  const uint64_t begin = peak_off_[machine_index];
+  const uint64_t end = peak_off_[machine_index + 1];
+  return peak_.subspan(begin, end - begin);
+}
+
+std::vector<double> CellTrace::MachineUsageSeries(int machine_index) const {
   std::vector<double> series(num_intervals, 0.0);
-  for (const int32_t task_index : machines[machine_index].task_indices) {
-    const TaskTrace& task = tasks[task_index];
-    const Interval end = std::min(task.end(), num_intervals);
-    for (Interval t = task.start; t < end; ++t) {
-      series[t] += task.usage[t - task.start];
-    }
+  MachineSeriesCursor cursor(*this);
+  cursor.Reset(machine_index);
+  while (cursor.Next()) {
+    series[cursor.interval()] = cursor.usage();
   }
   return series;
 }
 
 std::vector<double> CellTrace::MachineLimitSeries(int machine_index) const {
-  CRF_CHECK_GE(machine_index, 0);
-  CRF_CHECK_LT(machine_index, static_cast<int>(machines.size()));
-  std::vector<double> series(num_intervals, 0.0);
-  for (const int32_t task_index : machines[machine_index].task_indices) {
-    const TaskTrace& task = tasks[task_index];
-    const Interval end = std::min(task.end(), num_intervals);
-    for (Interval t = task.start; t < end; ++t) {
-      series[t] += task.limit;
-    }
+  // Event deltas: +limit at start, -limit at departure, then one prefix sum.
+  std::vector<double> series(num_intervals + 1, 0.0);
+  for (const int32_t index : machine_tasks(machine_index)) {
+    const TaskView task = this->task(index);
+    const Interval begin = std::clamp<Interval>(task.start(), 0, num_intervals);
+    const Interval end = std::clamp<Interval>(task.departure(), begin, num_intervals);
+    series[begin] += task.limit();
+    series[end] -= task.limit();
   }
+  double running = 0.0;
+  for (Interval t = 0; t < num_intervals; ++t) {
+    running += series[t];
+    series[t] = running;
+  }
+  series.resize(num_intervals);
   return series;
 }
 
 std::vector<int32_t> CellTrace::MachineResidentCount(int machine_index) const {
-  CRF_CHECK_GE(machine_index, 0);
-  CRF_CHECK_LT(machine_index, static_cast<int>(machines.size()));
-  std::vector<int32_t> counts(num_intervals, 0);
-  for (const int32_t task_index : machines[machine_index].task_indices) {
-    const TaskTrace& task = tasks[task_index];
-    const Interval end = std::min(task.end(), num_intervals);
-    for (Interval t = task.start; t < end; ++t) {
-      ++counts[t];
-    }
+  std::vector<int32_t> counts(num_intervals + 1, 0);
+  for (const int32_t index : machine_tasks(machine_index)) {
+    const TaskView task = this->task(index);
+    const Interval begin = std::clamp<Interval>(task.start(), 0, num_intervals);
+    const Interval end = std::clamp<Interval>(task.departure(), begin, num_intervals);
+    ++counts[begin];
+    --counts[end];
   }
+  int32_t running = 0;
+  for (Interval t = 0; t < num_intervals; ++t) {
+    running += counts[t];
+    counts[t] = running;
+  }
+  counts.resize(num_intervals);
   return counts;
-}
-
-void CellTrace::FilterToServingTasks() {
-  std::vector<TaskTrace> kept;
-  kept.reserve(tasks.size());
-  for (auto& task : tasks) {
-    if (IsServing(task.sched_class)) {
-      kept.push_back(std::move(task));
-    }
-  }
-  tasks = std::move(kept);
-  for (auto& machine : machines) {
-    machine.task_indices.clear();
-  }
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    const int32_t machine_index = tasks[i].machine_index;
-    if (machine_index >= 0) {
-      machines[machine_index].task_indices.push_back(static_cast<int32_t>(i));
-    }
-  }
-  // true_peak includes the filtered-out batch tasks' contribution; it remains
-  // valid as ground truth for "everything that ran on the machine", which is
-  // what a machine-level peak means. Experiments that need serving-only
-  // ground truth regenerate with a serving-only profile.
 }
 
 double CellTrace::TotalCapacity() const {
   double total = 0.0;
-  for (const auto& machine : machines) {
-    total += machine.capacity;
+  for (const double capacity : capacity_) {
+    total += capacity;
   }
   return total;
+}
+
+MachineSeriesCursor::MachineSeriesCursor(const CellTrace& cell) : cell_(&cell) {}
+
+void MachineSeriesCursor::Reset(int machine_index) {
+  const Interval num_intervals = cell_->num_intervals;
+  usage_buf_.assign(static_cast<size_t>(num_intervals), 0.0);
+  limit_buf_.assign(static_cast<size_t>(num_intervals) + 1, 0.0);
+  resident_buf_.assign(static_cast<size_t>(num_intervals) + 1, 0);
+  t_ = -1;
+
+  const std::span<const float> arena = cell_->usage_;
+  for (const int32_t index : cell_->machine_tasks(machine_index)) {
+    const Interval start = cell_->start_[index];
+    const uint64_t begin = cell_->usage_off_[index];
+    const uint64_t samples = cell_->usage_off_[index + 1] - begin;
+    // Usage: scatter-add the task's contiguous arena run over its lifetime.
+    const Interval usage_end =
+        std::min<Interval>(start + static_cast<Interval>(samples), num_intervals);
+    for (Interval t = std::max<Interval>(start, 0); t < usage_end; ++t) {
+      usage_buf_[t] += static_cast<double>(arena[begin + static_cast<uint64_t>(t - start)]);
+    }
+    // Limits and residency: event deltas over [start, departure()).
+    const TaskView task = cell_->task(index);
+    const Interval from = std::clamp<Interval>(start, 0, num_intervals);
+    const Interval to = std::clamp<Interval>(task.departure(), from, num_intervals);
+    limit_buf_[from] += task.limit();
+    limit_buf_[to] -= task.limit();
+    ++resident_buf_[from];
+    --resident_buf_[to];
+  }
+  double limit_running = 0.0;
+  int32_t resident_running = 0;
+  for (Interval t = 0; t < num_intervals; ++t) {
+    limit_running += limit_buf_[t];
+    limit_buf_[t] = limit_running;
+    resident_running += resident_buf_[t];
+    resident_buf_[t] = resident_running;
+  }
+}
+
+bool MachineSeriesCursor::Next() {
+  ++t_;
+  return t_ < cell_->num_intervals;
 }
 
 }  // namespace crf

@@ -1,19 +1,45 @@
-// Trace data model.
+// Trace data model: a sealed, columnar cell trace.
 //
 // Mirrors the slice of the Google cluster trace v3 that the paper's simulator
 // consumes: per-task 5-minute CPU usage series with limits and fixed machine
 // placements. The public trace reports a usage *distribution* per 5-minute
 // interval rather than a single number; the paper feeds the simulator the
 // within-interval 90th percentile (Section 5.1.2) and keeps the true
-// machine-level within-interval peak as ground truth. TaskTrace::usage is
-// that p90 series (capped at the limit); MachineTrace::true_peak is the
-// ground-truth peak series; RichUsage optionally keeps the full percentile
-// ladder for experiments that need it (Fig 1, Fig 6).
+// machine-level within-interval peak as ground truth.
+//
+// Layout (DESIGN.md §6c): a CellTrace owns ONE contiguous 64-byte-aligned
+// arena holding every column as a flat slab —
+//
+//   task metadata   task_id[N] job_id[N] machine[N] start[N] class[N] limit[N]
+//   usage           usage_off[N+1]  usage[S]          (task i's scalar series
+//                                                      is usage[off[i]..off[i+1]))
+//   rich ladder     rich[9*S] column-major (avg,p50,...,max), optional
+//   machines        capacity[M]  peak_off[M+1] true_peak[P]
+//   CSR task index  csr_off[M+1] csr_tasks[K]          (machine m's tasks are
+//                                                       csr_tasks[off[m]..off[m+1]))
+//
+// A CellTrace is immutable once sealed by CellTraceBuilder::Seal (or the
+// trace_io loaders). Copies are cheap: they share the arena through a
+// shared_ptr. All accessors hand out std::span views into the arena; a span
+// remains valid as long as ANY CellTrace copy sharing the arena is alive.
+// Never retain a span past the last such copy.
+//
+// Residency rule (unified across the whole stack): a task occupies its
+// machine over [start, departure()) where departure() == max(end(), start+1).
+// A zero-length task (empty usage series) is therefore resident for exactly
+// one interval — holding its limit and counting toward the resident set —
+// while contributing zero usage. The event-driven engines, the naive
+// reference simulator, and the Machine*Series helpers below all follow this
+// one rule.
 
 #ifndef CRF_TRACE_TRACE_H_
 #define CRF_TRACE_TRACE_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +62,8 @@ enum class SchedulingClass : uint8_t {
 bool IsServing(SchedulingClass sched_class);
 
 // Within-interval usage distribution of one task over one 5-minute interval.
+// Used as a row value by the builder and generator; sealed traces store the
+// ladder as struct-of-arrays percentile columns (see RichColumn).
 struct RichUsage {
   float avg = 0.0f;
   float p50 = 0.0f;
@@ -52,64 +80,262 @@ struct RichUsage {
   float AtPercentile(int p) const;
 };
 
-struct TaskTrace {
-  TaskId task_id = 0;
-  JobId job_id = 0;
-  int32_t machine_index = -1;
-  Interval start = 0;
-  double limit = 0.0;
-  SchedulingClass sched_class = SchedulingClass::kLatencySensitive;
-  // Per-interval usage scalar (within-interval p90, capped at limit);
-  // usage[k] covers interval start + k.
-  std::vector<float> usage;
-  // Optional full within-interval distributions; empty or same size as usage.
-  std::vector<RichUsage> rich;
+// Column order of the struct-of-arrays rich ladder in the arena.
+enum class RichColumn : int {
+  kAvg = 0,
+  kP50,
+  kP60,
+  kP70,
+  kP80,
+  kP90,
+  kP95,
+  kP99,
+  kMax,
+};
+inline constexpr int kNumRichColumns = 9;
 
+// Maps a percentile to the nearest stored column (same rounding as
+// RichUsage::AtPercentile).
+RichColumn RichColumnForPercentile(int p);
+
+class CellTrace;
+class CellTraceBuilder;
+
+namespace trace_internal {
+
+// One 64-byte-aligned allocation holding every column of a sealed trace.
+// Shared (immutably) by every CellTrace copy via shared_ptr.
+struct TraceArena {
+  explicit TraceArena(uint64_t num_bytes);
+  ~TraceArena();
+  TraceArena(const TraceArena&) = delete;
+  TraceArena& operator=(const TraceArena&) = delete;
+
+  std::byte* bytes = nullptr;
+  uint64_t size = 0;
+};
+
+// Shared slab geometry used by the builder, the sealed trace, and the binary
+// trace format: the byte offsets of every column for given element counts.
+struct ArenaLayout {
+  uint64_t task_id = 0;
+  uint64_t job_id = 0;
+  uint64_t machine_of = 0;
+  uint64_t start = 0;
+  uint64_t sched_class = 0;
+  uint64_t limit = 0;
+  uint64_t usage_off = 0;
+  uint64_t usage = 0;
+  uint64_t rich = 0;  // == usage slab end when !has_rich
+  uint64_t capacity = 0;
+  uint64_t peak_off = 0;
+  uint64_t true_peak = 0;
+  uint64_t csr_off = 0;
+  uint64_t csr_tasks = 0;
+  uint64_t total_bytes = 0;
+};
+ArenaLayout ComputeArenaLayout(int64_t num_tasks, int64_t num_machines, int64_t usage_samples,
+                               int64_t peak_samples, int64_t csr_entries, bool has_rich);
+
+// Seals a trace around an already-populated arena (used by the binary
+// loader); the caller is responsible for having validated the arena contents.
+CellTrace AttachTrace(std::string name, Interval num_intervals, int64_t dropped_tasks,
+                      std::shared_ptr<const TraceArena> arena, int64_t num_tasks,
+                      int64_t num_machines, int64_t usage_samples, int64_t peak_samples,
+                      int64_t csr_entries, bool has_rich);
+
+}  // namespace trace_internal
+
+// Non-owning view of one task in a sealed CellTrace. Cheap to copy (pointer +
+// index); valid only while the underlying arena is alive.
+class TaskView {
+ public:
+  TaskView(const CellTrace* cell, int32_t index) : cell_(cell), index_(index) {}
+
+  int32_t index() const { return index_; }
+  TaskId task_id() const;
+  JobId job_id() const;
+  int32_t machine_index() const;
+  Interval start() const;
+  double limit() const;
+  SchedulingClass sched_class() const;
+
+  // Per-interval usage scalar (within-interval p90, capped at limit);
+  // usage()[k] covers interval start() + k.
+  std::span<const float> usage() const;
+  Interval runtime() const { return static_cast<Interval>(usage().size()); }
   // One past the last interval with usage.
-  Interval end() const { return start + static_cast<Interval>(usage.size()); }
-  Interval runtime() const { return static_cast<Interval>(usage.size()); }
-  bool ResidentAt(Interval t) const { return t >= start && t < end(); }
-  // Usage at interval t; 0 outside the task's lifetime.
+  Interval end() const { return start() + runtime(); }
+  // One past the last resident interval: max(end(), start()+1). This is the
+  // single residency rule — a zero-length task departs after one interval.
+  Interval departure() const { return std::max(end(), start() + 1); }
+  bool ResidentAt(Interval t) const { return t >= start() && t < departure(); }
+  // Usage at interval t; 0 outside the usage series (including the one
+  // resident interval of a zero-length task).
   double UsageAt(Interval t) const {
-    return ResidentAt(t) ? static_cast<double>(usage[t - start]) : 0.0;
+    const std::span<const float> u = usage();
+    const int64_t k = static_cast<int64_t>(t) - start();
+    return k >= 0 && k < static_cast<int64_t>(u.size()) ? static_cast<double>(u[k]) : 0.0;
   }
   // Peak of the scalar usage series over the task's whole lifetime.
   double PeakUsage() const;
+
+  // Rich ladder access; only valid when the cell has_rich().
+  std::span<const float> rich_column(RichColumn column) const;
+  // The full ladder row for lifetime offset k (interval start() + k).
+  RichUsage RichAt(Interval k) const;
+
+ private:
+  const CellTrace* cell_;
+  int32_t index_;
 };
 
-struct MachineTrace {
-  double capacity = 1.0;
-  // Indices into CellTrace::tasks of every task ever placed on this machine.
-  std::vector<int32_t> task_indices;
-  // Ground-truth within-interval machine peak per interval (sum over resident
-  // tasks of time-aligned sub-interval samples, maximized over sub-instants).
-  std::vector<float> true_peak;
-};
-
-struct CellTrace {
+// A sealed, columnar cell trace. Construct with CellTraceBuilder or the
+// trace_io loaders; default-constructed traces are empty (0 machines/tasks).
+class CellTrace {
+ public:
   std::string name;
   Interval num_intervals = 0;
-  std::vector<MachineTrace> machines;
-  std::vector<TaskTrace> tasks;
   // Tasks the generator's placement step could not fit anywhere (reporting
   // only; they have no usage and no machine).
   int64_t dropped_tasks = 0;
 
-  // Sum over the machine's tasks of UsageAt(t), for every t — the machine
-  // aggregate usage series U(J, t).
+  CellTrace() = default;
+
+  int32_t num_tasks() const { return static_cast<int32_t>(start_.size()); }
+  int32_t num_machines() const { return static_cast<int32_t>(capacity_.size()); }
+  TaskView task(int32_t index) const { return TaskView(this, index); }
+
+  // Indices into tasks of every task ever placed on machine m, in placement
+  // order (one CSR row).
+  std::span<const int32_t> machine_tasks(int machine_index) const;
+  double machine_capacity(int machine_index) const;
+  // Ground-truth within-interval machine peak per interval (sum over resident
+  // tasks of time-aligned sub-interval samples, maximized over sub-instants).
+  // Empty when the trace carries no ground truth for this machine.
+  std::span<const float> true_peak(int machine_index) const;
+
+  bool has_rich() const { return !rich_.empty(); }
+
+  // Raw columns (parallel arrays indexed by task).
+  std::span<const TaskId> task_ids() const { return task_id_; }
+  std::span<const JobId> job_ids() const { return job_id_; }
+  std::span<const int32_t> task_machines() const { return machine_of_; }
+  std::span<const Interval> task_starts() const { return start_; }
+  std::span<const uint8_t> task_classes() const { return sched_class_; }
+  std::span<const double> task_limits() const { return limit_; }
+  // One contiguous slab of all tasks' usage samples; task i owns
+  // [usage_offsets()[i], usage_offsets()[i+1]).
+  std::span<const float> usage_arena() const { return usage_; }
+  std::span<const uint64_t> usage_offsets() const { return usage_off_; }
+
+  // The whole sealed arena, for the binary trace writer. Empty only for a
+  // default-constructed (never sealed) trace.
+  std::span<const std::byte> arena_bytes() const {
+    return arena_ == nullptr ? std::span<const std::byte>()
+                             : std::span<const std::byte>(arena_->bytes, arena_->size);
+  }
+  int64_t usage_sample_count() const { return static_cast<int64_t>(usage_.size()); }
+  int64_t peak_sample_count() const { return static_cast<int64_t>(peak_.size()); }
+
+  // Machine aggregate series, rebuilt on arrival/departure event deltas:
+  // O(N_m + T) for limits/residency and O(S_m + T) for usage, instead of the
+  // seed's O(N_m * T) rescans. All follow the unified residency rule.
   std::vector<double> MachineUsageSeries(int machine_index) const;
-  // Sum of limits of resident tasks per interval.
   std::vector<double> MachineLimitSeries(int machine_index) const;
-  // Number of resident tasks per interval.
   std::vector<int32_t> MachineResidentCount(int machine_index) const;
 
   // Removes tasks whose scheduling class fails `IsServing` (mirrors the
-  // paper's filter to classes 2-3), rebuilding machine task lists.
+  // paper's filter to classes 2-3), resealing into a fresh arena.
+  // true_peak keeps the filtered-out batch tasks' contribution; it remains
+  // valid as ground truth for "everything that ran on the machine".
   void FilterToServingTasks();
 
-  int64_t TotalTaskCount() const { return static_cast<int64_t>(tasks.size()); }
+  int64_t TotalTaskCount() const { return num_tasks(); }
   double TotalCapacity() const;
+
+ private:
+  friend class TaskView;
+  friend class CellTraceBuilder;
+  friend class MachineSeriesCursor;
+  friend CellTrace trace_internal::AttachTrace(std::string, Interval, int64_t,
+                                               std::shared_ptr<const trace_internal::TraceArena>,
+                                               int64_t, int64_t, int64_t, int64_t, int64_t, bool);
+
+  // Points the column spans into `arena` using the layout implied by the
+  // element counts; called by the builder and the binary loader.
+  void Attach(std::shared_ptr<const trace_internal::TraceArena> arena, int64_t num_tasks,
+              int64_t num_machines, int64_t usage_samples, int64_t peak_samples,
+              int64_t csr_entries, bool has_rich);
+
+  std::shared_ptr<const trace_internal::TraceArena> arena_;
+  std::span<const TaskId> task_id_;
+  std::span<const JobId> job_id_;
+  std::span<const int32_t> machine_of_;
+  std::span<const Interval> start_;
+  std::span<const uint8_t> sched_class_;
+  std::span<const double> limit_;
+  std::span<const uint64_t> usage_off_;
+  std::span<const float> usage_;
+  std::span<const float> rich_;  // 9*S floats, column-major; empty if no rich
+  std::span<const double> capacity_;
+  std::span<const uint64_t> peak_off_;
+  std::span<const float> peak_;
+  std::span<const uint64_t> csr_off_;
+  std::span<const int32_t> csr_tasks_;
 };
+
+// Streams one machine's per-interval aggregates (usage sum, limit sum,
+// resident count) without allocating per call. Reset(m) materialises all
+// three series in one fused O(tasks + T) pass over the machine's CSR row:
+// usage is scatter-added straight out of the contiguous arena, limits and
+// resident counts via event deltas (+ at start, - at departure) followed by
+// a prefix sum. The internal buffers are reused across machines, so a loop
+// over every machine performs zero allocations after the first Reset.
+//
+// Usage:
+//   MachineSeriesCursor cursor(cell);
+//   cursor.Reset(m);
+//   while (cursor.Next()) {
+//     use(cursor.interval(), cursor.usage(), cursor.limit_sum(),
+//         cursor.resident());
+//   }
+//
+// Next() visits every interval in [0, cell.num_intervals) in order. The
+// cursor borrows the cell's arena; it must not outlive the trace.
+class MachineSeriesCursor {
+ public:
+  explicit MachineSeriesCursor(const CellTrace& cell);
+
+  void Reset(int machine_index);
+  bool Next();
+
+  Interval interval() const { return t_; }
+  double usage() const { return usage_buf_[t_]; }
+  double limit_sum() const { return limit_buf_[t_]; }
+  int32_t resident() const { return resident_buf_[t_]; }
+
+ private:
+  const CellTrace* cell_;
+  std::vector<double> usage_buf_;     // per-interval usage sum
+  std::vector<double> limit_buf_;     // per-interval resident limit sum
+  std::vector<int32_t> resident_buf_; // per-interval resident count
+  Interval t_ = -1;
+};
+
+inline TaskId TaskView::task_id() const { return cell_->task_id_[index_]; }
+inline JobId TaskView::job_id() const { return cell_->job_id_[index_]; }
+inline int32_t TaskView::machine_index() const { return cell_->machine_of_[index_]; }
+inline Interval TaskView::start() const { return cell_->start_[index_]; }
+inline double TaskView::limit() const { return cell_->limit_[index_]; }
+inline SchedulingClass TaskView::sched_class() const {
+  return static_cast<SchedulingClass>(cell_->sched_class_[index_]);
+}
+inline std::span<const float> TaskView::usage() const {
+  const uint64_t begin = cell_->usage_off_[index_];
+  const uint64_t end = cell_->usage_off_[index_ + 1];
+  return cell_->usage_.subspan(begin, end - begin);
+}
 
 }  // namespace crf
 

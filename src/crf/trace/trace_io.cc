@@ -2,27 +2,66 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <memory>
 #include <string_view>
+#include <vector>
 
+#include "crf/trace/trace_builder.h"
 #include "crf/util/check.h"
 #include "crf/util/csv.h"
 
 namespace crf {
 namespace {
 
-constexpr std::string_view kMagic = "# crf-trace v1";
+constexpr std::string_view kTextMagic = "# crf-trace v1";
+constexpr char kBinaryMagic[8] = {'C', 'R', 'F', 'T', 'R', 'B', 'I', 'N'};
+constexpr uint32_t kBinaryVersion = 1;
+constexpr uint32_t kFlagRich = 1u << 0;
+constexpr uint64_t kHeaderAlignment = 64;
 
-void AppendSeries(std::string& out, const std::vector<float>& series) {
+// Fixed-size little-endian header preceding the arena blob.
+struct BinaryHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t flags;
+  int64_t num_tasks;
+  int64_t num_machines;
+  int64_t usage_samples;
+  int64_t peak_samples;
+  int64_t csr_entries;
+  int64_t num_intervals;
+  int64_t dropped_tasks;
+  uint64_t name_length;
+  uint64_t arena_bytes;
+};
+static_assert(sizeof(BinaryHeader) == 88, "binary trace header layout drifted");
+
+uint64_t PaddedNameLength(uint64_t name_length) {
+  const uint64_t unpadded = sizeof(BinaryHeader) + name_length;
+  return ((unpadded + kHeaderAlignment - 1) & ~(kHeaderAlignment - 1)) - sizeof(BinaryHeader);
+}
+
+// 9 significant digits round-trip any binary32 value exactly, so text and
+// binary saves of the same trace reload to identical bits.
+void AppendSeries(std::string& out, std::span<const float> series) {
   char buffer[32];
   for (size_t i = 0; i < series.size(); ++i) {
     if (i > 0) {
       out += ';';
     }
-    std::snprintf(buffer, sizeof(buffer), "%.6g", static_cast<double>(series[i]));
+    std::snprintf(buffer, sizeof(buffer), "%.9g", static_cast<double>(series[i]));
     out += buffer;
   }
+}
+
+// Likewise, 17 significant digits round-trip any binary64 value (limits and
+// machine capacities are doubles).
+std::string FormatExactDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
 }
 
 bool ParseDouble(std::string_view field, double& out) {
@@ -58,55 +97,14 @@ bool ParseSeries(std::string_view field, std::vector<float>& out) {
   return true;
 }
 
-}  // namespace
-
-void SaveCellTrace(const CellTrace& cell, const std::string& path) {
-  std::ofstream out(path);
-  CRF_CHECK(out.is_open()) << "cannot open " << path;
-  out << kMagic << '\n';
-  out << "cell," << cell.name << ',' << cell.num_intervals << ',' << cell.machines.size() << ','
-      << cell.dropped_tasks << '\n';
+std::optional<CellTrace> LoadCellTraceText(std::ifstream& in) {
   std::string line;
-  for (size_t m = 0; m < cell.machines.size(); ++m) {
-    line = "machine,";
-    line += std::to_string(m);
-    line += ',';
-    line += FormatDouble(cell.machines[m].capacity);
-    line += ',';
-    AppendSeries(line, cell.machines[m].true_peak);
-    out << line << '\n';
-  }
-  for (const TaskTrace& task : cell.tasks) {
-    line = "task,";
-    line += std::to_string(task.task_id);
-    line += ',';
-    line += std::to_string(task.job_id);
-    line += ',';
-    line += std::to_string(task.machine_index);
-    line += ',';
-    line += std::to_string(task.start);
-    line += ',';
-    line += FormatDouble(task.limit);
-    line += ',';
-    line += std::to_string(static_cast<int>(task.sched_class));
-    line += ',';
-    AppendSeries(line, task.usage);
-    out << line << '\n';
-  }
-  CRF_CHECK(out.good()) << "write failure on " << path;
-}
-
-std::optional<CellTrace> LoadCellTrace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return std::nullopt;
-  }
-  std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  if (!std::getline(in, line) || line != kTextMagic) {
     return std::nullopt;
   }
 
-  CellTrace cell;
+  CellTraceBuilder builder;
+  std::vector<float> series;
   bool saw_header = false;
   while (std::getline(in, line)) {
     if (line.empty()) {
@@ -121,13 +119,12 @@ std::optional<CellTrace> LoadCellTrace(const std::string& path) {
       int64_t machines = 0;
       int64_t dropped = 0;
       if (!ParseInt(fields[2], intervals) || !ParseInt(fields[3], machines) ||
-          !ParseInt(fields[4], dropped)) {
+          !ParseInt(fields[4], dropped) || intervals < 0 || machines < 0) {
         return std::nullopt;
       }
-      cell.name = std::string(fields[1]);
-      cell.num_intervals = static_cast<Interval>(intervals);
-      cell.machines.resize(machines);
-      cell.dropped_tasks = dropped;
+      builder.Reset(std::string(fields[1]), static_cast<Interval>(intervals),
+                    static_cast<int>(machines));
+      builder.set_dropped_tasks(dropped);
       saw_header = true;
     } else if (fields[0] == "machine") {
       if (!saw_header || fields.size() != 4) {
@@ -136,40 +133,40 @@ std::optional<CellTrace> LoadCellTrace(const std::string& path) {
       int64_t index = 0;
       double capacity = 0.0;
       if (!ParseInt(fields[1], index) || !ParseDouble(fields[2], capacity) || index < 0 ||
-          index >= static_cast<int64_t>(cell.machines.size())) {
+          index >= builder.num_machines()) {
         return std::nullopt;
       }
-      cell.machines[index].capacity = capacity;
-      if (!ParseSeries(fields[3], cell.machines[index].true_peak)) {
+      builder.set_machine_capacity(static_cast<int>(index), capacity);
+      if (!ParseSeries(fields[3], series)) {
         return std::nullopt;
       }
+      builder.mutable_true_peak(static_cast<int>(index)) = series;
     } else if (fields[0] == "task") {
       if (!saw_header || fields.size() != 8) {
         return std::nullopt;
       }
-      TaskTrace task;
       int64_t task_id = 0;
       int64_t job_id = 0;
       int64_t machine = 0;
       int64_t start = 0;
+      double limit = 0.0;
       int64_t sched_class = 0;
       if (!ParseInt(fields[1], task_id) || !ParseInt(fields[2], job_id) ||
           !ParseInt(fields[3], machine) || !ParseInt(fields[4], start) ||
-          !ParseDouble(fields[5], task.limit) || !ParseInt(fields[6], sched_class) ||
-          machine < 0 || machine >= static_cast<int64_t>(cell.machines.size()) ||
-          sched_class < 0 || sched_class > 3) {
+          !ParseDouble(fields[5], limit) || !ParseInt(fields[6], sched_class) || machine < 0 ||
+          machine >= builder.num_machines() || sched_class < 0 || sched_class > 3) {
         return std::nullopt;
       }
-      task.task_id = task_id;
-      task.job_id = job_id;
-      task.machine_index = static_cast<int32_t>(machine);
-      task.start = static_cast<Interval>(start);
-      task.sched_class = static_cast<SchedulingClass>(sched_class);
-      if (!ParseSeries(fields[7], task.usage)) {
+      if (!ParseSeries(fields[7], series)) {
         return std::nullopt;
       }
-      cell.machines[machine].task_indices.push_back(static_cast<int32_t>(cell.tasks.size()));
-      cell.tasks.push_back(std::move(task));
+      const int32_t task = builder.AddTask(task_id, job_id, static_cast<int32_t>(machine),
+                                           static_cast<Interval>(start), limit,
+                                           static_cast<SchedulingClass>(sched_class));
+      builder.ReserveUsage(task, series.size());
+      for (const float u : series) {
+        builder.AppendUsage(task, u);
+      }
     } else {
       return std::nullopt;
     }
@@ -177,7 +174,203 @@ std::optional<CellTrace> LoadCellTrace(const std::string& path) {
   if (!saw_header) {
     return std::nullopt;
   }
-  return cell;
+  return builder.Seal();
+}
+
+// Validates the semantic invariants of a freshly read arena (offset tables
+// monotone and consistent with the counts, indices in range) so a corrupted
+// file can never produce out-of-bounds spans.
+bool ValidateArena(const trace_internal::TraceArena& arena,
+                   const trace_internal::ArenaLayout& layout, const BinaryHeader& header) {
+  const std::byte* base = arena.bytes;
+  const auto offsets_ok = [base](uint64_t slab, int64_t entries, uint64_t total) {
+    const uint64_t* off = reinterpret_cast<const uint64_t*>(base + slab);
+    if (off[0] != 0 || off[entries] != total) {
+      return false;
+    }
+    for (int64_t i = 0; i < entries; ++i) {
+      if (off[i] > off[i + 1]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!offsets_ok(layout.usage_off, header.num_tasks,
+                  static_cast<uint64_t>(header.usage_samples)) ||
+      !offsets_ok(layout.peak_off, header.num_machines,
+                  static_cast<uint64_t>(header.peak_samples)) ||
+      !offsets_ok(layout.csr_off, header.num_machines,
+                  static_cast<uint64_t>(header.csr_entries))) {
+    return false;
+  }
+  const int32_t* machine_of = reinterpret_cast<const int32_t*>(base + layout.machine_of);
+  const uint8_t* sched_class = reinterpret_cast<const uint8_t*>(base + layout.sched_class);
+  for (int64_t i = 0; i < header.num_tasks; ++i) {
+    if (machine_of[i] < 0 || machine_of[i] >= header.num_machines || sched_class[i] > 3) {
+      return false;
+    }
+  }
+  // Every task must appear in exactly one CSR row.
+  const int32_t* csr_tasks = reinterpret_cast<const int32_t*>(base + layout.csr_tasks);
+  std::vector<uint8_t> seen(header.num_tasks, 0);
+  for (int64_t i = 0; i < header.csr_entries; ++i) {
+    if (csr_tasks[i] < 0 || csr_tasks[i] >= header.num_tasks || seen[csr_tasks[i]] != 0) {
+      return false;
+    }
+    seen[csr_tasks[i]] = 1;
+  }
+  return true;
+}
+
+std::optional<CellTrace> LoadCellTraceBinary(std::FILE* file) {
+  BinaryHeader header;
+  if (std::fread(&header, sizeof(header), 1, file) != 1 ||
+      std::memcmp(header.magic, kBinaryMagic, sizeof(kBinaryMagic)) != 0 ||
+      header.version != kBinaryVersion || (header.flags & ~kFlagRich) != 0 ||
+      header.num_tasks < 0 || header.num_machines < 0 || header.usage_samples < 0 ||
+      header.peak_samples < 0 || header.csr_entries != header.num_tasks ||
+      header.num_intervals < 0 || header.dropped_tasks < 0) {
+    return std::nullopt;
+  }
+  const bool has_rich = (header.flags & kFlagRich) != 0;
+  const trace_internal::ArenaLayout layout = trace_internal::ComputeArenaLayout(
+      header.num_tasks, header.num_machines, header.usage_samples, header.peak_samples,
+      header.csr_entries, has_rich);
+  if (header.arena_bytes != layout.total_bytes ||
+      header.name_length > (1u << 20)) {  // names are short; a huge length is corruption
+    return std::nullopt;
+  }
+
+  std::string name(header.name_length, '\0');
+  if (header.name_length > 0 &&
+      std::fread(name.data(), 1, header.name_length, file) != header.name_length) {
+    return std::nullopt;
+  }
+  const uint64_t padding = PaddedNameLength(header.name_length) - header.name_length;
+  if (std::fseek(file, static_cast<long>(padding), SEEK_CUR) != 0) {
+    return std::nullopt;
+  }
+
+  auto arena = std::make_shared<trace_internal::TraceArena>(layout.total_bytes);
+  if (layout.total_bytes > 0 &&
+      std::fread(arena->bytes, 1, layout.total_bytes, file) != layout.total_bytes) {
+    return std::nullopt;  // truncated slab
+  }
+  // Reject trailing garbage.
+  if (std::fgetc(file) != EOF) {
+    return std::nullopt;
+  }
+  if (!ValidateArena(*arena, layout, header)) {
+    return std::nullopt;
+  }
+  return trace_internal::AttachTrace(std::move(name), static_cast<Interval>(header.num_intervals),
+                                     header.dropped_tasks, std::move(arena), header.num_tasks,
+                                     header.num_machines, header.usage_samples,
+                                     header.peak_samples, header.csr_entries, has_rich);
+}
+
+}  // namespace
+
+void SaveCellTrace(const CellTrace& cell, const std::string& path) {
+  std::ofstream out(path);
+  CRF_CHECK(out.is_open()) << "cannot open " << path;
+  out << kTextMagic << '\n';
+  out << "cell," << cell.name << ',' << cell.num_intervals << ',' << cell.num_machines() << ','
+      << cell.dropped_tasks << '\n';
+  std::string line;
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    line = "machine,";
+    line += std::to_string(m);
+    line += ',';
+    line += FormatExactDouble(cell.machine_capacity(m));
+    line += ',';
+    AppendSeries(line, cell.true_peak(m));
+    out << line << '\n';
+  }
+  for (int32_t i = 0; i < cell.num_tasks(); ++i) {
+    const TaskView task = cell.task(i);
+    line = "task,";
+    line += std::to_string(task.task_id());
+    line += ',';
+    line += std::to_string(task.job_id());
+    line += ',';
+    line += std::to_string(task.machine_index());
+    line += ',';
+    line += std::to_string(task.start());
+    line += ',';
+    line += FormatExactDouble(task.limit());
+    line += ',';
+    line += std::to_string(static_cast<int>(task.sched_class()));
+    line += ',';
+    AppendSeries(line, task.usage());
+    out << line << '\n';
+  }
+  CRF_CHECK(out.good()) << "write failure on " << path;
+}
+
+void SaveCellTraceBinary(const CellTrace& cell, const std::string& path) {
+  // A default-constructed (never sealed) trace has no arena; seal an empty
+  // one so the writer has a blob to emit.
+  if (cell.arena_bytes().empty()) {
+    CRF_CHECK_EQ(cell.num_tasks(), 0);
+    CellTraceBuilder builder(cell.name, cell.num_intervals, 0);
+    builder.set_dropped_tasks(cell.dropped_tasks);
+    SaveCellTraceBinary(builder.Seal(), path);
+    return;
+  }
+
+  BinaryHeader header;
+  std::memset(&header, 0, sizeof(header));
+  std::memcpy(header.magic, kBinaryMagic, sizeof(kBinaryMagic));
+  header.version = kBinaryVersion;
+  header.flags = cell.has_rich() ? kFlagRich : 0;
+  header.num_tasks = cell.num_tasks();
+  header.num_machines = cell.num_machines();
+  header.usage_samples = cell.usage_sample_count();
+  header.peak_samples = cell.peak_sample_count();
+  header.csr_entries = cell.num_tasks();
+  header.num_intervals = cell.num_intervals;
+  header.dropped_tasks = cell.dropped_tasks;
+  header.name_length = cell.name.size();
+  header.arena_bytes = cell.arena_bytes().size();
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  CRF_CHECK(file != nullptr) << "cannot open " << path;
+  bool ok = std::fwrite(&header, sizeof(header), 1, file) == 1;
+  if (!cell.name.empty()) {
+    ok = ok && std::fwrite(cell.name.data(), 1, cell.name.size(), file) == cell.name.size();
+  }
+  const uint64_t padding = PaddedNameLength(header.name_length) - header.name_length;
+  static constexpr char kZeros[kHeaderAlignment] = {};
+  ok = ok && std::fwrite(kZeros, 1, padding, file) == padding;
+  ok = ok && std::fwrite(cell.arena_bytes().data(), 1, cell.arena_bytes().size(), file) ==
+                 cell.arena_bytes().size();
+  ok = std::fclose(file) == 0 && ok;
+  CRF_CHECK(ok) << "write failure on " << path;
+}
+
+std::optional<CellTrace> LoadCellTrace(const std::string& path) {
+  // Sniff the leading magic to pick a format.
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return std::nullopt;
+    }
+    char magic[8] = {};
+    const size_t got = std::fread(magic, 1, sizeof(magic), file);
+    if (got == sizeof(magic) && std::memcmp(magic, kBinaryMagic, sizeof(kBinaryMagic)) == 0) {
+      std::rewind(file);
+      auto cell = LoadCellTraceBinary(file);
+      std::fclose(file);
+      return cell;
+    }
+    std::fclose(file);
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  return LoadCellTraceText(in);
 }
 
 }  // namespace crf

@@ -1,15 +1,30 @@
-// Trace persistence.
+// Trace persistence: a text format and a zero-copy binary format.
 //
-// A simple line-oriented text format so generated traces can be cached,
-// inspected, or fed to external tooling. Rich within-interval stats are not
-// persisted (they are cheap to regenerate and 9x the size); LoadCellTrace
-// returns a trace with empty TaskTrace::rich.
+// Text (v1) — line-oriented CSV so generated traces can be inspected or fed
+// to external tooling. Rich within-interval stats are not persisted in text
+// (they are cheap to regenerate and 9x the size); loading a text trace yields
+// has_rich() == false.
 //
-// Format (one record per line, comma-separated; series fields use ';'):
 //   # crf-trace v1
 //   cell,<name>,<num_intervals>,<num_machines>,<dropped_tasks>
 //   machine,<index>,<capacity>,<true_peak[0];true_peak[1];...>
 //   task,<task_id>,<job_id>,<machine>,<start>,<limit>,<class>,<u0;u1;...>
+//
+// Binary (v1) — a versioned header followed by the sealed arena verbatim
+// (trace.h describes the slab layout). Because the on-disk payload IS the
+// in-memory layout, loading is one read into a 64-byte-aligned buffer plus
+// header validation: no per-task parsing or reallocation. The rich ladder,
+// dropped_tasks, and per-machine ground truth all round-trip exactly.
+//
+//   bytes [0,88)   header: magic "CRFTRBIN", version, flags (bit0 = rich),
+//                  task/machine/sample/CSR counts, num_intervals,
+//                  dropped_tasks, name length, arena byte size
+//   then           cell name, zero-padded so the arena starts 64-aligned
+//   then           the arena blob
+//
+// LoadCellTrace sniffs the leading magic and accepts either format; both
+// loaders return nullopt on missing, malformed, or corrupted input
+// (including truncated slabs and header/arena size mismatches).
 
 #ifndef CRF_TRACE_TRACE_IO_H_
 #define CRF_TRACE_TRACE_IO_H_
@@ -21,10 +36,15 @@
 
 namespace crf {
 
-// Writes `cell` to `path`. Aborts on I/O error (paths are operator input).
+// Writes `cell` to `path` in the text format. Aborts on I/O error (paths are
+// operator input).
 void SaveCellTrace(const CellTrace& cell, const std::string& path);
 
-// Loads a trace; returns nullopt if the file is missing or malformed.
+// Writes `cell` to `path` in the binary format.
+void SaveCellTraceBinary(const CellTrace& cell, const std::string& path);
+
+// Loads a trace in either format; returns nullopt if the file is missing or
+// malformed.
 std::optional<CellTrace> LoadCellTrace(const std::string& path);
 
 }  // namespace crf

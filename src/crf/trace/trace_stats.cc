@@ -9,9 +9,9 @@ namespace crf {
 
 std::vector<int64_t> SubmissionRateSeries(const CellTrace& cell) {
   std::vector<int64_t> series(cell.num_intervals, 0);
-  for (const TaskTrace& task : cell.tasks) {
-    if (task.start > 0 && task.start < cell.num_intervals) {
-      ++series[task.start];
+  for (const Interval start : cell.task_starts()) {
+    if (start > 0 && start < cell.num_intervals) {
+      ++series[start];
     }
   }
   return series;
@@ -19,8 +19,8 @@ std::vector<int64_t> SubmissionRateSeries(const CellTrace& cell) {
 
 Ecdf TaskRuntimeHoursCdf(const CellTrace& cell) {
   Ecdf cdf;
-  for (const TaskTrace& task : cell.tasks) {
-    cdf.Add(IntervalsToHours(task.runtime()));
+  for (int32_t i = 0; i < cell.num_tasks(); ++i) {
+    cdf.Add(IntervalsToHours(cell.task(i).runtime()));
   }
   return cdf;
 }
@@ -28,12 +28,14 @@ Ecdf TaskRuntimeHoursCdf(const CellTrace& cell) {
 Ecdf UsageToLimitCdf(const CellTrace& cell, int stride) {
   CRF_CHECK_GE(stride, 1);
   Ecdf cdf;
-  for (const TaskTrace& task : cell.tasks) {
-    if (task.limit <= 0.0) {
+  for (int32_t i = 0; i < cell.num_tasks(); ++i) {
+    const TaskView task = cell.task(i);
+    if (task.limit() <= 0.0) {
       continue;
     }
-    for (size_t k = 0; k < task.usage.size(); k += stride) {
-      cdf.Add(task.usage[k] / task.limit);
+    const std::span<const float> usage = task.usage();
+    for (size_t k = 0; k < usage.size(); k += stride) {
+      cdf.Add(usage[k] / task.limit());
     }
   }
   return cdf;
@@ -41,10 +43,11 @@ Ecdf UsageToLimitCdf(const CellTrace& cell, int stride) {
 
 std::vector<double> CellLimitSeries(const CellTrace& cell) {
   std::vector<double> series(cell.num_intervals, 0.0);
-  for (const TaskTrace& task : cell.tasks) {
+  for (int32_t i = 0; i < cell.num_tasks(); ++i) {
+    const TaskView task = cell.task(i);
     const Interval end = std::min(task.end(), cell.num_intervals);
-    for (Interval t = task.start; t < end; ++t) {
-      series[t] += task.limit;
+    for (Interval t = task.start(); t < end; ++t) {
+      series[t] += task.limit();
     }
   }
   return series;
@@ -52,10 +55,12 @@ std::vector<double> CellLimitSeries(const CellTrace& cell) {
 
 std::vector<double> CellUsageSeries(const CellTrace& cell) {
   std::vector<double> series(cell.num_intervals, 0.0);
-  for (const TaskTrace& task : cell.tasks) {
+  for (int32_t i = 0; i < cell.num_tasks(); ++i) {
+    const TaskView task = cell.task(i);
+    const std::span<const float> usage = task.usage();
     const Interval end = std::min(task.end(), cell.num_intervals);
-    for (Interval t = task.start; t < end; ++t) {
-      series[t] += task.usage[t - task.start];
+    for (Interval t = task.start(); t < end; ++t) {
+      series[t] += usage[t - task.start()];
     }
   }
   return series;
@@ -65,8 +70,10 @@ std::vector<double> TaskLevelFuturePeakSum(const CellTrace& cell, Interval horiz
   CRF_CHECK_GE(horizon, 1);
   std::vector<double> sum(cell.num_intervals, 0.0);
   std::vector<double> usage;
-  for (const TaskTrace& task : cell.tasks) {
-    usage.assign(task.usage.begin(), task.usage.end());
+  for (int32_t i = 0; i < cell.num_tasks(); ++i) {
+    const TaskView task = cell.task(i);
+    const std::span<const float> task_usage = task.usage();
+    usage.assign(task_usage.begin(), task_usage.end());
     if (usage.empty()) {
       continue;
     }
@@ -75,8 +82,8 @@ std::vector<double> TaskLevelFuturePeakSum(const CellTrace& cell, Interval horiz
     // peak at offset k is exactly this forward window max.
     const std::vector<double> peak = ForwardWindowMax(usage, horizon);
     const Interval end = std::min(task.end(), cell.num_intervals);
-    for (Interval t = task.start; t < end; ++t) {
-      sum[t] += peak[t - task.start];
+    for (Interval t = task.start(); t < end; ++t) {
+      sum[t] += peak[t - task.start()];
     }
   }
   return sum;
@@ -89,31 +96,33 @@ Ecdf PercentileSumPeakErrorCdf(const CellTrace& cell, int percentile, int stride
 std::vector<Ecdf> PercentileSumPeakErrorCdfs(const CellTrace& cell,
                                              std::span<const int> percentiles, int stride) {
   CRF_CHECK_GE(stride, 1);
+  CRF_CHECK(cell.has_rich()) << "PercentileSumPeakErrorCdfs requires rich_stats traces";
   const size_t num_percentiles = percentiles.size();
   std::vector<Ecdf> cdfs(num_percentiles);
   std::vector<std::vector<double>> approx(num_percentiles);
-  for (size_t m = 0; m < cell.machines.size(); ++m) {
-    const MachineTrace& machine = cell.machines[m];
-    CRF_CHECK_EQ(machine.true_peak.size(), static_cast<size_t>(cell.num_intervals))
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    const std::span<const float> true_peak = cell.true_peak(m);
+    CRF_CHECK_EQ(true_peak.size(), static_cast<size_t>(cell.num_intervals))
         << "machine true_peak missing; generate the trace first";
     for (std::vector<double>& series : approx) {
       series.assign(cell.num_intervals, 0.0);
     }
-    for (const int32_t task_index : machine.task_indices) {
-      const TaskTrace& task = cell.tasks[task_index];
-      CRF_CHECK_EQ(task.rich.size(), task.usage.size())
-          << "PercentileSumPeakErrorCdfs requires rich_stats traces";
+    for (const int32_t task_index : cell.machine_tasks(m)) {
+      const TaskView task = cell.task(task_index);
+      const Interval start = task.start();
       const Interval end = std::min(task.end(), cell.num_intervals);
-      for (Interval t = task.start; t < end; ++t) {
-        // One rich-stats row load answers the whole percentile grid.
-        const auto& row = task.rich[t - task.start];
-        for (size_t p = 0; p < num_percentiles; ++p) {
-          approx[p][t] += row.AtPercentile(percentiles[p]);
+      // Struct-of-arrays ladder: each percentile reads one contiguous column.
+      for (size_t p = 0; p < num_percentiles; ++p) {
+        const std::span<const float> column =
+            task.rich_column(RichColumnForPercentile(percentiles[p]));
+        std::vector<double>& series = approx[p];
+        for (Interval t = start; t < end; ++t) {
+          series[t] += column[t - start];
         }
       }
     }
     for (Interval t = 0; t < cell.num_intervals; t += stride) {
-      const double actual = machine.true_peak[t];
+      const double actual = true_peak[t];
       if (actual > 1e-9) {
         for (size_t p = 0; p < num_percentiles; ++p) {
           cdfs[p].Add((approx[p][t] - actual) / actual);

@@ -38,7 +38,7 @@ ClusterSimResult* CellSimFixture::result_ = nullptr;
 TEST_F(CellSimFixture, ShapesAreConsistent) {
   EXPECT_EQ(result_->cell_name, "cell_a");
   EXPECT_EQ(result_->predictor_name, "borg-default-0.90");
-  EXPECT_EQ(result_->trace.machines.size(), 12u);
+  EXPECT_EQ(result_->trace.num_machines(), 12);
   EXPECT_EQ(result_->predictions.num_machines(), 12);
   EXPECT_EQ(result_->latencies.num_machines(), 12);
   EXPECT_EQ(result_->predictions.num_intervals(), result_->trace.num_intervals);
@@ -48,29 +48,30 @@ TEST_F(CellSimFixture, ShapesAreConsistent) {
 }
 
 TEST_F(CellSimFixture, PlacedTasksHaveValidMachinesAndUsage) {
-  EXPECT_EQ(static_cast<int64_t>(result_->trace.tasks.size()), result_->tasks_placed);
-  for (const TaskTrace& task : result_->trace.tasks) {
-    ASSERT_GE(task.machine_index, 0);
-    ASSERT_LT(task.machine_index, 12);
-    EXPECT_GE(task.start, 1);  // Tasks start the interval after placement.
+  EXPECT_EQ(static_cast<int64_t>(result_->trace.num_tasks()), result_->tasks_placed);
+  for (int32_t i = 0; i < result_->trace.num_tasks(); ++i) {
+    const TaskView task = result_->trace.task(i);
+    ASSERT_GE(task.machine_index(), 0);
+    ASSERT_LT(task.machine_index(), 12);
+    EXPECT_GE(task.start(), 1);  // Tasks start the interval after placement.
     EXPECT_LE(task.end(), result_->trace.num_intervals);
-    EXPECT_FALSE(task.usage.empty());
-    for (const float u : task.usage) {
+    EXPECT_FALSE(task.usage().empty());
+    for (const float u : task.usage()) {
       ASSERT_GE(u, 0.0f);
-      ASSERT_LE(u, static_cast<float>(task.limit) * 1.0001f);
+      ASSERT_LE(u, static_cast<float>(task.limit()) * 1.0001f);
     }
   }
 }
 
 TEST_F(CellSimFixture, TraceIndicesConsistent) {
   std::set<int32_t> seen;
-  for (size_t m = 0; m < result_->trace.machines.size(); ++m) {
-    for (const int32_t index : result_->trace.machines[m].task_indices) {
-      EXPECT_EQ(result_->trace.tasks[index].machine_index, static_cast<int32_t>(m));
+  for (int m = 0; m < result_->trace.num_machines(); ++m) {
+    for (const int32_t index : result_->trace.machine_tasks(m)) {
+      EXPECT_EQ(result_->trace.task(index).machine_index(), m);
       EXPECT_TRUE(seen.insert(index).second);
     }
   }
-  EXPECT_EQ(seen.size(), result_->trace.tasks.size());
+  EXPECT_EQ(seen.size(), static_cast<size_t>(result_->trace.num_tasks()));
 }
 
 TEST_F(CellSimFixture, CellFillsUpDuringWarmup) {
@@ -92,10 +93,9 @@ TEST(CellSimTest, LimitSumPredictorNeverOvercommits) {
   // resident limits can never exceed capacity.
   ClusterSimResult result =
       RunClusterSim(SmallProfile(), ShortOptions(LimitSumSpec()), Rng(45));
-  for (size_t m = 0; m < result.trace.machines.size(); ++m) {
+  for (int m = 0; m < result.trace.num_machines(); ++m) {
     for (Interval t = 0; t < result.trace.num_intervals; ++t) {
-      EXPECT_LE(result.limit_sum.at(static_cast<int>(m), t),
-                result.trace.machines[m].capacity + 1e-6);
+      EXPECT_LE(result.limit_sum.at(m, t), result.trace.machine_capacity(m) + 1e-6);
     }
   }
 }
@@ -119,10 +119,15 @@ TEST(CellSimTest, DeterministicGivenSeed) {
   const ClusterSimResult a = RunClusterSim(SmallProfile(), ShortOptions(), Rng(47));
   const ClusterSimResult b = RunClusterSim(SmallProfile(), ShortOptions(), Rng(47));
   EXPECT_EQ(a.tasks_placed, b.tasks_placed);
-  ASSERT_EQ(a.trace.tasks.size(), b.trace.tasks.size());
-  for (size_t i = 0; i < a.trace.tasks.size(); ++i) {
-    ASSERT_EQ(a.trace.tasks[i].usage, b.trace.tasks[i].usage);
-    ASSERT_EQ(a.trace.tasks[i].machine_index, b.trace.tasks[i].machine_index);
+  ASSERT_EQ(a.trace.num_tasks(), b.trace.num_tasks());
+  for (int32_t i = 0; i < a.trace.num_tasks(); ++i) {
+    const TaskView ta = a.trace.task(i);
+    const TaskView tb = b.trace.task(i);
+    ASSERT_EQ(ta.machine_index(), tb.machine_index());
+    ASSERT_EQ(ta.usage().size(), tb.usage().size());
+    for (size_t k = 0; k < tb.usage().size(); ++k) {
+      ASSERT_EQ(ta.usage()[k], tb.usage()[k]);
+    }
   }
   EXPECT_EQ(a.predictions, b.predictions);
 }

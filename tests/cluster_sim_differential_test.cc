@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -38,23 +40,39 @@ void ExpectIdentical(const ClusterSimResult& a, const ClusterSimResult& b,
   EXPECT_EQ(a.pending_task_intervals, b.pending_task_intervals);
   EXPECT_EQ(a.placement_attempts, b.placement_attempts);
 
-  ASSERT_EQ(a.trace.tasks.size(), b.trace.tasks.size());
-  for (size_t i = 0; i < a.trace.tasks.size(); ++i) {
-    const TaskTrace& ta = a.trace.tasks[i];
-    const TaskTrace& tb = b.trace.tasks[i];
-    ASSERT_EQ(ta.task_id, tb.task_id) << "task " << i;
-    ASSERT_EQ(ta.job_id, tb.job_id) << "task " << i;
-    ASSERT_EQ(ta.machine_index, tb.machine_index) << "task " << i;
-    ASSERT_EQ(ta.start, tb.start) << "task " << i;
-    ASSERT_EQ(ta.limit, tb.limit) << "task " << i;
-    ASSERT_EQ(ta.sched_class, tb.sched_class) << "task " << i;
-    ASSERT_EQ(ta.usage, tb.usage) << "task " << i;  // exact float equality
+  ASSERT_EQ(a.trace.num_tasks(), b.trace.num_tasks());
+  for (int32_t i = 0; i < a.trace.num_tasks(); ++i) {
+    const TaskView ta = a.trace.task(i);
+    const TaskView tb = b.trace.task(i);
+    ASSERT_EQ(ta.task_id(), tb.task_id()) << "task " << i;
+    ASSERT_EQ(ta.job_id(), tb.job_id()) << "task " << i;
+    ASSERT_EQ(ta.machine_index(), tb.machine_index()) << "task " << i;
+    ASSERT_EQ(ta.start(), tb.start()) << "task " << i;
+    ASSERT_EQ(ta.limit(), tb.limit()) << "task " << i;
+    ASSERT_EQ(ta.sched_class(), tb.sched_class()) << "task " << i;
+    ASSERT_EQ(ta.usage().size(), tb.usage().size()) << "task " << i;
+    for (size_t k = 0; k < tb.usage().size(); ++k) {
+      ASSERT_EQ(ta.usage()[k], tb.usage()[k])  // exact float equality
+          << "task " << i << " sample " << k;
+    }
   }
-  ASSERT_EQ(a.trace.machines.size(), b.trace.machines.size());
-  for (size_t m = 0; m < a.trace.machines.size(); ++m) {
-    ASSERT_EQ(a.trace.machines[m].task_indices, b.trace.machines[m].task_indices);
-    ASSERT_EQ(a.trace.machines[m].true_peak, b.trace.machines[m].true_peak);
+  ASSERT_EQ(a.trace.num_machines(), b.trace.num_machines());
+  for (int m = 0; m < a.trace.num_machines(); ++m) {
+    const std::span<const int32_t> ia = a.trace.machine_tasks(m);
+    const std::span<const int32_t> ib = b.trace.machine_tasks(m);
+    ASSERT_EQ(ia.size(), ib.size()) << "machine " << m;
+    ASSERT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin())) << "machine " << m;
+    const std::span<const float> pa = a.trace.true_peak(m);
+    const std::span<const float> pb = b.trace.true_peak(m);
+    ASSERT_EQ(pa.size(), pb.size()) << "machine " << m;
+    ASSERT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin())) << "machine " << m;
   }
+
+  // The strongest form of the contract: both sealed arenas are the same bytes.
+  ASSERT_EQ(a.trace.arena_bytes().size(), b.trace.arena_bytes().size());
+  EXPECT_EQ(std::memcmp(a.trace.arena_bytes().data(), b.trace.arena_bytes().data(),
+                        b.trace.arena_bytes().size()),
+            0);
 
   EXPECT_EQ(a.predictions, b.predictions);
   EXPECT_EQ(a.latencies, b.latencies);

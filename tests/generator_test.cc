@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "crf/stats/running_stats.h"
@@ -40,45 +41,47 @@ CellTrace* GeneratorFixture::cell_ = nullptr;
 TEST_F(GeneratorFixture, BasicShape) {
   EXPECT_EQ(cell_->name, "cell_a");
   EXPECT_EQ(cell_->num_intervals, ShortOptions().num_intervals);
-  EXPECT_EQ(cell_->machines.size(), 24u);
-  EXPECT_GT(cell_->tasks.size(), 200u);
+  EXPECT_EQ(cell_->num_machines(), 24);
+  EXPECT_GT(cell_->num_tasks(), 200);
 }
 
 TEST_F(GeneratorFixture, TasksLieWithinTrace) {
-  for (const TaskTrace& task : cell_->tasks) {
-    EXPECT_GE(task.start, 0);
+  for (int32_t i = 0; i < cell_->num_tasks(); ++i) {
+    const TaskView task = cell_->task(i);
+    EXPECT_GE(task.start(), 0);
     EXPECT_LE(task.end(), cell_->num_intervals);
     EXPECT_GE(task.runtime(), 1);
-    EXPECT_GT(task.limit, 0.0);
+    EXPECT_GT(task.limit(), 0.0);
   }
 }
 
 TEST_F(GeneratorFixture, UsageRespectsLimits) {
-  for (const TaskTrace& task : cell_->tasks) {
-    for (const float u : task.usage) {
+  for (int32_t i = 0; i < cell_->num_tasks(); ++i) {
+    const TaskView task = cell_->task(i);
+    for (const float u : task.usage()) {
       ASSERT_GE(u, 0.0f);
-      ASSERT_LE(u, static_cast<float>(task.limit) * 1.0001f);
+      ASSERT_LE(u, static_cast<float>(task.limit()) * 1.0001f);
     }
   }
 }
 
 TEST_F(GeneratorFixture, MachineIndicesConsistent) {
   std::set<int32_t> seen;
-  for (size_t m = 0; m < cell_->machines.size(); ++m) {
-    for (const int32_t index : cell_->machines[m].task_indices) {
+  for (int m = 0; m < cell_->num_machines(); ++m) {
+    for (const int32_t index : cell_->machine_tasks(m)) {
       ASSERT_GE(index, 0);
-      ASSERT_LT(index, static_cast<int32_t>(cell_->tasks.size()));
-      EXPECT_EQ(cell_->tasks[index].machine_index, static_cast<int32_t>(m));
+      ASSERT_LT(index, cell_->num_tasks());
+      EXPECT_EQ(cell_->task(index).machine_index(), m);
       EXPECT_TRUE(seen.insert(index).second) << "task on two machines";
     }
   }
-  EXPECT_EQ(seen.size(), cell_->tasks.size());
+  EXPECT_EQ(seen.size(), static_cast<size_t>(cell_->num_tasks()));
 }
 
 TEST_F(GeneratorFixture, PlacementRespectsAllocCap) {
   const CellProfile profile = SmallProfile();
-  for (size_t m = 0; m < cell_->machines.size(); ++m) {
-    const std::vector<double> limits = cell_->MachineLimitSeries(static_cast<int>(m));
+  for (int m = 0; m < cell_->num_machines(); ++m) {
+    const std::vector<double> limits = cell_->MachineLimitSeries(m);
     for (const double l : limits) {
       EXPECT_LE(l, profile.target_alloc_ratio * profile.machine_capacity + 1e-9);
     }
@@ -94,8 +97,8 @@ TEST_F(GeneratorFixture, PopulationNearTarget) {
   int count = 0;
   for (Interval t = kIntervalsPerDay; t < cell_->num_intervals; t += 8) {
     int64_t resident = 0;
-    for (const TaskTrace& task : cell_->tasks) {
-      resident += task.ResidentAt(t) ? 1 : 0;
+    for (int32_t i = 0; i < cell_->num_tasks(); ++i) {
+      resident += cell_->task(i).ResidentAt(t) ? 1 : 0;
     }
     total += static_cast<double>(resident);
     ++count;
@@ -111,11 +114,11 @@ TEST_F(GeneratorFixture, TruePeakCoversUsageApproximately) {
   // sum and usually above it.
   for (int m = 0; m < 4; ++m) {
     const std::vector<double> usage = cell_->MachineUsageSeries(m);
-    const MachineTrace& machine = cell_->machines[m];
-    ASSERT_EQ(machine.true_peak.size(), usage.size());
+    const std::span<const float> true_peak = cell_->true_peak(m);
+    ASSERT_EQ(true_peak.size(), usage.size());
     for (size_t t = 0; t < usage.size(); t += 16) {
       if (usage[t] > 0.05) {
-        EXPECT_GT(machine.true_peak[t], 0.8 * usage[t]);
+        EXPECT_GT(true_peak[t], 0.8 * usage[t]);
       }
     }
   }
@@ -123,10 +126,10 @@ TEST_F(GeneratorFixture, TruePeakCoversUsageApproximately) {
 
 TEST_F(GeneratorFixture, MixOfSchedulingClasses) {
   int serving = 0;
-  for (const TaskTrace& task : cell_->tasks) {
-    serving += IsServing(task.sched_class) ? 1 : 0;
+  for (int32_t i = 0; i < cell_->num_tasks(); ++i) {
+    serving += IsServing(cell_->task(i).sched_class()) ? 1 : 0;
   }
-  const double fraction = static_cast<double>(serving) / cell_->tasks.size();
+  const double fraction = static_cast<double>(serving) / cell_->num_tasks();
   EXPECT_GT(fraction, 0.6);
   EXPECT_LT(fraction, 0.95);
 }
@@ -134,24 +137,34 @@ TEST_F(GeneratorFixture, MixOfSchedulingClasses) {
 TEST(GeneratorTest, DeterministicAcrossRuns) {
   const CellTrace a = GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(5));
   const CellTrace b = GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(5));
-  ASSERT_EQ(a.tasks.size(), b.tasks.size());
-  for (size_t i = 0; i < a.tasks.size(); ++i) {
-    EXPECT_EQ(a.tasks[i].task_id, b.tasks[i].task_id);
-    EXPECT_EQ(a.tasks[i].machine_index, b.tasks[i].machine_index);
-    EXPECT_EQ(a.tasks[i].start, b.tasks[i].start);
-    ASSERT_EQ(a.tasks[i].usage, b.tasks[i].usage);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (int32_t i = 0; i < a.num_tasks(); ++i) {
+    const TaskView ta = a.task(i);
+    const TaskView tb = b.task(i);
+    EXPECT_EQ(ta.task_id(), tb.task_id());
+    EXPECT_EQ(ta.machine_index(), tb.machine_index());
+    EXPECT_EQ(ta.start(), tb.start());
+    ASSERT_EQ(ta.usage().size(), tb.usage().size());
+    for (size_t k = 0; k < tb.usage().size(); ++k) {
+      ASSERT_EQ(ta.usage()[k], tb.usage()[k]);
+    }
   }
+  // Determinism extends to the packed arena itself: same seed, same bytes.
+  ASSERT_EQ(a.arena_bytes().size(), b.arena_bytes().size());
+  EXPECT_EQ(std::memcmp(a.arena_bytes().data(), b.arena_bytes().data(),
+                        b.arena_bytes().size()),
+            0);
 }
 
 TEST(GeneratorTest, DifferentSeedsDiffer) {
   const CellTrace a = GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(5));
   const CellTrace b = GenerateCellTrace(SmallProfile(), ShortOptions(), Rng(6));
   // Task counts will almost surely differ; if not, usage will.
-  bool different = a.tasks.size() != b.tasks.size();
+  bool different = a.num_tasks() != b.num_tasks();
   if (!different) {
-    for (size_t i = 0; i < a.tasks.size() && !different; ++i) {
-      different = a.tasks[i].usage != b.tasks[i].usage;
-    }
+    different = a.usage_sample_count() != b.usage_sample_count() ||
+                std::memcmp(a.usage_arena().data(), b.usage_arena().data(),
+                            b.usage_arena().size() * sizeof(float)) != 0;
   }
   EXPECT_TRUE(different);
 }
@@ -163,11 +176,17 @@ TEST(GeneratorTest, RichStatsPopulatedOnDemand) {
   CellProfile profile = SmallProfile();
   profile.num_machines = 8;
   const CellTrace cell = GenerateCellTrace(profile, options, Rng(7));
-  for (const TaskTrace& task : cell.tasks) {
-    ASSERT_EQ(task.rich.size(), task.usage.size());
-    for (size_t k = 0; k < task.rich.size(); ++k) {
-      EXPECT_FLOAT_EQ(task.rich[k].p90, task.usage[k]);
-      EXPECT_LE(task.rich[k].p50, task.rich[k].max);
+  ASSERT_TRUE(cell.has_rich());
+  for (int32_t i = 0; i < cell.num_tasks(); ++i) {
+    const TaskView task = cell.task(i);
+    const std::span<const float> usage = task.usage();
+    const std::span<const float> p90 = task.rich_column(RichColumn::kP90);
+    const std::span<const float> p50 = task.rich_column(RichColumn::kP50);
+    const std::span<const float> max = task.rich_column(RichColumn::kMax);
+    ASSERT_EQ(p90.size(), usage.size());
+    for (size_t k = 0; k < usage.size(); ++k) {
+      EXPECT_FLOAT_EQ(p90[k], usage[k]);
+      EXPECT_LE(p50[k], max[k]);
     }
   }
 }
@@ -178,9 +197,7 @@ TEST(GeneratorTest, NoRichStatsByDefault) {
   GeneratorOptions options;
   options.num_intervals = 48;
   const CellTrace cell = GenerateCellTrace(profile, options, Rng(8));
-  for (const TaskTrace& task : cell.tasks) {
-    EXPECT_TRUE(task.rich.empty());
-  }
+  EXPECT_FALSE(cell.has_rich());
 }
 
 TEST(GeneratorTest, UsageToLimitTailNearCalibration) {

@@ -29,7 +29,7 @@ TEST(IntegrationTest, FullSimPipelineProducesSensibleMetrics) {
   for (const PredictorSpec& spec :
        {BorgDefaultSpec(0.9), RcLikeSpec(99.0), NSigmaSpec(5.0), SimulationMaxSpec()}) {
     const SimResult result = SimulateCell(cell, spec);
-    EXPECT_EQ(result.machines.size(), cell.machines.size());
+    EXPECT_EQ(result.machines.size(), static_cast<size_t>(cell.num_machines()));
     for (const MachineMetrics& m : result.machines) {
       EXPECT_GE(m.violation_rate(), 0.0);
       EXPECT_LE(m.violation_rate(), 1.0);
@@ -59,6 +59,27 @@ TEST(IntegrationTest, SavedTraceSimulatesIdentically) {
   std::remove(path.c_str());
 }
 
+TEST(IntegrationTest, BinaryTraceSimulatesExactly) {
+  const CellTrace cell = Pipeline(94);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "crf_integration.crftrace").string();
+  SaveCellTraceBinary(cell, path);
+  const auto loaded = LoadCellTrace(path);  // auto-detects the binary format
+  ASSERT_TRUE(loaded.has_value());
+
+  // Binary persistence is lossless, so the simulation replays bit-for-bit.
+  const SimResult original = SimulateCell(cell, SimulationMaxSpec());
+  const SimResult replayed = SimulateCell(*loaded, SimulationMaxSpec());
+  ASSERT_EQ(original.machines.size(), replayed.machines.size());
+  for (size_t m = 0; m < original.machines.size(); ++m) {
+    EXPECT_EQ(original.machines[m].violations, replayed.machines[m].violations);
+    EXPECT_DOUBLE_EQ(original.machines[m].savings_ratio, replayed.machines[m].savings_ratio);
+    EXPECT_DOUBLE_EQ(original.machines[m].mean_prediction,
+                     replayed.machines[m].mean_prediction);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(IntegrationTest, TraceStatsAgreeWithSimulatorView) {
   const CellTrace cell = Pipeline(92);
   // Cell limit series from trace_stats equals the sum of the simulator's
@@ -66,9 +87,8 @@ TEST(IntegrationTest, TraceStatsAgreeWithSimulatorView) {
   const std::vector<double> cell_limit = CellLimitSeries(cell);
   std::vector<double> accumulated(cell.num_intervals, 0.0);
   std::vector<double> predictions(cell.num_intervals, 0.0);
-  for (size_t m = 0; m < cell.machines.size(); ++m) {
-    SimulateMachine(cell, static_cast<int>(m), LimitSumSpec(), SimOptions{}, &accumulated,
-                    &predictions);
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    SimulateMachine(cell, m, LimitSumSpec(), SimOptions{}, &accumulated, &predictions);
   }
   for (Interval t = 0; t < cell.num_intervals; ++t) {
     EXPECT_NEAR(accumulated[t], cell_limit[t], 1e-6);

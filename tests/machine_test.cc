@@ -3,31 +3,23 @@
 #include <gtest/gtest.h>
 
 #include "crf/core/predictor_factory.h"
+#include "crf/trace/trace_builder.h"
 
 namespace crf {
 namespace {
 
-CellTrace EmptyTrace(int num_machines, Interval num_intervals) {
-  CellTrace trace;
-  trace.num_intervals = num_intervals;
-  trace.machines.resize(num_machines);
-  for (auto& machine : trace.machines) {
-    machine.capacity = 1.0;
-    machine.true_peak.assign(num_intervals, 0.0f);
+CellTraceBuilder EmptyBuilder(int num_machines, Interval num_intervals) {
+  CellTraceBuilder builder("machine_test", num_intervals, num_machines);
+  for (int m = 0; m < num_machines; ++m) {
+    builder.set_machine_capacity(m, 1.0);
+    builder.mutable_true_peak(m).assign(static_cast<size_t>(num_intervals), 0.0f);
   }
-  return trace;
+  return builder;
 }
 
-int32_t AddTask(CellTrace& trace, TaskId id, int machine, Interval start, double limit) {
-  TaskTrace task;
-  task.task_id = id;
-  task.job_id = id;
-  task.machine_index = machine;
-  task.start = start;
-  task.limit = limit;
-  const int32_t index = static_cast<int32_t>(trace.tasks.size());
-  trace.tasks.push_back(std::move(task));
-  return index;
+int32_t AddTask(CellTraceBuilder& trace, TaskId id, int machine, Interval start,
+                double limit) {
+  return trace.AddTask(id, id, machine, start, limit, SchedulingClass::kLatencySensitive);
 }
 
 TaskUsageParams CalmParams(double limit) {
@@ -41,7 +33,7 @@ TaskUsageParams CalmParams(double limit) {
 }
 
 TEST(ClusterMachineTest, EmptyMachinePredictsZero) {
-  CellTrace trace = EmptyTrace(1, 10);
+  CellTraceBuilder trace = EmptyBuilder(1, 10);
   ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(1));
   const auto stats = machine.Step(0, 1.0, trace);
   EXPECT_EQ(stats.resident_tasks, 0);
@@ -51,7 +43,7 @@ TEST(ClusterMachineTest, EmptyMachinePredictsZero) {
 }
 
 TEST(ClusterMachineTest, TaskLifecycleRecordsUsage) {
-  CellTrace trace = EmptyTrace(1, 10);
+  CellTraceBuilder trace = EmptyBuilder(1, 10);
   ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(2));
   const int32_t index = AddTask(trace, 1, 0, 2, 0.4);
   machine.StartTask(trace, index, CalmParams(0.4), 2, 3);
@@ -59,19 +51,19 @@ TEST(ClusterMachineTest, TaskLifecycleRecordsUsage) {
   for (Interval t = 2; t < 10; ++t) {
     machine.Step(t, 1.0, trace);
   }
-  EXPECT_EQ(trace.tasks[index].usage.size(), 3u);
-  EXPECT_EQ(trace.tasks[index].end(), 5);
-  for (const float u : trace.tasks[index].usage) {
+  EXPECT_EQ(trace.task_usage(index).size(), 3u);
+  EXPECT_EQ(trace.task_end(index), 5);
+  for (const float u : trace.task_usage(index)) {
     EXPECT_GT(u, 0.0f);
     EXPECT_LE(u, 0.4f);
   }
-  // Machine task index registered.
-  ASSERT_EQ(trace.machines[0].task_indices.size(), 1u);
-  EXPECT_EQ(trace.machines[0].task_indices[0], index);
+  // Machine task index registered at AddTask time.
+  ASSERT_EQ(trace.machine_tasks(0).size(), 1u);
+  EXPECT_EQ(trace.machine_tasks(0)[0], index);
 }
 
 TEST(ClusterMachineTest, FreeCapacityIsCapacityMinusPrediction) {
-  CellTrace trace = EmptyTrace(1, 20);
+  CellTraceBuilder trace = EmptyBuilder(1, 20);
   ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(3));
   const int32_t index = AddTask(trace, 1, 0, 0, 0.3);
   machine.StartTask(trace, index, CalmParams(0.3), 0, 20);
@@ -81,7 +73,7 @@ TEST(ClusterMachineTest, FreeCapacityIsCapacityMinusPrediction) {
 }
 
 TEST(ClusterMachineTest, DemandAggregatesTasks) {
-  CellTrace trace = EmptyTrace(1, 10);
+  CellTraceBuilder trace = EmptyBuilder(1, 10);
   ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(4));
   const int32_t a = AddTask(trace, 1, 0, 0, 0.4);
   const int32_t b = AddTask(trace, 2, 0, 0, 0.4);
@@ -92,11 +84,30 @@ TEST(ClusterMachineTest, DemandAggregatesTasks) {
   EXPECT_GT(stats.demand_mean, 0.2);
   EXPECT_GE(stats.demand_peak, stats.demand_mean);
   EXPECT_DOUBLE_EQ(stats.limit_sum, 0.8);
-  EXPECT_GT(trace.machines[0].true_peak[0], 0.0f);
+  EXPECT_GT(trace.mutable_true_peak(0)[0], 0.0f);
+}
+
+TEST(ClusterMachineTest, SealedTraceCarriesRecordedUsage) {
+  CellTraceBuilder trace = EmptyBuilder(1, 10);
+  ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(6));
+  const int32_t index = AddTask(trace, 1, 0, 0, 0.5);
+  machine.StartTask(trace, index, CalmParams(0.5), 0, 4);
+  for (Interval t = 0; t < 10; ++t) {
+    machine.Step(t, 1.0, trace);
+  }
+  const CellTrace cell = trace.Seal();
+  ASSERT_EQ(cell.num_tasks(), 1);
+  const TaskView task = cell.task(0);
+  EXPECT_EQ(task.runtime(), 4);
+  EXPECT_EQ(task.end(), 4);
+  for (const float u : task.usage()) {
+    EXPECT_GT(u, 0.0f);
+  }
+  EXPECT_GT(cell.true_peak(0)[0], 0.0f);
 }
 
 TEST(ClusterMachineDeathTest, StartTaskValidatesInvariants) {
-  CellTrace trace = EmptyTrace(2, 10);
+  CellTraceBuilder trace = EmptyBuilder(2, 10);
   ClusterMachine machine(0, 1.0, CreatePredictor(LimitSumSpec()), LatencyModelParams{}, Rng(5));
   // Wrong machine index on the task.
   const int32_t index = AddTask(trace, 1, 1, 0, 0.3);

@@ -7,31 +7,33 @@
 
 #include "crf/stats/window_max.h"
 #include "crf/trace/generator.h"
+#include "crf/trace/trace_builder.h"
 #include "crf/util/rng.h"
 
 namespace crf {
 namespace {
 
-TaskTrace MakeTask(TaskId id, Interval start, std::vector<float> usage, double limit = 1.0) {
-  TaskTrace task;
-  task.task_id = id;
-  task.job_id = id;
-  task.machine_index = 0;
-  task.start = start;
-  task.limit = limit;
-  task.usage = std::move(usage);
-  return task;
+struct TaskSpec {
+  TaskId id;
+  Interval start;
+  std::vector<float> usage;
+  double limit = 1.0;
+};
+
+TaskSpec MakeTask(TaskId id, Interval start, std::vector<float> usage, double limit = 1.0) {
+  return {id, start, std::move(usage), limit};
 }
 
-CellTrace OneMachineCell(std::vector<TaskTrace> tasks, Interval num_intervals) {
-  CellTrace cell;
-  cell.num_intervals = num_intervals;
-  cell.machines.resize(1);
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    cell.machines[0].task_indices.push_back(static_cast<int32_t>(i));
-    cell.tasks.push_back(std::move(tasks[i]));
+CellTrace OneMachineCell(std::vector<TaskSpec> tasks, Interval num_intervals) {
+  CellTraceBuilder builder("oracle_test", num_intervals, /*num_machines=*/1);
+  for (const TaskSpec& spec : tasks) {
+    const int32_t index = builder.AddTask(spec.id, spec.id, /*machine=*/0, spec.start,
+                                          spec.limit, SchedulingClass::kLatencySensitive);
+    for (const float u : spec.usage) {
+      builder.AppendUsage(index, u);
+    }
   }
-  return cell;
+  return builder.Seal();
 }
 
 // Direct O(T * H * N) reference implementation of the arrival-filtered
@@ -43,9 +45,9 @@ std::vector<double> BruteForceOracle(const CellTrace& cell, int machine, Interva
     const Interval end = std::min<Interval>(cell.num_intervals, tau + horizon);
     for (Interval t = tau; t < end; ++t) {
       double total = 0.0;
-      for (const int32_t index : cell.machines[machine].task_indices) {
-        const TaskTrace& task = cell.tasks[index];
-        if (task.start <= tau) {  // Arrival-filtered: present at tau.
+      for (const int32_t index : cell.machine_tasks(machine)) {
+        const TaskView task = cell.task(index);
+        if (task.start() <= tau) {  // Arrival-filtered: present at tau.
           total += task.UsageAt(t);
         }
       }
@@ -93,9 +95,8 @@ TEST(OracleTest, TotalUsageOracleSeesFutureArrivals) {
 }
 
 TEST(OracleTest, EmptyMachineIsZero) {
-  CellTrace cell;
-  cell.num_intervals = 5;
-  cell.machines.resize(1);
+  CellTraceBuilder builder("empty", /*num_intervals=*/5, /*num_machines=*/1);
+  const CellTrace cell = builder.Seal();
   const std::vector<double> oracle = ComputePeakOracle(cell, 0, 3);
   for (const double v : oracle) {
     EXPECT_DOUBLE_EQ(v, 0.0);
@@ -113,7 +114,7 @@ TEST_P(OraclePropertyTest, MatchesBruteForceOnRandomTraces) {
   const OracleCase param = GetParam();
   Rng rng(param.seed);
   const Interval num_intervals = 60;
-  std::vector<TaskTrace> tasks;
+  std::vector<TaskSpec> tasks;
   const int num_tasks = 3 + static_cast<int>(rng.UniformInt(12));
   for (int i = 0; i < num_tasks; ++i) {
     const Interval start = static_cast<Interval>(rng.UniformInt(num_intervals - 1));
@@ -176,7 +177,7 @@ TEST(OracleTest, MonotoneInHorizon) {
 TEST(OracleTest, NonIncreasingInTauForFixedTaskSet) {
   Rng rng(73);
   const Interval num_intervals = 48;
-  std::vector<TaskTrace> tasks;
+  std::vector<TaskSpec> tasks;
   for (int i = 0; i < 8; ++i) {
     std::vector<float> usage(num_intervals);
     for (auto& u : usage) {
@@ -196,7 +197,7 @@ TEST(OracleTest, NonIncreasingInTauForFixedTaskSet) {
 TEST(OracleTest, EqualsForwardWindowMaxWhenAllTasksStartAtZero) {
   Rng rng(74);
   const Interval num_intervals = 40;
-  std::vector<TaskTrace> tasks;
+  std::vector<TaskSpec> tasks;
   for (int i = 0; i < 6; ++i) {
     // Staggered *lengths* (departures) are fine; only arrivals must align.
     const Interval len = 10 + static_cast<Interval>(rng.UniformInt(num_intervals - 9));

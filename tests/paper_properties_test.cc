@@ -40,12 +40,12 @@ TEST(PaperPropertyTest, PoolingEffectHoldsPerMachine) {
   // max_t(sum_i U_i(t)) <= sum_i max_t(U_i(t)) for every machine: the
   // opportunity Fig 1 quantifies.
   const CellTrace& cell = PropertyCell();
-  for (size_t m = 0; m < cell.machines.size(); ++m) {
-    const std::vector<double> usage = cell.MachineUsageSeries(static_cast<int>(m));
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    const std::vector<double> usage = cell.MachineUsageSeries(m);
     const double machine_peak = *std::max_element(usage.begin(), usage.end());
     double task_peak_sum = 0.0;
-    for (const int32_t index : cell.machines[m].task_indices) {
-      task_peak_sum += cell.tasks[index].PeakUsage();
+    for (const int32_t index : cell.machine_tasks(m)) {
+      task_peak_sum += cell.task(index).PeakUsage();
     }
     EXPECT_LE(machine_peak, task_peak_sum + 1e-6);
   }
@@ -57,9 +57,8 @@ TEST(PaperPropertyTest, PoolingGapIsSubstantial) {
   const CellTrace& cell = PropertyCell();
   const std::vector<double> task_level = TaskLevelFuturePeakSum(cell, kIntervalsPerDay);
   std::vector<double> machine_level(cell.num_intervals, 0.0);
-  for (size_t m = 0; m < cell.machines.size(); ++m) {
-    const std::vector<double> oracle =
-        ComputePeakOracle(cell, static_cast<int>(m), kIntervalsPerDay);
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    const std::vector<double> oracle = ComputePeakOracle(cell, m, kIntervalsPerDay);
     for (Interval t = 0; t < cell.num_intervals; ++t) {
       machine_level[t] += oracle[t];
     }

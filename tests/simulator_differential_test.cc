@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "crf/core/predictor_factory.h"
+#include "crf/trace/trace_builder.h"
 #include "crf/util/rng.h"
 
 namespace crf {
@@ -41,9 +42,9 @@ std::vector<double> BruteForcePeakOracle(const CellTrace& cell, int machine,
     const Interval end = std::min<Interval>(cell.num_intervals, tau + horizon);
     for (Interval t = tau; t < end; ++t) {
       double total = 0.0;
-      for (const int32_t index : cell.machines[machine].task_indices) {
-        const TaskTrace& task = cell.tasks[index];
-        if (task.start <= tau) {
+      for (const int32_t index : cell.machine_tasks(machine)) {
+        const TaskView task = cell.task(index);
+        if (task.start() <= tau) {
           total += task.UsageAt(t);
         }
       }
@@ -63,8 +64,8 @@ std::vector<double> BruteForceTotalUsageOracle(const CellTrace& cell, int machin
     const Interval end = std::min<Interval>(cell.num_intervals, tau + horizon);
     for (Interval t = tau; t < end; ++t) {
       double total = 0.0;
-      for (const int32_t index : cell.machines[machine].task_indices) {
-        total += cell.tasks[index].UsageAt(t);
+      for (const int32_t index : cell.machine_tasks(machine)) {
+        total += cell.task(index).UsageAt(t);
       }
       best = std::max(best, total);
     }
@@ -88,10 +89,11 @@ MachineMetrics NaiveSimulateMachine(const CellTrace& cell, int machine_index,
 
   auto predictor = CreatePredictor(spec);
 
-  std::vector<int32_t> order = cell.machines[machine_index].task_indices;
-  std::sort(order.begin(), order.end(), [&cell](int32_t a, int32_t b) {
-    return cell.tasks[a].start < cell.tasks[b].start;
-  });
+  const std::span<const int32_t> machine_tasks = cell.machine_tasks(machine_index);
+  std::vector<int32_t> order(machine_tasks.begin(), machine_tasks.end());
+  const std::span<const Interval> starts = cell.task_starts();
+  std::sort(order.begin(), order.end(),
+            [starts](int32_t a, int32_t b) { return starts[a] < starts[b]; });
 
   MachineMetrics metrics;
   metrics.machine_index = machine_index;
@@ -103,16 +105,16 @@ MachineMetrics NaiveSimulateMachine(const CellTrace& cell, int machine_index,
   double limit_sum_total = 0.0;
 
   for (Interval tau = 0; tau < num_intervals; ++tau) {
-    // Full rescan: a task is resident from its start until max(end, start+1)
-    // (zero-length tasks stay resident for exactly one interval).
+    // Full rescan: a task is resident over [start, departure()) — the
+    // sealed TaskView owns the zero-length-task rule (resident exactly one
+    // interval).
     std::vector<TaskSample> samples;
     double limit_sum = 0.0;
     for (const int32_t index : order) {
-      const TaskTrace& task = cell.tasks[index];
-      const Interval departs = std::max(task.end(), task.start + 1);
-      if (task.start <= tau && tau < departs) {
-        samples.push_back({task.task_id, task.UsageAt(tau), task.limit});
-        limit_sum += task.limit;
+      const TaskView task = cell.task(index);
+      if (task.ResidentAt(tau)) {
+        samples.push_back({task.task_id(), task.UsageAt(tau), task.limit()});
+        limit_sum += task.limit();
       }
     }
 
@@ -154,11 +156,11 @@ SimResult NaiveSimulateCell(const CellTrace& cell, const PredictorSpec& spec,
   SimResult result;
   result.cell_name = cell.name;
   result.predictor_name = spec.Name();
-  result.machines.resize(cell.machines.size());
+  result.machines.resize(cell.num_machines());
 
   std::vector<double> cell_limit(cell.num_intervals, 0.0);
   std::vector<double> cell_prediction(cell.num_intervals, 0.0);
-  for (int m = 0; m < static_cast<int>(cell.machines.size()); ++m) {
+  for (int m = 0; m < cell.num_machines(); ++m) {
     result.machines[m] =
         NaiveSimulateMachine(cell, m, spec, options, &cell_limit, &cell_prediction);
   }
@@ -178,11 +180,9 @@ SimResult NaiveSimulateCell(const CellTrace& cell, const PredictorSpec& spec,
 // end of the simulated period, and zero-usage single-sample tasks.
 CellTrace RandomCell(uint64_t seed) {
   Rng rng(seed);
-  CellTrace cell;
-  cell.name = "diff_cell";
-  cell.num_intervals = 30 + static_cast<Interval>(rng.UniformInt(31));  // 30..60
-  const int num_machines = 1 + static_cast<int>(rng.UniformInt(4));     // 1..4
-  cell.machines.resize(num_machines);
+  const Interval num_intervals = 30 + static_cast<Interval>(rng.UniformInt(31));  // 30..60
+  const int num_machines = 1 + static_cast<int>(rng.UniformInt(4));               // 1..4
+  CellTraceBuilder builder("diff_cell", num_intervals, num_machines);
 
   TaskId next_id = 1;
   for (int m = 0; m < num_machines; ++m) {
@@ -191,31 +191,28 @@ CellTrace RandomCell(uint64_t seed) {
     }
     const int num_tasks = 1 + static_cast<int>(rng.UniformInt(14));
     for (int i = 0; i < num_tasks; ++i) {
-      TaskTrace task;
-      task.task_id = next_id++;
-      task.job_id = task.task_id;
-      task.machine_index = m;
-      task.start = static_cast<Interval>(rng.UniformInt(cell.num_intervals));
-      task.limit = 0.05 + rng.UniformDouble() * 0.95;
+      const TaskId id = next_id++;
+      const Interval start = static_cast<Interval>(rng.UniformInt(num_intervals));
+      const double limit = 0.05 + rng.UniformDouble() * 0.95;
       Interval len;
       const double shape = rng.UniformDouble();
       if (shape < 0.2) {
         len = 1;  // Single-interval task.
       } else if (shape < 0.3) {
         // Runs past the end of the simulated period.
-        len = cell.num_intervals - task.start + 1 + static_cast<Interval>(rng.UniformInt(5));
+        len = num_intervals - start + 1 + static_cast<Interval>(rng.UniformInt(5));
       } else {
-        len = 1 + static_cast<Interval>(rng.UniformInt(cell.num_intervals - task.start));
+        len = 1 + static_cast<Interval>(rng.UniformInt(num_intervals - start));
       }
-      task.usage.resize(len);
-      for (auto& u : task.usage) {
-        u = static_cast<float>(task.limit * rng.UniformDouble());
+      const int32_t index =
+          builder.AddTask(id, id, m, start, limit, SchedulingClass::kLatencySensitive);
+      builder.ReserveUsage(index, static_cast<size_t>(len));
+      for (Interval k = 0; k < len; ++k) {
+        builder.AppendUsage(index, static_cast<float>(limit * rng.UniformDouble()));
       }
-      cell.machines[m].task_indices.push_back(static_cast<int32_t>(cell.tasks.size()));
-      cell.tasks.push_back(std::move(task));
     }
   }
-  return cell;
+  return builder.Seal();
 }
 
 PredictorConfig FastConfig() {

@@ -65,7 +65,7 @@ TEST(SimulatorTest, ResultNamesPopulated) {
   const SimResult result = SimulateCell(TestCell(), NSigmaSpec(5.0));
   EXPECT_EQ(result.cell_name, "cell_a");
   EXPECT_EQ(result.predictor_name, "n-sigma-5");
-  EXPECT_EQ(result.machines.size(), TestCell().machines.size());
+  EXPECT_EQ(result.machines.size(), static_cast<size_t>(TestCell().num_machines()));
 }
 
 TEST(SimulatorTest, UnfilteredOracleProducesMoreViolations) {

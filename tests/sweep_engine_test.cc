@@ -24,6 +24,7 @@
 #include "crf/core/predictor_factory.h"
 #include "crf/core/sweep_bank.h"
 #include "crf/sim/simulator.h"
+#include "crf/trace/trace_builder.h"
 #include "crf/util/rng.h"
 
 namespace crf {
@@ -185,11 +186,10 @@ TEST(SweepPlanTest, DeduplicatesNodesAndGroups) {
 // (constant roster rebuilds, tasks that never warm up).
 CellTrace MakeCell(uint64_t seed, bool churn) {
   Rng rng(seed);
-  CellTrace cell;
-  cell.name = churn ? "sweep_churn" : "sweep_dense";
-  cell.num_intervals = churn ? 60 : 80;
+  const Interval num_intervals = churn ? 60 : 80;
   const int num_machines = 4;
-  cell.machines.resize(num_machines);
+  CellTraceBuilder builder(churn ? "sweep_churn" : "sweep_dense", num_intervals,
+                           num_machines);
 
   TaskId next_id = 1;
   for (int m = 0; m < num_machines; ++m) {
@@ -198,29 +198,27 @@ CellTrace MakeCell(uint64_t seed, bool churn) {
     }
     const int num_tasks = churn ? 24 : 10;
     for (int i = 0; i < num_tasks; ++i) {
-      TaskTrace task;
-      task.task_id = next_id++;
-      task.job_id = task.task_id;
-      task.machine_index = m;
-      task.limit = 0.05 + rng.UniformDouble() * 0.95;
+      const TaskId id = next_id++;
+      const double limit = 0.05 + rng.UniformDouble() * 0.95;
+      Interval start;
       Interval len;
       if (churn) {
-        task.start = static_cast<Interval>(rng.UniformInt(cell.num_intervals));
+        start = static_cast<Interval>(rng.UniformInt(num_intervals));
         len = 1 + static_cast<Interval>(rng.UniformInt(6));  // 1..6, incl. single-interval
       } else {
-        task.start = static_cast<Interval>(rng.UniformInt(8));
+        start = static_cast<Interval>(rng.UniformInt(8));
         // Most of the period; some run past the end of the trace.
-        len = cell.num_intervals - task.start - static_cast<Interval>(rng.UniformInt(10)) + 5;
+        len = num_intervals - start - static_cast<Interval>(rng.UniformInt(10)) + 5;
       }
-      task.usage.resize(len);
-      for (auto& u : task.usage) {
-        u = static_cast<float>(task.limit * rng.UniformDouble());
+      const int32_t index =
+          builder.AddTask(id, id, m, start, limit, SchedulingClass::kLatencySensitive);
+      builder.ReserveUsage(index, static_cast<size_t>(len));
+      for (Interval k = 0; k < len; ++k) {
+        builder.AppendUsage(index, static_cast<float>(limit * rng.UniformDouble()));
       }
-      cell.machines[m].task_indices.push_back(static_cast<int32_t>(cell.tasks.size()));
-      cell.tasks.push_back(std::move(task));
     }
   }
-  return cell;
+  return builder.Seal();
 }
 
 void ExpectNearRel(double actual, double expected, const char* what) {

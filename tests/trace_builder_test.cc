@@ -1,0 +1,217 @@
+#include "crf/trace/trace_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace crf {
+namespace {
+
+// The seal invariants: every columnar index the engines trust blindly
+// (offset monotonicity, CSR consistency, machine-index range) is established
+// here, once, so the hot loops can drop their bounds checks.
+
+TEST(CellTraceBuilderTest, SealPacksColumnsInTaskOrder) {
+  CellTraceBuilder builder("cell", /*num_intervals=*/8, /*num_machines=*/3);
+  builder.set_machine_capacity(0, 1.0);
+  builder.set_machine_capacity(1, 2.0);
+  builder.set_machine_capacity(2, 4.0);
+  const int32_t a =
+      builder.AddTask(10, 100, /*machine=*/1, /*start=*/0, 0.5, SchedulingClass::kBatch);
+  const int32_t b = builder.AddTask(11, 100, /*machine=*/0, /*start=*/2, 0.25,
+                                    SchedulingClass::kLatencySensitive);
+  const int32_t c = builder.AddTask(12, 101, /*machine=*/1, /*start=*/1, 1.5,
+                                    SchedulingClass::kHighlySensitive);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  builder.AppendUsage(a, 0.1f);
+  builder.AppendUsage(a, 0.2f);
+  builder.AppendUsage(c, 0.3f);
+
+  const CellTrace cell = builder.Seal();
+  ASSERT_EQ(cell.num_tasks(), 3);
+  ASSERT_EQ(cell.num_machines(), 3);
+  EXPECT_EQ(cell.task(0).task_id(), 10);
+  EXPECT_EQ(cell.task(1).task_id(), 11);
+  EXPECT_EQ(cell.task(2).task_id(), 12);
+  EXPECT_EQ(cell.task(0).job_id(), 100);
+  EXPECT_EQ(cell.task(2).job_id(), 101);
+  EXPECT_EQ(cell.task(0).machine_index(), 1);
+  EXPECT_EQ(cell.task(1).machine_index(), 0);
+  EXPECT_EQ(cell.task(0).start(), 0);
+  EXPECT_EQ(cell.task(2).start(), 1);
+  EXPECT_DOUBLE_EQ(cell.task(1).limit(), 0.25);
+  EXPECT_EQ(cell.task(0).sched_class(), SchedulingClass::kBatch);
+  EXPECT_EQ(cell.task(2).sched_class(), SchedulingClass::kHighlySensitive);
+  ASSERT_EQ(cell.task(0).usage().size(), 2u);
+  EXPECT_FLOAT_EQ(cell.task(0).usage()[1], 0.2f);
+  EXPECT_TRUE(cell.task(1).usage().empty());
+  ASSERT_EQ(cell.task(2).usage().size(), 1u);
+  EXPECT_DOUBLE_EQ(cell.machine_capacity(2), 4.0);
+}
+
+TEST(CellTraceBuilderTest, UsageOffsetsAreMonotoneAndCoverTheArena) {
+  CellTraceBuilder builder("offsets", /*num_intervals=*/16, /*num_machines=*/2);
+  const int lengths[] = {3, 0, 5, 1, 0, 2};
+  int64_t total = 0;
+  for (int i = 0; i < 6; ++i) {
+    const int32_t index = builder.AddTask(i + 1, i + 1, i % 2, /*start=*/0, 1.0,
+                                          SchedulingClass::kLatencySensitive);
+    for (int k = 0; k < lengths[i]; ++k) {
+      builder.AppendUsage(index, 0.01f * static_cast<float>(k));
+    }
+    total += lengths[i];
+  }
+  const CellTrace cell = builder.Seal();
+
+  const std::span<const uint64_t> offsets = cell.usage_offsets();
+  ASSERT_EQ(offsets.size(), 7u);  // num_tasks + 1 sentinel.
+  EXPECT_EQ(offsets[0], 0u);
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_GE(offsets[i], offsets[i - 1]);
+    EXPECT_EQ(offsets[i] - offsets[i - 1], static_cast<uint64_t>(lengths[i - 1]));
+  }
+  EXPECT_EQ(offsets.back(), static_cast<uint64_t>(total));
+  EXPECT_EQ(cell.usage_sample_count(), total);
+  EXPECT_EQ(cell.usage_arena().size(), static_cast<size_t>(total));
+}
+
+TEST(CellTraceBuilderTest, CsrIndexCoversEveryTaskExactlyOnce) {
+  CellTraceBuilder builder("csr", /*num_intervals=*/8, /*num_machines=*/4);
+  // Interleave machines so CSR rows are built out of order.
+  const int machines[] = {2, 0, 2, 3, 0, 2, 1, 3, 0};
+  const int num_tasks = static_cast<int>(std::size(machines));
+  for (int i = 0; i < num_tasks; ++i) {
+    builder.AddTask(i + 1, 1, machines[i], 0, 1.0, SchedulingClass::kBatch);
+  }
+  const CellTrace cell = builder.Seal();
+
+  std::vector<int> seen(num_tasks, 0);
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    for (const int32_t task_index : cell.machine_tasks(m)) {
+      ASSERT_GE(task_index, 0);
+      ASSERT_LT(task_index, num_tasks);
+      EXPECT_EQ(cell.task(task_index).machine_index(), m);
+      ++seen[task_index];
+    }
+  }
+  for (int i = 0; i < num_tasks; ++i) {
+    EXPECT_EQ(seen[i], 1) << "task " << i;
+  }
+  // Within a machine, CSR preserves insertion order (engines sort by start
+  // themselves but determinism relies on a stable base order).
+  const std::span<const int32_t> machine2 = cell.machine_tasks(2);
+  ASSERT_EQ(machine2.size(), 3u);
+  EXPECT_EQ(machine2[0], 0);
+  EXPECT_EQ(machine2[1], 2);
+  EXPECT_EQ(machine2[2], 5);
+}
+
+TEST(CellTraceBuilderTest, ReadBackMatchesPendingState) {
+  CellTraceBuilder builder("readback", /*num_intervals=*/8, /*num_machines=*/2);
+  const int32_t index =
+      builder.AddTask(7, 70, 1, /*start=*/3, 0.75, SchedulingClass::kLatencySensitive);
+  builder.AppendUsage(index, 0.5f);
+  builder.AppendUsage(index, 0.6f);
+  // The incremental engines (closed-loop cluster sim) read tasks back before
+  // sealing; the builder must answer without packing.
+  EXPECT_EQ(builder.num_tasks(), 1);
+  EXPECT_EQ(builder.task_id(index), 7);
+  EXPECT_EQ(builder.task_machine(index), 1);
+  EXPECT_EQ(builder.task_start(index), 3);
+  EXPECT_DOUBLE_EQ(builder.task_limit(index), 0.75);
+  EXPECT_EQ(builder.task_runtime(index), 2);
+  EXPECT_EQ(builder.task_end(index), 5);
+  ASSERT_EQ(builder.machine_tasks(1).size(), 1u);
+  EXPECT_EQ(builder.machine_tasks(1)[0], index);
+  EXPECT_TRUE(builder.machine_tasks(0).empty());
+}
+
+TEST(CellTraceBuilderTest, RichLadderPacksColumnMajor) {
+  CellTraceBuilder builder("rich", /*num_intervals=*/8, /*num_machines=*/1);
+  const int32_t a = builder.AddTask(1, 1, 0, 0, 1.0, SchedulingClass::kBatch);
+  for (int k = 0; k < 2; ++k) {
+    builder.AppendUsage(a, 0.1f * static_cast<float>(k + 1));
+    RichUsage rich;
+    rich.avg = 0.1f + k;
+    rich.p50 = 0.2f + k;
+    rich.p60 = 0.3f + k;
+    rich.p70 = 0.4f + k;
+    rich.p80 = 0.5f + k;
+    rich.p90 = 0.6f + k;
+    rich.p95 = 0.7f + k;
+    rich.p99 = 0.8f + k;
+    rich.max = 0.9f + k;
+    builder.AppendRich(a, rich);
+  }
+  const CellTrace cell = builder.Seal();
+  ASSERT_TRUE(cell.has_rich());
+  const TaskView task = cell.task(0);
+  const std::span<const float> p90 = task.rich_column(RichColumn::kP90);
+  ASSERT_EQ(p90.size(), 2u);
+  EXPECT_FLOAT_EQ(p90[0], 0.6f);
+  EXPECT_FLOAT_EQ(p90[1], 1.6f);
+  const RichUsage row = task.RichAt(1);
+  EXPECT_FLOAT_EQ(row.avg, 1.1f);
+  EXPECT_FLOAT_EQ(row.p50, 1.2f);
+  EXPECT_FLOAT_EQ(row.max, 1.9f);
+}
+
+TEST(CellTraceBuilderTest, DroppedTasksCarryThroughSeal) {
+  CellTraceBuilder builder("dropped", 4, 1);
+  builder.AddDroppedTask();
+  builder.AddDroppedTask();
+  EXPECT_EQ(builder.dropped_tasks(), 2);
+  const CellTrace cell = builder.Seal();
+  EXPECT_EQ(cell.dropped_tasks, 2);
+}
+
+TEST(CellTraceBuilderTest, SealedArenaSlabsAreAligned) {
+  CellTraceBuilder builder("aligned", 8, 2);
+  const int32_t a = builder.AddTask(1, 1, 0, 0, 1.0, SchedulingClass::kBatch);
+  builder.AppendUsage(a, 0.5f);
+  const CellTrace cell = builder.Seal();
+  const auto base = reinterpret_cast<uintptr_t>(cell.arena_bytes().data());
+  EXPECT_EQ(base % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(cell.usage_arena().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(cell.task_limits().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(cell.usage_offsets().data()) % 64, 0u);
+}
+
+TEST(CellTraceBuilderDeathTest, SealRejectsOutOfRangeMachineIndex) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        CellTraceBuilder builder("bad", 4, 2);
+        builder.AddTask(1, 1, /*machine=*/5, 0, 1.0, SchedulingClass::kBatch);
+        builder.Seal();
+      },
+      "machine");
+  EXPECT_DEATH(
+      {
+        CellTraceBuilder builder("bad", 4, 2);
+        builder.AddTask(1, 1, /*machine=*/-1, 0, 1.0, SchedulingClass::kBatch);
+        builder.Seal();
+      },
+      "machine");
+}
+
+TEST(CellTraceBuilderTest, ResetClearsEverything) {
+  CellTraceBuilder builder("one", 4, 2);
+  const int32_t a = builder.AddTask(1, 1, 0, 0, 1.0, SchedulingClass::kBatch);
+  builder.AppendUsage(a, 0.5f);
+  builder.AddDroppedTask();
+  builder.Reset("two", 6, 1);
+  EXPECT_EQ(builder.num_tasks(), 0);
+  EXPECT_EQ(builder.dropped_tasks(), 0);
+  const CellTrace cell = builder.Seal();
+  EXPECT_EQ(cell.name, "two");
+  EXPECT_EQ(cell.num_intervals, 6);
+  EXPECT_EQ(cell.num_tasks(), 0);
+  EXPECT_EQ(cell.num_machines(), 1);
+  EXPECT_DOUBLE_EQ(cell.machine_capacity(0), 1.0);  // Default capacity.
+}
+
+}  // namespace
+}  // namespace crf

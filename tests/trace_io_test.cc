@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "crf/trace/generator.h"
+#include "crf/trace/trace_builder.h"
 
 namespace crf {
 namespace {
@@ -15,48 +17,135 @@ std::string TempPath(const std::string& name) {
   return (std::filesystem::temp_directory_path() / ("crf_trace_io_" + name)).string();
 }
 
-CellTrace SmallCell(uint64_t seed) {
+CellTrace SmallCell(uint64_t seed, bool rich = false) {
   CellProfile profile = SimCellProfile('a');
   profile.num_machines = 6;
   GeneratorOptions options;
   options.num_intervals = kIntervalsPerDay;
+  options.rich_stats = rich;
   return GenerateCellTrace(profile, options, Rng(seed));
 }
 
-TEST(TraceIoTest, RoundTripPreservesEverything) {
+// Full structural equality through the public view API; tolerance covers the
+// text format's decimal round-trip (the binary format must be exact).
+void ExpectTracesEqual(const CellTrace& a, const CellTrace& b, double tolerance) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.num_intervals, b.num_intervals);
+  EXPECT_EQ(a.dropped_tasks, b.dropped_tasks);
+  EXPECT_EQ(a.has_rich(), b.has_rich());
+  ASSERT_EQ(a.num_machines(), b.num_machines());
+  for (int m = 0; m < b.num_machines(); ++m) {
+    EXPECT_DOUBLE_EQ(a.machine_capacity(m), b.machine_capacity(m));
+    const std::span<const float> peak_a = a.true_peak(m);
+    const std::span<const float> peak_b = b.true_peak(m);
+    ASSERT_EQ(peak_a.size(), peak_b.size());
+    for (size_t t = 0; t < peak_b.size(); ++t) {
+      EXPECT_NEAR(peak_a[t], peak_b[t], tolerance);
+    }
+    const std::span<const int32_t> tasks_a = a.machine_tasks(m);
+    const std::span<const int32_t> tasks_b = b.machine_tasks(m);
+    ASSERT_EQ(tasks_a.size(), tasks_b.size());
+    for (size_t k = 0; k < tasks_b.size(); ++k) {
+      EXPECT_EQ(tasks_a[k], tasks_b[k]);
+    }
+  }
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (int32_t i = 0; i < b.num_tasks(); ++i) {
+    const TaskView ta = a.task(i);
+    const TaskView tb = b.task(i);
+    EXPECT_EQ(ta.task_id(), tb.task_id());
+    EXPECT_EQ(ta.job_id(), tb.job_id());
+    EXPECT_EQ(ta.machine_index(), tb.machine_index());
+    EXPECT_EQ(ta.start(), tb.start());
+    EXPECT_EQ(ta.sched_class(), tb.sched_class());
+    EXPECT_NEAR(ta.limit(), tb.limit(), tolerance * (1.0 + tb.limit()));
+    const std::span<const float> usage_a = ta.usage();
+    const std::span<const float> usage_b = tb.usage();
+    ASSERT_EQ(usage_a.size(), usage_b.size());
+    for (size_t k = 0; k < usage_b.size(); ++k) {
+      EXPECT_NEAR(usage_a[k], usage_b[k], tolerance);
+    }
+    if (b.has_rich()) {
+      for (int c = 0; c < kNumRichColumns; ++c) {
+        const std::span<const float> col_a = ta.rich_column(static_cast<RichColumn>(c));
+        const std::span<const float> col_b = tb.rich_column(static_cast<RichColumn>(c));
+        ASSERT_EQ(col_a.size(), col_b.size());
+        for (size_t k = 0; k < col_b.size(); ++k) {
+          EXPECT_NEAR(col_a[k], col_b[k], tolerance);
+        }
+      }
+    }
+  }
+}
+
+TEST(TraceIoTest, TextRoundTripPreservesEverything) {
   const CellTrace original = SmallCell(3);
   const std::string path = TempPath("roundtrip.trace");
   SaveCellTrace(original, path);
   const auto loaded = LoadCellTrace(path);
   ASSERT_TRUE(loaded.has_value());
+  ExpectTracesEqual(*loaded, original, 1e-4);
+  std::remove(path.c_str());
+}
 
-  EXPECT_EQ(loaded->name, original.name);
-  EXPECT_EQ(loaded->num_intervals, original.num_intervals);
+TEST(TraceIoTest, BinaryRoundTripIsExact) {
+  const CellTrace original = SmallCell(3);
+  const std::string path = TempPath("roundtrip.crftrace");
+  SaveCellTraceBinary(original, path);
+  const auto loaded = LoadCellTrace(path);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectTracesEqual(*loaded, original, 0.0);
+
+  // The loaded arena is byte-identical to the sealed original: the on-disk
+  // payload IS the in-memory layout.
+  const std::span<const std::byte> bytes_a = loaded->arena_bytes();
+  const std::span<const std::byte> bytes_b = original.arena_bytes();
+  ASSERT_EQ(bytes_a.size(), bytes_b.size());
+  EXPECT_EQ(std::memcmp(bytes_a.data(), bytes_b.data(), bytes_b.size()), 0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, BinaryRoundTripPreservesRichLadderAndDroppedTasks) {
+  CellTrace original = SmallCell(5, /*rich=*/true);
+  ASSERT_TRUE(original.has_rich());
+  const std::string path = TempPath("rich.crftrace");
+  SaveCellTraceBinary(original, path);
+  const auto loaded = LoadCellTrace(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->has_rich());
   EXPECT_EQ(loaded->dropped_tasks, original.dropped_tasks);
-  ASSERT_EQ(loaded->machines.size(), original.machines.size());
-  for (size_t m = 0; m < original.machines.size(); ++m) {
-    EXPECT_DOUBLE_EQ(loaded->machines[m].capacity, original.machines[m].capacity);
-    ASSERT_EQ(loaded->machines[m].true_peak.size(), original.machines[m].true_peak.size());
-    for (size_t t = 0; t < original.machines[m].true_peak.size(); ++t) {
-      EXPECT_NEAR(loaded->machines[m].true_peak[t], original.machines[m].true_peak[t], 1e-4);
-    }
-    EXPECT_EQ(loaded->machines[m].task_indices, original.machines[m].task_indices);
-  }
-  ASSERT_EQ(loaded->tasks.size(), original.tasks.size());
-  for (size_t i = 0; i < original.tasks.size(); ++i) {
-    const TaskTrace& a = loaded->tasks[i];
-    const TaskTrace& b = original.tasks[i];
-    EXPECT_EQ(a.task_id, b.task_id);
-    EXPECT_EQ(a.job_id, b.job_id);
-    EXPECT_EQ(a.machine_index, b.machine_index);
-    EXPECT_EQ(a.start, b.start);
-    EXPECT_EQ(a.sched_class, b.sched_class);
-    EXPECT_NEAR(a.limit, b.limit, 1e-9 * (1.0 + b.limit));
-    ASSERT_EQ(a.usage.size(), b.usage.size());
-    for (size_t k = 0; k < a.usage.size(); ++k) {
-      EXPECT_NEAR(a.usage[k], b.usage[k], 1e-4);
-    }
-  }
+  ExpectTracesEqual(*loaded, original, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, BinaryMatchesTextLoad) {
+  const CellTrace original = SmallCell(7);
+  const std::string text_path = TempPath("pair.trace");
+  const std::string binary_path = TempPath("pair.crftrace");
+  SaveCellTrace(original, text_path);
+  SaveCellTraceBinary(original, binary_path);
+  const auto from_text = LoadCellTrace(text_path);
+  const auto from_binary = LoadCellTrace(binary_path);
+  ASSERT_TRUE(from_text.has_value());
+  ASSERT_TRUE(from_binary.has_value());
+  // Both decoders hand back the same trace, up to text decimal precision.
+  ExpectTracesEqual(*from_text, *from_binary, 1e-4);
+  std::remove(text_path.c_str());
+  std::remove(binary_path.c_str());
+}
+
+TEST(TraceIoTest, BinaryRoundTripOfEmptyTrace) {
+  CellTraceBuilder builder("empty", /*num_intervals=*/12, /*num_machines=*/0);
+  builder.set_dropped_tasks(4);
+  const CellTrace original = builder.Seal();
+  const std::string path = TempPath("empty.crftrace");
+  SaveCellTraceBinary(original, path);
+  const auto loaded = LoadCellTrace(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name, "empty");
+  EXPECT_EQ(loaded->num_intervals, 12);
+  EXPECT_EQ(loaded->dropped_tasks, 4);
+  EXPECT_EQ(loaded->num_tasks(), 0);
   std::remove(path.c_str());
 }
 
@@ -74,7 +163,84 @@ TEST(TraceIoTest, WrongMagicReturnsNullopt) {
   std::remove(path.c_str());
 }
 
-TEST(TraceIoTest, TruncatedRecordReturnsNullopt) {
+TEST(TraceIoTest, CorruptedBinaryHeaderReturnsNullopt) {
+  const CellTrace original = SmallCell(3);
+  const std::string path = TempPath("corrupt_header.crftrace");
+  SaveCellTraceBinary(original, path);
+
+  // Flip the version field (bytes 8..11, just after the 8-byte magic).
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(8);
+    const uint32_t bad_version = 999;
+    file.write(reinterpret_cast<const char*>(&bad_version), sizeof(bad_version));
+  }
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+
+  // Restore, then corrupt a count field instead (num_tasks at offset 16).
+  SaveCellTraceBinary(original, path);
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(16);
+    const int64_t bad_tasks = -1;
+    file.write(reinterpret_cast<const char*>(&bad_tasks), sizeof(bad_tasks));
+  }
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TruncatedBinarySlabReturnsNullopt) {
+  const CellTrace original = SmallCell(3);
+  const std::string path = TempPath("truncated.crftrace");
+  SaveCellTraceBinary(original, path);
+  const auto full_size = std::filesystem::file_size(path);
+  ASSERT_GT(full_size, 256u);
+  std::filesystem::resize_file(path, full_size - 128);
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+
+  // Even a single missing byte in the arena slab must be rejected.
+  SaveCellTraceBinary(original, path);
+  std::filesystem::resize_file(path, full_size - 1);
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TrailingGarbageInBinaryReturnsNullopt) {
+  const CellTrace original = SmallCell(3);
+  const std::string path = TempPath("trailing.crftrace");
+  SaveCellTraceBinary(original, path);
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "extra";
+  }
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, CorruptedBinaryArenaIndexReturnsNullopt) {
+  const CellTrace original = SmallCell(3);
+  ASSERT_GT(original.num_tasks(), 0);
+  const std::string path = TempPath("corrupt_arena.crftrace");
+  SaveCellTraceBinary(original, path);
+  // Scribble an out-of-range machine index into the arena payload's
+  // machine_of column. The validator must reject it rather than trust the
+  // payload.
+  {
+    const trace_internal::ArenaLayout layout = trace_internal::ComputeArenaLayout(
+        original.num_tasks(), original.num_machines(), original.usage_sample_count(),
+        original.peak_sample_count(), original.num_tasks(), original.has_rich());
+    const uint64_t header_and_name =
+        std::filesystem::file_size(path) - original.arena_bytes().size();
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(header_and_name + layout.machine_of));
+    const int32_t bad_machine = 1 << 20;
+    file.write(reinterpret_cast<const char*>(&bad_machine), sizeof(bad_machine));
+  }
+  EXPECT_FALSE(LoadCellTrace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TruncatedTextRecordReturnsNullopt) {
   const std::string path = TempPath("truncated.trace");
   {
     std::ofstream out(path);
@@ -120,8 +286,8 @@ TEST(TraceIoTest, EmptyUsageSeriesAllowed) {
   }
   const auto loaded = LoadCellTrace(path);
   ASSERT_TRUE(loaded.has_value());
-  ASSERT_EQ(loaded->tasks.size(), 1u);
-  EXPECT_TRUE(loaded->tasks[0].usage.empty());
+  ASSERT_EQ(loaded->num_tasks(), 1);
+  EXPECT_TRUE(loaded->task(0).usage().empty());
   std::remove(path.c_str());
 }
 

@@ -27,8 +27,8 @@ TEST(SubmissionRateTest, CountsArrivalsExcludingInitialPopulation) {
     total += v;
   }
   int64_t arrivals = 0;
-  for (const TaskTrace& task : cell.tasks) {
-    arrivals += task.start > 0 ? 1 : 0;
+  for (const Interval start : cell.task_starts()) {
+    arrivals += start > 0 ? 1 : 0;
   }
   EXPECT_EQ(total, arrivals);
   EXPECT_GT(total, 0);
@@ -37,7 +37,7 @@ TEST(SubmissionRateTest, CountsArrivalsExcludingInitialPopulation) {
 TEST(TaskRuntimeCdfTest, CoversAllTasks) {
   const CellTrace cell = TestCell();
   const Ecdf cdf = TaskRuntimeHoursCdf(cell);
-  EXPECT_EQ(cdf.size(), cell.tasks.size());
+  EXPECT_EQ(cdf.size(), static_cast<size_t>(cell.num_tasks()));
   EXPECT_GT(cdf.min(), 0.0);
   EXPECT_LE(cdf.max(), IntervalsToHours(cell.num_intervals) + 1e-9);
 }

@@ -2,36 +2,29 @@
 
 #include <gtest/gtest.h>
 
+#include "crf/trace/trace_builder.h"
+
 namespace crf {
 namespace {
 
-TaskTrace MakeTask(TaskId id, int machine, Interval start, double limit,
-                   std::vector<float> usage,
-                   SchedulingClass cls = SchedulingClass::kLatencySensitive) {
-  TaskTrace task;
-  task.task_id = id;
-  task.job_id = id;
-  task.machine_index = machine;
-  task.start = start;
-  task.limit = limit;
-  task.sched_class = cls;
-  task.usage = std::move(usage);
-  return task;
+int32_t AddTask(CellTraceBuilder& builder, TaskId id, int machine, Interval start, double limit,
+                const std::vector<float>& usage,
+                SchedulingClass cls = SchedulingClass::kLatencySensitive) {
+  const int32_t index = builder.AddTask(id, /*job_id=*/id, machine, start, limit, cls);
+  for (const float u : usage) {
+    builder.AppendUsage(index, u);
+  }
+  return index;
 }
 
 CellTrace MakeCell() {
-  CellTrace cell;
-  cell.name = "test";
-  cell.num_intervals = 6;
-  cell.machines.resize(2);
-  cell.machines[0].capacity = 1.0;
-  cell.machines[1].capacity = 2.0;
-  cell.tasks.push_back(MakeTask(1, 0, 0, 0.5, {0.1f, 0.2f, 0.3f}));
-  cell.tasks.push_back(MakeTask(2, 0, 2, 0.4, {0.4f, 0.4f}, SchedulingClass::kBatch));
-  cell.tasks.push_back(MakeTask(3, 1, 1, 0.3, {0.2f, 0.2f, 0.2f, 0.2f}));
-  cell.machines[0].task_indices = {0, 1};
-  cell.machines[1].task_indices = {2};
-  return cell;
+  CellTraceBuilder builder("test", /*num_intervals=*/6, /*num_machines=*/2);
+  builder.set_machine_capacity(0, 1.0);
+  builder.set_machine_capacity(1, 2.0);
+  AddTask(builder, 1, 0, 0, 0.5, {0.1f, 0.2f, 0.3f});
+  AddTask(builder, 2, 0, 2, 0.4, {0.4f, 0.4f}, SchedulingClass::kBatch);
+  AddTask(builder, 3, 1, 1, 0.3, {0.2f, 0.2f, 0.2f, 0.2f});
+  return builder.Seal();
 }
 
 TEST(SchedulingClassTest, IsServing) {
@@ -58,27 +51,86 @@ TEST(RichUsageTest, AtPercentileSelectsColumns) {
   EXPECT_EQ(rich.AtPercentile(100), 8);
 }
 
-TEST(TaskTraceTest, LifetimeAccessors) {
-  const TaskTrace task = MakeTask(1, 0, 2, 0.5, {0.1f, 0.2f});
+TEST(RichColumnTest, ColumnForPercentileMatchesRowLookup) {
+  EXPECT_EQ(RichColumnForPercentile(40), RichColumn::kP50);  // Clamps like AtPercentile.
+  EXPECT_EQ(RichColumnForPercentile(50), RichColumn::kP50);
+  EXPECT_EQ(RichColumnForPercentile(60), RichColumn::kP60);
+  EXPECT_EQ(RichColumnForPercentile(70), RichColumn::kP70);
+  EXPECT_EQ(RichColumnForPercentile(80), RichColumn::kP80);
+  EXPECT_EQ(RichColumnForPercentile(90), RichColumn::kP90);
+  EXPECT_EQ(RichColumnForPercentile(95), RichColumn::kP95);
+  EXPECT_EQ(RichColumnForPercentile(99), RichColumn::kP99);
+  EXPECT_EQ(RichColumnForPercentile(100), RichColumn::kMax);
+}
+
+TEST(TaskViewTest, LifetimeAccessors) {
+  const CellTrace cell = MakeCell();
+  const TaskView task = cell.task(1);  // Task 2: start 2, two samples.
+  EXPECT_EQ(task.start(), 2);
   EXPECT_EQ(task.end(), 4);
   EXPECT_EQ(task.runtime(), 2);
+  EXPECT_EQ(task.departure(), 4);
   EXPECT_FALSE(task.ResidentAt(1));
   EXPECT_TRUE(task.ResidentAt(2));
   EXPECT_TRUE(task.ResidentAt(3));
   EXPECT_FALSE(task.ResidentAt(4));
 }
 
-TEST(TaskTraceTest, UsageAtZeroOutsideLifetime) {
-  const TaskTrace task = MakeTask(1, 0, 2, 0.5, {0.1f, 0.2f});
+TEST(TaskViewTest, UsageAtZeroOutsideLifetime) {
+  const CellTrace cell = MakeCell();
+  const TaskView task = cell.task(1);
   EXPECT_DOUBLE_EQ(task.UsageAt(1), 0.0);
-  EXPECT_FLOAT_EQ(task.UsageAt(2), 0.1f);
-  EXPECT_FLOAT_EQ(task.UsageAt(3), 0.2f);
+  EXPECT_FLOAT_EQ(task.UsageAt(2), 0.4f);
+  EXPECT_FLOAT_EQ(task.UsageAt(3), 0.4f);
   EXPECT_DOUBLE_EQ(task.UsageAt(4), 0.0);
 }
 
-TEST(TaskTraceTest, PeakUsage) {
-  const TaskTrace task = MakeTask(1, 0, 0, 1.0, {0.1f, 0.7f, 0.3f});
-  EXPECT_FLOAT_EQ(task.PeakUsage(), 0.7f);
+TEST(TaskViewTest, PeakUsage) {
+  CellTraceBuilder builder("peak", 4, 1);
+  AddTask(builder, 1, 0, 0, 1.0, {0.1f, 0.7f, 0.3f});
+  const CellTrace cell = builder.Seal();
+  EXPECT_FLOAT_EQ(cell.task(0).PeakUsage(), 0.7f);
+}
+
+// The one documented residency rule: a task occupies its machine over
+// [start, departure()) with departure() = max(end(), start + 1), so a task
+// sealed with zero usage samples is still resident for exactly one interval
+// (it held its limit while it was scheduled, even if no usage was recorded).
+TEST(TaskViewTest, ZeroLengthTaskResidentForOneInterval) {
+  CellTraceBuilder builder("zero", 4, 1);
+  AddTask(builder, 1, 0, 2, 0.5, {});
+  const CellTrace cell = builder.Seal();
+  const TaskView task = cell.task(0);
+  EXPECT_EQ(task.runtime(), 0);
+  EXPECT_EQ(task.end(), 2);
+  EXPECT_EQ(task.departure(), 3);
+  EXPECT_FALSE(task.ResidentAt(1));
+  EXPECT_TRUE(task.ResidentAt(2));
+  EXPECT_FALSE(task.ResidentAt(3));
+  EXPECT_DOUBLE_EQ(task.UsageAt(2), 0.0);
+
+  // The same rule flows through every aggregated series: the zero-length
+  // task contributes its limit (but no usage) at exactly interval 2.
+  const std::vector<double> limits = cell.MachineLimitSeries(0);
+  EXPECT_DOUBLE_EQ(limits[1], 0.0);
+  EXPECT_DOUBLE_EQ(limits[2], 0.5);
+  EXPECT_DOUBLE_EQ(limits[3], 0.0);
+  const std::vector<int32_t> counts = cell.MachineResidentCount(0);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 0);
+  const std::vector<double> usage = cell.MachineUsageSeries(0);
+  EXPECT_DOUBLE_EQ(usage[2], 0.0);
+
+  MachineSeriesCursor cursor(cell);
+  cursor.Reset(0);
+  for (Interval t = 0; t < cell.num_intervals; ++t) {
+    ASSERT_TRUE(cursor.Next());
+    EXPECT_EQ(cursor.interval(), t);
+    EXPECT_DOUBLE_EQ(cursor.limit_sum(), t == 2 ? 0.5 : 0.0);
+    EXPECT_EQ(cursor.resident(), t == 2 ? 1 : 0);
+  }
+  EXPECT_FALSE(cursor.Next());
 }
 
 TEST(CellTraceTest, MachineUsageSeriesSumsResidentTasks) {
@@ -109,24 +161,59 @@ TEST(CellTraceTest, MachineResidentCount) {
   EXPECT_EQ(counts[4], 0);
 }
 
+TEST(CellTraceTest, CursorMatchesSeriesHelpers) {
+  const CellTrace cell = MakeCell();
+  MachineSeriesCursor cursor(cell);
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    const std::vector<double> usage = cell.MachineUsageSeries(m);
+    const std::vector<double> limits = cell.MachineLimitSeries(m);
+    const std::vector<int32_t> counts = cell.MachineResidentCount(m);
+    cursor.Reset(m);
+    for (Interval t = 0; t < cell.num_intervals; ++t) {
+      ASSERT_TRUE(cursor.Next());
+      EXPECT_EQ(cursor.interval(), t);
+      EXPECT_NEAR(cursor.usage(), usage[t], 1e-9);
+      EXPECT_NEAR(cursor.limit_sum(), limits[t], 1e-9);
+      EXPECT_EQ(cursor.resident(), counts[t]);
+    }
+    EXPECT_FALSE(cursor.Next());
+  }
+}
+
 TEST(CellTraceTest, FilterToServingTasksRebuildsIndices) {
   CellTrace cell = MakeCell();
   cell.FilterToServingTasks();
-  ASSERT_EQ(cell.tasks.size(), 2u);
-  for (const TaskTrace& task : cell.tasks) {
-    EXPECT_TRUE(IsServing(task.sched_class));
+  ASSERT_EQ(cell.num_tasks(), 2);
+  for (int32_t i = 0; i < cell.num_tasks(); ++i) {
+    EXPECT_TRUE(IsServing(cell.task(i).sched_class()));
   }
   // Machine 0 keeps only the serving task; indices must be rebuilt.
-  ASSERT_EQ(cell.machines[0].task_indices.size(), 1u);
-  EXPECT_EQ(cell.tasks[cell.machines[0].task_indices[0]].task_id, 1);
-  ASSERT_EQ(cell.machines[1].task_indices.size(), 1u);
-  EXPECT_EQ(cell.tasks[cell.machines[1].task_indices[0]].task_id, 3);
+  ASSERT_EQ(cell.machine_tasks(0).size(), 1u);
+  EXPECT_EQ(cell.task(cell.machine_tasks(0)[0]).task_id(), 1);
+  ASSERT_EQ(cell.machine_tasks(1).size(), 1u);
+  EXPECT_EQ(cell.task(cell.machine_tasks(1)[0]).task_id(), 3);
 }
 
 TEST(CellTraceTest, TotalCapacity) {
   const CellTrace cell = MakeCell();
   EXPECT_DOUBLE_EQ(cell.TotalCapacity(), 3.0);
   EXPECT_EQ(cell.TotalTaskCount(), 3);
+}
+
+TEST(CellTraceTest, CopiesShareTheSealedArena) {
+  const CellTrace cell = MakeCell();
+  const CellTrace copy = cell;  // Cheap: shares the immutable arena.
+  EXPECT_EQ(copy.arena_bytes().data(), cell.arena_bytes().data());
+  EXPECT_EQ(copy.num_tasks(), cell.num_tasks());
+  EXPECT_EQ(copy.task(0).usage().data(), cell.task(0).usage().data());
+}
+
+TEST(CellTraceTest, DefaultTraceIsEmpty) {
+  const CellTrace cell;
+  EXPECT_EQ(cell.num_tasks(), 0);
+  EXPECT_EQ(cell.num_machines(), 0);
+  EXPECT_TRUE(cell.arena_bytes().empty());
+  EXPECT_DOUBLE_EQ(cell.TotalCapacity(), 0.0);
 }
 
 }  // namespace

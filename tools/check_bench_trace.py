@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validates the schema of a tracked BENCH_trace.json file.
+
+Usage: check_bench_trace.py [path]   (default: BENCH_trace.json)
+
+Checks structure only — field presence, types, and basic sanity (positive
+counts and rates). Deliberately no performance thresholds: CI runners vary
+too much for absolute numbers to gate a merge; the tracked file is the
+regression record, this script only keeps it well-formed.
+"""
+
+import json
+import sys
+
+REQUIRED_SCHEMA = "crf-trace-bench-v1"
+
+ENTRY_FIELDS = {
+    "date": str,
+    "mode": str,
+    "num_machines": int,
+    "num_intervals": int,
+    "num_tasks": int,
+    "task_intervals": int,
+    "aos_machine_scans_per_sec": (int, float),
+    "arena_machine_scans_per_sec": (int, float),
+    "speedup": (int, float),
+    "aos_bytes_per_task_interval": (int, float),
+    "arena_bytes_per_task_interval": (int, float),
+}
+
+POSITIVE_FIELDS = [
+    "num_machines",
+    "num_intervals",
+    "num_tasks",
+    "task_intervals",
+    "aos_machine_scans_per_sec",
+    "arena_machine_scans_per_sec",
+    "speedup",
+    "aos_bytes_per_task_interval",
+    "arena_bytes_per_task_interval",
+]
+
+
+def fail(message):
+    print(f"check_bench_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_trace.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        fail(f"{path} not found")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(data, dict):
+        fail("top level must be an object")
+    if data.get("schema") != REQUIRED_SCHEMA:
+        fail(f'schema must be "{REQUIRED_SCHEMA}", got {data.get("schema")!r}')
+    entries = data.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail('"entries" must be a non-empty array')
+
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            fail(f"entries[{i}] must be an object")
+        for field, types in ENTRY_FIELDS.items():
+            if field not in entry:
+                fail(f"entries[{i}] missing field {field!r}")
+            if not isinstance(entry[field], types) or isinstance(entry[field], bool):
+                fail(f"entries[{i}].{field} has wrong type: {entry[field]!r}")
+        for field in POSITIVE_FIELDS:
+            if entry[field] <= 0:
+                fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+        if entry["mode"] not in ("short", "full"):
+            fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
+
+    print(f"check_bench_trace: OK: {path} has {len(entries)} well-formed entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,9 +2,13 @@
 //
 // Subcommands:
 //   crf generate --cell=a --days=7 [--machines=N] [--rich] [--seed=S] --out=FILE
-//       Synthesize a cell trace and save it.
+//                [--binary]
+//       Synthesize a cell trace and save it (text by default, --binary for
+//       the zero-copy arena format; loaders auto-detect either).
 //   crf info --trace=FILE
 //       Print a trace's workload statistics.
+//   crf convert --trace=FILE --out=FILE [--binary]
+//       Re-encode a trace between the text and binary formats.
 //   crf simulate (--trace=FILE | --cell=a --days=7 [--machines=N] [--seed=S])
 //                [--predictor=SPEC] [--horizon-hours=24] [--all-classes]
 //       Run the trace-driven simulator; prints violation/savings metrics.
@@ -146,6 +150,7 @@ int CmdGenerate(Args& args) {
   if (!out.has_value()) {
     return Fail("generate requires --out=FILE");
   }
+  const bool binary = args.GetBool("binary");
   std::string error;
   auto cell = BuildOrLoadCell(args, error);
   if (!cell.has_value()) {
@@ -154,9 +159,42 @@ int CmdGenerate(Args& args) {
   if (const auto unknown = args.UnknownFlag()) {
     return Fail("unknown flag --" + *unknown);
   }
-  SaveCellTrace(*cell, *out);
-  std::printf("wrote %s: %zu machines, %zu tasks, %d intervals\n", out->c_str(),
-              cell->machines.size(), cell->tasks.size(), cell->num_intervals);
+  if (binary) {
+    SaveCellTraceBinary(*cell, *out);
+  } else {
+    SaveCellTrace(*cell, *out);
+  }
+  std::printf("wrote %s (%s): %d machines, %d tasks, %d intervals\n", out->c_str(),
+              binary ? "binary" : "text", cell->num_machines(), cell->num_tasks(),
+              cell->num_intervals);
+  return 0;
+}
+
+int CmdConvert(Args& args) {
+  const auto out = args.Get("out");
+  if (!out.has_value()) {
+    return Fail("convert requires --out=FILE");
+  }
+  const auto trace_path = args.Get("trace");
+  if (!trace_path.has_value()) {
+    return Fail("convert requires --trace=FILE");
+  }
+  const bool binary = args.GetBool("binary");
+  if (const auto unknown = args.UnknownFlag()) {
+    return Fail("unknown flag --" + *unknown);
+  }
+  const auto cell = LoadCellTrace(*trace_path);
+  if (!cell.has_value()) {
+    return Fail("cannot load trace " + *trace_path);
+  }
+  if (binary) {
+    SaveCellTraceBinary(*cell, *out);
+  } else {
+    SaveCellTrace(*cell, *out);
+  }
+  std::printf("converted %s -> %s (%s): %d machines, %d tasks, %d intervals\n",
+              trace_path->c_str(), out->c_str(), binary ? "binary" : "text",
+              cell->num_machines(), cell->num_tasks(), cell->num_intervals);
   return 0;
 }
 
@@ -171,9 +209,9 @@ int CmdInfo(Args& args) {
   }
   const Ecdf runtimes = TaskRuntimeHoursCdf(*cell);
   const Ecdf ratios = UsageToLimitCdf(*cell, 4);
-  std::printf("cell %s: %zu machines (capacity %.1f), %zu tasks, %d intervals\n",
-              cell->name.c_str(), cell->machines.size(), cell->TotalCapacity(),
-              cell->tasks.size(), cell->num_intervals);
+  std::printf("cell %s: %d machines (capacity %.1f), %d tasks, %d intervals\n",
+              cell->name.c_str(), cell->num_machines(), cell->TotalCapacity(),
+              cell->num_tasks(), cell->num_intervals);
   Table table({"metric", "p50", "p95", "max"});
   table.AddRow("task runtime (hours)",
                {runtimes.Quantile(0.5), runtimes.Quantile(0.95), runtimes.max()});
@@ -280,9 +318,11 @@ int CmdCluster(Args& args) {
 
 int Usage() {
   std::fputs(
-      "usage: crf <generate|info|simulate|cluster> [--flags]\n"
+      "usage: crf <generate|info|convert|simulate|cluster> [--flags]\n"
       "  crf generate --cell=a --days=7 --out=FILE [--machines=N] [--rich] [--seed=S]\n"
+      "               [--binary]\n"
       "  crf info     (--trace=FILE | --cell=a [--days=7] [--machines=N])\n"
+      "  crf convert  --trace=FILE --out=FILE [--binary]\n"
       "  crf simulate (--trace=FILE | --cell=a [--days] [--machines] [--seed])\n"
       "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
       "  crf cluster  --cell=production_1 [--machines=N] [--days=14]\n"
@@ -307,6 +347,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "info") {
     return CmdInfo(args);
+  }
+  if (command == "convert") {
+    return CmdConvert(args);
   }
   if (command == "simulate") {
     return CmdSimulate(args);
