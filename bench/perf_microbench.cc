@@ -33,6 +33,7 @@
 #include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
 #include "crf/core/task_history.h"
+#include "crf/serve/replay.h"
 #include "crf/sim/simulator.h"
 #include "crf/trace/generator.h"
 #include "crf/util/env.h"
@@ -163,6 +164,27 @@ void BM_SimulateMachineFused(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateMachineFused);
+
+// The streaming serve layer ingesting the full event stream of the default
+// synthetic cell (arrivals, departures, one usage sample per resident task
+// per interval). Arg(0): serial; Arg(1): sharded ingestion on the thread
+// pool. events_per_second is the tracked serve-layer throughput number.
+void BM_StreamIngest(benchmark::State& state) {
+  const CellTrace& cell = SweepCell();
+  ReplayOptions options;
+  options.parallel = state.range(0) == 1;
+  options.latency_sample_period = 0;  // Measure pure ingest, not the timers.
+  uint64_t events = 0;
+  for (auto _ : state) {
+    StreamReplayer replayer(cell, ProductionMaxSpec(), options);
+    replayer.AdvanceToEnd();
+    events = replayer.Metrics().TotalEvents();
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StreamIngest)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // A 16-point N-sigma parameter sweep over the default synthetic cell —
 // the fig08-shaped workload. Arg(0): every sweep point recomputes the
@@ -836,6 +858,108 @@ void RecordTraceBench() {
       aos_bytes_per_ti, arena_bytes_per_ti, path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_stream.json: tracked streaming-ingest throughput record.
+//
+// Controlled by $CRF_STREAM_BENCH: "off" skips, "short" (default) streams a
+// 16-machine half-week cell, "full" a 64-machine week. Before timing, the
+// streamed per-machine metrics are gated bit-identical against the batch
+// engine on the same cell — a tracked events/s number for a stream that
+// diverged from SimulateCell would be measuring a different computation.
+// The record lands in $CRF_BENCH_STREAM_FILE (default ./BENCH_stream.json)
+// as {"schema":"crf-stream-bench-v1","entries":[...]}; reruns append.
+
+void RecordStreamBench() {
+  const std::string mode = GetEnvString("CRF_STREAM_BENCH", "short");
+  if (mode == "off") {
+    return;
+  }
+  const bool full = mode == "full";
+
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = full ? 64 : 16;
+  GeneratorOptions gen_options;
+  gen_options.num_intervals = full ? kIntervalsPerWeek : kIntervalsPerWeek / 2;
+  CellTrace cell = GenerateCellTrace(profile, gen_options, Rng(12));
+  cell.FilterToServingTasks();
+  const PredictorSpec spec = ProductionMaxSpec();
+
+  ReplayOptions options;
+  options.latency_sample_period = 0;
+
+  // Integrity gate: streamed per-machine metrics must equal the batch
+  // engine's bit for bit (the replay.h contract).
+  SimOptions sim_options;
+  sim_options.parallel = false;
+  const SimResult batch = SimulateCell(cell, spec, sim_options);
+  StreamReplayer check(cell, spec, options);
+  check.AdvanceToEnd();
+  const SimResult streamed = check.Finish();
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    const MachineMetrics& s = streamed.machines[m];
+    const MachineMetrics& b = batch.machines[m];
+    if (s.violations != b.violations || s.occupied_intervals != b.occupied_intervals ||
+        s.mean_violation_severity != b.mean_violation_severity ||
+        s.savings_ratio != b.savings_ratio || s.mean_prediction != b.mean_prediction ||
+        s.mean_limit != b.mean_limit) {
+      std::fprintf(stderr, "stream bench: stream diverged from batch (machine %d)\n", m);
+      return;
+    }
+  }
+  const uint64_t events = check.Metrics().TotalEvents();
+  const uint64_t ticks = check.Metrics().TotalTicks();
+
+  const auto time_replay = [&](bool parallel) {
+    ReplayOptions run_options = options;
+    run_options.parallel = parallel;
+    {
+      // Warm-up: page in the code and the allocator before timing.
+      StreamReplayer warm(cell, spec, run_options);
+      warm.AdvanceToEnd();
+    }
+    int reps = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double seconds = 0.0;
+    do {
+      StreamReplayer replayer(cell, spec, run_options);
+      replayer.AdvanceToEnd();
+      benchmark::DoNotOptimize(replayer.next_tick());
+      ++reps;
+      seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    } while (seconds < 0.5);
+    return seconds / reps;
+  };
+  const double serial_seconds = time_replay(false);
+  const double parallel_seconds = time_replay(true);
+
+  std::ostringstream entry;
+  entry.precision(6);
+  entry << "    {\n"
+        << "      \"date\": \"" << TodayUtc() << "\",\n"
+        << "      \"mode\": \"" << (full ? "full" : "short") << "\",\n"
+        << "      \"num_machines\": " << cell.num_machines() << ",\n"
+        << "      \"num_intervals\": " << cell.num_intervals << ",\n"
+        << "      \"num_tasks\": " << cell.num_tasks() << ",\n"
+        << "      \"num_shards\": " << options.num_shards << ",\n"
+        << "      \"events\": " << events << ",\n"
+        << "      \"machine_ticks\": " << ticks << ",\n"
+        << "      \"serial_events_per_sec\": " << static_cast<double>(events) / serial_seconds
+        << ",\n"
+        << "      \"parallel_events_per_sec\": "
+        << static_cast<double>(events) / parallel_seconds << ",\n"
+        << "      \"parallel_speedup\": " << serial_seconds / parallel_seconds << "\n"
+        << "    }";
+
+  const std::string path = GetEnvString("CRF_BENCH_STREAM_FILE", "BENCH_stream.json");
+  AppendTrackedBenchEntry(path, "crf-stream-bench-v1", entry.str());
+  std::printf(
+      "stream bench (%s): serial %.0f parallel %.0f events/s (%.2fx) over %llu events -> %s\n",
+      full ? "full" : "short", static_cast<double>(events) / serial_seconds,
+      static_cast<double>(events) / parallel_seconds, serial_seconds / parallel_seconds,
+      static_cast<unsigned long long>(events), path.c_str());
+}
+
 }  // namespace
 }  // namespace crf
 
@@ -869,5 +993,6 @@ int main(int argc, char** argv) {
   crf::RecordClusterBench();
   crf::RecordSweepBench();
   crf::RecordTraceBench();
+  crf::RecordStreamBench();
   return 0;
 }

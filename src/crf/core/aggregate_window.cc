@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crf/util/byte_io.h"
 #include "crf/util/check.h"
 
 namespace crf {
@@ -32,6 +33,48 @@ void AggregateWindow::Reset() {
   count_ = 0;
   sum_ = 0.0;
   sumsq_ = 0.0;
+}
+
+void AggregateWindow::SaveState(ByteWriter& out) const {
+  out.Write<int32_t>(static_cast<int32_t>(window_.size()));
+  out.Write<int32_t>(head_);
+  out.Write<int32_t>(count_);
+  out.Write<double>(sum_);
+  out.Write<double>(sumsq_);
+  // The full physical ring: live samples sit at fixed physical positions and
+  // the restored layout must match so future evictions read the same slots.
+  out.WriteVec(window_);
+}
+
+bool AggregateWindow::LoadState(ByteReader& in) {
+  const int32_t capacity = in.Read<int32_t>();
+  const int32_t head = in.Read<int32_t>();
+  const int32_t count = in.Read<int32_t>();
+  const double sum = in.Read<double>();
+  const double sumsq = in.Read<double>();
+  std::vector<double> window;
+  if (!in.ReadVec(window, window_.size())) {
+    return false;
+  }
+  if (!in.ok() || capacity != static_cast<int32_t>(window_.size()) ||
+      window.size() != window_.size() || count < 0 || count > capacity || head < 0 ||
+      (count == capacity ? head >= capacity : head != 0) || !std::isfinite(sum) ||
+      !std::isfinite(sumsq)) {
+    in.Fail();
+    return false;
+  }
+  for (int i = 0; i < count; ++i) {
+    if (!std::isfinite(window[(head + i) % window.size()])) {
+      in.Fail();
+      return false;
+    }
+  }
+  window_ = std::move(window);
+  head_ = head;
+  count_ = count;
+  sum_ = sum;
+  sumsq_ = sumsq;
+  return true;
 }
 
 double AggregateWindow::Stddev() {

@@ -15,6 +15,9 @@
 
 namespace crf {
 
+class ByteReader;
+class ByteWriter;
+
 class AggregateWindow {
  public:
   explicit AggregateWindow(int capacity);
@@ -33,6 +36,14 @@ class AggregateWindow {
   // Population standard deviation of the window; requires count() > 0.
   // Non-const: may recompute and refresh the running moments exactly.
   double Stddev();
+
+  // Checkpoint support (crf/serve): serializes the ring layout and the
+  // incrementally maintained moments, so a restored window continues
+  // bit-identically (the running sums carry drift that a recompute from the
+  // samples would cancel differently). LoadState validates against this
+  // window's capacity and returns false on any mismatch.
+  void SaveState(ByteWriter& out) const;
+  bool LoadState(ByteReader& in);
 
  private:
   std::vector<double> window_;

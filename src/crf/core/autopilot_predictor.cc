@@ -1,11 +1,20 @@
 #include "crf/core/autopilot_predictor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
+#include "crf/util/byte_io.h"
 #include "crf/util/check.h"
 
 namespace crf {
+
+namespace {
+constexpr uint8_t kStateTag = 'A';
+// Upper bound on serialized tracked tasks: far above any real machine's
+// resident task count, small enough to reject a corrupted length early.
+constexpr uint64_t kMaxTrackedTasks = 1 << 20;
+}  // namespace
 
 AutopilotPredictor::AutopilotPredictor(double percentile, double margin,
                                        const PredictorConfig& config)
@@ -53,6 +62,58 @@ std::string AutopilotPredictor::name() const {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "autopilot-p%.0f-m%.2f", percentile_, margin_);
   return buffer;
+}
+
+bool AutopilotPredictor::SaveState(ByteWriter& out) const {
+  out.Write<uint8_t>(kStateTag);
+  // Emit entries sorted by task id: the map's bucket order is not
+  // deterministic across runs, and checkpoint bytes must be.
+  std::vector<TaskId> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [id, state] : tasks_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  out.Write<uint64_t>(ids.size());
+  for (const TaskId id : ids) {
+    const TaskState& state = tasks_.at(id);
+    out.Write<int64_t>(id);
+    out.Write<int32_t>(state.last_seen);
+    state.history.SaveState(out);
+  }
+  out.Write<double>(prediction_);
+  return true;
+}
+
+bool AutopilotPredictor::LoadState(ByteReader& in) {
+  const uint8_t tag = in.Read<uint8_t>();
+  const uint64_t count = in.Read<uint64_t>();
+  if (!in.ok() || tag != kStateTag || count > kMaxTrackedTasks) {
+    in.Fail();
+    return false;
+  }
+  std::unordered_map<TaskId, TaskState> tasks;
+  tasks.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const TaskId id = in.Read<int64_t>();
+    const Interval last_seen = in.Read<int32_t>();
+    TaskState state{TaskHistory(config_.max_num_samples), last_seen};
+    if (!state.history.LoadState(in)) {
+      return false;
+    }
+    if (last_seen < 0 || !tasks.emplace(id, std::move(state)).second) {
+      in.Fail();
+      return false;
+    }
+  }
+  const double prediction = in.Read<double>();
+  if (!in.ok() || !std::isfinite(prediction) || prediction < 0.0) {
+    in.Fail();
+    return false;
+  }
+  tasks_ = std::move(tasks);
+  prediction_ = prediction;
+  return true;
 }
 
 }  // namespace crf

@@ -34,6 +34,9 @@ class AutopilotPredictor : public PeakPredictor {
   void Reset() override;
   std::string name() const override;
 
+  bool SaveState(ByteWriter& out) const override;
+  bool LoadState(ByteReader& in) override;
+
   double percentile() const { return percentile_; }
   double margin() const { return margin_; }
 

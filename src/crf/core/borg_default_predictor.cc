@@ -1,10 +1,16 @@
 #include "crf/core/borg_default_predictor.h"
 
+#include <cmath>
 #include <cstdio>
 
+#include "crf/util/byte_io.h"
 #include "crf/util/check.h"
 
 namespace crf {
+
+namespace {
+constexpr uint8_t kStateTag = 'B';
+}  // namespace
 
 BorgDefaultPredictor::BorgDefaultPredictor(double phi) : phi_(phi) {
   CRF_CHECK_GT(phi, 0.0);
@@ -28,6 +34,27 @@ std::string BorgDefaultPredictor::name() const {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "borg-default-%.2f", phi_);
   return buffer;
+}
+
+bool BorgDefaultPredictor::SaveState(ByteWriter& out) const {
+  out.Write<uint8_t>(kStateTag);
+  out.Write<double>(limit_sum_);
+  out.Write<double>(usage_now_);
+  return true;
+}
+
+bool BorgDefaultPredictor::LoadState(ByteReader& in) {
+  const uint8_t tag = in.Read<uint8_t>();
+  const double limit_sum = in.Read<double>();
+  const double usage_now = in.Read<double>();
+  if (!in.ok() || tag != kStateTag || !std::isfinite(limit_sum) || limit_sum < 0.0 ||
+      !std::isfinite(usage_now) || usage_now < 0.0) {
+    in.Fail();
+    return false;
+  }
+  limit_sum_ = limit_sum;
+  usage_now_ = usage_now;
+  return true;
 }
 
 }  // namespace crf

@@ -22,6 +22,9 @@ class BorgDefaultPredictor : public PeakPredictor {
   void Reset() override { limit_sum_ = 0.0; usage_now_ = 0.0; }
   std::string name() const override;
 
+  bool SaveState(ByteWriter& out) const override;
+  bool LoadState(ByteReader& in) override;
+
   double phi() const { return phi_; }
 
  private:

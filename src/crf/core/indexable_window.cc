@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crf/util/byte_io.h"
 #include "crf/util/check.h"
 
 namespace crf {
@@ -152,6 +153,80 @@ double IndexableWindow::Mean() const {
     return 0.0;
   }
   return sum_ / static_cast<double>(ring_.size());
+}
+
+void IndexableWindow::SaveState(ByteWriter& out) const {
+  out.Write<int32_t>(capacity_);
+  out.Write<int32_t>(head_);
+  out.WriteVec(ring_);
+  out.Write<uint64_t>(chunks_.size());
+  for (const std::vector<float>& chunk : chunks_) {
+    out.WriteVec(chunk);
+  }
+  out.Write<double>(sum_);
+  out.Write<int32_t>(pushes_until_sum_refresh_);
+}
+
+bool IndexableWindow::LoadState(ByteReader& in) {
+  const int32_t capacity = in.Read<int32_t>();
+  const int32_t head = in.Read<int32_t>();
+  std::vector<float> ring;
+  if (!in.ReadVec(ring, static_cast<uint64_t>(capacity_))) {
+    return false;
+  }
+  const uint64_t num_chunks = in.Read<uint64_t>();
+  if (!in.ok() || capacity != capacity_ || num_chunks > ring.size() ||
+      static_cast<int>(ring.size()) > capacity_ || head < 0 ||
+      (ring.size() < static_cast<size_t>(capacity_) ? head != 0 : head >= capacity_)) {
+    in.Fail();
+    return false;
+  }
+  std::vector<std::vector<float>> chunks(num_chunks);
+  std::vector<float> ordered;
+  ordered.reserve(ring.size());
+  for (size_t c = 0; c < num_chunks; ++c) {
+    std::vector<float>& chunk = chunks[c];
+    if (!in.ReadVec(chunk, static_cast<uint64_t>(kSplitSize))) {
+      return false;
+    }
+    // Chunks are non-empty, internally sorted, and value-ordered across
+    // chunk boundaries — the invariants FindChunk's binary search relies on.
+    if (chunk.empty() || !std::is_sorted(chunk.begin(), chunk.end()) ||
+        (c > 0 && chunks[c - 1].back() > chunk.front()) ||
+        ordered.size() + chunk.size() > ring.size()) {
+      in.Fail();
+      return false;
+    }
+    ordered.insert(ordered.end(), chunk.begin(), chunk.end());
+  }
+  // The chunk partition must hold exactly the ring's samples, or a later
+  // eviction would fail an internal invariant check instead of this load
+  // being cleanly rejected.
+  std::vector<float> sorted_ring = ring;
+  std::sort(sorted_ring.begin(), sorted_ring.end());
+  if (ordered != sorted_ring) {
+    in.Fail();
+    return false;
+  }
+  const double sum = in.Read<double>();
+  const int32_t refresh = in.Read<int32_t>();
+  if (!in.ok() || !std::isfinite(sum) || refresh <= 0 || refresh > kSumRefreshPeriod) {
+    in.Fail();
+    return false;
+  }
+  for (const float v : ring) {
+    if (!std::isfinite(v)) {
+      in.Fail();
+      return false;
+    }
+  }
+  ring_ = std::move(ring);
+  head_ = head;
+  chunks_ = std::move(chunks);
+  sum_ = sum;
+  pushes_until_sum_refresh_ = refresh;
+  RebuildFenwick();
+  return true;
 }
 
 float IndexableWindow::Latest() const {

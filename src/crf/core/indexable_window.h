@@ -24,6 +24,9 @@
 
 namespace crf {
 
+class ByteReader;
+class ByteWriter;
+
 class IndexableWindow {
  public:
   explicit IndexableWindow(int capacity);
@@ -51,6 +54,16 @@ class IndexableWindow {
 
   // Newest sample; requires non-empty.
   float Latest() const;
+
+  // Checkpoint support (crf/serve): serializes the COMPLETE internal state —
+  // ring, chunk partition, running sum, and refresh countdown — so a
+  // restored window continues bit-identically to the uninterrupted one
+  // (future chunk splits and sum drift depend on more than the sample
+  // multiset). LoadState validates every structural invariant and returns
+  // false (leaving the reader failed) on any mismatch, including a stored
+  // capacity different from this window's.
+  void SaveState(ByteWriter& out) const;
+  bool LoadState(ByteReader& in);
 
  private:
   // Chunks are split in half when they reach this size, so steady-state

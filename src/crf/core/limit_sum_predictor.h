@@ -18,6 +18,9 @@ class LimitSumPredictor : public PeakPredictor {
   void Reset() override { limit_sum_ = 0.0; }
   std::string name() const override { return "limit-sum"; }
 
+  bool SaveState(ByteWriter& out) const override;
+  bool LoadState(ByteReader& in) override;
+
  private:
   double limit_sum_ = 0.0;
 };

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "crf/util/byte_io.h"
 #include "crf/util/check.h"
 
 namespace crf {
+
+namespace {
+constexpr uint8_t kStateTag = 'M';
+}  // namespace
 
 MaxPredictor::MaxPredictor(std::vector<std::unique_ptr<PeakPredictor>> components)
     : components_(std::move(components)) {
@@ -32,6 +37,32 @@ void MaxPredictor::Reset() {
   for (auto& component : components_) {
     component->Reset();
   }
+}
+
+bool MaxPredictor::SaveState(ByteWriter& out) const {
+  out.Write<uint8_t>(kStateTag);
+  out.Write<uint64_t>(components_.size());
+  for (const auto& component : components_) {
+    if (!component->SaveState(out)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MaxPredictor::LoadState(ByteReader& in) {
+  const uint8_t tag = in.Read<uint8_t>();
+  const uint64_t count = in.Read<uint64_t>();
+  if (!in.ok() || tag != kStateTag || count != components_.size()) {
+    in.Fail();
+    return false;
+  }
+  for (auto& component : components_) {
+    if (!component->LoadState(in)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string MaxPredictor::name() const {

@@ -24,6 +24,9 @@ class MaxPredictor : public PeakPredictor {
   void Reset() override;
   std::string name() const override;
 
+  bool SaveState(ByteWriter& out) const override;
+  bool LoadState(ByteReader& in) override;
+
   const std::vector<std::unique_ptr<PeakPredictor>>& components() const { return components_; }
 
  private:

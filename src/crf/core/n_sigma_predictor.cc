@@ -1,11 +1,20 @@
 #include "crf/core/n_sigma_predictor.h"
 
+#include <cmath>
 #include <cstdio>
 #include <unordered_map>
 
+#include "crf/util/byte_io.h"
 #include "crf/util/check.h"
 
 namespace crf {
+
+namespace {
+constexpr uint8_t kStateTag = 'N';
+// Upper bound on a serialized roster: far above any real machine's resident
+// task count, small enough to reject a corrupted length before allocating.
+constexpr uint64_t kMaxRosterTasks = 1 << 20;
+}  // namespace
 
 NSigmaPredictor::NSigmaPredictor(double n, const PredictorConfig& config)
     : n_(n), config_(config), window_(config.max_num_samples) {
@@ -82,6 +91,44 @@ std::string NSigmaPredictor::name() const {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "n-sigma-%.0f", n_);
   return buffer;
+}
+
+bool NSigmaPredictor::SaveState(ByteWriter& out) const {
+  out.Write<uint8_t>(kStateTag);
+  out.WriteVec(roster_ids_);
+  out.WriteVec(samples_seen_);
+  window_.SaveState(out);
+  out.Write<double>(prediction_);
+  return true;
+}
+
+bool NSigmaPredictor::LoadState(ByteReader& in) {
+  const uint8_t tag = in.Read<uint8_t>();
+  std::vector<TaskId> roster_ids;
+  std::vector<Interval> samples_seen;
+  if (!in.ReadVec(roster_ids, kMaxRosterTasks) || !in.ReadVec(samples_seen, kMaxRosterTasks) ||
+      tag != kStateTag || samples_seen.size() != roster_ids.size()) {
+    in.Fail();
+    return false;
+  }
+  for (const Interval seen : samples_seen) {
+    if (seen < 0) {
+      in.Fail();
+      return false;
+    }
+  }
+  if (!window_.LoadState(in)) {
+    return false;
+  }
+  const double prediction = in.Read<double>();
+  if (!in.ok() || !std::isfinite(prediction) || prediction < 0.0) {
+    in.Fail();
+    return false;
+  }
+  roster_ids_ = std::move(roster_ids);
+  samples_seen_ = std::move(samples_seen);
+  prediction_ = prediction;
+  return true;
 }
 
 }  // namespace crf

@@ -34,6 +34,9 @@ class NSigmaPredictor : public PeakPredictor {
   void Reset() override;
   std::string name() const override;
 
+  bool SaveState(ByteWriter& out) const override;
+  bool LoadState(ByteReader& in) override;
+
   double n() const { return n_; }
 
  private:

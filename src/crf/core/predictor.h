@@ -28,6 +28,9 @@
 
 namespace crf {
 
+class ByteReader;
+class ByteWriter;
+
 // One task's state at the current polling interval.
 struct TaskSample {
   TaskId task_id = 0;
@@ -67,6 +70,19 @@ class PeakPredictor {
   virtual void Reset() = 0;
 
   virtual std::string name() const = 0;
+
+  // Checkpoint support (crf/serve). SaveState serializes the COMPLETE
+  // observed state — rosters, history windows, running moments, the last
+  // published prediction — such that LoadState into a predictor constructed
+  // from the same spec resumes bit-identically to an uninterrupted run.
+  // Configuration is NOT serialized; it is re-derived from the spec, and
+  // LoadState validates structural fits (window capacities) against it.
+  // LoadState returns false and latches the reader's failure flag on any
+  // malformed or mismatched payload, leaving the predictor unspecified (the
+  // caller discards it). The default implementations return false: a
+  // predictor without an override simply cannot be checkpointed.
+  virtual bool SaveState(ByteWriter& out) const;
+  virtual bool LoadState(ByteReader& in);
 };
 
 // Clamps a raw prediction to the sane range [usage_now, limit_sum]: the

@@ -1,12 +1,21 @@
 #include "crf/core/rc_like_predictor.h"
 
+#include <cmath>
 #include <cstdio>
 #include <unordered_map>
 #include <utility>
 
+#include "crf/util/byte_io.h"
 #include "crf/util/check.h"
 
 namespace crf {
+
+namespace {
+constexpr uint8_t kStateTag = 'R';
+// Upper bound on a serialized roster: far above any real machine's resident
+// task count, small enough to reject a corrupted length before allocating.
+constexpr uint64_t kMaxRosterTasks = 1 << 20;
+}  // namespace
 
 RcLikePredictor::RcLikePredictor(double percentile, const PredictorConfig& config)
     : percentile_(percentile), config_(config) {
@@ -87,6 +96,42 @@ std::string RcLikePredictor::name() const {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "rc-like-p%.0f", percentile_);
   return buffer;
+}
+
+bool RcLikePredictor::SaveState(ByteWriter& out) const {
+  out.Write<uint8_t>(kStateTag);
+  out.WriteVec(roster_ids_);
+  for (const TaskHistory& history : histories_) {
+    history.SaveState(out);
+  }
+  out.Write<double>(prediction_);
+  return true;
+}
+
+bool RcLikePredictor::LoadState(ByteReader& in) {
+  const uint8_t tag = in.Read<uint8_t>();
+  std::vector<TaskId> roster_ids;
+  if (!in.ReadVec(roster_ids, kMaxRosterTasks) || tag != kStateTag) {
+    in.Fail();
+    return false;
+  }
+  std::vector<TaskHistory> histories;
+  histories.reserve(roster_ids.size());
+  for (size_t i = 0; i < roster_ids.size(); ++i) {
+    TaskHistory& history = histories.emplace_back(config_.max_num_samples);
+    if (!history.LoadState(in)) {
+      return false;
+    }
+  }
+  const double prediction = in.Read<double>();
+  if (!in.ok() || !std::isfinite(prediction) || prediction < 0.0) {
+    in.Fail();
+    return false;
+  }
+  roster_ids_ = std::move(roster_ids);
+  histories_ = std::move(histories);
+  prediction_ = prediction;
+  return true;
 }
 
 }  // namespace crf

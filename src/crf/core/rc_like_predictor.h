@@ -31,6 +31,9 @@ class RcLikePredictor : public PeakPredictor {
   void Reset() override;
   std::string name() const override;
 
+  bool SaveState(ByteWriter& out) const override;
+  bool LoadState(ByteReader& in) override;
+
   double percentile() const { return percentile_; }
 
  private:

@@ -11,18 +11,29 @@
 //
 // Warm-up and history windows are not part of the string; callers set them
 // on the returned spec (defaults: 2h / 10h, the paper's values).
+//
+// The parser is total over arbitrary input: malformed specs — including
+// empty strings, unknown predictor names, surplus parameters, non-numeric,
+// non-finite (nan/inf), or overflowing values, and unbalanced parentheses —
+// yield nullopt plus a precise diagnostic, never a crash or a downstream
+// CHECK failure (every range constraint the predictor constructors enforce
+// is validated here first).
 
 #ifndef CRF_CORE_SPEC_PARSER_H_
 #define CRF_CORE_SPEC_PARSER_H_
 
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "crf/core/predictor_factory.h"
 
 namespace crf {
 
-// Parses a predictor spec; nullopt on malformed input.
+// Parses a predictor spec; nullopt on malformed input. When `error` is
+// non-null, a failed parse stores a human-readable reason (the first —
+// deepest — failure encountered).
+std::optional<PredictorSpec> ParsePredictorSpec(std::string_view text, std::string* error);
 std::optional<PredictorSpec> ParsePredictorSpec(std::string_view text);
 
 }  // namespace crf

@@ -38,6 +38,10 @@ class TaskHistory {
   // Newest sample; requires non-empty.
   float Latest() const { return window_.Latest(); }
 
+  // Checkpoint support: see IndexableWindow::SaveState/LoadState.
+  void SaveState(ByteWriter& out) const { window_.SaveState(out); }
+  bool LoadState(ByteReader& in) { return window_.LoadState(in); }
+
  private:
   IndexableWindow window_;
 };

@@ -1,0 +1,262 @@
+#include "crf/serve/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <span>
+
+#include "crf/util/byte_io.h"
+#include "crf/util/check.h"
+#include "crf/util/thread_pool.h"
+
+namespace crf {
+
+StreamReplayer::StreamReplayer(const CellTrace& cell, const PredictorSpec& spec,
+                               const ReplayOptions& options)
+    : log_(cell),
+      options_(options),
+      service_(spec, cell.num_machines()),
+      metrics_(options.num_shards) {
+  CRF_CHECK_GT(cell.num_intervals, 0);
+  CRF_CHECK_GT(options_.num_shards, 0);
+
+  const int num_machines = cell.num_machines();
+  const Interval num_intervals = cell.num_intervals;
+  cursors_.reserve(num_machines);
+  for (int m = 0; m < num_machines; ++m) {
+    cursors_.push_back(log_.CreateCursor(m));
+  }
+  accums_.resize(num_machines);
+
+  // Contiguous machine blocks: shard s owns [s*block, (s+1)*block) ∩ [0, M).
+  const int block = (num_machines + options_.num_shards - 1) / options_.num_shards;
+  shards_.resize(options_.num_shards);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    ShardState& shard = shards_[s];
+    shard.begin_machine = std::min(s * block, num_machines);
+    shard.end_machine = std::min((s + 1) * block, num_machines);
+    shard.cell_limit.assign(num_intervals, 0.0);
+    shard.cell_prediction.assign(num_intervals, 0.0);
+  }
+}
+
+void StreamReplayer::AdvanceShard(int shard_index, Interval from, Interval until) {
+  ShardState& shard = shards_[shard_index];
+  ShardMetrics& shard_metrics = metrics_.shard(shard_index);
+  const OracleKind kind =
+      options_.use_total_usage_oracle ? OracleKind::kTotalUsage : OracleKind::kPeak;
+  const int period = options_.latency_sample_period;
+
+  for (int m = shard.begin_machine; m < shard.end_machine; ++m) {
+    if (kind == OracleKind::kTotalUsage) {
+      ComputeTotalUsageOracleInto(log_.cell(), m, options_.horizon, shard.oracle_scratch,
+                                  shard.oracle);
+    } else {
+      ComputePeakOracleInto(log_.cell(), m, options_.horizon, shard.oracle_scratch,
+                            shard.oracle);
+    }
+    EventLog::MachineCursor& cursor = cursors_[m];
+    MachineAccum& accum = accums_[m];
+
+    for (Interval tau = from; tau < until; ++tau) {
+      shard.events.clear();
+      cursor.EmitTick(tau, shard.events);
+      shard_metrics.sequence += shard.events.size();
+      ++shard_metrics.ticks;
+      shard_metrics.max_batch_events =
+          std::max(shard_metrics.max_batch_events, static_cast<int64_t>(shard.events.size()));
+
+      double prediction;
+      if (period > 0 && shard_metrics.ticks % static_cast<uint64_t>(period) == 0) {
+        const auto t0 = std::chrono::steady_clock::now();
+        prediction = service_.IngestTick(m, tau, shard.events);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+        shard_metrics.predict_latency_log2_ns.Add(ns > 1.0 ? std::log2(ns) : 0.0, ns);
+      } else {
+        prediction = service_.IngestTick(m, tau, shard.events);
+      }
+
+      const double oracle_value = shard.oracle[tau];
+      const double limit_sum = service_.LimitSum(m);
+      const bool occupied = !service_.Roster(m).empty();
+      if (IsPeakViolation(prediction, oracle_value)) {
+        ++accum.violations;
+        accum.severity_sum += (oracle_value - prediction) / oracle_value;
+      }
+      if (occupied) {
+        ++accum.occupied_intervals;
+        accum.savings_sum += (limit_sum - prediction) / limit_sum;
+      }
+      accum.prediction_sum += prediction;
+      accum.limit_sum_total += limit_sum;
+      shard.cell_limit[tau] += limit_sum;
+      shard.cell_prediction[tau] += prediction;
+    }
+  }
+}
+
+void StreamReplayer::Advance(Interval until) {
+  CRF_CHECK_GE(until, next_tick_);
+  CRF_CHECK_LE(until, log_.num_intervals());
+  if (until == next_tick_) {
+    return;
+  }
+  const Interval from = next_tick_;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (options_.parallel) {
+    ThreadPool::Default().ParallelFor(
+        options_.num_shards, [this, from, until](int s) { AdvanceShard(s, from, until); });
+  } else {
+    for (int s = 0; s < options_.num_shards; ++s) {
+      AdvanceShard(s, from, until);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  metrics_.AddElapsedSeconds(std::chrono::duration<double>(t1 - t0).count());
+  next_tick_ = until;
+}
+
+SimResult StreamReplayer::Finish() {
+  CRF_CHECK(Done());
+  const Interval num_intervals = log_.num_intervals();
+  const int num_machines = log_.num_machines();
+
+  SimResult result;
+  result.cell_name = log_.cell().name;
+  result.predictor_name = spec().Name();
+  result.machines.resize(num_machines);
+  for (int m = 0; m < num_machines; ++m) {
+    const MachineAccum& accum = accums_[m];
+    MachineMetrics& metrics = result.machines[m];
+    metrics.machine_index = m;
+    metrics.intervals = num_intervals;
+    metrics.occupied_intervals = accum.occupied_intervals;
+    metrics.violations = accum.violations;
+    metrics.mean_violation_severity = accum.severity_sum / num_intervals;
+    metrics.mean_prediction = accum.prediction_sum / num_intervals;
+    metrics.mean_limit = accum.limit_sum_total / num_intervals;
+    if (accum.occupied_intervals > 0) {
+      metrics.savings_ratio =
+          accum.savings_sum / static_cast<double>(accum.occupied_intervals);
+    }
+  }
+
+  // Deterministic merge: shard partials summed in shard index order.
+  std::vector<double> cell_limit(num_intervals, 0.0);
+  std::vector<double> cell_prediction(num_intervals, 0.0);
+  for (const ShardState& shard : shards_) {
+    for (Interval t = 0; t < num_intervals; ++t) {
+      cell_limit[t] += shard.cell_limit[t];
+      cell_prediction[t] += shard.cell_prediction[t];
+    }
+  }
+  result.cell_savings_series = CellSavingsSeries(cell_limit, cell_prediction);
+  return result;
+}
+
+const ServeMetrics& StreamReplayer::Metrics() {
+  int64_t violations = 0;
+  for (const MachineAccum& accum : accums_) {
+    violations += accum.violations;
+  }
+  metrics_.SetViolations(violations);
+  return metrics_;
+}
+
+void StreamReplayer::SaveStateTo(ByteWriter& out) const {
+  out.Write<int32_t>(options_.num_shards);
+  out.Write<int32_t>(next_tick_);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    const ShardState& shard = shards_[s];
+    const ShardMetrics& shard_metrics = metrics_.shard(s);
+    out.Write<uint64_t>(shard_metrics.sequence);
+    out.Write<uint64_t>(shard_metrics.ticks);
+    out.Write<int64_t>(shard_metrics.max_batch_events);
+    out.WriteVec(shard.cell_limit);
+    out.WriteVec(shard.cell_prediction);
+  }
+  for (int m = 0; m < log_.num_machines(); ++m) {
+    service_.SaveMachine(m, out);
+    const MachineAccum& accum = accums_[m];
+    out.Write<int64_t>(accum.violations);
+    out.Write<int64_t>(accum.occupied_intervals);
+    out.Write<double>(accum.severity_sum);
+    out.Write<double>(accum.savings_sum);
+    out.Write<double>(accum.prediction_sum);
+    out.Write<double>(accum.limit_sum_total);
+  }
+}
+
+bool StreamReplayer::LoadStateFrom(ByteReader& in, Interval resume_tick) {
+  const Interval num_intervals = log_.num_intervals();
+  if (resume_tick < 0 || resume_tick > num_intervals) {
+    in.Fail();
+    return false;
+  }
+  const int32_t num_shards = in.Read<int32_t>();
+  const int32_t saved_tick = in.Read<int32_t>();
+  if (!in.ok() || num_shards != options_.num_shards || saved_tick != resume_tick) {
+    in.Fail();
+    return false;
+  }
+  for (int s = 0; s < options_.num_shards; ++s) {
+    ShardState& shard = shards_[s];
+    ShardMetrics& shard_metrics = metrics_.shard(s);
+    shard_metrics.sequence = in.Read<uint64_t>();
+    shard_metrics.ticks = in.Read<uint64_t>();
+    shard_metrics.max_batch_events = in.Read<int64_t>();
+    if (!in.ReadVec(shard.cell_limit, static_cast<uint64_t>(num_intervals)) ||
+        !in.ReadVec(shard.cell_prediction, static_cast<uint64_t>(num_intervals))) {
+      return false;
+    }
+    if (shard.cell_limit.size() != static_cast<size_t>(num_intervals) ||
+        shard.cell_prediction.size() != static_cast<size_t>(num_intervals) ||
+        shard_metrics.max_batch_events < 0) {
+      in.Fail();
+      return false;
+    }
+  }
+  for (int m = 0; m < log_.num_machines(); ++m) {
+    if (!service_.LoadMachine(m, in)) {
+      return false;
+    }
+    MachineAccum& accum = accums_[m];
+    accum.violations = in.Read<int64_t>();
+    accum.occupied_intervals = in.Read<int64_t>();
+    accum.severity_sum = in.Read<double>();
+    accum.savings_sum = in.Read<double>();
+    accum.prediction_sum = in.Read<double>();
+    accum.limit_sum_total = in.Read<double>();
+    if (!in.ok() || accum.violations < 0 || accum.occupied_intervals < 0 ||
+        !std::isfinite(accum.severity_sum) || !std::isfinite(accum.savings_sum) ||
+        !std::isfinite(accum.prediction_sum) || !std::isfinite(accum.limit_sum_total)) {
+      in.Fail();
+      return false;
+    }
+  }
+
+  // Reposition cursors and cross-check the restored rosters against the
+  // trace-derived resident sets — a corrupted roster that survived the
+  // payload checksum is caught here.
+  for (int m = 0; m < log_.num_machines(); ++m) {
+    EventLog::MachineCursor& cursor = cursors_[m];
+    cursor.Seek(resume_tick);
+    const std::span<const int32_t> roster = service_.Roster(m);
+    const std::vector<int32_t>& active = cursor.active();
+    if (roster.size() != active.size() ||
+        !std::equal(roster.begin(), roster.end(), active.begin())) {
+      in.Fail();
+      return false;
+    }
+    if (resume_tick > 0 && service_.LastTick(m) != resume_tick - 1) {
+      in.Fail();
+      return false;
+    }
+  }
+  next_tick_ = resume_tick;
+  return true;
+}
+
+}  // namespace crf

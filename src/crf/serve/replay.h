@@ -1,0 +1,136 @@
+// StreamReplayer: sharded streaming replay of a sealed trace (DESIGN.md §7).
+//
+// Drives the full serve pipeline: an EventLog turns the trace into
+// per-machine event streams, an OvercommitService maintains incremental
+// predictor state, and per-machine accumulators score every published
+// prediction against the clairvoyant oracle — the streaming differential
+// twin of the batch SimulateCell.
+//
+// Sharding and determinism: machines are split into `num_shards` contiguous
+// blocks. A shard is the unit of parallelism AND the unit of event ordering
+// — each shard is processed by exactly one thread per Advance call, walks
+// its machines in ascending order, and counts its own event sequence
+// numbers. Results are merged shard-by-shard in shard index order. Because
+// the shard structure is fixed by `num_shards` (never by the thread count),
+// every number the replay produces is bit-identical at any thread count; the
+// per-machine metrics are additionally bit-identical to the batch engine
+// (shared event permutation + identical per-tick arithmetic), and to the
+// batch they remain bit-identical for any shard count too (a machine's
+// stream never crosses a shard boundary).
+//
+// Advance processes ticks in [next_tick, until) for every machine, so a
+// checkpoint (crf/serve/checkpoint.h) can be cut at any interval boundary
+// between Advance calls and restored to a bit-identical continuation.
+
+#ifndef CRF_SERVE_REPLAY_H_
+#define CRF_SERVE_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crf/core/oracle.h"
+#include "crf/core/predictor_factory.h"
+#include "crf/serve/event_log.h"
+#include "crf/serve/serve_metrics.h"
+#include "crf/serve/service.h"
+#include "crf/sim/metrics.h"
+#include "crf/trace/trace.h"
+
+namespace crf {
+
+class ByteReader;
+class ByteWriter;
+
+struct ReplayOptions {
+  // Oracle forecast horizon (paper Section 5.2 default: 24 hours).
+  Interval horizon = kIntervalsPerDay;
+  // Ablation: score against the unfiltered total-usage oracle.
+  bool use_total_usage_oracle = false;
+  // Process shards on the default thread pool. Affects wall-clock only —
+  // never results (see the determinism rule above).
+  bool parallel = true;
+  // Number of ingestion shards, fixed independently of the thread count.
+  // Per-machine numbers are shard-invariant; the merged cell series groups
+  // machine partial sums per shard, so its floating-point rounding depends
+  // on this value (and never on the thread count).
+  int num_shards = 16;
+  // Sample the predict latency every N ticks per shard (0 disables).
+  int latency_sample_period = 64;
+
+  bool operator==(const ReplayOptions&) const = default;
+};
+
+class StreamReplayer {
+ public:
+  // `cell` must outlive the replayer.
+  StreamReplayer(const CellTrace& cell, const PredictorSpec& spec,
+                 const ReplayOptions& options = {});
+
+  // Processes ticks [next_tick(), until) on every machine. `until` must not
+  // exceed the trace length or precede next_tick().
+  void Advance(Interval until);
+  void AdvanceToEnd() { Advance(log_.num_intervals()); }
+
+  Interval next_tick() const { return next_tick_; }
+  bool Done() const { return next_tick_ == log_.num_intervals(); }
+
+  // Scores into a SimResult (requires Done()): per-machine metrics are
+  // bit-identical to batch SimulateMachine; the cell savings series merges
+  // the per-shard partial series in shard order.
+  SimResult Finish();
+
+  // Updates the violation total and returns the metrics registry.
+  const ServeMetrics& Metrics();
+
+  const PredictorSpec& spec() const { return service_.spec(); }
+  const ReplayOptions& options() const { return options_; }
+  const CellTrace& cell() const { return log_.cell(); }
+  const OvercommitService& service() const { return service_; }
+
+  // Checkpoint payload: the complete resumable state — per-shard sequence
+  // counters and partial series, per-machine service state and metric
+  // accumulators. Cursor positions are re-derived from next_tick on load
+  // (EventLog::MachineCursor::Seek), and the restored rosters are validated
+  // against the trace-derived resident sets. LoadStateFrom returns false on
+  // any malformed or inconsistent payload (the replayer must be discarded).
+  void SaveStateTo(ByteWriter& out) const;
+  bool LoadStateFrom(ByteReader& in, Interval resume_tick);
+
+ private:
+  // Per-machine metric accumulators, mirroring SimulateMachine's locals.
+  struct MachineAccum {
+    int64_t violations = 0;
+    int64_t occupied_intervals = 0;
+    double severity_sum = 0.0;
+    double savings_sum = 0.0;
+    double prediction_sum = 0.0;
+    double limit_sum_total = 0.0;
+  };
+
+  struct ShardState {
+    int begin_machine = 0;
+    int end_machine = 0;
+    // Partial per-interval series over this shard's machines.
+    std::vector<double> cell_limit;
+    std::vector<double> cell_prediction;
+    // Reused scratch: the per-tick event batch and oracle computation.
+    std::vector<StreamEvent> events;
+    OracleScratch oracle_scratch;
+    std::vector<double> oracle;
+  };
+
+  void AdvanceShard(int shard_index, Interval from, Interval until);
+
+  EventLog log_;
+  ReplayOptions options_;
+  OvercommitService service_;
+  std::vector<EventLog::MachineCursor> cursors_;
+  std::vector<MachineAccum> accums_;
+  std::vector<ShardState> shards_;
+  ServeMetrics metrics_;
+  Interval next_tick_ = 0;
+};
+
+}  // namespace crf
+
+#endif  // CRF_SERVE_REPLAY_H_

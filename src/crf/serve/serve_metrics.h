@@ -1,0 +1,73 @@
+// ServeMetrics: operational counters for the streaming serve layer.
+//
+// Tracks what an operator of the online service would watch: ingest
+// throughput (events/s), a predict-latency histogram (log2-nanosecond
+// buckets over sampled Observe+Predict rounds), violation counters, and
+// per-shard progress (event sequence numbers, peak per-tick batch size —
+// the replay analogue of queue depth). Dumped as JSON via ToJson / WriteJson
+// for tooling.
+//
+// Timing-derived fields (latency, events/s) are observational only: they are
+// NOT part of checkpoints and carry no determinism guarantee. Everything
+// that feeds the final SimResult lives in the replayer's checkpointed
+// accumulators instead.
+
+#ifndef CRF_SERVE_SERVE_METRICS_H_
+#define CRF_SERVE_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crf/stats/histogram.h"
+
+namespace crf {
+
+// One ingestion shard's counters. Owned and written by exactly one thread
+// during a replay chunk; aggregated single-threaded afterwards.
+struct ShardMetrics {
+  // Events ingested by this shard (its sequence number: every event the
+  // shard consumes increments it by one).
+  uint64_t sequence = 0;
+  // Ticks processed (one per machine per interval).
+  uint64_t ticks = 0;
+  // Largest single-tick event batch seen (replay queue-depth analogue).
+  int64_t max_batch_events = 0;
+  // Sampled predict latency, log2(nanoseconds) buckets.
+  BucketedStats predict_latency_log2_ns{0.0, 1.0, 40};
+
+  void MergeFrom(const ShardMetrics& other);
+};
+
+class ServeMetrics {
+ public:
+  explicit ServeMetrics(int num_shards);
+
+  ShardMetrics& shard(int s) { return shards_[s]; }
+  const ShardMetrics& shard(int s) const { return shards_[s]; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Wall-clock seconds spent inside Advance (accumulated by the replayer).
+  void AddElapsedSeconds(double seconds) { elapsed_seconds_ += seconds; }
+  void SetViolations(int64_t violations) { violations_ = violations; }
+
+  uint64_t TotalEvents() const;
+  uint64_t TotalTicks() const;
+  double elapsed_seconds() const { return elapsed_seconds_; }
+  // Events per second over the accumulated Advance time; 0 before any work.
+  double EventsPerSecond() const;
+
+  // The full registry as a JSON object (stable key order).
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  std::vector<ShardMetrics> shards_;
+  double elapsed_seconds_ = 0.0;
+  int64_t violations_ = 0;
+};
+
+}  // namespace crf
+
+#endif  // CRF_SERVE_SERVE_METRICS_H_

@@ -1,0 +1,126 @@
+#include "crf/serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crf/util/byte_io.h"
+#include "crf/util/check.h"
+
+namespace crf {
+
+namespace {
+// Upper bound on a restored roster; rejects corrupted lengths early.
+constexpr uint64_t kMaxRosterTasks = 1 << 20;
+}  // namespace
+
+OvercommitService::OvercommitService(const PredictorSpec& spec, int num_machines)
+    : spec_(spec) {
+  CRF_CHECK_GT(num_machines, 0);
+  machines_.resize(num_machines);
+  for (MachineState& machine : machines_) {
+    machine.predictor = CreatePredictor(spec_);
+  }
+}
+
+double OvercommitService::IngestTick(int machine, Interval tau,
+                                     std::span<const StreamEvent> events) {
+  MachineState& state = machines_[machine];
+  CRF_CHECK_GT(tau, state.last_tick);
+
+  size_t i = 0;
+  // 1. Departures: subtract limits in event order (the batch engine's
+  // departure-time order), then compact the roster preserving order.
+  state.departed.clear();
+  for (; i < events.size() && events[i].kind == StreamEventKind::kTaskDeparture; ++i) {
+    state.limit_sum -= events[i].limit;
+    state.departed.push_back(events[i].task_index);
+  }
+  if (!state.departed.empty()) {
+    size_t out = 0;
+    for (size_t r = 0; r < state.roster_index.size(); ++r) {
+      const int32_t index = state.roster_index[r];
+      const bool gone = std::find(state.departed.begin(), state.departed.end(), index) !=
+                        state.departed.end();
+      if (!gone) {
+        state.roster_index[out] = index;
+        state.roster[out] = state.roster[r];
+        ++out;
+      }
+    }
+    state.roster_index.resize(out);
+    state.roster.resize(out);
+  }
+
+  // 2. Arrivals: append to the roster, add limits.
+  for (; i < events.size() && events[i].kind == StreamEventKind::kTaskArrival; ++i) {
+    const StreamEvent& event = events[i];
+    state.roster_index.push_back(event.task_index);
+    state.roster.push_back({event.task_id, 0.0, event.limit});
+    state.limit_sum += event.limit;
+  }
+  if (state.roster.empty()) {
+    state.limit_sum = 0.0;  // Kill incremental drift; the true sum is exactly 0.
+  }
+
+  // 3. Usage samples: exactly one per resident task, in roster order.
+  const size_t first_sample = i;
+  for (; i < events.size(); ++i) {
+    const StreamEvent& event = events[i];
+    CRF_CHECK(event.kind == StreamEventKind::kUsageSample);
+    const size_t slot = i - first_sample;
+    CRF_CHECK_LT(slot, state.roster_index.size());
+    CRF_CHECK_EQ(event.task_index, state.roster_index[slot]);
+    state.roster[slot].usage = event.usage;
+  }
+  CRF_CHECK_EQ(i - first_sample, state.roster.size());
+
+  state.predictor->Observe(tau, state.roster);
+  state.last_prediction = state.predictor->PredictPeak();
+  state.last_tick = tau;
+  return state.last_prediction;
+}
+
+void OvercommitService::SaveMachine(int machine, ByteWriter& out) const {
+  const MachineState& state = machines_[machine];
+  out.Write<int32_t>(state.last_tick);
+  out.Write<double>(state.limit_sum);
+  out.Write<double>(state.last_prediction);
+  out.WriteVec(state.roster_index);
+  out.WriteVec(state.roster);
+  state.predictor->SaveState(out);
+}
+
+bool OvercommitService::LoadMachine(int machine, ByteReader& in) {
+  MachineState& state = machines_[machine];
+  const Interval last_tick = in.Read<int32_t>();
+  const double limit_sum = in.Read<double>();
+  const double last_prediction = in.Read<double>();
+  std::vector<int32_t> roster_index;
+  std::vector<TaskSample> roster;
+  if (!in.ReadVec(roster_index, kMaxRosterTasks) || !in.ReadVec(roster, kMaxRosterTasks)) {
+    return false;
+  }
+  if (!in.ok() || last_tick < -1 || !std::isfinite(limit_sum) || limit_sum < 0.0 ||
+      !std::isfinite(last_prediction) || last_prediction < 0.0 ||
+      roster.size() != roster_index.size()) {
+    in.Fail();
+    return false;
+  }
+  for (const TaskSample& sample : roster) {
+    if (!std::isfinite(sample.usage) || !std::isfinite(sample.limit) || sample.limit < 0.0) {
+      in.Fail();
+      return false;
+    }
+  }
+  if (!state.predictor->LoadState(in)) {
+    return false;
+  }
+  state.last_tick = last_tick;
+  state.limit_sum = limit_sum;
+  state.last_prediction = last_prediction;
+  state.roster_index = std::move(roster_index);
+  state.roster = std::move(roster);
+  return true;
+}
+
+}  // namespace crf

@@ -1,0 +1,88 @@
+// OvercommitService: incremental per-machine predictor state (DESIGN.md §7).
+//
+// The online half of the serve layer. Each machine owns a predictor instance
+// (built from one PredictorSpec via PredictorFactory), a resident-task
+// roster mirroring the batch engine's `active` list, and the incrementally
+// maintained limit sum. IngestTick applies one machine's events for one
+// interval — departures, arrivals, then usage samples in roster order — and
+// runs one Observe/PredictPeak round, in exactly the arithmetic order of the
+// batch SimulateMachine loop, so the published prediction stream is
+// bit-identical to the batch engine's.
+//
+// Per-machine updates cost O(events + log w) amortized (the predictor's
+// window insert is the log factor) and allocate nothing in steady state: the
+// roster and scratch vectors reuse their high-water capacity.
+//
+// Thread-safety: calls for DISTINCT machines may run concurrently (state is
+// strictly per-machine); calls for the same machine must be serialized by
+// the caller — the replayer does so by owning each machine in exactly one
+// shard.
+
+#ifndef CRF_SERVE_SERVICE_H_
+#define CRF_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "crf/core/predictor_factory.h"
+#include "crf/serve/event.h"
+
+namespace crf {
+
+class ByteReader;
+class ByteWriter;
+
+class OvercommitService {
+ public:
+  OvercommitService(const PredictorSpec& spec, int num_machines);
+
+  // Applies machine `machine`'s canonical event batch for interval `tau`
+  // (see event.h for the required order) and runs one predictor round.
+  // Returns the published prediction. Ticks per machine must be ingested in
+  // increasing order; the batch must contain exactly one usage sample per
+  // resident task, in roster order (CHECK-enforced: a malformed batch is a
+  // producer bug, not recoverable input).
+  double IngestTick(int machine, Interval tau, std::span<const StreamEvent> events);
+
+  // The last published prediction / the machine's resident limit sum.
+  double Predict(int machine) const { return machines_[machine].last_prediction; }
+  double LimitSum(int machine) const { return machines_[machine].limit_sum; }
+  Interval LastTick(int machine) const { return machines_[machine].last_tick; }
+  // Resident roster (trace task indices, roster order) for validation.
+  std::span<const int32_t> Roster(int machine) const { return machines_[machine].roster_index; }
+
+  int num_machines() const { return static_cast<int>(machines_.size()); }
+  const PredictorSpec& spec() const { return spec_; }
+
+  // Checkpoint support: serializes / restores one machine's complete state
+  // (roster, limit sum, predictor internals, last prediction). LoadMachine
+  // validates structural consistency and returns false on malformed input,
+  // leaving the machine unspecified (the caller discards the service).
+  void SaveMachine(int machine, ByteWriter& out) const;
+  bool LoadMachine(int machine, ByteReader& in);
+
+ private:
+  struct MachineState {
+    std::unique_ptr<PeakPredictor> predictor;
+    // Parallel roster arrays: trace task index (stable identity) and the
+    // sample handed to the predictor. Roster order mirrors the batch
+    // engine's `active` list.
+    std::vector<int32_t> roster_index;
+    std::vector<TaskSample> roster;
+    double limit_sum = 0.0;
+    double last_prediction = 0.0;
+    Interval last_tick = -1;
+    // Scratch for the departure compaction (reused, zero steady-state
+    // allocations).
+    std::vector<int32_t> departed;
+  };
+
+  PredictorSpec spec_;
+  std::vector<MachineState> machines_;
+};
+
+}  // namespace crf
+
+#endif  // CRF_SERVE_SERVICE_H_

@@ -60,6 +60,18 @@ struct SimResult {
   double MeanViolationRate() const;
 };
 
+// Relative tolerance when comparing a prediction against the oracle: both
+// are sums of the same float samples accumulated along different paths, so
+// bit-identical equality cannot be expected.
+inline constexpr double kViolationRelTolerance = 1e-9;
+
+// Whether `prediction` undershoots the oracle peak (paper Section 5.1.3).
+// Shared by the batch simulator and the streaming replayer so both count the
+// exact same violations.
+inline bool IsPeakViolation(double prediction, double oracle) {
+  return prediction < oracle * (1.0 - kViolationRelTolerance) - 1e-12;
+}
+
 // Builds the per-interval cell-level savings series (sum L - sum P) / sum L
 // from aggregated per-interval limit and prediction series, skipping
 // intervals where the cell holds no tasks (zero limit). Shared by

@@ -5,52 +5,18 @@
 #include <vector>
 
 #include "crf/sim/sim_workspace.h"
+#include "crf/trace/machine_events.h"
 #include "crf/util/check.h"
 #include "crf/util/thread_pool.h"
 
 namespace crf {
 namespace {
 
-// Relative tolerance when comparing a prediction against the oracle: both
-// are sums of the same float samples accumulated along different paths, so
-// bit-identical equality cannot be expected.
-constexpr double kRelTolerance = 1e-9;
-
-bool IsViolation(double prediction, double oracle) {
-  return prediction < oracle * (1.0 - kRelTolerance) - 1e-12;
-}
-
-// Raw columns of the sealed trace, hoisted once per machine pass so the
-// per-interval loops touch flat arrays only. Departure follows the unified
-// residency rule (TaskView::departure): zero-length tasks are still admitted
-// at `start` and stay resident for exactly one interval, contributing their
-// limit.
-struct TaskColumns {
-  explicit TaskColumns(const CellTrace& cell)
-      : start(cell.task_starts()),
-        limit(cell.task_limits()),
-        id(cell.task_ids()),
-        offsets(cell.usage_offsets()),
-        usage(cell.usage_arena()) {}
-
-  std::span<const Interval> start;
-  std::span<const double> limit;
-  std::span<const TaskId> id;
-  std::span<const uint64_t> offsets;
-  std::span<const float> usage;
-
-  Interval DepartureTime(int32_t i) const {
-    const Interval runtime = static_cast<Interval>(offsets[i + 1] - offsets[i]);
-    return std::max(start[i] + runtime, start[i] + 1);
-  }
-  double UsageAt(int32_t i, Interval tau) const {
-    const int64_t k = static_cast<int64_t>(tau) - start[i];
-    const uint64_t n = offsets[i + 1] - offsets[i];
-    return k >= 0 && static_cast<uint64_t>(k) < n
-               ? static_cast<double>(usage[offsets[i] + static_cast<uint64_t>(k)])
-               : 0.0;
-  }
-};
+// The column view and event ordering live in crf/trace/machine_events.h,
+// shared with the streaming replayer (crf/serve): both engines must derive
+// the same event permutation for their floating-point accumulation over the
+// resident set to be bit-identical.
+using TaskColumns = MachineTaskColumns;
 
 // The oracle depends only on (cell, machine, horizon, kind): take the shared
 // memoized series when a cache is supplied, otherwise compute into the
@@ -78,14 +44,7 @@ std::span<const double> FetchOracle(const CellTrace& cell, int machine_index,
 // only the sample fill, with no rescans on event-free intervals.
 void BuildEventLists(const TaskColumns& cols, std::span<const int32_t> task_indices,
                      SimWorkspace& ws) {
-  ws.arrivals.assign(task_indices.begin(), task_indices.end());
-  std::sort(ws.arrivals.begin(), ws.arrivals.end(), [&cols](int32_t a, int32_t b) {
-    return cols.start[a] < cols.start[b];
-  });
-  ws.departures.assign(task_indices.begin(), task_indices.end());
-  std::sort(ws.departures.begin(), ws.departures.end(), [&cols](int32_t a, int32_t b) {
-    return cols.DepartureTime(a) < cols.DepartureTime(b);
-  });
+  BuildMachineEventLists(cols, task_indices, ws.arrivals, ws.departures);
 }
 
 }  // namespace
@@ -159,7 +118,7 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
     const double prediction = predictor->PredictPeak();
     const double oracle_value = oracle[tau];
 
-    if (IsViolation(prediction, oracle_value)) {
+    if (IsPeakViolation(prediction, oracle_value)) {
       ++metrics.violations;
       severity_sum += (oracle_value - prediction) / oracle_value;
     }
@@ -327,7 +286,7 @@ void SimulateMachineMulti(const CellTrace& cell, int machine_index, const SweepP
 
     for (int s = 0; s < num_specs; ++s) {
       const double prediction = predictions[s];
-      if (IsViolation(prediction, oracle_value)) {
+      if (IsPeakViolation(prediction, oracle_value)) {
         ++ws.multi_violations[s];
         ws.multi_severity[s] += (oracle_value - prediction) / oracle_value;
       }

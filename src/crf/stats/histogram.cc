@@ -19,6 +19,15 @@ void BucketedStats::Add(double key, double value) {
   buckets_[index].Add(value);
 }
 
+void BucketedStats::Merge(const BucketedStats& other) {
+  CRF_CHECK_EQ(lo_, other.lo_);
+  CRF_CHECK_EQ(width_, other.width_);
+  CRF_CHECK_EQ(num_buckets(), other.num_buckets());
+  for (int i = 0; i < num_buckets(); ++i) {
+    buckets_[i].Merge(other.buckets_[i]);
+  }
+}
+
 double BucketedStats::bucket_center(int i) const {
   CRF_CHECK_GE(i, 0);
   CRF_CHECK_LT(i, num_buckets());

@@ -22,6 +22,11 @@ class BucketedStats {
   // Adds an observation of `value` keyed by `key` (key selects the bucket).
   void Add(double key, double value);
 
+  // Merges another histogram with identical geometry (lo, width, bucket
+  // count) into this one — the parallel-reduction counterpart of Add, used
+  // to combine per-shard latency histograms.
+  void Merge(const BucketedStats& other);
+
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
   double bucket_center(int i) const;
   double bucket_lower(int i) const;

@@ -1,0 +1,21 @@
+#include "crf/trace/machine_events.h"
+
+#include <algorithm>
+
+namespace crf {
+
+void BuildMachineEventLists(const MachineTaskColumns& cols,
+                            std::span<const int32_t> task_indices,
+                            std::vector<int32_t>& arrivals,
+                            std::vector<int32_t>& departures) {
+  arrivals.assign(task_indices.begin(), task_indices.end());
+  std::sort(arrivals.begin(), arrivals.end(), [&cols](int32_t a, int32_t b) {
+    return cols.start[a] < cols.start[b];
+  });
+  departures.assign(task_indices.begin(), task_indices.end());
+  std::sort(departures.begin(), departures.end(), [&cols](int32_t a, int32_t b) {
+    return cols.DepartureTime(a) < cols.DepartureTime(b);
+  });
+}
+
+}  // namespace crf

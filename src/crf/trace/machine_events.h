@@ -1,0 +1,69 @@
+// Shared per-machine event ordering for the trace-driven engines.
+//
+// Both the batch simulator (crf/sim/simulator.cc) and the streaming replay
+// layer (crf/serve) walk a machine's tasks as two sorted event lists:
+// arrivals ordered by start interval and departures ordered by departure
+// time. The comparators are strict weak orderings on the timestamp ONLY, so
+// ties are broken by std::sort's (unspecified but deterministic) permutation
+// of the input order. Floating-point accumulation over the resident set
+// follows the event order, which makes the tie permutation observable: the
+// batch and streaming engines must call THIS helper — not a reimplementation
+// — for their per-task arithmetic to be bit-identical.
+//
+// MachineTaskColumns hoists the sealed trace's flat columns once per pass
+// and encodes the unified residency rule (trace.h): a task occupies
+// [start, departure) with departure == max(start + runtime, start + 1), so
+// zero-length tasks are resident for exactly one interval.
+
+#ifndef CRF_TRACE_MACHINE_EVENTS_H_
+#define CRF_TRACE_MACHINE_EVENTS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crf/trace/trace.h"
+#include "crf/util/time_grid.h"
+
+namespace crf {
+
+// Raw columns of a sealed trace, hoisted once per machine pass so the
+// per-interval loops touch flat arrays only.
+struct MachineTaskColumns {
+  explicit MachineTaskColumns(const CellTrace& cell)
+      : start(cell.task_starts()),
+        limit(cell.task_limits()),
+        id(cell.task_ids()),
+        offsets(cell.usage_offsets()),
+        usage(cell.usage_arena()) {}
+
+  std::span<const Interval> start;
+  std::span<const double> limit;
+  std::span<const TaskId> id;
+  std::span<const uint64_t> offsets;
+  std::span<const float> usage;
+
+  Interval DepartureTime(int32_t i) const {
+    const Interval runtime = static_cast<Interval>(offsets[i + 1] - offsets[i]);
+    return std::max(start[i] + runtime, start[i] + 1);
+  }
+  double UsageAt(int32_t i, Interval tau) const {
+    const int64_t k = static_cast<int64_t>(tau) - start[i];
+    const uint64_t n = offsets[i + 1] - offsets[i];
+    return k >= 0 && static_cast<uint64_t>(k) < n
+               ? static_cast<double>(usage[offsets[i] + static_cast<uint64_t>(k)])
+               : 0.0;
+  }
+};
+
+// Fills `arrivals` with `task_indices` sorted by start and `departures` with
+// `task_indices` sorted by departure time. Reuses the vectors' capacity.
+void BuildMachineEventLists(const MachineTaskColumns& cols,
+                            std::span<const int32_t> task_indices,
+                            std::vector<int32_t>& arrivals,
+                            std::vector<int32_t>& departures);
+
+}  // namespace crf
+
+#endif  // CRF_TRACE_MACHINE_EVENTS_H_

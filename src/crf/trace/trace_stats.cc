@@ -1,6 +1,8 @@
 #include "crf/trace/trace_stats.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 #include "crf/stats/window_max.h"
 #include "crf/util/check.h"
@@ -131,6 +133,60 @@ std::vector<Ecdf> PercentileSumPeakErrorCdfs(const CellTrace& cell,
     }
   }
   return cdfs;
+}
+
+TraceLayoutStats ComputeTraceLayoutStats(const CellTrace& cell) {
+  TraceLayoutStats stats;
+  stats.num_machines = cell.num_machines();
+  int64_t total = 0;
+  int32_t min_tasks = 0;
+  int32_t max_tasks = 0;
+  for (int m = 0; m < cell.num_machines(); ++m) {
+    const int32_t row = static_cast<int32_t>(cell.machine_tasks(m).size());
+    if (m == 0 || row < min_tasks) {
+      min_tasks = row;
+    }
+    max_tasks = std::max(max_tasks, row);
+    total += row;
+  }
+  stats.min_tasks_per_machine = min_tasks;
+  stats.max_tasks_per_machine = max_tasks;
+  stats.csr_entries = total;
+  stats.mean_tasks_per_machine =
+      cell.num_machines() > 0 ? static_cast<double>(total) / cell.num_machines() : 0.0;
+  stats.usage_samples = cell.usage_sample_count();
+
+  stats.arena_bytes = static_cast<int64_t>(cell.arena_bytes().size());
+  stats.task_column_bytes = static_cast<int64_t>(
+      cell.task_ids().size_bytes() + cell.job_ids().size_bytes() +
+      cell.task_machines().size_bytes() + cell.task_starts().size_bytes() +
+      cell.task_classes().size_bytes() + cell.task_limits().size_bytes() +
+      cell.usage_offsets().size_bytes());
+  stats.usage_bytes = static_cast<int64_t>(cell.usage_arena().size_bytes());
+  stats.csr_bytes = stats.csr_entries * static_cast<int64_t>(sizeof(int32_t));
+  stats.peak_bytes = cell.peak_sample_count() * static_cast<int64_t>(sizeof(float));
+  stats.rich_bytes =
+      cell.has_rich() ? 9 * stats.usage_samples * static_cast<int64_t>(sizeof(float)) : 0;
+  return stats;
+}
+
+std::string DescribeTraceLayout(const TraceLayoutStats& stats) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "machine CSR rows: min %d, mean %.2f, max %d tasks over %d machines"
+                " (%" PRId64 " entries, %" PRId64 " usage samples)\n",
+                stats.min_tasks_per_machine, stats.mean_tasks_per_machine,
+                stats.max_tasks_per_machine, stats.num_machines, stats.csr_entries,
+                stats.usage_samples);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "arena slabs: %" PRId64 " B total (task columns %" PRId64 " B, usage %" PRId64
+                " B, csr %" PRId64 " B, peak %" PRId64 " B, rich %" PRId64 " B)\n",
+                stats.arena_bytes, stats.task_column_bytes, stats.usage_bytes, stats.csr_bytes,
+                stats.peak_bytes, stats.rich_bytes);
+  out += line;
+  return out;
 }
 
 }  // namespace crf

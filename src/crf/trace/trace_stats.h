@@ -5,6 +5,7 @@
 #define CRF_TRACE_TRACE_STATS_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "crf/stats/ecdf.h"
@@ -48,6 +49,32 @@ Ecdf PercentileSumPeakErrorCdf(const CellTrace& cell, int percentile, int stride
 std::vector<Ecdf> PercentileSumPeakErrorCdfs(const CellTrace& cell,
                                              std::span<const int> percentiles,
                                              int stride = 4);
+
+// Physical layout summary of a sealed trace: per-machine CSR row widths and
+// the sizes of the arena's column slabs. Shown by `crf info`.
+struct TraceLayoutStats {
+  int32_t num_machines = 0;
+  int32_t min_tasks_per_machine = 0;
+  double mean_tasks_per_machine = 0.0;
+  int32_t max_tasks_per_machine = 0;
+  int64_t csr_entries = 0;  // total placed tasks across CSR rows
+  int64_t usage_samples = 0;
+  // Slab sizes in bytes. task_column_bytes covers every per-task column
+  // (ids, jobs, machines, starts, classes, limits, usage offsets);
+  // csr_bytes is the row payload (task indices), excluding row offsets.
+  int64_t arena_bytes = 0;
+  int64_t task_column_bytes = 0;
+  int64_t usage_bytes = 0;
+  int64_t csr_bytes = 0;
+  int64_t peak_bytes = 0;
+  int64_t rich_bytes = 0;
+};
+
+TraceLayoutStats ComputeTraceLayoutStats(const CellTrace& cell);
+
+// Fixed two-line rendering of the layout stats (golden-tested; `crf info`
+// prints it verbatim).
+std::string DescribeTraceLayout(const TraceLayoutStats& stats);
 
 }  // namespace crf
 

@@ -1,0 +1,14 @@
+#include "crf/util/byte_io.h"
+
+namespace crf {
+
+uint64_t Fnv1a64(std::span<const uint8_t> bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace crf

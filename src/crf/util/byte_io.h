@@ -1,0 +1,133 @@
+// Bounds-checked binary serialization primitives for checkpoint payloads.
+//
+// ByteWriter appends little-endian POD values and length-prefixed vectors to
+// a growable buffer; ByteReader walks the same encoding with every read
+// bounds-checked. A reader never throws or aborts on malformed input — it
+// latches a failure flag and returns zeros, so callers can decode untrusted
+// bytes (a truncated or bit-flipped checkpoint) and reject them with one
+// ok() check at the end. Length prefixes are validated against an explicit
+// element cap before any allocation, so a corrupted length cannot trigger a
+// multi-gigabyte resize.
+
+#ifndef CRF_UTIL_BYTE_IO_H_
+#define CRF_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace crf {
+
+class ByteWriter {
+ public:
+  // Appends the raw little-endian bytes of a trivially copyable scalar.
+  template <typename T>
+  void Write(T value) {
+    static_assert(std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>);
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  // Appends a u64 element count followed by the elements.
+  template <typename T>
+  void WriteVec(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>);
+    Write<uint64_t>(values.size());
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bytes_.data() + offset, values.data(), values.size() * sizeof(T));
+    }
+  }
+  template <typename T>
+  void WriteVec(const std::vector<T>& values) {
+    WriteVec(std::span<const T>(values));
+  }
+
+  void WriteBytes(const void* data, size_t size) {
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + size);
+    if (size > 0) {
+      std::memcpy(bytes_.data() + offset, data, size);
+    }
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  // Reads one scalar; on underflow latches failure and returns T{}.
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>);
+    T value{};
+    if (!ok_ || bytes_.size() - position_ < sizeof(T)) {
+      ok_ = false;
+      return value;
+    }
+    std::memcpy(&value, bytes_.data() + position_, sizeof(T));
+    position_ += sizeof(T);
+    return value;
+  }
+
+  // Reads a length-prefixed vector. Fails (without allocating) if the
+  // declared element count exceeds `max_elements` or the remaining bytes.
+  template <typename T>
+  bool ReadVec(std::vector<T>& out, uint64_t max_elements) {
+    static_assert(std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>);
+    const uint64_t count = Read<uint64_t>();
+    if (!ok_ || count > max_elements || bytes_.size() - position_ < count * sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    out.resize(count);
+    if (count > 0) {
+      std::memcpy(out.data(), bytes_.data() + position_, count * sizeof(T));
+    }
+    position_ += count * sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* out, size_t size) {
+    if (!ok_ || bytes_.size() - position_ < size) {
+      ok_ = false;
+      return false;
+    }
+    if (size > 0) {
+      std::memcpy(out, bytes_.data() + position_, size);
+    }
+    position_ += size;
+    return true;
+  }
+
+  // Marks the stream as failed (a caller-side validation failed; further
+  // reads return zeros).
+  void Fail() { ok_ = false; }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return position_ == bytes_.size(); }
+  size_t position() const { return position_; }
+  size_t remaining() const { return bytes_.size() - position_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t position_ = 0;
+  bool ok_ = true;
+};
+
+// FNV-1a 64-bit hash, used as the checkpoint payload integrity check.
+uint64_t Fnv1a64(std::span<const uint8_t> bytes);
+
+}  // namespace crf
+
+#endif  // CRF_UTIL_BYTE_IO_H_

@@ -1,0 +1,136 @@
+#include "crf/util/byte_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace crf {
+namespace {
+
+TEST(ByteIoTest, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.Write<uint8_t>(0xAB);
+  writer.Write<int32_t>(-7);
+  writer.Write<uint64_t>(uint64_t{1} << 63);
+  writer.Write<double>(3.25);
+  EXPECT_EQ(writer.size(), 1 + 4 + 8 + 8u);
+
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.Read<uint8_t>(), 0xAB);
+  EXPECT_EQ(reader.Read<int32_t>(), -7);
+  EXPECT_EQ(reader.Read<uint64_t>(), uint64_t{1} << 63);
+  EXPECT_EQ(reader.Read<double>(), 3.25);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteIoTest, VectorRoundTrip) {
+  const std::vector<double> values = {1.5, -2.0, 0.0, 1e300};
+  ByteWriter writer;
+  writer.WriteVec(values);
+
+  ByteReader reader(writer.bytes());
+  std::vector<double> decoded;
+  ASSERT_TRUE(reader.ReadVec(decoded, 100));
+  EXPECT_EQ(decoded, values);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteIoTest, EmptyVectorRoundTrip) {
+  ByteWriter writer;
+  writer.WriteVec(std::vector<int32_t>{});
+  ByteReader reader(writer.bytes());
+  std::vector<int32_t> decoded = {1, 2, 3};
+  ASSERT_TRUE(reader.ReadVec(decoded, 10));
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteIoTest, UnderflowLatchesFailureAndReturnsZero) {
+  ByteWriter writer;
+  writer.Write<uint16_t>(0xFFFF);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.Read<uint64_t>(), 0u);  // Needs 8 bytes, only 2 present.
+  EXPECT_FALSE(reader.ok());
+  // The failure latches: even reads that would fit now return zeros.
+  EXPECT_EQ(reader.Read<uint8_t>(), 0);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteIoTest, OversizedVectorCountRejectedBeforeAllocation) {
+  ByteWriter writer;
+  writer.Write<uint64_t>(uint64_t{1} << 60);  // Absurd element count.
+  ByteReader reader(writer.bytes());
+  std::vector<double> decoded;
+  EXPECT_FALSE(reader.ReadVec(decoded, uint64_t{1} << 59));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(ByteIoTest, VectorCountAboveCapRejected) {
+  ByteWriter writer;
+  writer.WriteVec(std::vector<int32_t>{1, 2, 3, 4});
+  ByteReader reader(writer.bytes());
+  std::vector<int32_t> decoded;
+  EXPECT_FALSE(reader.ReadVec(decoded, 3));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteIoTest, TruncatedVectorPayloadRejected) {
+  ByteWriter writer;
+  writer.WriteVec(std::vector<int64_t>{1, 2, 3});
+  std::vector<uint8_t> bytes = writer.bytes();
+  bytes.resize(bytes.size() - 1);
+  ByteReader reader(bytes);
+  std::vector<int64_t> decoded;
+  EXPECT_FALSE(reader.ReadVec(decoded, 10));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteIoTest, ExplicitFailPoisonsFurtherReads) {
+  ByteWriter writer;
+  writer.Write<int32_t>(41);
+  ByteReader reader(writer.bytes());
+  reader.Fail();
+  EXPECT_EQ(reader.Read<int32_t>(), 0);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteIoTest, ReadBytesRoundTripAndUnderflow) {
+  ByteWriter writer;
+  const char payload[] = "abcdef";
+  writer.WriteBytes(payload, 6);
+  ByteReader reader(writer.bytes());
+  char out[6] = {};
+  ASSERT_TRUE(reader.ReadBytes(out, 6));
+  EXPECT_EQ(std::string(out, 6), "abcdef");
+  EXPECT_FALSE(reader.ReadBytes(out, 1));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteIoTest, Fnv1a64KnownVectors) {
+  // Offset basis for the empty input, and the classic "a" test vector.
+  EXPECT_EQ(Fnv1a64({}), 0xcbf29ce484222325u);
+  const uint8_t a = 'a';
+  EXPECT_EQ(Fnv1a64(std::span<const uint8_t>(&a, 1)), 0xaf63dc4c8601ec8cu);
+}
+
+TEST(ByteIoTest, Fnv1a64DetectsSingleBitFlips) {
+  ByteWriter writer;
+  for (int i = 0; i < 64; ++i) {
+    writer.Write<double>(i * 0.125);
+  }
+  std::vector<uint8_t> bytes = writer.bytes();
+  const uint64_t clean = Fnv1a64(bytes);
+  for (size_t i = 0; i < bytes.size(); i += 37) {
+    bytes[i] ^= 0x10;
+    EXPECT_NE(Fnv1a64(bytes), clean) << "flip at " << i;
+    bytes[i] ^= 0x10;
+  }
+  EXPECT_EQ(Fnv1a64(bytes), clean);
+}
+
+}  // namespace
+}  // namespace crf

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 namespace crf {
 namespace {
 
@@ -44,6 +47,76 @@ TEST(SpecParserTest, RejectsMalformedInput) {
         "max(n-sigma:5", "max(n-sigma:5,)", "max(bogus)", "limit-sum:1",
         "rc-like:90:1", "n-sigma:5:5"}) {
     EXPECT_FALSE(ParsePredictorSpec(bad).has_value()) << bad;
+  }
+}
+
+// The parser must reject every value the predictor constructors would
+// CHECK-abort on — nan/inf sail through (x < lo || x > hi) range tests, so
+// they need explicit rejection — plus empty and overflowing numbers.
+TEST(SpecParserTest, RejectsNonFiniteAndOverflowingParameters) {
+  for (const char* bad :
+       {"rc-like:nan", "rc-like:-nan", "n-sigma:inf", "n-sigma:-inf", "autopilot:nan",
+        "autopilot:98:inf", "borg-default:nan", "borg-default:1e999", "n-sigma:1e999",
+        "rc-like:", "n-sigma:", "borg-default:", "autopilot:", "autopilot:98:",
+        "max(rc-like:nan)", "max(n-sigma:5,autopilot:inf)"}) {
+    EXPECT_FALSE(ParsePredictorSpec(bad).has_value()) << bad;
+  }
+}
+
+TEST(SpecParserTest, ReportsPreciseErrors) {
+  const auto error_for = [](std::string_view text) {
+    std::string error;
+    EXPECT_FALSE(ParsePredictorSpec(text, &error).has_value()) << text;
+    return error;
+  };
+  EXPECT_EQ(error_for(""), "empty predictor spec");
+  EXPECT_EQ(error_for("limit-sum:1"), "limit-sum takes no parameters");
+  EXPECT_EQ(error_for("borg-default:abc"), "borg-default phi 'abc' is not a number");
+  EXPECT_EQ(error_for("borg-default:1e999"), "borg-default phi '1e999' overflows a double");
+  EXPECT_EQ(error_for("borg-default:1.5"), "borg-default phi '1.5' must be in (0, 1]");
+  EXPECT_EQ(error_for("rc-like:nan"), "rc-like percentile 'nan' is not finite");
+  EXPECT_EQ(error_for("rc-like:150"), "rc-like percentile '150' must be in [0, 100]");
+  EXPECT_EQ(error_for("rc-like:"), "rc-like percentile is empty");
+  EXPECT_EQ(error_for("n-sigma:inf"), "n-sigma n 'inf' is not finite");
+  EXPECT_EQ(error_for("n-sigma:-2"), "n-sigma n '-2' must be positive");
+  EXPECT_EQ(error_for("n-sigma:5:5"), "n-sigma takes at most one parameter (n)");
+  EXPECT_EQ(error_for("autopilot:98:0.5"), "autopilot margin '0.5' must be >= 1");
+  EXPECT_EQ(error_for("autopilot:101"), "autopilot percentile '101' must be in [0, 100]");
+  EXPECT_EQ(error_for("autopilot:1:2:3"),
+            "autopilot takes at most two parameters (percentile, margin)");
+  EXPECT_EQ(error_for("max()"), "empty component in 'max()'");
+  EXPECT_EQ(error_for("max(n-sigma:5,)"), "empty component in 'max(n-sigma:5,)'");
+  EXPECT_EQ(error_for("max(a,b))"), "unbalanced ')' in 'a,b)'");
+  // A nested failure surfaces the deepest diagnostic, not a generic one.
+  EXPECT_EQ(error_for("max(n-sigma:5,rc-like:nan)"), "rc-like percentile 'nan' is not finite");
+  EXPECT_TRUE(error_for("bogus").starts_with("unknown predictor 'bogus'"))
+      << error_for("bogus");
+}
+
+// Fuzz-style totality sweep: pseudo-random strings over the spec alphabet
+// must never crash or CHECK-abort — each either parses (and the resulting
+// spec's factory-validated knobs are in range, proven by Name() not
+// aborting) or reports a non-empty error.
+TEST(SpecParserTest, ArbitraryInputNeverCrashes) {
+  const char alphabet[] = "abcdefghijklmnopqrstuvwxyz-:,().0123456789einfa";
+  uint64_t state = 0x12345678u;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<size_t>(state >> 33);
+  };
+  for (int i = 0; i < 5000; ++i) {
+    std::string text;
+    const size_t length = next() % 24;
+    for (size_t k = 0; k < length; ++k) {
+      text += alphabet[next() % (sizeof(alphabet) - 1)];
+    }
+    std::string error;
+    const auto spec = ParsePredictorSpec(text, &error);
+    if (spec.has_value()) {
+      EXPECT_FALSE(spec->Name().empty()) << text;
+    } else {
+      EXPECT_FALSE(error.empty()) << text;
+    }
   }
 }
 

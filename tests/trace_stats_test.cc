@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crf/trace/generator.h"
+#include "crf/trace/trace_builder.h"
 
 namespace crf {
 namespace {
@@ -103,6 +104,70 @@ TEST(PercentileSumPeakErrorTest, HigherPercentileShiftsErrorUp) {
 TEST(PercentileSumPeakErrorDeathTest, RequiresRichStats) {
   const CellTrace cell = TestCell(/*rich=*/false);
   EXPECT_DEATH(PercentileSumPeakErrorCdf(cell, 90, 4), "rich_stats");
+}
+
+// Hand-built two-machine cell with known layout: machine 0 holds two tasks
+// (2 + 3 usage samples), machine 1 holds one task (1 sample).
+CellTrace TinyLayoutCell() {
+  CellTraceBuilder builder("layout_cell", 4, 2);
+  const int32_t a = builder.AddTask(1, 1, 0, 0, 0.5, SchedulingClass::kLatencySensitive);
+  builder.AppendUsage(a, 0.1f);
+  builder.AppendUsage(a, 0.2f);
+  const int32_t b = builder.AddTask(2, 2, 0, 1, 0.5, SchedulingClass::kLatencySensitive);
+  builder.AppendUsage(b, 0.1f);
+  builder.AppendUsage(b, 0.1f);
+  builder.AppendUsage(b, 0.1f);
+  const int32_t c = builder.AddTask(3, 3, 1, 2, 0.5, SchedulingClass::kLatencySensitive);
+  builder.AppendUsage(c, 0.3f);
+  return builder.Seal();
+}
+
+TEST(TraceLayoutStatsTest, CountsAndSlabSizesForTinyCell) {
+  const TraceLayoutStats stats = ComputeTraceLayoutStats(TinyLayoutCell());
+  EXPECT_EQ(stats.num_machines, 2);
+  EXPECT_EQ(stats.min_tasks_per_machine, 1);
+  EXPECT_EQ(stats.max_tasks_per_machine, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_tasks_per_machine, 1.5);
+  EXPECT_EQ(stats.csr_entries, 3);
+  EXPECT_EQ(stats.usage_samples, 6);
+  // Per-task columns for 3 tasks: ids 24 + jobs 24 + machines 12 + starts 12
+  // + classes 3 + limits 24, plus 4 usage offsets (32) = 131 bytes.
+  EXPECT_EQ(stats.task_column_bytes, 131);
+  EXPECT_EQ(stats.usage_bytes, 6 * 4);
+  EXPECT_EQ(stats.csr_bytes, 3 * 4);
+  EXPECT_EQ(stats.rich_bytes, 0);
+  // The arena holds at least the columns accounted for above.
+  EXPECT_GE(stats.arena_bytes,
+            stats.task_column_bytes + stats.usage_bytes + stats.csr_bytes + stats.peak_bytes);
+}
+
+TEST(TraceLayoutStatsTest, GoldenDescription) {
+  const TraceLayoutStats stats = ComputeTraceLayoutStats(TinyLayoutCell());
+  const std::string description = DescribeTraceLayout(stats);
+  const std::string expected_first_line =
+      "machine CSR rows: min 1, mean 1.50, max 2 tasks over 2 machines"
+      " (3 entries, 6 usage samples)\n";
+  ASSERT_GE(description.size(), expected_first_line.size());
+  EXPECT_EQ(description.substr(0, expected_first_line.size()), expected_first_line);
+  // The slab line is golden up to the arena total (which includes
+  // seal-internal padding not enumerated by the struct).
+  const std::string expected_second_line =
+      "arena slabs: " + std::to_string(stats.arena_bytes) +
+      " B total (task columns 131 B, usage 24 B, csr 12 B, peak " +
+      std::to_string(stats.peak_bytes) + " B, rich 0 B)\n";
+  EXPECT_EQ(description.substr(expected_first_line.size()), expected_second_line);
+}
+
+TEST(TraceLayoutStatsTest, MatchesGeneratedCell) {
+  const CellTrace cell = TestCell();
+  const TraceLayoutStats stats = ComputeTraceLayoutStats(cell);
+  EXPECT_EQ(stats.num_machines, cell.num_machines());
+  EXPECT_EQ(stats.csr_entries, cell.num_tasks());
+  EXPECT_EQ(stats.usage_samples, cell.usage_sample_count());
+  EXPECT_LE(stats.min_tasks_per_machine, stats.max_tasks_per_machine);
+  EXPECT_GE(stats.mean_tasks_per_machine, stats.min_tasks_per_machine);
+  EXPECT_LE(stats.mean_tasks_per_machine, stats.max_tasks_per_machine);
+  EXPECT_GT(stats.arena_bytes, 0);
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validates the schema of a tracked BENCH_stream.json file.
+
+Usage: check_bench_stream.py [path]   (default: BENCH_stream.json)
+
+Checks structure only — field presence, types, and basic sanity (positive
+counts and rates). Deliberately no performance thresholds: CI runners vary
+too much for absolute numbers to gate a merge; the tracked file is the
+regression record, this script only keeps it well-formed.
+"""
+
+import json
+import sys
+
+REQUIRED_SCHEMA = "crf-stream-bench-v1"
+
+ENTRY_FIELDS = {
+    "date": str,
+    "mode": str,
+    "num_machines": int,
+    "num_intervals": int,
+    "num_tasks": int,
+    "num_shards": int,
+    "events": int,
+    "machine_ticks": int,
+    "serial_events_per_sec": (int, float),
+    "parallel_events_per_sec": (int, float),
+    "parallel_speedup": (int, float),
+}
+
+POSITIVE_FIELDS = [
+    "num_machines",
+    "num_intervals",
+    "num_tasks",
+    "num_shards",
+    "events",
+    "machine_ticks",
+    "serial_events_per_sec",
+    "parallel_events_per_sec",
+    "parallel_speedup",
+]
+
+
+def fail(message):
+    print(f"check_bench_stream: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_stream.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        fail(f"{path} not found")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(data, dict):
+        fail("top level must be an object")
+    if data.get("schema") != REQUIRED_SCHEMA:
+        fail(f'schema must be "{REQUIRED_SCHEMA}", got {data.get("schema")!r}')
+    entries = data.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail('"entries" must be a non-empty array')
+
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            fail(f"entries[{i}] must be an object")
+        for field, types in ENTRY_FIELDS.items():
+            if field not in entry:
+                fail(f"entries[{i}] missing field {field!r}")
+            if not isinstance(entry[field], types) or isinstance(entry[field], bool):
+                fail(f"entries[{i}].{field} has wrong type: {entry[field]!r}")
+        for field in POSITIVE_FIELDS:
+            if entry[field] <= 0:
+                fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+        if entry["mode"] not in ("short", "full"):
+            fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
+        if entry["machine_ticks"] != entry["num_machines"] * entry["num_intervals"]:
+            fail(
+                f"entries[{i}].machine_ticks must equal num_machines * num_intervals, "
+                f'got {entry["machine_ticks"]}'
+            )
+
+    print(f"check_bench_stream: OK: {path} has {len(entries)} well-formed entries")
+
+
+if __name__ == "__main__":
+    main()

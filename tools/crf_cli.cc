@@ -15,6 +15,14 @@
 //   crf cluster --cell=production_3 [--machines=N] [--days=14]
 //               [--predictor=SPEC] [--packing=best-fit] [--seed=S]
 //       Run the closed-loop Borg-like simulation; prints group metrics.
+//   crf serve --replay=FILE [--predictor=SPEC] [--shards=16] [--no-parallel]
+//             [--checkpoint-out=FILE --checkpoint-at=TICK [--stop-after-checkpoint]]
+//             [--resume=FILE] [--metrics-out=FILE]
+//       Stream the trace through the online serve layer. Results on stdout
+//       are deterministic (bit-identical at any thread count); throughput
+//       goes to stderr.
+//   crf checkpoint --file=FILE
+//       Inspect a serve checkpoint's header.
 //
 // Predictor SPEC grammar (crf/core/spec_parser.h):
 //   limit-sum | borg-default[:phi] | rc-like[:pct] | n-sigma[:n]
@@ -25,12 +33,15 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <optional>
 #include <string>
 
 #include "crf/cluster/ab_experiment.h"
 #include "crf/core/spec_parser.h"
+#include "crf/serve/checkpoint.h"
+#include "crf/serve/replay.h"
 #include "crf/sim/simulator.h"
 #include "crf/trace/generator.h"
 #include "crf/trace/trace_io.h"
@@ -217,14 +228,31 @@ int CmdInfo(Args& args) {
                {runtimes.Quantile(0.5), runtimes.Quantile(0.95), runtimes.max()});
   table.AddRow("usage/limit", {ratios.Quantile(0.5), ratios.Quantile(0.95), ratios.max()});
   table.Print();
+  std::fputs(DescribeTraceLayout(ComputeTraceLayoutStats(*cell)).c_str(), stdout);
   return 0;
+}
+
+// Shared by simulate and serve so a streaming run can be diffed against the
+// batch engine's output directly.
+void PrintSimResultTable(const SimResult& result) {
+  const Ecdf violations = result.ViolationRateCdf();
+  const Ecdf savings = result.MachineSavingsCdf();
+  Table table({"metric", "p50", "p90", "p99", "mean"});
+  table.AddRow("per-machine violation rate",
+               {violations.Quantile(0.5), violations.Quantile(0.9), violations.Quantile(0.99),
+                violations.mean()});
+  table.AddRow("per-machine savings", {savings.Quantile(0.5), savings.Quantile(0.9),
+                                       savings.Quantile(0.99), savings.mean()});
+  table.Print();
+  std::printf("cell-level savings (time-mean): %.4f\n", result.MeanCellSavings());
 }
 
 int CmdSimulate(Args& args) {
   const std::string spec_text = args.GetOr("predictor", "max(n-sigma:5,rc-like:99)");
-  const auto spec = ParsePredictorSpec(spec_text);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec(spec_text, &spec_error);
   if (!spec.has_value()) {
-    return Fail("bad --predictor spec '" + spec_text + "'");
+    return Fail("bad --predictor spec: " + spec_error);
   }
   SimOptions options;
   options.horizon =
@@ -246,24 +274,136 @@ int CmdSimulate(Args& args) {
   const SimResult result = SimulateCell(*cell, *spec, options);
   std::printf("cell %s, predictor %s, horizon %gh\n", result.cell_name.c_str(),
               result.predictor_name.c_str(), IntervalsToHours(options.horizon));
-  const Ecdf violations = result.ViolationRateCdf();
-  const Ecdf savings = result.MachineSavingsCdf();
-  Table table({"metric", "p50", "p90", "p99", "mean"});
-  table.AddRow("per-machine violation rate",
-               {violations.Quantile(0.5), violations.Quantile(0.9), violations.Quantile(0.99),
-                violations.mean()});
-  table.AddRow("per-machine savings", {savings.Quantile(0.5), savings.Quantile(0.9),
-                                       savings.Quantile(0.99), savings.mean()});
-  table.Print();
-  std::printf("cell-level savings (time-mean): %.4f\n", result.MeanCellSavings());
+  PrintSimResultTable(result);
+  return 0;
+}
+
+// Streaming replay through the serve layer (crf/serve). Deterministic
+// results go to stdout — CI diffs a resumed run against an uninterrupted
+// one — timing-derived throughput goes to stderr.
+int CmdServe(Args& args) {
+  const std::string spec_text = args.GetOr("predictor", "max(n-sigma:5,rc-like:99)");
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec(spec_text, &spec_error);
+  if (!spec.has_value()) {
+    return Fail("bad --predictor spec: " + spec_error);
+  }
+
+  ReplayOptions options;
+  options.horizon =
+      static_cast<Interval>(args.GetDouble("horizon-hours", 24.0) * kIntervalsPerHour);
+  options.num_shards = static_cast<int>(args.GetInt("shards", 16));
+  options.parallel = !args.GetBool("no-parallel");
+  if (options.num_shards <= 0) {
+    return Fail("--shards must be positive");
+  }
+  const bool all_classes = args.GetBool("all-classes");
+  const auto resume_path = args.Get("resume");
+  const auto checkpoint_out = args.Get("checkpoint-out");
+  const int64_t checkpoint_at = args.GetInt("checkpoint-at", -1);
+  const bool stop_after_checkpoint = args.GetBool("stop-after-checkpoint");
+  const auto metrics_out = args.Get("metrics-out");
+
+  std::string error;
+  std::optional<CellTrace> cell;
+  if (const auto replay_path = args.Get("replay")) {
+    cell = LoadCellTrace(*replay_path);
+    if (!cell.has_value()) {
+      return Fail("cannot load trace " + *replay_path);
+    }
+  } else {
+    cell = BuildOrLoadCell(args, error);
+    if (!cell.has_value()) {
+      return Fail(error);
+    }
+  }
+  if (const auto unknown = args.UnknownFlag()) {
+    return Fail("unknown flag --" + *unknown);
+  }
+  if (!all_classes) {
+    cell->FilterToServingTasks();
+  }
+
+  std::unique_ptr<StreamReplayer> replayer;
+  if (resume_path.has_value()) {
+    // The checkpoint carries the predictor spec; --predictor is ignored.
+    replayer = LoadCheckpoint(*resume_path, *cell, options, &error);
+    if (replayer == nullptr) {
+      return Fail("cannot resume: " + error);
+    }
+  } else {
+    replayer = std::make_unique<StreamReplayer>(*cell, *spec, options);
+  }
+
+  if (checkpoint_out.has_value()) {
+    const Interval cut = checkpoint_at >= 0 ? static_cast<Interval>(checkpoint_at)
+                                            : cell->num_intervals / 2;
+    if (cut < replayer->next_tick() || cut > cell->num_intervals) {
+      return Fail("--checkpoint-at=" + std::to_string(cut) + " is outside [" +
+                  std::to_string(replayer->next_tick()) + ", " +
+                  std::to_string(cell->num_intervals) + "]");
+    }
+    replayer->Advance(cut);
+    if (!SaveCheckpoint(*replayer, *checkpoint_out, &error)) {
+      return Fail(error);
+    }
+    std::printf("checkpoint written to %s at tick %d/%d\n", checkpoint_out->c_str(),
+                replayer->next_tick(), cell->num_intervals);
+    if (stop_after_checkpoint) {
+      return 0;
+    }
+  } else if (checkpoint_at >= 0 || stop_after_checkpoint) {
+    return Fail("--checkpoint-at/--stop-after-checkpoint require --checkpoint-out=FILE");
+  }
+
+  replayer->AdvanceToEnd();
+  const SimResult result = replayer->Finish();
+  const ServeMetrics& metrics = replayer->Metrics();
+
+  std::printf("cell %s, predictor %s, horizon %gh, %d shards\n", result.cell_name.c_str(),
+              result.predictor_name.c_str(), IntervalsToHours(options.horizon),
+              options.num_shards);
+  PrintSimResultTable(result);
+  std::printf("events ingested: %llu over %llu machine-ticks\n",
+              static_cast<unsigned long long>(metrics.TotalEvents()),
+              static_cast<unsigned long long>(metrics.TotalTicks()));
+  std::fprintf(stderr, "crf: ingest rate %.0f events/s (%.3fs wall)\n",
+               metrics.EventsPerSecond(), metrics.elapsed_seconds());
+  if (metrics_out.has_value() && !metrics.WriteJson(*metrics_out)) {
+    return Fail("cannot write metrics to " + *metrics_out);
+  }
+  return 0;
+}
+
+int CmdCheckpoint(Args& args) {
+  const auto file = args.Get("file");
+  if (!file.has_value()) {
+    return Fail("checkpoint requires --file=FILE");
+  }
+  if (const auto unknown = args.UnknownFlag()) {
+    return Fail("unknown flag --" + *unknown);
+  }
+  CheckpointInfo info;
+  std::string error;
+  if (!ReadCheckpointInfo(*file, &info, &error)) {
+    return Fail(error);
+  }
+  std::printf("checkpoint %s (version %u)\n", file->c_str(), info.version);
+  std::printf("  trace:    %s (%d machines, %d intervals)\n", info.trace_name.c_str(),
+              info.num_machines, info.num_intervals);
+  std::printf("  predictor: %s\n", info.spec_name.c_str());
+  std::printf("  progress: next tick %d/%d, %d shards\n", info.next_tick, info.num_intervals,
+              info.num_shards);
+  std::printf("  payload:  %llu bytes\n", static_cast<unsigned long long>(info.payload_bytes));
   return 0;
 }
 
 int CmdCluster(Args& args) {
   const std::string spec_text = args.GetOr("predictor", "borg-default:0.9");
-  const auto spec = ParsePredictorSpec(spec_text);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec(spec_text, &spec_error);
   if (!spec.has_value()) {
-    return Fail("bad --predictor spec '" + spec_text + "'");
+    return Fail("bad --predictor spec: " + spec_error);
   }
   const std::string cell_name = args.GetOr("cell", "production_1");
   auto profile = ResolveProfile(cell_name);
@@ -318,7 +458,7 @@ int CmdCluster(Args& args) {
 
 int Usage() {
   std::fputs(
-      "usage: crf <generate|info|convert|simulate|cluster> [--flags]\n"
+      "usage: crf <generate|info|convert|simulate|cluster|serve|checkpoint> [--flags]\n"
       "  crf generate --cell=a --days=7 --out=FILE [--machines=N] [--rich] [--seed=S]\n"
       "               [--binary]\n"
       "  crf info     (--trace=FILE | --cell=a [--days=7] [--machines=N])\n"
@@ -327,6 +467,12 @@ int Usage() {
       "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
       "  crf cluster  --cell=production_1 [--machines=N] [--days=14]\n"
       "               [--predictor=SPEC] [--packing=best-fit|worst-fit|random-fit]\n"
+      "  crf serve    (--replay=FILE | --cell=a [--days] [--machines] [--seed])\n"
+      "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
+      "               [--shards=16] [--no-parallel] [--metrics-out=FILE]\n"
+      "               [--checkpoint-out=FILE --checkpoint-at=TICK\n"
+      "                [--stop-after-checkpoint]] [--resume=FILE]\n"
+      "  crf checkpoint --file=FILE\n"
       "SPEC: limit-sum | borg-default[:phi] | rc-like[:pct] | n-sigma[:n]\n"
       "      | autopilot[:pct[:margin]] | max(SPEC,...)\n",
       stderr);
@@ -356,6 +502,12 @@ int Run(int argc, char** argv) {
   }
   if (command == "cluster") {
     return CmdCluster(args);
+  }
+  if (command == "serve") {
+    return CmdServe(args);
+  }
+  if (command == "checkpoint") {
+    return CmdCheckpoint(args);
   }
   return Usage();
 }
