@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
@@ -520,13 +521,48 @@ void BM_TraceLayout(benchmark::State& state) {
 BENCHMARK(BM_TraceLayout)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
-// BENCH_cluster.json: tracked cluster-engine throughput record.
+// Thread-matrix helpers shared by the cluster and stream recorders.
+
+// Cores visible to this process; recorded in every matrix row so the check
+// scripts know whether a speedup target was physically measurable on the
+// host that produced the row (an 8-thread pool on a 1-core container cannot
+// exceed 1x no matter how contention-free the engine is).
+int HostCores() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+// Pool sizes for the bench matrices, from $CRF_BENCH_THREADS (default
+// "1,4,8,16"). The serial lane (1) is always included — it is the baseline
+// every speedup in the matrix is computed against.
+std::vector<int> BenchThreadCounts() {
+  const std::string spec = GetEnvString("CRF_BENCH_THREADS", "1,4,8,16");
+  std::vector<int> counts{1};
+  std::stringstream in(spec);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    const int n = std::atoi(token.c_str());
+    if (n >= 1) {
+      counts.push_back(n);
+    }
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_cluster.json: tracked cluster-engine thread-scaling matrix.
 //
 // Controlled by $CRF_CLUSTER_BENCH: "off" skips, "short" (default) times one
-// day over a small cell, "full" times a week over a production-sized cell.
-// The record lands in $CRF_BENCH_CLUSTER_FILE (default ./BENCH_cluster.json)
-// as {"schema":"crf-cluster-bench-v1","entries":[...]}; reruns append, so
-// the tracked file accumulates a regression history.
+// day over a small cell, "full" one day over a 2k-machine cell — the problem
+// size at which the per-interval fan-out amortizes (ROADMAP "make
+// parallelism actually pay"). One row lands per pool size in
+// $CRF_BENCH_THREADS; every lane runs the indexed placement engine, so rows
+// within a matrix differ only in step-loop threading and the `threads: 1`
+// row is the serial baseline (`parallel: false`), never a mislabeled sharded
+// run. The record lands in $CRF_BENCH_CLUSTER_FILE (default
+// ./BENCH_cluster.json) as {"schema":"crf-cluster-bench-v2","entries":[...]};
+// reruns append, so the tracked file accumulates a regression history.
 
 struct ClusterBenchTiming {
   double machine_steps_per_sec = 0.0;
@@ -603,57 +639,70 @@ void RecordClusterBench() {
   }
   const bool full = mode == "full";
 
-  // Placement work grows O(M^2) per interval under the linear scan (O(M)
-  // tasks, O(M) scan each) while machine stepping grows O(M), so the engine
-  // speedup needs a cell large enough for placement to matter.
   CellProfile profile = SimCellProfile('a');
-  profile.num_machines = full ? 512 : 192;
+  profile.num_machines = full ? 2048 : 192;
   ClusterSimOptions options;
-  options.num_intervals = full ? 2 * kIntervalsPerDay : kIntervalsPerDay;
+  options.num_intervals = kIntervalsPerDay;
   options.warmup = kIntervalsPerDay / 4;
-
-  options.parallel = false;
-  options.placement = PlacementEngine::kLinearScan;
-  const ClusterBenchTiming serial = TimeClusterSim(profile, options);
-  options.parallel = true;
+  // Every lane uses the production placement engine; the matrix isolates the
+  // step-loop threading. (BM_SchedulerPlace still tracks linear-scan vs
+  // indexed placement in isolation.)
   options.placement = PlacementEngine::kIndexed;
-  const ClusterBenchTiming sharded = TimeClusterSim(profile, options);
 
-  // Integrity gate: the engines claim byte-identical results, so a tracked
-  // speedup with diverging outputs would be meaningless.
-  if (serial.tasks_placed != sharded.tasks_placed ||
-      serial.placement_attempts != sharded.placement_attempts) {
-    std::fprintf(stderr,
-                 "cluster bench: engines diverged (placed %lld vs %lld), not recording\n",
-                 static_cast<long long>(serial.tasks_placed),
-                 static_cast<long long>(sharded.tasks_placed));
-    return;
+  struct Lane {
+    int threads = 1;
+    ClusterBenchTiming timing;
+  };
+  std::vector<Lane> lanes;
+  for (const int threads : BenchThreadCounts()) {
+    ThreadPool pool(threads);
+    options.pool = &pool;
+    options.parallel = threads > 1;
+    lanes.push_back({threads, TimeClusterSim(profile, options)});
   }
 
-  const double speedup = sharded.machine_steps_per_sec / serial.machine_steps_per_sec;
-  std::ostringstream entry;
-  entry.precision(6);
-  entry << "    {\n"
-        << "      \"date\": \"" << TodayUtc() << "\",\n"
-        << "      \"mode\": \"" << (full ? "full" : "short") << "\",\n"
-        << "      \"threads\": " << ThreadPool::Default().num_threads() << ",\n"
-        << "      \"num_machines\": " << profile.num_machines << ",\n"
-        << "      \"num_intervals\": " << options.num_intervals << ",\n"
-        << "      \"serial_machine_steps_per_sec\": " << serial.machine_steps_per_sec << ",\n"
-        << "      \"serial_placements_per_sec\": " << serial.placements_per_sec << ",\n"
-        << "      \"sharded_machine_steps_per_sec\": " << sharded.machine_steps_per_sec
-        << ",\n"
-        << "      \"sharded_placements_per_sec\": " << sharded.placements_per_sec << ",\n"
-        << "      \"speedup\": " << speedup << ",\n"
-        << "      \"placement_attempts\": " << serial.placement_attempts << ",\n"
-        << "      \"tasks_placed\": " << serial.tasks_placed << "\n"
-        << "    }";
+  // Integrity gate: the determinism contract says every pool size places
+  // exactly the same tasks, so a matrix with diverging counters would be
+  // timing different computations.
+  for (const Lane& lane : lanes) {
+    if (lane.timing.tasks_placed != lanes[0].timing.tasks_placed ||
+        lane.timing.placement_attempts != lanes[0].timing.placement_attempts) {
+      std::fprintf(stderr,
+                   "cluster bench: lanes diverged (threads=%d placed %lld vs %lld), "
+                   "not recording\n",
+                   lane.threads, static_cast<long long>(lane.timing.tasks_placed),
+                   static_cast<long long>(lanes[0].timing.tasks_placed));
+      return;
+    }
+  }
 
+  const std::string matrix = TodayUtc() + std::string("-") + (full ? "full" : "short");
+  const double base = lanes[0].timing.machine_steps_per_sec;
   const std::string path = GetEnvString("CRF_BENCH_CLUSTER_FILE", "BENCH_cluster.json");
-  AppendTrackedBenchEntry(path, "crf-cluster-bench-v1", entry.str());
-  std::printf("cluster bench (%s): serial %.0f sharded %.0f machine-steps/s (%.2fx) -> %s\n",
-              full ? "full" : "short", serial.machine_steps_per_sec,
-              sharded.machine_steps_per_sec, speedup, path.c_str());
+  for (const Lane& lane : lanes) {
+    const double speedup = lane.timing.machine_steps_per_sec / base;
+    std::ostringstream entry;
+    entry.precision(6);
+    entry << "    {\n"
+          << "      \"date\": \"" << TodayUtc() << "\",\n"
+          << "      \"mode\": \"" << (full ? "full" : "short") << "\",\n"
+          << "      \"matrix\": \"" << matrix << "\",\n"
+          << "      \"threads\": " << lane.threads << ",\n"
+          << "      \"parallel\": " << (lane.threads > 1 ? "true" : "false") << ",\n"
+          << "      \"host_cores\": " << HostCores() << ",\n"
+          << "      \"num_machines\": " << profile.num_machines << ",\n"
+          << "      \"num_intervals\": " << options.num_intervals << ",\n"
+          << "      \"machine_steps_per_sec\": " << lane.timing.machine_steps_per_sec << ",\n"
+          << "      \"placements_per_sec\": " << lane.timing.placements_per_sec << ",\n"
+          << "      \"parallel_speedup\": " << speedup << ",\n"
+          << "      \"placement_attempts\": " << lane.timing.placement_attempts << ",\n"
+          << "      \"tasks_placed\": " << lane.timing.tasks_placed << "\n"
+          << "    }";
+    AppendTrackedBenchEntry(path, "crf-cluster-bench-v2", entry.str());
+    std::printf("cluster bench (%s): threads=%d %.0f machine-steps/s (%.2fx) -> %s\n",
+                full ? "full" : "short", lane.threads, lane.timing.machine_steps_per_sec,
+                speedup, path.c_str());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -859,15 +908,20 @@ void RecordTraceBench() {
 }
 
 // ---------------------------------------------------------------------------
-// BENCH_stream.json: tracked streaming-ingest throughput record.
+// BENCH_stream.json: tracked streaming-ingest thread-scaling matrix.
 //
 // Controlled by $CRF_STREAM_BENCH: "off" skips, "short" (default) streams a
-// 16-machine half-week cell, "full" a 64-machine week. Before timing, the
-// streamed per-machine metrics are gated bit-identical against the batch
-// engine on the same cell — a tracked events/s number for a stream that
-// diverged from SimulateCell would be measuring a different computation.
-// The record lands in $CRF_BENCH_STREAM_FILE (default ./BENCH_stream.json)
-// as {"schema":"crf-stream-bench-v1","entries":[...]}; reruns append.
+// 64-machine half-week cell, "full" a 2k-machine week — the problem size at
+// which shard fan-out amortizes (ROADMAP "make parallelism actually pay").
+// One row lands per pool size in $CRF_BENCH_THREADS; the `threads: 1` row is
+// the serial baseline every `parallel_speedup` is computed against. Before
+// timing, the streamed per-machine metrics are gated bit-identical against
+// the batch engine on the same cell, and each timed lane's full SimResult
+// (including the shard-merged cell series) is gated bit-identical against
+// the serial lane — a tracked events/s number for a stream that diverged
+// would be measuring a different computation. The record lands in
+// $CRF_BENCH_STREAM_FILE (default ./BENCH_stream.json) as
+// {"schema":"crf-stream-bench-v2","entries":[...]}; reruns append.
 
 void RecordStreamBench() {
   const std::string mode = GetEnvString("CRF_STREAM_BENCH", "short");
@@ -877,7 +931,7 @@ void RecordStreamBench() {
   const bool full = mode == "full";
 
   CellProfile profile = SimCellProfile('a');
-  profile.num_machines = full ? 64 : 16;
+  profile.num_machines = full ? 2048 : 64;
   GeneratorOptions gen_options;
   gen_options.num_intervals = full ? kIntervalsPerWeek : kIntervalsPerWeek / 2;
   CellTrace cell = GenerateCellTrace(profile, gen_options, Rng(12));
@@ -887,12 +941,14 @@ void RecordStreamBench() {
   ReplayOptions options;
   options.latency_sample_period = 0;
 
-  // Integrity gate: streamed per-machine metrics must equal the batch
+  // Integrity gate 1: streamed per-machine metrics must equal the batch
   // engine's bit for bit (the replay.h contract).
   SimOptions sim_options;
   sim_options.parallel = false;
   const SimResult batch = SimulateCell(cell, spec, sim_options);
-  StreamReplayer check(cell, spec, options);
+  ReplayOptions serial_options = options;
+  serial_options.parallel = false;
+  StreamReplayer check(cell, spec, serial_options);
   check.AdvanceToEnd();
   const SimResult streamed = check.Finish();
   for (int m = 0; m < cell.num_machines(); ++m) {
@@ -909,13 +965,31 @@ void RecordStreamBench() {
   const uint64_t events = check.Metrics().TotalEvents();
   const uint64_t ticks = check.Metrics().TotalTicks();
 
-  const auto time_replay = [&](bool parallel) {
+  // Times one pool size; returns seconds per replay, or a negative value if
+  // the lane's result diverged from the serial lane (integrity gate 2: at a
+  // fixed shard count every number, including the shard-merged cell series,
+  // must be bit-identical at any pool size).
+  const auto time_replay = [&](int threads) {
+    ThreadPool pool(threads);
     ReplayOptions run_options = options;
-    run_options.parallel = parallel;
+    run_options.parallel = threads > 1;
+    run_options.pool = &pool;
     {
-      // Warm-up: page in the code and the allocator before timing.
       StreamReplayer warm(cell, spec, run_options);
       warm.AdvanceToEnd();
+      const SimResult lane = warm.Finish();
+      for (int m = 0; m < cell.num_machines(); ++m) {
+        const MachineMetrics& s = streamed.machines[m];
+        const MachineMetrics& l = lane.machines[m];
+        if (l.violations != s.violations ||
+            l.mean_violation_severity != s.mean_violation_severity ||
+            l.savings_ratio != s.savings_ratio || l.mean_prediction != s.mean_prediction) {
+          return -1.0;
+        }
+      }
+      if (lane.cell_savings_series != streamed.cell_savings_series) {
+        return -1.0;
+      }
     }
     int reps = 0;
     const auto start = std::chrono::steady_clock::now();
@@ -930,34 +1004,52 @@ void RecordStreamBench() {
     } while (seconds < 0.5);
     return seconds / reps;
   };
-  const double serial_seconds = time_replay(false);
-  const double parallel_seconds = time_replay(true);
 
-  std::ostringstream entry;
-  entry.precision(6);
-  entry << "    {\n"
-        << "      \"date\": \"" << TodayUtc() << "\",\n"
-        << "      \"mode\": \"" << (full ? "full" : "short") << "\",\n"
-        << "      \"num_machines\": " << cell.num_machines() << ",\n"
-        << "      \"num_intervals\": " << cell.num_intervals << ",\n"
-        << "      \"num_tasks\": " << cell.num_tasks() << ",\n"
-        << "      \"num_shards\": " << options.num_shards << ",\n"
-        << "      \"events\": " << events << ",\n"
-        << "      \"machine_ticks\": " << ticks << ",\n"
-        << "      \"serial_events_per_sec\": " << static_cast<double>(events) / serial_seconds
-        << ",\n"
-        << "      \"parallel_events_per_sec\": "
-        << static_cast<double>(events) / parallel_seconds << ",\n"
-        << "      \"parallel_speedup\": " << serial_seconds / parallel_seconds << "\n"
-        << "    }";
+  struct Lane {
+    int threads = 1;
+    double seconds = 0.0;
+  };
+  std::vector<Lane> lanes;
+  for (const int threads : BenchThreadCounts()) {
+    const double seconds = time_replay(threads);
+    if (seconds < 0.0) {
+      std::fprintf(stderr, "stream bench: threads=%d diverged from serial, not recording\n",
+                   threads);
+      return;
+    }
+    lanes.push_back({threads, seconds});
+  }
 
+  const std::string matrix = TodayUtc() + std::string("-") + (full ? "full" : "short");
+  const double base_seconds = lanes[0].seconds;
   const std::string path = GetEnvString("CRF_BENCH_STREAM_FILE", "BENCH_stream.json");
-  AppendTrackedBenchEntry(path, "crf-stream-bench-v1", entry.str());
-  std::printf(
-      "stream bench (%s): serial %.0f parallel %.0f events/s (%.2fx) over %llu events -> %s\n",
-      full ? "full" : "short", static_cast<double>(events) / serial_seconds,
-      static_cast<double>(events) / parallel_seconds, serial_seconds / parallel_seconds,
-      static_cast<unsigned long long>(events), path.c_str());
+  for (const Lane& lane : lanes) {
+    const double speedup = base_seconds / lane.seconds;
+    std::ostringstream entry;
+    entry.precision(6);
+    entry << "    {\n"
+          << "      \"date\": \"" << TodayUtc() << "\",\n"
+          << "      \"mode\": \"" << (full ? "full" : "short") << "\",\n"
+          << "      \"matrix\": \"" << matrix << "\",\n"
+          << "      \"threads\": " << lane.threads << ",\n"
+          << "      \"parallel\": " << (lane.threads > 1 ? "true" : "false") << ",\n"
+          << "      \"host_cores\": " << HostCores() << ",\n"
+          << "      \"num_machines\": " << cell.num_machines() << ",\n"
+          << "      \"num_intervals\": " << cell.num_intervals << ",\n"
+          << "      \"num_tasks\": " << cell.num_tasks() << ",\n"
+          << "      \"num_shards\": " << options.num_shards << ",\n"
+          << "      \"events\": " << events << ",\n"
+          << "      \"machine_ticks\": " << ticks << ",\n"
+          << "      \"events_per_sec\": " << static_cast<double>(events) / lane.seconds
+          << ",\n"
+          << "      \"parallel_speedup\": " << speedup << "\n"
+          << "    }";
+    AppendTrackedBenchEntry(path, "crf-stream-bench-v2", entry.str());
+    std::printf("stream bench (%s): threads=%d %.0f events/s (%.2fx) over %llu events -> %s\n",
+                full ? "full" : "short", lane.threads,
+                static_cast<double>(events) / lane.seconds, speedup,
+                static_cast<unsigned long long>(events), path.c_str());
+  }
 }
 
 }  // namespace

@@ -76,8 +76,14 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
   const bool parallel = options.parallel && pool.num_threads() > 1 && num_machines > 1;
   const int slots = parallel ? pool.num_threads() : 1;
   // A few blocks per thread balances steal granularity against shared-counter
-  // traffic on this fine-grained, every-interval loop.
-  const int block = std::max(1, num_machines / (4 * slots));
+  // traffic on this fine-grained, every-interval loop. Rounding the block up
+  // to 16 machines aligns claim boundaries with whole cache lines of the
+  // float series matrices (16 floats per 64-byte line), so two threads never
+  // split a line of predictions/latencies/demand/limit between them.
+  int block = std::max(1, num_machines / (4 * slots));
+  if (block > 16) {
+    block = (block + 15) & ~15;
+  }
   std::vector<ShardAccum> shard_accum(slots);
 
   std::deque<PendingTask> pending;
@@ -98,21 +104,25 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
     for (ShardAccum& accum : shard_accum) {
       accum.resident_tasks = 0;
     }
-    const auto step_machine = [&](int slot, int m) {
-      const ClusterMachine::StepStats stats = machines[m].Step(t, shared_load[t], trace);
-      result.predictions.at(m, t) = static_cast<float>(stats.prediction);
-      result.latencies.at(m, t) = static_cast<float>(stats.latency);
-      result.demand_mean.at(m, t) = static_cast<float>(stats.demand_mean);
-      result.limit_sum.at(m, t) = static_cast<float>(stats.limit_sum);
-      free_capacity[m] = stats.free_capacity;
-      shard_accum[slot].resident_tasks += stats.resident_tasks;
+    const auto step_machines = [&](int slot, int begin, int end) {
+      // Accumulate the shard partial in a register-resident local and write
+      // the padded slot once per claimed range, not once per machine.
+      int64_t resident_tasks = 0;
+      for (int m = begin; m < end; ++m) {
+        const ClusterMachine::StepStats stats = machines[m].Step(t, shared_load[t], trace);
+        result.predictions.at(m, t) = static_cast<float>(stats.prediction);
+        result.latencies.at(m, t) = static_cast<float>(stats.latency);
+        result.demand_mean.at(m, t) = static_cast<float>(stats.demand_mean);
+        result.limit_sum.at(m, t) = static_cast<float>(stats.limit_sum);
+        free_capacity[m] = stats.free_capacity;
+        resident_tasks += stats.resident_tasks;
+      }
+      shard_accum[slot].resident_tasks += resident_tasks;
     };
     if (parallel) {
-      pool.ParallelForIndexedBlocked(num_machines, block, step_machine);
+      pool.ParallelForRanges(num_machines, block, step_machines);
     } else {
-      for (int m = 0; m < num_machines; ++m) {
-        step_machine(0, m);
-      }
+      step_machines(0, 0, num_machines);
     }
     // Slot-ordered reduction of the per-shard partials (integer sums are
     // exact, but merging in a fixed order keeps the recipe uniform with the

@@ -106,8 +106,13 @@ void StreamReplayer::Advance(Interval until) {
   const Interval from = next_tick_;
   const auto t0 = std::chrono::steady_clock::now();
   if (options_.parallel) {
-    ThreadPool::Default().ParallelFor(
-        options_.num_shards, [this, from, until](int s) { AdvanceShard(s, from, until); });
+    ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::Default();
+    pool.ParallelForRanges(options_.num_shards, 1,
+                           [this, from, until](int /*slot*/, int begin, int end) {
+                             for (int s = begin; s < end; ++s) {
+                               AdvanceShard(s, from, until);
+                             }
+                           });
   } else {
     for (int s = 0; s < options_.num_shards; ++s) {
       AdvanceShard(s, from, until);

@@ -41,13 +41,15 @@ namespace crf {
 class ByteReader;
 class ByteWriter;
 
+class ThreadPool;
+
 struct ReplayOptions {
   // Oracle forecast horizon (paper Section 5.2 default: 24 hours).
   Interval horizon = kIntervalsPerDay;
   // Ablation: score against the unfiltered total-usage oracle.
   bool use_total_usage_oracle = false;
-  // Process shards on the default thread pool. Affects wall-clock only —
-  // never results (see the determinism rule above).
+  // Process shards on the thread pool. Affects wall-clock only — never
+  // results (see the determinism rule above).
   bool parallel = true;
   // Number of ingestion shards, fixed independently of the thread count.
   // Per-machine numbers are shard-invariant; the merged cell series groups
@@ -56,6 +58,9 @@ struct ReplayOptions {
   int num_shards = 16;
   // Sample the predict latency every N ticks per shard (0 disables).
   int latency_sample_period = 64;
+  // Pool override (the bench matrix times the same replay at several pool
+  // sizes); nullptr uses ThreadPool::Default(). Never affects results.
+  ThreadPool* pool = nullptr;
 
   bool operator==(const ReplayOptions&) const = default;
 };
@@ -98,7 +103,10 @@ class StreamReplayer {
 
  private:
   // Per-machine metric accumulators, mirroring SimulateMachine's locals.
-  struct MachineAccum {
+  // Cache-line aligned: a machine's accumulator is written every tick by the
+  // shard that owns it, and without padding the two machines straddling a
+  // shard boundary would ping-pong one line between two threads all run.
+  struct alignas(64) MachineAccum {
     int64_t violations = 0;
     int64_t occupied_intervals = 0;
     double severity_sum = 0.0;
@@ -107,7 +115,12 @@ class StreamReplayer {
     double limit_sum_total = 0.0;
   };
 
-  struct ShardState {
+  // Everything a shard touches per tick is owned by the shard: its partial
+  // cell series (merged once, in shard order, at Finish), its event batch,
+  // and its oracle scratch — each a separate allocation reached only from
+  // this struct. The alignas keeps adjacent shards' scalar fields and
+  // vector headers on distinct cache lines.
+  struct alignas(64) ShardState {
     int begin_machine = 0;
     int end_machine = 0;
     // Partial per-interval series over this shard's machines.

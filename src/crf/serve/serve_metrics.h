@@ -24,8 +24,11 @@
 namespace crf {
 
 // One ingestion shard's counters. Owned and written by exactly one thread
-// during a replay chunk; aggregated single-threaded afterwards.
-struct ShardMetrics {
+// during a replay chunk; aggregated single-threaded afterwards. Cache-line
+// aligned because the sequence/tick counters are bumped on every event of
+// every tick — adjacent shards sharing a line here serializes the whole
+// sharded ingest loop on cache-coherence traffic.
+struct alignas(64) ShardMetrics {
   // Events ingested by this shard (its sequence number: every event the
   // shard consumes increments it by one).
   uint64_t sequence = 0;

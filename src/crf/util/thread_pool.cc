@@ -1,7 +1,6 @@
 #include "crf/util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "crf/util/check.h"
 
@@ -9,8 +8,8 @@ namespace crf {
 namespace {
 
 // Identifies the pool worker running on this thread; slot 0 is reserved for
-// the thread that called ParallelForIndexed (non-reentrant, so within one
-// call the caller is unique and cannot collide with a worker slot).
+// the thread that called RunLoop (non-reentrant, so within one call the
+// caller is unique and cannot collide with a worker slot).
 struct WorkerIdentity {
   const ThreadPool* pool = nullptr;
   int slot = 0;
@@ -23,10 +22,7 @@ ThreadPool::ThreadPool(int num_threads) {
   const int workers = std::max(0, num_threads - 1);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this, i] {
-      tls_worker = {this, i + 1};
-      WorkerLoop();
-    });
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -41,34 +37,65 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int slot) {
+  tls_worker = {this, slot};
+  uint64_t seen_epoch = 0;
   for (;;) {
-    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) {
-          return;
-        }
-        continue;
+      work_available_.wait(lock,
+                           [this, seen_epoch] { return shutting_down_ || epoch_ != seen_epoch; });
+      if (epoch_ == seen_epoch) {
+        return;  // Shutdown with no new work.
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      seen_epoch = epoch_;
     }
-    task();
+    Drain(slot);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) {
-        work_done_.notify_all();
+      if (--workers_pending_ == 0) {
+        work_done_.notify_one();
       }
     }
   }
 }
 
+void ThreadPool::Drain(int slot) {
+  const LoopFn fn = loop_fn_;
+  void* const ctx = loop_ctx_;
+  const int count = loop_count_;
+  const int block = loop_block_;
+  for (;;) {
+    const int begin = cursor_.fetch_add(block, std::memory_order_relaxed);
+    if (begin >= count) {
+      return;
+    }
+    const int end = std::min(begin + block, count);
+    try {
+      fn(ctx, slot, begin, end);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) {
+          error_ = std::current_exception();
+        }
+      }
+      // Abandon unclaimed blocks: later claims (including other workers'
+      // next fetch_add) land past `count` and drain out.
+      cursor_.store(count, std::memory_order_relaxed);
+    }
+  }
+}
+
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
-  ParallelForIndexed(count, [&fn](int /*slot*/, int i) { fn(i); });
+  RunLoop(count, 1,
+          [](void* ctx, int /*slot*/, int begin, int end) {
+            const auto& f = *static_cast<const std::function<void(int)>*>(ctx);
+            for (int i = begin; i < end; ++i) {
+              f(i);
+            }
+          },
+          const_cast<std::function<void(int)>*>(&fn));
 }
 
 void ThreadPool::ParallelForIndexed(int count, const std::function<void(int, int)>& fn) {
@@ -77,52 +104,58 @@ void ThreadPool::ParallelForIndexed(int count, const std::function<void(int, int
 
 void ThreadPool::ParallelForIndexedBlocked(int count, int block,
                                            const std::function<void(int, int)>& fn) {
+  RunLoop(count, block,
+          [](void* ctx, int slot, int begin, int end) {
+            const auto& f = *static_cast<const std::function<void(int, int)>*>(ctx);
+            for (int i = begin; i < end; ++i) {
+              f(slot, i);
+            }
+          },
+          const_cast<std::function<void(int, int)>*>(&fn));
+}
+
+void ThreadPool::RunLoop(int count, int block, LoopFn fn, void* ctx) {
   CRF_CHECK_GE(count, 0);
   CRF_CHECK_GT(block, 0);
   if (count == 0) {
     return;
   }
-  if (workers_.empty()) {
-    for (int i = 0; i < count; ++i) {
-      fn(0, i);
+  // A single block (or no workers) cannot fan out: run inline with no
+  // dispatch. Exceptions propagate naturally, matching the pooled contract.
+  if (workers_.empty() || count <= block) {
+    for (int begin = 0; begin < count; begin += block) {
+      fn(ctx, 0, begin, std::min(begin + block, count));
     }
     return;
   }
 
-  // Work stealing via a shared atomic index: each enqueued task drains
-  // blocks of iterations until the index runs out. One task per worker plus
-  // the calling thread participating keeps the queue small regardless of
-  // `count`. The executing thread's slot comes from thread-local identity,
-  // so a worker that picks up several drain tasks keeps one stable slot.
-  auto next = std::make_shared<std::atomic<int>>(0);
-  auto drain = [this, next, count, block, fn] {
-    const int slot = tls_worker.pool == this ? tls_worker.slot : 0;
-    for (;;) {
-      const int begin = next->fetch_add(block, std::memory_order_relaxed);
-      if (begin >= count) {
-        return;
-      }
-      const int end = std::min(begin + block, count);
-      for (int i = begin; i < end; ++i) {
-        fn(slot, i);
-      }
-    }
-  };
-
-  const int num_blocks = (count + block - 1) / block;
-  const int tasks = static_cast<int>(std::min<size_t>(workers_.size(), num_blocks));
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    CRF_CHECK_EQ(in_flight_, 0) << "ParallelFor is not reentrant";
-    in_flight_ = tasks;
-    for (int i = 0; i < tasks; ++i) {
-      queue_.emplace_back(drain);
-    }
+    CRF_CHECK(loop_fn_ == nullptr) << "ParallelFor is not reentrant";
+    loop_fn_ = fn;
+    loop_ctx_ = ctx;
+    loop_count_ = count;
+    loop_block_ = block;
+    cursor_.store(0, std::memory_order_relaxed);
+    workers_pending_ = static_cast<int>(workers_.size());
+    ++epoch_;
   }
   work_available_.notify_all();
-  drain();  // The calling thread helps.
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+  Drain(tls_worker.pool == this ? tls_worker.slot : 0);  // The caller helps.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [this] { return workers_pending_ == 0; });
+    loop_fn_ = nullptr;
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
 }
 
 ThreadPool& ThreadPool::Default() {

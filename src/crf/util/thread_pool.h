@@ -1,17 +1,34 @@
-// A small fixed-size thread pool with a ParallelFor helper.
+// A small fixed-size thread pool with ParallelFor helpers.
 //
 // Machines are simulated independently (paper Section 5.1.1), so the
 // simulator shards machines across the pool. On single-core hosts the pool
 // degenerates to inline execution with no thread overhead.
+//
+// Dispatch model (DESIGN.md §8): workers are persistent and a parallel loop
+// is published as a single epoch — a function pointer + context pointer plus
+// a cache-line-padded atomic claim cursor. Nothing is heap-allocated per
+// call or per claim: there is no task queue, no std::function copies, no
+// shared_ptr control blocks. Workers claim contiguous blocks of iterations
+// from the cursor with one relaxed fetch_add per block, so shared-counter
+// traffic scales with count/block, not with count.
+//
+// Exception contract (pinned by thread_pool_test): if the loop body throws,
+// the first exception is captured, remaining unclaimed blocks are abandoned,
+// and the exception is rethrown on the calling thread after the join. The
+// pool stays usable. Iterations already claimed by other workers still run.
 
 #ifndef CRF_UTIL_THREAD_POOL_H_
 #define CRF_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace crf {
@@ -36,13 +53,29 @@ class ThreadPool {
   // instead of merging every iteration's contribution under a lock.
   void ParallelForIndexed(int count, const std::function<void(int, int)>& fn);
 
-  // ParallelForIndexed, but each work-stealing claim takes a contiguous
-  // block of `block` iterations instead of one. For fine-grained bodies
-  // driven from a hot outer loop (the cluster simulator steps every machine
-  // every interval), this cuts the shared-counter traffic by `block`x and
-  // gives each thread cache-adjacent iterations.
+  // ParallelForIndexed, but each claim takes a contiguous block of `block`
+  // iterations instead of one. For fine-grained bodies driven from a hot
+  // outer loop (the cluster simulator steps every machine every interval),
+  // this cuts the shared-counter traffic by `block`x and gives each thread
+  // cache-adjacent iterations.
   void ParallelForIndexedBlocked(int count, int block,
                                  const std::function<void(int, int)>& fn);
+
+  // The zero-overhead primitive the other entry points reduce to: fn is any
+  // callable fn(slot, begin, end) invoked once per claimed block with a
+  // contiguous index range [begin, end). The callable is passed by pointer
+  // through a captureless trampoline — no std::function, no allocation — and
+  // the inner loop over the range lives in the caller where the compiler can
+  // vectorize it against concrete types.
+  template <typename F>
+  void ParallelForRanges(int count, int block, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    RunLoop(count, block,
+            [](void* ctx, int slot, int begin, int end) {
+              (*static_cast<Fn*>(ctx))(slot, begin, end);
+            },
+            const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
@@ -50,15 +83,38 @@ class ThreadPool {
   static ThreadPool& Default();
 
  private:
-  void WorkerLoop();
+  // One published loop: invoke(ctx, slot, begin, end) over claimed ranges.
+  using LoopFn = void (*)(void* ctx, int slot, int begin, int end);
 
+  void RunLoop(int count, int block, LoopFn fn, void* ctx);
+  void Drain(int slot);
+  void WorkerLoop(int slot);
+
+  // Epoch publication (guarded by mutex_). Loop descriptor fields are
+  // written before the epoch bump and read by workers after they observe the
+  // new epoch under the same mutex, so no atomics are needed on them.
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable work_done_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;
+  uint64_t epoch_ = 0;
+  int workers_pending_ = 0;
   bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  LoopFn loop_fn_ = nullptr;
+  void* loop_ctx_ = nullptr;
+  int loop_count_ = 0;
+  int loop_block_ = 1;
+
+  // The claim cursor lives alone on its cache line: it is the only word the
+  // workers contend on during a loop, and padding keeps that contention from
+  // invalidating the (read-only) descriptor fields around it.
+  alignas(64) std::atomic<int> cursor_{0};
+
+  // First exception thrown by a loop body this epoch (guarded by
+  // error_mutex_; rethrown by RunLoop after the join).
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+
+  alignas(64) std::vector<std::thread> workers_;
 };
 
 }  // namespace crf

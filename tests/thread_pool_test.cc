@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace crf {
@@ -116,6 +117,137 @@ TEST(ThreadPoolTest, DefaultPoolExists) {
   std::atomic<int> count{0};
   ThreadPool::Default().ParallelFor(10, [&count](int) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, BlockedVariantBlockLargerThanCount) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5);
+  std::atomic<int> slots_seen{0};
+  pool.ParallelForIndexedBlocked(5, 64, [&](int slot, int i) {
+    hits[i].fetch_add(1);
+    slots_seen.fetch_add(slot);  // block >= count runs inline: slot must be 0
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(slots_seen.load(), 0);
+}
+
+TEST(ThreadPoolTest, BlockedVariantNonDivisibleBlocks) {
+  // count % block != 0 for every pair; the tail block must still run.
+  for (const int count : {1, 2, 617}) {
+    for (const int block : {2, 5, 9, 100}) {
+      if (count % block == 0) continue;
+      ThreadPool pool(3);
+      std::vector<std::atomic<int>> hits(count);
+      pool.ParallelForIndexedBlocked(count, block,
+                                     [&hits](int /*slot*/, int i) { hits[i].fetch_add(1); });
+      for (int i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "count " << count << " block " << block;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ContentionSmokeNoTaskRunsTwiceOrSkipped) {
+  // 10k-iteration fan-out with a tiny body: maximal pressure on the claim
+  // cursor. Every index must be hit exactly once, every round.
+  ThreadPool pool(8);
+  constexpr int kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (int round = 0; round < 5; ++round) {
+    for (auto& h : hits) {
+      h.store(0, std::memory_order_relaxed);
+    }
+    pool.ParallelForIndexedBlocked(kCount, 1, [&hits](int /*slot*/, int i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " i " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRangesPartitionsExactly) {
+  for (const int threads : {1, 4}) {
+    for (const int block : {1, 7, 64, 5000}) {
+      ThreadPool pool(threads);
+      constexpr int kCount = 2311;  // prime
+      std::vector<std::atomic<int>> hits(kCount);
+      pool.ParallelForRanges(kCount, block, [&](int slot, int begin, int end) {
+        ASSERT_GE(slot, 0);
+        ASSERT_LT(slot, pool.num_threads());
+        ASSERT_GE(begin, 0);
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end, kCount);
+        ASSERT_LE(end - begin, block);
+        for (int i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (int i = 0; i < kCount; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "threads " << threads << " block " << block;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRangesAcceptsConstCallable) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  const auto body = [&hits](int /*slot*/, int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      hits[i].fetch_add(1);
+    }
+  };
+  pool.ParallelForRanges(100, 8, body);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+// Exception contract (documented in thread_pool.h): the first exception is
+// rethrown on the calling thread and the pool remains usable afterwards.
+TEST(ThreadPoolTest, ExceptionPropagatesInlineMode) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(10,
+                                [](int i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromWorkerAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [&ran](int i) {
+                                  ran.fetch_add(1, std::memory_order_relaxed);
+                                  if (i == 17) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // Unclaimed blocks are abandoned — not every iteration needs to have run.
+  EXPECT_LE(ran.load(), 1000);
+  EXPECT_GE(ran.load(), 1);
+
+  // The pool must be fully functional after an exceptional epoch.
+  std::atomic<int> count{0};
+  pool.ParallelFor(200, [&count](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ExceptionFromRangesVariantPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelForRanges(100, 4,
+                                      [](int /*slot*/, int begin, int /*end*/) {
+                                        if (begin >= 48) throw std::logic_error("range boom");
+                                      }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.ParallelForRanges(64, 8, [&count](int, int begin, int end) {
+    count.fetch_add(end - begin);
+  });
+  EXPECT_EQ(count.load(), 64);
 }
 
 }  // namespace

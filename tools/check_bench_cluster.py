@@ -1,47 +1,158 @@
 #!/usr/bin/env python3
-"""Validates the schema of a tracked BENCH_cluster.json file.
+"""Validates a tracked BENCH_cluster.json thread-scaling matrix.
 
 Usage: check_bench_cluster.py [path]   (default: BENCH_cluster.json)
 
-Checks structure only — field presence, types, and basic sanity (positive
-rates, engines-agree counters). Deliberately no performance thresholds: CI
-runners vary too much for absolute numbers to gate a merge; the tracked file
-is the regression record, this script only keeps it well-formed.
+Schema checks (field presence, types, sanity) plus the thread-matrix rules
+introduced with the contention-free cluster engine:
+
+- Rows carry the pool size actually used (`threads`) and whether the sharded
+  step loop ran (`parallel`). A `threads: 1` row must be the serial baseline
+  (`parallel: false`, `parallel_speedup: 1.0`) — single-thread rows labeled
+  as sharded (the misleading v1 rows this schema replaces) are refused.
+- Rows group into matrices (`matrix` id). The file must contain at least one
+  complete matrix covering threads {1, 4, 8, 16}; rows within a matrix must
+  agree on the workload AND on the placement counters — the determinism
+  contract says every pool size places exactly the same tasks, so diverging
+  counters mean the lanes timed different computations.
+- Full-mode matrices must use the enlarged problem size (>= 2048 machines).
+- Speedup target: in every complete full-mode matrix, the 8-thread row must
+  reach parallel_speedup >= 4.0 — checked only when the recording host had
+  >= 8 cores (`host_cores`); a waiver is printed otherwise, because a 1-core
+  container cannot measure parallelism no matter how contention-free the
+  engine is. Timing thresholds beyond that are deliberately absent: CI
+  runners vary too much for absolute rates to gate a merge.
 """
 
 import json
 import sys
 
-REQUIRED_SCHEMA = "crf-cluster-bench-v1"
+REQUIRED_SCHEMA = "crf-cluster-bench-v2"
+REQUIRED_THREADS = {1, 4, 8, 16}
+SPEEDUP_TARGET_THREADS = 8
+SPEEDUP_TARGET = 4.0
+FULL_MIN_MACHINES = 2048
 
 ENTRY_FIELDS = {
     "date": str,
     "mode": str,
+    "matrix": str,
     "threads": int,
+    "parallel": bool,
+    "host_cores": int,
     "num_machines": int,
     "num_intervals": int,
-    "serial_machine_steps_per_sec": (int, float),
-    "serial_placements_per_sec": (int, float),
-    "sharded_machine_steps_per_sec": (int, float),
-    "sharded_placements_per_sec": (int, float),
-    "speedup": (int, float),
+    "machine_steps_per_sec": (int, float),
+    "placements_per_sec": (int, float),
+    "parallel_speedup": (int, float),
     "placement_attempts": int,
     "tasks_placed": int,
 }
 
 POSITIVE_FIELDS = [
     "threads",
+    "host_cores",
     "num_machines",
     "num_intervals",
-    "serial_machine_steps_per_sec",
-    "sharded_machine_steps_per_sec",
-    "speedup",
+    "machine_steps_per_sec",
+    "placements_per_sec",
+    "parallel_speedup",
 ]
 
 
 def fail(message):
     print(f"check_bench_cluster: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_entry(i, entry):
+    if not isinstance(entry, dict):
+        fail(f"entries[{i}] must be an object")
+    for legacy in (
+        "serial_machine_steps_per_sec",
+        "sharded_machine_steps_per_sec",
+        "speedup",
+    ):
+        if legacy in entry:
+            fail(
+                f"entries[{i}] carries legacy v1 field {legacy!r}; "
+                "v2 rows record one lane each"
+            )
+    for field, types in ENTRY_FIELDS.items():
+        if field not in entry:
+            fail(f"entries[{i}] missing field {field!r}")
+        value = entry[field]
+        if field == "parallel":
+            if not isinstance(value, bool):
+                fail(f"entries[{i}].parallel must be a bool, got {value!r}")
+        elif not isinstance(value, types) or isinstance(value, bool):
+            fail(f"entries[{i}].{field} has wrong type: {value!r}")
+    for field in POSITIVE_FIELDS:
+        if entry[field] <= 0:
+            fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+    if entry["mode"] not in ("short", "full"):
+        fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
+    if entry["placement_attempts"] < entry["tasks_placed"]:
+        fail(
+            f"entries[{i}]: placement_attempts ({entry['placement_attempts']}) "
+            f"< tasks_placed ({entry['tasks_placed']})"
+        )
+    if entry["threads"] == 1:
+        if entry["parallel"]:
+            fail(
+                f"entries[{i}]: threads=1 labeled as sharded (parallel=true) — "
+                "single-thread rows must be the serial baseline"
+            )
+        if entry["parallel_speedup"] != 1.0:
+            fail(
+                f"entries[{i}]: serial baseline must have parallel_speedup 1.0, "
+                f'got {entry["parallel_speedup"]}'
+            )
+    elif not entry["parallel"]:
+        fail(f"entries[{i}]: threads={entry['threads']} but parallel=false")
+
+
+def check_matrix(matrix_id, rows):
+    threads = {row["threads"] for row in rows}
+    complete = REQUIRED_THREADS.issubset(threads)
+    first = rows[0]
+    for row in rows[1:]:
+        for field in ("mode", "num_machines", "num_intervals"):
+            if row[field] != first[field]:
+                fail(
+                    f"matrix {matrix_id!r}: rows disagree on {field} "
+                    f"({row[field]} vs {first[field]}) — lanes timed different workloads"
+                )
+        for field in ("placement_attempts", "tasks_placed"):
+            if row[field] != first[field]:
+                fail(
+                    f"matrix {matrix_id!r}: rows disagree on {field} "
+                    f"({row[field]} vs {first[field]}) — the determinism contract "
+                    "requires identical placements at every pool size"
+                )
+    if first["mode"] == "full" and complete:
+        if first["num_machines"] < FULL_MIN_MACHINES:
+            fail(
+                f"matrix {matrix_id!r}: full mode requires >= {FULL_MIN_MACHINES} "
+                f'machines, got {first["num_machines"]}'
+            )
+        for row in rows:
+            if row["threads"] != SPEEDUP_TARGET_THREADS:
+                continue
+            if row["host_cores"] >= SPEEDUP_TARGET_THREADS:
+                if row["parallel_speedup"] < SPEEDUP_TARGET:
+                    fail(
+                        f"matrix {matrix_id!r}: parallel_speedup at "
+                        f"{SPEEDUP_TARGET_THREADS} threads is "
+                        f'{row["parallel_speedup"]}, target >= {SPEEDUP_TARGET}'
+                    )
+            else:
+                print(
+                    f"check_bench_cluster: NOTE: matrix {matrix_id!r} speedup target "
+                    f'waived — recorded on a {row["host_cores"]}-core host, which '
+                    f"cannot measure {SPEEDUP_TARGET_THREADS}-thread scaling"
+                )
+    return complete
 
 
 def main():
@@ -62,26 +173,20 @@ def main():
     if not isinstance(entries, list) or not entries:
         fail('"entries" must be a non-empty array')
 
+    matrices = {}
     for i, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            fail(f"entries[{i}] must be an object")
-        for field, types in ENTRY_FIELDS.items():
-            if field not in entry:
-                fail(f"entries[{i}] missing field {field!r}")
-            if not isinstance(entry[field], types) or isinstance(entry[field], bool):
-                fail(f"entries[{i}].{field} has wrong type: {entry[field]!r}")
-        for field in POSITIVE_FIELDS:
-            if entry[field] <= 0:
-                fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
-        if entry["mode"] not in ("short", "full"):
-            fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
-        if entry["placement_attempts"] < entry["tasks_placed"]:
-            fail(
-                f"entries[{i}]: placement_attempts ({entry['placement_attempts']}) "
-                f"< tasks_placed ({entry['tasks_placed']})"
-            )
+        check_entry(i, entry)
+        matrices.setdefault(entry["matrix"], []).append(entry)
 
-    print(f"check_bench_cluster: OK: {path} has {len(entries)} well-formed entries")
+    complete = sum(1 for mid, rows in matrices.items() if check_matrix(mid, rows))
+    if complete == 0:
+        required = sorted(REQUIRED_THREADS)
+        fail(f"no complete thread matrix: need rows at threads {required}")
+
+    print(
+        f"check_bench_cluster: OK: {path} has {len(entries)} well-formed entries "
+        f"in {len(matrices)} matrices ({complete} complete)"
+    )
 
 
 if __name__ == "__main__":

@@ -1,42 +1,65 @@
 #!/usr/bin/env python3
-"""Validates the schema of a tracked BENCH_stream.json file.
+"""Validates a tracked BENCH_stream.json thread-scaling matrix.
 
 Usage: check_bench_stream.py [path]   (default: BENCH_stream.json)
 
-Checks structure only — field presence, types, and basic sanity (positive
-counts and rates). Deliberately no performance thresholds: CI runners vary
-too much for absolute numbers to gate a merge; the tracked file is the
-regression record, this script only keeps it well-formed.
+Schema checks (field presence, types, sanity) plus the thread-matrix rules
+introduced with the contention-free ingest engine:
+
+- Rows carry the pool size actually used (`threads`) and whether the sharded
+  path ran (`parallel`). A `threads: 1` row must be the serial baseline
+  (`parallel: false`, `parallel_speedup: 1.0`) — single-thread rows labeled
+  as sharded are refused as misleading.
+- Rows group into matrices (`matrix` id). The file must contain at least one
+  complete matrix covering threads {1, 4, 8, 16}; rows within a matrix must
+  describe the same workload (same event count and cell shape).
+- Full-mode matrices must use the enlarged problem size (>= 2048 machines,
+  >= 2016 intervals — fan-out must be amortized, not hidden by a toy cell).
+- Speedup target: in every complete full-mode matrix, the 8-thread row must
+  reach parallel_speedup >= 4.0 — checked only when the recording host had
+  >= 8 cores (`host_cores`); a waiver is printed otherwise, because a 1-core
+  container cannot measure parallelism no matter how contention-free the
+  engine is. Timing thresholds beyond that are deliberately absent: CI
+  runners vary too much for absolute rates to gate a merge.
 """
 
 import json
 import sys
 
-REQUIRED_SCHEMA = "crf-stream-bench-v1"
+REQUIRED_SCHEMA = "crf-stream-bench-v2"
+REQUIRED_THREADS = {1, 4, 8, 16}
+SPEEDUP_TARGET_THREADS = 8
+SPEEDUP_TARGET = 4.0
+FULL_MIN_MACHINES = 2048
+FULL_MIN_INTERVALS = 2016
 
 ENTRY_FIELDS = {
     "date": str,
     "mode": str,
+    "matrix": str,
+    "threads": int,
+    "parallel": bool,
+    "host_cores": int,
     "num_machines": int,
     "num_intervals": int,
     "num_tasks": int,
     "num_shards": int,
     "events": int,
     "machine_ticks": int,
-    "serial_events_per_sec": (int, float),
-    "parallel_events_per_sec": (int, float),
+    "events_per_sec": (int, float),
     "parallel_speedup": (int, float),
 }
 
 POSITIVE_FIELDS = [
+    "threads",
+    "host_cores",
     "num_machines",
     "num_intervals",
     "num_tasks",
     "num_shards",
     "events",
     "machine_ticks",
-    "serial_events_per_sec",
-    "parallel_events_per_sec",
+    "events_per_sec",
     "parallel_speedup",
 ]
 
@@ -44,6 +67,90 @@ POSITIVE_FIELDS = [
 def fail(message):
     print(f"check_bench_stream: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_entry(i, entry):
+    if not isinstance(entry, dict):
+        fail(f"entries[{i}] must be an object")
+    for legacy in ("serial_events_per_sec", "parallel_events_per_sec"):
+        if legacy in entry:
+            fail(
+                f"entries[{i}] carries legacy v1 field {legacy!r}; "
+                "v2 rows record one lane each"
+            )
+    for field, types in ENTRY_FIELDS.items():
+        if field not in entry:
+            fail(f"entries[{i}] missing field {field!r}")
+        value = entry[field]
+        if field == "parallel":
+            if not isinstance(value, bool):
+                fail(f"entries[{i}].parallel must be a bool, got {value!r}")
+        elif not isinstance(value, types) or isinstance(value, bool):
+            fail(f"entries[{i}].{field} has wrong type: {value!r}")
+    for field in POSITIVE_FIELDS:
+        if entry[field] <= 0:
+            fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+    if entry["mode"] not in ("short", "full"):
+        fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
+    if entry["machine_ticks"] != entry["num_machines"] * entry["num_intervals"]:
+        fail(
+            f"entries[{i}].machine_ticks must equal num_machines * num_intervals, "
+            f'got {entry["machine_ticks"]}'
+        )
+    if entry["threads"] == 1:
+        if entry["parallel"]:
+            fail(
+                f"entries[{i}]: threads=1 labeled as sharded (parallel=true) — "
+                "single-thread rows must be the serial baseline"
+            )
+        if entry["parallel_speedup"] != 1.0:
+            fail(
+                f"entries[{i}]: serial baseline must have parallel_speedup 1.0, "
+                f'got {entry["parallel_speedup"]}'
+            )
+    elif not entry["parallel"]:
+        fail(f"entries[{i}]: threads={entry['threads']} but parallel=false")
+
+
+def check_matrix(matrix_id, rows):
+    threads = {row["threads"] for row in rows}
+    complete = REQUIRED_THREADS.issubset(threads)
+    first = rows[0]
+    for row in rows[1:]:
+        for field in ("mode", "num_machines", "num_intervals", "num_tasks", "events"):
+            if row[field] != first[field]:
+                fail(
+                    f"matrix {matrix_id!r}: rows disagree on {field} "
+                    f"({row[field]} vs {first[field]}) — lanes timed different workloads"
+                )
+    if first["mode"] == "full" and complete:
+        if first["num_machines"] < FULL_MIN_MACHINES:
+            fail(
+                f"matrix {matrix_id!r}: full mode requires >= {FULL_MIN_MACHINES} "
+                f'machines, got {first["num_machines"]}'
+            )
+        if first["num_intervals"] < FULL_MIN_INTERVALS:
+            fail(
+                f"matrix {matrix_id!r}: full mode requires >= {FULL_MIN_INTERVALS} "
+                f'intervals, got {first["num_intervals"]}'
+            )
+        for row in rows:
+            if row["threads"] != SPEEDUP_TARGET_THREADS:
+                continue
+            if row["host_cores"] >= SPEEDUP_TARGET_THREADS:
+                if row["parallel_speedup"] < SPEEDUP_TARGET:
+                    fail(
+                        f"matrix {matrix_id!r}: parallel_speedup at "
+                        f"{SPEEDUP_TARGET_THREADS} threads is "
+                        f'{row["parallel_speedup"]}, target >= {SPEEDUP_TARGET}'
+                    )
+            else:
+                print(
+                    f"check_bench_stream: NOTE: matrix {matrix_id!r} speedup target "
+                    f'waived — recorded on a {row["host_cores"]}-core host, which '
+                    f"cannot measure {SPEEDUP_TARGET_THREADS}-thread scaling"
+                )
+    return complete
 
 
 def main():
@@ -64,26 +171,20 @@ def main():
     if not isinstance(entries, list) or not entries:
         fail('"entries" must be a non-empty array')
 
+    matrices = {}
     for i, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            fail(f"entries[{i}] must be an object")
-        for field, types in ENTRY_FIELDS.items():
-            if field not in entry:
-                fail(f"entries[{i}] missing field {field!r}")
-            if not isinstance(entry[field], types) or isinstance(entry[field], bool):
-                fail(f"entries[{i}].{field} has wrong type: {entry[field]!r}")
-        for field in POSITIVE_FIELDS:
-            if entry[field] <= 0:
-                fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
-        if entry["mode"] not in ("short", "full"):
-            fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
-        if entry["machine_ticks"] != entry["num_machines"] * entry["num_intervals"]:
-            fail(
-                f"entries[{i}].machine_ticks must equal num_machines * num_intervals, "
-                f'got {entry["machine_ticks"]}'
-            )
+        check_entry(i, entry)
+        matrices.setdefault(entry["matrix"], []).append(entry)
 
-    print(f"check_bench_stream: OK: {path} has {len(entries)} well-formed entries")
+    complete = sum(1 for mid, rows in matrices.items() if check_matrix(mid, rows))
+    if complete == 0:
+        required = sorted(REQUIRED_THREADS)
+        fail(f"no complete thread matrix: need rows at threads {required}")
+
+    print(
+        f"check_bench_stream: OK: {path} has {len(entries)} well-formed entries "
+        f"in {len(matrices)} matrices ({complete} complete)"
+    )
 
 
 if __name__ == "__main__":
