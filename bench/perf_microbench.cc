@@ -16,6 +16,8 @@
 // BENCH_sweep.json (see RecordSweepBench below).
 
 #include <benchmark/benchmark.h>
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +27,7 @@
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -37,8 +40,10 @@
 #include "crf/serve/replay.h"
 #include "crf/sim/simulator.h"
 #include "crf/trace/generator.h"
+#include "crf/trace/trace_io.h"
 #include "crf/util/env.h"
 #include "crf/util/rng.h"
+#include "crf/util/rss.h"
 #include "crf/util/thread_pool.h"
 
 namespace crf {
@@ -556,13 +561,34 @@ std::vector<int> BenchThreadCounts() {
 // Controlled by $CRF_CLUSTER_BENCH: "off" skips, "short" (default) times one
 // day over a small cell, "full" one day over a 2k-machine cell — the problem
 // size at which the per-interval fan-out amortizes (ROADMAP "make
-// parallelism actually pay"). One row lands per pool size in
+// parallelism actually pay") — and "scale" runs the cloud-scale lane below
+// instead of the matrix. One row lands per pool size in
 // $CRF_BENCH_THREADS; every lane runs the indexed placement engine, so rows
 // within a matrix differ only in step-loop threading and the `threads: 1`
 // row is the serial baseline (`parallel: false`), never a mislabeled sharded
-// run. The record lands in $CRF_BENCH_CLUSTER_FILE (default
-// ./BENCH_cluster.json) as {"schema":"crf-cluster-bench-v2","entries":[...]};
-// reruns append, so the tracked file accumulates a regression history.
+// run. v3 adds the memory columns: every row reports `peak_rss_bytes` (the
+// lane's VmHWM), plus `load_ms`/`load_mode` so matrix rows (which generate
+// their cell in-process, load_mode "generated", load_ms 0) and scale rows
+// (which mmap a streamed .crftrace) share one schema. The record lands in
+// $CRF_BENCH_CLUSTER_FILE (default ./BENCH_cluster.json) as
+// {"schema":"crf-cluster-bench-v3","entries":[...]}; reruns append, so the
+// tracked file accumulates a regression history.
+//
+// The "scale" lane is the cloud-scale trace-I/O proof (DESIGN.md §6c): it
+// stream-generates a $CRF_SCALE_MACHINES-machine (default 100000) one-day
+// binary trace with bounded-probe placement ($CRF_SCALE_PROBES, default 16)
+// — never holding the cell in memory — then mmap-loads it and drives the
+// serial streaming replayer over the mapped arena with per-machine page
+// drops. Its row records gen_ms / file_bytes for the writer, load_ms /
+// resident_after_load_bytes for the mapped open, events_per_sec for the
+// replay, and two memory truths: resident_after_load_bytes and
+// resident_after_replay_bytes — the arena pages this process materialized
+// after the open and after walking the entire trace — must both stay an
+// order of magnitude under file_bytes (the zero-copy claim), while
+// peak_rss_bytes (load + replay VmHWM) is recorded un-gated because it is
+// dominated by the replayer's own per-machine predictor state, which scales
+// with the cell no matter how the trace is loaded. The trace lands in
+// $CRF_BENCH_SCALE_TRACE when set (kept), else in a temp file (deleted).
 
 struct ClusterBenchTiming {
   double machine_steps_per_sec = 0.0;
@@ -632,9 +658,15 @@ void AppendTrackedBenchEntry(const std::string& path, const std::string& schema,
   out << output;
 }
 
+void RecordClusterScaleBench();
+
 void RecordClusterBench() {
   const std::string mode = GetEnvString("CRF_CLUSTER_BENCH", "short");
   if (mode == "off") {
+    return;
+  }
+  if (mode == "scale") {
+    RecordClusterScaleBench();
     return;
   }
   const bool full = mode == "full";
@@ -652,13 +684,17 @@ void RecordClusterBench() {
   struct Lane {
     int threads = 1;
     ClusterBenchTiming timing;
+    int64_t peak_rss_bytes = 0;
   };
   std::vector<Lane> lanes;
   for (const int threads : BenchThreadCounts()) {
     ThreadPool pool(threads);
     options.pool = &pool;
     options.parallel = threads > 1;
-    lanes.push_back({threads, TimeClusterSim(profile, options)});
+    ResetPeakRss();
+    Lane lane{threads, TimeClusterSim(profile, options), 0};
+    lane.peak_rss_bytes = ReadPeakRssBytes();
+    lanes.push_back(lane);
   }
 
   // Integrity gate: the determinism contract says every pool size places
@@ -696,12 +732,139 @@ void RecordClusterBench() {
           << "      \"placements_per_sec\": " << lane.timing.placements_per_sec << ",\n"
           << "      \"parallel_speedup\": " << speedup << ",\n"
           << "      \"placement_attempts\": " << lane.timing.placement_attempts << ",\n"
-          << "      \"tasks_placed\": " << lane.timing.tasks_placed << "\n"
+          << "      \"tasks_placed\": " << lane.timing.tasks_placed << ",\n"
+          << "      \"peak_rss_bytes\": " << lane.peak_rss_bytes << ",\n"
+          << "      \"load_ms\": 0,\n"
+          << "      \"load_mode\": \"generated\"\n"
           << "    }";
-    AppendTrackedBenchEntry(path, "crf-cluster-bench-v2", entry.str());
+    AppendTrackedBenchEntry(path, "crf-cluster-bench-v3", entry.str());
     std::printf("cluster bench (%s): threads=%d %.0f machine-steps/s (%.2fx) -> %s\n",
                 full ? "full" : "short", lane.threads, lane.timing.machine_steps_per_sec,
                 speedup, path.c_str());
+  }
+}
+
+// $CRF_CLUSTER_BENCH=scale: the cloud-scale stream-generate / mmap-load /
+// streaming-replay pipeline (see the v3 schema comment above). One row per
+// run, mode "scale".
+void RecordClusterScaleBench() {
+  const int num_machines = static_cast<int>(GetEnvInt("CRF_SCALE_MACHINES", 100000));
+  const int probes = static_cast<int>(GetEnvInt("CRF_SCALE_PROBES", 16));
+  std::string trace_path = GetEnvString("CRF_BENCH_SCALE_TRACE", "");
+  const bool keep_trace = !trace_path.empty();
+  if (!keep_trace) {
+    trace_path =
+        (std::filesystem::temp_directory_path() / "crf_bench_scale.crftrace").string();
+  }
+
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = num_machines;
+  GeneratorOptions gen_options;
+  gen_options.num_intervals = kIntervalsPerDay;
+  // A full worst-fit scan per placement is O(machines); at 100k machines the
+  // placement phase alone would dwarf the I/O being measured, so the scale
+  // lane uses bounded-probe placement (still deterministic for the seed).
+  gen_options.placement_probes = probes;
+
+  std::printf("cluster bench (scale): streaming %d machines x %d intervals -> %s\n",
+              num_machines, static_cast<int>(gen_options.num_intervals),
+              trace_path.c_str());
+  ResetPeakRss();
+  std::string error;
+  StreamedTraceInfo info;
+  const auto gen_start = std::chrono::steady_clock::now();
+  if (!GenerateCellTraceToFile(profile, gen_options, Rng(10), trace_path, &error, &info)) {
+    std::fprintf(stderr, "cluster bench (scale): streaming generation failed: %s\n",
+                 error.c_str());
+    return;
+  }
+  const double gen_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - gen_start)
+          .count();
+  const int64_t gen_peak_rss = ReadPeakRssBytes();
+
+  ResetPeakRss();
+  TraceLoadOptions load_options;
+  load_options.mode = TraceLoadMode::kMapped;
+  const auto load_start = std::chrono::steady_clock::now();
+  std::optional<CellTrace> cell = LoadCellTrace(trace_path, load_options, &error);
+  const double load_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - load_start)
+          .count();
+  if (!cell.has_value()) {
+    std::fprintf(stderr, "cluster bench (scale): mmap load failed: %s\n", error.c_str());
+    return;
+  }
+  // Arena pages this process materialized during the open (the mapping's own
+  // smaps Rss — not mincore residency, which would count the hot page cache
+  // the writer just left behind).
+  const int64_t resident_after_load = ReadMappedFileRssBytes(trace_path);
+
+  // Serial streaming replay straight off the mapped arena: the replayer
+  // drops each machine's usage pages after its last tick, so peak RSS tracks
+  // machines-in-flight, not the trace.
+  ReplayOptions replay_options;
+  replay_options.parallel = false;
+  replay_options.latency_sample_period = 0;
+  const auto replay_start = std::chrono::steady_clock::now();
+  StreamReplayer replayer(*cell, ProductionMaxSpec(), replay_options);
+  replayer.AdvanceToEnd();
+  const uint64_t events = replayer.Metrics().TotalEvents();
+  const SimResult result = replayer.Finish();
+  const double replay_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - replay_start).count();
+  double mean_violation_rate = result.MeanViolationRate();
+  benchmark::DoNotOptimize(mean_violation_rate);
+  const double events_per_sec = static_cast<double>(events) / replay_seconds;
+  // Covers the mapped load and the whole replay; generation is reported
+  // separately (its watermark belongs to the writer, not the reader path).
+  // Peak RSS here is dominated by the replayer's per-machine predictor and
+  // per-task history state — O(cell), not O(trace) — so it is recorded, not
+  // gated against the file size. The zero-copy claim for the replay phase is
+  // the next line: arena pages still resident once the replay has walked the
+  // whole trace. DropMachinePages must have kept that near the metadata
+  // floor; a replay that materialized the bulk slabs shows up as ~file_bytes.
+  const int64_t peak_rss = ReadPeakRssBytes();
+  const int64_t resident_after_replay = ReadMappedFileRssBytes(trace_path);
+
+  std::ostringstream entry;
+  entry.precision(6);
+  entry << "    {\n"
+        << "      \"date\": \"" << TodayUtc() << "\",\n"
+        << "      \"mode\": \"scale\",\n"
+        << "      \"matrix\": \"" << TodayUtc() << "-scale\",\n"
+        << "      \"threads\": 1,\n"
+        << "      \"parallel\": false,\n"
+        << "      \"host_cores\": " << HostCores() << ",\n"
+        << "      \"num_machines\": " << num_machines << ",\n"
+        << "      \"num_intervals\": " << gen_options.num_intervals << ",\n"
+        << "      \"num_tasks\": " << info.num_tasks << ",\n"
+        << "      \"placement_probes\": " << probes << ",\n"
+        << "      \"file_bytes\": " << info.file_bytes << ",\n"
+        << "      \"gen_ms\": " << gen_ms << ",\n"
+        << "      \"gen_peak_rss_bytes\": " << gen_peak_rss << ",\n"
+        << "      \"load_ms\": " << load_ms << ",\n"
+        << "      \"load_mode\": \"mmap\",\n"
+        << "      \"resident_after_load_bytes\": " << resident_after_load << ",\n"
+        << "      \"resident_after_replay_bytes\": " << resident_after_replay << ",\n"
+        << "      \"events\": " << events << ",\n"
+        << "      \"events_per_sec\": " << events_per_sec << ",\n"
+        << "      \"peak_rss_bytes\": " << peak_rss << "\n"
+        << "    }";
+  const std::string path = GetEnvString("CRF_BENCH_CLUSTER_FILE", "BENCH_cluster.json");
+  AppendTrackedBenchEntry(path, "crf-cluster-bench-v3", entry.str());
+  std::printf(
+      "cluster bench (scale): %d machines, %lld tasks, gen %.0f ms "
+      "(peak rss %.1f MB), mmap load %.2f ms (%.1f MB resident of %.1f MB file), "
+      "replay %.0f events/s (%.1f MB arena resident after, peak rss %.1f MB) -> %s\n",
+      num_machines, static_cast<long long>(info.num_tasks), gen_ms,
+      gen_peak_rss / 1048576.0, load_ms, resident_after_load / 1048576.0,
+      info.file_bytes / 1048576.0, events_per_sec, resident_after_replay / 1048576.0,
+      peak_rss / 1048576.0, path.c_str());
+
+  if (!keep_trace) {
+    std::error_code ec;
+    std::filesystem::remove(trace_path, ec);
   }
 }
 
@@ -804,12 +967,22 @@ void RecordSweepBench() {
 // BENCH_trace.json: tracked trace-layout throughput record.
 //
 // Controlled by $CRF_TRACE_BENCH: "off" skips, "short" (default) scans a
-// 16-machine half-week cell, "full" a 64-machine week. Times full-cell
+// 16-machine half-week cell, "full" a 64-machine fortnight (long enough
+// that the arena's bulk dwarfs the per-task metadata a mapped open
+// faults in, so the residency ratio below is a clean order-of-magnitude
+// signal). Times full-cell
 // machine scans through the pre-refactor per-task-vector AoS layout against
 // the columnar arena + MachineSeriesCursor on identical data, and records
-// the resident footprint of each layout in bytes per task-interval. The
-// record lands in $CRF_BENCH_TRACE_FILE (default ./BENCH_trace.json) as
-// {"schema":"crf-trace-bench-v1","entries":[...]}; reruns append.
+// the resident footprint of each layout in bytes per task-interval. v2 adds
+// the load-path comparison: the cell is saved as a binary .crftrace and
+// opened both ways — heap (one fread of the whole arena) and mmap
+// (zero-copy) — recording per-mode load time and the process-RSS growth of
+// the open, before anything touches the samples. A heap load materializes
+// the whole arena; the mapped open only faults the metadata slabs the
+// validator reads, so both ratios are the tracked order-of-magnitude proof
+// of the zero-copy claim. The record lands
+// in $CRF_BENCH_TRACE_FILE (default ./BENCH_trace.json) as
+// {"schema":"crf-trace-bench-v2","entries":[...]}; reruns append.
 
 void RecordTraceBench() {
   const std::string mode = GetEnvString("CRF_TRACE_BENCH", "short");
@@ -821,7 +994,7 @@ void RecordTraceBench() {
   CellProfile profile = SimCellProfile('a');
   profile.num_machines = full ? 64 : 16;
   GeneratorOptions gen_options;
-  gen_options.num_intervals = full ? kIntervalsPerWeek : kIntervalsPerWeek / 2;
+  gen_options.num_intervals = full ? 2 * kIntervalsPerWeek : kIntervalsPerWeek / 2;
   CellTrace cell = GenerateCellTrace(profile, gen_options, Rng(12));
   cell.FilterToServingTasks();
   const AosTrace aos(cell);
@@ -882,6 +1055,90 @@ void RecordTraceBench() {
           ? static_cast<double>(aos.HeapBytes()) / static_cast<double>(task_intervals)
           : 0.0;
 
+  // Load-path comparison: save the cell as a binary trace, then open it
+  // heap vs mmap, measuring each quantity under the cache condition where
+  // it means something.
+  //
+  // Residency is measured on a cold page cache (fsync + POSIX_FADV_DONTNEED
+  // first): a freshly written file's cache sits in large folios, and
+  // faulting one page of a folio maps the whole folio, crediting the mapped
+  // open with pages it never asked for. Cold, a heap load materializes the
+  // whole arena by construction (one fread into a fresh buffer) while a
+  // mapped load materializes only the pages the validator touched — read
+  // from the mapping's own smaps Rss (mincore would count page-cache pages
+  // the process never touched, whole-process RSS deltas pick up allocator
+  // churn).
+  //
+  // Load time is then measured hot (best of 3 once the cache is repopulated):
+  // that isolates the copy-vs-map cost the load mode controls, where cold
+  // timing would mostly rank the disk scheduler (one sequential fread vs the
+  // validator's scattered faults with readahead off).
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "crf_bench_trace.crftrace").string();
+  SaveCellTraceBinary(cell, trace_path);
+  const auto drop_file_cache = [&trace_path] {
+    const int fd = open(trace_path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return;
+    }
+    fsync(fd);
+    posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    close(fd);
+  };
+  const auto measure_load = [&](TraceLoadMode load_mode, int64_t* resident_bytes) {
+    TraceLoadOptions load_options;
+    load_options.mode = load_mode;
+    const auto open_trace = [&](std::string* error) {
+      return LoadCellTrace(trace_path, load_options, error);
+    };
+    // Cold rep: residency.
+    drop_file_cache();
+    *resident_bytes = 0;
+    {
+      std::string error;
+      std::optional<CellTrace> loaded = open_trace(&error);
+      if (!loaded.has_value()) {
+        std::fprintf(stderr, "trace bench: load failed: %s\n", error.c_str());
+        return std::numeric_limits<double>::infinity();
+      }
+      *resident_bytes = loaded->is_mapped()
+                            ? ReadMappedFileRssBytes(trace_path)
+                            : static_cast<int64_t>(loaded->arena_bytes().size());
+    }
+    // Hot reps: load time. The cold rep repopulated every page this mode
+    // reads, and rep 0 is discarded as one extra warm-up, so timed reps see
+    // a fully warm cache for their access pattern.
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 4; ++rep) {
+      std::string error;
+      const auto start = std::chrono::steady_clock::now();
+      std::optional<CellTrace> loaded = open_trace(&error);
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (!loaded.has_value()) {
+        std::fprintf(stderr, "trace bench: load failed: %s\n", error.c_str());
+        return std::numeric_limits<double>::infinity();
+      }
+      if (rep > 0) {  // rep 0 is the cache warm-up
+        best_ms = std::min(best_ms, ms);
+      }
+    }
+    return best_ms;
+  };
+  int64_t heap_resident = 0;
+  int64_t mmap_resident = 0;
+  const double heap_load_ms = measure_load(TraceLoadMode::kHeap, &heap_resident);
+  const double mmap_load_ms = measure_load(TraceLoadMode::kMapped, &mmap_resident);
+  {
+    std::error_code ec;
+    std::filesystem::remove(trace_path, ec);
+  }
+  if (!std::isfinite(heap_load_ms) || !std::isfinite(mmap_load_ms)) {
+    return;
+  }
+  const double load_speedup = mmap_load_ms > 0.0 ? heap_load_ms / mmap_load_ms : 0.0;
+
   std::ostringstream entry;
   entry.precision(6);
   entry << "    {\n"
@@ -895,16 +1152,24 @@ void RecordTraceBench() {
         << "      \"arena_machine_scans_per_sec\": " << scans / arena_seconds << ",\n"
         << "      \"speedup\": " << speedup << ",\n"
         << "      \"aos_bytes_per_task_interval\": " << aos_bytes_per_ti << ",\n"
-        << "      \"arena_bytes_per_task_interval\": " << arena_bytes_per_ti << "\n"
+        << "      \"arena_bytes_per_task_interval\": " << arena_bytes_per_ti << ",\n"
+        << "      \"heap_load_ms\": " << heap_load_ms << ",\n"
+        << "      \"mmap_load_ms\": " << mmap_load_ms << ",\n"
+        << "      \"heap_load_resident_bytes\": " << heap_resident << ",\n"
+        << "      \"mmap_load_resident_bytes\": " << mmap_resident << ",\n"
+        << "      \"load_speedup\": " << load_speedup << "\n"
         << "    }";
 
   const std::string path = GetEnvString("CRF_BENCH_TRACE_FILE", "BENCH_trace.json");
-  AppendTrackedBenchEntry(path, "crf-trace-bench-v1", entry.str());
+  AppendTrackedBenchEntry(path, "crf-trace-bench-v2", entry.str());
   std::printf(
       "trace bench (%s): aos %.0f arena %.0f machine-scans/s (%.2fx), "
-      "%.1f -> %.1f bytes/task-interval -> %s\n",
+      "%.1f -> %.1f bytes/task-interval, load heap %.2f ms / mmap %.2f ms "
+      "(%.0fx), resident %lld -> %lld bytes -> %s\n",
       full ? "full" : "short", scans / aos_seconds, scans / arena_seconds, speedup,
-      aos_bytes_per_ti, arena_bytes_per_ti, path.c_str());
+      aos_bytes_per_ti, arena_bytes_per_ti, heap_load_ms, mmap_load_ms, load_speedup,
+      static_cast<long long>(heap_resident), static_cast<long long>(mmap_resident),
+      path.c_str());
 }
 
 // ---------------------------------------------------------------------------

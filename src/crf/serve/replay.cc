@@ -47,6 +47,16 @@ void StreamReplayer::AdvanceShard(int shard_index, Interval from, Interval until
       options_.use_total_usage_oracle ? OracleKind::kTotalUsage : OracleKind::kPeak;
   const int period = options_.latency_sample_period;
 
+  // Finished machines' bulk pages are returned to the kernel in blocks: a
+  // per-machine drop would strand the page at every machine boundary (the
+  // inward rounding never evicts a shared page), so batch ~128 machines per
+  // madvise — the block in flight stays a few MB while the strand count
+  // falls from O(machines) to O(machines / block).
+  constexpr int kDropBlock = 128;
+  const bool drop_pages = options_.drop_mapped_pages && until == log_.num_intervals() &&
+                          log_.cell().is_mapped();
+  int drop_from = shard.begin_machine;
+
   for (int m = shard.begin_machine; m < shard.end_machine; ++m) {
     if (kind == OracleKind::kTotalUsage) {
       ComputeTotalUsageOracleInto(log_.cell(), m, options_.horizon, shard.oracle_scratch,
@@ -93,6 +103,14 @@ void StreamReplayer::AdvanceShard(int shard_index, Interval from, Interval until
       accum.limit_sum_total += limit_sum;
       shard.cell_limit[tau] += limit_sum;
       shard.cell_prediction[tau] += prediction;
+    }
+
+    // The machine-outer loop consumes each machine's stream exactly once per
+    // Advance window; once the final tick is done, its bulk pages will never
+    // be read again.
+    if (drop_pages && (m + 1 - drop_from >= kDropBlock || m + 1 == shard.end_machine)) {
+      log_.cell().DropMachinePages(drop_from, m + 1);
+      drop_from = m + 1;
     }
   }
 }

@@ -4,9 +4,11 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <vector>
 
 #include "crf/trace/job_sampler.h"
+#include "crf/trace/stream_writer.h"
 #include "crf/trace/trace_builder.h"
 #include "crf/trace/workload_model.h"
 #include "crf/util/check.h"
@@ -32,6 +34,17 @@ class Generator {
     return builder_.Seal();
   }
 
+  // Streaming variant: identical placement phase (same RNG draws, same
+  // placements), then usage generation machine by machine straight into a
+  // StreamingTraceWriter, so resident memory tracks the machine block in
+  // flight rather than the whole cell.
+  bool RunStreaming(const std::string& path, std::string* error, StreamedTraceInfo* info) {
+    InitMachines();
+    InitialFill();
+    ArrivalSweep();
+    return StreamUsageToFile(path, error, info);
+  }
+
  private:
   void InitMachines() {
     builder_.Reset(profile_.name, options_.num_intervals, profile_.num_machines);
@@ -43,9 +56,10 @@ class Generator {
     for (auto& weight : machine_weight_) {
       weight = placement_rng_.LogNormal(0.0, profile_.machine_imbalance_sigma);
     }
-    departing_alloc_.assign(profile_.num_machines,
-                            std::vector<double>(options_.num_intervals + 1, 0.0));
+    departures_.assign(options_.num_intervals + 1, {});
     departure_counts_.assign(options_.num_intervals + 1, 0);
+    departure_sum_.assign(profile_.num_machines, 0.0);
+    departure_epoch_.assign(profile_.num_machines, -1);
   }
 
   // Worst-fit placement: the feasible machine with the lowest weighted
@@ -58,14 +72,11 @@ class Generator {
     int best_used = -1;  // Fallback if every feasible machine hosts the job.
     double best_ratio = std::numeric_limits<double>::infinity();
     double best_used_ratio = std::numeric_limits<double>::infinity();
-    // Scan from a random offset so ties do not always favor machine 0.
     const int num_machines = profile_.num_machines;
-    const int offset = static_cast<int>(placement_rng_.UniformInt(num_machines));
-    for (int k = 0; k < num_machines; ++k) {
-      const int m = (k + offset) % num_machines;
+    const auto consider = [&](int m) {
       const double capacity = builder_.machine_capacity(m);
       if (limit > capacity || alloc_[m] + limit > profile_.target_alloc_ratio * capacity) {
-        continue;
+        return;
       }
       const double ratio = alloc_[m] / (capacity * machine_weight_[m]);
       const bool used =
@@ -79,6 +90,20 @@ class Generator {
       } else if (ratio < best_ratio) {
         best_ratio = ratio;
         best = m;
+      }
+    };
+    if (options_.placement_probes > 0 && options_.placement_probes < num_machines) {
+      // Bounded-probe worst-fit for cloud-scale cells: sample a fixed number
+      // of machines instead of scanning all of them. Duplicate probes are
+      // harmless (same candidate considered twice).
+      for (int k = 0; k < options_.placement_probes; ++k) {
+        consider(static_cast<int>(placement_rng_.UniformInt(num_machines)));
+      }
+    } else {
+      // Scan from a random offset so ties do not always favor machine 0.
+      const int offset = static_cast<int>(placement_rng_.UniformInt(num_machines));
+      for (int k = 0; k < num_machines; ++k) {
+        consider((k + offset) % num_machines);
       }
     }
     return best >= 0 ? best : best_used;
@@ -103,7 +128,7 @@ class Generator {
     alloc_[machine] += job.limit;
     const Interval end = start + runtime;
     CRF_CHECK_LE(end, options_.num_intervals);
-    departing_alloc_[machine][end] += job.limit;
+    departures_[end].push_back({static_cast<int32_t>(machine), job.limit});
     ++departure_counts_[end];
     ++resident_count_;
 
@@ -130,11 +155,27 @@ class Generator {
   }
 
   void ArrivalSweep() {
+    std::vector<int32_t> touched;
     for (Interval t = 1; t < options_.num_intervals; ++t) {
       resident_count_ -= departure_counts_[t];
-      for (int m = 0; m < profile_.num_machines; ++m) {
-        alloc_[m] -= departing_alloc_[m][t];
+      // Departures are bucketed by interval (O(tasks) total instead of the
+      // old machines x intervals matrix). Per-machine limits are summed in
+      // placement order — the same float-addition order the dense matrix
+      // accumulated — and each machine is debited once, so allocations stay
+      // bit-identical.
+      touched.clear();
+      for (const Departure& d : departures_[t]) {
+        if (departure_epoch_[d.machine] != t) {
+          departure_epoch_[d.machine] = t;
+          departure_sum_[d.machine] = 0.0;
+          touched.push_back(d.machine);
+        }
+        departure_sum_[d.machine] += d.limit;
       }
+      for (const int32_t m : touched) {
+        alloc_[m] -= departure_sum_[m];
+      }
+      departures_[t] = {};  // bucket is spent; release its memory
 
       int arrivals = arrival_rng_.Poisson(ArrivalRate(profile_, t, resident_count_));
       while (arrivals > 0) {
@@ -220,6 +261,163 @@ class Generator {
     }
   }
 
+  // Usage generation straight into a mapped file. Tasks are renumbered
+  // machine-major (the concatenation of the per-machine placement lists);
+  // within a machine the per-task series, the active-set evolution, and the
+  // float-addition order of the machine sums all match GenerateUsage exactly
+  // — task usage RNG streams are forked from the preserved task ids — so each
+  // machine's usage rows and true-peak series are bit-identical to the batch
+  // path's. Completed machine blocks are flushed and evicted as they finish.
+  bool StreamUsageToFile(const std::string& path, std::string* error, StreamedTraceInfo* info) {
+    const int32_t n = builder_.num_tasks();
+    const int num_machines = profile_.num_machines;
+
+    std::vector<int32_t> old_of_new;
+    old_of_new.reserve(n);
+    for (int m = 0; m < num_machines; ++m) {
+      const std::span<const int32_t> placed = builder_.machine_tasks(m);
+      old_of_new.insert(old_of_new.end(), placed.begin(), placed.end());
+    }
+    CRF_CHECK_EQ(static_cast<int32_t>(old_of_new.size()), n)
+        << "CSR rows must cover every task exactly once";
+
+    std::vector<TaskId> task_id(n);
+    std::vector<JobId> job_id(n);
+    std::vector<int32_t> machine_of(n);
+    std::vector<Interval> start(n);
+    std::vector<uint8_t> sched_class(n);
+    std::vector<double> limit(n);
+    std::vector<Interval> runtime(n);
+    for (int32_t i = 0; i < n; ++i) {
+      const int32_t old = old_of_new[i];
+      task_id[i] = builder_.task_id(old);
+      job_id[i] = builder_.job_id(old);
+      machine_of[i] = builder_.task_machine(old);
+      start[i] = builder_.task_start(old);
+      sched_class[i] = static_cast<uint8_t>(builder_.task_class(old));
+      limit[i] = builder_.task_limit(old);
+      runtime[i] = runtimes_[old];
+    }
+    const std::vector<Interval> true_peak_len(num_machines, options_.num_intervals);
+
+    StreamTraceSpec spec;
+    spec.name = profile_.name;
+    spec.num_intervals = options_.num_intervals;
+    spec.dropped_tasks = builder_.dropped_tasks();
+    spec.rich = options_.rich_stats;
+    spec.task_id = task_id;
+    spec.job_id = job_id;
+    spec.machine_of = machine_of;
+    spec.start = start;
+    spec.sched_class = sched_class;
+    spec.limit = limit;
+    spec.runtime = runtime;
+    std::vector<double> capacity(num_machines);
+    for (int m = 0; m < num_machines; ++m) {
+      capacity[m] = builder_.machine_capacity(m);
+    }
+    spec.capacity = capacity;
+    spec.true_peak_len = true_peak_len;
+
+    StreamingTraceWriter writer(spec, path, error);
+    if (!writer.ok()) {
+      return false;
+    }
+
+    const std::vector<double> shared_load =
+        BuildSharedLoadSeries(profile_, options_.num_intervals, usage_rng_);
+    std::array<double, kSubSamplesPerInterval> sub_samples;
+    std::array<double, kSubSamplesPerInterval> machine_sums;
+
+    constexpr int kRetireBlock = 256;
+    int retired = 0;
+    for (int m = 0; m < num_machines; ++m) {
+      const int32_t task_begin = writer.machine_begin(m);
+      const int32_t task_end = writer.machine_end(m);
+      // Same sort as GenerateUsage: the new indices are order-isomorphic to
+      // the placement list the batch path sorts, and the comparator sees the
+      // identical key sequence, so std::sort produces the same permutation.
+      std::vector<int32_t> order(task_end - task_begin);
+      std::iota(order.begin(), order.end(), task_begin);
+      std::sort(order.begin(), order.end(),
+                [&start](int32_t a, int32_t b) { return start[a] < start[b]; });
+
+      struct ActiveTask {
+        int32_t task_index;
+        Interval end;
+        Interval written;
+        TaskUsageModel model;
+      };
+      std::vector<ActiveTask> active;
+      size_t next = 0;
+      const std::span<float> peak_row = writer.true_peak_row(m);
+
+      for (Interval t = 0; t < options_.num_intervals; ++t) {
+        for (size_t i = 0; i < active.size();) {
+          if (active[i].end <= t) {
+            active[i] = std::move(active.back());
+            active.pop_back();
+          } else {
+            ++i;
+          }
+        }
+        while (next < order.size() && start[order[next]] == t) {
+          const int32_t task_index = order[next++];
+          const int32_t old = old_of_new[task_index];
+          active.push_back(
+              {task_index, t + runtimes_[old], 0,
+               TaskUsageModel(task_params_[old], t,
+                              usage_rng_.Fork(static_cast<uint64_t>(task_id[task_index])))});
+        }
+
+        machine_sums.fill(0.0);
+        for (auto& entry : active) {
+          entry.model.Step(sub_samples, shared_load[t]);
+          const IntervalSummary summary = SummarizeInterval(sub_samples);
+          writer.usage_row(entry.task_index)[entry.written] = summary.scalar_p90;
+          if (options_.rich_stats) {
+            const RichUsage& rich = summary.rich;
+            writer.rich_row(entry.task_index, RichColumn::kAvg)[entry.written] = rich.avg;
+            writer.rich_row(entry.task_index, RichColumn::kP50)[entry.written] = rich.p50;
+            writer.rich_row(entry.task_index, RichColumn::kP60)[entry.written] = rich.p60;
+            writer.rich_row(entry.task_index, RichColumn::kP70)[entry.written] = rich.p70;
+            writer.rich_row(entry.task_index, RichColumn::kP80)[entry.written] = rich.p80;
+            writer.rich_row(entry.task_index, RichColumn::kP90)[entry.written] = rich.p90;
+            writer.rich_row(entry.task_index, RichColumn::kP95)[entry.written] = rich.p95;
+            writer.rich_row(entry.task_index, RichColumn::kP99)[entry.written] = rich.p99;
+            writer.rich_row(entry.task_index, RichColumn::kMax)[entry.written] = rich.max;
+          }
+          ++entry.written;
+          for (int k = 0; k < kSubSamplesPerInterval; ++k) {
+            machine_sums[k] += sub_samples[k];
+          }
+        }
+        peak_row[t] =
+            static_cast<float>(*std::max_element(machine_sums.begin(), machine_sums.end()));
+      }
+      CRF_CHECK_EQ(next, order.size());
+      for (const ActiveTask& entry : active) {
+        CRF_CHECK_EQ(entry.written, entry.end - builder_.task_start(old_of_new[entry.task_index]))
+            << "task ran past the horizon without filling its row";
+      }
+
+      if (m + 1 - retired >= kRetireBlock) {
+        writer.RetireMachines(retired, m + 1);
+        retired = m + 1;
+      }
+    }
+    writer.RetireMachines(retired, num_machines);
+    if (!writer.Finish(error)) {
+      return false;
+    }
+    if (info != nullptr) {
+      info->num_tasks = n;
+      info->dropped_tasks = builder_.dropped_tasks();
+      info->file_bytes = writer.file_bytes();
+    }
+    return true;
+  }
+
   const CellProfile& profile_;
   const GeneratorOptions& options_;
   JobSampler sampler_;
@@ -230,8 +428,14 @@ class Generator {
   CellTraceBuilder builder_;
   std::vector<double> alloc_;
   std::vector<double> machine_weight_;
-  std::vector<std::vector<double>> departing_alloc_;
+  struct Departure {
+    int32_t machine;
+    double limit;
+  };
+  std::vector<std::vector<Departure>> departures_;  // indexed by end interval
   std::vector<int64_t> departure_counts_;
+  std::vector<double> departure_sum_;     // per-machine scratch for one sweep step
+  std::vector<Interval> departure_epoch_; // interval the scratch entry is valid for
   std::vector<Interval> runtimes_;
   std::vector<TaskUsageParams> task_params_;
   int64_t resident_count_ = 0;
@@ -246,6 +450,15 @@ CellTrace GenerateCellTrace(const CellProfile& profile, const GeneratorOptions& 
   CRF_CHECK_GT(options.num_intervals, 0);
   Generator generator(profile, options, rng);
   return generator.Run();
+}
+
+bool GenerateCellTraceToFile(const CellProfile& profile, const GeneratorOptions& options,
+                             const Rng& rng, const std::string& path, std::string* error,
+                             StreamedTraceInfo* info) {
+  CRF_CHECK_GT(profile.num_machines, 0);
+  CRF_CHECK_GT(options.num_intervals, 0);
+  Generator generator(profile, options, rng);
+  return generator.RunStreaming(path, error, info);
 }
 
 }  // namespace crf

@@ -10,6 +10,9 @@
 #ifndef CRF_TRACE_GENERATOR_H_
 #define CRF_TRACE_GENERATOR_H_
 
+#include <cstdint>
+#include <string>
+
 #include "crf/trace/cell_profile.h"
 #include "crf/trace/trace.h"
 #include "crf/util/rng.h"
@@ -22,10 +25,38 @@ struct GeneratorOptions {
   // (RichUsage); needed by the Fig 1 / Fig 6 experiments, costs ~9x the
   // per-task memory.
   bool rich_stats = false;
+  // 0 (default): worst-fit placement scans every machine — O(machines) per
+  // task, the reference behavior all differential tests pin. > 0: probe that
+  // many uniformly random machines and worst-fit among the feasible ones —
+  // O(probes) per task, required to place millions of tasks on 100k+ machine
+  // cells in reasonable time. Still fully deterministic for a fixed seed;
+  // changing this value changes placements (it is part of the cell's
+  // identity, like the seed).
+  int placement_probes = 0;
 };
 
 CellTrace GenerateCellTrace(const CellProfile& profile, const GeneratorOptions& options,
                             const Rng& rng);
+
+// What GenerateCellTraceToFile wrote.
+struct StreamedTraceInfo {
+  int64_t num_tasks = 0;
+  int64_t dropped_tasks = 0;
+  uint64_t file_bytes = 0;
+};
+
+// Streaming generation for cells too large to seal in memory: runs the
+// identical placement phase (same RNG draws, same placements, same drops),
+// renumbers tasks machine-major, and writes the binary .crftrace at `path`
+// through StreamingTraceWriter, generating usage machine by machine and
+// evicting finished blocks. Resident memory scales with the placement
+// metadata (O(tasks)) plus one machine block, not with the usage samples.
+// Per-machine content — task set, usage series, true peaks — is bit-identical
+// to GenerateCellTrace's; only the task numbering (machine-major vs arrival
+// order) differs. Returns false with `*error` on I/O failure.
+bool GenerateCellTraceToFile(const CellProfile& profile, const GeneratorOptions& options,
+                             const Rng& rng, const std::string& path, std::string* error,
+                             StreamedTraceInfo* info = nullptr);
 
 }  // namespace crf
 

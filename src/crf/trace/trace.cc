@@ -1,6 +1,12 @@
 #include "crf/trace/trace.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <new>
 
@@ -16,6 +22,11 @@ constexpr uint64_t AlignUp(uint64_t offset) {
   return (offset + kSlabAlignment - 1) & ~(kSlabAlignment - 1);
 }
 
+uint64_t PageSize() {
+  static const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
 }  // namespace
 
 TraceArena::TraceArena(uint64_t num_bytes) : size(num_bytes) {
@@ -27,8 +38,114 @@ TraceArena::TraceArena(uint64_t num_bytes) : size(num_bytes) {
 }
 
 TraceArena::~TraceArena() {
-  if (bytes != nullptr) {
+  if (map_base != nullptr) {
+    ::munmap(map_base, map_length);
+  } else if (bytes != nullptr) {
     ::operator delete(bytes, std::align_val_t{kSlabAlignment});
+  }
+}
+
+std::shared_ptr<const TraceArena> TraceArena::MapFromFile(const std::string& path,
+                                                          uint64_t arena_offset,
+                                                          uint64_t num_bytes,
+                                                          std::string* error) {
+  const auto fail = [error](std::string message) -> std::shared_ptr<const TraceArena> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return nullptr;
+  };
+  if (arena_offset % kSlabAlignment != 0) {
+    return fail("arena offset " + std::to_string(arena_offset) + " is not 64-byte aligned");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return fail("cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return fail("cannot stat " + path + ": " + std::strerror(err));
+  }
+  const uint64_t need = arena_offset + num_bytes;
+  if (static_cast<uint64_t>(st.st_size) < need) {
+    ::close(fd);
+    return fail("truncated file: mapping needs " + std::to_string(need) + " bytes, " + path +
+                " has " + std::to_string(st.st_size));
+  }
+  // Map from offset 0 (mmap offsets must be page-aligned; the arena offset
+  // is only 64-aligned) and point `bytes` into the mapping. Page alignment
+  // of the base plus 64-alignment of the offset gives 64-aligned slabs.
+  void* base = ::mmap(nullptr, need, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_errno = errno;
+  ::close(fd);  // The mapping keeps its own reference to the file.
+  if (base == MAP_FAILED) {
+    return fail("mmap of " + path + " failed: " + std::strerror(map_errno));
+  }
+  // Suppress readahead so validation faults in only the metadata slabs it
+  // actually reads; sequential consumers opt back in via PrefetchRange.
+  ::madvise(base, need, MADV_RANDOM);
+
+  auto arena = std::shared_ptr<TraceArena>(new TraceArena());
+  arena->map_base = base;
+  arena->map_length = need;
+  arena->bytes = static_cast<std::byte*>(base) + arena_offset;
+  arena->size = num_bytes;
+  return arena;
+}
+
+int64_t TraceArena::ResidentBytes() const {
+  if (!is_mapped()) {
+    return static_cast<int64_t>(size);
+  }
+  if (size == 0) {
+    return 0;
+  }
+  const uint64_t page = PageSize();
+  const uintptr_t begin = reinterpret_cast<uintptr_t>(bytes) & ~(page - 1);
+  const uintptr_t end = reinterpret_cast<uintptr_t>(bytes) + size;
+  const uint64_t num_pages = (end - begin + page - 1) / page;
+  std::vector<unsigned char> vec(std::min<uint64_t>(num_pages, 1u << 16));
+  int64_t resident_pages = 0;
+  uint64_t done = 0;
+  while (done < num_pages) {
+    const uint64_t chunk = std::min<uint64_t>(num_pages - done, vec.size());
+    if (::mincore(reinterpret_cast<void*>(begin + done * page), chunk * page, vec.data()) != 0) {
+      return static_cast<int64_t>(size);  // Conservative fallback.
+    }
+    for (uint64_t i = 0; i < chunk; ++i) {
+      resident_pages += vec[i] & 1;
+    }
+    done += chunk;
+  }
+  return std::min<int64_t>(resident_pages * static_cast<int64_t>(page),
+                           static_cast<int64_t>(size));
+}
+
+void TraceArena::PrefetchRange(uint64_t offset, uint64_t length) const {
+  if (!is_mapped() || length == 0 || offset >= size) {
+    return;
+  }
+  length = std::min(length, size - offset);
+  const uint64_t page = PageSize();
+  const uintptr_t begin = (reinterpret_cast<uintptr_t>(bytes) + offset) & ~(page - 1);
+  const uintptr_t end = reinterpret_cast<uintptr_t>(bytes) + offset + length;
+  ::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_WILLNEED);
+}
+
+void TraceArena::DropRange(uint64_t offset, uint64_t length) const {
+  if (!is_mapped() || length == 0 || offset >= size) {
+    return;
+  }
+  length = std::min(length, size - offset);
+  const uint64_t page = PageSize();
+  // Round inward: never evict a page shared with data outside the range.
+  const uintptr_t begin =
+      (reinterpret_cast<uintptr_t>(bytes) + offset + page - 1) & ~(page - 1);
+  const uintptr_t end = (reinterpret_cast<uintptr_t>(bytes) + offset + length) & ~(page - 1);
+  if (begin < end) {
+    ::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_DONTNEED);
   }
 }
 
@@ -226,6 +343,130 @@ std::span<const float> CellTrace::true_peak(int machine_index) const {
   return peak_.subspan(begin, end - begin);
 }
 
+bool CellTrace::MachineRowsContiguous(int machine_index) const {
+  const std::span<const int32_t> row = machine_tasks(machine_index);
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i] != row[0] + static_cast<int32_t>(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Byte offset of `slab` within `arena` (both borrow the same allocation).
+uint64_t SlabOffset(const trace_internal::TraceArena& arena, const void* slab) {
+  return static_cast<uint64_t>(static_cast<const std::byte*>(slab) - arena.bytes);
+}
+
+}  // namespace
+
+void CellTrace::PrefetchMachinePages(int machine_index) const {
+  if (!is_mapped() || !MachineRowsContiguous(machine_index)) {
+    return;
+  }
+  const std::span<const int32_t> row = machine_tasks(machine_index);
+  if (!row.empty()) {
+    const uint64_t first = usage_off_[row.front()];
+    const uint64_t last = usage_off_[row.front() + static_cast<int32_t>(row.size())];
+    arena_->PrefetchRange(SlabOffset(*arena_, usage_.data()) + first * sizeof(float),
+                          (last - first) * sizeof(float));
+    if (has_rich()) {
+      const uint64_t samples = usage_off_.back();
+      for (int c = 0; c < kNumRichColumns; ++c) {
+        arena_->PrefetchRange(
+            SlabOffset(*arena_, rich_.data()) + (c * samples + first) * sizeof(float),
+            (last - first) * sizeof(float));
+      }
+    }
+  }
+  const uint64_t peak_first = peak_off_[machine_index];
+  const uint64_t peak_last = peak_off_[machine_index + 1];
+  arena_->PrefetchRange(SlabOffset(*arena_, peak_.data()) + peak_first * sizeof(float),
+                        (peak_last - peak_first) * sizeof(float));
+}
+
+void CellTrace::DropMachinePages(int machine_index) const {
+  if (!is_mapped() || !MachineRowsContiguous(machine_index)) {
+    return;
+  }
+  const std::span<const int32_t> row = machine_tasks(machine_index);
+  if (!row.empty()) {
+    const uint64_t first = usage_off_[row.front()];
+    const uint64_t last = usage_off_[row.front() + static_cast<int32_t>(row.size())];
+    arena_->DropRange(SlabOffset(*arena_, usage_.data()) + first * sizeof(float),
+                      (last - first) * sizeof(float));
+    if (has_rich()) {
+      const uint64_t samples = usage_off_.back();
+      for (int c = 0; c < kNumRichColumns; ++c) {
+        arena_->DropRange(
+            SlabOffset(*arena_, rich_.data()) + (c * samples + first) * sizeof(float),
+            (last - first) * sizeof(float));
+      }
+    }
+  }
+  const uint64_t peak_first = peak_off_[machine_index];
+  const uint64_t peak_last = peak_off_[machine_index + 1];
+  arena_->DropRange(SlabOffset(*arena_, peak_.data()) + peak_first * sizeof(float),
+                    (peak_last - peak_first) * sizeof(float));
+}
+
+void CellTrace::DropMachinePages(int begin_machine, int end_machine) const {
+  if (!is_mapped() || begin_machine >= end_machine) {
+    return;
+  }
+  // One madvise per slab for the whole block when the machines' rows chain
+  // into a single contiguous task range (the machine-major streamed layout).
+  // DropRange rounds inward, so a per-machine loop strands the page each
+  // machine boundary straddles — O(machines) pages that never get returned;
+  // the blocked form strands at most one page per block edge.
+  int32_t first_task = -1;
+  int32_t next_task = -1;
+  bool chained = true;
+  for (int m = begin_machine; m < end_machine && chained; ++m) {
+    if (!MachineRowsContiguous(m)) {
+      chained = false;
+      break;
+    }
+    const std::span<const int32_t> row = machine_tasks(m);
+    if (row.empty()) {
+      continue;
+    }
+    if (first_task < 0) {
+      first_task = row.front();
+    } else if (row.front() != next_task) {
+      chained = false;
+      break;
+    }
+    next_task = row.front() + static_cast<int32_t>(row.size());
+  }
+  if (!chained) {
+    for (int m = begin_machine; m < end_machine; ++m) {
+      DropMachinePages(m);
+    }
+    return;
+  }
+  if (first_task >= 0) {
+    const uint64_t first = usage_off_[first_task];
+    const uint64_t last = usage_off_[next_task];
+    arena_->DropRange(SlabOffset(*arena_, usage_.data()) + first * sizeof(float),
+                      (last - first) * sizeof(float));
+    if (has_rich()) {
+      const uint64_t samples = usage_off_.back();
+      for (int c = 0; c < kNumRichColumns; ++c) {
+        arena_->DropRange(
+            SlabOffset(*arena_, rich_.data()) + (c * samples + first) * sizeof(float),
+            (last - first) * sizeof(float));
+      }
+    }
+  }
+  const uint64_t peak_first = peak_off_[begin_machine];
+  const uint64_t peak_last = peak_off_[end_machine];
+  arena_->DropRange(SlabOffset(*arena_, peak_.data()) + peak_first * sizeof(float),
+                    (peak_last - peak_first) * sizeof(float));
+}
+
 std::vector<double> CellTrace::MachineUsageSeries(int machine_index) const {
   std::vector<double> series(num_intervals, 0.0);
   MachineSeriesCursor cursor(*this);
@@ -284,6 +525,9 @@ double CellTrace::TotalCapacity() const {
 MachineSeriesCursor::MachineSeriesCursor(const CellTrace& cell) : cell_(&cell) {}
 
 void MachineSeriesCursor::Reset(int machine_index) {
+  // One sequential pass over the machine's contiguous slab runs is about to
+  // happen; on mapped traces, ask the kernel to read them ahead.
+  cell_->PrefetchMachinePages(machine_index);
   const Interval num_intervals = cell_->num_intervals;
   usage_buf_.assign(static_cast<size_t>(num_intervals), 0.0);
   limit_buf_.assign(static_cast<size_t>(num_intervals) + 1, 0.0);

@@ -103,16 +103,56 @@ class CellTraceBuilder;
 
 namespace trace_internal {
 
-// One 64-byte-aligned allocation holding every column of a sealed trace.
-// Shared (immutably) by every CellTrace copy via shared_ptr.
+// One 64-byte-aligned region holding every column of a sealed trace. Shared
+// (immutably) by every CellTrace copy via shared_ptr. Two backings exist
+// behind this one interface:
+//   heap   — an aligned allocation, zero-filled, populated by the builder or
+//            the byte-stream binary loader;
+//   mapped — a read-only mmap of a .crftrace file (MapFromFile). The OS pages
+//            columns in on demand, so loading touches only the metadata slabs
+//            the validator reads; the bulk usage slab stays non-resident
+//            until someone actually scans it, and clean pages are shared
+//            across processes mapping the same file.
 struct TraceArena {
   explicit TraceArena(uint64_t num_bytes);
   ~TraceArena();
   TraceArena(const TraceArena&) = delete;
   TraceArena& operator=(const TraceArena&) = delete;
 
+  // Maps `path` read-only and exposes the `num_bytes`-long arena blob that
+  // starts `arena_offset` bytes into the file. `arena_offset` must be
+  // 64-byte aligned (the binary trace format pads the header/name region so
+  // this holds, making the mapped slabs exactly as aligned as heap ones).
+  // Returns nullptr with `*error` set on failure.
+  static std::shared_ptr<const TraceArena> MapFromFile(const std::string& path,
+                                                       uint64_t arena_offset, uint64_t num_bytes,
+                                                       std::string* error);
+
+  bool is_mapped() const { return map_base != nullptr; }
+
+  // Estimated bytes of the arena currently resident in physical memory:
+  // an mincore page scan for mapped arenas, `size` for heap arenas (heap
+  // slabs are written in full when sealed, so they are fully resident).
+  int64_t ResidentBytes() const;
+
+  // Page-granular residency hints, no-ops on heap arenas. Offsets are
+  // relative to `bytes` (the arena blob). PrefetchRange asks the kernel to
+  // read the range ahead (MADV_WILLNEED, rounded outward to whole pages);
+  // DropRange evicts it from the resident set (MADV_DONTNEED, rounded inward
+  // so neighboring data is never evicted). Neither affects correctness —
+  // dropped pages transparently refault from the page cache or the file.
+  void PrefetchRange(uint64_t offset, uint64_t length) const;
+  void DropRange(uint64_t offset, uint64_t length) const;
+
   std::byte* bytes = nullptr;
   uint64_t size = 0;
+  // Mapped backing (empty for heap arenas): the whole-file mapping that
+  // `bytes` points into.
+  void* map_base = nullptr;
+  uint64_t map_length = 0;
+
+ private:
+  TraceArena() = default;  // mapped arenas are built by MapFromFile
 };
 
 // Shared slab geometry used by the builder, the sealed trace, and the binary
@@ -237,6 +277,34 @@ class CellTrace {
   }
   int64_t usage_sample_count() const { return static_cast<int64_t>(usage_.size()); }
   int64_t peak_sample_count() const { return static_cast<int64_t>(peak_.size()); }
+
+  // True when the arena is an mmap of a .crftrace file rather than a heap
+  // allocation (see trace_internal::TraceArena).
+  bool is_mapped() const { return arena_ != nullptr && arena_->is_mapped(); }
+  // Estimated bytes of the arena resident in physical memory (== arena size
+  // for heap-backed traces).
+  int64_t ResidentArenaBytes() const {
+    return arena_ == nullptr ? 0 : arena_->ResidentBytes();
+  }
+
+  // True when machine m's CSR row is the contiguous ascending index range
+  // [row.front(), row.front() + row.size()) — the layout streamed generation
+  // produces, where the machine's usage samples are one contiguous arena run.
+  bool MachineRowsContiguous(int machine_index) const;
+  // Residency hints for machine m's bulk slabs (usage, rich, true_peak).
+  // No-ops unless the trace is mapped and the machine's rows are contiguous.
+  // PrefetchMachinePages warms the pages before a sequential scan;
+  // DropMachinePages evicts them once a shard is done with the machine, so
+  // a full-cell replay's resident set scales with machines-in-flight rather
+  // than cell size. Neither ever changes results.
+  void PrefetchMachinePages(int machine_index) const;
+  void DropMachinePages(int machine_index) const;
+  // Blocked form: one madvise per slab for machines [begin, end) when their
+  // rows chain contiguously (the machine-major streamed layout); otherwise
+  // falls back to per-machine drops. Prefer this from loops — the inward
+  // page rounding of a per-machine drop strands the boundary page between
+  // every pair of adjacent machines.
+  void DropMachinePages(int begin_machine, int end_machine) const;
 
   // Machine aggregate series, rebuilt on arrival/departure event deltas:
   // O(N_m + T) for limits/residency and O(S_m + T) for usage, instead of the

@@ -91,6 +91,16 @@ class CellTraceBuilder {
   // left in the reset (empty) state.
   CellTrace Seal();
 
+  // Spill/seal-by-machine-block mode: writes the binary .crftrace directly
+  // to `path` through StreamingTraceWriter, never materializing the sealed
+  // arena (the file is the arena; machine blocks are flushed and evicted as
+  // they complete). Tasks are renumbered machine-major — machine 0's tasks
+  // first, in placement order, then machine 1's, and so on — so per-machine
+  // content is identical to Seal()'s but task indices and file order differ
+  // unless tasks were already added machine-major. Leaves the builder reset
+  // like Seal(). Returns false with `*error` on I/O failure.
+  bool SealToFile(const std::string& path, std::string* error);
+
  private:
   std::string name_;
   Interval num_intervals_ = 0;

@@ -1,0 +1,53 @@
+// On-disk layout of the .crftrace binary format, shared by the byte-stream
+// reader/writer (trace_io.cc), the zero-copy mmap loader, and the streaming
+// writer (stream_writer.h). trace_io.h documents the format; this header
+// only fixes the bytes.
+//
+// Invariant the mmap paths rely on: the header + name region is zero-padded
+// to a 64-byte boundary, so the arena blob starts at a 64-byte-aligned file
+// offset. A page-aligned mapping of the file therefore exposes the arena —
+// and every slab inside it — with exactly the alignment the heap allocator
+// guarantees.
+
+#ifndef CRF_TRACE_TRACE_FORMAT_H_
+#define CRF_TRACE_TRACE_FORMAT_H_
+
+#include <cstdint>
+
+namespace crf {
+namespace trace_internal {
+
+inline constexpr char kBinaryMagic[8] = {'C', 'R', 'F', 'T', 'R', 'B', 'I', 'N'};
+inline constexpr uint32_t kBinaryVersion = 1;
+inline constexpr uint32_t kFlagRich = 1u << 0;
+inline constexpr uint64_t kHeaderAlignment = 64;
+
+// Fixed-size little-endian header preceding the arena blob.
+struct BinaryHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t flags;
+  int64_t num_tasks;
+  int64_t num_machines;
+  int64_t usage_samples;
+  int64_t peak_samples;
+  int64_t csr_entries;
+  int64_t num_intervals;
+  int64_t dropped_tasks;
+  uint64_t name_length;
+  uint64_t arena_bytes;
+};
+static_assert(sizeof(BinaryHeader) == 88, "binary trace header layout drifted");
+
+// Length of the name region including its zero padding: the arena blob
+// starts at sizeof(BinaryHeader) + PaddedNameLength(name_length), which is
+// always a multiple of kHeaderAlignment.
+inline constexpr uint64_t PaddedNameLength(uint64_t name_length) {
+  const uint64_t unpadded = sizeof(BinaryHeader) + name_length;
+  return ((unpadded + kHeaderAlignment - 1) & ~(kHeaderAlignment - 1)) - sizeof(BinaryHeader);
+}
+
+}  // namespace trace_internal
+}  // namespace crf
+
+#endif  // CRF_TRACE_TRACE_FORMAT_H_

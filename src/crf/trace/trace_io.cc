@@ -9,39 +9,21 @@
 #include <vector>
 
 #include "crf/trace/trace_builder.h"
+#include "crf/trace/trace_format.h"
 #include "crf/util/check.h"
 #include "crf/util/csv.h"
 
 namespace crf {
 namespace {
 
+using trace_internal::BinaryHeader;
+using trace_internal::kBinaryMagic;
+using trace_internal::kBinaryVersion;
+using trace_internal::kFlagRich;
+using trace_internal::kHeaderAlignment;
+using trace_internal::PaddedNameLength;
+
 constexpr std::string_view kTextMagic = "# crf-trace v1";
-constexpr char kBinaryMagic[8] = {'C', 'R', 'F', 'T', 'R', 'B', 'I', 'N'};
-constexpr uint32_t kBinaryVersion = 1;
-constexpr uint32_t kFlagRich = 1u << 0;
-constexpr uint64_t kHeaderAlignment = 64;
-
-// Fixed-size little-endian header preceding the arena blob.
-struct BinaryHeader {
-  char magic[8];
-  uint32_t version;
-  uint32_t flags;
-  int64_t num_tasks;
-  int64_t num_machines;
-  int64_t usage_samples;
-  int64_t peak_samples;
-  int64_t csr_entries;
-  int64_t num_intervals;
-  int64_t dropped_tasks;
-  uint64_t name_length;
-  uint64_t arena_bytes;
-};
-static_assert(sizeof(BinaryHeader) == 88, "binary trace header layout drifted");
-
-uint64_t PaddedNameLength(uint64_t name_length) {
-  const uint64_t unpadded = sizeof(BinaryHeader) + name_length;
-  return ((unpadded + kHeaderAlignment - 1) & ~(kHeaderAlignment - 1)) - sizeof(BinaryHeader);
-}
 
 // 9 significant digits round-trip any binary32 value exactly, so text and
 // binary saves of the same trace reload to identical bits.
@@ -177,36 +159,120 @@ std::optional<CellTrace> LoadCellTraceText(std::ifstream& in) {
   return builder.Seal();
 }
 
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) {
+    *error = std::move(message);
+  }
+}
+
+// Validates the header fields and computes the implied arena layout. Every
+// rejection names the offending field so corruption tests (and operators)
+// see exactly what is wrong.
+bool ValidateHeader(const BinaryHeader& header, trace_internal::ArenaLayout& layout,
+                    std::string* error) {
+  if (std::memcmp(header.magic, kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
+    SetError(error, "bad magic: not a crf binary trace");
+    return false;
+  }
+  if (header.version != kBinaryVersion) {
+    SetError(error, "unsupported binary trace version " + std::to_string(header.version) +
+                        " (expected " + std::to_string(kBinaryVersion) + ")");
+    return false;
+  }
+  if ((header.flags & ~kFlagRich) != 0) {
+    SetError(error, "unknown header flags 0x" + std::to_string(header.flags));
+    return false;
+  }
+  // 2^40 tasks/samples is far beyond any real cell; a larger count is a
+  // corrupted header, rejected before the layout arithmetic can overflow.
+  constexpr int64_t kImplausible = int64_t{1} << 40;
+  const auto count_ok = [&](int64_t value, const char* field) {
+    if (value < 0 || value > kImplausible) {
+      SetError(error, std::string("header field ") + field + " out of range: " +
+                          std::to_string(value));
+      return false;
+    }
+    return true;
+  };
+  if (!count_ok(header.num_tasks, "num_tasks") ||
+      !count_ok(header.num_machines, "num_machines") ||
+      !count_ok(header.usage_samples, "usage_samples") ||
+      !count_ok(header.peak_samples, "peak_samples") ||
+      !count_ok(header.num_intervals, "num_intervals") ||
+      !count_ok(header.dropped_tasks, "dropped_tasks")) {
+    return false;
+  }
+  if (header.csr_entries != header.num_tasks) {
+    SetError(error, "header csr_entries (" + std::to_string(header.csr_entries) +
+                        ") != num_tasks (" + std::to_string(header.num_tasks) + ")");
+    return false;
+  }
+  if (header.name_length > (1u << 20)) {  // names are short; a huge length is corruption
+    SetError(error, "implausible cell name length " + std::to_string(header.name_length));
+    return false;
+  }
+  const bool has_rich = (header.flags & kFlagRich) != 0;
+  layout = trace_internal::ComputeArenaLayout(header.num_tasks, header.num_machines,
+                                              header.usage_samples, header.peak_samples,
+                                              header.csr_entries, has_rich);
+  if (header.arena_bytes != layout.total_bytes) {
+    SetError(error, "arena byte count mismatch: header says " +
+                        std::to_string(header.arena_bytes) + ", counts imply " +
+                        std::to_string(layout.total_bytes));
+    return false;
+  }
+  return true;
+}
+
 // Validates the semantic invariants of a freshly read arena (offset tables
 // monotone and consistent with the counts, indices in range) so a corrupted
-// file can never produce out-of-bounds spans.
-bool ValidateArena(const trace_internal::TraceArena& arena,
-                   const trace_internal::ArenaLayout& layout, const BinaryHeader& header) {
-  const std::byte* base = arena.bytes;
-  const auto offsets_ok = [base](uint64_t slab, int64_t entries, uint64_t total) {
+// file can never produce out-of-bounds spans. On a mapped arena this touches
+// only the metadata slabs — the bulk usage/rich samples stay non-resident.
+bool ValidateArena(const std::byte* base, const trace_internal::ArenaLayout& layout,
+                   const BinaryHeader& header, std::string* error) {
+  const auto offsets_ok = [base, error](uint64_t slab, int64_t entries, uint64_t total,
+                                        const char* what) {
     const uint64_t* off = reinterpret_cast<const uint64_t*>(base + slab);
-    if (off[0] != 0 || off[entries] != total) {
+    if (off[0] != 0) {
+      SetError(error, std::string(what) + " offset table corrupt: entry 0 is " +
+                          std::to_string(off[0]) + ", want 0");
+      return false;
+    }
+    if (off[entries] != total) {
+      SetError(error, std::string(what) + " offset table corrupt: final entry is " +
+                          std::to_string(off[entries]) + ", want " + std::to_string(total));
       return false;
     }
     for (int64_t i = 0; i < entries; ++i) {
       if (off[i] > off[i + 1]) {
+        SetError(error, std::string(what) + " offset table not monotone at entry " +
+                            std::to_string(i) + " (" + std::to_string(off[i]) + " > " +
+                            std::to_string(off[i + 1]) + ")");
         return false;
       }
     }
     return true;
   };
   if (!offsets_ok(layout.usage_off, header.num_tasks,
-                  static_cast<uint64_t>(header.usage_samples)) ||
+                  static_cast<uint64_t>(header.usage_samples), "usage") ||
       !offsets_ok(layout.peak_off, header.num_machines,
-                  static_cast<uint64_t>(header.peak_samples)) ||
+                  static_cast<uint64_t>(header.peak_samples), "peak") ||
       !offsets_ok(layout.csr_off, header.num_machines,
-                  static_cast<uint64_t>(header.csr_entries))) {
+                  static_cast<uint64_t>(header.csr_entries), "csr")) {
     return false;
   }
   const int32_t* machine_of = reinterpret_cast<const int32_t*>(base + layout.machine_of);
   const uint8_t* sched_class = reinterpret_cast<const uint8_t*>(base + layout.sched_class);
   for (int64_t i = 0; i < header.num_tasks; ++i) {
-    if (machine_of[i] < 0 || machine_of[i] >= header.num_machines || sched_class[i] > 3) {
+    if (machine_of[i] < 0 || machine_of[i] >= header.num_machines) {
+      SetError(error, "task " + std::to_string(i) + " machine index " +
+                          std::to_string(machine_of[i]) + " out of range [0, " +
+                          std::to_string(header.num_machines) + ")");
+      return false;
+    }
+    if (sched_class[i] > 3) {
+      SetError(error, "task " + std::to_string(i) + " scheduling class " +
+                          std::to_string(sched_class[i]) + " out of range");
       return false;
     }
   }
@@ -214,7 +280,14 @@ bool ValidateArena(const trace_internal::TraceArena& arena,
   const int32_t* csr_tasks = reinterpret_cast<const int32_t*>(base + layout.csr_tasks);
   std::vector<uint8_t> seen(header.num_tasks, 0);
   for (int64_t i = 0; i < header.csr_entries; ++i) {
-    if (csr_tasks[i] < 0 || csr_tasks[i] >= header.num_tasks || seen[csr_tasks[i]] != 0) {
+    if (csr_tasks[i] < 0 || csr_tasks[i] >= header.num_tasks) {
+      SetError(error, "csr entry " + std::to_string(i) + " task index " +
+                          std::to_string(csr_tasks[i]) + " out of range");
+      return false;
+    }
+    if (seen[csr_tasks[i]] != 0) {
+      SetError(error, "csr entry " + std::to_string(i) + " repeats task " +
+                          std::to_string(csr_tasks[i]));
       return false;
     }
     seen[csr_tasks[i]] = 1;
@@ -222,47 +295,107 @@ bool ValidateArena(const trace_internal::TraceArena& arena,
   return true;
 }
 
-std::optional<CellTrace> LoadCellTraceBinary(std::FILE* file) {
-  BinaryHeader header;
-  if (std::fread(&header, sizeof(header), 1, file) != 1 ||
-      std::memcmp(header.magic, kBinaryMagic, sizeof(kBinaryMagic)) != 0 ||
-      header.version != kBinaryVersion || (header.flags & ~kFlagRich) != 0 ||
-      header.num_tasks < 0 || header.num_machines < 0 || header.usage_samples < 0 ||
-      header.peak_samples < 0 || header.csr_entries != header.num_tasks ||
-      header.num_intervals < 0 || header.dropped_tasks < 0) {
-    return std::nullopt;
+// Reads header + name + padding from `file`, leaving the read position at
+// the start of the arena blob.
+bool ReadHeaderAndName(std::FILE* file, BinaryHeader& header,
+                       trace_internal::ArenaLayout& layout, std::string& name,
+                       std::string* error) {
+  if (std::fread(&header, sizeof(header), 1, file) != 1) {
+    SetError(error, "truncated file: shorter than the " + std::to_string(sizeof(header)) +
+                        "-byte header");
+    return false;
   }
-  const bool has_rich = (header.flags & kFlagRich) != 0;
-  const trace_internal::ArenaLayout layout = trace_internal::ComputeArenaLayout(
-      header.num_tasks, header.num_machines, header.usage_samples, header.peak_samples,
-      header.csr_entries, has_rich);
-  if (header.arena_bytes != layout.total_bytes ||
-      header.name_length > (1u << 20)) {  // names are short; a huge length is corruption
-    return std::nullopt;
+  if (!ValidateHeader(header, layout, error)) {
+    return false;
   }
-
-  std::string name(header.name_length, '\0');
+  name.assign(header.name_length, '\0');
   if (header.name_length > 0 &&
       std::fread(name.data(), 1, header.name_length, file) != header.name_length) {
-    return std::nullopt;
+    SetError(error, "truncated file: cell name cut short");
+    return false;
   }
   const uint64_t padding = PaddedNameLength(header.name_length) - header.name_length;
   if (std::fseek(file, static_cast<long>(padding), SEEK_CUR) != 0) {
-    return std::nullopt;
+    SetError(error, "truncated file: missing name padding");
+    return false;
   }
+  return true;
+}
 
+std::optional<CellTrace> LoadCellTraceBinary(std::FILE* file, std::string* error) {
+  BinaryHeader header;
+  trace_internal::ArenaLayout layout;
+  std::string name;
+  if (!ReadHeaderAndName(file, header, layout, name, error)) {
+    return std::nullopt;
+  }
+  const bool has_rich = (header.flags & kFlagRich) != 0;
   auto arena = std::make_shared<trace_internal::TraceArena>(layout.total_bytes);
-  if (layout.total_bytes > 0 &&
-      std::fread(arena->bytes, 1, layout.total_bytes, file) != layout.total_bytes) {
-    return std::nullopt;  // truncated slab
+  if (layout.total_bytes > 0) {
+    const size_t got = std::fread(arena->bytes, 1, layout.total_bytes, file);
+    if (got != layout.total_bytes) {
+      SetError(error, "truncated arena: need " + std::to_string(layout.total_bytes) +
+                          " bytes, file has " + std::to_string(got));
+      return std::nullopt;
+    }
   }
-  // Reject trailing garbage.
   if (std::fgetc(file) != EOF) {
+    SetError(error, "trailing garbage after the arena blob");
     return std::nullopt;
   }
-  if (!ValidateArena(*arena, layout, header)) {
+  if (!ValidateArena(arena->bytes, layout, header, error)) {
     return std::nullopt;
   }
+  return trace_internal::AttachTrace(std::move(name), static_cast<Interval>(header.num_intervals),
+                                     header.dropped_tasks, std::move(arena), header.num_tasks,
+                                     header.num_machines, header.usage_samples,
+                                     header.peak_samples, header.csr_entries, has_rich);
+}
+
+// Zero-copy load: parse + validate the header from a short read, then map
+// the whole file and run the arena validator directly on the mapping.
+std::optional<CellTrace> LoadCellTraceBinaryMapped(const std::string& path, std::string* error) {
+  BinaryHeader header;
+  trace_internal::ArenaLayout layout;
+  std::string name;
+  uint64_t file_size = 0;
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      SetError(error, "cannot open " + path);
+      return std::nullopt;
+    }
+    const bool header_ok = ReadHeaderAndName(file, header, layout, name, error);
+    if (header_ok) {
+      std::fseek(file, 0, SEEK_END);
+      file_size = static_cast<uint64_t>(std::ftell(file));
+    }
+    std::fclose(file);
+    if (!header_ok) {
+      return std::nullopt;
+    }
+  }
+  const uint64_t arena_offset = sizeof(BinaryHeader) + PaddedNameLength(header.name_length);
+  const uint64_t expected = arena_offset + layout.total_bytes;
+  if (file_size < expected) {
+    SetError(error, "truncated arena: file is " + std::to_string(file_size) +
+                        " bytes, header + arena need " + std::to_string(expected));
+    return std::nullopt;
+  }
+  if (file_size > expected) {
+    SetError(error, "trailing garbage after the arena blob (" +
+                        std::to_string(file_size - expected) + " extra bytes)");
+    return std::nullopt;
+  }
+  std::shared_ptr<const trace_internal::TraceArena> arena =
+      trace_internal::TraceArena::MapFromFile(path, arena_offset, layout.total_bytes, error);
+  if (arena == nullptr) {
+    return std::nullopt;
+  }
+  if (!ValidateArena(arena->bytes, layout, header, error)) {
+    return std::nullopt;
+  }
+  const bool has_rich = (header.flags & kFlagRich) != 0;
   return trace_internal::AttachTrace(std::move(name), static_cast<Interval>(header.num_intervals),
                                      header.dropped_tasks, std::move(arena), header.num_tasks,
                                      header.num_machines, header.usage_samples,
@@ -350,27 +483,53 @@ void SaveCellTraceBinary(const CellTrace& cell, const std::string& path) {
 }
 
 std::optional<CellTrace> LoadCellTrace(const std::string& path) {
+  return LoadCellTrace(path, TraceLoadOptions{}, nullptr);
+}
+
+std::optional<CellTrace> LoadCellTrace(const std::string& path, const TraceLoadOptions& options,
+                                       std::string* error) {
   // Sniff the leading magic to pick a format.
+  bool is_binary = false;
   {
     std::FILE* file = std::fopen(path.c_str(), "rb");
     if (file == nullptr) {
+      SetError(error, "cannot open " + path);
       return std::nullopt;
     }
     char magic[8] = {};
     const size_t got = std::fread(magic, 1, sizeof(magic), file);
-    if (got == sizeof(magic) && std::memcmp(magic, kBinaryMagic, sizeof(kBinaryMagic)) == 0) {
+    is_binary =
+        got == sizeof(magic) && std::memcmp(magic, kBinaryMagic, sizeof(kBinaryMagic)) == 0;
+    if (is_binary && options.mode != TraceLoadMode::kMapped) {
       std::rewind(file);
-      auto cell = LoadCellTraceBinary(file);
+      auto cell = LoadCellTraceBinary(file, error);
       std::fclose(file);
       return cell;
     }
     std::fclose(file);
   }
-  std::ifstream in(path);
-  if (!in.is_open()) {
+  if (options.mode == TraceLoadMode::kMapped) {
+    if (!is_binary) {
+      SetError(error, path + " is not a binary trace; mmap loading requires the binary format");
+      return std::nullopt;
+    }
+    return LoadCellTraceBinaryMapped(path, error);
+  }
+  if (options.mode == TraceLoadMode::kHeap && !is_binary) {
+    // Fall through to the text parser only in auto mode.
+    SetError(error, path + " is not a binary trace");
     return std::nullopt;
   }
-  return LoadCellTraceText(in);
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  auto cell = LoadCellTraceText(in);
+  if (!cell.has_value()) {
+    SetError(error, path + " is not a well-formed text trace");
+  }
+  return cell;
 }
 
 }  // namespace crf

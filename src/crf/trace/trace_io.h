@@ -25,6 +25,16 @@
 // LoadCellTrace sniffs the leading magic and accepts either format; both
 // loaders return nullopt on missing, malformed, or corrupted input
 // (including truncated slabs and header/arena size mismatches).
+//
+// Binary traces can be loaded two ways (TraceLoadMode):
+//   heap — read the arena into an aligned heap buffer (one fread);
+//   mmap — map the file read-only and point the trace's spans straight into
+//          the mapping (trace_internal::TraceArena::MapFromFile). Bit-for-bit
+//          identical to the heap load — same bytes, same validation — but
+//          near-zero-copy: only the metadata slabs the validator touches
+//          become resident, the bulk usage slab pages in on demand, and
+//          clean pages are shared across processes. The file must not be
+//          modified while any CellTrace copy is alive.
 
 #ifndef CRF_TRACE_TRACE_IO_H_
 #define CRF_TRACE_TRACE_IO_H_
@@ -43,9 +53,25 @@ void SaveCellTrace(const CellTrace& cell, const std::string& path);
 // Writes `cell` to `path` in the binary format.
 void SaveCellTraceBinary(const CellTrace& cell, const std::string& path);
 
+enum class TraceLoadMode {
+  kAuto,    // heap load, either format (the historical default)
+  kHeap,    // heap load; rejects text input
+  kMapped,  // zero-copy mmap load; rejects text input
+};
+
+struct TraceLoadOptions {
+  TraceLoadMode mode = TraceLoadMode::kAuto;
+};
+
 // Loads a trace in either format; returns nullopt if the file is missing or
 // malformed.
 std::optional<CellTrace> LoadCellTrace(const std::string& path);
+
+// Load with an explicit mode and precise diagnostics: on failure returns
+// nullopt and, when `error` is non-null, a message naming what was wrong
+// (truncation byte counts, corrupt offset-table entries, bad header fields).
+std::optional<CellTrace> LoadCellTrace(const std::string& path, const TraceLoadOptions& options,
+                                       std::string* error = nullptr);
 
 }  // namespace crf
 

@@ -167,6 +167,8 @@ TraceLayoutStats ComputeTraceLayoutStats(const CellTrace& cell) {
   stats.peak_bytes = cell.peak_sample_count() * static_cast<int64_t>(sizeof(float));
   stats.rich_bytes =
       cell.has_rich() ? 9 * stats.usage_samples * static_cast<int64_t>(sizeof(float)) : 0;
+  stats.mapped = cell.is_mapped();
+  stats.resident_bytes = cell.is_mapped() ? cell.ResidentArenaBytes() : stats.arena_bytes;
   return stats;
 }
 
@@ -185,6 +187,18 @@ std::string DescribeTraceLayout(const TraceLayoutStats& stats) {
                 " B, csr %" PRId64 " B, peak %" PRId64 " B, rich %" PRId64 " B)\n",
                 stats.arena_bytes, stats.task_column_bytes, stats.usage_bytes, stats.csr_bytes,
                 stats.peak_bytes, stats.rich_bytes);
+  out += line;
+  if (stats.mapped) {
+    const double pct = stats.arena_bytes > 0
+                           ? 100.0 * static_cast<double>(stats.resident_bytes) /
+                                 static_cast<double>(stats.arena_bytes)
+                           : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "load mode: mmap (~%" PRId64 " B of %" PRId64 " B resident, ~%.1f%%)\n",
+                  stats.resident_bytes, stats.arena_bytes, pct);
+  } else {
+    std::snprintf(line, sizeof(line), "load mode: heap (arena fully resident)\n");
+  }
   out += line;
   return out;
 }

@@ -68,12 +68,20 @@ struct TraceLayoutStats {
   int64_t csr_bytes = 0;
   int64_t peak_bytes = 0;
   int64_t rich_bytes = 0;
+  // Load mode: true when the arena is an mmap of the trace file rather than
+  // a heap copy. resident_bytes is a point-in-time mincore estimate of how
+  // much of the mapped arena is physically present (== arena_bytes on heap
+  // loads, which are always fully resident).
+  bool mapped = false;
+  int64_t resident_bytes = 0;
 };
 
 TraceLayoutStats ComputeTraceLayoutStats(const CellTrace& cell);
 
-// Fixed two-line rendering of the layout stats (golden-tested; `crf info`
-// prints it verbatim).
+// Fixed three-line rendering of the layout stats (golden-tested; `crf info`
+// prints it verbatim). The third line reports the load mode; its resident
+// figure is a live kernel estimate on mapped traces, so only the heap form
+// is byte-stable.
 std::string DescribeTraceLayout(const TraceLayoutStats& stats);
 
 }  // namespace crf

@@ -1,0 +1,285 @@
+// Tests for streaming trace generation (GenerateCellTraceToFile) and the
+// spill/seal-by-machine-block writer (CellTraceBuilder::SealToFile).
+//
+// The streamed path renumbers tasks machine-major, so whole-trace task order
+// differs from the batch seal. The contract is per-machine bit-identity:
+// every machine carries the same capacity, ground-truth peaks, and task set
+// (matched by task id) with exactly the same usage bytes. That is what makes
+// the streamed file a drop-in replacement for the batch cell in simulation —
+// verified end to end by running the same predictor over both.
+
+#include "crf/trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crf/core/predictor_factory.h"
+#include "crf/sim/simulator.h"
+#include "crf/trace/stream_writer.h"
+#include "crf/trace/trace.h"
+#include "crf/trace/trace_builder.h"
+#include "crf/trace/trace_io.h"
+
+namespace crf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("crf_stream_" + name)).string();
+}
+
+GeneratorOptions DayOptions(bool rich = false) {
+  GeneratorOptions options;
+  options.num_intervals = kIntervalsPerDay;
+  options.rich_stats = rich;
+  return options;
+}
+
+CellProfile SmallProfile() {
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = 8;
+  return profile;
+}
+
+std::vector<char> FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+// Per-machine equality with task identity matched by task id (the streamed
+// trace is machine-major, so task *indices* legitimately differ).
+void ExpectSameMachineContent(const CellTrace& a, const CellTrace& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.num_intervals, b.num_intervals);
+  EXPECT_EQ(a.dropped_tasks, b.dropped_tasks);
+  EXPECT_EQ(a.has_rich(), b.has_rich());
+  ASSERT_EQ(a.num_machines(), b.num_machines());
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (int m = 0; m < b.num_machines(); ++m) {
+    EXPECT_DOUBLE_EQ(a.machine_capacity(m), b.machine_capacity(m));
+    const std::span<const float> peak_a = a.true_peak(m);
+    const std::span<const float> peak_b = b.true_peak(m);
+    ASSERT_EQ(peak_a.size(), peak_b.size());
+    for (size_t t = 0; t < peak_b.size(); ++t) {
+      EXPECT_EQ(peak_a[t], peak_b[t]) << "machine " << m << " interval " << t;
+    }
+
+    std::map<TaskId, int32_t> by_id;
+    for (const int32_t task : a.machine_tasks(m)) {
+      by_id[a.task(task).task_id()] = task;
+    }
+    const std::span<const int32_t> tasks_b = b.machine_tasks(m);
+    ASSERT_EQ(by_id.size(), tasks_b.size()) << "machine " << m;
+    for (const int32_t task : tasks_b) {
+      const TaskView tb = b.task(task);
+      const auto it = by_id.find(tb.task_id());
+      ASSERT_NE(it, by_id.end()) << "task id " << tb.task_id() << " missing on machine " << m;
+      const TaskView ta = a.task(it->second);
+      EXPECT_EQ(ta.job_id(), tb.job_id());
+      EXPECT_EQ(ta.start(), tb.start());
+      EXPECT_EQ(ta.sched_class(), tb.sched_class());
+      EXPECT_EQ(ta.limit(), tb.limit());
+      const std::span<const float> usage_a = ta.usage();
+      const std::span<const float> usage_b = tb.usage();
+      ASSERT_EQ(usage_a.size(), usage_b.size());
+      for (size_t k = 0; k < usage_b.size(); ++k) {
+        EXPECT_EQ(usage_a[k], usage_b[k]);  // exact: streamed content is bit-identical
+      }
+      if (b.has_rich()) {
+        for (int c = 0; c < kNumRichColumns; ++c) {
+          const auto col_a = ta.rich_column(static_cast<RichColumn>(c));
+          const auto col_b = tb.rich_column(static_cast<RichColumn>(c));
+          ASSERT_EQ(col_a.size(), col_b.size());
+          for (size_t k = 0; k < col_b.size(); ++k) {
+            EXPECT_EQ(col_a[k], col_b[k]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamTraceTest, StreamedGenerationMatchesBatch) {
+  for (const bool rich : {false, true}) {
+    const CellTrace batch = GenerateCellTrace(SmallProfile(), DayOptions(rich), Rng(5));
+    const std::string path = TempPath(rich ? "gen_rich.crftrace" : "gen.crftrace");
+    std::string error;
+    StreamedTraceInfo info;
+    ASSERT_TRUE(GenerateCellTraceToFile(SmallProfile(), DayOptions(rich), Rng(5), path, &error,
+                                        &info))
+        << error;
+    EXPECT_EQ(info.num_tasks, batch.num_tasks());
+    EXPECT_EQ(info.dropped_tasks, batch.dropped_tasks);
+    EXPECT_EQ(info.file_bytes, std::filesystem::file_size(path));
+
+    const auto streamed = LoadCellTrace(path, {TraceLoadMode::kHeap}, &error);
+    ASSERT_TRUE(streamed.has_value()) << error;
+    ExpectSameMachineContent(batch, *streamed);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(StreamTraceTest, StreamedFileIsMachineMajor) {
+  const std::string path = TempPath("major.crftrace");
+  std::string error;
+  ASSERT_TRUE(GenerateCellTraceToFile(SmallProfile(), DayOptions(), Rng(5), path, &error));
+  const auto streamed = LoadCellTrace(path, {TraceLoadMode::kMapped}, &error);
+  ASSERT_TRUE(streamed.has_value()) << error;
+
+  // Machine-major renumbering makes every CSR row the contiguous ascending
+  // range the cursor and page hints rely on.
+  int32_t next = 0;
+  for (int m = 0; m < streamed->num_machines(); ++m) {
+    EXPECT_TRUE(streamed->MachineRowsContiguous(m)) << "machine " << m;
+    for (const int32_t task : streamed->machine_tasks(m)) {
+      EXPECT_EQ(task, next) << "machine " << m;
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, streamed->num_tasks());
+  std::remove(path.c_str());
+}
+
+TEST(StreamTraceTest, SimulationAgreesBatchVsStreamed) {
+  const CellTrace batch = GenerateCellTrace(SmallProfile(), DayOptions(), Rng(9));
+  const std::string path = TempPath("sim.crftrace");
+  std::string error;
+  ASSERT_TRUE(GenerateCellTraceToFile(SmallProfile(), DayOptions(), Rng(9), path, &error));
+  const auto streamed = LoadCellTrace(path, {TraceLoadMode::kMapped}, &error);
+  ASSERT_TRUE(streamed.has_value()) << error;
+
+  SimOptions sim_options;
+  sim_options.parallel = false;
+  const SimResult a = SimulateCell(batch, ProductionMaxSpec(), sim_options);
+  const SimResult b = SimulateCell(*streamed, ProductionMaxSpec(), sim_options);
+  ASSERT_EQ(a.machines.size(), b.machines.size());
+  for (size_t m = 0; m < b.machines.size(); ++m) {
+    EXPECT_EQ(a.machines[m].violations, b.machines[m].violations) << "machine " << m;
+    EXPECT_EQ(a.machines[m].intervals, b.machines[m].intervals);
+    EXPECT_EQ(a.machines[m].occupied_intervals, b.machines[m].occupied_intervals);
+    EXPECT_DOUBLE_EQ(a.machines[m].savings_ratio, b.machines[m].savings_ratio);
+  }
+  EXPECT_DOUBLE_EQ(a.MeanCellSavings(), b.MeanCellSavings());
+  EXPECT_DOUBLE_EQ(a.MeanViolationRate(), b.MeanViolationRate());
+  std::remove(path.c_str());
+}
+
+TEST(StreamTraceTest, ProbedPlacementIsDeterministic) {
+  GeneratorOptions options = DayOptions();
+  options.placement_probes = 4;
+  const std::string path_a = TempPath("probe_a.crftrace");
+  const std::string path_b = TempPath("probe_b.crftrace");
+  std::string error;
+  ASSERT_TRUE(GenerateCellTraceToFile(SmallProfile(), options, Rng(13), path_a, &error));
+  ASSERT_TRUE(GenerateCellTraceToFile(SmallProfile(), options, Rng(13), path_b, &error));
+  const std::vector<char> bytes_a = FileBytes(path_a);
+  const std::vector<char> bytes_b = FileBytes(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+
+  // Probing changes placements (it is part of the cell's identity), so the
+  // probed file must differ from the full-scan one — otherwise the option
+  // silently did nothing.
+  ASSERT_TRUE(GenerateCellTraceToFile(SmallProfile(), DayOptions(), Rng(13), path_b, &error));
+  EXPECT_NE(bytes_a, FileBytes(path_b));
+
+  // The probed batch generator matches the probed streamed file per machine.
+  const CellTrace batch = GenerateCellTrace(SmallProfile(), options, Rng(13));
+  const auto streamed = LoadCellTrace(path_a, {TraceLoadMode::kHeap}, &error);
+  ASSERT_TRUE(streamed.has_value()) << error;
+  ExpectSameMachineContent(batch, *streamed);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(StreamTraceTest, SealToFileMatchesSealPerMachine) {
+  const auto build = [](CellTraceBuilder& builder, bool machine_major) {
+    builder.Reset("hand", 4, 2);
+    builder.set_machine_capacity(0, 2.0);
+    builder.set_machine_capacity(1, 4.0);
+    builder.mutable_true_peak(0) = {0.5f, 0.25f, 0.0f, 0.0f};
+    builder.mutable_true_peak(1) = {1.0f, 1.0f, 0.5f, 0.25f};
+    // Interleaved across machines unless machine_major is requested.
+    struct Spec {
+      TaskId id;
+      int32_t machine;
+    };
+    std::vector<Spec> specs = {{10, 0}, {11, 1}, {12, 0}, {13, 1}};
+    if (machine_major) {
+      std::stable_sort(specs.begin(), specs.end(),
+                       [](const Spec& a, const Spec& b) { return a.machine < b.machine; });
+    }
+    for (const Spec& spec : specs) {
+      const int32_t task = builder.AddTask(spec.id, spec.id / 2, spec.machine, 0,
+                                           0.5 + 0.1 * static_cast<double>(spec.id),
+                                           SchedulingClass::kBatch);
+      builder.AppendUsage(task, 0.125f * static_cast<float>(spec.id));
+      builder.AppendUsage(task, 0.25f);
+    }
+  };
+
+  CellTraceBuilder builder;
+  build(builder, /*machine_major=*/false);
+  const CellTrace sealed = builder.Seal();
+
+  // SealToFile renumbers interleaved input machine-major itself; the
+  // per-machine content must match the in-memory seal of the same build.
+  build(builder, /*machine_major=*/false);
+  const std::string path = TempPath("seal.crftrace");
+  std::string error;
+  ASSERT_TRUE(builder.SealToFile(path, &error)) << error;
+  const auto streamed = LoadCellTrace(path, {TraceLoadMode::kHeap}, &error);
+  ASSERT_TRUE(streamed.has_value()) << error;
+  ExpectSameMachineContent(sealed, *streamed);
+
+  // Tasks already added machine-major stream to the identical file.
+  build(builder, /*machine_major=*/true);
+  const std::string path2 = TempPath("seal2.crftrace");
+  ASSERT_TRUE(builder.SealToFile(path2, &error)) << error;
+  EXPECT_EQ(FileBytes(path), FileBytes(path2));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(StreamTraceTest, WriterRejectsNonMachineMajorSpec) {
+  // The writer's machine-major invariant is what makes block retirement
+  // page-clean; handing it an interleaved numbering must fail up front, not
+  // corrupt the CSR.
+  const std::vector<TaskId> task_id = {1, 2};
+  const std::vector<JobId> job_id = {1, 1};
+  const std::vector<int32_t> machine_of = {1, 0};  // non-decreasing violated
+  const std::vector<Interval> start = {0, 0};
+  const std::vector<uint8_t> sched_class = {0, 0};
+  const std::vector<double> limit = {0.5, 0.5};
+  const std::vector<Interval> runtime = {1, 1};
+  const std::vector<double> capacity = {1.0, 1.0};
+  const std::vector<Interval> true_peak_len = {0, 0};
+
+  StreamTraceSpec spec;
+  spec.name = "bad";
+  spec.num_intervals = 2;
+  spec.task_id = task_id;
+  spec.job_id = job_id;
+  spec.machine_of = machine_of;
+  spec.start = start;
+  spec.sched_class = sched_class;
+  spec.limit = limit;
+  spec.runtime = runtime;
+  spec.capacity = capacity;
+  spec.true_peak_len = true_peak_len;
+
+  const std::string path = TempPath("bad_spec.crftrace");
+  std::string error;
+  EXPECT_DEATH(StreamingTraceWriter(spec, path, &error),
+               "machine-major task order");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crf

@@ -155,7 +155,14 @@ TEST(TraceLayoutStatsTest, GoldenDescription) {
       "arena slabs: " + std::to_string(stats.arena_bytes) +
       " B total (task columns 131 B, usage 24 B, csr 12 B, peak " +
       std::to_string(stats.peak_bytes) + " B, rich 0 B)\n";
-  EXPECT_EQ(description.substr(expected_first_line.size()), expected_second_line);
+  // A sealed (heap) trace always reports the deterministic heap form of the
+  // load-mode line; the mmap form carries a live residency estimate and is
+  // covered by the mapped-trace tests instead.
+  const std::string expected_third_line = "load mode: heap (arena fully resident)\n";
+  EXPECT_EQ(description.substr(expected_first_line.size()),
+            expected_second_line + expected_third_line);
+  EXPECT_FALSE(stats.mapped);
+  EXPECT_EQ(stats.resident_bytes, stats.arena_bytes);
 }
 
 TEST(TraceLayoutStatsTest, MatchesGeneratedCell) {

@@ -22,16 +22,49 @@ introduced with the contention-free cluster engine:
   container cannot measure parallelism no matter how contention-free the
   engine is. Timing thresholds beyond that are deliberately absent: CI
   runners vary too much for absolute rates to gate a merge.
+
+v3 adds the memory columns and the cloud-scale lane:
+
+- New-matrix rows carry `peak_rss_bytes` (positive), `load_ms` (>= 0) and
+  `load_mode`. A matrix is "new" when any of its rows carries any of those
+  fields — then every row in it must carry all of them (a half-migrated
+  matrix would make rows incomparable). Matrices recorded before v3 are
+  accepted without them. Matrix lanes generate their cell in-process, so
+  their rows must say load_mode "generated" with load_ms 0.
+- `mode: "scale"` rows are the streamed-generation / mmap-load / streaming-
+  replay pipeline record (one row per run, never part of a thread matrix).
+  They must cover >= 100000 machines, say load_mode "mmap" with a positive
+  load_ms, and carry the full I/O story: gen_ms, file_bytes, events_per_sec,
+  peak_rss_bytes, resident_after_load_bytes, resident_after_replay_bytes.
+  The zero-copy claim is gated on the arena itself, in two steps. The open:
+  resident_after_load_bytes (trace-file pages this process materialized) must
+  be an order of magnitude under file_bytes — the mapped load touches only
+  the metadata slabs the validator reads. The replay:
+  resident_after_replay_bytes must stay within 4x of the open's footprint
+  even though the replay read every byte of the file — that is what proves
+  the blocked page drops return the bulk slabs to the kernel as machines
+  finish (a replay that materialized them sits at ~file_bytes, 10-20x over
+  this gate; the 4x covers the extra metadata columns a replay legitimately
+  touches beyond what validation did). The replay gate is deliberately
+  relative, not file-relative: the arena's metadata floor is ~10% of a
+  one-day file, so "an order of magnitude under the file" is unreachable at
+  this horizon no matter how perfect the eviction. Whole-process
+  peak_rss_bytes is recorded but not gated against the file: it is dominated
+  by the replayer's per-machine predictor state, which scales with the cell
+  no matter how the trace is loaded.
 """
 
 import json
 import sys
 
-REQUIRED_SCHEMA = "crf-cluster-bench-v2"
+REQUIRED_SCHEMA = "crf-cluster-bench-v3"
 REQUIRED_THREADS = {1, 4, 8, 16}
 SPEEDUP_TARGET_THREADS = 8
 SPEEDUP_TARGET = 4.0
 FULL_MIN_MACHINES = 2048
+SCALE_MIN_MACHINES = 100000
+SCALE_RESIDENCY_FACTOR = 10
+SCALE_REPLAY_FACTOR = 4
 
 ENTRY_FIELDS = {
     "date": str,
@@ -59,15 +92,105 @@ POSITIVE_FIELDS = [
     "parallel_speedup",
 ]
 
+# v3 memory columns: required together on every row of a new matrix.
+V3_FIELDS = {
+    "peak_rss_bytes": int,
+    "load_ms": (int, float),
+    "load_mode": str,
+}
+
+SCALE_FIELDS = {
+    "date": str,
+    "mode": str,
+    "matrix": str,
+    "threads": int,
+    "parallel": bool,
+    "host_cores": int,
+    "num_machines": int,
+    "num_intervals": int,
+    "num_tasks": int,
+    "placement_probes": int,
+    "file_bytes": int,
+    "gen_ms": (int, float),
+    "gen_peak_rss_bytes": int,
+    "load_ms": (int, float),
+    "load_mode": str,
+    "resident_after_load_bytes": int,
+    "resident_after_replay_bytes": int,
+    "events": int,
+    "events_per_sec": (int, float),
+    "peak_rss_bytes": int,
+}
+
+SCALE_POSITIVE_FIELDS = [
+    "num_machines",
+    "num_intervals",
+    "num_tasks",
+    "placement_probes",
+    "file_bytes",
+    "gen_ms",
+    "gen_peak_rss_bytes",
+    "load_ms",
+    "resident_after_load_bytes",
+    "resident_after_replay_bytes",
+    "events",
+    "events_per_sec",
+    "peak_rss_bytes",
+]
+
 
 def fail(message):
     print(f"check_bench_cluster: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
 
 
+def check_field_types(i, entry, fields):
+    for field, types in fields.items():
+        if field not in entry:
+            fail(f"entries[{i}] missing field {field!r}")
+        value = entry[field]
+        if types is bool or field == "parallel":
+            if not isinstance(value, bool):
+                fail(f"entries[{i}].{field} must be a bool, got {value!r}")
+        elif not isinstance(value, types) or isinstance(value, bool):
+            fail(f"entries[{i}].{field} has wrong type: {value!r}")
+
+
+def check_scale_entry(i, entry):
+    check_field_types(i, entry, SCALE_FIELDS)
+    for field in SCALE_POSITIVE_FIELDS:
+        if entry[field] <= 0:
+            fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+    if entry["num_machines"] < SCALE_MIN_MACHINES:
+        fail(
+            f"entries[{i}]: scale rows must cover >= {SCALE_MIN_MACHINES} "
+            f'machines, got {entry["num_machines"]}'
+        )
+    if entry["load_mode"] != "mmap":
+        fail(
+            f'entries[{i}]: scale rows must be mmap-loaded, got load_mode '
+            f'{entry["load_mode"]!r}'
+        )
+    if entry["resident_after_load_bytes"] * SCALE_RESIDENCY_FACTOR > entry["file_bytes"]:
+        fail(
+            f'entries[{i}]: resident_after_load_bytes '
+            f'({entry["resident_after_load_bytes"]}) is not an order of '
+            f'magnitude under file_bytes ({entry["file_bytes"]}) — the '
+            "mapped open materialized more than the metadata slabs"
+        )
+    if entry["resident_after_replay_bytes"] > (
+        SCALE_REPLAY_FACTOR * entry["resident_after_load_bytes"]
+    ):
+        fail(
+            f'entries[{i}]: resident_after_replay_bytes '
+            f'({entry["resident_after_replay_bytes"]}) exceeds '
+            f'{SCALE_REPLAY_FACTOR}x the open footprint '
+            f'({entry["resident_after_load_bytes"]}) — the replay is not '
+            "returning finished machines' bulk pages to the kernel"
+        )
+
+
 def check_entry(i, entry):
-    if not isinstance(entry, dict):
-        fail(f"entries[{i}] must be an object")
     for legacy in (
         "serial_machine_steps_per_sec",
         "sharded_machine_steps_per_sec",
@@ -76,22 +199,12 @@ def check_entry(i, entry):
         if legacy in entry:
             fail(
                 f"entries[{i}] carries legacy v1 field {legacy!r}; "
-                "v2 rows record one lane each"
+                "v2+ rows record one lane each"
             )
-    for field, types in ENTRY_FIELDS.items():
-        if field not in entry:
-            fail(f"entries[{i}] missing field {field!r}")
-        value = entry[field]
-        if field == "parallel":
-            if not isinstance(value, bool):
-                fail(f"entries[{i}].parallel must be a bool, got {value!r}")
-        elif not isinstance(value, types) or isinstance(value, bool):
-            fail(f"entries[{i}].{field} has wrong type: {value!r}")
+    check_field_types(i, entry, ENTRY_FIELDS)
     for field in POSITIVE_FIELDS:
         if entry[field] <= 0:
             fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
-    if entry["mode"] not in ("short", "full"):
-        fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
     if entry["placement_attempts"] < entry["tasks_placed"]:
         fail(
             f"entries[{i}]: placement_attempts ({entry['placement_attempts']}) "
@@ -110,6 +223,19 @@ def check_entry(i, entry):
             )
     elif not entry["parallel"]:
         fail(f"entries[{i}]: threads={entry['threads']} but parallel=false")
+    if any(field in entry for field in V3_FIELDS):
+        check_field_types(i, entry, V3_FIELDS)
+        if entry["peak_rss_bytes"] <= 0:
+            fail(
+                f"entries[{i}].peak_rss_bytes must be positive, "
+                f'got {entry["peak_rss_bytes"]}'
+            )
+        if entry["load_mode"] != "generated" or entry["load_ms"] != 0:
+            fail(
+                f"entries[{i}]: matrix lanes generate their cell in-process — "
+                f'expected load_mode "generated" with load_ms 0, got '
+                f'{entry["load_mode"]!r} / {entry["load_ms"]}'
+            )
 
 
 def check_matrix(matrix_id, rows):
@@ -130,6 +256,16 @@ def check_matrix(matrix_id, rows):
                     f"({row[field]} vs {first[field]}) — the determinism contract "
                     "requires identical placements at every pool size"
                 )
+    # A matrix recorded with the v3 memory columns must carry them on every
+    # row; a half-migrated matrix would make its rows incomparable.
+    if any(any(field in row for field in V3_FIELDS) for row in rows):
+        for row in rows:
+            for field in V3_FIELDS:
+                if field not in row:
+                    fail(
+                        f"matrix {matrix_id!r}: some rows carry the v3 memory "
+                        f"columns but one is missing {field!r}"
+                    )
     if first["mode"] == "full" and complete:
         if first["num_machines"] < FULL_MIN_MACHINES:
             fail(
@@ -174,9 +310,22 @@ def main():
         fail('"entries" must be a non-empty array')
 
     matrices = {}
+    scale_rows = 0
     for i, entry in enumerate(entries):
-        check_entry(i, entry)
-        matrices.setdefault(entry["matrix"], []).append(entry)
+        if not isinstance(entry, dict):
+            fail(f"entries[{i}] must be an object")
+        mode = entry.get("mode")
+        if mode == "scale":
+            check_scale_entry(i, entry)
+            scale_rows += 1
+        elif mode in ("short", "full"):
+            check_entry(i, entry)
+            matrices.setdefault(entry["matrix"], []).append(entry)
+        else:
+            fail(
+                f'entries[{i}].mode must be "short", "full", or "scale", '
+                f"got {mode!r}"
+            )
 
     complete = sum(1 for mid, rows in matrices.items() if check_matrix(mid, rows))
     if complete == 0:
@@ -185,7 +334,8 @@ def main():
 
     print(
         f"check_bench_cluster: OK: {path} has {len(entries)} well-formed entries "
-        f"in {len(matrices)} matrices ({complete} complete)"
+        f"in {len(matrices)} matrices ({complete} complete, "
+        f"{scale_rows} scale rows)"
     )
 
 

@@ -3,16 +3,31 @@
 
 Usage: check_bench_trace.py [path]   (default: BENCH_trace.json)
 
-Checks structure only — field presence, types, and basic sanity (positive
-counts and rates). Deliberately no performance thresholds: CI runners vary
+Checks structure — field presence, types, and basic sanity (positive counts
+and rates). Deliberately almost no performance thresholds: CI runners vary
 too much for absolute numbers to gate a merge; the tracked file is the
 regression record, this script only keeps it well-formed.
+
+v2 adds the heap-vs-mmap load comparison columns (heap_load_ms,
+mmap_load_ms, heap_load_resident_bytes, mmap_load_resident_bytes,
+load_speedup): load time is measured page-cache-hot, isolating the
+copy-vs-map cost; bytes materialized are measured cold, so folio-granular
+cache state cannot credit the mapped open with pages it never touched (the
+recorder in bench/perf_microbench.cc documents both). Rows recorded before
+v2 are accepted without them; a row carrying any of them must carry all of
+them. The one ratio gate: on full-mode rows with the columns, the mapped
+open must beat the heap open by an order of magnitude on both load time and
+bytes materialized — that ratio is the point of the zero-copy load path, it
+is a property of the code (fread-everything vs fault-metadata-only), not of
+runner speed, and a row where it collapsed means the mapped loader started
+touching the bulk slabs.
 """
 
 import json
 import sys
 
-REQUIRED_SCHEMA = "crf-trace-bench-v1"
+REQUIRED_SCHEMA = "crf-trace-bench-v2"
+LOAD_RATIO_TARGET = 10.0
 
 ENTRY_FIELDS = {
     "date": str,
@@ -26,6 +41,15 @@ ENTRY_FIELDS = {
     "speedup": (int, float),
     "aos_bytes_per_task_interval": (int, float),
     "arena_bytes_per_task_interval": (int, float),
+}
+
+# v2 load-path columns: required together on any row that carries one.
+LOAD_FIELDS = {
+    "heap_load_ms": (int, float),
+    "mmap_load_ms": (int, float),
+    "heap_load_resident_bytes": int,
+    "mmap_load_resident_bytes": int,
+    "load_speedup": (int, float),
 }
 
 POSITIVE_FIELDS = [
@@ -46,6 +70,43 @@ def fail(message):
     sys.exit(1)
 
 
+def check_fields(i, entry, fields):
+    for field, types in fields.items():
+        if field not in entry:
+            fail(f"entries[{i}] missing field {field!r}")
+        if not isinstance(entry[field], types) or isinstance(entry[field], bool):
+            fail(f"entries[{i}].{field} has wrong type: {entry[field]!r}")
+
+
+def check_load_columns(i, entry):
+    check_fields(i, entry, LOAD_FIELDS)
+    for field in LOAD_FIELDS:
+        if entry[field] <= 0:
+            fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+    if entry["mmap_load_resident_bytes"] > entry["heap_load_resident_bytes"]:
+        fail(
+            f"entries[{i}]: mmap open materialized more than the heap open "
+            f'({entry["mmap_load_resident_bytes"]} > '
+            f'{entry["heap_load_resident_bytes"]} bytes)'
+        )
+    if entry["mode"] != "full":
+        return
+    if entry["heap_load_ms"] < LOAD_RATIO_TARGET * entry["mmap_load_ms"]:
+        fail(
+            f"entries[{i}]: full-mode mmap load is not an order of magnitude "
+            f'faster ({entry["heap_load_ms"]} ms heap vs '
+            f'{entry["mmap_load_ms"]} ms mmap)'
+        )
+    if entry["heap_load_resident_bytes"] < (
+        LOAD_RATIO_TARGET * entry["mmap_load_resident_bytes"]
+    ):
+        fail(
+            f"entries[{i}]: full-mode mmap load does not materialize an order "
+            f'of magnitude less ({entry["heap_load_resident_bytes"]} bytes '
+            f'heap vs {entry["mmap_load_resident_bytes"]} bytes mmap)'
+        )
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_trace.json"
     try:
@@ -64,21 +125,24 @@ def main():
     if not isinstance(entries, list) or not entries:
         fail('"entries" must be a non-empty array')
 
+    with_load = 0
     for i, entry in enumerate(entries):
         if not isinstance(entry, dict):
             fail(f"entries[{i}] must be an object")
-        for field, types in ENTRY_FIELDS.items():
-            if field not in entry:
-                fail(f"entries[{i}] missing field {field!r}")
-            if not isinstance(entry[field], types) or isinstance(entry[field], bool):
-                fail(f"entries[{i}].{field} has wrong type: {entry[field]!r}")
+        check_fields(i, entry, ENTRY_FIELDS)
         for field in POSITIVE_FIELDS:
             if entry[field] <= 0:
                 fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
         if entry["mode"] not in ("short", "full"):
             fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
+        if any(field in entry for field in LOAD_FIELDS):
+            check_load_columns(i, entry)
+            with_load += 1
 
-    print(f"check_bench_trace: OK: {path} has {len(entries)} well-formed entries")
+    print(
+        f"check_bench_trace: OK: {path} has {len(entries)} well-formed entries "
+        f"({with_load} with load-path columns)"
+    )
 
 
 if __name__ == "__main__":

@@ -2,11 +2,16 @@
 //
 // Subcommands:
 //   crf generate --cell=a --days=7 [--machines=N] [--rich] [--seed=S] --out=FILE
-//                [--binary]
+//                [--binary] [--stream] [--probes=K]
 //       Synthesize a cell trace and save it (text by default, --binary for
-//       the zero-copy arena format; loaders auto-detect either).
-//   crf info --trace=FILE
-//       Print a trace's workload statistics.
+//       the zero-copy arena format; loaders auto-detect either). --stream
+//       generates straight into the binary file machine block by machine
+//       block, so cells far larger than memory can be emitted; the streamed
+//       file holds the same cell with tasks renumbered machine-major.
+//   crf info --trace=FILE [--mmap]
+//       Print a trace's workload statistics. --mmap (binary traces only, any
+//       subcommand that reads --trace/--replay) maps the arena zero-copy
+//       instead of heap-loading it; `info` then reports page residency.
 //   crf convert --trace=FILE --out=FILE [--binary]
 //       Re-encode a trace between the text and binary formats.
 //   crf simulate (--trace=FILE | --cell=a --days=7 [--machines=N] [--seed=S])
@@ -131,12 +136,23 @@ int Fail(const std::string& message) {
   return 2;
 }
 
+TraceLoadOptions LoadOptionsFromArgs(Args& args) {
+  TraceLoadOptions load;
+  if (args.GetBool("mmap")) {
+    load.mode = TraceLoadMode::kMapped;
+  }
+  return load;
+}
+
 std::optional<CellTrace> BuildOrLoadCell(Args& args, std::string& error) {
+  const TraceLoadOptions load = LoadOptionsFromArgs(args);
   const auto trace_path = args.Get("trace");
   if (trace_path.has_value()) {
-    auto cell = LoadCellTrace(*trace_path);
+    std::string load_error;
+    auto cell = LoadCellTrace(*trace_path, load, &load_error);
     if (!cell.has_value()) {
-      error = "cannot load trace " + *trace_path;
+      error = "cannot load trace " + *trace_path +
+              (load_error.empty() ? "" : ": " + load_error);
     }
     return cell;
   }
@@ -152,6 +168,7 @@ std::optional<CellTrace> BuildOrLoadCell(Args& args, std::string& error) {
   options.num_intervals =
       static_cast<Interval>(args.GetDouble("days", 7.0) * kIntervalsPerDay);
   options.rich_stats = args.GetBool("rich");
+  options.placement_probes = static_cast<int>(args.GetInt("probes", 0));
   const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
   return GenerateCellTrace(*profile, options, rng);
 }
@@ -162,6 +179,40 @@ int CmdGenerate(Args& args) {
     return Fail("generate requires --out=FILE");
   }
   const bool binary = args.GetBool("binary");
+  const bool stream = args.GetBool("stream");
+  if (stream) {
+    // Streaming generation writes the binary file directly; it never holds
+    // the sealed cell, so it cannot start from --trace or emit text.
+    if (args.Get("trace").has_value()) {
+      return Fail("--stream generates a fresh cell; it cannot re-save --trace=FILE");
+    }
+    const std::string cell_name = args.GetOr("cell", "a");
+    auto profile = ResolveProfile(cell_name);
+    if (!profile.has_value()) {
+      return Fail("unknown cell '" + cell_name + "' (use a..h or production_1..5)");
+    }
+    profile->num_machines =
+        static_cast<int>(args.GetInt("machines", profile->num_machines));
+    GeneratorOptions options;
+    options.num_intervals =
+        static_cast<Interval>(args.GetDouble("days", 7.0) * kIntervalsPerDay);
+    options.rich_stats = args.GetBool("rich");
+    options.placement_probes = static_cast<int>(args.GetInt("probes", 0));
+    const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+    if (const auto unknown = args.UnknownFlag()) {
+      return Fail("unknown flag --" + *unknown);
+    }
+    std::string error;
+    StreamedTraceInfo info;
+    if (!GenerateCellTraceToFile(*profile, options, rng, *out, &error, &info)) {
+      return Fail(error);
+    }
+    std::printf("wrote %s (binary, streamed): %d machines, %lld tasks, %d intervals,"
+                " %llu bytes\n",
+                out->c_str(), profile->num_machines, static_cast<long long>(info.num_tasks),
+                options.num_intervals, static_cast<unsigned long long>(info.file_bytes));
+    return 0;
+  }
   std::string error;
   auto cell = BuildOrLoadCell(args, error);
   if (!cell.has_value()) {
@@ -191,12 +242,15 @@ int CmdConvert(Args& args) {
     return Fail("convert requires --trace=FILE");
   }
   const bool binary = args.GetBool("binary");
+  const TraceLoadOptions load = LoadOptionsFromArgs(args);
   if (const auto unknown = args.UnknownFlag()) {
     return Fail("unknown flag --" + *unknown);
   }
-  const auto cell = LoadCellTrace(*trace_path);
+  std::string load_error;
+  const auto cell = LoadCellTrace(*trace_path, load, &load_error);
   if (!cell.has_value()) {
-    return Fail("cannot load trace " + *trace_path);
+    return Fail("cannot load trace " + *trace_path +
+                (load_error.empty() ? "" : ": " + load_error));
   }
   if (binary) {
     SaveCellTraceBinary(*cell, *out);
@@ -307,9 +361,11 @@ int CmdServe(Args& args) {
   std::string error;
   std::optional<CellTrace> cell;
   if (const auto replay_path = args.Get("replay")) {
-    cell = LoadCellTrace(*replay_path);
+    std::string load_error;
+    cell = LoadCellTrace(*replay_path, LoadOptionsFromArgs(args), &load_error);
     if (!cell.has_value()) {
-      return Fail("cannot load trace " + *replay_path);
+      return Fail("cannot load trace " + *replay_path +
+                  (load_error.empty() ? "" : ": " + load_error));
     }
   } else {
     cell = BuildOrLoadCell(args, error);
@@ -321,6 +377,11 @@ int CmdServe(Args& args) {
     return Fail("unknown flag --" + *unknown);
   }
   if (!all_classes) {
+    if (cell->is_mapped()) {
+      std::fprintf(stderr,
+                   "crf: note: class filtering reseals the trace on the heap; use"
+                   " --all-classes to keep the mmap zero-copy path\n");
+    }
     cell->FilterToServingTasks();
   }
 
@@ -460,14 +521,14 @@ int Usage() {
   std::fputs(
       "usage: crf <generate|info|convert|simulate|cluster|serve|checkpoint> [--flags]\n"
       "  crf generate --cell=a --days=7 --out=FILE [--machines=N] [--rich] [--seed=S]\n"
-      "               [--binary]\n"
-      "  crf info     (--trace=FILE | --cell=a [--days=7] [--machines=N])\n"
-      "  crf convert  --trace=FILE --out=FILE [--binary]\n"
-      "  crf simulate (--trace=FILE | --cell=a [--days] [--machines] [--seed])\n"
+      "               [--binary] [--stream] [--probes=K]\n"
+      "  crf info     (--trace=FILE [--mmap] | --cell=a [--days=7] [--machines=N])\n"
+      "  crf convert  --trace=FILE --out=FILE [--binary] [--mmap]\n"
+      "  crf simulate (--trace=FILE [--mmap] | --cell=a [--days] [--machines] [--seed])\n"
       "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
       "  crf cluster  --cell=production_1 [--machines=N] [--days=14]\n"
       "               [--predictor=SPEC] [--packing=best-fit|worst-fit|random-fit]\n"
-      "  crf serve    (--replay=FILE | --cell=a [--days] [--machines] [--seed])\n"
+      "  crf serve    (--replay=FILE [--mmap] | --cell=a [--days] [--machines] [--seed])\n"
       "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
       "               [--shards=16] [--no-parallel] [--metrics-out=FILE]\n"
       "               [--checkpoint-out=FILE --checkpoint-at=TICK\n"

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Runs a command and fails if its peak RSS exceeds a byte budget.
+
+Usage: run_under_rss_budget.py <budget_bytes> <command> [args...]
+
+The CI cloud-scale smoke uses this to make the zero-copy story a hard gate:
+stream-generating a 10k-machine trace and replaying it from an mmap must
+complete well under the trace's own file size in resident memory, or the
+streamed writer / mapped loader has started materializing bulk slabs.
+
+Peak RSS is taken from getrusage(RUSAGE_CHILDREN) after the child exits —
+the kernel's own high-water mark, no sampling race. The caller must be a
+fresh python process (the counter aggregates every waited child), which is
+how CI invokes it: one wrapper per gated command.
+"""
+
+import resource
+import subprocess
+import sys
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        budget = int(sys.argv[1])
+    except ValueError:
+        print(f"run_under_rss_budget: bad budget {sys.argv[1]!r}", file=sys.stderr)
+        return 2
+    command = sys.argv[2:]
+
+    returncode = subprocess.run(command).returncode
+    if returncode != 0:
+        print(
+            f"run_under_rss_budget: command failed with exit code {returncode}",
+            file=sys.stderr,
+        )
+        return returncode
+
+    # ru_maxrss is kilobytes on Linux.
+    peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
+    verdict = "within" if peak <= budget else "EXCEEDS"
+    print(
+        f"run_under_rss_budget: peak RSS {peak} bytes {verdict} "
+        f"budget {budget} bytes ({command[0]})"
+    )
+    return 0 if peak <= budget else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
