@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <optional>
 
 #include "crf/cluster/machine.h"
+#include "crf/cluster/sharded_scheduler.h"
 #include "crf/trace/job_sampler.h"
 #include "crf/util/check.h"
 
@@ -54,7 +56,20 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
   JobSampler sampler(profile, rng.Fork(0x6a6f62));
   Rng arrival_rng = rng.Fork(0x617272);
   Scheduler scheduler(options.packing, rng.Fork(0x736368), options.placement);
-  scheduler.Reset(num_machines);
+  std::optional<ShardedScheduler> sharded;
+  if (options.placement_shards > 0) {
+    ShardedSchedulerOptions sharded_options;
+    sharded_options.num_shards = options.placement_shards;
+    sharded_options.rebalance_interval = options.placement_rebalance_interval;
+    sharded_options.packing = options.packing;
+    sharded_options.engine = options.placement;
+    sharded_options.pool = options.pool;
+    sharded_options.parallel = options.parallel;
+    sharded.emplace(sharded_options, rng.Fork(0x736368));
+    sharded->Reset(num_machines);
+  } else {
+    scheduler.Reset(num_machines);
+  }
   const std::vector<double> shared_load =
       BuildSharedLoadSeries(profile, num_intervals, rng.Fork(0x757367));
 
@@ -87,6 +102,9 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
   std::vector<ShardAccum> shard_accum(slots);
 
   std::deque<PendingTask> pending;
+  std::vector<PendingTask> batch_entries;
+  std::vector<ShardedScheduler::Request> batch_requests;
+  std::vector<int> batch_results;
   std::vector<double> free_capacity(num_machines, 0.0);
   int64_t resident = 0;
   TaskId next_task_id = 1;
@@ -136,10 +154,15 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
       break;  // Tasks placed now would start after the simulation ends.
     }
 
-    // (2) The central scheduler ingests the published view as per-machine
-    // deltas into its capacity index (no vector copy, no full rebuild).
-    for (int m = 0; m < num_machines; ++m) {
-      scheduler.Publish(m, free_capacity[m]);
+    // (2) The scheduler ingests the published view as per-machine deltas
+    // into its capacity index (no vector copy, no full rebuild). The sharded
+    // engine ingests shard-parallel; the global scheduler is serial.
+    if (sharded.has_value()) {
+      sharded->PublishAll(free_capacity);
+    } else {
+      for (int m = 0; m < num_machines; ++m) {
+        scheduler.Publish(m, free_capacity[m]);
+      }
     }
 
     // (3) New arrivals join the pending queue...
@@ -157,22 +180,7 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
     // ...and the queue is drained oldest-first against the advertised
     // capacities. Tasks that cannot be placed stay queued; stale ones are
     // abandoned.
-    size_t scan = pending.size();
-    while (scan-- > 0) {
-      PendingTask entry = std::move(pending.front());
-      pending.pop_front();
-      if (t - entry.enqueued >= options.pending_timeout) {
-        ++result.tasks_timed_out;
-        continue;
-      }
-      ++result.placement_attempts;
-      const int machine = scheduler.Place(entry.job->job.limit, entry.job->machines);
-      if (machine < 0) {
-        pending.push_back(std::move(entry));  // Retry next interval.
-        continue;
-      }
-      entry.job->machines.push_back(machine);
-
+    const auto commit_placed = [&](PendingTask& entry, int machine) {
       const Interval start = t + 1;
       // Continuously-running services enter while the cell ramps up (the
       // online analogue of the trace generator's initial service
@@ -190,6 +198,58 @@ ClusterSimResult RunClusterSim(const CellProfile& profile, const ClusterSimOptio
                                   sampler.JitterTaskParams(entry.job->job.params), start,
                                   runtime);
       ++result.tasks_placed;
+    };
+
+    if (sharded.has_value()) {
+      // Sharded drain: the eligible queue snapshot becomes one placement
+      // batch, placed shard-parallel; placements are then committed serially
+      // in batch order so every sampler/arrival RNG draw happens in a fixed
+      // sequence regardless of thread count.
+      batch_entries.clear();
+      batch_requests.clear();
+      size_t scan = pending.size();
+      while (scan-- > 0) {
+        PendingTask entry = std::move(pending.front());
+        pending.pop_front();
+        if (t - entry.enqueued >= options.pending_timeout) {
+          ++result.tasks_timed_out;
+          continue;
+        }
+        batch_entries.push_back(std::move(entry));
+      }
+      for (const PendingTask& entry : batch_entries) {
+        batch_requests.push_back({entry.job->job.limit, &entry.job->machines,
+                                  static_cast<uint64_t>(entry.job->job.job_id)});
+      }
+      batch_results.assign(batch_entries.size(), -1);
+      result.placement_attempts += static_cast<int64_t>(batch_entries.size());
+      sharded->PlaceBatch(batch_requests, batch_results);
+      for (size_t i = 0; i < batch_entries.size(); ++i) {
+        if (batch_results[i] < 0) {
+          pending.push_back(std::move(batch_entries[i]));  // Retry next interval.
+          continue;
+        }
+        // The engine already appended the machine to job->machines.
+        commit_placed(batch_entries[i], batch_results[i]);
+      }
+    } else {
+      size_t scan = pending.size();
+      while (scan-- > 0) {
+        PendingTask entry = std::move(pending.front());
+        pending.pop_front();
+        if (t - entry.enqueued >= options.pending_timeout) {
+          ++result.tasks_timed_out;
+          continue;
+        }
+        ++result.placement_attempts;
+        const int machine = scheduler.Place(entry.job->job.limit, entry.job->machines);
+        if (machine < 0) {
+          pending.push_back(std::move(entry));  // Retry next interval.
+          continue;
+        }
+        entry.job->machines.push_back(machine);
+        commit_placed(entry, machine);
+      }
     }
     result.pending_task_intervals += static_cast<int64_t>(pending.size());
   }

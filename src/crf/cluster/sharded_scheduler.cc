@@ -1,0 +1,227 @@
+#include "crf/cluster/sharded_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "crf/util/check.h"
+
+namespace crf {
+
+ShardedScheduler::ShardedScheduler(const ShardedSchedulerOptions& options, const Rng& rng)
+    : options_(options) {
+  CRF_CHECK_GE(options_.num_shards, 1);
+  CRF_CHECK_GE(options_.rebalance_interval, 1);
+  shards_.reserve(options_.num_shards);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    // Forked by shard index: decision streams depend on (seed, num_shards)
+    // only, never on thread count.
+    shards_.push_back(std::make_unique<Shard>(
+        options_.packing, options_.engine,
+        rng.Fork(0x73686100ULL + static_cast<uint64_t>(s))));  // "sha" + s
+  }
+  tried_.assign(options_.num_shards, 0);
+}
+
+void ShardedScheduler::Reset(int num_machines) {
+  CRF_CHECK_GE(num_machines, 0);
+  num_machines_ = num_machines;
+  shard_of_.assign(num_machines, 0);
+  nonempty_.clear();
+  const int64_t S = static_cast<int64_t>(shards_.size());
+  for (int s = 0; s < static_cast<int>(S); ++s) {
+    Shard& shard = *shards_[s];
+    shard.base = static_cast<int>(static_cast<int64_t>(num_machines) * s / S);
+    const int end = static_cast<int>(static_cast<int64_t>(num_machines) * (s + 1) / S);
+    shard.count = end - shard.base;
+    shard.core.Reset(shard.count);
+    for (int m = shard.base; m < end; ++m) {
+      shard_of_[m] = s;
+    }
+    if (shard.count > 0) {
+      nonempty_.push_back(s);
+    }
+  }
+  RefreshSummaries();
+}
+
+void ShardedScheduler::PublishAll(std::span<const double> free_capacity) {
+  CRF_CHECK_EQ(static_cast<int>(free_capacity.size()), num_machines_);
+  const auto ingest = [&](int, int begin, int end) {
+    for (int k = begin; k < end; ++k) {
+      Shard& shard = *shards_[nonempty_[k]];
+      for (int i = 0; i < shard.count; ++i) {
+        shard.core.Publish(i, free_capacity[shard.base + i]);
+      }
+    }
+  };
+  ThreadPool* pool = options_.pool != nullptr ? options_.pool : &ThreadPool::Default();
+  const int n = static_cast<int>(nonempty_.size());
+  if (options_.parallel && n > 1 && pool->num_threads() > 1) {
+    pool->ParallelForRanges(n, 1, ingest);
+  } else {
+    ingest(0, 0, n);
+  }
+  RefreshSummaries();
+}
+
+void ShardedScheduler::Publish(int machine, double free) {
+  CRF_CHECK_GE(machine, 0);
+  CRF_CHECK_LT(machine, num_machines_);
+  Shard& shard = *shards_[shard_of_[machine]];
+  shard.core.Publish(machine - shard.base, free);
+}
+
+double ShardedScheduler::free_capacity(int machine) const {
+  const Shard& shard = *shards_[shard_of_[machine]];
+  return shard.core.free_capacity(machine - shard.base);
+}
+
+double ShardedScheduler::TotalFreeCapacity() const {
+  double total = 0.0;
+  for (const int s : nonempty_) {
+    const Shard& shard = *shards_[s];
+    for (int i = 0; i < shard.count; ++i) {
+      total += shard.core.free_capacity(i);
+    }
+  }
+  return total;
+}
+
+void ShardedScheduler::RefreshSummaries() {
+  for (const int s : nonempty_) {
+    shards_[s]->max_free_summary = shards_[s]->core.MaxFree();
+  }
+  steal_order_ = nonempty_;
+  std::stable_sort(steal_order_.begin(), steal_order_.end(), [this](int a, int b) {
+    return shards_[a]->max_free_summary > shards_[b]->max_free_summary;
+  });
+  ++rebalances_;
+}
+
+int ShardedScheduler::PlaceOnShard(Shard& shard, const Request& request) {
+  const std::vector<int>* exclude = nullptr;
+  if (request.job_machines != nullptr && !request.job_machines->empty()) {
+    shard.exclude_local.clear();
+    for (const int g : *request.job_machines) {
+      if (g >= shard.base && g < shard.base + shard.count) {
+        shard.exclude_local.push_back(g - shard.base);
+      }
+    }
+    if (!shard.exclude_local.empty()) {
+      exclude = &shard.exclude_local;
+    }
+  }
+  const int local = shard.core.Place(request.limit, exclude);
+  if (local < 0) {
+    return -1;
+  }
+  const int global = shard.base + local;
+  if (request.job_machines != nullptr) {
+    request.job_machines->push_back(global);
+  }
+  return global;
+}
+
+void ShardedScheduler::PlaceBatch(std::span<const Request> requests, std::span<int> results) {
+  CRF_CHECK_EQ(requests.size(), results.size());
+  ++batches_;
+  const bool rebalance_due = batches_ % options_.rebalance_interval == 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    results[i] = -1;
+  }
+  if (requests.empty() || nonempty_.empty()) {
+    if (rebalance_due && !nonempty_.empty()) {
+      RefreshSummaries();
+    }
+    return;
+  }
+
+  // Phase 1 (serial): route each request to its home shard. Equal affinity
+  // keys — the tasks of one job — land on one shard, so the shard phase
+  // evaluates their anti-affinity exclusions in sequence.
+  for (const int s : nonempty_) {
+    shards_[s]->routed.clear();
+    shards_[s]->overflow.clear();
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const int s = nonempty_[requests[i].affinity_key % nonempty_.size()];
+    shards_[s]->routed.push_back(static_cast<int>(i));
+  }
+
+  // Phase 2 (parallel): each shard places its routed subsequence against its
+  // private treap. Writes go to the shard's own state and to distinct
+  // results[i] slots only.
+  const auto shard_phase = [&](int, int begin, int end) {
+    for (int k = begin; k < end; ++k) {
+      Shard& shard = *shards_[nonempty_[k]];
+      for (const int i : shard.routed) {
+        const int machine = PlaceOnShard(shard, requests[i]);
+        if (machine >= 0) {
+          results[i] = machine;
+        } else {
+          shard.overflow.push_back(i);
+        }
+      }
+    }
+  };
+  ThreadPool* pool = options_.pool != nullptr ? options_.pool : &ThreadPool::Default();
+  const int n = static_cast<int>(nonempty_.size());
+  if (options_.parallel && n > 1 && pool->num_threads() > 1) {
+    pool->ParallelForRanges(n, 1, shard_phase);
+  } else {
+    shard_phase(0, 0, n);
+  }
+
+  // Phase 3 (serial, shard order): overflow requests steal capacity from
+  // other shards, richest summary first. The summary comparison is only a
+  // fast path — if it skips everything, every remaining shard is tried
+  // anyway, so a request fails only when no shard can place it.
+  for (const int s : nonempty_) {
+    for (const int i : shards_[s]->overflow) {
+      const Request& request = requests[i];
+      std::fill(tried_.begin(), tried_.end(), static_cast<uint8_t>(0));
+      tried_[s] = 1;
+      int machine = -1;
+      for (const int t : steal_order_) {
+        if (tried_[t] || shards_[t]->max_free_summary < request.limit) {
+          continue;
+        }
+        tried_[t] = 1;
+        machine = PlaceOnShard(*shards_[t], request);
+        if (machine >= 0) {
+          break;
+        }
+      }
+      if (machine < 0) {
+        for (const int t : steal_order_) {
+          if (tried_[t]) {
+            continue;
+          }
+          tried_[t] = 1;
+          machine = PlaceOnShard(*shards_[t], request);
+          if (machine >= 0) {
+            break;
+          }
+        }
+      }
+      if (machine >= 0) {
+        results[i] = machine;
+        ++stolen_placements_;
+      }
+    }
+  }
+
+  if (rebalance_due) {
+    RefreshSummaries();
+  }
+}
+
+int ShardedScheduler::Place(double limit, std::vector<int>* job_machines,
+                            uint64_t affinity_key) {
+  const Request request{limit, job_machines, affinity_key};
+  int result = -1;
+  PlaceBatch(std::span<const Request>(&request, 1), std::span<int>(&result, 1));
+  return result;
+}
+
+}  // namespace crf

@@ -17,8 +17,8 @@
 // keeping this structure policy-free and directly testable against a sorted
 // array.
 
-#ifndef CRF_CLUSTER_CAPACITY_INDEX_H_
-#define CRF_CLUSTER_CAPACITY_INDEX_H_
+#ifndef CRF_INDEX_CAPACITY_INDEX_H_
+#define CRF_INDEX_CAPACITY_INDEX_H_
 
 #include <cstdint>
 #include <span>
@@ -80,4 +80,4 @@ class CapacityTournamentTree {
 
 }  // namespace crf
 
-#endif  // CRF_CLUSTER_CAPACITY_INDEX_H_
+#endif  // CRF_INDEX_CAPACITY_INDEX_H_

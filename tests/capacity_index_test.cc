@@ -1,4 +1,4 @@
-#include "crf/cluster/capacity_index.h"
+#include "crf/index/capacity_index.h"
 
 #include <gtest/gtest.h>
 

@@ -170,6 +170,37 @@ TEST(StreamTraceTest, SimulationAgreesBatchVsStreamed) {
   std::remove(path.c_str());
 }
 
+// Sharded placement composes with streaming: per-machine content matches the
+// sharded batch generator, and the streamed bytes are invariant to the pool.
+TEST(StreamTraceTest, ShardedStreamedGenerationMatchesShardedBatch) {
+  GeneratorOptions options = DayOptions();
+  options.placement_shards = 4;
+  options.placement_probes = 4;
+  const std::string path_serial = TempPath("shard_serial.crftrace");
+  const std::string path_pooled = TempPath("shard_pooled.crftrace");
+  std::string error;
+  StreamedTraceInfo info;
+  ASSERT_TRUE(
+      GenerateCellTraceToFile(SmallProfile(), options, Rng(17), path_serial, &error, &info))
+      << error;
+  EXPECT_GT(info.placement_attempts, 0);
+  EXPECT_GE(info.placement_ms, 0.0);
+
+  ThreadPool pool(4);
+  options.pool = &pool;
+  ASSERT_TRUE(GenerateCellTraceToFile(SmallProfile(), options, Rng(17), path_pooled, &error))
+      << error;
+  EXPECT_EQ(FileBytes(path_serial), FileBytes(path_pooled));
+
+  options.pool = nullptr;
+  const CellTrace batch = GenerateCellTrace(SmallProfile(), options, Rng(17));
+  const auto streamed = LoadCellTrace(path_serial, {TraceLoadMode::kHeap}, &error);
+  ASSERT_TRUE(streamed.has_value()) << error;
+  ExpectSameMachineContent(batch, *streamed);
+  std::remove(path_serial.c_str());
+  std::remove(path_pooled.c_str());
+}
+
 TEST(StreamTraceTest, ProbedPlacementIsDeterministic) {
   GeneratorOptions options = DayOptions();
   options.placement_probes = 4;

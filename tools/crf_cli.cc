@@ -2,7 +2,8 @@
 //
 // Subcommands:
 //   crf generate --cell=a --days=7 [--machines=N] [--rich] [--seed=S] --out=FILE
-//                [--binary] [--stream] [--probes=K]
+//                [--binary] [--stream] [--probes=K] [--placement-shards=S]
+//                [--rebalance-interval=R] [--threads=T]
 //       Synthesize a cell trace and save it (text by default, --binary for
 //       the zero-copy arena format; loaders auto-detect either). --stream
 //       generates straight into the binary file machine block by machine
@@ -144,6 +145,25 @@ TraceLoadOptions LoadOptionsFromArgs(Args& args) {
   return load;
 }
 
+// --threads=N: total worker threads for generation / simulation / replay.
+// 0 (default) or 1 runs serially; results never depend on the value.
+std::unique_ptr<ThreadPool> PoolFromArgs(Args& args) {
+  const int threads = static_cast<int>(args.GetInt("threads", 0));
+  if (threads > 1) {
+    return std::make_unique<ThreadPool>(threads);
+  }
+  return nullptr;
+}
+
+// Sharded-placement knobs shared by generate/simulate/serve cell synthesis
+// and `crf cluster`. --placement-shards=S > 0 selects the sharded engine
+// (part of the cell/run identity, like the seed); --rebalance-interval=R
+// sets batches between cross-shard summary refreshes.
+void PlacementArgsInto(Args& args, int& shards, int& rebalance_interval) {
+  shards = static_cast<int>(args.GetInt("placement-shards", 0));
+  rebalance_interval = static_cast<int>(args.GetInt("rebalance-interval", 8));
+}
+
 std::optional<CellTrace> BuildOrLoadCell(Args& args, std::string& error) {
   const TraceLoadOptions load = LoadOptionsFromArgs(args);
   const auto trace_path = args.Get("trace");
@@ -169,6 +189,13 @@ std::optional<CellTrace> BuildOrLoadCell(Args& args, std::string& error) {
       static_cast<Interval>(args.GetDouble("days", 7.0) * kIntervalsPerDay);
   options.rich_stats = args.GetBool("rich");
   options.placement_probes = static_cast<int>(args.GetInt("probes", 0));
+  PlacementArgsInto(args, options.placement_shards, options.placement_rebalance_interval);
+  if (options.placement_shards < 0 || options.placement_rebalance_interval < 1) {
+    error = "--placement-shards must be >= 0 and --rebalance-interval >= 1";
+    return std::nullopt;
+  }
+  const auto pool = PoolFromArgs(args);
+  options.pool = pool.get();
   const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
   return GenerateCellTrace(*profile, options, rng);
 }
@@ -198,6 +225,12 @@ int CmdGenerate(Args& args) {
         static_cast<Interval>(args.GetDouble("days", 7.0) * kIntervalsPerDay);
     options.rich_stats = args.GetBool("rich");
     options.placement_probes = static_cast<int>(args.GetInt("probes", 0));
+    PlacementArgsInto(args, options.placement_shards, options.placement_rebalance_interval);
+    if (options.placement_shards < 0 || options.placement_rebalance_interval < 1) {
+      return Fail("--placement-shards must be >= 0 and --rebalance-interval >= 1");
+    }
+    const auto pool = PoolFromArgs(args);
+    options.pool = pool.get();
     const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
     if (const auto unknown = args.UnknownFlag()) {
       return Fail("unknown flag --" + *unknown);
@@ -211,6 +244,10 @@ int CmdGenerate(Args& args) {
                 " %llu bytes\n",
                 out->c_str(), profile->num_machines, static_cast<long long>(info.num_tasks),
                 options.num_intervals, static_cast<unsigned long long>(info.file_bytes));
+    std::fprintf(stderr, "crf: placement %.0f ms (%lld attempts, %.0f placements/s)\n",
+                 info.placement_ms, static_cast<long long>(info.placement_attempts),
+                 info.placement_ms > 0.0 ? info.placement_attempts * 1000.0 / info.placement_ms
+                                         : 0.0);
     return 0;
   }
   std::string error;
@@ -351,6 +388,10 @@ int CmdServe(Args& args) {
   if (options.num_shards <= 0) {
     return Fail("--shards must be positive");
   }
+  // --threads also sizes the generation pool when the cell is synthesized
+  // below (BuildOrLoadCell reads the same flag).
+  const auto pool = PoolFromArgs(args);
+  options.pool = pool.get();
   const bool all_classes = args.GetBool("all-classes");
   const auto resume_path = args.Get("resume");
   const auto checkpoint_out = args.Get("checkpoint-out");
@@ -488,6 +529,12 @@ int CmdCluster(Args& args) {
   } else {
     return Fail("unknown --packing '" + packing + "'");
   }
+  PlacementArgsInto(args, options.placement_shards, options.placement_rebalance_interval);
+  if (options.placement_shards < 0 || options.placement_rebalance_interval < 1) {
+    return Fail("--placement-shards must be >= 0 and --rebalance-interval >= 1");
+  }
+  const auto pool = PoolFromArgs(args);
+  options.pool = pool.get();
   const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
   if (const auto unknown = args.UnknownFlag()) {
     return Fail("unknown flag --" + *unknown);
@@ -511,9 +558,10 @@ int CmdCluster(Args& args) {
   table.AddRow("machine p90 latency", {metrics.machine_p90_latency.Quantile(0.5),
                                        metrics.machine_p90_latency.Quantile(0.9)});
   table.Print();
-  std::printf("tasks placed %lld, timed out %lld\n",
+  std::printf("tasks placed %lld, timed out %lld (%lld placement attempts)\n",
               static_cast<long long>(result.tasks_placed),
-              static_cast<long long>(result.tasks_timed_out));
+              static_cast<long long>(result.tasks_timed_out),
+              static_cast<long long>(result.placement_attempts));
   return 0;
 }
 
@@ -521,16 +569,18 @@ int Usage() {
   std::fputs(
       "usage: crf <generate|info|convert|simulate|cluster|serve|checkpoint> [--flags]\n"
       "  crf generate --cell=a --days=7 --out=FILE [--machines=N] [--rich] [--seed=S]\n"
-      "               [--binary] [--stream] [--probes=K]\n"
+      "               [--binary] [--stream] [--probes=K] [--placement-shards=S]\n"
+      "               [--rebalance-interval=R] [--threads=T]\n"
       "  crf info     (--trace=FILE [--mmap] | --cell=a [--days=7] [--machines=N])\n"
       "  crf convert  --trace=FILE --out=FILE [--binary] [--mmap]\n"
       "  crf simulate (--trace=FILE [--mmap] | --cell=a [--days] [--machines] [--seed])\n"
       "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
       "  crf cluster  --cell=production_1 [--machines=N] [--days=14]\n"
       "               [--predictor=SPEC] [--packing=best-fit|worst-fit|random-fit]\n"
+      "               [--placement-shards=S] [--rebalance-interval=R] [--threads=T]\n"
       "  crf serve    (--replay=FILE [--mmap] | --cell=a [--days] [--machines] [--seed])\n"
       "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
-      "               [--shards=16] [--no-parallel] [--metrics-out=FILE]\n"
+      "               [--shards=16] [--no-parallel] [--threads=T] [--metrics-out=FILE]\n"
       "               [--checkpoint-out=FILE --checkpoint-at=TICK\n"
       "                [--stop-after-checkpoint]] [--resume=FILE]\n"
       "  crf checkpoint --file=FILE\n"
