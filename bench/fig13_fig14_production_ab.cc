@@ -68,6 +68,15 @@ int Main() {
   ReportCdfs(ctx, "Fig 13(b): violation severity",
              pair(ab.control.violation_severity, ab.experiment.violation_severity),
              "fig13b_violation_severity.csv");
+  // Tail companions to Fig 13(b): the per-machine p999 severity and longest
+  // violation streak (crf/risk). A mean-vs-tail ranking flip between control
+  // and exp shows up as the curves crossing here but not in 13(b).
+  ReportCdfs(ctx, "Fig 13(b'): violation severity p999 (per machine)",
+             pair(ab.control.severity_p999, ab.experiment.severity_p999),
+             "fig13b_severity_p999.csv");
+  ReportCdfs(ctx, "Fig 13(b''): max violation streak (intervals, per machine)",
+             pair(ab.control.max_violation_streak, ab.experiment.max_violation_streak),
+             "fig13b_max_streak.csv");
   ReportCdfs(ctx, "Fig 13(c): relative savings (per interval)",
              pair(ab.control.relative_savings, ab.experiment.relative_savings),
              "fig13c_savings.csv");

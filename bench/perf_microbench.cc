@@ -227,8 +227,10 @@ BENCHMARK(BM_NSigmaSweep16)
     ->MeasureProcessCPUTime();
 
 // The Fig 8+9-shaped predictor grid: the N-sigma multiplier/warm-up/history
-// sweep plus the RC-like percentile/warm-up/history sweep, 20 points total.
-// This is the workload the multi-spec sweep engine exists for.
+// sweep plus the RC-like percentile/warm-up/history sweep, plus the
+// chance-constrained target sweep and the Flex percentile/margin sweep (the
+// same axes a Fig 8/9-style plot would walk for the new families), 27 points
+// total. This is the workload the multi-spec sweep engine exists for.
 std::vector<PredictorSpec> SweepGridSpecs() {
   std::vector<PredictorSpec> specs;
   for (const double n : {2.0, 3.0, 5.0, 10.0}) {
@@ -248,6 +250,12 @@ std::vector<PredictorSpec> SweepGridSpecs() {
   }
   for (const int hours : {2, 5, 10}) {
     specs.push_back(RcLikeSpec(95.0, 2 * kIntervalsPerHour, hours * kIntervalsPerHour));
+  }
+  for (const double target : {0.005, 0.01, 0.05, 0.10}) {
+    specs.push_back(ChanceSpec(target));
+  }
+  for (const double p : {90.0, 95.0, 99.0}) {
+    specs.push_back(FlexSpec(p));
   }
   return specs;
 }
@@ -972,12 +980,16 @@ void RecordClusterScaleBench() {
 // BENCH_sweep.json: tracked sweep-engine throughput record.
 //
 // Controlled by $CRF_SWEEP_BENCH: "off" skips, "short" (default) runs the
-// 20-point Fig 8+9 grid over a small cell-half-week, "full" over a larger
-// cell-week. Times the per-spec SimulateCell loop against one
-// SimulateCellMulti call — both behind one shared OracleCache, so the ratio
-// isolates the engine, not oracle recomputation. The record lands in
-// $CRF_BENCH_SWEEP_FILE (default ./BENCH_sweep.json) as
-// {"schema":"crf-sweep-bench-v1","entries":[...]}; reruns append.
+// 27-point Fig 8+9-style grid (n-sigma, rc-like, chance, flex axes) over a
+// small cell-half-week, "full" over a larger cell-week. Times the per-spec
+// SimulateCell loop against one SimulateCellMulti call — both behind one
+// shared OracleCache, so the ratio isolates the engine, not oracle
+// recomputation. The record lands in $CRF_BENCH_SWEEP_FILE (default
+// ./BENCH_sweep.json) as {"schema":"crf-sweep-bench-v2","entries":[...]};
+// reruns append. v2 adds the grid-level tail columns (worst violation
+// streak, worst severity p999, worst savings-at-risk across all
+// spec-machine pairs) so the tracked record captures the risk profile of
+// the grid, not just its mean throughput.
 
 void RecordSweepBench() {
   const std::string mode = GetEnvString("CRF_SWEEP_BENCH", "short");
@@ -1017,18 +1029,32 @@ void RecordSweepBench() {
   const double multi_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - multi_start).count();
 
-  // Integrity gate: the engines claim matching metrics, so a tracked speedup
-  // with diverging results would be meaningless.
+  // Integrity gate: the engines claim matching metrics (including the
+  // crf/risk tail metrics), so a tracked speedup with diverging results
+  // would be meaningless.
   int64_t total_violations = 0;
+  int64_t max_violation_streak = 0;
+  double worst_severity_p999 = 0.0;
+  double worst_savings_at_risk = std::numeric_limits<double>::infinity();
   for (size_t s = 0; s < specs.size(); ++s) {
     for (size_t m = 0; m < per_spec[s].machines.size(); ++m) {
-      if (per_spec[s].machines[m].violations != multi[s].machines[m].violations) {
+      const MachineMetrics& a = per_spec[s].machines[m];
+      const MachineMetrics& b = multi[s].machines[m];
+      if (a.violations != b.violations ||
+          a.tail.max_violation_streak != b.tail.max_violation_streak ||
+          a.tail.severity_p999 != b.tail.severity_p999 ||
+          a.tail.savings_at_risk != b.tail.savings_at_risk) {
         std::fprintf(stderr,
                      "sweep bench: engines diverged (spec %zu machine %zu), not recording\n",
                      s, m);
         return;
       }
-      total_violations += per_spec[s].machines[m].violations;
+      total_violations += a.violations;
+      max_violation_streak = std::max(max_violation_streak, a.tail.max_violation_streak);
+      worst_severity_p999 = std::max(worst_severity_p999, a.tail.severity_p999);
+      if (a.occupied_intervals > 0) {
+        worst_savings_at_risk = std::min(worst_savings_at_risk, a.tail.savings_at_risk);
+      }
     }
     const double savings_delta =
         std::abs(per_spec[s].MeanCellSavings() - multi[s].MeanCellSavings());
@@ -1053,11 +1079,15 @@ void RecordSweepBench() {
         << "      \"per_spec_machines_per_sec\": " << machine_sims / per_spec_seconds << ",\n"
         << "      \"multi_machines_per_sec\": " << machine_sims / multi_seconds << ",\n"
         << "      \"speedup\": " << speedup << ",\n"
-        << "      \"total_violations\": " << total_violations << "\n"
+        << "      \"total_violations\": " << total_violations << ",\n"
+        << "      \"max_violation_streak\": " << max_violation_streak << ",\n"
+        << "      \"worst_severity_p999\": " << worst_severity_p999 << ",\n"
+        << "      \"worst_savings_at_risk\": "
+        << (std::isfinite(worst_savings_at_risk) ? worst_savings_at_risk : 0.0) << "\n"
         << "    }";
 
   const std::string path = GetEnvString("CRF_BENCH_SWEEP_FILE", "BENCH_sweep.json");
-  AppendTrackedBenchEntry(path, "crf-sweep-bench-v1", entry.str());
+  AppendTrackedBenchEntry(path, "crf-sweep-bench-v2", entry.str());
   std::printf("sweep bench (%s): per-spec %.3fs multi %.3fs over %zu specs (%.2fx) -> %s\n",
               full ? "full" : "short", per_spec_seconds, multi_seconds, specs.size(), speedup,
               path.c_str());
@@ -1322,7 +1352,9 @@ void RecordStreamBench() {
     if (s.violations != b.violations || s.occupied_intervals != b.occupied_intervals ||
         s.mean_violation_severity != b.mean_violation_severity ||
         s.savings_ratio != b.savings_ratio || s.mean_prediction != b.mean_prediction ||
-        s.mean_limit != b.mean_limit) {
+        s.mean_limit != b.mean_limit ||
+        s.tail.max_violation_streak != b.tail.max_violation_streak ||
+        s.tail.severity_p999 != b.tail.severity_p999) {
       std::fprintf(stderr, "stream bench: stream diverged from batch (machine %d)\n", m);
       return;
     }

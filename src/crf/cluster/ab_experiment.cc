@@ -4,18 +4,13 @@
 #include <cmath>
 
 #include "crf/core/oracle.h"
+#include "crf/risk/risk_accumulator.h"
 #include "crf/stats/percentile.h"
 #include "crf/util/check.h"
 #include "crf/util/thread_pool.h"
 
 namespace crf {
 namespace {
-
-// Relative tolerance for prediction-vs-oracle comparison (sums of the same
-// floats accumulated along different paths).
-bool IsViolation(double prediction, double oracle) {
-  return prediction < oracle * (1.0 - 1e-9) - 1e-12;
-}
 
 // Stride for per-task-interval latency sampling: full resolution would be
 // tens of millions of samples with no visible change to the CDF.
@@ -35,8 +30,10 @@ MachineOutcome AnalyzeOneMachine(const ClusterSimResult& result, int m, Interval
   MachineOutcome outcome;
   outcome.machine_index = m;
 
-  int64_t violations = 0;
-  double severity_sum = 0.0;
+  // Post-warmup intervals scored through the shared crf/risk accounting —
+  // the same arithmetic (in the same order) as the hand-rolled loop it
+  // replaced, plus the tail metrics.
+  RiskAccumulator risk;
   std::vector<double> latency_buffer;
   std::vector<double> util_buffer;
   latency_buffer.reserve(num_intervals - warmup);
@@ -44,18 +41,17 @@ MachineOutcome AnalyzeOneMachine(const ClusterSimResult& result, int m, Interval
   double util_sum = 0.0;
   for (Interval t = warmup; t < num_intervals; ++t) {
     const double prediction = result.predictions.at(m, t);
-    if (IsViolation(prediction, oracle[t])) {
-      ++violations;
-      severity_sum += (oracle[t] - prediction) / oracle[t];
-    }
+    const double limit_sum = result.limit_sum.at(m, t);
+    risk.Record(prediction, oracle[t], limit_sum, limit_sum > 0.0);
     latency_buffer.push_back(result.latencies.at(m, t));
     const double util = result.demand_mean.at(m, t) / capacity;
     util_buffer.push_back(util);
     util_sum += util;
   }
   const int64_t evaluated = num_intervals - warmup;
-  outcome.violation_rate = static_cast<double>(violations) / evaluated;
-  outcome.mean_violation_severity = severity_sum / evaluated;
+  outcome.violation_rate = static_cast<double>(risk.violations()) / evaluated;
+  outcome.mean_violation_severity = risk.severity_sum() / evaluated;
+  outcome.tail = risk.TailSummary();
   outcome.p99_latency = Percentile(latency_buffer, 99.0);
   outcome.p90_latency = Percentile(latency_buffer, 90.0);
   outcome.mean_utilization = util_sum / evaluated;
@@ -88,6 +84,8 @@ GroupMetrics ComputeGroupMetrics(const std::string& label,
     for (const MachineOutcome& outcome : AnalyzeMachines(result, horizon)) {
       metrics.violation_rate.Add(outcome.violation_rate);
       metrics.violation_severity.Add(outcome.mean_violation_severity);
+      metrics.severity_p999.Add(outcome.tail.severity_p999);
+      metrics.max_violation_streak.Add(static_cast<double>(outcome.tail.max_violation_streak));
       metrics.machine_p90_latency.Add(outcome.p90_latency);
       metrics.machine_p50_utilization.Add(outcome.p50_utilization);
       metrics.machine_mean_utilization.Add(outcome.mean_utilization);

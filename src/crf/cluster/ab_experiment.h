@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "crf/cluster/cell_sim.h"
+#include "crf/risk/risk_accumulator.h"
 #include "crf/stats/ecdf.h"
 #include "crf/util/time_grid.h"
 
@@ -25,6 +26,9 @@ struct MachineOutcome {
   int machine_index = -1;
   double violation_rate = 0.0;
   double mean_violation_severity = 0.0;
+  // Post-warmup tail metrics (crf/risk): severity p99/p999, violation
+  // streaks, time-weighted violation fraction, savings-at-risk.
+  RiskTailSummary tail;
   double p99_latency = 0.0;
   double p90_latency = 0.0;
   double mean_utilization = 0.0;
@@ -44,6 +48,10 @@ struct GroupMetrics {
   // Per machine (post-warmup).
   Ecdf violation_rate;
   Ecdf violation_severity;
+  // Tail distributions (crf/risk): the per-machine p999 severity and the
+  // longest violation streak — mean-vs-tail ranking flips show up here.
+  Ecdf severity_p999;
+  Ecdf max_violation_streak;
   Ecdf machine_p90_latency;
   Ecdf machine_p50_utilization;
   Ecdf machine_mean_utilization;

@@ -1,0 +1,134 @@
+#include "crf/core/chance_predictor.h"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "crf/util/byte_io.h"
+#include "crf/util/check.h"
+
+namespace crf {
+
+namespace {
+constexpr uint8_t kStateTag = 'C';
+// Upper bound on a serialized roster: far above any real machine's resident
+// task count, small enough to reject a corrupted length before allocating.
+constexpr uint64_t kMaxRosterTasks = 1 << 20;
+}  // namespace
+
+ChancePredictor::ChancePredictor(double target, const PredictorConfig& config)
+    : target_(target), config_(config), window_(config.max_num_samples) {
+  CRF_CHECK_GT(target, 0.0);
+  CRF_CHECK_LT(target, 1.0);
+  CRF_CHECK_GT(config.min_num_samples, 0);
+  CRF_CHECK_GE(config.max_num_samples, config.min_num_samples);
+}
+
+void ChancePredictor::RebuildRoster(std::span<const TaskSample> tasks) {
+  // Carry warm-up progress over for tasks that survive the event; absent
+  // tasks have departed and their state is dropped (re-arrival of the same
+  // id starts a fresh warm-up, per the Observe contract).
+  std::unordered_map<TaskId, Interval> carried;
+  carried.reserve(roster_ids_.size());
+  for (size_t i = 0; i < roster_ids_.size(); ++i) {
+    carried.emplace(roster_ids_[i], samples_seen_[i]);
+  }
+  roster_ids_.resize(tasks.size());
+  samples_seen_.resize(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    roster_ids_[i] = tasks[i].task_id;
+    const auto it = carried.find(tasks[i].task_id);
+    samples_seen_[i] = it != carried.end() ? it->second : 0;
+  }
+}
+
+void ChancePredictor::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
+  bool roster_matches = roster_ids_.size() == tasks.size();
+  if (roster_matches) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (roster_ids_[i] != tasks[i].task_id) {
+        roster_matches = false;
+        break;
+      }
+    }
+  }
+  if (!roster_matches) {
+    RebuildRoster(tasks);
+  }
+
+  double warmed_usage = 0.0;
+  double warming_limit = 0.0;
+  double usage_now = 0.0;
+  double limit_sum = 0.0;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const TaskSample& sample = tasks[i];
+    usage_now += sample.usage;
+    limit_sum += sample.limit;
+    if (++samples_seen_[i] >= config_.min_num_samples) {
+      warmed_usage += sample.usage;
+    } else {
+      warming_limit += sample.limit;
+    }
+  }
+
+  // The empty machine's zero load is a real observation: pushing it
+  // unconditionally keeps the distribution honest about idle intervals.
+  window_.Push(static_cast<float>(warmed_usage));
+  const double quantile = window_.Percentile((1.0 - target_) * 100.0);
+  prediction_ = ClampPrediction(quantile + warming_limit, usage_now, limit_sum);
+}
+
+double ChancePredictor::PredictPeak() const { return prediction_; }
+
+void ChancePredictor::Reset() {
+  roster_ids_.clear();
+  samples_seen_.clear();
+  window_.Clear();
+  prediction_ = 0.0;
+}
+
+std::string ChancePredictor::name() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "chance-e%g", target_);
+  return buffer;
+}
+
+bool ChancePredictor::SaveState(ByteWriter& out) const {
+  out.Write<uint8_t>(kStateTag);
+  out.WriteVec(roster_ids_);
+  out.WriteVec(samples_seen_);
+  window_.SaveState(out);
+  out.Write<double>(prediction_);
+  return true;
+}
+
+bool ChancePredictor::LoadState(ByteReader& in) {
+  const uint8_t tag = in.Read<uint8_t>();
+  std::vector<TaskId> roster_ids;
+  std::vector<Interval> samples_seen;
+  if (!in.ReadVec(roster_ids, kMaxRosterTasks) || !in.ReadVec(samples_seen, kMaxRosterTasks) ||
+      tag != kStateTag || samples_seen.size() != roster_ids.size()) {
+    in.Fail();
+    return false;
+  }
+  for (const Interval seen : samples_seen) {
+    if (seen < 0) {
+      in.Fail();
+      return false;
+    }
+  }
+  if (!window_.LoadState(in)) {
+    return false;
+  }
+  const double prediction = in.Read<double>();
+  if (!in.ok() || !std::isfinite(prediction) || prediction < 0.0) {
+    in.Fail();
+    return false;
+  }
+  roster_ids_ = std::move(roster_ids);
+  samples_seen_ = std::move(samples_seen);
+  prediction_ = prediction;
+  return true;
+}
+
+}  // namespace crf

@@ -4,6 +4,8 @@
 
 #include "crf/core/autopilot_predictor.h"
 #include "crf/core/borg_default_predictor.h"
+#include "crf/core/chance_predictor.h"
+#include "crf/core/flex_predictor.h"
 #include "crf/core/limit_sum_predictor.h"
 #include "crf/core/max_predictor.h"
 #include "crf/core/n_sigma_predictor.h"
@@ -59,6 +61,25 @@ PredictorSpec AutopilotSpec(double percentile, double margin, Interval warmup,
   return spec;
 }
 
+PredictorSpec ChanceSpec(double target, Interval warmup, Interval history) {
+  PredictorSpec spec;
+  spec.type = PredictorSpec::Type::kChance;
+  spec.target = target;
+  spec.config.min_num_samples = warmup;
+  spec.config.max_num_samples = history;
+  return spec;
+}
+
+PredictorSpec FlexSpec(double percentile, double margin, Interval warmup, Interval history) {
+  PredictorSpec spec;
+  spec.type = PredictorSpec::Type::kFlex;
+  spec.percentile = percentile;
+  spec.margin = margin;
+  spec.config.min_num_samples = warmup;
+  spec.config.max_num_samples = history;
+  return spec;
+}
+
 PredictorSpec MaxSpec(std::vector<PredictorSpec> components) {
   PredictorSpec spec;
   spec.type = PredictorSpec::Type::kMax;
@@ -82,6 +103,10 @@ std::unique_ptr<PeakPredictor> CreatePredictor(const PredictorSpec& spec) {
       return std::make_unique<NSigmaPredictor>(spec.n_sigma, spec.config);
     case PredictorSpec::Type::kAutopilot:
       return std::make_unique<AutopilotPredictor>(spec.percentile, spec.margin, spec.config);
+    case PredictorSpec::Type::kChance:
+      return std::make_unique<ChancePredictor>(spec.target, spec.config);
+    case PredictorSpec::Type::kFlex:
+      return std::make_unique<FlexPredictor>(spec.percentile, spec.margin, spec.config);
     case PredictorSpec::Type::kMax: {
       CRF_CHECK(!spec.components.empty()) << "max predictor needs components";
       std::vector<std::unique_ptr<PeakPredictor>> components;

@@ -23,14 +23,17 @@ struct PredictorSpec {
     kRcLike,
     kNSigma,
     kAutopilot,
-    kMax,
+    kChance,
+    kFlex,
+    kMax,  // Keep last: checkpoint spec encoding relies on it.
   };
 
   Type type = Type::kLimitSum;
   double phi = 0.9;          // borg-default scale factor
-  double percentile = 99.0;  // rc-like percentile
+  double percentile = 99.0;  // rc-like / flex percentile
   double n_sigma = 5.0;      // n-sigma multiplier
-  double margin = 1.10;      // autopilot safety margin
+  double margin = 1.10;      // autopilot / flex safety margin
+  double target = 0.01;      // chance-constrained violation probability
   PredictorConfig config;    // warm-up / history (usage-driven predictors)
   std::vector<PredictorSpec> components;  // max components
 
@@ -57,6 +60,16 @@ PredictorSpec NSigmaSpec(double n = 5.0, Interval warmup = 2 * kIntervalsPerHour
 PredictorSpec AutopilotSpec(double percentile = 98.0, double margin = 1.10,
                             Interval warmup = 2 * kIntervalsPerHour,
                             Interval history = 10 * kIntervalsPerHour);
+// Chance-constrained peak: the (1 - target) quantile of the windowed
+// machine-level warmed usage, targeting a per-interval violation probability
+// of `target`.
+PredictorSpec ChanceSpec(double target = 0.01, Interval warmup = 2 * kIntervalsPerHour,
+                         Interval history = 10 * kIntervalsPerHour);
+// Flex-style adaptive phi: margin * p-th percentile of the machine's
+// windowed usage/limit ratio, capped at 1, applied to the limit sum.
+PredictorSpec FlexSpec(double percentile = 95.0, double margin = 1.2,
+                       Interval warmup = 2 * kIntervalsPerHour,
+                       Interval history = 10 * kIntervalsPerHour);
 PredictorSpec MaxSpec(std::vector<PredictorSpec> components);
 
 // The simulation-tuned max predictor of Section 5.4:

@@ -168,9 +168,47 @@ std::optional<PredictorSpec> ParseSimple(std::string_view text, std::string* err
     }
     return AutopilotSpec(percentile, margin);
   }
+  if (name == "chance") {
+    double target = 0.01;
+    if (args > 1) {
+      SetError(error, "chance takes at most one parameter (target)");
+      return std::nullopt;
+    }
+    if (args == 1 && !ParseFiniteNumber(fields[1], "chance target", target, error)) {
+      return std::nullopt;
+    }
+    if (target <= 0.0 || target >= 1.0) {
+      SetError(error, "chance target " + Quoted(fields[1]) + " must be in (0, 1)");
+      return std::nullopt;
+    }
+    return ChanceSpec(target);
+  }
+  if (name == "flex") {
+    double percentile = 95.0;
+    double margin = 1.2;
+    if (args > 2) {
+      SetError(error, "flex takes at most two parameters (percentile, margin)");
+      return std::nullopt;
+    }
+    if (args >= 1 && !ParseFiniteNumber(fields[1], "flex percentile", percentile, error)) {
+      return std::nullopt;
+    }
+    if (args == 2 && !ParseFiniteNumber(fields[2], "flex margin", margin, error)) {
+      return std::nullopt;
+    }
+    if (percentile < 0.0 || percentile > 100.0) {
+      SetError(error, "flex percentile " + Quoted(fields[1]) + " must be in [0, 100]");
+      return std::nullopt;
+    }
+    if (margin < 1.0) {
+      SetError(error, "flex margin " + Quoted(fields[2]) + " must be >= 1");
+      return std::nullopt;
+    }
+    return FlexSpec(percentile, margin);
+  }
   SetError(error, "unknown predictor " + Quoted(name) +
                       " (expected limit-sum, borg-default, rc-like, n-sigma, autopilot, "
-                      "or max(...))");
+                      "chance, flex, or max(...))");
   return std::nullopt;
 }
 

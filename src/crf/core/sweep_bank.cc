@@ -58,6 +58,18 @@ int SweepPlan::AddNode(const PredictorSpec& spec) {
       node.min_num_samples = spec.config.min_num_samples;
       node.agg_group = AddAggGroup(spec.config.min_num_samples, spec.config.max_num_samples);
       break;
+    case PredictorSpec::Type::kChance:
+      node.target = spec.target;
+      node.min_num_samples = spec.config.min_num_samples;
+      node.quant_group =
+          AddQuantGroup(spec.config.min_num_samples, spec.config.max_num_samples);
+      break;
+    case PredictorSpec::Type::kFlex:
+      node.percentile = spec.percentile;
+      node.margin = spec.margin;
+      node.min_num_samples = spec.config.min_num_samples;
+      node.ratio_group = AddRatioGroup(spec.config.max_num_samples);
+      break;
     case PredictorSpec::Type::kMax:
       node.components.reserve(spec.components.size());
       for (const PredictorSpec& component : spec.components) {
@@ -91,6 +103,27 @@ int SweepPlan::AddAggGroup(Interval min_num_samples, int capacity) {
   return static_cast<int>(agg_groups_.size()) - 1;
 }
 
+int SweepPlan::AddQuantGroup(Interval min_num_samples, int capacity) {
+  for (size_t i = 0; i < quant_groups_.size(); ++i) {
+    if (quant_groups_[i].min_num_samples == min_num_samples &&
+        quant_groups_[i].capacity == capacity) {
+      return static_cast<int>(i);
+    }
+  }
+  quant_groups_.push_back(QuantGroup{min_num_samples, capacity});
+  return static_cast<int>(quant_groups_.size()) - 1;
+}
+
+int SweepPlan::AddRatioGroup(int capacity) {
+  for (size_t i = 0; i < ratio_groups_.size(); ++i) {
+    if (ratio_groups_[i].capacity == capacity) {
+      return static_cast<int>(i);
+    }
+  }
+  ratio_groups_.push_back(RatioGroup{capacity});
+  return static_cast<int>(ratio_groups_.size()) - 1;
+}
+
 void SweepBank::Attach(const SweepPlan* plan) {
   CRF_CHECK(plan != nullptr);
   plan_ = plan;
@@ -108,6 +141,21 @@ void SweepBank::Attach(const SweepPlan* plan) {
   agg_warming_limit_.assign(num_agg, 0.0);
   agg_mean_.assign(num_agg, 0.0);
   agg_stddev_.assign(num_agg, 0.0);
+
+  quant_windows_.clear();
+  quant_windows_.reserve(plan->quant_groups().size());
+  for (const SweepPlan::QuantGroup& group : plan->quant_groups()) {
+    quant_windows_.emplace_back(group.capacity);
+  }
+  const size_t num_quant = plan->quant_groups().size();
+  quant_warmed_.assign(num_quant, 0.0);
+  quant_warming_limit_.assign(num_quant, 0.0);
+
+  ratio_windows_.clear();
+  ratio_windows_.reserve(plan->ratio_groups().size());
+  for (const SweepPlan::RatioGroup& group : plan->ratio_groups()) {
+    ratio_windows_.emplace_back(group.capacity);
+  }
 
   per_task_nodes_.clear();
   for (int n = 0; n < plan->num_nodes(); ++n) {
@@ -139,6 +187,12 @@ void SweepBank::BeginMachine() {
   }
   for (AggregateWindow& window : agg_windows_) {
     window.Reset();
+  }
+  for (IndexableWindow& window : quant_windows_) {
+    window.Clear();
+  }
+  for (IndexableWindow& window : ratio_windows_) {
+    window.Clear();
   }
   std::fill(node_values_.begin(), node_values_.end(), 0.0);
   std::fill(spec_predictions_.begin(), spec_predictions_.end(), 0.0);
@@ -235,6 +289,8 @@ void SweepBank::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
   }
   std::fill(agg_warmed_.begin(), agg_warmed_.end(), 0.0);
   std::fill(agg_warming_limit_.begin(), agg_warming_limit_.end(), 0.0);
+  std::fill(quant_warmed_.begin(), quant_warmed_.end(), 0.0);
+  std::fill(quant_warming_limit_.begin(), quant_warming_limit_.end(), 0.0);
 
   for (size_t i = 0; i < tasks.size(); ++i) {
     const TaskSample& sample = tasks[i];
@@ -270,6 +326,14 @@ void SweepBank::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
         agg_warming_limit_[g] += sample.limit;
       }
     }
+
+    for (size_t g = 0; g < quant_windows_.size(); ++g) {
+      if (seen >= plan_->quant_groups()[g].min_num_samples) {
+        quant_warmed_[g] += sample.usage;
+      } else {
+        quant_warming_limit_[g] += sample.limit;
+      }
+    }
   }
 
   for (size_t g = 0; g < agg_windows_.size(); ++g) {
@@ -279,6 +343,18 @@ void SweepBank::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
     // (mirrors NSigmaPredictor::Observe).
     agg_mean_[g] = agg_windows_[g].Mean();
     agg_stddev_[g] = agg_windows_[g].Stddev();
+  }
+
+  // Chance pushes the warmed aggregate unconditionally (idle intervals are
+  // real observations); flex only sees occupied polls (0/0 has no gap) —
+  // both mirror their standalone predictors exactly.
+  for (size_t g = 0; g < quant_windows_.size(); ++g) {
+    quant_windows_[g].Push(static_cast<float>(quant_warmed_[g]));
+  }
+  if (limit_sum > 0.0) {
+    for (IndexableWindow& window : ratio_windows_) {
+      window.Push(static_cast<float>(usage_now / limit_sum));
+    }
   }
 
   for (int n = 0; n < plan_->num_nodes(); ++n) {
@@ -301,6 +377,20 @@ void SweepBank::Observe(Interval /*now*/, std::span<const TaskSample> tasks) {
                                 agg_warming_limit_[node.agg_group],
                             usage_now, limit_sum);
         break;
+      case PredictorSpec::Type::kChance:
+        node_values_[n] = ClampPrediction(
+            quant_windows_[node.quant_group].Percentile((1.0 - node.target) * 100.0) +
+                quant_warming_limit_[node.quant_group],
+            usage_now, limit_sum);
+        break;
+      case PredictorSpec::Type::kFlex: {
+        const IndexableWindow& ratios = ratio_windows_[node.ratio_group];
+        const double phi = ratios.size() >= node.min_num_samples
+                               ? std::min(1.0, node.margin * ratios.Percentile(node.percentile))
+                               : 1.0;
+        node_values_[n] = ClampPrediction(phi * limit_sum, usage_now, limit_sum);
+        break;
+      }
       case PredictorSpec::Type::kMax: {
         double peak = 0.0;  // MaxPredictor folds from 0.0.
         for (const int c : node.components) {

@@ -17,6 +17,12 @@
 //    order-statistics window;
 //  * N-sigma nodes share one AggregateWindow per distinct (warm-up, history)
 //    pair — every N reads the same running moments;
+//  * chance nodes share one machine-level order-statistics window of the
+//    warmed aggregate usage per distinct (warm-up, history) pair — every
+//    target epsilon is a different quantile of the same distribution;
+//  * flex nodes share one machine-level usage/limit ratio window per
+//    distinct history length — every (percentile, margin) point queries the
+//    same ratio distribution;
 //  * borg-default / limit-sum nodes read the one per-interval limit sum.
 // Warm-up classification rides on one universal per-task sample counter:
 // min_num_samples <= max_num_samples, so "window holds >= min samples" is
@@ -53,12 +59,15 @@ class SweepPlan {
   struct Node {
     PredictorSpec::Type type = PredictorSpec::Type::kLimitSum;
     double phi = 0.0;         // borg-default
-    double percentile = 0.0;  // rc-like / autopilot
+    double percentile = 0.0;  // rc-like / autopilot / flex
     double n_sigma = 0.0;     // n-sigma
-    double margin = 0.0;      // autopilot
+    double margin = 0.0;      // autopilot / flex
+    double target = 0.0;      // chance
     Interval min_num_samples = 0;
     int window_group = -1;  // rc-like / autopilot: index into window_groups()
     int agg_group = -1;     // n-sigma: index into agg_groups()
+    int quant_group = -1;   // chance: index into quant_groups()
+    int ratio_group = -1;   // flex: index into ratio_groups()
     std::vector<int> components;  // max: node indices
   };
   // Per-task percentile windows, one group per distinct history length.
@@ -70,12 +79,25 @@ class SweepPlan {
     Interval min_num_samples = 0;
     int capacity = 0;
   };
+  // Machine-aggregate warmed-usage order statistics (chance), one group per
+  // distinct (warm-up, history): the warm-up split changes what is pushed.
+  struct QuantGroup {
+    Interval min_num_samples = 0;
+    int capacity = 0;
+  };
+  // Machine-level usage/limit ratio windows (flex), one group per distinct
+  // history length: the pushed ratio is warm-up independent.
+  struct RatioGroup {
+    int capacity = 0;
+  };
 
   int num_specs() const { return static_cast<int>(spec_nodes_.size()); }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   const std::vector<Node>& nodes() const { return nodes_; }
   const std::vector<WindowGroup>& window_groups() const { return window_groups_; }
   const std::vector<AggGroup>& agg_groups() const { return agg_groups_; }
+  const std::vector<QuantGroup>& quant_groups() const { return quant_groups_; }
+  const std::vector<RatioGroup>& ratio_groups() const { return ratio_groups_; }
   // Node evaluating input spec s.
   int spec_node(int s) const { return spec_nodes_[s]; }
 
@@ -88,6 +110,8 @@ class SweepPlan {
   int AddNode(const PredictorSpec& spec);
   int AddWindowGroup(int capacity);
   int AddAggGroup(Interval min_num_samples, int capacity);
+  int AddQuantGroup(Interval min_num_samples, int capacity);
+  int AddRatioGroup(int capacity);
 
   uint64_t id_;
   std::vector<Node> nodes_;
@@ -95,6 +119,8 @@ class SweepPlan {
   std::vector<int> spec_nodes_;
   std::vector<WindowGroup> window_groups_;
   std::vector<AggGroup> agg_groups_;
+  std::vector<QuantGroup> quant_groups_;
+  std::vector<RatioGroup> ratio_groups_;
 };
 
 // Mutable per-thread execution state for one SweepPlan. Reusable across
@@ -143,6 +169,10 @@ class SweepBank {
 
   std::vector<WindowGroupState> window_groups_;
   std::vector<AggregateWindow> agg_windows_;
+  // Machine-level windows: chance warmed-usage distributions and flex
+  // usage/limit ratio distributions, parallel to the plan's group lists.
+  std::vector<IndexableWindow> quant_windows_;
+  std::vector<IndexableWindow> ratio_windows_;
 
   // Nodes that query a per-task window (rc-like, autopilot), hoisted out of
   // the node list so the task loop touches nothing else.
@@ -153,6 +183,10 @@ class SweepBank {
   std::vector<double> agg_warming_limit_;
   std::vector<double> agg_mean_;
   std::vector<double> agg_stddev_;
+
+  // Per-quant-group accumulators for the last Observe (chance).
+  std::vector<double> quant_warmed_;
+  std::vector<double> quant_warming_limit_;
 
   std::vector<double> node_values_;
   std::vector<double> spec_predictions_;

@@ -24,6 +24,9 @@ class TaskHistory {
   // must be finite.
   void Push(float sample) { window_.Push(sample); }
 
+  // Discards all samples, keeping capacity and allocated storage.
+  void Clear() { window_.Clear(); }
+
   int size() const { return window_.size(); }
   int capacity() const { return window_.capacity(); }
   bool empty() const { return window_.empty(); }

@@ -1,0 +1,146 @@
+#include "crf/risk/risk_accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crf/util/byte_io.h"
+
+namespace crf {
+
+RiskAccumulator::RiskAccumulator()
+    : severity_p99_(0.99),
+      severity_p999_(0.999),
+      streak_p99_(0.99),
+      streak_p999_(0.999),
+      savings_p05_(0.05) {}
+
+void RiskAccumulator::Record(double prediction, double oracle, double limit_sum,
+                             bool occupied) {
+  if (IsPeakViolation(prediction, oracle)) {
+    ++violations_;
+    const double severity = (oracle - prediction) / oracle;
+    severity_sum_ += severity;
+    severity_p99_.Add(severity);
+    severity_p999_.Add(severity);
+    ++current_streak_;
+    if (occupied) {
+      ++occupied_violations_;
+    }
+  } else if (current_streak_ > 0) {
+    // A streak just closed: fold its length into the tail estimators.
+    max_streak_ = std::max(max_streak_, current_streak_);
+    ++streak_count_;
+    streak_len_sum_ += current_streak_;
+    streak_p99_.Add(static_cast<double>(current_streak_));
+    streak_p999_.Add(static_cast<double>(current_streak_));
+    current_streak_ = 0;
+  }
+  if (occupied) {
+    ++occupied_intervals_;
+    const double savings = (limit_sum - prediction) / limit_sum;
+    savings_sum_ += savings;
+    savings_p05_.Add(savings);
+  }
+  prediction_sum_ += prediction;
+  limit_sum_total_ += limit_sum;
+  ++intervals_;
+}
+
+void RiskAccumulator::Reset() {
+  intervals_ = 0;
+  violations_ = 0;
+  occupied_intervals_ = 0;
+  occupied_violations_ = 0;
+  severity_sum_ = 0.0;
+  savings_sum_ = 0.0;
+  prediction_sum_ = 0.0;
+  limit_sum_total_ = 0.0;
+  current_streak_ = 0;
+  max_streak_ = 0;
+  streak_count_ = 0;
+  streak_len_sum_ = 0;
+  severity_p99_.Reset();
+  severity_p999_.Reset();
+  streak_p99_.Reset();
+  streak_p999_.Reset();
+  savings_p05_.Reset();
+}
+
+int64_t RiskAccumulator::max_violation_streak() const {
+  return std::max(max_streak_, current_streak_);
+}
+
+RiskTailSummary RiskAccumulator::TailSummary() const {
+  RiskTailSummary tail;
+  tail.severity_p99 = severity_p99_.Value();
+  tail.severity_p999 = severity_p999_.Value();
+  tail.max_violation_streak = max_violation_streak();
+  tail.streak_p99 = streak_p99_.Value();
+  tail.streak_p999 = streak_p999_.Value();
+  tail.violation_time_fraction =
+      occupied_intervals_ > 0
+          ? static_cast<double>(occupied_violations_) / static_cast<double>(occupied_intervals_)
+          : 0.0;
+  tail.savings_at_risk = savings_p05_.Value();
+  return tail;
+}
+
+void RiskAccumulator::SaveState(ByteWriter& out) const {
+  out.Write<int64_t>(intervals_);
+  out.Write<int64_t>(violations_);
+  out.Write<int64_t>(occupied_intervals_);
+  out.Write<int64_t>(occupied_violations_);
+  out.Write<double>(severity_sum_);
+  out.Write<double>(savings_sum_);
+  out.Write<double>(prediction_sum_);
+  out.Write<double>(limit_sum_total_);
+  out.Write<int64_t>(current_streak_);
+  out.Write<int64_t>(max_streak_);
+  out.Write<int64_t>(streak_count_);
+  out.Write<int64_t>(streak_len_sum_);
+  severity_p99_.SaveState(out);
+  severity_p999_.SaveState(out);
+  streak_p99_.SaveState(out);
+  streak_p999_.SaveState(out);
+  savings_p05_.SaveState(out);
+}
+
+bool RiskAccumulator::LoadState(ByteReader& in) {
+  RiskAccumulator loaded;
+  loaded.intervals_ = in.Read<int64_t>();
+  loaded.violations_ = in.Read<int64_t>();
+  loaded.occupied_intervals_ = in.Read<int64_t>();
+  loaded.occupied_violations_ = in.Read<int64_t>();
+  loaded.severity_sum_ = in.Read<double>();
+  loaded.savings_sum_ = in.Read<double>();
+  loaded.prediction_sum_ = in.Read<double>();
+  loaded.limit_sum_total_ = in.Read<double>();
+  loaded.current_streak_ = in.Read<int64_t>();
+  loaded.max_streak_ = in.Read<int64_t>();
+  loaded.streak_count_ = in.Read<int64_t>();
+  loaded.streak_len_sum_ = in.Read<int64_t>();
+  const bool counters_ok =
+      in.ok() && loaded.intervals_ >= 0 && loaded.violations_ >= 0 &&
+      loaded.occupied_intervals_ >= 0 && loaded.occupied_violations_ >= 0 &&
+      loaded.current_streak_ >= 0 && loaded.max_streak_ >= 0 && loaded.streak_count_ >= 0 &&
+      loaded.streak_len_sum_ >= 0 && loaded.violations_ <= loaded.intervals_ &&
+      loaded.occupied_intervals_ <= loaded.intervals_ &&
+      loaded.occupied_violations_ <= loaded.occupied_intervals_ &&
+      loaded.occupied_violations_ <= loaded.violations_ &&
+      loaded.current_streak_ <= loaded.violations_ &&
+      std::isfinite(loaded.severity_sum_) && std::isfinite(loaded.savings_sum_) &&
+      std::isfinite(loaded.prediction_sum_) && std::isfinite(loaded.limit_sum_total_);
+  if (!counters_ok) {
+    in.Fail();
+    return false;
+  }
+  if (!loaded.severity_p99_.LoadState(in) || !loaded.severity_p999_.LoadState(in) ||
+      !loaded.streak_p99_.LoadState(in) || !loaded.streak_p999_.LoadState(in) ||
+      !loaded.savings_p05_.LoadState(in)) {
+    return false;
+  }
+  *this = loaded;
+  return true;
+}
+
+}  // namespace crf

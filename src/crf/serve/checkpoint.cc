@@ -12,7 +12,11 @@ namespace crf {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'R', 'F', 'C', 'K', 'P', 'T', '1'};
-constexpr uint32_t kVersion = 1;
+// Version 2: the spec encoding gained the chance-constrained `target` knob
+// and per-machine payloads carry full RiskAccumulator state (tail quantile
+// estimators) instead of six scalar counters. Version-1 files are rejected
+// with a clear error rather than misparsed.
+constexpr uint32_t kVersion = 2;
 constexpr uint64_t kMaxNameLength = 4096;
 constexpr uint64_t kMaxSpecLength = 1 << 20;
 constexpr uint64_t kMaxPayloadLength = uint64_t{1} << 40;
@@ -44,6 +48,7 @@ void WriteSpec(ByteWriter& out, const PredictorSpec& spec) {
   out.Write<double>(spec.percentile);
   out.Write<double>(spec.n_sigma);
   out.Write<double>(spec.margin);
+  out.Write<double>(spec.target);
   out.Write<int32_t>(spec.config.min_num_samples);
   out.Write<int32_t>(spec.config.max_num_samples);
   out.Write<uint32_t>(static_cast<uint32_t>(spec.components.size()));
@@ -62,6 +67,7 @@ bool ReadSpec(ByteReader& in, PredictorSpec& spec, int depth) {
   spec.percentile = in.Read<double>();
   spec.n_sigma = in.Read<double>();
   spec.margin = in.Read<double>();
+  spec.target = in.Read<double>();
   spec.config.min_num_samples = in.Read<int32_t>();
   spec.config.max_num_samples = in.Read<int32_t>();
   const uint32_t num_components = in.Read<uint32_t>();
@@ -76,6 +82,7 @@ bool ReadSpec(ByteReader& in, PredictorSpec& spec, int depth) {
   // here so corrupted files produce an error, not an abort.
   const bool knobs_ok = spec.phi > 0.0 && spec.phi <= 1.0 && spec.percentile >= 0.0 &&
                         spec.percentile <= 100.0 && spec.n_sigma > 0.0 && spec.margin >= 1.0 &&
+                        spec.target > 0.0 && spec.target < 1.0 &&
                         spec.config.min_num_samples > 0 &&
                         spec.config.max_num_samples >= spec.config.min_num_samples;
   if (!knobs_ok) {

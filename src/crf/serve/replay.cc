@@ -91,16 +91,7 @@ void StreamReplayer::AdvanceShard(int shard_index, Interval from, Interval until
       const double oracle_value = shard.oracle[tau];
       const double limit_sum = service_.LimitSum(m);
       const bool occupied = !service_.Roster(m).empty();
-      if (IsPeakViolation(prediction, oracle_value)) {
-        ++accum.violations;
-        accum.severity_sum += (oracle_value - prediction) / oracle_value;
-      }
-      if (occupied) {
-        ++accum.occupied_intervals;
-        accum.savings_sum += (limit_sum - prediction) / limit_sum;
-      }
-      accum.prediction_sum += prediction;
-      accum.limit_sum_total += limit_sum;
+      accum.risk.Record(prediction, oracle_value, limit_sum, occupied);
       shard.cell_limit[tau] += limit_sum;
       shard.cell_prediction[tau] += prediction;
     }
@@ -151,19 +142,7 @@ SimResult StreamReplayer::Finish() {
   result.predictor_name = spec().Name();
   result.machines.resize(num_machines);
   for (int m = 0; m < num_machines; ++m) {
-    const MachineAccum& accum = accums_[m];
-    MachineMetrics& metrics = result.machines[m];
-    metrics.machine_index = m;
-    metrics.intervals = num_intervals;
-    metrics.occupied_intervals = accum.occupied_intervals;
-    metrics.violations = accum.violations;
-    metrics.mean_violation_severity = accum.severity_sum / num_intervals;
-    metrics.mean_prediction = accum.prediction_sum / num_intervals;
-    metrics.mean_limit = accum.limit_sum_total / num_intervals;
-    if (accum.occupied_intervals > 0) {
-      metrics.savings_ratio =
-          accum.savings_sum / static_cast<double>(accum.occupied_intervals);
-    }
+    FinalizeMachineMetrics(accums_[m].risk, m, num_intervals, result.machines[m]);
   }
 
   // Deterministic merge: shard partials summed in shard index order.
@@ -180,11 +159,29 @@ SimResult StreamReplayer::Finish() {
 }
 
 const ServeMetrics& StreamReplayer::Metrics() {
-  int64_t violations = 0;
+  ServeMetrics::RiskSummary risk;
+  int64_t occupied = 0;
+  int64_t occupied_violations = 0;
+  bool any_occupied = false;
   for (const MachineAccum& accum : accums_) {
-    violations += accum.violations;
+    risk.violations += accum.risk.violations();
+    const RiskTailSummary tail = accum.risk.TailSummary();
+    risk.max_violation_streak = std::max(risk.max_violation_streak, tail.max_violation_streak);
+    risk.worst_severity_p999 = std::max(risk.worst_severity_p999, tail.severity_p999);
+    occupied += accum.risk.occupied_intervals();
+    occupied_violations += accum.risk.occupied_violations();
+    if (accum.risk.occupied_intervals() > 0) {
+      risk.worst_savings_at_risk = any_occupied
+                                       ? std::min(risk.worst_savings_at_risk, tail.savings_at_risk)
+                                       : tail.savings_at_risk;
+      any_occupied = true;
+    }
   }
-  metrics_.SetViolations(violations);
+  risk.violation_time_fraction =
+      occupied > 0 ? static_cast<double>(occupied_violations) / static_cast<double>(occupied)
+                   : 0.0;
+  metrics_.SetViolations(risk.violations);
+  metrics_.SetRiskSummary(risk);
   return metrics_;
 }
 
@@ -202,13 +199,7 @@ void StreamReplayer::SaveStateTo(ByteWriter& out) const {
   }
   for (int m = 0; m < log_.num_machines(); ++m) {
     service_.SaveMachine(m, out);
-    const MachineAccum& accum = accums_[m];
-    out.Write<int64_t>(accum.violations);
-    out.Write<int64_t>(accum.occupied_intervals);
-    out.Write<double>(accum.severity_sum);
-    out.Write<double>(accum.savings_sum);
-    out.Write<double>(accum.prediction_sum);
-    out.Write<double>(accum.limit_sum_total);
+    accums_[m].risk.SaveState(out);
   }
 }
 
@@ -245,17 +236,7 @@ bool StreamReplayer::LoadStateFrom(ByteReader& in, Interval resume_tick) {
     if (!service_.LoadMachine(m, in)) {
       return false;
     }
-    MachineAccum& accum = accums_[m];
-    accum.violations = in.Read<int64_t>();
-    accum.occupied_intervals = in.Read<int64_t>();
-    accum.severity_sum = in.Read<double>();
-    accum.savings_sum = in.Read<double>();
-    accum.prediction_sum = in.Read<double>();
-    accum.limit_sum_total = in.Read<double>();
-    if (!in.ok() || accum.violations < 0 || accum.occupied_intervals < 0 ||
-        !std::isfinite(accum.severity_sum) || !std::isfinite(accum.savings_sum) ||
-        !std::isfinite(accum.prediction_sum) || !std::isfinite(accum.limit_sum_total)) {
-      in.Fail();
+    if (!accums_[m].risk.LoadState(in)) {
       return false;
     }
   }

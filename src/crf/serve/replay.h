@@ -30,6 +30,7 @@
 
 #include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
+#include "crf/risk/risk_accumulator.h"
 #include "crf/serve/event_log.h"
 #include "crf/serve/serve_metrics.h"
 #include "crf/serve/service.h"
@@ -109,17 +110,14 @@ class StreamReplayer {
   bool LoadStateFrom(ByteReader& in, Interval resume_tick);
 
  private:
-  // Per-machine metric accumulators, mirroring SimulateMachine's locals.
-  // Cache-line aligned: a machine's accumulator is written every tick by the
-  // shard that owns it, and without padding the two machines straddling a
-  // shard boundary would ping-pong one line between two threads all run.
+  // Per-machine risk accounting (crf/risk), the streaming twin of the batch
+  // engine's per-machine RiskAccumulator — Record() allocates nothing, so
+  // the ingest hot path stays heap-free. Cache-line aligned: a machine's
+  // accumulator is written every tick by the shard that owns it, and without
+  // padding the two machines straddling a shard boundary would ping-pong one
+  // line between two threads all run.
   struct alignas(64) MachineAccum {
-    int64_t violations = 0;
-    int64_t occupied_intervals = 0;
-    double severity_sum = 0.0;
-    double savings_sum = 0.0;
-    double prediction_sum = 0.0;
-    double limit_sum_total = 0.0;
+    RiskAccumulator risk;
   };
 
   // Everything a shard touches per tick is owned by the shard: its partial

@@ -71,6 +71,15 @@ std::string ServeMetrics::ToJson() const {
   }
   out += first ? "],\n" : "\n  ],\n";
 
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"risk\": {\"max_violation_streak\": %lld, "
+                "\"worst_severity_p999\": %.9g, \"violation_time_fraction\": %.9g, "
+                "\"worst_savings_at_risk\": %.9g},\n",
+                static_cast<long long>(risk_.max_violation_streak),
+                risk_.worst_severity_p999, risk_.violation_time_fraction,
+                risk_.worst_savings_at_risk);
+  out += buffer;
+
   out += "  \"shards\": [";
   for (int s = 0; s < num_shards(); ++s) {
     const ShardMetrics& shard = shards_[s];

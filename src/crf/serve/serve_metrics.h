@@ -50,9 +50,27 @@ class ServeMetrics {
   const ShardMetrics& shard(int s) const { return shards_[s]; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  // Cell-level risk summary aggregated from the replayer's per-machine
+  // RiskAccumulators (crf/risk). Deterministic (derived from checkpointed
+  // accumulators), refreshed by StreamReplayer::Metrics().
+  struct RiskSummary {
+    int64_t violations = 0;
+    // Longest violation streak on any machine (intervals).
+    int64_t max_violation_streak = 0;
+    // Worst per-machine p999 violation severity.
+    double worst_severity_p999 = 0.0;
+    // Violating ∩ occupied intervals / occupied intervals, over all machines.
+    double violation_time_fraction = 0.0;
+    // Lowest per-machine savings-at-risk (p5 savings over occupied
+    // intervals) among machines that held tasks.
+    double worst_savings_at_risk = 0.0;
+  };
+
   // Wall-clock seconds spent inside Advance (accumulated by the replayer).
   void AddElapsedSeconds(double seconds) { elapsed_seconds_ += seconds; }
   void SetViolations(int64_t violations) { violations_ = violations; }
+  void SetRiskSummary(const RiskSummary& risk) { risk_ = risk; }
+  const RiskSummary& risk() const { return risk_; }
 
   uint64_t TotalEvents() const;
   uint64_t TotalTicks() const;
@@ -69,6 +87,7 @@ class ServeMetrics {
   std::vector<ShardMetrics> shards_;
   double elapsed_seconds_ = 0.0;
   int64_t violations_ = 0;
+  RiskSummary risk_;
 };
 
 }  // namespace crf

@@ -1,5 +1,7 @@
 #include "crf/sim/metrics.h"
 
+#include <algorithm>
+
 namespace crf {
 
 Ecdf SimResult::ViolationRateCdf() const {
@@ -26,7 +28,57 @@ Ecdf SimResult::MachineSavingsCdf() const {
   return cdf;
 }
 
+Ecdf SimResult::SeverityP999Cdf() const {
+  Ecdf cdf;
+  for (const MachineMetrics& m : machines) {
+    cdf.Add(m.tail.severity_p999);
+  }
+  return cdf;
+}
+
+Ecdf SimResult::MaxStreakCdf() const {
+  Ecdf cdf;
+  for (const MachineMetrics& m : machines) {
+    cdf.Add(static_cast<double>(m.tail.max_violation_streak));
+  }
+  return cdf;
+}
+
 Ecdf SimResult::CellSavingsCdf() const { return Ecdf(cell_savings_series); }
+
+double SimResult::WorstSeverityP999() const {
+  double worst = 0.0;
+  for (const MachineMetrics& m : machines) {
+    worst = std::max(worst, m.tail.severity_p999);
+  }
+  return worst;
+}
+
+int64_t SimResult::MaxViolationStreak() const {
+  int64_t longest = 0;
+  for (const MachineMetrics& m : machines) {
+    longest = std::max(longest, m.tail.max_violation_streak);
+  }
+  return longest;
+}
+
+void FinalizeMachineMetrics(const RiskAccumulator& risk, int machine_index,
+                            int64_t num_intervals, MachineMetrics& metrics) {
+  metrics.machine_index = machine_index;
+  metrics.intervals = num_intervals;
+  metrics.occupied_intervals = risk.occupied_intervals();
+  metrics.violations = risk.violations();
+  if (num_intervals > 0) {
+    metrics.mean_violation_severity = risk.severity_sum() / num_intervals;
+    metrics.mean_prediction = risk.prediction_sum() / num_intervals;
+    metrics.mean_limit = risk.limit_sum_total() / num_intervals;
+  }
+  if (risk.occupied_intervals() > 0) {
+    metrics.savings_ratio =
+        risk.savings_sum() / static_cast<double>(risk.occupied_intervals());
+  }
+  metrics.tail = risk.TailSummary();
+}
 
 double SimResult::MeanCellSavings() const {
   if (cell_savings_series.empty()) {

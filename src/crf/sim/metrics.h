@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "crf/risk/risk_accumulator.h"
 #include "crf/stats/ecdf.h"
 
 namespace crf {
@@ -33,11 +34,22 @@ struct MachineMetrics {
   // Mean prediction and mean limit sum (diagnostics).
   double mean_prediction = 0.0;
   double mean_limit = 0.0;
+  // Tail metrics (crf/risk): severity quantiles, violation streaks,
+  // time-weighted violation fraction, savings-at-risk.
+  RiskTailSummary tail;
 
   double violation_rate() const {
     return intervals == 0 ? 0.0 : static_cast<double>(violations) / intervals;
   }
 };
+
+// Fills the mean-level fields of `metrics` from an accumulator using the
+// engines' shared divisor arithmetic (severity/prediction/limit means over
+// all intervals, savings over occupied intervals) plus the tail summary.
+// Shared by the batch simulator, the sweep engine, and the streaming
+// replayer so all three finalize identically.
+void FinalizeMachineMetrics(const RiskAccumulator& risk, int machine_index,
+                            int64_t num_intervals, MachineMetrics& metrics);
 
 struct SimResult {
   std::string cell_name;
@@ -50,6 +62,9 @@ struct SimResult {
   Ecdf ViolationRateCdf() const;
   Ecdf ViolationSeverityCdf() const;
   Ecdf MachineSavingsCdf() const;
+  // Tail CDFs over machines (crf/risk).
+  Ecdf SeverityP999Cdf() const;
+  Ecdf MaxStreakCdf() const;
   // CDF over intervals of the cell-level savings series.
   Ecdf CellSavingsCdf() const;
 
@@ -58,19 +73,14 @@ struct SimResult {
   double MeanCellSavings() const;
   // Mean per-machine violation rate.
   double MeanViolationRate() const;
+  // Tail aggregates over machines (crf/risk): the worst p999 severity and
+  // the longest violation streak anywhere in the cell.
+  double WorstSeverityP999() const;
+  int64_t MaxViolationStreak() const;
 };
 
-// Relative tolerance when comparing a prediction against the oracle: both
-// are sums of the same float samples accumulated along different paths, so
-// bit-identical equality cannot be expected.
-inline constexpr double kViolationRelTolerance = 1e-9;
-
-// Whether `prediction` undershoots the oracle peak (paper Section 5.1.3).
-// Shared by the batch simulator and the streaming replayer so both count the
-// exact same violations.
-inline bool IsPeakViolation(double prediction, double oracle) {
-  return prediction < oracle * (1.0 - kViolationRelTolerance) - 1e-12;
-}
+// IsPeakViolation / kViolationRelTolerance moved to crf/risk (shared by all
+// four scoring engines); re-exported here via the include above.
 
 // Builds the per-interval cell-level savings series (sum L - sum P) / sum L
 // from aggregated per-interval limit and prediction series, skipping

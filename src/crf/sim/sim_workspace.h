@@ -17,6 +17,7 @@
 #include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
 #include "crf/core/sweep_bank.h"
+#include "crf/risk/risk_accumulator.h"
 
 namespace crf {
 
@@ -33,12 +34,11 @@ struct SimWorkspace {
   std::vector<int32_t> active;
   std::vector<TaskSample> samples;
 
-  // Per-spec accumulators for the multi-spec engine, sized to the plan's
-  // spec count by SimulateMachineMulti.
-  std::vector<int64_t> multi_violations;
-  std::vector<double> multi_severity;
-  std::vector<double> multi_savings;
-  std::vector<double> multi_prediction_sum;
+  // Per-machine risk accounting (crf/risk), Reset() per machine. One for the
+  // single-spec engine, one per spec for the multi-spec engine (grown to the
+  // plan's spec count by SimulateMachineMulti, never shrunk).
+  RiskAccumulator risk;
+  std::vector<RiskAccumulator> multi_risk;
 
   // Returns a predictor for `spec`, reusing (via Reset) the previous
   // instance when the spec is unchanged — the common case when sweeping one

@@ -64,10 +64,6 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
   const TaskColumns cols(cell);
   BuildEventLists(cols, cell.machine_tasks(machine_index), ws);
 
-  MachineMetrics metrics;
-  metrics.machine_index = machine_index;
-  metrics.intervals = num_intervals;
-
   std::vector<int32_t>& active = ws.active;
   std::vector<TaskSample>& samples = ws.samples;
   active.clear();
@@ -76,10 +72,8 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
   size_t next_arrival = 0;
   size_t next_departure = 0;
   double limit_sum = 0.0;
-  double severity_sum = 0.0;
-  double savings_sum = 0.0;
-  double prediction_sum = 0.0;
-  double limit_sum_total = 0.0;
+  RiskAccumulator& risk = ws.risk;
+  risk.Reset();
 
   for (Interval tau = 0; tau < num_intervals; ++tau) {
     // Retire departed tasks (event-driven: the compaction scan runs only on
@@ -118,16 +112,7 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
     const double prediction = predictor->PredictPeak();
     const double oracle_value = oracle[tau];
 
-    if (IsPeakViolation(prediction, oracle_value)) {
-      ++metrics.violations;
-      severity_sum += (oracle_value - prediction) / oracle_value;
-    }
-    if (!active.empty()) {
-      ++metrics.occupied_intervals;
-      savings_sum += (limit_sum - prediction) / limit_sum;
-    }
-    prediction_sum += prediction;
-    limit_sum_total += limit_sum;
+    risk.Record(prediction, oracle_value, limit_sum, !active.empty());
     if (cell_limit != nullptr) {
       (*cell_limit)[tau] += limit_sum;
     }
@@ -136,14 +121,8 @@ MachineMetrics SimulateMachine(const CellTrace& cell, int machine_index,
     }
   }
 
-  if (num_intervals > 0) {
-    metrics.mean_violation_severity = severity_sum / num_intervals;
-    metrics.mean_prediction = prediction_sum / num_intervals;
-    metrics.mean_limit = limit_sum_total / num_intervals;
-  }
-  if (metrics.occupied_intervals > 0) {
-    metrics.savings_ratio = savings_sum / static_cast<double>(metrics.occupied_intervals);
-  }
+  MachineMetrics metrics;
+  FinalizeMachineMetrics(risk, machine_index, num_intervals, metrics);
   return metrics;
 }
 
@@ -228,12 +207,12 @@ void SimulateMachineMulti(const CellTrace& cell, int machine_index, const SweepP
   active.clear();
   samples.clear();
 
-  ws.multi_violations.assign(num_specs, 0);
-  ws.multi_severity.assign(num_specs, 0.0);
-  ws.multi_savings.assign(num_specs, 0.0);
-  ws.multi_prediction_sum.assign(num_specs, 0.0);
-  int64_t occupied_intervals = 0;
-  double limit_sum_total = 0.0;
+  if (ws.multi_risk.size() < static_cast<size_t>(num_specs)) {
+    ws.multi_risk.resize(num_specs);
+  }
+  for (int s = 0; s < num_specs; ++s) {
+    ws.multi_risk[s].Reset();
+  }
 
   size_t next_arrival = 0;
   size_t next_departure = 0;
@@ -276,24 +255,13 @@ void SimulateMachineMulti(const CellTrace& cell, int machine_index, const SweepP
     const std::span<const double> predictions = bank.Predictions();
     const double oracle_value = oracle[tau];
     const bool occupied = !active.empty();
-    if (occupied) {
-      ++occupied_intervals;
-    }
-    limit_sum_total += limit_sum;
     if (cell_limit != nullptr) {
       (*cell_limit)[tau] += limit_sum;
     }
 
     for (int s = 0; s < num_specs; ++s) {
       const double prediction = predictions[s];
-      if (IsPeakViolation(prediction, oracle_value)) {
-        ++ws.multi_violations[s];
-        ws.multi_severity[s] += (oracle_value - prediction) / oracle_value;
-      }
-      if (occupied) {
-        ws.multi_savings[s] += (limit_sum - prediction) / limit_sum;
-      }
-      ws.multi_prediction_sum[s] += prediction;
+      ws.multi_risk[s].Record(prediction, oracle_value, limit_sum, occupied);
       if (cell_predictions != nullptr) {
         (*cell_predictions)[s][tau] += prediction;
       }
@@ -301,19 +269,8 @@ void SimulateMachineMulti(const CellTrace& cell, int machine_index, const SweepP
   }
 
   for (int s = 0; s < num_specs; ++s) {
-    MachineMetrics& metrics = results[s].machines[machine_index];
-    metrics.machine_index = machine_index;
-    metrics.intervals = num_intervals;
-    metrics.occupied_intervals = occupied_intervals;
-    metrics.violations = ws.multi_violations[s];
-    if (num_intervals > 0) {
-      metrics.mean_violation_severity = ws.multi_severity[s] / num_intervals;
-      metrics.mean_prediction = ws.multi_prediction_sum[s] / num_intervals;
-      metrics.mean_limit = limit_sum_total / num_intervals;
-    }
-    if (occupied_intervals > 0) {
-      metrics.savings_ratio = ws.multi_savings[s] / static_cast<double>(occupied_intervals);
-    }
+    FinalizeMachineMetrics(ws.multi_risk[s], machine_index, num_intervals,
+                           results[s].machines[machine_index]);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crf/util/byte_io.h"
 #include "crf/util/check.h"
 
 namespace crf {
@@ -77,6 +78,65 @@ void P2Quantile::Add(double value) {
     }
     positions_[i] += sign;
   }
+}
+
+void P2Quantile::Reset() {
+  count_ = 0;
+  heights_.fill(0.0);
+  positions_.fill(0.0);
+  desired_ = {1.0, 1.0 + 2.0 * quantile_, 1.0 + 4.0 * quantile_, 3.0 + 2.0 * quantile_, 5.0};
+}
+
+void P2Quantile::SaveState(ByteWriter& out) const {
+  out.Write<double>(quantile_);
+  out.Write<int64_t>(count_);
+  for (const double h : heights_) {
+    out.Write<double>(h);
+  }
+  for (const double p : positions_) {
+    out.Write<double>(p);
+  }
+  for (const double d : desired_) {
+    out.Write<double>(d);
+  }
+}
+
+bool P2Quantile::LoadState(ByteReader& in) {
+  const double quantile = in.Read<double>();
+  const int64_t count = in.Read<int64_t>();
+  std::array<double, 5> heights;
+  std::array<double, 5> positions;
+  std::array<double, 5> desired;
+  for (double& h : heights) {
+    h = in.Read<double>();
+  }
+  for (double& p : positions) {
+    p = in.Read<double>();
+  }
+  for (double& d : desired) {
+    d = in.Read<double>();
+  }
+  bool valid = in.ok() && quantile == quantile_ && count >= 0;
+  for (int i = 0; valid && i < 5; ++i) {
+    valid = std::isfinite(heights[i]) && std::isfinite(positions[i]) && std::isfinite(desired[i]);
+  }
+  if (valid && count >= 5) {
+    // Past the warm-up buffer the markers are ordered: heights non-decreasing,
+    // positions strictly increasing from 1 with the last marker at `count`.
+    for (int i = 1; i < 5; ++i) {
+      valid = valid && heights[i] >= heights[i - 1] && positions[i] > positions[i - 1];
+    }
+    valid = valid && positions[0] == 1.0 && positions[4] == static_cast<double>(count);
+  }
+  if (!valid) {
+    in.Fail();
+    return false;
+  }
+  count_ = count;
+  heights_ = heights;
+  positions_ = positions;
+  desired_ = desired;
+  return true;
 }
 
 double P2Quantile::Value() const {

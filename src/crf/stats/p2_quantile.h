@@ -13,6 +13,9 @@
 
 namespace crf {
 
+class ByteReader;
+class ByteWriter;
+
 class P2Quantile {
  public:
   // quantile in (0, 1), e.g. 0.99 for the 99th percentile.
@@ -25,6 +28,17 @@ class P2Quantile {
   double Value() const;
 
   int64_t count() const { return count_; }
+
+  // Discards all samples, keeping the target quantile.
+  void Reset();
+
+  // Checkpoint support (crf/serve): serializes the complete marker state so
+  // a restored estimator continues bit-identically to the uninterrupted one.
+  // LoadState validates the stored target quantile against this instance's
+  // and every structural invariant of the marker arrays; it returns false
+  // (latching the reader's failure flag) on any mismatch.
+  void SaveState(ByteWriter& out) const;
+  bool LoadState(ByteReader& in);
 
  private:
   double quantile_;

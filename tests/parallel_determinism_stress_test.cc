@@ -79,7 +79,7 @@ CellTrace ChurnCell(uint64_t seed) {
 // Every roster predictor family, short windows so small traces cover both
 // the warming and warmed regimes.
 PredictorSpec SpecForCase(int index) {
-  switch (index % 6) {
+  switch (index % 8) {
     case 0:
       return LimitSumSpec();
     case 1:
@@ -90,6 +90,10 @@ PredictorSpec SpecForCase(int index) {
       return RcLikeSpec(95.0, 3, 8);
     case 4:
       return AutopilotSpec(95.0, 1.2, 3, 8);
+    case 5:
+      return ChanceSpec(0.05, 3, 8);
+    case 6:
+      return FlexSpec(90.0, 1.2, 3, 8);
     default:
       return MaxSpec({NSigmaSpec(5.0, 3, 8), RcLikeSpec(99.0, 3, 8)});
   }

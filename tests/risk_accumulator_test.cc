@@ -1,0 +1,351 @@
+// RiskAccumulator (crf/risk) against a naive reference.
+//
+// The accumulator's contract has two halves:
+//  * mean-level counters and sums must reproduce the seed engines'
+//    hand-rolled accounting exactly (the four engine differentials pin the
+//    end-to-end paths; here the arithmetic itself is pinned against a
+//    transparent reference under randomized churn);
+//  * tail metrics (severity/streak quantiles, violation-time fraction,
+//    savings-at-risk) must match independently-fed P² estimators and a
+//    naive streak tracker, across edge cases: no records at all, empty
+//    (never-occupied) machines, all-violating and never-violating streams,
+//    and the single-sample regime where P² falls back to its sorted buffer.
+//
+// Checkpoint state is round-tripped at random cut points (restored
+// accumulator continues bit-identically) and fuzzed for corruption
+// (truncation and bit flips are rejected, never a crash).
+
+#include "crf/risk/risk_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crf/stats/p2_quantile.h"
+#include "crf/util/byte_io.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+// Transparent reference: buffers every interval and recomputes everything
+// from scratch. Mirrors the seed engines' loop arithmetic line for line.
+struct NaiveReference {
+  int64_t intervals = 0;
+  int64_t violations = 0;
+  int64_t occupied_intervals = 0;
+  int64_t occupied_violations = 0;
+  double severity_sum = 0.0;
+  double savings_sum = 0.0;
+  double prediction_sum = 0.0;
+  double limit_sum_total = 0.0;
+
+  int64_t current_streak = 0;
+  int64_t max_streak = 0;
+  std::vector<int64_t> completed_streaks;
+
+  // Independently-fed estimators: same inputs in the same order as the
+  // accumulator's internal ones, so the tail values must be bit-identical.
+  P2Quantile severity_p99{0.99};
+  P2Quantile severity_p999{0.999};
+  P2Quantile streak_p99{0.99};
+  P2Quantile streak_p999{0.999};
+  P2Quantile savings_p05{0.05};
+
+  void Record(double prediction, double oracle, double limit_sum, bool occupied) {
+    if (IsPeakViolation(prediction, oracle)) {
+      ++violations;
+      const double severity = (oracle - prediction) / oracle;
+      severity_sum += severity;
+      severity_p99.Add(severity);
+      severity_p999.Add(severity);
+      ++current_streak;
+      if (occupied) {
+        ++occupied_violations;
+      }
+    } else if (current_streak > 0) {
+      max_streak = std::max(max_streak, current_streak);
+      completed_streaks.push_back(current_streak);
+      streak_p99.Add(static_cast<double>(current_streak));
+      streak_p999.Add(static_cast<double>(current_streak));
+      current_streak = 0;
+    }
+    if (occupied) {
+      ++occupied_intervals;
+      const double savings = (limit_sum - prediction) / limit_sum;
+      savings_sum += savings;
+      savings_p05.Add(savings);
+    }
+    prediction_sum += prediction;
+    limit_sum_total += limit_sum;
+    ++intervals;
+  }
+};
+
+void ExpectMatchesReference(const RiskAccumulator& risk, const NaiveReference& ref) {
+  EXPECT_EQ(risk.intervals(), ref.intervals);
+  EXPECT_EQ(risk.violations(), ref.violations);
+  EXPECT_EQ(risk.occupied_intervals(), ref.occupied_intervals);
+  EXPECT_EQ(risk.occupied_violations(), ref.occupied_violations);
+  EXPECT_EQ(risk.severity_sum(), ref.severity_sum);
+  EXPECT_EQ(risk.savings_sum(), ref.savings_sum);
+  EXPECT_EQ(risk.prediction_sum(), ref.prediction_sum);
+  EXPECT_EQ(risk.limit_sum_total(), ref.limit_sum_total);
+  EXPECT_EQ(risk.completed_streaks(), static_cast<int64_t>(ref.completed_streaks.size()));
+
+  const RiskTailSummary tail = risk.TailSummary();
+  EXPECT_EQ(tail.max_violation_streak, std::max(ref.max_streak, ref.current_streak));
+  EXPECT_EQ(tail.severity_p99, ref.severity_p99.Value());
+  EXPECT_EQ(tail.severity_p999, ref.severity_p999.Value());
+  EXPECT_EQ(tail.streak_p99, ref.streak_p99.Value());
+  EXPECT_EQ(tail.streak_p999, ref.streak_p999.Value());
+  EXPECT_EQ(tail.savings_at_risk, ref.savings_p05.Value());
+  const double expected_fraction =
+      ref.occupied_intervals > 0
+          ? static_cast<double>(ref.occupied_violations) /
+                static_cast<double>(ref.occupied_intervals)
+          : 0.0;
+  EXPECT_EQ(tail.violation_time_fraction, expected_fraction);
+}
+
+TEST(RiskAccumulatorTest, FreshAccumulatorReportsZeros) {
+  const RiskAccumulator risk;
+  EXPECT_EQ(risk.intervals(), 0);
+  EXPECT_EQ(risk.violations(), 0);
+  EXPECT_EQ(risk.occupied_intervals(), 0);
+  const RiskTailSummary tail = risk.TailSummary();
+  EXPECT_EQ(tail.severity_p99, 0.0);
+  EXPECT_EQ(tail.severity_p999, 0.0);
+  EXPECT_EQ(tail.max_violation_streak, 0);
+  EXPECT_EQ(tail.streak_p99, 0.0);
+  EXPECT_EQ(tail.violation_time_fraction, 0.0);
+  EXPECT_EQ(tail.savings_at_risk, 0.0);
+}
+
+// An empty machine: never occupied, prediction 0 against oracle 0 — no
+// violations, no savings, fractions all zero (never a 0/0 NaN).
+TEST(RiskAccumulatorTest, NeverOccupiedMachine) {
+  RiskAccumulator risk;
+  NaiveReference ref;
+  for (int t = 0; t < 50; ++t) {
+    risk.Record(0.0, 0.0, 0.0, false);
+    ref.Record(0.0, 0.0, 0.0, false);
+  }
+  ExpectMatchesReference(risk, ref);
+  EXPECT_EQ(risk.violations(), 0);
+  EXPECT_EQ(risk.TailSummary().violation_time_fraction, 0.0);
+  EXPECT_EQ(risk.TailSummary().savings_at_risk, 0.0);
+}
+
+// Every interval violates: the stream is one open streak — it must be
+// visible through max_violation_streak even though it never closes.
+TEST(RiskAccumulatorTest, AllViolatingStreamKeepsOneOpenStreak) {
+  RiskAccumulator risk;
+  NaiveReference ref;
+  const int n = 40;
+  for (int t = 0; t < n; ++t) {
+    risk.Record(0.5, 1.0, 2.0, true);
+    ref.Record(0.5, 1.0, 2.0, true);
+  }
+  ExpectMatchesReference(risk, ref);
+  EXPECT_EQ(risk.violations(), n);
+  EXPECT_EQ(risk.completed_streaks(), 0);
+  EXPECT_EQ(risk.max_violation_streak(), n);
+  EXPECT_EQ(risk.TailSummary().violation_time_fraction, 1.0);
+}
+
+// A prediction meeting the oracle exactly (and within the relative
+// tolerance) never violates.
+TEST(RiskAccumulatorTest, NeverViolatingStream) {
+  RiskAccumulator risk;
+  NaiveReference ref;
+  for (int t = 0; t < 40; ++t) {
+    risk.Record(1.0, 1.0, 2.0, true);
+    ref.Record(1.0, 1.0, 2.0, true);
+    risk.Record(1.0 * (1.0 - 0.5 * kViolationRelTolerance), 1.0, 2.0, true);
+    ref.Record(1.0 * (1.0 - 0.5 * kViolationRelTolerance), 1.0, 2.0, true);
+  }
+  ExpectMatchesReference(risk, ref);
+  EXPECT_EQ(risk.violations(), 0);
+  EXPECT_EQ(risk.max_violation_streak(), 0);
+  EXPECT_EQ(risk.TailSummary().violation_time_fraction, 0.0);
+}
+
+// One violating sample: the quantile estimators are in their exact
+// (sorted-buffer) regime and must report that single severity.
+TEST(RiskAccumulatorTest, SingleSampleQuantilesAreExact) {
+  RiskAccumulator risk;
+  risk.Record(0.75, 1.0, 2.0, true);
+  const RiskTailSummary tail = risk.TailSummary();
+  EXPECT_DOUBLE_EQ(tail.severity_p99, 0.25);
+  EXPECT_DOUBLE_EQ(tail.severity_p999, 0.25);
+  EXPECT_EQ(tail.max_violation_streak, 1);
+  EXPECT_DOUBLE_EQ(tail.savings_at_risk, (2.0 - 0.75) / 2.0);
+  EXPECT_EQ(tail.violation_time_fraction, 1.0);
+}
+
+// Alternating violation/ok closes a streak every other interval.
+TEST(RiskAccumulatorTest, AlternatingStreamClosesUnitStreaks) {
+  RiskAccumulator risk;
+  NaiveReference ref;
+  for (int t = 0; t < 30; ++t) {
+    const double prediction = t % 2 == 0 ? 0.5 : 1.0;
+    risk.Record(prediction, 1.0, 2.0, true);
+    ref.Record(prediction, 1.0, 2.0, true);
+  }
+  ExpectMatchesReference(risk, ref);
+  EXPECT_EQ(risk.completed_streaks(), 15);
+  EXPECT_EQ(risk.max_violation_streak(), 1);
+}
+
+// Randomized churn stress: mixed occupancy, violation bursts, empty
+// stretches, Reset() reuse — the accumulator must track the naive reference
+// through all of it, checked continuously.
+TEST(RiskAccumulatorTest, ChurnStressMatchesNaiveReference) {
+  Rng rng(20260808);
+  // Reused across rounds via Reset, pinning the pooled-reuse path the
+  // simulator workspace depends on: a Reset accumulator must behave exactly
+  // like a fresh one.
+  RiskAccumulator reused;
+  for (int round = 0; round < 5; ++round) {
+    RiskAccumulator risk;
+    NaiveReference ref;
+    reused.Reset();
+    const int intervals = 200 + static_cast<int>(rng.UniformInt(200));
+    // Bias the stream into bursts so long streaks and long quiet runs both
+    // occur.
+    bool bursting = false;
+    for (int t = 0; t < intervals; ++t) {
+      if (rng.UniformDouble() < 0.1) {
+        bursting = !bursting;
+      }
+      const bool occupied = rng.UniformDouble() < 0.8;
+      const double limit_sum = occupied ? 0.5 + rng.UniformDouble() * 4.0 : 0.0;
+      const double oracle = occupied ? limit_sum * (0.2 + 0.8 * rng.UniformDouble())
+                                     : rng.UniformDouble() * 0.01;
+      const double undershoot = bursting ? 0.5 + 0.45 * rng.UniformDouble() : 1.0;
+      const double prediction = oracle * undershoot * (0.9 + 0.2 * rng.UniformDouble());
+      risk.Record(prediction, oracle, limit_sum, occupied);
+      reused.Record(prediction, oracle, limit_sum, occupied);
+      ref.Record(prediction, oracle, limit_sum, occupied);
+      if (t % 37 == 0) {
+        ExpectMatchesReference(risk, ref);
+      }
+    }
+    ExpectMatchesReference(risk, ref);
+    ExpectMatchesReference(reused, ref);
+  }
+}
+
+// --- Checkpoint state. ---
+
+void FillRandom(RiskAccumulator& risk, Rng& rng, int intervals) {
+  for (int t = 0; t < intervals; ++t) {
+    const bool occupied = rng.UniformDouble() < 0.7;
+    const double limit_sum = occupied ? 1.0 + rng.UniformDouble() * 3.0 : 0.0;
+    const double oracle = occupied ? limit_sum * rng.UniformDouble() : 0.0;
+    const double prediction = oracle * (0.5 + 0.6 * rng.UniformDouble());
+    risk.Record(prediction, oracle, limit_sum, occupied);
+  }
+}
+
+TEST(RiskAccumulatorCheckpointTest, RoundTripContinuesBitIdentically) {
+  Rng rng(99);
+  for (const int cut : {0, 1, 4, 5, 50, 200}) {
+    SCOPED_TRACE(::testing::Message() << "cut=" << cut);
+    Rng fill_rng = rng.Fork(static_cast<uint64_t>(cut));
+
+    RiskAccumulator uninterrupted;
+    Rng a = fill_rng;
+    FillRandom(uninterrupted, a, cut);
+    ByteWriter out;
+    uninterrupted.SaveState(out);
+
+    RiskAccumulator restored;
+    ByteReader in(out.bytes());
+    ASSERT_TRUE(restored.LoadState(in));
+    EXPECT_TRUE(in.AtEnd());
+
+    // Continue both with the same suffix: every counter and tail value must
+    // stay bit-identical.
+    Rng b = a;
+    FillRandom(uninterrupted, a, 300);
+    FillRandom(restored, b, 300);
+    EXPECT_EQ(restored.intervals(), uninterrupted.intervals());
+    EXPECT_EQ(restored.violations(), uninterrupted.violations());
+    EXPECT_EQ(restored.severity_sum(), uninterrupted.severity_sum());
+    EXPECT_EQ(restored.savings_sum(), uninterrupted.savings_sum());
+    const RiskTailSummary ta = restored.TailSummary();
+    const RiskTailSummary tb = uninterrupted.TailSummary();
+    EXPECT_EQ(ta.severity_p99, tb.severity_p99);
+    EXPECT_EQ(ta.severity_p999, tb.severity_p999);
+    EXPECT_EQ(ta.max_violation_streak, tb.max_violation_streak);
+    EXPECT_EQ(ta.streak_p99, tb.streak_p99);
+    EXPECT_EQ(ta.streak_p999, tb.streak_p999);
+    EXPECT_EQ(ta.violation_time_fraction, tb.violation_time_fraction);
+    EXPECT_EQ(ta.savings_at_risk, tb.savings_at_risk);
+  }
+}
+
+TEST(RiskAccumulatorCheckpointTest, TruncationsAreRejected) {
+  Rng rng(7);
+  RiskAccumulator risk;
+  FillRandom(risk, rng, 150);
+  ByteWriter out;
+  risk.SaveState(out);
+  const std::span<const uint8_t> bytes(out.bytes());
+  for (size_t length = 0; length < bytes.size(); length += 13) {
+    ByteReader in(bytes.subspan(0, length));
+    RiskAccumulator scratch;
+    EXPECT_FALSE(scratch.LoadState(in)) << "length=" << length;
+    EXPECT_FALSE(in.ok());
+  }
+}
+
+TEST(RiskAccumulatorCheckpointTest, CounterCorruptionIsRejected) {
+  Rng rng(8);
+  RiskAccumulator risk;
+  FillRandom(risk, rng, 150);
+  ByteWriter out;
+  risk.SaveState(out);
+  std::vector<uint8_t> bytes(out.bytes().begin(), out.bytes().end());
+
+  // Make violations negative (sign-bit flip of the int64 at offset 8).
+  std::vector<uint8_t> negative = bytes;
+  negative[15] ^= 0x80;
+  {
+    ByteReader in(negative);
+    RiskAccumulator scratch;
+    EXPECT_FALSE(scratch.LoadState(in));
+  }
+  // Make violations exceed intervals.
+  std::vector<uint8_t> inflated = bytes;
+  inflated[12] ^= 0x7F;
+  {
+    ByteReader in(inflated);
+    RiskAccumulator scratch;
+    EXPECT_FALSE(scratch.LoadState(in));
+  }
+  // An accepted payload must leave the reader positioned at the end; a
+  // rejected one must latch the failure flag. Sweep single-bit flips over
+  // the whole payload: either outcome is fine, crashing or accepting a
+  // payload the invariant checks can catch is not.
+  for (size_t off = 0; off < bytes.size(); off += 11) {
+    std::vector<uint8_t> flipped = bytes;
+    flipped[off] ^= 0x20;
+    ByteReader in(flipped);
+    RiskAccumulator scratch;
+    const bool loaded = scratch.LoadState(in);
+    if (loaded) {
+      EXPECT_TRUE(in.AtEnd()) << "offset=" << off;
+    } else {
+      EXPECT_FALSE(in.ok()) << "offset=" << off;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crf

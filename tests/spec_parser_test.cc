@@ -22,12 +22,18 @@ TEST(SpecParserTest, SimpleSpecs) {
   EXPECT_EQ(NameOf("n-sigma:3"), "n-sigma-3");
   EXPECT_EQ(NameOf("autopilot"), "autopilot-p98-m1.10");
   EXPECT_EQ(NameOf("autopilot:95:1.2"), "autopilot-p95-m1.20");
+  EXPECT_EQ(NameOf("chance"), "chance-e0.01");
+  EXPECT_EQ(NameOf("chance:0.05"), "chance-e0.05");
+  EXPECT_EQ(NameOf("flex"), "flex-p95-m1.2");
+  EXPECT_EQ(NameOf("flex:90"), "flex-p90-m1.2");
+  EXPECT_EQ(NameOf("flex:90:1.5"), "flex-p90-m1.5");
 }
 
 TEST(SpecParserTest, MaxComposition) {
   EXPECT_EQ(NameOf("max(n-sigma:5,rc-like:99)"), "max(n-sigma-5,rc-like-p99)");
   EXPECT_EQ(NameOf("max(borg-default:0.9,autopilot:98:1.1)"),
             "max(borg-default-0.90,autopilot-p98-m1.10)");
+  EXPECT_EQ(NameOf("max(chance:0.02,flex:95:1.2)"), "max(chance-e0.02,flex-p95-m1.2)");
 }
 
 TEST(SpecParserTest, NestedMax) {
@@ -45,7 +51,9 @@ TEST(SpecParserTest, RejectsMalformedInput) {
        {"", "unknown", "borg-default:abc", "borg-default:1.5", "borg-default:0",
         "rc-like:150", "n-sigma:-2", "autopilot:98:0.5", "max()", "max(",
         "max(n-sigma:5", "max(n-sigma:5,)", "max(bogus)", "limit-sum:1",
-        "rc-like:90:1", "n-sigma:5:5"}) {
+        "rc-like:90:1", "n-sigma:5:5", "chance:0", "chance:1", "chance:-0.1",
+        "chance:1.5", "chance:0.01:0.02", "flex:101", "flex:-1", "flex:95:0.9",
+        "flex:95:1.2:3"}) {
     EXPECT_FALSE(ParsePredictorSpec(bad).has_value()) << bad;
   }
 }
@@ -58,6 +66,7 @@ TEST(SpecParserTest, RejectsNonFiniteAndOverflowingParameters) {
        {"rc-like:nan", "rc-like:-nan", "n-sigma:inf", "n-sigma:-inf", "autopilot:nan",
         "autopilot:98:inf", "borg-default:nan", "borg-default:1e999", "n-sigma:1e999",
         "rc-like:", "n-sigma:", "borg-default:", "autopilot:", "autopilot:98:",
+        "chance:nan", "chance:inf", "chance:", "flex:nan", "flex:95:inf", "flex:",
         "max(rc-like:nan)", "max(n-sigma:5,autopilot:inf)"}) {
     EXPECT_FALSE(ParsePredictorSpec(bad).has_value()) << bad;
   }
@@ -84,6 +93,14 @@ TEST(SpecParserTest, ReportsPreciseErrors) {
   EXPECT_EQ(error_for("autopilot:101"), "autopilot percentile '101' must be in [0, 100]");
   EXPECT_EQ(error_for("autopilot:1:2:3"),
             "autopilot takes at most two parameters (percentile, margin)");
+  EXPECT_EQ(error_for("chance:0"), "chance target '0' must be in (0, 1)");
+  EXPECT_EQ(error_for("chance:1"), "chance target '1' must be in (0, 1)");
+  EXPECT_EQ(error_for("chance:nan"), "chance target 'nan' is not finite");
+  EXPECT_EQ(error_for("chance:0.01:0.02"), "chance takes at most one parameter (target)");
+  EXPECT_EQ(error_for("flex:101"), "flex percentile '101' must be in [0, 100]");
+  EXPECT_EQ(error_for("flex:95:0.9"), "flex margin '0.9' must be >= 1");
+  EXPECT_EQ(error_for("flex:95:1.2:3"),
+            "flex takes at most two parameters (percentile, margin)");
   EXPECT_EQ(error_for("max()"), "empty component in 'max()'");
   EXPECT_EQ(error_for("max(n-sigma:5,)"), "empty component in 'max(n-sigma:5,)'");
   EXPECT_EQ(error_for("max(a,b))"), "unbalanced ')' in 'a,b)'");
@@ -99,6 +116,11 @@ TEST(SpecParserTest, ReportsPreciseErrors) {
 // aborting) or reports a non-empty error.
 TEST(SpecParserTest, ArbitraryInputNeverCrashes) {
   const char alphabet[] = "abcdefghijklmnopqrstuvwxyz-:,().0123456789einfa";
+  // Half the inputs are pure noise; half mutate a real spec (every family
+  // represented) so near-valid strings get exercised, not just uniform junk.
+  const char* seeds[] = {"limit-sum",     "borg-default:0.9", "rc-like:95",
+                         "n-sigma:3",     "autopilot:98:1.1", "chance:0.02",
+                         "flex:95:1.2",   "max(chance:0.01,flex:90)"};
   uint64_t state = 0x12345678u;
   const auto next = [&state]() {
     state = state * 6364136223846793005ULL + 1442695040888963407ULL;
@@ -106,9 +128,17 @@ TEST(SpecParserTest, ArbitraryInputNeverCrashes) {
   };
   for (int i = 0; i < 5000; ++i) {
     std::string text;
-    const size_t length = next() % 24;
-    for (size_t k = 0; k < length; ++k) {
-      text += alphabet[next() % (sizeof(alphabet) - 1)];
+    if (i % 2 == 0) {
+      const size_t length = next() % 24;
+      for (size_t k = 0; k < length; ++k) {
+        text += alphabet[next() % (sizeof(alphabet) - 1)];
+      }
+    } else {
+      text = seeds[next() % (sizeof(seeds) / sizeof(seeds[0]))];
+      const size_t mutations = 1 + next() % 3;
+      for (size_t k = 0; k < mutations && !text.empty(); ++k) {
+        text[next() % text.size()] = alphabet[next() % (sizeof(alphabet) - 1)];
+      }
     }
     std::string error;
     const auto spec = ParsePredictorSpec(text, &error);

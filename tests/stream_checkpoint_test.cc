@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crf/core/predictor_factory.h"
@@ -97,9 +98,21 @@ class StreamCheckpointTest : public ::testing::TestWithParam<int> {};
 TEST_P(StreamCheckpointTest, RestoreContinuesBitIdentically) {
   const int case_index = GetParam();
   const CellTrace cell = RandomCell(500 + static_cast<uint64_t>(case_index));
-  const PredictorSpec spec =
-      case_index % 2 == 0 ? MaxSpec({NSigmaSpec(5.0, 3, 8), RcLikeSpec(99.0, 3, 8)})
-                          : AutopilotSpec(95.0, 1.2, 3, 8);
+  PredictorSpec spec;
+  switch (case_index % 4) {
+    case 0:
+      spec = MaxSpec({NSigmaSpec(5.0, 3, 8), RcLikeSpec(99.0, 3, 8)});
+      break;
+    case 1:
+      spec = AutopilotSpec(95.0, 1.2, 3, 8);
+      break;
+    case 2:
+      spec = ChanceSpec(0.02, 3, 8);
+      break;
+    default:
+      spec = MaxSpec({FlexSpec(95.0, 1.2, 3, 8), ChanceSpec(0.05, 3, 8)});
+      break;
+  }
   ReplayOptions options;
   options.num_shards = 4;
 
@@ -128,18 +141,19 @@ TEST_P(StreamCheckpointTest, RestoreContinuesBitIdentically) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Cases, StreamCheckpointTest, ::testing::Range(0, 4));
+INSTANTIATE_TEST_SUITE_P(Cases, StreamCheckpointTest, ::testing::Range(0, 8));
 
 // Builds one valid checkpoint (cut mid-run) and returns its bytes plus the
 // context needed to attempt restores against it.
 struct CheckpointFixture {
   CellTrace cell = RandomCell(321);
-  PredictorSpec spec = NSigmaSpec(3.0, 3, 8);
+  PredictorSpec spec;
   ReplayOptions options;
   std::string path = TempPath("ckpt_corrupt.crfckpt");
   std::vector<uint8_t> bytes;
 
-  CheckpointFixture() {
+  explicit CheckpointFixture(PredictorSpec fixture_spec = NSigmaSpec(3.0, 3, 8))
+      : spec(std::move(fixture_spec)) {
     options.num_shards = 4;
     StreamReplayer replayer(cell, spec, options);
     replayer.Advance(cell.num_intervals / 2);
@@ -190,6 +204,24 @@ TEST(StreamCheckpointCorruptionTest, BitFlipsAreRejected) {
   }
 }
 
+// The new families carry different per-machine state blobs (a machine-level
+// order-statistics window for chance, a ratio window for flex): truncations
+// and bit flips inside those payloads must be rejected the same way.
+TEST(StreamCheckpointCorruptionTest, NewFamilyPayloadDamageIsRejected) {
+  CheckpointFixture fixture(MaxSpec({ChanceSpec(0.02, 3, 8), FlexSpec(90.0, 1.5, 3, 8)}));
+  ASSERT_GT(fixture.bytes.size(), 128u);
+  for (size_t step = 97; step < fixture.bytes.size(); step += 613) {
+    std::vector<uint8_t> truncated(fixture.bytes.begin(),
+                                   fixture.bytes.begin() + static_cast<long>(step));
+    fixture.ExpectRejected(truncated, "truncate to " + std::to_string(step));
+  }
+  for (size_t off = 64; off < fixture.bytes.size(); off += 487) {
+    std::vector<uint8_t> flipped = fixture.bytes;
+    flipped[off] ^= 0x08;
+    fixture.ExpectRejected(flipped, "flip byte " + std::to_string(off));
+  }
+}
+
 TEST(StreamCheckpointCorruptionTest, GarbageAndEmptyFilesAreRejected) {
   CheckpointFixture fixture;
   fixture.ExpectRejected({}, "empty file");
@@ -214,6 +246,17 @@ TEST(StreamCheckpointMismatchTest, WrongShardCountIsRejectedWithHint) {
   EXPECT_NE(error.find("--shards=4"), std::string::npos) << error;
 }
 
+TEST(StreamCheckpointMismatchTest, OldVersionIsRejected) {
+  CheckpointFixture fixture;
+  // The header version is a little-endian u32 at offset 8 (after the magic).
+  std::vector<uint8_t> old_version = fixture.bytes;
+  old_version[8] = 1;
+  WriteAll(fixture.path, old_version);
+  std::string error;
+  EXPECT_EQ(LoadCheckpoint(fixture.path, fixture.cell, fixture.options, &error), nullptr);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
 TEST(StreamCheckpointMismatchTest, MissingFileIsRejected) {
   CheckpointFixture fixture;
   std::string error;
@@ -228,7 +271,7 @@ TEST(StreamCheckpointInfoTest, HeaderInspectionReportsIdentity) {
   CheckpointInfo info;
   std::string error;
   ASSERT_TRUE(ReadCheckpointInfo(fixture.path, &info, &error)) << error;
-  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.version, 2u);
   EXPECT_EQ(info.trace_name, fixture.cell.name);
   EXPECT_EQ(info.num_machines, fixture.cell.num_machines());
   EXPECT_EQ(info.num_intervals, fixture.cell.num_intervals);

@@ -65,7 +65,7 @@ CellTrace RandomCell(uint64_t seed) {
 // Every roster predictor family, with short warm-up/history windows so the
 // small traces cover both warming and warmed regimes.
 PredictorSpec SpecForCase(int index) {
-  switch (index % 6) {
+  switch (index % 8) {
     case 0:
       return LimitSumSpec();
     case 1:
@@ -76,6 +76,10 @@ PredictorSpec SpecForCase(int index) {
       return RcLikeSpec(95.0, 3, 8);
     case 4:
       return AutopilotSpec(95.0, 1.2, 3, 8);
+    case 5:
+      return ChanceSpec(0.05, 3, 8);
+    case 6:
+      return FlexSpec(90.0, 1.2, 3, 8);
     default:
       return MaxSpec({NSigmaSpec(5.0, 3, 8), RcLikeSpec(99.0, 3, 8)});
   }
@@ -92,6 +96,15 @@ void ExpectMetricsBitIdentical(const MachineMetrics& streamed, const MachineMetr
   EXPECT_EQ(streamed.savings_ratio, batch.savings_ratio);
   EXPECT_EQ(streamed.mean_prediction, batch.mean_prediction);
   EXPECT_EQ(streamed.mean_limit, batch.mean_limit);
+  // Tail metrics (crf/risk) run through the same accumulator on both
+  // engines, so they are bit-identical too.
+  EXPECT_EQ(streamed.tail.severity_p99, batch.tail.severity_p99);
+  EXPECT_EQ(streamed.tail.severity_p999, batch.tail.severity_p999);
+  EXPECT_EQ(streamed.tail.max_violation_streak, batch.tail.max_violation_streak);
+  EXPECT_EQ(streamed.tail.streak_p99, batch.tail.streak_p99);
+  EXPECT_EQ(streamed.tail.streak_p999, batch.tail.streak_p999);
+  EXPECT_EQ(streamed.tail.violation_time_fraction, batch.tail.violation_time_fraction);
+  EXPECT_EQ(streamed.tail.savings_at_risk, batch.tail.savings_at_risk);
 }
 
 class StreamReplayTest : public ::testing::TestWithParam<int> {};

@@ -153,6 +153,17 @@ std::vector<PredictorSpec> MixedGrid() {
       // Nested max.
       MaxSpec({BorgDefaultSpec(0.9), MaxSpec({NSigmaSpec(3.0, 3, 8)})}),
       RcLikeSpec(90.0, 3, 8),  // duplicate of an earlier spec
+      // Chance-constrained points: two targets over the same (warm-up,
+      // history) quantile window, plus a distinct window pair.
+      ChanceSpec(0.01, 3, 8),
+      ChanceSpec(0.10, 3, 8),
+      ChanceSpec(0.05, 5, 5),  // min == max warm-up edge
+      // Flex points: two (percentile, margin) pairs over one ratio window,
+      // one over a distinct history length, and a max over new families.
+      FlexSpec(95.0, 1.2, 3, 8),
+      FlexSpec(50.0, 1.0, 3, 8),
+      FlexSpec(90.0, 1.5, 1, 12),
+      MaxSpec({ChanceSpec(0.01, 3, 8), FlexSpec(95.0, 1.2, 3, 8)}),
   };
 }
 
@@ -161,14 +172,19 @@ TEST(SweepPlanTest, DeduplicatesNodesAndGroups) {
   const SweepPlan plan(specs);
 
   ASSERT_EQ(plan.num_specs(), static_cast<int>(specs.size()));
-  // 16 specs -> 16 distinct nodes: the duplicate spec folds away, the outer
-  // max specs add themselves plus one inner max node, and their leaf
-  // components all alias standalone grid points.
-  EXPECT_EQ(plan.num_nodes(), 16);
+  // 23 specs -> 23 distinct nodes: the duplicate spec folds away, the outer
+  // max specs add themselves plus one inner max node, the chance/flex max's
+  // leaves alias the standalone grid points, and every other leaf is unique.
+  EXPECT_EQ(plan.num_nodes(), 23);
   // History lengths {8, 5, 12} -> one per-task window group each.
   EXPECT_EQ(static_cast<int>(plan.window_groups().size()), 3);
   // (warm-up, history) pairs {(3,8), (5,5)} -> one aggregate group each.
   EXPECT_EQ(static_cast<int>(plan.agg_groups().size()), 2);
+  // Chance (warm-up, history) pairs {(3,8), (5,5)} -> one quantile window
+  // group each; both targets over (3,8) share one group.
+  EXPECT_EQ(static_cast<int>(plan.quant_groups().size()), 2);
+  // Flex history lengths {8, 12} -> one ratio window group each.
+  EXPECT_EQ(static_cast<int>(plan.ratio_groups().size()), 2);
 
   // The duplicated spec evaluates through the same node.
   EXPECT_EQ(plan.spec_node(4), plan.spec_node(15));
@@ -177,6 +193,17 @@ TEST(SweepPlanTest, DeduplicatesNodesAndGroups) {
   ASSERT_EQ(sim_max.components.size(), 2u);
   EXPECT_EQ(sim_max.components[0], plan.spec_node(10));  // n-sigma(5, 3, 8)
   EXPECT_EQ(sim_max.components[1], plan.spec_node(5));   // rc-like(99, 3, 8)
+  // The chance/flex max's leaves alias the standalone chance/flex nodes.
+  const SweepPlan::Node& new_max = plan.nodes()[plan.spec_node(22)];
+  ASSERT_EQ(new_max.components.size(), 2u);
+  EXPECT_EQ(new_max.components[0], plan.spec_node(16));  // chance(0.01, 3, 8)
+  EXPECT_EQ(new_max.components[1], plan.spec_node(19));  // flex(95, 1.2, 3, 8)
+  // Both chance targets over (3, 8) read the same quantile window group.
+  EXPECT_EQ(plan.nodes()[plan.spec_node(16)].quant_group,
+            plan.nodes()[plan.spec_node(17)].quant_group);
+  // Both flex points over history 8 read the same ratio window group.
+  EXPECT_EQ(plan.nodes()[plan.spec_node(19)].ratio_group,
+            plan.nodes()[plan.spec_node(20)].ratio_group);
 }
 
 // ----- SimulateCellMulti vs per-spec SimulateCell. -----
@@ -242,6 +269,15 @@ void ExpectResultMatchesReference(const SimResult& multi, const SimResult& refer
     ExpectNearRel(a.savings_ratio, b.savings_ratio, "savings");
     ExpectNearRel(a.mean_prediction, b.mean_prediction, "mean_prediction");
     ExpectNearRel(a.mean_limit, b.mean_limit, "mean_limit");
+    // Tail metrics (crf/risk): streaks are integer-valued and must agree
+    // exactly; the quantile estimates inherit the 1e-9 prediction tolerance.
+    EXPECT_EQ(a.tail.max_violation_streak, b.tail.max_violation_streak);
+    ExpectNearRel(a.tail.severity_p99, b.tail.severity_p99, "severity_p99");
+    ExpectNearRel(a.tail.severity_p999, b.tail.severity_p999, "severity_p999");
+    ExpectNearRel(a.tail.streak_p99, b.tail.streak_p99, "streak_p99");
+    ExpectNearRel(a.tail.violation_time_fraction, b.tail.violation_time_fraction,
+                  "violation_time_fraction");
+    ExpectNearRel(a.tail.savings_at_risk, b.tail.savings_at_risk, "savings_at_risk");
   }
   ASSERT_EQ(multi.cell_savings_series.size(), reference.cell_savings_series.size());
   for (size_t t = 0; t < multi.cell_savings_series.size(); ++t) {

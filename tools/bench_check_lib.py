@@ -1,0 +1,113 @@
+"""Shared helpers for the tracked-benchmark checkers (check_bench_*.py).
+
+Each checker validates one tracked BENCH_*.json record: a top-level object
+{"schema": "<name>-vN", "entries": [...]} that benches append to. The four
+scripts used to hand-roll the same boilerplate — the fail/exit wrapper, the
+load-and-validate-top-level dance, the typed-field walk with the bool/int
+isinstance trap, and the positive/non-negative sweeps. That lives here now;
+the scripts keep only their schema tables and the gates specific to what
+their bench measures.
+
+Usage:
+
+    from bench_check_lib import Checker
+
+    check = Checker("check_bench_foo")
+    entries = check.load(path, "crf-foo-bench-v2")
+    for i, entry in enumerate(entries):
+        check.require_object(i, entry)
+        check.check_entry_fields(i, entry, ENTRY_FIELDS)
+        check.check_positive(i, entry, POSITIVE_FIELDS)
+    check.ok(f"{path} has {len(entries)} well-formed entries")
+
+All failures print "<tool>: FAIL: <message>" to stderr and exit(1), so CI
+logs attribute the failure to the right checker.
+"""
+
+import json
+import sys
+
+
+class Checker:
+    """One tracked-bench validation run; `tool` prefixes every message."""
+
+    def __init__(self, tool):
+        self.tool = tool
+
+    def fail(self, message):
+        print(f"{self.tool}: FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+    def note(self, message):
+        print(f"{self.tool}: NOTE: {message}")
+
+    def ok(self, message):
+        print(f"{self.tool}: OK: {message}")
+
+    def load(self, path, required_schema, schema_hint=""):
+        """Loads a tracked file and validates the envelope; returns entries.
+
+        `schema_hint` is appended to the schema-mismatch diagnostic (e.g. why
+        older versions are refused and how to regenerate).
+        """
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except FileNotFoundError:
+            self.fail(f"{path} not found")
+        except json.JSONDecodeError as e:
+            self.fail(f"{path} is not valid JSON: {e}")
+
+        if not isinstance(data, dict):
+            self.fail("top level must be an object")
+        if data.get("schema") != required_schema:
+            message = f'schema must be "{required_schema}", got {data.get("schema")!r}'
+            if schema_hint:
+                message += f" — {schema_hint}"
+            self.fail(message)
+        entries = data.get("entries")
+        if not isinstance(entries, list) or not entries:
+            self.fail('"entries" must be a non-empty array')
+        return entries
+
+    def require_object(self, i, entry):
+        if not isinstance(entry, dict):
+            self.fail(f"entries[{i}] must be an object")
+
+    def check_entry_fields(self, i, entry, fields):
+        """Presence + type check. `fields` maps name -> type or type tuple.
+
+        bool is special-cased twice: a field declared bool must be exactly
+        bool, and a field declared numeric must NOT be bool (isinstance(True,
+        int) holds in Python, so a bare isinstance check would wave bools
+        through int columns).
+        """
+        for field, types in fields.items():
+            if field not in entry:
+                self.fail(f"entries[{i}] missing field {field!r}")
+            value = entry[field]
+            if types is bool:
+                if not isinstance(value, bool):
+                    self.fail(f"entries[{i}].{field} must be a bool, got {value!r}")
+            elif not isinstance(value, types) or isinstance(value, bool):
+                self.fail(f"entries[{i}].{field} has wrong type: {value!r}")
+
+    def check_positive(self, i, entry, fields):
+        for field in fields:
+            if entry[field] <= 0:
+                self.fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+
+    def check_non_negative(self, i, entry, fields):
+        for field in fields:
+            if entry[field] < 0:
+                self.fail(f"entries[{i}].{field} must be >= 0, got {entry[field]}")
+
+    def check_mode(self, i, entry, allowed=("short", "full")):
+        if entry["mode"] not in allowed:
+            names = " or ".join(f'"{m}"' for m in allowed)
+            self.fail(f"entries[{i}].mode must be {names}, got {entry['mode']!r}")
+
+    def reject_legacy_fields(self, i, entry, legacy_fields, reason):
+        for legacy in legacy_fields:
+            if legacy in entry:
+                self.fail(f"entries[{i}] carries legacy field {legacy!r}; {reason}")

@@ -73,8 +73,9 @@ replay pipeline record (one row per run, never part of a thread matrix):
   trace is loaded.
 """
 
-import json
 import sys
+
+from bench_check_lib import Checker
 
 REQUIRED_SCHEMA = "crf-cluster-bench-v4"
 REQUIRED_THREADS = {1, 4, 8, 16}
@@ -188,52 +189,35 @@ SCALE_POSITIVE_FIELDS = [
     "peak_rss_bytes",
 ]
 
-
-def fail(message):
-    print(f"check_bench_cluster: FAIL: {message}", file=sys.stderr)
-    sys.exit(1)
-
-
-def check_field_types(i, entry, fields):
-    for field, types in fields.items():
-        if field not in entry:
-            fail(f"entries[{i}] missing field {field!r}")
-        value = entry[field]
-        if types is bool or field == "parallel":
-            if not isinstance(value, bool):
-                fail(f"entries[{i}].{field} must be a bool, got {value!r}")
-        elif not isinstance(value, types) or isinstance(value, bool):
-            fail(f"entries[{i}].{field} has wrong type: {value!r}")
+check = Checker("check_bench_cluster")
 
 
 def check_scale_entry(i, entry):
-    check_field_types(i, entry, SCALE_FIELDS)
-    for field in SCALE_POSITIVE_FIELDS:
-        if entry[field] <= 0:
-            fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+    check.check_entry_fields(i, entry, SCALE_FIELDS)
+    check.check_positive(i, entry, SCALE_POSITIVE_FIELDS)
     if entry["num_machines"] < SCALE_MIN_MACHINES:
-        fail(
+        check.fail(
             f"entries[{i}]: scale rows must cover >= {SCALE_MIN_MACHINES} "
             f'machines, got {entry["num_machines"]}'
         )
     if entry["parallel"] != (entry["threads"] > 1):
-        fail(
+        check.fail(
             f"entries[{i}]: parallel={entry['parallel']} inconsistent with "
             f"threads={entry['threads']}"
         )
     if entry["placement_attempts"] < entry["num_tasks"]:
-        fail(
+        check.fail(
             f"entries[{i}]: placement_attempts ({entry['placement_attempts']}) "
             f"< num_tasks ({entry['num_tasks']}) — every streamed task took at "
             "least one attempt"
         )
     if entry["load_mode"] != "mmap":
-        fail(
+        check.fail(
             f'entries[{i}]: scale rows must be mmap-loaded, got load_mode '
             f'{entry["load_mode"]!r}'
         )
     if entry["resident_after_load_bytes"] * SCALE_RESIDENCY_FACTOR > entry["file_bytes"]:
-        fail(
+        check.fail(
             f'entries[{i}]: resident_after_load_bytes '
             f'({entry["resident_after_load_bytes"]}) is not an order of '
             f'magnitude under file_bytes ({entry["file_bytes"]}) — the '
@@ -242,7 +226,7 @@ def check_scale_entry(i, entry):
     if entry["resident_after_replay_bytes"] > (
         SCALE_REPLAY_FACTOR * entry["resident_after_load_bytes"]
     ):
-        fail(
+        check.fail(
             f'entries[{i}]: resident_after_replay_bytes '
             f'({entry["resident_after_replay_bytes"]}) exceeds '
             f'{SCALE_REPLAY_FACTOR}x the open footprint '
@@ -252,54 +236,50 @@ def check_scale_entry(i, entry):
 
 
 def check_entry(i, entry):
-    for legacy in (
-        "serial_machine_steps_per_sec",
-        "sharded_machine_steps_per_sec",
-        "speedup",
-    ):
-        if legacy in entry:
-            fail(
-                f"entries[{i}] carries legacy v1 field {legacy!r}; "
-                "v2+ rows record one lane each"
-            )
-    check_field_types(i, entry, ENTRY_FIELDS)
-    for field in POSITIVE_FIELDS:
-        if entry[field] <= 0:
-            fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
-    for field in NON_NEGATIVE_FIELDS:
-        if entry[field] < 0:
-            fail(f"entries[{i}].{field} must be >= 0, got {entry[field]}")
+    check.reject_legacy_fields(
+        i,
+        entry,
+        (
+            "serial_machine_steps_per_sec",
+            "sharded_machine_steps_per_sec",
+            "speedup",
+        ),
+        "v2+ rows record one lane each",
+    )
+    check.check_entry_fields(i, entry, ENTRY_FIELDS)
+    check.check_positive(i, entry, POSITIVE_FIELDS)
+    check.check_non_negative(i, entry, NON_NEGATIVE_FIELDS)
     if entry["placement_shards"] == 1:
-        fail(
+        check.fail(
             f"entries[{i}]: placement_shards must be 0 (global engine) or "
             ">= 2 (sharded engine); a 1-shard matrix lane measures nothing"
         )
     if entry["placement_attempts"] < entry["tasks_placed"]:
-        fail(
+        check.fail(
             f"entries[{i}]: placement_attempts ({entry['placement_attempts']}) "
             f"< tasks_placed ({entry['tasks_placed']})"
         )
     if entry["threads"] == 1:
         if entry["parallel"]:
-            fail(
+            check.fail(
                 f"entries[{i}]: threads=1 labeled as sharded (parallel=true) — "
                 "single-thread rows must be the serial baseline"
             )
         if entry["parallel_speedup"] != 1.0:
-            fail(
+            check.fail(
                 f"entries[{i}]: serial baseline must have parallel_speedup 1.0, "
                 f'got {entry["parallel_speedup"]}'
             )
     elif not entry["parallel"]:
-        fail(f"entries[{i}]: threads={entry['threads']} but parallel=false")
+        check.fail(f"entries[{i}]: threads={entry['threads']} but parallel=false")
     if entry["placement_shards"] == 0 and entry["threads"] != 1:
-        fail(
+        check.fail(
             f"entries[{i}]: the reference lane (placement_shards 0) is the "
             f"serial global engine; threads={entry['threads']} is not a "
             "reference configuration"
         )
     if entry["load_mode"] != "generated" or entry["load_ms"] != 0:
-        fail(
+        check.fail(
             f"entries[{i}]: matrix lanes generate their cell in-process — "
             f'expected load_mode "generated" with load_ms 0, got '
             f'{entry["load_mode"]!r} / {entry["load_ms"]}'
@@ -315,14 +295,14 @@ def check_quality(matrix_id, reference, sharded):
         )
         min_placed = QUALITY_MIN_PLACED_RATIO * reference["tasks_placed"]
         if row["tasks_placed"] < min_placed:
-            fail(
+            check.fail(
                 f"{label}: tasks_placed {row['tasks_placed']} is under "
                 f"{QUALITY_MIN_PLACED_RATIO:.0%} of the reference's "
                 f"{reference['tasks_placed']} — sharding is stranding capacity"
             )
         max_violation = reference["violation_rate_p90"] + QUALITY_VIOLATION_P90_SLACK
         if row["violation_rate_p90"] > max_violation:
-            fail(
+            check.fail(
                 f"{label}: violation_rate_p90 {row['violation_rate_p90']} "
                 f"exceeds reference {reference['violation_rate_p90']} + "
                 f"{QUALITY_VIOLATION_P90_SLACK}"
@@ -332,7 +312,7 @@ def check_quality(matrix_id, reference, sharded):
             + QUALITY_PENDING_SLACK
         )
         if row["pending_task_intervals"] > max_pending:
-            fail(
+            check.fail(
                 f"{label}: pending_task_intervals {row['pending_task_intervals']} "
                 f"exceeds {QUALITY_PENDING_FACTOR}x reference "
                 f"({reference['pending_task_intervals']}) + {QUALITY_PENDING_SLACK}"
@@ -342,7 +322,7 @@ def check_quality(matrix_id, reference, sharded):
             + QUALITY_TIMEOUT_SLACK
         )
         if row["tasks_timed_out"] > max_timed_out:
-            fail(
+            check.fail(
                 f"{label}: tasks_timed_out {row['tasks_timed_out']} exceeds "
                 f"{QUALITY_TIMEOUT_FACTOR}x reference "
                 f"({reference['tasks_timed_out']}) + {QUALITY_TIMEOUT_SLACK}"
@@ -354,19 +334,19 @@ def check_matrix(matrix_id, rows):
     for row in rows[1:]:
         for field in ("mode", "num_machines", "num_intervals"):
             if row[field] != first[field]:
-                fail(
+                check.fail(
                     f"matrix {matrix_id!r}: rows disagree on {field} "
                     f"({row[field]} vs {first[field]}) — lanes timed different workloads"
                 )
     reference_rows = [row for row in rows if row["placement_shards"] == 0]
     sharded = [row for row in rows if row["placement_shards"] > 0]
     if not reference_rows:
-        fail(
+        check.fail(
             f"matrix {matrix_id!r}: no reference row (placement_shards 0) — "
             "v4 matrices gate sharded quality against the global engine"
         )
     if not sharded:
-        fail(f"matrix {matrix_id!r}: no sharded rows (placement_shards >= 2)")
+        check.fail(f"matrix {matrix_id!r}: no sharded rows (placement_shards >= 2)")
     # All counters are deterministic for a fixed (seed, engine config), so
     # repeat runs appended into the same matrix must agree too.
     for group, name in ((reference_rows, "reference"), (sharded, "sharded")):
@@ -374,7 +354,7 @@ def check_matrix(matrix_id, rows):
         for row in group[1:]:
             for field in ("placement_shards", "placement_attempts", "tasks_placed"):
                 if row[field] != base[field]:
-                    fail(
+                    check.fail(
                         f"matrix {matrix_id!r}: {name} rows disagree on {field} "
                         f"({row[field]} vs {base[field]}) — the determinism "
                         "contract requires identical placements at every pool size"
@@ -385,7 +365,7 @@ def check_matrix(matrix_id, rows):
     complete = REQUIRED_THREADS.issubset(sharded_threads)
     if first["mode"] == "full" and complete:
         if first["num_machines"] < FULL_MIN_MACHINES:
-            fail(
+            check.fail(
                 f"matrix {matrix_id!r}: full mode requires >= {FULL_MIN_MACHINES} "
                 f'machines, got {first["num_machines"]}'
             )
@@ -397,22 +377,22 @@ def check_matrix(matrix_id, rows):
                 continue
             if row["host_cores"] >= SPEEDUP_TARGET_THREADS:
                 if row["parallel_speedup"] < SPEEDUP_TARGET:
-                    fail(
+                    check.fail(
                         f"matrix {matrix_id!r}: parallel_speedup at "
                         f"{SPEEDUP_TARGET_THREADS} threads is "
                         f'{row["parallel_speedup"]}, target >= {SPEEDUP_TARGET}'
                     )
                 phase_speedup = row["placement_phase_per_sec"] / base_phase
                 if phase_speedup < PLACEMENT_SPEEDUP_TARGET:
-                    fail(
+                    check.fail(
                         f"matrix {matrix_id!r}: placement-phase speedup at "
                         f"{SPEEDUP_TARGET_THREADS} threads is {phase_speedup:.2f}x "
                         f"the 1-thread sharded lane, target >= "
                         f"{PLACEMENT_SPEEDUP_TARGET}"
                     )
             else:
-                print(
-                    f"check_bench_cluster: NOTE: matrix {matrix_id!r} speedup "
+                check.note(
+                    f"matrix {matrix_id!r} speedup "
                     f"targets waived — recorded on a {row['host_cores']}-core "
                     f"host, which cannot measure {SPEEDUP_TARGET_THREADS}-thread "
                     "scaling"
@@ -422,31 +402,17 @@ def check_matrix(matrix_id, rows):
 
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_cluster.json"
-    try:
-        with open(path, encoding="utf-8") as f:
-            data = json.load(f)
-    except FileNotFoundError:
-        fail(f"{path} not found")
-    except json.JSONDecodeError as e:
-        fail(f"{path} is not valid JSON: {e}")
-
-    if not isinstance(data, dict):
-        fail("top level must be an object")
-    if data.get("schema") != REQUIRED_SCHEMA:
-        fail(
-            f'schema must be "{REQUIRED_SCHEMA}", got {data.get("schema")!r} — '
-            "pre-v4 records lack the reference/sharded split; regenerate the "
-            "file with the current bench"
-        )
-    entries = data.get("entries")
-    if not isinstance(entries, list) or not entries:
-        fail('"entries" must be a non-empty array')
+    entries = check.load(
+        path,
+        REQUIRED_SCHEMA,
+        "pre-v4 records lack the reference/sharded split; regenerate the "
+        "file with the current bench",
+    )
 
     matrices = {}
     scale_rows = 0
     for i, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            fail(f"entries[{i}] must be an object")
+        check.require_object(i, entry)
         mode = entry.get("mode")
         if mode == "scale":
             check_scale_entry(i, entry)
@@ -455,7 +421,7 @@ def main():
             check_entry(i, entry)
             matrices.setdefault(entry["matrix"], []).append(entry)
         else:
-            fail(
+            check.fail(
                 f'entries[{i}].mode must be "short", "full", or "scale", '
                 f"got {mode!r}"
             )
@@ -463,13 +429,13 @@ def main():
     complete = sum(1 for mid, rows in matrices.items() if check_matrix(mid, rows))
     if complete == 0:
         required = sorted(REQUIRED_THREADS)
-        fail(
+        check.fail(
             f"no complete thread matrix: need sharded rows at threads {required} "
             "plus a reference row"
         )
 
-    print(
-        f"check_bench_cluster: OK: {path} has {len(entries)} well-formed entries "
+    check.ok(
+        f"{path} has {len(entries)} well-formed entries "
         f"in {len(matrices)} matrices ({complete} complete, "
         f"{scale_rows} scale rows)"
     )

@@ -23,8 +23,9 @@ introduced with the contention-free ingest engine:
   runners vary too much for absolute rates to gate a merge.
 """
 
-import json
 import sys
+
+from bench_check_lib import Checker
 
 REQUIRED_SCHEMA = "crf-stream-bench-v2"
 REQUIRED_THREADS = {1, 4, 8, 16}
@@ -63,53 +64,38 @@ POSITIVE_FIELDS = [
     "parallel_speedup",
 ]
 
-
-def fail(message):
-    print(f"check_bench_stream: FAIL: {message}", file=sys.stderr)
-    sys.exit(1)
+check = Checker("check_bench_stream")
 
 
 def check_entry(i, entry):
-    if not isinstance(entry, dict):
-        fail(f"entries[{i}] must be an object")
-    for legacy in ("serial_events_per_sec", "parallel_events_per_sec"):
-        if legacy in entry:
-            fail(
-                f"entries[{i}] carries legacy v1 field {legacy!r}; "
-                "v2 rows record one lane each"
-            )
-    for field, types in ENTRY_FIELDS.items():
-        if field not in entry:
-            fail(f"entries[{i}] missing field {field!r}")
-        value = entry[field]
-        if field == "parallel":
-            if not isinstance(value, bool):
-                fail(f"entries[{i}].parallel must be a bool, got {value!r}")
-        elif not isinstance(value, types) or isinstance(value, bool):
-            fail(f"entries[{i}].{field} has wrong type: {value!r}")
-    for field in POSITIVE_FIELDS:
-        if entry[field] <= 0:
-            fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
-    if entry["mode"] not in ("short", "full"):
-        fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
+    check.require_object(i, entry)
+    check.reject_legacy_fields(
+        i,
+        entry,
+        ("serial_events_per_sec", "parallel_events_per_sec"),
+        "v2 rows record one lane each",
+    )
+    check.check_entry_fields(i, entry, ENTRY_FIELDS)
+    check.check_positive(i, entry, POSITIVE_FIELDS)
+    check.check_mode(i, entry)
     if entry["machine_ticks"] != entry["num_machines"] * entry["num_intervals"]:
-        fail(
+        check.fail(
             f"entries[{i}].machine_ticks must equal num_machines * num_intervals, "
             f'got {entry["machine_ticks"]}'
         )
     if entry["threads"] == 1:
         if entry["parallel"]:
-            fail(
+            check.fail(
                 f"entries[{i}]: threads=1 labeled as sharded (parallel=true) — "
                 "single-thread rows must be the serial baseline"
             )
         if entry["parallel_speedup"] != 1.0:
-            fail(
+            check.fail(
                 f"entries[{i}]: serial baseline must have parallel_speedup 1.0, "
                 f'got {entry["parallel_speedup"]}'
             )
     elif not entry["parallel"]:
-        fail(f"entries[{i}]: threads={entry['threads']} but parallel=false")
+        check.fail(f"entries[{i}]: threads={entry['threads']} but parallel=false")
 
 
 def check_matrix(matrix_id, rows):
@@ -119,18 +105,18 @@ def check_matrix(matrix_id, rows):
     for row in rows[1:]:
         for field in ("mode", "num_machines", "num_intervals", "num_tasks", "events"):
             if row[field] != first[field]:
-                fail(
+                check.fail(
                     f"matrix {matrix_id!r}: rows disagree on {field} "
                     f"({row[field]} vs {first[field]}) — lanes timed different workloads"
                 )
     if first["mode"] == "full" and complete:
         if first["num_machines"] < FULL_MIN_MACHINES:
-            fail(
+            check.fail(
                 f"matrix {matrix_id!r}: full mode requires >= {FULL_MIN_MACHINES} "
                 f'machines, got {first["num_machines"]}'
             )
         if first["num_intervals"] < FULL_MIN_INTERVALS:
-            fail(
+            check.fail(
                 f"matrix {matrix_id!r}: full mode requires >= {FULL_MIN_INTERVALS} "
                 f'intervals, got {first["num_intervals"]}'
             )
@@ -139,37 +125,23 @@ def check_matrix(matrix_id, rows):
                 continue
             if row["host_cores"] >= SPEEDUP_TARGET_THREADS:
                 if row["parallel_speedup"] < SPEEDUP_TARGET:
-                    fail(
+                    check.fail(
                         f"matrix {matrix_id!r}: parallel_speedup at "
                         f"{SPEEDUP_TARGET_THREADS} threads is "
                         f'{row["parallel_speedup"]}, target >= {SPEEDUP_TARGET}'
                     )
             else:
-                print(
-                    f"check_bench_stream: NOTE: matrix {matrix_id!r} speedup target "
-                    f'waived — recorded on a {row["host_cores"]}-core host, which '
-                    f"cannot measure {SPEEDUP_TARGET_THREADS}-thread scaling"
+                check.note(
+                    f"matrix {matrix_id!r} speedup target waived — recorded on "
+                    f'a {row["host_cores"]}-core host, which cannot measure '
+                    f"{SPEEDUP_TARGET_THREADS}-thread scaling"
                 )
     return complete
 
 
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_stream.json"
-    try:
-        with open(path, encoding="utf-8") as f:
-            data = json.load(f)
-    except FileNotFoundError:
-        fail(f"{path} not found")
-    except json.JSONDecodeError as e:
-        fail(f"{path} is not valid JSON: {e}")
-
-    if not isinstance(data, dict):
-        fail("top level must be an object")
-    if data.get("schema") != REQUIRED_SCHEMA:
-        fail(f'schema must be "{REQUIRED_SCHEMA}", got {data.get("schema")!r}')
-    entries = data.get("entries")
-    if not isinstance(entries, list) or not entries:
-        fail('"entries" must be a non-empty array')
+    entries = check.load(path, REQUIRED_SCHEMA)
 
     matrices = {}
     for i, entry in enumerate(entries):
@@ -179,10 +151,10 @@ def main():
     complete = sum(1 for mid, rows in matrices.items() if check_matrix(mid, rows))
     if complete == 0:
         required = sorted(REQUIRED_THREADS)
-        fail(f"no complete thread matrix: need rows at threads {required}")
+        check.fail(f"no complete thread matrix: need rows at threads {required}")
 
-    print(
-        f"check_bench_stream: OK: {path} has {len(entries)} well-formed entries "
+    check.ok(
+        f"{path} has {len(entries)} well-formed entries "
         f"in {len(matrices)} matrices ({complete} complete)"
     )
 

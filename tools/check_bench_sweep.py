@@ -7,12 +7,25 @@ Checks structure only — field presence, types, and basic sanity (positive
 rates and spec counts). Deliberately no performance thresholds: CI runners
 vary too much for absolute numbers to gate a merge; the tracked file is the
 regression record, this script only keeps it well-formed.
+
+v2 requires the tail columns the risk layer added (max_violation_streak,
+worst_severity_p999, worst_savings_at_risk): the tracked record must carry
+the grid's risk profile, not just its mean throughput. v1 files are refused
+outright — their rows lack the columns, so regenerate the file with the
+current bench (CRF_SWEEP_BENCH=short ./perf_microbench) instead of mixing
+schemas. The tail columns are bounded, not thresholded: severity and savings
+are ratios in [0, 1] by construction (severity = (peak - prediction)/peak on
+violating intervals; savings is clamped non-negative), and a streak cannot
+outlast the trace. savings_at_risk gets a tiny negative epsilon of slack:
+the P² quantile estimator's parabolic marker interpolation can land a few
+ulps below an all-zero sample stream.
 """
 
-import json
 import sys
 
-REQUIRED_SCHEMA = "crf-sweep-bench-v1"
+from bench_check_lib import Checker
+
+REQUIRED_SCHEMA = "crf-sweep-bench-v2"
 
 ENTRY_FIELDS = {
     "date": str,
@@ -25,6 +38,9 @@ ENTRY_FIELDS = {
     "multi_machines_per_sec": (int, float),
     "speedup": (int, float),
     "total_violations": int,
+    "max_violation_streak": int,
+    "worst_severity_p999": (int, float),
+    "worst_savings_at_risk": (int, float),
 }
 
 POSITIVE_FIELDS = [
@@ -37,47 +53,59 @@ POSITIVE_FIELDS = [
     "speedup",
 ]
 
+NON_NEGATIVE_FIELDS = [
+    "total_violations",
+    "max_violation_streak",
+    "worst_severity_p999",
+]
 
-def fail(message):
-    print(f"check_bench_sweep: FAIL: {message}", file=sys.stderr)
-    sys.exit(1)
+# P² marker interpolation error below an all-zero savings stream.
+SAVINGS_EPSILON = 1e-9
+
+check = Checker("check_bench_sweep")
 
 
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sweep.json"
-    try:
-        with open(path, encoding="utf-8") as f:
-            data = json.load(f)
-    except FileNotFoundError:
-        fail(f"{path} not found")
-    except json.JSONDecodeError as e:
-        fail(f"{path} is not valid JSON: {e}")
-
-    if not isinstance(data, dict):
-        fail("top level must be an object")
-    if data.get("schema") != REQUIRED_SCHEMA:
-        fail(f'schema must be "{REQUIRED_SCHEMA}", got {data.get("schema")!r}')
-    entries = data.get("entries")
-    if not isinstance(entries, list) or not entries:
-        fail('"entries" must be a non-empty array')
+    entries = check.load(
+        path,
+        REQUIRED_SCHEMA,
+        "v1 rows lack the tail columns; regenerate the file with the "
+        "current bench",
+    )
 
     for i, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            fail(f"entries[{i}] must be an object")
-        for field, types in ENTRY_FIELDS.items():
-            if field not in entry:
-                fail(f"entries[{i}] missing field {field!r}")
-            if not isinstance(entry[field], types) or isinstance(entry[field], bool):
-                fail(f"entries[{i}].{field} has wrong type: {entry[field]!r}")
-        for field in POSITIVE_FIELDS:
-            if entry[field] <= 0:
-                fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
-        if entry["mode"] not in ("short", "full"):
-            fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
-        if entry["total_violations"] < 0:
-            fail(f"entries[{i}].total_violations must be >= 0")
+        check.require_object(i, entry)
+        check.check_entry_fields(i, entry, ENTRY_FIELDS)
+        check.check_positive(i, entry, POSITIVE_FIELDS)
+        check.check_non_negative(i, entry, NON_NEGATIVE_FIELDS)
+        check.check_mode(i, entry)
+        if entry["max_violation_streak"] > entry["num_intervals"]:
+            check.fail(
+                f"entries[{i}].max_violation_streak "
+                f"({entry['max_violation_streak']}) exceeds num_intervals "
+                f"({entry['num_intervals']}) — a streak cannot outlast the trace"
+            )
+        for ratio in ("worst_severity_p999", "worst_savings_at_risk"):
+            if entry[ratio] > 1.0:
+                check.fail(
+                    f"entries[{i}].{ratio} ({entry[ratio]}) exceeds 1 — "
+                    "severity and savings are ratios by construction"
+                )
+        if entry["worst_savings_at_risk"] < -SAVINGS_EPSILON:
+            check.fail(
+                f"entries[{i}].worst_savings_at_risk "
+                f"({entry['worst_savings_at_risk']}) is below -{SAVINGS_EPSILON} — "
+                "predictions are clamped to the limit sum, so savings cannot "
+                "go materially negative"
+            )
+        if entry["total_violations"] > 0 and entry["max_violation_streak"] == 0:
+            check.fail(
+                f"entries[{i}]: total_violations {entry['total_violations']} "
+                "with max_violation_streak 0 — any violation opens a streak"
+            )
 
-    print(f"check_bench_sweep: OK: {path} has {len(entries)} well-formed entries")
+    check.ok(f"{path} has {len(entries)} well-formed entries")
 
 
 if __name__ == "__main__":

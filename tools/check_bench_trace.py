@@ -23,8 +23,9 @@ runner speed, and a row where it collapsed means the mapped loader started
 touching the bulk slabs.
 """
 
-import json
 import sys
+
+from bench_check_lib import Checker
 
 REQUIRED_SCHEMA = "crf-trace-bench-v2"
 LOAD_RATIO_TARGET = 10.0
@@ -64,27 +65,14 @@ POSITIVE_FIELDS = [
     "arena_bytes_per_task_interval",
 ]
 
-
-def fail(message):
-    print(f"check_bench_trace: FAIL: {message}", file=sys.stderr)
-    sys.exit(1)
-
-
-def check_fields(i, entry, fields):
-    for field, types in fields.items():
-        if field not in entry:
-            fail(f"entries[{i}] missing field {field!r}")
-        if not isinstance(entry[field], types) or isinstance(entry[field], bool):
-            fail(f"entries[{i}].{field} has wrong type: {entry[field]!r}")
+check = Checker("check_bench_trace")
 
 
 def check_load_columns(i, entry):
-    check_fields(i, entry, LOAD_FIELDS)
-    for field in LOAD_FIELDS:
-        if entry[field] <= 0:
-            fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
+    check.check_entry_fields(i, entry, LOAD_FIELDS)
+    check.check_positive(i, entry, LOAD_FIELDS)
     if entry["mmap_load_resident_bytes"] > entry["heap_load_resident_bytes"]:
-        fail(
+        check.fail(
             f"entries[{i}]: mmap open materialized more than the heap open "
             f'({entry["mmap_load_resident_bytes"]} > '
             f'{entry["heap_load_resident_bytes"]} bytes)'
@@ -92,7 +80,7 @@ def check_load_columns(i, entry):
     if entry["mode"] != "full":
         return
     if entry["heap_load_ms"] < LOAD_RATIO_TARGET * entry["mmap_load_ms"]:
-        fail(
+        check.fail(
             f"entries[{i}]: full-mode mmap load is not an order of magnitude "
             f'faster ({entry["heap_load_ms"]} ms heap vs '
             f'{entry["mmap_load_ms"]} ms mmap)'
@@ -100,7 +88,7 @@ def check_load_columns(i, entry):
     if entry["heap_load_resident_bytes"] < (
         LOAD_RATIO_TARGET * entry["mmap_load_resident_bytes"]
     ):
-        fail(
+        check.fail(
             f"entries[{i}]: full-mode mmap load does not materialize an order "
             f'of magnitude less ({entry["heap_load_resident_bytes"]} bytes '
             f'heap vs {entry["mmap_load_resident_bytes"]} bytes mmap)'
@@ -109,38 +97,20 @@ def check_load_columns(i, entry):
 
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_trace.json"
-    try:
-        with open(path, encoding="utf-8") as f:
-            data = json.load(f)
-    except FileNotFoundError:
-        fail(f"{path} not found")
-    except json.JSONDecodeError as e:
-        fail(f"{path} is not valid JSON: {e}")
-
-    if not isinstance(data, dict):
-        fail("top level must be an object")
-    if data.get("schema") != REQUIRED_SCHEMA:
-        fail(f'schema must be "{REQUIRED_SCHEMA}", got {data.get("schema")!r}')
-    entries = data.get("entries")
-    if not isinstance(entries, list) or not entries:
-        fail('"entries" must be a non-empty array')
+    entries = check.load(path, REQUIRED_SCHEMA)
 
     with_load = 0
     for i, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            fail(f"entries[{i}] must be an object")
-        check_fields(i, entry, ENTRY_FIELDS)
-        for field in POSITIVE_FIELDS:
-            if entry[field] <= 0:
-                fail(f"entries[{i}].{field} must be positive, got {entry[field]}")
-        if entry["mode"] not in ("short", "full"):
-            fail(f'entries[{i}].mode must be "short" or "full", got {entry["mode"]!r}')
+        check.require_object(i, entry)
+        check.check_entry_fields(i, entry, ENTRY_FIELDS)
+        check.check_positive(i, entry, POSITIVE_FIELDS)
+        check.check_mode(i, entry)
         if any(field in entry for field in LOAD_FIELDS):
             check_load_columns(i, entry)
             with_load += 1
 
-    print(
-        f"check_bench_trace: OK: {path} has {len(entries)} well-formed entries "
+    check.ok(
+        f"{path} has {len(entries)} well-formed entries "
         f"({with_load} with load-path columns)"
     )
 

@@ -555,6 +555,10 @@ int CmdCluster(Args& args) {
                                     metrics.relative_savings.Quantile(0.9)});
   table.AddRow("machine violation rate",
                {metrics.violation_rate.Quantile(0.5), metrics.violation_rate.Quantile(0.9)});
+  table.AddRow("severity p999", {metrics.severity_p999.Quantile(0.5),
+                                 metrics.severity_p999.Quantile(0.9)});
+  table.AddRow("max violation streak", {metrics.max_violation_streak.Quantile(0.5),
+                                        metrics.max_violation_streak.Quantile(0.9)});
   table.AddRow("machine p90 latency", {metrics.machine_p90_latency.Quantile(0.5),
                                        metrics.machine_p90_latency.Quantile(0.9)});
   table.Print();
@@ -585,7 +589,8 @@ int Usage() {
       "                [--stop-after-checkpoint]] [--resume=FILE]\n"
       "  crf checkpoint --file=FILE\n"
       "SPEC: limit-sum | borg-default[:phi] | rc-like[:pct] | n-sigma[:n]\n"
-      "      | autopilot[:pct[:margin]] | max(SPEC,...)\n",
+      "      | autopilot[:pct[:margin]] | chance[:target] | flex[:pct[:margin]]\n"
+      "      | max(SPEC,...)\n",
       stderr);
   return 2;
 }
