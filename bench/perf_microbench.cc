@@ -35,6 +35,8 @@
 
 #include "crf/cluster/ab_experiment.h"
 #include "crf/cluster/cell_sim.h"
+#include "crf/net/loadgen.h"
+#include "crf/net/server.h"
 #include "crf/core/oracle.h"
 #include "crf/core/predictor_factory.h"
 #include "crf/core/task_history.h"
@@ -1449,6 +1451,130 @@ void RecordStreamBench() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_serve.json: tracked network serve-tier throughput matrix.
+//
+// Controlled by $CRF_SERVE_BENCH: "off" skips, "short" (default) streams a
+// 64-machine half-week cell over loopback, "full" a 512-machine week. One
+// row lands per client-connection count in $CRF_SERVE_BENCH_CLIENTS
+// (default "1,4,8"): a fresh server (push-mode StreamReplayer behind the
+// CRFNET1 protocol) is stood up on an ephemeral loopback port and the load
+// generator streams the whole trace from K connections. Every lane carries
+// its own integrity gate — the loadgen's differential verify bit-compares
+// the server's end state (per-machine prediction/limit-sum bits, roster
+// hashes, cell sums) against an in-process replay — recorded per row as
+// `bit_identical`; a lane that fails the gate is recorded as false and the
+// check script rejects it. The record lands in $CRF_BENCH_SERVE_FILE
+// (default ./BENCH_serve.json) as
+// {"schema":"crf-serve-bench-v1","entries":[...]}; reruns append.
+
+void RecordServeBench() {
+  const std::string mode = GetEnvString("CRF_SERVE_BENCH", "short");
+  if (mode == "off") {
+    return;
+  }
+  const bool full = mode == "full";
+
+  CellProfile profile = SimCellProfile('a');
+  profile.num_machines = full ? 512 : 64;
+  GeneratorOptions gen_options;
+  gen_options.num_intervals = full ? kIntervalsPerWeek : kIntervalsPerWeek / 2;
+  CellTrace cell = GenerateCellTrace(profile, gen_options, Rng(12));
+  cell.FilterToServingTasks();
+  const PredictorSpec spec = ProductionMaxSpec();
+
+  // The server replays push-mode: parallelism comes from the client
+  // connections driving disjoint shards, not from a replay pool. Latency
+  // sampling is disabled on both sides (options must match bit-for-bit for
+  // the differential verify).
+  ReplayOptions replay_options;
+  replay_options.parallel = false;
+  replay_options.latency_sample_period = 0;
+
+  std::vector<int> client_counts{1};
+  {
+    const std::string spec_text = GetEnvString("CRF_SERVE_BENCH_CLIENTS", "1,4,8");
+    std::stringstream in(spec_text);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      const int n = std::atoi(token.c_str());
+      if (n >= 1) {
+        client_counts.push_back(n);
+      }
+    }
+    std::sort(client_counts.begin(), client_counts.end());
+    client_counts.erase(std::unique(client_counts.begin(), client_counts.end()),
+                        client_counts.end());
+  }
+
+  struct Lane {
+    int clients = 1;
+    LoadGenReport report;
+  };
+  std::vector<Lane> lanes;
+  for (const int clients : client_counts) {
+    StreamReplayer replayer(cell, spec, replay_options);
+    OvercommitServer server(replayer, NetServerOptions{});
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "serve bench: cannot start server: %s\n", error.c_str());
+      return;
+    }
+    LoadGenOptions options;
+    options.port = server.port();
+    options.client_threads = clients;
+    options.verify_options = replay_options;
+    Lane lane;
+    lane.clients = clients;
+    if (!RunLoadGen(cell, spec, options, &lane.report)) {
+      std::fprintf(stderr, "serve bench: clients=%d failed: %s\n", clients,
+                   lane.report.error.c_str());
+      return;
+    }
+    server.Wait();
+    lanes.push_back(std::move(lane));
+  }
+
+  const auto p99 = [](const std::vector<LoadGenOpLatency>& ops, const char* name) {
+    for (const LoadGenOpLatency& op : ops) {
+      if (op.op == name) {
+        return op.p99_ns;
+      }
+    }
+    return 0.0;
+  };
+
+  const std::string matrix = TodayUtc() + std::string("-") + (full ? "full" : "short");
+  const std::string path = GetEnvString("CRF_BENCH_SERVE_FILE", "BENCH_serve.json");
+  for (const Lane& lane : lanes) {
+    const LoadGenReport& report = lane.report;
+    std::ostringstream entry;
+    entry.precision(6);
+    entry << "    {\n"
+          << "      \"date\": \"" << TodayUtc() << "\",\n"
+          << "      \"mode\": \"" << (full ? "full" : "short") << "\",\n"
+          << "      \"matrix\": \"" << matrix << "\",\n"
+          << "      \"clients\": " << lane.clients << ",\n"
+          << "      \"host_cores\": " << HostCores() << ",\n"
+          << "      \"num_machines\": " << cell.num_machines() << ",\n"
+          << "      \"num_intervals\": " << cell.num_intervals << ",\n"
+          << "      \"num_shards\": " << replay_options.num_shards << ",\n"
+          << "      \"events\": " << report.events_sent << ",\n"
+          << "      \"events_per_sec\": " << report.events_per_sec << ",\n"
+          << "      \"ingest_p99_ns\": " << p99(report.ops, "ingest-batch") << ",\n"
+          << "      \"machine_query_p99_ns\": " << p99(report.ops, "machine-query") << ",\n"
+          << "      \"admission_p99_ns\": " << p99(report.ops, "admission-check") << ",\n"
+          << "      \"bit_identical\": " << (report.verified ? "true" : "false") << "\n"
+          << "    }";
+    AppendTrackedBenchEntry(path, "crf-serve-bench-v1", entry.str());
+    std::printf("serve bench (%s): clients=%d %.0f events/s over %llu events,"
+                " bit_identical=%s -> %s\n",
+                full ? "full" : "short", lane.clients, report.events_per_sec,
+                static_cast<unsigned long long>(report.events_sent),
+                report.verified ? "true" : "false", path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace crf
 
@@ -1483,5 +1609,6 @@ int main(int argc, char** argv) {
   crf::RecordSweepBench();
   crf::RecordTraceBench();
   crf::RecordStreamBench();
+  crf::RecordServeBench();
   return 0;
 }

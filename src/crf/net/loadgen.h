@@ -1,0 +1,81 @@
+// LoadGenerator: replays a sealed trace over the wire (`crf loadgen`).
+//
+// K client threads split the server's ingest shards round-robin (thread k
+// owns shards s with s % K == k), each streaming its shards' machines in
+// the protocol's machine-outer ascending order through batched ingest
+// frames, with per-op latency sampling. Afterwards the generator verifies
+// end-state bit-identity against an in-process replay of the same trace
+// (per-machine prediction/limit-sum bits, roster hash, cell-level sums) and
+// optionally sends the shutdown op to seal the server's checkpoint.
+
+#ifndef CRF_NET_LOADGEN_H_
+#define CRF_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crf/core/predictor_factory.h"
+#include "crf/serve/replay.h"
+#include "crf/trace/trace.h"
+
+namespace crf {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  // Concurrent client connections (threads).
+  int client_threads = 4;
+  // Replay horizon: ticks [server next_tick, until); -1 streams to the end.
+  Interval until = -1;
+  // Ticks per ingest frame (the batching knob).
+  int batch_ticks = 256;
+  // Differential verification against an in-process replay.
+  bool verify = true;
+  // Send the shutdown op when done (seals the server's checkpoint if the
+  // server was configured with one).
+  bool send_shutdown = true;
+  // Must match the server's replay options for verification to be
+  // meaningful (shard count determines the cell-series rounding).
+  ReplayOptions verify_options;
+};
+
+struct LoadGenOpLatency {
+  std::string op;
+  int64_t count = 0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+};
+
+struct LoadGenReport {
+  // Set on any failure; all other fields are best-effort.
+  std::string error;
+
+  double elapsed_seconds = 0.0;
+  uint64_t events_sent = 0;
+  uint64_t ticks_sent = 0;
+  double events_per_sec = 0.0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  std::vector<LoadGenOpLatency> ops;
+
+  bool verify_ran = false;
+  bool verified = false;
+  int mismatched_machines = 0;
+
+  bool shutdown_sent = false;
+  bool sealed = false;
+  std::string checkpoint_path;
+  Interval final_tick = 0;
+};
+
+// Streams `cell` to the server at host:port. `spec` must be the predictor
+// the server runs (cross-checked against the hello response). Returns false
+// iff report->error is non-empty.
+bool RunLoadGen(const CellTrace& cell, const PredictorSpec& spec,
+                const LoadGenOptions& options, LoadGenReport* report);
+
+}  // namespace crf
+
+#endif  // CRF_NET_LOADGEN_H_

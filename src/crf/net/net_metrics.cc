@@ -1,0 +1,131 @@
+#include "crf/net/net_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace crf {
+
+ConnectionStats::ConnectionStats() {
+  op_latency_log2_ns.reserve(kNumWireOps);
+  for (int i = 0; i < kNumWireOps; ++i) {
+    // Same geometry as ShardMetrics::predict_latency_log2_ns.
+    op_latency_log2_ns.emplace_back(0.0, 1.0, 40);
+  }
+}
+
+void ConnectionStats::RecordOp(WireOp op, double ns) {
+  std::lock_guard<std::mutex> lock(mutex);
+  op_latency_log2_ns[static_cast<int>(op)].Add(std::log2(std::max(ns, 1.0)), ns);
+}
+
+void ConnectionStats::RecordBatch(int64_t events) {
+  std::lock_guard<std::mutex> lock(mutex);
+  batch_events_log2.Add(std::log2(static_cast<double>(std::max<int64_t>(events, 1))),
+                        static_cast<double>(events));
+}
+
+void ConnectionStats::RecordBytesIn(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex);
+  bytes_in += bytes;
+  ++frames_in;
+}
+
+void ConnectionStats::RecordBytesOut(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex);
+  bytes_out += bytes;
+  ++frames_out;
+}
+
+ConnectionStats* NetMetrics::AddConnection() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  connections_.push_back(std::make_unique<ConnectionStats>());
+  return connections_.back().get();
+}
+
+std::string NetMetrics::ToJsonObject() const {
+  // Aggregate every connection slab under its own lock.
+  uint64_t bytes_in = 0, bytes_out = 0, frames_in = 0, frames_out = 0;
+  std::vector<BucketedStats> op_latency;
+  op_latency.reserve(kNumWireOps);
+  for (int i = 0; i < kNumWireOps; ++i) {
+    op_latency.emplace_back(0.0, 1.0, 40);
+  }
+  BucketedStats batch_events(0.0, 1.0, 32);
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const auto& connection : connections_) {
+      std::lock_guard<std::mutex> lock(connection->mutex);
+      bytes_in += connection->bytes_in;
+      bytes_out += connection->bytes_out;
+      frames_in += connection->frames_in;
+      frames_out += connection->frames_out;
+      for (int i = 0; i < kNumWireOps; ++i) {
+        op_latency[i].Merge(connection->op_latency_log2_ns[i]);
+      }
+      batch_events.Merge(connection->batch_events_log2);
+    }
+  }
+
+  const auto append_histogram = [](std::string& out, const BucketedStats& stats,
+                                   const char* key_name) {
+    char buffer[128];
+    out += "[";
+    bool first = true;
+    for (int i = 0; i < stats.num_buckets(); ++i) {
+      const RunningStats& bucket = stats.bucket(i);
+      if (bucket.empty()) {
+        continue;
+      }
+      std::snprintf(buffer, sizeof(buffer), "%s{\"%s\": %d, \"count\": %lld, \"mean\": %.1f}",
+                    first ? "" : ", ", key_name, i, static_cast<long long>(bucket.count()),
+                    bucket.mean());
+      out += buffer;
+      first = false;
+    }
+    out += "]";
+  };
+
+  std::string out = "{\n";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"connections_accepted\": %llu,\n  \"connections_active\": %lld,\n"
+                "  \"frames_rejected\": %llu,\n  \"bytes_in\": %llu,\n"
+                "  \"bytes_out\": %llu,\n  \"frames_in\": %llu,\n  \"frames_out\": %llu,\n",
+                static_cast<unsigned long long>(connections_accepted()),
+                static_cast<long long>(connections_active()),
+                static_cast<unsigned long long>(frames_rejected()),
+                static_cast<unsigned long long>(bytes_in),
+                static_cast<unsigned long long>(bytes_out),
+                static_cast<unsigned long long>(frames_in),
+                static_cast<unsigned long long>(frames_out));
+  out += buffer;
+
+  out += "  \"ops\": [";
+  bool first_op = true;
+  for (int i = 0; i < kNumWireOps; ++i) {
+    int64_t count = 0;
+    for (int b = 0; b < op_latency[i].num_buckets(); ++b) {
+      count += op_latency[i].bucket(b).count();
+    }
+    if (count == 0) {
+      continue;
+    }
+    out += first_op ? "\n" : ",\n";
+    std::snprintf(buffer, sizeof(buffer), "    {\"op\": \"%s\", \"count\": %lld, "
+                  "\"latency_log2_ns\": ",
+                  WireOpName(static_cast<WireOp>(i)), static_cast<long long>(count));
+    out += buffer;
+    append_histogram(out, op_latency[i], "log2_ns");
+    out += "}";
+    first_op = false;
+  }
+  out += first_op ? "],\n" : "\n  ],\n";
+
+  out += "  \"batch_events_log2\": ";
+  append_histogram(out, batch_events, "log2_events");
+  out += "\n}";
+  return out;
+}
+
+}  // namespace crf

@@ -1,0 +1,90 @@
+// NetMetrics: operational counters for the TCP serve tier (DESIGN.md §10).
+//
+// Each connection gets its own cache-line-aligned ConnectionStats slab —
+// the network analogue of the replay layer's ShardMetrics — so concurrent
+// connection threads never share a counter line. A connection thread is the
+// only writer to its slab; the slab's small mutex exists solely for the
+// metrics-snapshot reader, which aggregates all slabs into the "net" JSON
+// section. The mutex is uncontended on the hot path (the owner takes it per
+// request round, the reader only on snapshot).
+
+#ifndef CRF_NET_NET_METRICS_H_
+#define CRF_NET_NET_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "crf/net/wire.h"
+#include "crf/stats/histogram.h"
+
+namespace crf {
+
+// Per-connection counters. Padded to its own cache lines; owned by one
+// connection thread, read under `mutex` by the snapshot path.
+struct alignas(64) ConnectionStats {
+  ConnectionStats();
+
+  // Records one completed request round: `ns` spent from frame decode to
+  // response enqueue, keyed by op in log2-ns buckets.
+  void RecordOp(WireOp op, double ns);
+  // Records an ingest batch's event count (log2 buckets).
+  void RecordBatch(int64_t events);
+  void RecordBytesIn(uint64_t bytes);
+  void RecordBytesOut(uint64_t bytes);
+
+  mutable std::mutex mutex;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  // One log2-ns latency histogram per WireOp (indexed by op code).
+  std::vector<BucketedStats> op_latency_log2_ns;
+  // Ingest batch sizes, log2(event count) buckets.
+  BucketedStats batch_events_log2{0.0, 1.0, 32};
+};
+
+// Registry of all connections' stats plus server-level counters. Slabs are
+// kept alive for the server's lifetime (closed connections still count in
+// the aggregate), so a snapshot covers the full history.
+class NetMetrics {
+ public:
+  // Allocates a slab for a new connection. The pointer stays valid until the
+  // registry is destroyed.
+  ConnectionStats* AddConnection();
+
+  void OnAccept() { connections_accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void OnOpen() { connections_active_.fetch_add(1, std::memory_order_relaxed); }
+  void OnClose() { connections_active_.fetch_sub(1, std::memory_order_relaxed); }
+  void OnRejectedFrame() { frames_rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  int64_t connections_active() const {
+    return connections_active_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_rejected() const {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
+
+  // The "net" section as a standalone JSON object (stable key order):
+  // connection counters, total bytes/frames, per-op latency histograms, and
+  // the ingest batch-size distribution. Safe to call while connection
+  // threads are live.
+  std::string ToJsonObject() const;
+
+ private:
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ConnectionStats>> connections_;
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_active_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+};
+
+}  // namespace crf
+
+#endif  // CRF_NET_NET_METRICS_H_

@@ -30,6 +30,7 @@ StreamReplayer::StreamReplayer(const CellTrace& cell, const PredictorSpec& spec,
 
   // Contiguous machine blocks: shard s owns [s*block, (s+1)*block) ∩ [0, M).
   const int block = (num_machines + options_.num_shards - 1) / options_.num_shards;
+  machine_block_ = std::max(block, 1);
   shards_.resize(options_.num_shards);
   for (int s = 0; s < options_.num_shards; ++s) {
     ShardState& shard = shards_[s];
@@ -40,12 +41,52 @@ StreamReplayer::StreamReplayer(const CellTrace& cell, const PredictorSpec& spec,
   }
 }
 
+void StreamReplayer::EnsureOracle(ShardState& shard, int machine) {
+  if (shard.oracle_machine == machine) {
+    return;
+  }
+  if (options_.use_total_usage_oracle) {
+    ComputeTotalUsageOracleInto(log_.cell(), machine, options_.horizon, shard.oracle_scratch,
+                                shard.oracle);
+  } else {
+    ComputePeakOracleInto(log_.cell(), machine, options_.horizon, shard.oracle_scratch,
+                          shard.oracle);
+  }
+  shard.oracle_machine = machine;
+}
+
+double StreamReplayer::ApplyTick(ShardState& shard, ShardMetrics& shard_metrics, int machine,
+                                 Interval tau, std::span<const StreamEvent> events) {
+  shard_metrics.sequence += events.size();
+  ++shard_metrics.ticks;
+  shard_metrics.max_batch_events =
+      std::max(shard_metrics.max_batch_events, static_cast<int64_t>(events.size()));
+
+  const int period = options_.latency_sample_period;
+  double prediction;
+  if (period > 0 && shard_metrics.ticks % static_cast<uint64_t>(period) == 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    prediction = service_.IngestTick(machine, tau, events);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    shard_metrics.predict_latency_log2_ns.Add(ns > 1.0 ? std::log2(ns) : 0.0, ns);
+  } else {
+    prediction = service_.IngestTick(machine, tau, events);
+  }
+
+  const double oracle_value = shard.oracle[tau];
+  const double limit_sum = service_.LimitSum(machine);
+  const bool occupied = !service_.Roster(machine).empty();
+  accums_[machine].risk.Record(prediction, oracle_value, limit_sum, occupied);
+  shard.cell_limit[tau] += limit_sum;
+  shard.cell_prediction[tau] += prediction;
+  return prediction;
+}
+
 void StreamReplayer::AdvanceShard(int shard_index, Interval from, Interval until) {
   ShardState& shard = shards_[shard_index];
   ShardMetrics& shard_metrics = metrics_.shard(shard_index);
-  const OracleKind kind =
-      options_.use_total_usage_oracle ? OracleKind::kTotalUsage : OracleKind::kPeak;
-  const int period = options_.latency_sample_period;
 
   // Finished machines' bulk pages are returned to the kernel in blocks: a
   // per-machine drop would strand the page at every machine boundary (the
@@ -58,42 +99,13 @@ void StreamReplayer::AdvanceShard(int shard_index, Interval from, Interval until
   int drop_from = shard.begin_machine;
 
   for (int m = shard.begin_machine; m < shard.end_machine; ++m) {
-    if (kind == OracleKind::kTotalUsage) {
-      ComputeTotalUsageOracleInto(log_.cell(), m, options_.horizon, shard.oracle_scratch,
-                                  shard.oracle);
-    } else {
-      ComputePeakOracleInto(log_.cell(), m, options_.horizon, shard.oracle_scratch,
-                            shard.oracle);
-    }
+    EnsureOracle(shard, m);
     EventLog::MachineCursor& cursor = cursors_[m];
-    MachineAccum& accum = accums_[m];
 
     for (Interval tau = from; tau < until; ++tau) {
       shard.events.clear();
       cursor.EmitTick(tau, shard.events);
-      shard_metrics.sequence += shard.events.size();
-      ++shard_metrics.ticks;
-      shard_metrics.max_batch_events =
-          std::max(shard_metrics.max_batch_events, static_cast<int64_t>(shard.events.size()));
-
-      double prediction;
-      if (period > 0 && shard_metrics.ticks % static_cast<uint64_t>(period) == 0) {
-        const auto t0 = std::chrono::steady_clock::now();
-        prediction = service_.IngestTick(m, tau, shard.events);
-        const auto t1 = std::chrono::steady_clock::now();
-        const double ns = static_cast<double>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-        shard_metrics.predict_latency_log2_ns.Add(ns > 1.0 ? std::log2(ns) : 0.0, ns);
-      } else {
-        prediction = service_.IngestTick(m, tau, shard.events);
-      }
-
-      const double oracle_value = shard.oracle[tau];
-      const double limit_sum = service_.LimitSum(m);
-      const bool occupied = !service_.Roster(m).empty();
-      accum.risk.Record(prediction, oracle_value, limit_sum, occupied);
-      shard.cell_limit[tau] += limit_sum;
-      shard.cell_prediction[tau] += prediction;
+      ApplyTick(shard, shard_metrics, m, tau, shard.events);
     }
 
     // The machine-outer loop consumes each machine's stream exactly once per
@@ -130,6 +142,31 @@ void StreamReplayer::Advance(Interval until) {
   const auto t1 = std::chrono::steady_clock::now();
   metrics_.AddElapsedSeconds(std::chrono::duration<double>(t1 - t0).count());
   next_tick_ = until;
+}
+
+double StreamReplayer::PushMachineTick(int machine, Interval tau,
+                                       std::span<const StreamEvent> events) {
+  CRF_CHECK_GE(machine, 0);
+  CRF_CHECK_LT(machine, log_.num_machines());
+  CRF_CHECK_GE(tau, next_tick_);
+  CRF_CHECK_LT(tau, log_.num_intervals());
+  const int s = shard_of(machine);
+  ShardState& shard = shards_[s];
+  EnsureOracle(shard, machine);
+  return ApplyTick(shard, metrics_.shard(s), machine, tau, events);
+}
+
+bool StreamReplayer::CommitPushedWindow(Interval until) {
+  if (until <= next_tick_ || until > log_.num_intervals()) {
+    return false;
+  }
+  for (int m = 0; m < log_.num_machines(); ++m) {
+    if (service_.LastTick(m) != until - 1) {
+      return false;
+    }
+  }
+  next_tick_ = until;
+  return true;
 }
 
 SimResult StreamReplayer::Finish() {

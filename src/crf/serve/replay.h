@@ -26,6 +26,7 @@
 #define CRF_SERVE_REPLAY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "crf/core/oracle.h"
@@ -94,6 +95,42 @@ class StreamReplayer {
 
   // Updates the violation total and returns the metrics registry.
   const ServeMetrics& Metrics();
+  // Mutable registry access for owners that attach extra JSON sections or
+  // account wall-clock externally (the network tier). Not thread-safe
+  // against a concurrent Advance/Push.
+  ServeMetrics& MutableMetrics() { return metrics_; }
+
+  // --- Push-mode ingest (the network tier's entry points) ---------------
+  //
+  // Instead of pulling events from the internal EventLog cursors, an owner
+  // may push externally supplied event batches. To keep every number
+  // bit-identical to Advance, pushes must replicate AdvanceShard's loop
+  // structure exactly: within a shard, machines are driven one at a time in
+  // ascending order, each machine's ticks in ascending order over the same
+  // window [next_tick, until); the window is then committed for all shards
+  // at once. The per-shard oracle scratch is cached per machine, so the
+  // caller must fully finish a machine before starting the next (the server
+  // enforces this protocol on the wire).
+  //
+  // Concurrency contract: PushMachineTick calls for machines in DISTINCT
+  // shards may run concurrently; calls within one shard must be serialized
+  // by the caller (the server holds a per-shard lock). CommitPushedWindow
+  // requires exclusive access to the whole replayer.
+
+  int num_shards() const { return options_.num_shards; }
+  // The shard owning `machine` (same contiguous-block map as Advance).
+  int shard_of(int machine) const { return machine / machine_block_; }
+
+  // Ingests one machine's canonical event batch for interval `tau` and
+  // returns the published prediction. The batch must already be validated
+  // (roster-consistent, canonical order) — malformed input CHECK-aborts,
+  // exactly like OvercommitService::IngestTick.
+  double PushMachineTick(int machine, Interval tau, std::span<const StreamEvent> events);
+
+  // Advances next_tick() to `until` after every machine has been pushed
+  // through tick until-1. Returns false (leaving state unchanged) if any
+  // machine lags or `until` is out of range.
+  bool CommitPushedWindow(Interval until);
 
   const PredictorSpec& spec() const { return service_.spec(); }
   const ReplayOptions& options() const { return options_; }
@@ -135,9 +172,19 @@ class StreamReplayer {
     std::vector<StreamEvent> events;
     OracleScratch oracle_scratch;
     std::vector<double> oracle;
+    // Machine the oracle scratch currently holds (-1: none). Lets push-mode
+    // ingest reuse the oracle across a machine's successive batches.
+    int oracle_machine = -1;
   };
 
   void AdvanceShard(int shard_index, Interval from, Interval until);
+  // Computes the scoring oracle for `machine` into `shard.oracle` (cached by
+  // shard.oracle_machine).
+  void EnsureOracle(ShardState& shard, int machine);
+  // The shared per-tick body of Advance and push-mode ingest: metrics,
+  // latency-sampled IngestTick, risk recording, cell series accumulation.
+  double ApplyTick(ShardState& shard, ShardMetrics& shard_metrics, int machine,
+                   Interval tau, std::span<const StreamEvent> events);
 
   EventLog log_;
   ReplayOptions options_;
@@ -147,6 +194,8 @@ class StreamReplayer {
   std::vector<ShardState> shards_;
   ServeMetrics metrics_;
   Interval next_tick_ = 0;
+  // Machines per shard block (shard_of's divisor; >= 1).
+  int machine_block_ = 1;
 };
 
 }  // namespace crf

@@ -91,8 +91,30 @@ std::string ServeMetrics::ToJson() const {
                   static_cast<long long>(shard.max_batch_events));
     out += buffer;
   }
-  out += "\n  ]\n}\n";
+  out += "\n  ]";
+  for (const auto& [key, json] : extra_sections_) {
+    out += ",\n  \"" + key + "\": ";
+    // Re-indent the section body so nested objects read like the rest of the
+    // document (the value arrives as a standalone JSON string).
+    for (char c : json) {
+      out += c;
+      if (c == '\n') {
+        out += "  ";
+      }
+    }
+  }
+  out += "\n}\n";
   return out;
+}
+
+void ServeMetrics::SetExtraSection(const std::string& key, const std::string& json_object) {
+  for (auto& section : extra_sections_) {
+    if (section.first == key) {
+      section.second = json_object;
+      return;
+    }
+  }
+  extra_sections_.emplace_back(key, json_object);
 }
 
 bool ServeMetrics::WriteJson(const std::string& path) const {

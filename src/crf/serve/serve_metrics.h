@@ -78,6 +78,12 @@ class ServeMetrics {
   // Events per second over the accumulated Advance time; 0 before any work.
   double EventsPerSecond() const;
 
+  // Attaches an extra top-level JSON section rendered verbatim under `key`
+  // (replacing any previous value for the key). `json_object` must be a
+  // complete JSON value. Used by the network tier to publish its "net"
+  // section (per-op latency, bytes, connections) through the same snapshot.
+  void SetExtraSection(const std::string& key, const std::string& json_object);
+
   // The full registry as a JSON object (stable key order).
   std::string ToJson() const;
   // Writes ToJson() to `path`; returns false on I/O failure.
@@ -88,6 +94,8 @@ class ServeMetrics {
   double elapsed_seconds_ = 0.0;
   int64_t violations_ = 0;
   RiskSummary risk_;
+  // Extra sections in insertion order (stable output).
+  std::vector<std::pair<std::string, std::string>> extra_sections_;
 };
 
 }  // namespace crf

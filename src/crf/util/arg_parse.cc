@@ -1,0 +1,112 @@
+#include "crf/util/arg_parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace crf {
+namespace {
+
+std::string Quoted(const std::string& text) { return "\"" + text + "\""; }
+
+// Validates a numeric IPv4 dotted quad without pulling socket headers into
+// crf_util: four base-10 octets in [0, 255], no empty or oversized parts.
+bool IsNumericIpv4(const std::string& host) {
+  int octets = 0;
+  int value = 0;
+  int digits = 0;
+  for (size_t i = 0; i <= host.size(); ++i) {
+    const char c = i < host.size() ? host[i] : '.';
+    if (c == '.') {
+      if (digits == 0 || value > 255) {
+        return false;
+      }
+      ++octets;
+      value = 0;
+      digits = 0;
+    } else if (c >= '0' && c <= '9') {
+      if (++digits > 3) {
+        return false;
+      }
+      value = value * 10 + (c - '0');
+    } else {
+      return false;
+    }
+  }
+  return octets == 4;
+}
+
+}  // namespace
+
+bool ParseIntFlag(const std::string& flag, const std::string& text, int64_t min_value,
+                  int64_t max_value, int64_t* value, std::string* error) {
+  if (text.empty()) {
+    *error = "--" + flag + " value must not be empty";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    *error = "--" + flag + " value " + Quoted(text) + " is not an integer";
+    return false;
+  }
+  if (parsed < min_value || parsed > max_value) {
+    *error = "--" + flag + " value " + Quoted(text) + " must be in [" +
+             std::to_string(min_value) + ", " + std::to_string(max_value) + "]";
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool ParseDoubleFlag(const std::string& flag, const std::string& text, double min_value,
+                     double max_value, double* value, std::string* error) {
+  if (text.empty()) {
+    *error = "--" + flag + " value must not be empty";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE || !std::isfinite(parsed)) {
+    *error = "--" + flag + " value " + Quoted(text) + " is not a finite number";
+    return false;
+  }
+  if (parsed < min_value || parsed > max_value) {
+    *error = "--" + flag + " value " + Quoted(text) + " must be in [" +
+             std::to_string(min_value) + ", " + std::to_string(max_value) + "]";
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool ParseHostPortFlag(const std::string& flag, const std::string& text, HostPort* value,
+                       std::string* error) {
+  if (text.empty()) {
+    *error = "--" + flag + " value must not be empty";
+    return false;
+  }
+  const size_t colon = text.rfind(':');
+  std::string host = colon == std::string::npos ? "" : text.substr(0, colon);
+  const std::string port_text = colon == std::string::npos ? text : text.substr(colon + 1);
+  if (!host.empty() && !IsNumericIpv4(host)) {
+    *error = "--" + flag + " host " + Quoted(host) + " is not a numeric IPv4 address";
+    return false;
+  }
+  int64_t port = 0;
+  std::string port_error;
+  if (!ParseIntFlag(flag, port_text, 0, 65535, &port, &port_error)) {
+    *error = "--" + flag + " port " + Quoted(port_text) +
+             " must be an integer in [0, 65535]";
+    return false;
+  }
+  if (!host.empty()) {
+    value->host = host;
+  }
+  value->port = static_cast<int>(port);
+  return true;
+}
+
+}  // namespace crf

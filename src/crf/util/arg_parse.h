@@ -1,0 +1,39 @@
+// Validated CLI flag parsing (spec_parser-style diagnostics).
+//
+// The CLI's original Args::GetInt fell back to the default on garbage and
+// happily accepted zero or negative values for flags like --threads; these
+// helpers parse strictly — the full token must be numeric and in range — and
+// produce precise error messages naming the flag and the offending text.
+
+#ifndef CRF_UTIL_ARG_PARSE_H_
+#define CRF_UTIL_ARG_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crf {
+
+// Parses `text` as a base-10 integer in [min_value, max_value]. On failure
+// returns false and sets `*error` to a message naming `flag` (written
+// without dashes, e.g. "threads").
+bool ParseIntFlag(const std::string& flag, const std::string& text, int64_t min_value,
+                  int64_t max_value, int64_t* value, std::string* error);
+
+// Parses `text` as a finite double in [min_value, max_value].
+bool ParseDoubleFlag(const std::string& flag, const std::string& text, double min_value,
+                     double max_value, double* value, std::string* error);
+
+struct HostPort {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+// Parses a listen/connect endpoint: "HOST:PORT", ":PORT", or "PORT", where
+// HOST is a numeric IPv4 address and PORT is in [0, 65535] (0 = ephemeral).
+// An omitted host defaults to 127.0.0.1.
+bool ParseHostPortFlag(const std::string& flag, const std::string& text, HostPort* value,
+                       std::string* error);
+
+}  // namespace crf
+
+#endif  // CRF_UTIL_ARG_PARSE_H_

@@ -1,0 +1,93 @@
+// Validated CLI flag parsing (crf/util/arg_parse.h): the full token must be
+// numeric and in range; malformed values produce spec_parser-style errors
+// naming the flag and the offending text instead of silently falling back.
+
+#include "crf/util/arg_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace crf {
+namespace {
+
+TEST(ParseIntFlagTest, AcceptsInRangeIntegers) {
+  int64_t value = 0;
+  std::string error;
+  EXPECT_TRUE(ParseIntFlag("threads", "8", 0, 1024, &value, &error));
+  EXPECT_EQ(value, 8);
+  EXPECT_TRUE(ParseIntFlag("threads", "0", 0, 1024, &value, &error));
+  EXPECT_EQ(value, 0);
+  EXPECT_TRUE(ParseIntFlag("until", "-1", -1, 100, &value, &error));
+  EXPECT_EQ(value, -1);
+}
+
+TEST(ParseIntFlagTest, RejectsGarbageWithFlagNameInError) {
+  int64_t value = 0;
+  std::string error;
+  EXPECT_FALSE(ParseIntFlag("threads", "abc", 0, 1024, &value, &error));
+  EXPECT_EQ(error, "--threads value \"abc\" is not an integer");
+  EXPECT_FALSE(ParseIntFlag("threads", "8x", 0, 1024, &value, &error));
+  EXPECT_NE(error.find("\"8x\""), std::string::npos);
+  EXPECT_FALSE(ParseIntFlag("threads", "", 0, 1024, &value, &error));
+  EXPECT_NE(error.find("must not be empty"), std::string::npos);
+  EXPECT_FALSE(ParseIntFlag("threads", "4.5", 0, 1024, &value, &error));
+  EXPECT_FALSE(ParseIntFlag("threads", "99999999999999999999999", 0, 1024, &value, &error));
+}
+
+TEST(ParseIntFlagTest, RejectsOutOfRangeWithBounds) {
+  int64_t value = 0;
+  std::string error;
+  EXPECT_FALSE(ParseIntFlag("shards", "0", 1, 65536, &value, &error));
+  EXPECT_EQ(error, "--shards value \"0\" must be in [1, 65536]");
+  EXPECT_FALSE(ParseIntFlag("shards", "-3", 1, 65536, &value, &error));
+  EXPECT_FALSE(ParseIntFlag("shards", "70000", 1, 65536, &value, &error));
+}
+
+TEST(ParseDoubleFlagTest, AcceptsFiniteAndRejectsNonFinite) {
+  double value = 0.0;
+  std::string error;
+  EXPECT_TRUE(ParseDoubleFlag("phi", "0.95", 0.0, 1.0, &value, &error));
+  EXPECT_DOUBLE_EQ(value, 0.95);
+  EXPECT_FALSE(ParseDoubleFlag("phi", "nan", 0.0, 1.0, &value, &error));
+  EXPECT_FALSE(ParseDoubleFlag("phi", "inf", 0.0, 1.0, &value, &error));
+  EXPECT_FALSE(ParseDoubleFlag("phi", "1.5", 0.0, 1.0, &value, &error));
+  EXPECT_FALSE(ParseDoubleFlag("phi", "x", 0.0, 1.0, &value, &error));
+  EXPECT_NE(error.find("--phi"), std::string::npos);
+}
+
+TEST(ParseHostPortFlagTest, AcceptsAllThreeForms) {
+  std::string error;
+  HostPort value;
+  EXPECT_TRUE(ParseHostPortFlag("listen", "10.0.0.2:8080", &value, &error));
+  EXPECT_EQ(value.host, "10.0.0.2");
+  EXPECT_EQ(value.port, 8080);
+
+  value = HostPort{};
+  EXPECT_TRUE(ParseHostPortFlag("listen", ":9090", &value, &error));
+  EXPECT_EQ(value.host, "127.0.0.1");  // omitted host keeps the default
+  EXPECT_EQ(value.port, 9090);
+
+  value = HostPort{};
+  EXPECT_TRUE(ParseHostPortFlag("listen", "0", &value, &error));
+  EXPECT_EQ(value.host, "127.0.0.1");
+  EXPECT_EQ(value.port, 0);  // ephemeral
+}
+
+TEST(ParseHostPortFlagTest, RejectsBadHostsAndPorts) {
+  std::string error;
+  HostPort value;
+  EXPECT_FALSE(ParseHostPortFlag("listen", "", &value, &error));
+  EXPECT_FALSE(ParseHostPortFlag("listen", "localhost:80", &value, &error));
+  EXPECT_NE(error.find("numeric IPv4"), std::string::npos);
+  EXPECT_FALSE(ParseHostPortFlag("listen", "300.1.1.1:80", &value, &error));
+  EXPECT_FALSE(ParseHostPortFlag("listen", "1.2.3:80", &value, &error));
+  EXPECT_FALSE(ParseHostPortFlag("listen", "1.2.3.4.5:80", &value, &error));
+  EXPECT_FALSE(ParseHostPortFlag("listen", "1.2.3.4:", &value, &error));
+  EXPECT_FALSE(ParseHostPortFlag("listen", "1.2.3.4:x", &value, &error));
+  EXPECT_FALSE(ParseHostPortFlag("listen", "1.2.3.4:70000", &value, &error));
+  EXPECT_NE(error.find("[0, 65535]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crf

@@ -1,0 +1,377 @@
+// Loopback contract of the network serve tier (crf/net/server.h): state
+// streamed over TCP is bit-identical to an in-process replay for every
+// predictor family, a shutdown-sealed checkpoint resumes bit-identically,
+// and protocol violations draw a kError + connection close — never a crash
+// or a CHECK abort — while the server keeps serving other clients.
+
+#include "crf/net/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crf/core/spec_parser.h"
+#include "crf/net/client.h"
+#include "crf/net/loadgen.h"
+#include "crf/serve/checkpoint.h"
+#include "crf/serve/replay.h"
+#include "crf/trace/trace_builder.h"
+#include "crf/util/rng.h"
+
+namespace crf {
+namespace {
+
+CellTrace RandomCell(uint64_t seed, const std::string& name = "net_cell") {
+  Rng rng(seed);
+  const Interval num_intervals = 48 + static_cast<Interval>(rng.UniformInt(17));
+  const int num_machines = 5 + static_cast<int>(rng.UniformInt(4));
+  CellTraceBuilder builder(name, num_intervals, num_machines);
+
+  TaskId next_id = 1;
+  for (int m = 0; m < num_machines; ++m) {
+    const int num_tasks = 2 + static_cast<int>(rng.UniformInt(10));
+    for (int i = 0; i < num_tasks; ++i) {
+      const TaskId id = next_id++;
+      const Interval start = static_cast<Interval>(rng.UniformInt(num_intervals));
+      const double limit = 0.05 + rng.UniformDouble() * 0.95;
+      const Interval len = 1 + static_cast<Interval>(rng.UniformInt(num_intervals - start + 3));
+      const int32_t index =
+          builder.AddTask(id, id, m, start, limit, SchedulingClass::kLatencySensitive);
+      builder.ReserveUsage(index, static_cast<size_t>(len));
+      for (Interval k = 0; k < len; ++k) {
+        builder.AppendUsage(index, static_cast<float>(limit * rng.UniformDouble()));
+      }
+    }
+  }
+  return builder.Seal();
+}
+
+std::string TempPath(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string tag = std::string(info->test_suite_name()) + "_" + info->name();
+  for (char& c : tag) {
+    if (c == '/') {
+      c = '_';
+    }
+  }
+  return ::testing::TempDir() + "/" + tag + "_" + name;
+}
+
+ReplayOptions TestReplayOptions() {
+  ReplayOptions options;
+  options.num_shards = 4;
+  options.parallel = false;
+  return options;
+}
+
+// Owns a replayer + running server on an ephemeral loopback port.
+struct ServerHarness {
+  ServerHarness(const CellTrace& cell, const PredictorSpec& spec,
+                const std::string& checkpoint_out = "") {
+    replayer = std::make_unique<StreamReplayer>(cell, spec, TestReplayOptions());
+    Serve(checkpoint_out);
+  }
+  ServerHarness(std::unique_ptr<StreamReplayer> resumed, const std::string& checkpoint_out)
+      : replayer(std::move(resumed)) {
+    Serve(checkpoint_out);
+  }
+
+  void Serve(const std::string& checkpoint_out) {
+    NetServerOptions net;
+    net.checkpoint_out = checkpoint_out;
+    server = std::make_unique<OvercommitServer>(*replayer, net);
+    std::string error;
+    started = server->Start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+
+  std::unique_ptr<StreamReplayer> replayer;
+  std::unique_ptr<OvercommitServer> server;
+  bool started = false;
+};
+
+LoadGenOptions TestLoadGenOptions(int port) {
+  LoadGenOptions options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  options.client_threads = 2;
+  options.batch_ticks = 7;  // deliberately misaligned with the window
+  options.verify_options = TestReplayOptions();
+  return options;
+}
+
+class NetServerFamilyTest : public ::testing::TestWithParam<const char*> {};
+
+// The tentpole differential: stream the whole trace over loopback and
+// bit-compare every machine's end state (and the cell sums) against an
+// in-process replay of the same trace — per predictor family, including the
+// chance/flex families whose state machines are the most intricate.
+TEST_P(NetServerFamilyTest, LoopbackStateIsBitIdenticalToInProcessReplay) {
+  const CellTrace cell = RandomCell(101);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec(GetParam(), &spec_error);
+  ASSERT_TRUE(spec.has_value()) << spec_error;
+
+  ServerHarness harness(cell, *spec);
+  ASSERT_TRUE(harness.started);
+
+  LoadGenReport report;
+  ASSERT_TRUE(RunLoadGen(cell, *spec, TestLoadGenOptions(harness.server->port()), &report))
+      << report.error;
+  EXPECT_GT(report.events_sent, 0u);
+  EXPECT_TRUE(report.verify_ran);
+  EXPECT_EQ(report.mismatched_machines, 0);
+  EXPECT_TRUE(report.verified);
+  EXPECT_TRUE(report.shutdown_sent);
+  harness.server->Wait();
+  EXPECT_TRUE(harness.replayer->Done());
+}
+
+INSTANTIATE_TEST_SUITE_P(PredictorFamilies, NetServerFamilyTest,
+                         ::testing::Values("limit-sum", "n-sigma:3", "rc-like:99",
+                                           "borg-default:0.9", "autopilot:98:1.1",
+                                           "max(chance:0.02,flex:95:1.2)",
+                                           "max(n-sigma:5,rc-like:99)"));
+
+// Shutdown mid-trace seals a CRFCKPT1; resuming a fresh server from it and
+// streaming the remainder must land bit-identically on the same end state
+// as an uninterrupted from-scratch replay (the loadgen verifier's reference).
+TEST(NetServerCheckpointTest, ShutdownSealResumesBitIdentically) {
+  const CellTrace cell = RandomCell(202);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec("max(chance:0.02,flex:95:1.2)", &spec_error);
+  ASSERT_TRUE(spec.has_value()) << spec_error;
+  const std::string ckpt = TempPath("seal.ckpt");
+  const Interval half = cell.num_intervals / 2;
+
+  {
+    ServerHarness harness(cell, *spec, ckpt);
+    ASSERT_TRUE(harness.started);
+    LoadGenOptions options = TestLoadGenOptions(harness.server->port());
+    options.until = half;
+    options.verify = false;  // end state checked after the resumed leg
+    LoadGenReport report;
+    ASSERT_TRUE(RunLoadGen(cell, *spec, options, &report)) << report.error;
+    EXPECT_TRUE(report.sealed);
+    EXPECT_EQ(report.checkpoint_path, ckpt);
+    EXPECT_EQ(report.final_tick, half);
+    harness.server->Wait();
+    EXPECT_TRUE(harness.server->sealed());
+    EXPECT_EQ(harness.server->sealed_tick(), half);
+  }
+
+  std::string error;
+  auto resumed = LoadCheckpoint(ckpt, cell, TestReplayOptions(), &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_EQ(resumed->next_tick(), half);
+
+  ServerHarness harness(std::move(resumed), "");
+  ASSERT_TRUE(harness.started);
+  LoadGenReport report;
+  ASSERT_TRUE(RunLoadGen(cell, *spec, TestLoadGenOptions(harness.server->port()), &report))
+      << report.error;
+  EXPECT_TRUE(report.verify_ran);
+  EXPECT_TRUE(report.verified) << report.mismatched_machines << " machines mismatched";
+  harness.server->Wait();
+  EXPECT_TRUE(harness.replayer->Done());
+}
+
+// Sealing is refused while an ingest window is still open: the accumulators
+// hold pushes past next_tick, so a checkpoint cut there could not resume.
+TEST(NetServerCheckpointTest, SealIsRefusedMidWindow) {
+  const CellTrace cell = RandomCell(303);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec("n-sigma:3", &spec_error);
+  ASSERT_TRUE(spec.has_value()) << spec_error;
+  ServerHarness harness(cell, *spec, TempPath("refused.ckpt"));
+  ASSERT_TRUE(harness.started);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port(), &error)) << error;
+  // Open a window on shard 0 without finishing it: one tick of machine 0.
+  EventLog log(cell);
+  IngestBatchRequest request;
+  request.machine = 0;
+  request.from_tick = 0;
+  request.until_tick = 1;
+  request.window_until = cell.num_intervals;
+  EventLog::MachineCursor cursor = log.CreateCursor(0);
+  cursor.EmitTick(0, request.events);
+  ASSERT_TRUE(client.IngestBatch(request, &error).has_value()) << error;
+
+  NetClient shutdown_client;
+  ASSERT_TRUE(shutdown_client.Connect("127.0.0.1", harness.server->port(), &error)) << error;
+  ShutdownRequest down;
+  const auto response = shutdown_client.Shutdown(down, &error);
+  EXPECT_FALSE(response.has_value());
+  EXPECT_NE(error.find("cannot seal"), std::string::npos) << error;
+  harness.server->Wait();  // shutdown op still stops the server
+  EXPECT_FALSE(harness.server->sealed());
+}
+
+// Protocol violations: wrong machine order within a shard, a mismatched
+// window boundary, and a tick regression each draw a kError and close only
+// the offending connection; the server remains healthy for other clients.
+TEST(NetServerProtocolTest, ViolationsDrawErrorAndConnectionClose) {
+  const CellTrace cell = RandomCell(404);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec("limit-sum", &spec_error);
+  ASSERT_TRUE(spec.has_value()) << spec_error;
+  ServerHarness harness(cell, *spec);
+  ASSERT_TRUE(harness.started);
+  const int port = harness.server->port();
+  EventLog log(cell);
+
+  std::string error;
+  {
+    // Machine out of range.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+    MachineQueryRequest query;
+    query.machine = cell.num_machines() + 5;
+    EXPECT_FALSE(client.MachineQuery(query, &error).has_value());
+    EXPECT_NE(error.find("machine"), std::string::npos) << error;
+  }
+  {
+    // Shard protocol: the first streamed machine must be the shard's first.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+    IngestBatchRequest request;
+    request.machine = 1;  // shard 0 owns machines [0, 2) here; 0 must be first
+    request.from_tick = 0;
+    request.until_tick = 1;
+    request.window_until = cell.num_intervals;
+    EventLog::MachineCursor cursor = log.CreateCursor(1);
+    cursor.EmitTick(0, request.events);
+    EXPECT_FALSE(client.IngestBatch(request, &error).has_value());
+    // The connection is closed after the error: the next call fails too.
+    EXPECT_FALSE(client.CellQuery(&error).has_value());
+  }
+  {
+    // Roster violation: a departure for a task that is not resident.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+    IngestBatchRequest request;
+    request.machine = 0;
+    request.from_tick = 0;
+    request.until_tick = 1;
+    request.window_until = cell.num_intervals;
+    StreamEvent bogus;
+    bogus.kind = StreamEventKind::kTaskDeparture;
+    bogus.task_index = 999999;
+    bogus.tick = 0;
+    bogus.task_id = 999999;
+    bogus.limit = 0.5;
+    request.events.push_back(bogus);
+    EXPECT_FALSE(client.IngestBatch(request, &error).has_value());
+    EXPECT_NE(error.find("departure"), std::string::npos) << error;
+  }
+  {
+    // Raw garbage bytes: not a CRFNET1 frame, connection dropped, no crash.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+    ASSERT_GT(::send(fd, garbage, sizeof(garbage), 0), 0);
+    char buffer[256];
+    // The server answers with a kError frame (or just closes); either way
+    // the connection reaches EOF without wedging.
+    while (::recv(fd, buffer, sizeof(buffer), 0) > 0) {
+    }
+    ::close(fd);
+  }
+
+  // After all that abuse a well-behaved client still gets clean service.
+  LoadGenReport report;
+  ASSERT_TRUE(RunLoadGen(cell, *spec, TestLoadGenOptions(port), &report)) << report.error;
+  EXPECT_TRUE(report.verified);
+  EXPECT_GE(harness.server->net_metrics().frames_rejected(), 1u);
+  harness.server->Wait();
+}
+
+// The window protocol: a second batch must continue the machine at its next
+// tick and keep the window boundary every shard agreed on.
+TEST(NetServerProtocolTest, WindowMismatchIsRejected) {
+  const CellTrace cell = RandomCell(505);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec("limit-sum", &spec_error);
+  ASSERT_TRUE(spec.has_value()) << spec_error;
+  ServerHarness harness(cell, *spec);
+  ASSERT_TRUE(harness.started);
+  EventLog log(cell);
+
+  std::string error;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port(), &error)) << error;
+  IngestBatchRequest request;
+  request.machine = 0;
+  request.from_tick = 0;
+  request.until_tick = 2;
+  request.window_until = cell.num_intervals;
+  EventLog::MachineCursor cursor = log.CreateCursor(0);
+  cursor.EmitTick(0, request.events);
+  cursor.EmitTick(1, request.events);
+  ASSERT_TRUE(client.IngestBatch(request, &error).has_value()) << error;
+
+  // Same machine, right tick, but a different window boundary.
+  request.events.clear();
+  request.from_tick = 2;
+  request.until_tick = 3;
+  request.window_until = cell.num_intervals - 1;
+  cursor.EmitTick(2, request.events);
+  EXPECT_FALSE(client.IngestBatch(request, &error).has_value());
+  EXPECT_NE(error.find("window"), std::string::npos) << error;
+  harness.server->RequestStop();
+}
+
+// Admission checks answer against the live predicted peak: a zero-size task
+// fits iff the machine has headroom, an absurd one never does, and the
+// reported headroom is capacity - predicted_peak.
+TEST(NetServerQueryTest, AdmissionCheckUsesPredictedPeakHeadroom) {
+  const CellTrace cell = RandomCell(606);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec("n-sigma:3", &spec_error);
+  ASSERT_TRUE(spec.has_value()) << spec_error;
+  ServerHarness harness(cell, *spec);
+  ASSERT_TRUE(harness.started);
+
+  LoadGenOptions options = TestLoadGenOptions(harness.server->port());
+  options.send_shutdown = false;
+  LoadGenReport report;
+  ASSERT_TRUE(RunLoadGen(cell, *spec, options, &report)) << report.error;
+  ASSERT_TRUE(report.verified);
+
+  std::string error;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port(), &error)) << error;
+  AdmissionCheckRequest request;
+  request.machine = 0;
+  request.task_limit = 1e9;
+  auto verdict = client.AdmissionCheck(request, &error);
+  ASSERT_TRUE(verdict.has_value()) << error;
+  EXPECT_FALSE(verdict->admitted);
+  EXPECT_EQ(verdict->capacity, cell.machine_capacity(0));
+  EXPECT_EQ(verdict->headroom, verdict->capacity - verdict->predicted_peak);
+
+  request.task_limit = 0.0;
+  verdict = client.AdmissionCheck(request, &error);
+  ASSERT_TRUE(verdict.has_value()) << error;
+  EXPECT_EQ(verdict->admitted, verdict->predicted_peak <= verdict->capacity);
+
+  harness.server->RequestStop();
+}
+
+}  // namespace
+}  // namespace crf

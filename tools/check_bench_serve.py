@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validates a tracked BENCH_serve.json network-serve matrix.
+
+Usage: check_bench_serve.py [path]   (default: BENCH_serve.json)
+
+Schema checks (field presence, types, sanity) plus the rules specific to the
+TCP serve tier:
+
+- `bit_identical` must be true on EVERY row, regardless of host: each bench
+  lane replays the full trace over loopback and bit-compares the server's end
+  state against an in-process replay, so a false here means the wire path
+  corrupted predictor state. There is no waiver for correctness.
+- Rows group into matrices (`matrix` id). The file must contain at least one
+  complete matrix covering client counts {1, 4, 8}; rows within a matrix must
+  describe the same workload (same event count and cell shape) or the lanes
+  timed different traces.
+- Throughput target: in every complete matrix, the 4-client row must sustain
+  >= 1M events/s aggregate ingest — checked only when the recording host had
+  >= 4 cores (`host_cores`); a waiver is printed otherwise, following the
+  check_bench_stream.py convention, because a starved container measures the
+  scheduler, not the serve tier. Latency thresholds are deliberately absent:
+  CI runners vary too much for absolute p99s to gate a merge.
+"""
+
+import sys
+
+from bench_check_lib import Checker
+
+REQUIRED_SCHEMA = "crf-serve-bench-v1"
+REQUIRED_CLIENTS = {1, 4, 8}
+THROUGHPUT_TARGET_CLIENTS = 4
+THROUGHPUT_TARGET_EVENTS_PER_SEC = 1_000_000
+THROUGHPUT_MIN_HOST_CORES = 4
+
+ENTRY_FIELDS = {
+    "date": str,
+    "mode": str,
+    "matrix": str,
+    "clients": int,
+    "host_cores": int,
+    "num_machines": int,
+    "num_intervals": int,
+    "num_shards": int,
+    "events": int,
+    "events_per_sec": (int, float),
+    "ingest_p99_ns": (int, float),
+    "machine_query_p99_ns": (int, float),
+    "admission_p99_ns": (int, float),
+    "bit_identical": bool,
+}
+
+POSITIVE_FIELDS = [
+    "clients",
+    "host_cores",
+    "num_machines",
+    "num_intervals",
+    "num_shards",
+    "events",
+    "events_per_sec",
+    "ingest_p99_ns",
+]
+
+NON_NEGATIVE_FIELDS = [
+    "machine_query_p99_ns",
+    "admission_p99_ns",
+]
+
+check = Checker("check_bench_serve")
+
+
+def check_entry(i, entry):
+    check.require_object(i, entry)
+    check.check_entry_fields(i, entry, ENTRY_FIELDS)
+    check.check_positive(i, entry, POSITIVE_FIELDS)
+    check.check_non_negative(i, entry, NON_NEGATIVE_FIELDS)
+    check.check_mode(i, entry)
+    if not entry["bit_identical"]:
+        check.fail(
+            f"entries[{i}]: bit_identical is false — the wire ingest path "
+            "diverged from in-process replay; this is a correctness bug, "
+            "not a perf regression"
+        )
+
+
+def check_matrix(matrix_id, rows):
+    clients = {row["clients"] for row in rows}
+    complete = REQUIRED_CLIENTS.issubset(clients)
+    first = rows[0]
+    for row in rows[1:]:
+        for field in ("mode", "num_machines", "num_intervals", "num_shards", "events"):
+            if row[field] != first[field]:
+                check.fail(
+                    f"matrix {matrix_id!r}: rows disagree on {field} "
+                    f"({row[field]} vs {first[field]}) — lanes timed different workloads"
+                )
+    if complete:
+        for row in rows:
+            if row["clients"] != THROUGHPUT_TARGET_CLIENTS:
+                continue
+            if row["host_cores"] >= THROUGHPUT_MIN_HOST_CORES:
+                if row["events_per_sec"] < THROUGHPUT_TARGET_EVENTS_PER_SEC:
+                    check.fail(
+                        f"matrix {matrix_id!r}: {row['events_per_sec']:.0f} events/s "
+                        f"at {THROUGHPUT_TARGET_CLIENTS} clients, target >= "
+                        f"{THROUGHPUT_TARGET_EVENTS_PER_SEC}"
+                    )
+            else:
+                check.note(
+                    f"matrix {matrix_id!r} throughput target waived — recorded "
+                    f'on a {row["host_cores"]}-core host, which cannot feed '
+                    f"{THROUGHPUT_TARGET_CLIENTS} client threads"
+                )
+    return complete
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serve.json"
+    entries = check.load(path, REQUIRED_SCHEMA)
+
+    matrices = {}
+    for i, entry in enumerate(entries):
+        check_entry(i, entry)
+        matrices.setdefault(entry["matrix"], []).append(entry)
+
+    complete = sum(1 for mid, rows in matrices.items() if check_matrix(mid, rows))
+    if complete == 0:
+        required = sorted(REQUIRED_CLIENTS)
+        check.fail(f"no complete client matrix: need rows at clients {required}")
+
+    check.ok(
+        f"{path} has {len(entries)} well-formed entries "
+        f"in {len(matrices)} matrices ({complete} complete)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,20 @@
 //             [--resume=FILE] [--metrics-out=FILE]
 //       Stream the trace through the online serve layer. Results on stdout
 //       are deterministic (bit-identical at any thread count); throughput
-//       goes to stderr.
+//       goes to stderr. SIGINT/SIGTERM stop the replay at the next day
+//       boundary and seal a resumable checkpoint to --checkpoint-out.
+//   crf serve --listen=HOST:PORT ... [--port-file=FILE] [--max-conns=N]
+//       Instead of replaying locally, expose the serve tier over TCP
+//       (CRFNET1 wire protocol, DESIGN.md §10). --checkpoint-out becomes the
+//       shutdown op's seal target; once clients have streamed the whole
+//       trace, the same deterministic results are printed on exit.
+//   crf loadgen --connect=HOST:PORT (--trace=FILE | --cell=a ...)
+//               [--clients=K] [--batch-ticks=N] [--until=T] [--predictor=SPEC]
+//               [--shards=16] [--no-verify] [--no-shutdown]
+//       Replay a trace over the wire against `crf serve --listen` from K
+//       client connections; reports events/s and per-op p50/p99/p999, then
+//       verifies the server's end state bit-for-bit against an in-process
+//       replay and (by default) sends the shutdown op.
 //   crf checkpoint --file=FILE
 //       Inspect a serve checkpoint's header.
 //
@@ -36,6 +49,9 @@
 //
 // Cells: a..h (trace cells) and production_1..production_5.
 
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -46,12 +62,15 @@
 
 #include "crf/cluster/ab_experiment.h"
 #include "crf/core/spec_parser.h"
+#include "crf/net/loadgen.h"
+#include "crf/net/server.h"
 #include "crf/serve/checkpoint.h"
 #include "crf/serve/replay.h"
 #include "crf/sim/simulator.h"
 #include "crf/trace/generator.h"
 #include "crf/trace/trace_io.h"
 #include "crf/trace/trace_stats.h"
+#include "crf/util/arg_parse.h"
 #include "crf/util/table.h"
 
 namespace crf {
@@ -137,6 +156,30 @@ int Fail(const std::string& message) {
   return 2;
 }
 
+// SIGINT/SIGTERM request a graceful stop: the replay loop breaks at its next
+// chunk boundary (sealing a checkpoint if --checkpoint-out is set) and a
+// network server seals-and-stops through OvercommitServer::Wait.
+std::atomic<bool> g_stop{false};
+
+void InstallStopHandlers() {
+  g_stop.store(false);
+  std::signal(SIGINT, [](int) { g_stop.store(true); });
+  std::signal(SIGTERM, [](int) { g_stop.store(true); });
+}
+
+// Strict flag accessor: an absent flag yields `fallback`; a present one must
+// parse in full as an integer in [min_value, max_value] (arg_parse.h
+// diagnostics name the flag and the offending text).
+bool GetIntFlag(Args& args, const std::string& key, int64_t fallback, int64_t min_value,
+                int64_t max_value, int64_t* value, std::string* error) {
+  const auto text = args.Get(key);
+  if (!text.has_value()) {
+    *value = fallback;
+    return true;
+  }
+  return ParseIntFlag(key, *text, min_value, max_value, value, error);
+}
+
 TraceLoadOptions LoadOptionsFromArgs(Args& args) {
   TraceLoadOptions load;
   if (args.GetBool("mmap")) {
@@ -146,11 +189,15 @@ TraceLoadOptions LoadOptionsFromArgs(Args& args) {
 }
 
 // --threads=N: total worker threads for generation / simulation / replay.
-// 0 (default) or 1 runs serially; results never depend on the value.
-std::unique_ptr<ThreadPool> PoolFromArgs(Args& args) {
-  const int threads = static_cast<int>(args.GetInt("threads", 0));
+// 0 (default) or 1 runs serially; results never depend on the value. On a
+// malformed value, returns nullptr with `error` set.
+std::unique_ptr<ThreadPool> PoolFromArgs(Args& args, std::string& error) {
+  int64_t threads = 0;
+  if (!GetIntFlag(args, "threads", 0, 0, 1024, &threads, &error)) {
+    return nullptr;
+  }
   if (threads > 1) {
-    return std::make_unique<ThreadPool>(threads);
+    return std::make_unique<ThreadPool>(static_cast<int>(threads));
   }
   return nullptr;
 }
@@ -159,9 +206,16 @@ std::unique_ptr<ThreadPool> PoolFromArgs(Args& args) {
 // and `crf cluster`. --placement-shards=S > 0 selects the sharded engine
 // (part of the cell/run identity, like the seed); --rebalance-interval=R
 // sets batches between cross-shard summary refreshes.
-void PlacementArgsInto(Args& args, int& shards, int& rebalance_interval) {
-  shards = static_cast<int>(args.GetInt("placement-shards", 0));
-  rebalance_interval = static_cast<int>(args.GetInt("rebalance-interval", 8));
+bool PlacementArgsInto(Args& args, int& shards, int& rebalance_interval, std::string& error) {
+  int64_t parsed_shards = 0;
+  int64_t parsed_interval = 0;
+  if (!GetIntFlag(args, "placement-shards", 0, 0, 4096, &parsed_shards, &error) ||
+      !GetIntFlag(args, "rebalance-interval", 8, 1, 1 << 20, &parsed_interval, &error)) {
+    return false;
+  }
+  shards = static_cast<int>(parsed_shards);
+  rebalance_interval = static_cast<int>(parsed_interval);
+  return true;
 }
 
 std::optional<CellTrace> BuildOrLoadCell(Args& args, std::string& error) {
@@ -189,12 +243,14 @@ std::optional<CellTrace> BuildOrLoadCell(Args& args, std::string& error) {
       static_cast<Interval>(args.GetDouble("days", 7.0) * kIntervalsPerDay);
   options.rich_stats = args.GetBool("rich");
   options.placement_probes = static_cast<int>(args.GetInt("probes", 0));
-  PlacementArgsInto(args, options.placement_shards, options.placement_rebalance_interval);
-  if (options.placement_shards < 0 || options.placement_rebalance_interval < 1) {
-    error = "--placement-shards must be >= 0 and --rebalance-interval >= 1";
+  if (!PlacementArgsInto(args, options.placement_shards,
+                         options.placement_rebalance_interval, error)) {
     return std::nullopt;
   }
-  const auto pool = PoolFromArgs(args);
+  const auto pool = PoolFromArgs(args, error);
+  if (!error.empty()) {
+    return std::nullopt;
+  }
   options.pool = pool.get();
   const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
   return GenerateCellTrace(*profile, options, rng);
@@ -225,11 +281,15 @@ int CmdGenerate(Args& args) {
         static_cast<Interval>(args.GetDouble("days", 7.0) * kIntervalsPerDay);
     options.rich_stats = args.GetBool("rich");
     options.placement_probes = static_cast<int>(args.GetInt("probes", 0));
-    PlacementArgsInto(args, options.placement_shards, options.placement_rebalance_interval);
-    if (options.placement_shards < 0 || options.placement_rebalance_interval < 1) {
-      return Fail("--placement-shards must be >= 0 and --rebalance-interval >= 1");
+    std::string arg_error;
+    if (!PlacementArgsInto(args, options.placement_shards,
+                           options.placement_rebalance_interval, arg_error)) {
+      return Fail(arg_error);
     }
-    const auto pool = PoolFromArgs(args);
+    const auto pool = PoolFromArgs(args, arg_error);
+    if (!arg_error.empty()) {
+      return Fail(arg_error);
+    }
     options.pool = pool.get();
     const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
     if (const auto unknown = args.UnknownFlag()) {
@@ -369,9 +429,32 @@ int CmdSimulate(Args& args) {
   return 0;
 }
 
+// The deterministic end-of-replay block shared by the local replay path and
+// the network server (after clients stream the whole trace): CI diffs these
+// lines across resumed, interrupted, and network-fed runs.
+int PrintServeResults(StreamReplayer& replayer, const ReplayOptions& options,
+                      const std::optional<std::string>& metrics_out) {
+  const SimResult result = replayer.Finish();
+  const ServeMetrics& metrics = replayer.Metrics();
+  std::printf("cell %s, predictor %s, horizon %gh, %d shards\n", result.cell_name.c_str(),
+              result.predictor_name.c_str(), IntervalsToHours(options.horizon),
+              options.num_shards);
+  PrintSimResultTable(result);
+  std::printf("events ingested: %llu over %llu machine-ticks\n",
+              static_cast<unsigned long long>(metrics.TotalEvents()),
+              static_cast<unsigned long long>(metrics.TotalTicks()));
+  std::fprintf(stderr, "crf: ingest rate %.0f events/s (%.3fs wall)\n",
+               metrics.EventsPerSecond(), metrics.elapsed_seconds());
+  if (metrics_out.has_value() && !metrics.WriteJson(*metrics_out)) {
+    return Fail("cannot write metrics to " + *metrics_out);
+  }
+  return 0;
+}
+
 // Streaming replay through the serve layer (crf/serve). Deterministic
 // results go to stdout — CI diffs a resumed run against an uninterrupted
-// one — timing-derived throughput goes to stderr.
+// one — timing-derived throughput goes to stderr. With --listen the replayer
+// is instead exposed over TCP (crf/net) and driven by remote clients.
 int CmdServe(Args& args) {
   const std::string spec_text = args.GetOr("predictor", "max(n-sigma:5,rc-like:99)");
   std::string spec_error;
@@ -383,14 +466,19 @@ int CmdServe(Args& args) {
   ReplayOptions options;
   options.horizon =
       static_cast<Interval>(args.GetDouble("horizon-hours", 24.0) * kIntervalsPerHour);
-  options.num_shards = static_cast<int>(args.GetInt("shards", 16));
-  options.parallel = !args.GetBool("no-parallel");
-  if (options.num_shards <= 0) {
-    return Fail("--shards must be positive");
+  std::string arg_error;
+  int64_t num_shards = 16;
+  if (!GetIntFlag(args, "shards", 16, 1, 65536, &num_shards, &arg_error)) {
+    return Fail(arg_error);
   }
+  options.num_shards = static_cast<int>(num_shards);
+  options.parallel = !args.GetBool("no-parallel");
   // --threads also sizes the generation pool when the cell is synthesized
   // below (BuildOrLoadCell reads the same flag).
-  const auto pool = PoolFromArgs(args);
+  const auto pool = PoolFromArgs(args, arg_error);
+  if (!arg_error.empty()) {
+    return Fail(arg_error);
+  }
   options.pool = pool.get();
   const bool all_classes = args.GetBool("all-classes");
   const auto resume_path = args.Get("resume");
@@ -398,6 +486,20 @@ int CmdServe(Args& args) {
   const int64_t checkpoint_at = args.GetInt("checkpoint-at", -1);
   const bool stop_after_checkpoint = args.GetBool("stop-after-checkpoint");
   const auto metrics_out = args.Get("metrics-out");
+  const auto listen_text = args.Get("listen");
+  HostPort listen;
+  if (listen_text.has_value() &&
+      !ParseHostPortFlag("listen", *listen_text, &listen, &arg_error)) {
+    return Fail(arg_error);
+  }
+  const auto port_file = args.Get("port-file");
+  int64_t max_conns = 64;
+  if (!GetIntFlag(args, "max-conns", 64, 1, 65536, &max_conns, &arg_error)) {
+    return Fail(arg_error);
+  }
+  if (!listen_text.has_value() && (port_file.has_value() || args.Get("max-conns"))) {
+    return Fail("--port-file/--max-conns require --listen=HOST:PORT");
+  }
 
   std::string error;
   std::optional<CellTrace> cell;
@@ -437,6 +539,49 @@ int CmdServe(Args& args) {
     replayer = std::make_unique<StreamReplayer>(*cell, *spec, options);
   }
 
+  if (listen_text.has_value()) {
+    if (checkpoint_at >= 0 || stop_after_checkpoint) {
+      return Fail("--checkpoint-at/--stop-after-checkpoint are not valid with --listen");
+    }
+    NetServerOptions net_options;
+    net_options.host = listen.host;
+    net_options.port = listen.port;
+    net_options.max_connections = static_cast<int>(max_conns);
+    net_options.checkpoint_out = checkpoint_out.value_or("");
+    OvercommitServer server(*replayer, net_options);
+    if (!server.Start(&error)) {
+      return Fail(error);
+    }
+    if (port_file.has_value()) {
+      std::FILE* out = std::fopen(port_file->c_str(), "w");
+      if (out == nullptr) {
+        return Fail("cannot write --port-file " + *port_file);
+      }
+      std::fprintf(out, "%d\n", server.port());
+      std::fclose(out);
+    }
+    std::fprintf(stderr,
+                 "crf: serving %s (%s) on %s:%d, %d shards, next tick %d/%d\n",
+                 cell->name.c_str(), replayer->spec().Name().c_str(),
+                 net_options.host.c_str(), server.port(), options.num_shards,
+                 replayer->next_tick(), cell->num_intervals);
+    InstallStopHandlers();
+    server.Wait(&g_stop);
+    if (server.sealed()) {
+      std::printf("checkpoint written to %s at tick %d/%d\n", server.sealed_path().c_str(),
+                  server.sealed_tick(), cell->num_intervals);
+    }
+    if (replayer->Done()) {
+      return PrintServeResults(*replayer, options, metrics_out);
+    }
+    std::fprintf(stderr, "crf: stopped at tick %d/%d\n", replayer->next_tick(),
+                 cell->num_intervals);
+    if (metrics_out.has_value() && !replayer->Metrics().WriteJson(*metrics_out)) {
+      return Fail("cannot write metrics to " + *metrics_out);
+    }
+    return 0;
+  }
+
   if (checkpoint_out.has_value()) {
     const Interval cut = checkpoint_at >= 0 ? static_cast<Interval>(checkpoint_at)
                                             : cell->num_intervals / 2;
@@ -458,23 +603,127 @@ int CmdServe(Args& args) {
     return Fail("--checkpoint-at/--stop-after-checkpoint require --checkpoint-out=FILE");
   }
 
-  replayer->AdvanceToEnd();
-  const SimResult result = replayer->Finish();
-  const ServeMetrics& metrics = replayer->Metrics();
-
-  std::printf("cell %s, predictor %s, horizon %gh, %d shards\n", result.cell_name.c_str(),
-              result.predictor_name.c_str(), IntervalsToHours(options.horizon),
-              options.num_shards);
-  PrintSimResultTable(result);
-  std::printf("events ingested: %llu over %llu machine-ticks\n",
-              static_cast<unsigned long long>(metrics.TotalEvents()),
-              static_cast<unsigned long long>(metrics.TotalTicks()));
-  std::fprintf(stderr, "crf: ingest rate %.0f events/s (%.3fs wall)\n",
-               metrics.EventsPerSecond(), metrics.elapsed_seconds());
-  if (metrics_out.has_value() && !metrics.WriteJson(*metrics_out)) {
-    return Fail("cannot write metrics to " + *metrics_out);
+  // Chunked replay (day granularity) so SIGINT/SIGTERM can stop between
+  // Advance calls and seal a resumable checkpoint — the same interval-
+  // boundary cut the network shutdown op makes. Chunking never affects
+  // results (Advance is bit-identical under any call slicing).
+  InstallStopHandlers();
+  while (!replayer->Done() && !g_stop.load()) {
+    replayer->Advance(std::min<Interval>(replayer->next_tick() + kIntervalsPerDay,
+                                         cell->num_intervals));
   }
-  return 0;
+  if (!replayer->Done()) {
+    if (checkpoint_out.has_value()) {
+      if (!SaveCheckpoint(*replayer, *checkpoint_out, &error)) {
+        return Fail(error);
+      }
+      std::printf("checkpoint written to %s at tick %d/%d\n", checkpoint_out->c_str(),
+                  replayer->next_tick(), cell->num_intervals);
+    }
+    std::fprintf(stderr, "crf: stopped at tick %d/%d%s\n", replayer->next_tick(),
+                 cell->num_intervals,
+                 checkpoint_out.has_value() ? "" : " (no --checkpoint-out; state discarded)");
+    return 0;
+  }
+  return PrintServeResults(*replayer, options, metrics_out);
+}
+
+// Drives `crf serve --listen` over loopback/LAN: K client threads stream
+// disjoint shard sets through batched ingest frames, then the server's end
+// state is verified bit-for-bit against an in-process replay. The verify
+// verdict and event totals on stdout are deterministic; rates and latency
+// percentiles are timing-derived.
+int CmdLoadgen(Args& args) {
+  const auto connect = args.Get("connect");
+  if (!connect.has_value()) {
+    return Fail("loadgen requires --connect=HOST:PORT");
+  }
+  std::string arg_error;
+  HostPort endpoint;
+  if (!ParseHostPortFlag("connect", *connect, &endpoint, &arg_error)) {
+    return Fail(arg_error);
+  }
+  if (endpoint.port == 0) {
+    return Fail("--connect requires an explicit port");
+  }
+  const std::string spec_text = args.GetOr("predictor", "max(n-sigma:5,rc-like:99)");
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec(spec_text, &spec_error);
+  if (!spec.has_value()) {
+    return Fail("bad --predictor spec: " + spec_error);
+  }
+
+  LoadGenOptions options;
+  options.host = endpoint.host;
+  options.port = endpoint.port;
+  int64_t clients = 4;
+  int64_t batch_ticks = 256;
+  int64_t until = -1;
+  int64_t shards = 16;
+  if (!GetIntFlag(args, "clients", 4, 1, 256, &clients, &arg_error) ||
+      !GetIntFlag(args, "batch-ticks", 256, 1, 1 << 20, &batch_ticks, &arg_error) ||
+      !GetIntFlag(args, "until", -1, -1, 1 << 30, &until, &arg_error) ||
+      !GetIntFlag(args, "shards", 16, 1, 65536, &shards, &arg_error)) {
+    return Fail(arg_error);
+  }
+  options.client_threads = static_cast<int>(clients);
+  options.batch_ticks = static_cast<int>(batch_ticks);
+  options.until = static_cast<Interval>(until);
+  options.verify = !args.GetBool("no-verify");
+  options.send_shutdown = !args.GetBool("no-shutdown");
+  // The verification replay must mirror the server's replay options:
+  // --shards fixes the cell-series rounding, --horizon-hours the oracle.
+  options.verify_options.horizon =
+      static_cast<Interval>(args.GetDouble("horizon-hours", 24.0) * kIntervalsPerHour);
+  options.verify_options.num_shards = static_cast<int>(shards);
+  options.verify_options.parallel = false;
+  const bool all_classes = args.GetBool("all-classes");
+
+  std::string error;
+  auto cell = BuildOrLoadCell(args, error);
+  if (!cell.has_value()) {
+    return Fail(error);
+  }
+  if (const auto unknown = args.UnknownFlag()) {
+    return Fail("unknown flag --" + *unknown);
+  }
+  if (!all_classes) {
+    cell->FilterToServingTasks();
+  }
+
+  LoadGenReport report;
+  if (!RunLoadGen(*cell, *spec, options, &report)) {
+    return Fail("loadgen: " + report.error);
+  }
+  std::fprintf(stderr,
+               "crf: %llu events in %.3fs (%.0f events/s) over %d connections,"
+               " %llu bytes out / %llu bytes in\n",
+               static_cast<unsigned long long>(report.events_sent), report.elapsed_seconds,
+               report.events_per_sec, options.client_threads,
+               static_cast<unsigned long long>(report.bytes_sent),
+               static_cast<unsigned long long>(report.bytes_received));
+  Table table({"op", "count", "p50_us", "p99_us", "p999_us"});
+  for (const LoadGenOpLatency& op : report.ops) {
+    table.AddRow(op.op, {static_cast<double>(op.count), op.p50_ns / 1000.0,
+                         op.p99_ns / 1000.0, op.p999_ns / 1000.0});
+  }
+  table.Print();
+  std::printf("streamed %llu events over %llu machine-ticks\n",
+              static_cast<unsigned long long>(report.events_sent),
+              static_cast<unsigned long long>(report.ticks_sent));
+  if (report.verify_ran) {
+    std::printf("verify: %s (%d mismatched machines)\n",
+                report.verified ? "bit-identical" : "MISMATCH", report.mismatched_machines);
+  }
+  if (report.shutdown_sent) {
+    if (report.sealed) {
+      std::printf("server sealed checkpoint %s at tick %d\n", report.checkpoint_path.c_str(),
+                  report.final_tick);
+    } else {
+      std::printf("server stopped at tick %d (no checkpoint sealed)\n", report.final_tick);
+    }
+  }
+  return report.verify_ran && !report.verified ? 1 : 0;
 }
 
 int CmdCheckpoint(Args& args) {
@@ -529,11 +778,15 @@ int CmdCluster(Args& args) {
   } else {
     return Fail("unknown --packing '" + packing + "'");
   }
-  PlacementArgsInto(args, options.placement_shards, options.placement_rebalance_interval);
-  if (options.placement_shards < 0 || options.placement_rebalance_interval < 1) {
-    return Fail("--placement-shards must be >= 0 and --rebalance-interval >= 1");
+  std::string arg_error;
+  if (!PlacementArgsInto(args, options.placement_shards,
+                         options.placement_rebalance_interval, arg_error)) {
+    return Fail(arg_error);
   }
-  const auto pool = PoolFromArgs(args);
+  const auto pool = PoolFromArgs(args, arg_error);
+  if (!arg_error.empty()) {
+    return Fail(arg_error);
+  }
   options.pool = pool.get();
   const Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
   if (const auto unknown = args.UnknownFlag()) {
@@ -571,7 +824,8 @@ int CmdCluster(Args& args) {
 
 int Usage() {
   std::fputs(
-      "usage: crf <generate|info|convert|simulate|cluster|serve|checkpoint> [--flags]\n"
+      "usage: crf <generate|info|convert|simulate|cluster|serve|loadgen|checkpoint>"
+      " [--flags]\n"
       "  crf generate --cell=a --days=7 --out=FILE [--machines=N] [--rich] [--seed=S]\n"
       "               [--binary] [--stream] [--probes=K] [--placement-shards=S]\n"
       "               [--rebalance-interval=R] [--threads=T]\n"
@@ -587,6 +841,11 @@ int Usage() {
       "               [--shards=16] [--no-parallel] [--threads=T] [--metrics-out=FILE]\n"
       "               [--checkpoint-out=FILE --checkpoint-at=TICK\n"
       "                [--stop-after-checkpoint]] [--resume=FILE]\n"
+      "               [--listen=HOST:PORT [--port-file=FILE] [--max-conns=N]]\n"
+      "  crf loadgen  --connect=HOST:PORT (--trace=FILE [--mmap] | --cell=a ...)\n"
+      "               [--clients=4] [--batch-ticks=256] [--until=T] [--shards=16]\n"
+      "               [--predictor=SPEC] [--horizon-hours=24] [--all-classes]\n"
+      "               [--no-verify] [--no-shutdown]\n"
       "  crf checkpoint --file=FILE\n"
       "SPEC: limit-sum | borg-default[:phi] | rc-like[:pct] | n-sigma[:n]\n"
       "      | autopilot[:pct[:margin]] | chance[:target] | flex[:pct[:margin]]\n"
@@ -621,6 +880,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "serve") {
     return CmdServe(args);
+  }
+  if (command == "loadgen") {
+    return CmdLoadgen(args);
   }
   if (command == "checkpoint") {
     return CmdCheckpoint(args);
