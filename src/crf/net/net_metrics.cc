@@ -43,6 +43,26 @@ ConnectionStats* NetMetrics::AddConnection() {
   return connections_.back().get();
 }
 
+void NetMetrics::RetireConnection(ConnectionStats* stats) {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(stats->mutex);
+    retired_.bytes_in += stats->bytes_in;
+    retired_.bytes_out += stats->bytes_out;
+    retired_.frames_in += stats->frames_in;
+    retired_.frames_out += stats->frames_out;
+    for (int i = 0; i < kNumWireOps; ++i) {
+      retired_.op_latency_log2_ns[i].Merge(stats->op_latency_log2_ns[i]);
+    }
+    retired_.batch_events_log2.Merge(stats->batch_events_log2);
+  }
+  connections_.erase(std::remove_if(connections_.begin(), connections_.end(),
+                                    [stats](const std::unique_ptr<ConnectionStats>& slab) {
+                                      return slab.get() == stats;
+                                    }),
+                     connections_.end());
+}
+
 std::string NetMetrics::ToJsonObject() const {
   // Aggregate every connection slab under its own lock.
   uint64_t bytes_in = 0, bytes_out = 0, frames_in = 0, frames_out = 0;
@@ -54,6 +74,15 @@ std::string NetMetrics::ToJsonObject() const {
   BucketedStats batch_events(0.0, 1.0, 32);
   {
     std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    // Seed with the retired aggregate so closed connections still count.
+    bytes_in += retired_.bytes_in;
+    bytes_out += retired_.bytes_out;
+    frames_in += retired_.frames_in;
+    frames_out += retired_.frames_out;
+    for (int i = 0; i < kNumWireOps; ++i) {
+      op_latency[i].Merge(retired_.op_latency_log2_ns[i]);
+    }
+    batch_events.Merge(retired_.batch_events_log2);
     for (const auto& connection : connections_) {
       std::lock_guard<std::mutex> lock(connection->mutex);
       bytes_in += connection->bytes_in;

@@ -47,14 +47,20 @@ struct alignas(64) ConnectionStats {
   BucketedStats batch_events_log2{0.0, 1.0, 32};
 };
 
-// Registry of all connections' stats plus server-level counters. Slabs are
-// kept alive for the server's lifetime (closed connections still count in
-// the aggregate), so a snapshot covers the full history.
+// Registry of live connections' stats plus server-level counters. When a
+// connection closes, its slab is folded into a retained aggregate and
+// freed (RetireConnection), so a snapshot still covers the full history
+// while memory stays bounded by the number of ACTIVE connections — a
+// long-running server with connection churn does not grow without bound.
 class NetMetrics {
  public:
-  // Allocates a slab for a new connection. The pointer stays valid until the
-  // registry is destroyed.
+  // Allocates a slab for a new connection. The pointer stays valid until
+  // RetireConnection(slab) or the registry's destruction.
   ConnectionStats* AddConnection();
+  // Folds the slab's counters into the retired aggregate and frees it.
+  // Call once, after the owning connection thread is done writing; the
+  // pointer is invalid afterwards.
+  void RetireConnection(ConnectionStats* stats);
 
   void OnAccept() { connections_accepted_.fetch_add(1, std::memory_order_relaxed); }
   void OnOpen() { connections_active_.fetch_add(1, std::memory_order_relaxed); }
@@ -80,6 +86,9 @@ class NetMetrics {
  private:
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<ConnectionStats>> connections_;
+  // Closed connections' counters, merged in RetireConnection. Guarded by
+  // registry_mutex_ (its own slab mutex is unused).
+  ConnectionStats retired_;
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<int64_t> connections_active_{0};
   std::atomic<uint64_t> frames_rejected_{0};

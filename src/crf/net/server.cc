@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <iterator>
 
 #include "crf/serve/checkpoint.h"
 #include "crf/util/check.h"
@@ -72,13 +74,13 @@ OvercommitServer::~OvercommitServer() {
   if (acceptor_.joinable()) {
     acceptor_.join();
   }
-  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<ConnectionThread>> connections;
   {
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads.swap(connection_threads_);
+    connections.swap(connection_threads_);
   }
-  for (std::thread& thread : threads) {
-    thread.join();
+  for (auto& connection : connections) {
+    connection->thread.join();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -125,10 +127,20 @@ void OvercommitServer::Wait(const std::atomic<bool>* external_stop) {
   while (!stop_.load(std::memory_order_acquire)) {
     if (external_stop != nullptr && external_stop->load(std::memory_order_acquire)) {
       // External (signal-driven) stop: seal exactly like the shutdown op.
-      std::lock_guard<std::mutex> lock(window_mutex_);
+      // There is no client connection to carry a failure, so report it to
+      // the operator — otherwise a SIGINT mid-window silently exits with no
+      // checkpoint on disk.
       ShutdownResponse response;
       std::string error;
-      SealLocked(/*seal=*/true, &response, &error);
+      bool ok;
+      {
+        std::lock_guard<std::mutex> lock(window_mutex_);
+        ok = SealLocked(/*seal=*/true, &response, &error);
+      }
+      if (!ok) {
+        std::fprintf(stderr, "crf serve: stop requested but no checkpoint was sealed: %s\n",
+                     error.c_str());
+      }
       stop_.store(true, std::memory_order_release);
       break;
     }
@@ -140,6 +152,7 @@ void OvercommitServer::RequestStop() { stop_.store(true, std::memory_order_relea
 
 void OvercommitServer::AcceptLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
+    ReapConnectionThreads();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMillis);
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
@@ -158,8 +171,31 @@ void OvercommitServer::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     net_metrics_.OnOpen();
     ConnectionStats* stats = net_metrics_.AddConnection();
+    auto connection = std::make_unique<ConnectionThread>();
+    ConnectionThread* raw = connection.get();
+    raw->thread = std::thread([this, fd, stats, raw] {
+      ConnectionLoop(fd, stats);
+      raw->done.store(true, std::memory_order_release);
+    });
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back([this, fd, stats] { ConnectionLoop(fd, stats); });
+    connection_threads_.push_back(std::move(connection));
+  }
+}
+
+void OvercommitServer::ReapConnectionThreads() {
+  std::vector<std::unique_ptr<ConnectionThread>> finished;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    const auto split = std::stable_partition(
+        connection_threads_.begin(), connection_threads_.end(),
+        [](const std::unique_ptr<ConnectionThread>& connection) {
+          return !connection->done.load(std::memory_order_acquire);
+        });
+    std::move(split, connection_threads_.end(), std::back_inserter(finished));
+    connection_threads_.erase(split, connection_threads_.end());
+  }
+  for (auto& connection : finished) {
+    connection->thread.join();
   }
 }
 
@@ -225,6 +261,7 @@ void OvercommitServer::ConnectionLoop(int fd, ConnectionStats* stats) {
   }
   ::close(fd);
   net_metrics_.OnClose();
+  net_metrics_.RetireConnection(stats);
 }
 
 bool OvercommitServer::HandleFrame(WireOp op, std::span<const uint8_t> payload,
@@ -449,6 +486,12 @@ bool OvercommitServer::HandleIngest(std::span<const uint8_t> payload, Connection
       }
 
       response.prediction = replayer_.PushMachineTick(request.machine, tau, tick_events);
+      // Advance the streaming cursor with every applied tick, not once per
+      // batch: a validation error on a later tick must leave the cursor on
+      // the applied prefix, so a resumed stream continues at the first
+      // unapplied tick instead of re-pushing ticks the replayer already
+      // holds (which would CHECK-abort in IngestTick).
+      shard.machine_tick = tau + 1;
       i = end;
     }
     const auto t1 = std::chrono::steady_clock::now();
@@ -458,10 +501,8 @@ bool OvercommitServer::HandleIngest(std::span<const uint8_t> payload, Connection
     response.last_tick = service.LastTick(request.machine);
     stats->RecordBatch(static_cast<int64_t>(request.events.size()));
 
-    // Advance the streaming cursor; on the machine's final tick move to the
-    // next machine, and on the shard's last machine mark the window
-    // complete.
-    shard.machine_tick = request.until_tick;
+    // On the machine's final tick move to the next machine, and on the
+    // shard's last machine mark the window complete.
     if (request.until_tick == shard.window_until) {
       ++shard.next_machine;
       shard.machine_tick = shard.window_from;
@@ -494,14 +535,23 @@ bool OvercommitServer::HandleIngest(std::span<const uint8_t> payload, Connection
   return true;
 }
 
-bool OvercommitServer::TryCommitWindow(std::string* error) {
-  // Caller holds window_mutex_. Take every shard lock (in order) so pushes
-  // cannot race the commit and their writes are visible here.
+std::vector<std::unique_lock<std::mutex>> OvercommitServer::LockAllShards() {
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (auto& shard : shards_) {
     locks.emplace_back(shard.mutex);
   }
+  return locks;
+}
+
+bool OvercommitServer::TryCommitWindow(std::string* error) {
+  // Take every shard lock (in order) so pushes cannot race the commit and
+  // their writes are visible here.
+  const auto locks = LockAllShards();
+  return TryCommitWindowShardsLocked(error);
+}
+
+bool OvercommitServer::TryCommitWindowShardsLocked(std::string* error) {
   Interval window = -1;
   for (const auto& shard : shards_) {
     if (shard.begin_machine == shard.end_machine) {
@@ -565,11 +615,7 @@ void OvercommitServer::HandleCellQuery(std::vector<uint8_t>& out) {
   CellQueryResponse response;
   {
     std::lock_guard<std::mutex> window_lock(window_mutex_);
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(shards_.size());
-    for (auto& shard : shards_) {
-      locks.emplace_back(shard.mutex);
-    }
+    const auto locks = LockAllShards();
     const OvercommitService& service = replayer_.service();
     const int num_machines = replayer_.cell().num_machines();
     response.num_machines = num_machines;
@@ -614,13 +660,10 @@ bool OvercommitServer::HandleAdmission(std::span<const uint8_t> payload,
   return true;
 }
 
-void OvercommitServer::RefreshMetricsLocked() {
-  // Caller holds window_mutex_.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shards_.size());
+void OvercommitServer::RefreshMetricsShardsLocked() {
+  // Caller holds window_mutex_ and every shard lock.
   double elapsed = 0.0;
   for (auto& shard : shards_) {
-    locks.emplace_back(shard.mutex);
     elapsed += shard.elapsed_seconds;
     shard.elapsed_seconds = 0.0;
   }
@@ -634,7 +677,8 @@ void OvercommitServer::HandleMetrics(std::vector<uint8_t>& out) {
   MetricsSnapshotResponse response;
   {
     std::lock_guard<std::mutex> lock(window_mutex_);
-    RefreshMetricsLocked();
+    const auto locks = LockAllShards();
+    RefreshMetricsShardsLocked();
     response.json = replayer_.MutableMetrics().ToJson();
   }
   ByteWriter writer;
@@ -643,14 +687,19 @@ void OvercommitServer::HandleMetrics(std::vector<uint8_t>& out) {
 }
 
 bool OvercommitServer::SealLocked(bool seal, ShutdownResponse* response, std::string* error) {
-  // Caller holds window_mutex_. Commit a fully-streamed window if one is
-  // pending so the seal lands on the freshest boundary.
+  // Caller holds window_mutex_. Every shard lock is held from here through
+  // the checkpoint write: the mid-stream check below reads shard window
+  // state, and SaveCheckpoint serializes the replayer, so a concurrent
+  // ingest between the two would produce a torn checkpoint. Commit a
+  // fully-streamed window if one is pending so the seal lands on the
+  // freshest boundary.
+  const auto locks = LockAllShards();
   std::string commit_error;
-  if (!TryCommitWindow(&commit_error) && !commit_error.empty()) {
+  if (!TryCommitWindowShardsLocked(&commit_error) && !commit_error.empty()) {
     *error = commit_error;
     return false;
   }
-  RefreshMetricsLocked();
+  RefreshMetricsShardsLocked();
   response->next_tick = replayer_.next_tick();
   if (!seal || options_.checkpoint_out.empty()) {
     return true;

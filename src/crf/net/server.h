@@ -25,13 +25,16 @@
 // sample per resident task in roster order) — so malformed input produces a
 // kError response and a closed connection, never a CHECK-abort in the
 // service. A protocol error mid-batch leaves the validly-applied prefix
-// ingested (the replayer stays consistent) and drops the connection.
+// ingested (the replayer stays consistent) and drops the connection; the
+// shard's streaming cursor tracks the applied prefix tick by tick, so a
+// reconnecting client resumes at the first unapplied tick.
 
 #ifndef CRF_NET_SERVER_H_
 #define CRF_NET_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -75,7 +78,8 @@ class OvercommitServer {
   // Blocks until a shutdown op arrives or `external_stop` becomes true
   // (polled; pass nullptr to wait for the op alone). An external stop seals
   // a checkpoint exactly like the shutdown op when the committed state
-  // allows it.
+  // allows it; a seal failure is reported on stderr (there is no client to
+  // carry the error frame).
   void Wait(const std::atomic<bool>* external_stop = nullptr);
 
   // Asynchronously requests a stop without sealing (tests/teardown).
@@ -112,7 +116,17 @@ class OvercommitServer {
     std::vector<int32_t> scratch_roster;
   };
 
+  // One finished connection worker, joinable once `done` is set.
+  struct ConnectionThread {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
+  // Joins and discards connection threads whose loop has finished (called
+  // from the acceptor each poll round, so churn does not accumulate
+  // joinable handles).
+  void ReapConnectionThreads();
   void ConnectionLoop(int fd, ConnectionStats* stats);
   // Dispatches one decoded frame; appends the response frame to `out`.
   // Returns false when the connection must close (shutdown or protocol
@@ -130,17 +144,25 @@ class OvercommitServer {
   void HandleMetrics(std::vector<uint8_t>& out);
   bool HandleShutdown(std::span<const uint8_t> payload, std::vector<uint8_t>& out);
 
+  // Acquires every shard lock in shard order. Caller holds window_mutex_
+  // (the only sanctioned order: window_mutex_ first, then shard locks).
+  std::vector<std::unique_lock<std::mutex>> LockAllShards();
   // Commits the window `until` if every populated shard has completed it.
-  // Caller holds window_mutex_ and no shard locks. Returns false with a
-  // diagnostic if the replayer rejects the commit (server bug / lagging
-  // machine).
+  // Caller holds window_mutex_ and no shard locks (the wrapper takes them).
+  // Returns false with a diagnostic if the replayer rejects the commit
+  // (server bug / lagging machine).
   bool TryCommitWindow(std::string* error);
+  // The commit body; caller holds window_mutex_ and every shard lock.
+  bool TryCommitWindowShardsLocked(std::string* error);
   // Folds per-shard elapsed seconds into ServeMetrics and refreshes the
-  // "net" section. Caller holds window_mutex_; takes every shard lock.
-  void RefreshMetricsLocked();
+  // "net" section. Caller holds window_mutex_ and every shard lock.
+  void RefreshMetricsShardsLocked();
   // The shutdown-seal body shared by the shutdown op and external stops:
   // commits a fully-streamed window if one is pending, then seals a
-  // checkpoint when `seal` is set and checkpoint_out is configured.
+  // checkpoint when `seal` is set and checkpoint_out is configured. Caller
+  // holds window_mutex_; every shard lock is held from the commit through
+  // the checkpoint write, so ingest cannot open a window or push state
+  // between the mid-stream check and the serialization.
   bool SealLocked(bool seal, ShutdownResponse* response, std::string* error);
 
   void AppendError(const std::string& message, std::vector<uint8_t>& out);
@@ -162,7 +184,7 @@ class OvercommitServer {
   std::atomic<bool> stop_{false};
   std::thread acceptor_;
   std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
+  std::vector<std::unique_ptr<ConnectionThread>> connection_threads_;
 
   bool sealed_ = false;
   std::string sealed_path_;

@@ -301,6 +301,79 @@ TEST(NetServerProtocolTest, ViolationsDrawErrorAndConnectionClose) {
   harness.server->Wait();
 }
 
+// A validation error mid-batch must leave the shard's streaming cursor on
+// the applied prefix: the ticks before the bad one are ingested, a fresh
+// client resumes at the first unapplied tick, and a replay of an
+// already-applied tick draws a kError — never a CHECK abort (the cursor
+// and the replayer can never disagree about what was applied).
+TEST(NetServerProtocolTest, MidBatchErrorLeavesCursorOnAppliedPrefix) {
+  const CellTrace cell = RandomCell(707);
+  std::string spec_error;
+  const auto spec = ParsePredictorSpec("limit-sum", &spec_error);
+  ASSERT_TRUE(spec.has_value()) << spec_error;
+  ServerHarness harness(cell, *spec);
+  ASSERT_TRUE(harness.started);
+  const int port = harness.server->port();
+  EventLog log(cell);
+
+  std::string error;
+  {
+    // Ticks [0, 2) for machine 0, tick 1 corrupted by a trailing departure
+    // of a non-resident task: tick 0 applies, tick 1 is rejected.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+    IngestBatchRequest request;
+    request.machine = 0;
+    request.from_tick = 0;
+    request.until_tick = 2;
+    request.window_until = cell.num_intervals;
+    EventLog::MachineCursor cursor = log.CreateCursor(0);
+    cursor.EmitTick(0, request.events);
+    cursor.EmitTick(1, request.events);
+    StreamEvent bogus;
+    bogus.kind = StreamEventKind::kTaskDeparture;
+    bogus.task_index = 999999;
+    bogus.tick = 1;
+    bogus.task_id = 999999;
+    bogus.limit = 0.5;
+    request.events.push_back(bogus);
+    EXPECT_FALSE(client.IngestBatch(request, &error).has_value());
+  }
+  {
+    // Replaying the already-applied tick 0 is out of protocol now; the
+    // server must answer with an error frame, not abort.
+    NetClient stale;
+    ASSERT_TRUE(stale.Connect("127.0.0.1", port, &error)) << error;
+    IngestBatchRequest request;
+    request.machine = 0;
+    request.from_tick = 0;
+    request.until_tick = 1;
+    request.window_until = cell.num_intervals;
+    EventLog::MachineCursor cursor = log.CreateCursor(0);
+    cursor.EmitTick(0, request.events);
+    EXPECT_FALSE(stale.IngestBatch(request, &error).has_value());
+    EXPECT_NE(error.find("expected from tick 1"), std::string::npos) << error;
+  }
+  {
+    // Resuming at the first unapplied tick streams on cleanly.
+    NetClient resume;
+    ASSERT_TRUE(resume.Connect("127.0.0.1", port, &error)) << error;
+    IngestBatchRequest request;
+    request.machine = 0;
+    request.from_tick = 1;
+    request.until_tick = 2;
+    request.window_until = cell.num_intervals;
+    EventLog::MachineCursor cursor = log.CreateCursor(0);
+    std::vector<StreamEvent> scratch;
+    cursor.EmitTick(0, scratch);
+    cursor.EmitTick(1, request.events);
+    const auto response = resume.IngestBatch(request, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->last_tick, 1);
+  }
+  harness.server->RequestStop();
+}
+
 // The window protocol: a second batch must continue the machine at its next
 // tick and keep the window boundary every shard agreed on.
 TEST(NetServerProtocolTest, WindowMismatchIsRejected) {
